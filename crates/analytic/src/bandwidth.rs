@@ -1,0 +1,112 @@
+//! Effective memory bandwidth (§3.1, §3.4): the quantity the CFM is
+//! designed to maximise.
+//!
+//! A memory system's *peak* bandwidth is `b · w` bits per cycle (every
+//! bank busy every cycle). Its *effective* bandwidth is what accesses
+//! actually extract: with `n` processors each completing a block of
+//! `l = b·w` bits every `β/E` cycles (E = access efficiency), the
+//! effective bandwidth is `n · l · E / β` bits per cycle. For the fully
+//! conflict-free CFM, `E = 1` and — because `β = b + c − 1 ≈ b` and
+//! `n = b/c` — the pipeline keeps essentially every bank busy:
+//! utilisation approaches 100 % as accesses saturate.
+
+use cfm_core::config::CfmConfig;
+
+/// Bandwidth figures for one configuration at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bandwidth {
+    /// Peak bandwidth `b · w` in bits per CPU cycle.
+    pub peak_bits_per_cycle: f64,
+    /// Effective bandwidth in bits per CPU cycle.
+    pub effective_bits_per_cycle: f64,
+    /// Effective / peak.
+    pub utilization: f64,
+}
+
+/// Effective bandwidth of a CFM configuration when each processor keeps
+/// `demand` of its AT-partition busy (`demand = 1` is back-to-back block
+/// accesses) at access efficiency `efficiency` (1.0 for the fully
+/// conflict-free machine).
+pub fn bandwidth(config: &CfmConfig, demand: f64, efficiency: f64) -> Bandwidth {
+    assert!((0.0..=1.0).contains(&demand));
+    assert!((0.0..=1.0).contains(&efficiency));
+    let peak = config.banks() as f64 * config.word_width() as f64;
+    let block_bits = config.block_bits() as f64;
+    let beta = config.block_access_time() as f64;
+    // Each processor moves one block per β cycles when fully demanding.
+    let effective = config.processors() as f64 * block_bits / beta * demand * efficiency;
+    Bandwidth {
+        peak_bits_per_cycle: peak,
+        effective_bits_per_cycle: effective.min(peak),
+        utilization: (effective / peak).min(1.0),
+    }
+}
+
+/// The bandwidth column for every Table 3.3 row at full demand: the
+/// trade-off table's hidden constant — every configuration of a given
+/// block size and bank cycle moves the *same* bits per cycle at
+/// saturation; only latency and processor count shift.
+pub fn table_3_3_bandwidth(block_bits: u32, bank_cycle: u32) -> Vec<(usize, Bandwidth)> {
+    cfm_core::config::tradeoff_table(block_bits, bank_cycle)
+        .into_iter()
+        .filter_map(|row| {
+            CfmConfig::from_block(block_bits, row.banks, bank_cycle)
+                .map(|cfg| (row.banks, bandwidth(&cfg, 1.0, 1.0)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_cfm_approaches_peak() {
+        // n = 8, c = 2, b = 16: peak = 16 · 16 = 256 bits/cycle;
+        // effective = 8 · 256 / 17 ≈ 120 — utilisation b/(β·c) ≈ 47 %
+        // (each processor's pipeline occupies 1/c of the bank slots).
+        let cfg = CfmConfig::new(8, 2, 16).unwrap();
+        let bw = bandwidth(&cfg, 1.0, 1.0);
+        assert_eq!(bw.peak_bits_per_cycle, 256.0);
+        assert!((bw.effective_bits_per_cycle - 8.0 * 256.0 / 17.0).abs() < 1e-9);
+        assert!(bw.utilization > 0.45 && bw.utilization < 0.5);
+    }
+
+    #[test]
+    fn unit_cycle_cfm_saturates_banks() {
+        // c = 1: β = b, so utilisation = n·l/(β·peak) = b·w·b/(b·b·w) → 1.
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let bw = bandwidth(&cfg, 1.0, 1.0);
+        assert!(bw.utilization == 1.0);
+    }
+
+    #[test]
+    fn demand_and_efficiency_scale_linearly() {
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let full = bandwidth(&cfg, 1.0, 1.0);
+        let half = bandwidth(&cfg, 0.5, 1.0);
+        let ineff = bandwidth(&cfg, 1.0, 0.5);
+        assert!((half.effective_bits_per_cycle * 2.0 - full.effective_bits_per_cycle).abs() < 1e-9);
+        assert!((ineff.effective_bits_per_cycle - half.effective_bits_per_cycle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_3_3_bandwidth_is_near_constant() {
+        // Across the Table 3.3 trade-off the saturated bandwidth is
+        // nearly constant — every row delivers ≈ l/c bits per cycle, up
+        // to the pipeline-fill factor b/(b+c−1): the table trades latency
+        // and processor count, not throughput.
+        let rows = table_3_3_bandwidth(256, 2);
+        assert!(rows.len() >= 6);
+        let ideal = 256.0 / 2.0; // l / c
+        for (banks, bw) in &rows {
+            let fill = *banks as f64 / (*banks as f64 + 1.0); // b/(b+c−1)
+            assert!(
+                (bw.effective_bits_per_cycle - ideal * fill).abs() < 1e-9,
+                "bank count {banks}: {} vs {}",
+                bw.effective_bits_per_cycle,
+                ideal * fill
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Memory access efficiency models (§3.4.1–3.4.2).
+//!
+//! **Conventional memory** (`n` processors, `m` modules, access rate `r`
+//! per processor per cycle, block time `β`): the probability that a
+//! request finds its target module busy is approximated by
+//!
+//! ```text
+//! P(r) = (n − 1) · r · β / m
+//! ```
+//!
+//! with expected completion time `M(r) = β · (2 − P) / (2 − 2P)` (a failed
+//! access waits β/2 on average before retrying) and efficiency
+//!
+//! ```text
+//! E(r) = β / M(r) = (2 − 2P) / (2 − P).
+//! ```
+//!
+//! **Partially conflict-free systems** (`m` conflict-free modules, data
+//! locality `λ` = fraction of accesses served by the local cluster):
+//! a local access is blocked by remote traffic with probability
+//! `P₁ = (1 − λ)rβ` and a remote access conflicts with probability
+//! `P₂ = (1 − (1−λ)/(m−1)) rβ`; the combined probability is
+//!
+//! ```text
+//! P(r, λ) = P₁λ + P₂(1 − λ) = ((−mλ² + 2λ + m − 2) / (m − 1)) · r · β
+//! ```
+//!
+//! and the efficiency uses the same `(2 − 2P)/(2 − P)` form. The fully
+//! conflict-free CFM has `E ≈ 1` identically.
+
+/// Parameters of the conventional-memory model.
+///
+/// ```
+/// use cfm_analytic::efficiency::Conventional;
+///
+/// // The Fig 3.13 configuration.
+/// let m = Conventional { processors: 8, modules: 8, beta: 17.0 };
+/// assert_eq!(m.efficiency(0.0), 1.0);
+/// assert!(m.efficiency(0.05) < 0.45);
+/// // Where does efficiency halve? Near r ≈ 0.045.
+/// assert!((m.rate_for_efficiency(0.5) - 0.0448).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Conventional {
+    /// Processors `n`.
+    pub processors: usize,
+    /// Memory modules `m`.
+    pub modules: usize,
+    /// Block access time `β` in CPU cycles.
+    pub beta: f64,
+}
+
+impl Conventional {
+    /// Busy probability `P(r)`, clamped to `[0, 1]`.
+    pub fn conflict_probability(&self, rate: f64) -> f64 {
+        let p = (self.processors as f64 - 1.0) * rate * self.beta / self.modules as f64;
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Expected retries `P / (1 − P)` (∞ at saturation).
+    pub fn expected_retries(&self, rate: f64) -> f64 {
+        let p = self.conflict_probability(rate);
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            p / (1.0 - p)
+        }
+    }
+
+    /// Expected completion time `M(r)` in cycles.
+    pub fn expected_access_time(&self, rate: f64) -> f64 {
+        let p = self.conflict_probability(rate);
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.beta * (2.0 - p) / (2.0 - 2.0 * p)
+        }
+    }
+
+    /// Efficiency `E(r) = (2 − 2P)/(2 − P)`, in `[0, 1]`.
+    pub fn efficiency(&self, rate: f64) -> f64 {
+        let p = self.conflict_probability(rate);
+        ((2.0 - 2.0 * p) / (2.0 - p)).clamp(0.0, 1.0)
+    }
+
+    /// The access rate at which efficiency falls to `target` — solving
+    /// `(2 − 2P)/(2 − P) = E` for `P`, then `r = P·m/((n−1)·β)`. Useful
+    /// for locating crossovers when comparing configurations.
+    pub fn rate_for_efficiency(&self, target: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&target));
+        let p = (2.0 - 2.0 * target) / (2.0 - target);
+        p * self.modules as f64 / ((self.processors as f64 - 1.0) * self.beta)
+    }
+}
+
+/// Parameters of the partially conflict-free model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartiallyConflictFree {
+    /// Conflict-free memory modules `m` (= clusters).
+    pub modules: usize,
+    /// Block access time `β` in CPU cycles.
+    pub beta: f64,
+}
+
+impl PartiallyConflictFree {
+    /// Probability a local access is blocked by a remote one:
+    /// `P₁ = (1 − λ) r β`.
+    pub fn p_local_blocked(&self, rate: f64, locality: f64) -> f64 {
+        ((1.0 - locality) * rate * self.beta).clamp(0.0, 1.0)
+    }
+
+    /// Probability a remote access conflicts:
+    /// `P₂ = (1 − (1 − λ)/(m − 1)) r β`.
+    pub fn p_remote_conflict(&self, rate: f64, locality: f64) -> f64 {
+        let m = self.modules as f64;
+        ((1.0 - (1.0 - locality) / (m - 1.0)) * rate * self.beta).clamp(0.0, 1.0)
+    }
+
+    /// Combined conflict probability
+    /// `P(r, λ) = ((−mλ² + 2λ + m − 2)/(m − 1)) r β`.
+    pub fn conflict_probability(&self, rate: f64, locality: f64) -> f64 {
+        let m = self.modules as f64;
+        let l = locality;
+        let coeff = (-m * l * l + 2.0 * l + m - 2.0) / (m - 1.0);
+        (coeff * rate * self.beta).clamp(0.0, 1.0)
+    }
+
+    /// Efficiency `E(r, λ) = (2 − 2P)/(2 − P)`, in `[0, 1]`.
+    pub fn efficiency(&self, rate: f64, locality: f64) -> f64 {
+        let p = self.conflict_probability(rate, locality);
+        ((2.0 - 2.0 * p) / (2.0 - p)).clamp(0.0, 1.0)
+    }
+
+    /// The access rate at which efficiency falls to `target` at locality
+    /// `locality` — the partial-CF counterpart of
+    /// [`Conventional::rate_for_efficiency`].
+    pub fn rate_for_efficiency(&self, target: f64, locality: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&target));
+        let p = (2.0 - 2.0 * target) / (2.0 - target);
+        let m = self.modules as f64;
+        let l = locality;
+        let coeff = (-m * l * l + 2.0 * l + m - 2.0) / (m - 1.0);
+        p / (coeff * self.beta)
+    }
+}
+
+/// One point of an efficiency series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Access rate `r` (accesses per processor per cycle).
+    pub rate: f64,
+    /// Efficiency `E` at that rate.
+    pub efficiency: f64,
+}
+
+/// Sample a curve at `steps + 1` evenly spaced rates on `[0, max_rate]`.
+pub fn series(max_rate: f64, steps: usize, mut f: impl FnMut(f64) -> f64) -> Vec<Point> {
+    (0..=steps)
+        .map(|i| {
+            let rate = max_rate * i as f64 / steps as f64;
+            Point {
+                rate,
+                efficiency: f(rate),
+            }
+        })
+        .collect()
+}
+
+/// The full data of Fig 3.13 (n = 8, m = 8, block = 16 words, β = 17):
+/// conventional `E(r)` and the CFM's flat 1.0, for `r ∈ [0, max_rate]`.
+pub fn fig_3_13(max_rate: f64, steps: usize) -> (Vec<Point>, Vec<Point>) {
+    let conv = Conventional {
+        processors: 8,
+        modules: 8,
+        beta: 17.0,
+    };
+    let conventional = series(max_rate, steps, |r| conv.efficiency(r));
+    let cfm = series(max_rate, steps, |_| 1.0);
+    (conventional, cfm)
+}
+
+/// The data of Fig 3.14 / 3.15: partially conflict-free curves at the
+/// given localities, plus the conventional curve with `conv_modules`
+/// modules (64 in Fig 3.14, 128 in Fig 3.15).
+pub fn fig_3_14_15(
+    processors: usize,
+    modules: usize,
+    conv_modules: usize,
+    beta: f64,
+    localities: &[f64],
+    max_rate: f64,
+    steps: usize,
+) -> (Vec<(f64, Vec<Point>)>, Vec<Point>) {
+    let pcf = PartiallyConflictFree { modules, beta };
+    let curves = localities
+        .iter()
+        .map(|&l| (l, series(max_rate, steps, |r| pcf.efficiency(r, l))))
+        .collect();
+    let conv = Conventional {
+        processors,
+        modules: conv_modules,
+        beta,
+    };
+    let conventional = series(max_rate, steps, |r| conv.efficiency(r));
+    (curves, conventional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG: Conventional = Conventional {
+        processors: 8,
+        modules: 8,
+        beta: 17.0,
+    };
+
+    #[test]
+    fn zero_rate_is_fully_efficient() {
+        assert_eq!(FIG.efficiency(0.0), 1.0);
+        assert_eq!(FIG.expected_retries(0.0), 0.0);
+        assert_eq!(FIG.expected_access_time(0.0), 17.0);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_rate() {
+        let mut prev = 1.0;
+        for i in 1..=6 {
+            let e = FIG.efficiency(0.01 * i as f64);
+            assert!(e < prev, "E not decreasing at r={}", 0.01 * i as f64);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn fig_3_13_shape() {
+        // At r = 0.05, P = 7·0.05·17/8 ≈ 0.74: efficiency well below 0.5.
+        let (conv, cfm) = fig_3_13(0.06, 6);
+        assert!(conv.last().unwrap().efficiency < 0.35);
+        assert!(cfm.iter().all(|p| p.efficiency == 1.0));
+        // Spot check the formula by hand at r = 0.02:
+        // P = 7·0.02·17/8 = 0.2975; E = (2−0.595)/(2−0.2975) ≈ 0.8253.
+        let e = FIG.efficiency(0.02);
+        assert!((e - (2.0 - 2.0 * 0.2975) / (2.0 - 0.2975)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_for_efficiency_inverts_efficiency() {
+        for &target in &[0.95, 0.8, 0.5, 0.25] {
+            let r = FIG.rate_for_efficiency(target);
+            assert!(
+                (FIG.efficiency(r) - target).abs() < 1e-12,
+                "target {target}"
+            );
+        }
+        // The Fig 3.13 half-efficiency point sits near r ≈ 0.045.
+        let half = FIG.rate_for_efficiency(0.5);
+        assert!((half - 0.0448).abs() < 0.001, "half point {half}");
+    }
+
+    #[test]
+    fn partial_efficiency_increases_with_locality() {
+        let pcf = PartiallyConflictFree {
+            modules: 8,
+            beta: 17.0,
+        };
+        let r = 0.04;
+        let e9 = pcf.efficiency(r, 0.9);
+        let e7 = pcf.efficiency(r, 0.7);
+        let e5 = pcf.efficiency(r, 0.5);
+        assert!(e9 > e7 && e7 > e5, "{e9} {e7} {e5}");
+    }
+
+    #[test]
+    fn partial_rate_for_efficiency_inverts() {
+        let pcf = PartiallyConflictFree {
+            modules: 8,
+            beta: 17.0,
+        };
+        for &(target, l) in &[(0.9, 0.7), (0.5, 0.5), (0.8, 0.9)] {
+            let r = pcf.rate_for_efficiency(target, l);
+            assert!((pcf.efficiency(r, l) - target).abs() < 1e-12);
+        }
+        // Higher locality pushes the half-efficiency point to higher rates.
+        assert!(pcf.rate_for_efficiency(0.5, 0.9) > 2.0 * pcf.rate_for_efficiency(0.5, 0.3));
+    }
+
+    #[test]
+    fn perfect_locality_is_conflict_free() {
+        // λ = 1: all accesses local, P = (−m + 2 + m − 2)/(m−1)·rβ = 0.
+        let pcf = PartiallyConflictFree {
+            modules: 8,
+            beta: 17.0,
+        };
+        assert_eq!(pcf.conflict_probability(0.05, 1.0), 0.0);
+        assert_eq!(pcf.efficiency(0.05, 1.0), 1.0);
+    }
+
+    #[test]
+    fn fig_3_14_partial_beats_conventional() {
+        // The paper's claim: the partially conflict-free system stays above
+        // the conventional 64-module system at every plotted locality.
+        let (curves, conv) = fig_3_14_15(64, 8, 64, 17.0, &[0.9, 0.8, 0.7, 0.5], 0.06, 12);
+        for (l, curve) in curves {
+            for (p, c) in curve.iter().zip(conv.iter()).skip(1) {
+                assert!(
+                    p.efficiency >= c.efficiency,
+                    "λ={l} r={} partial {} < conventional {}",
+                    p.rate,
+                    p.efficiency,
+                    c.efficiency
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_zero() {
+        let c = Conventional {
+            processors: 128,
+            modules: 8,
+            beta: 17.0,
+        };
+        assert_eq!(c.efficiency(0.06), 0.0);
+        assert_eq!(c.expected_access_time(0.06), f64::INFINITY);
+    }
+}

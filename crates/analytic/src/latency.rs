@@ -1,0 +1,159 @@
+//! Hierarchical CFM read latencies and the DASH / KSR1 comparisons
+//! (§5.4.4, Tables 5.5 and 5.6).
+//!
+//! In a two-level CFM, every miss is resolved by a chain of block
+//! accesses, each costing one `β` at its level. With the cluster and
+//! global networks sized alike (each cluster's network controller is one
+//! "processor" of the global CFM), the chains are:
+//!
+//! * **local cluster** (first-level read miss): 1 block access → `β`;
+//! * **global memory / clean remote**: L1 miss + network-controller
+//!   global read + reload into the processor cache → `3β`;
+//! * **dirty remote**: additionally trigger the remote processor's
+//!   first-level write-back, the remote controller's second-level
+//!   write-back, re-read global memory, and reload through the local
+//!   second-level cache → `7β` (Table 5.5: 63 cycles at β = 9).
+//!
+//! The DASH and KSR1 columns are the published figures quoted by the
+//! paper; they are constants here, not simulation outputs.
+
+use cfm_core::config::CfmConfig;
+
+/// Chain lengths (in block accesses) for each read class in the two-level
+/// hierarchy.
+pub const LOCAL_CHAIN: u64 = 1;
+/// L1 miss + global read + reload.
+pub const GLOBAL_CHAIN: u64 = 3;
+/// As global, plus remote L1 + L2 write-backs and the re-read they force.
+pub const DIRTY_REMOTE_CHAIN: u64 = 7;
+
+/// A two-level hierarchical CFM sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// Total processors.
+    pub processors: usize,
+    /// Clusters (each contributes one network controller to the global CFM).
+    pub clusters: usize,
+    /// Cache line size in bytes (= block size at both levels).
+    pub line_bytes: usize,
+    /// Memory bank cycle in CPU cycles.
+    pub bank_cycle: u32,
+}
+
+impl Hierarchy {
+    /// Processors per cluster.
+    pub fn procs_per_cluster(&self) -> usize {
+        self.processors / self.clusters
+    }
+
+    /// The per-cluster CFM configuration (banks = c · processors/cluster,
+    /// word width = line bits / banks).
+    pub fn cluster_config(&self) -> CfmConfig {
+        let n = self.procs_per_cluster();
+        let banks = n * self.bank_cycle as usize;
+        let word_width = (self.line_bytes * 8 / banks) as u32;
+        CfmConfig::new(n, self.bank_cycle, word_width.max(1)).expect("valid hierarchy")
+    }
+
+    /// Block access time `β` inside a cluster (the global level has the
+    /// same `β` when cluster count × bank cycle = banks per cluster ×
+    /// cluster ratio — the Table 5.5/5.6 sizings make them equal).
+    pub fn beta(&self) -> u64 {
+        self.cluster_config().block_access_time()
+    }
+
+    /// Read latency from the local cluster (first-level miss).
+    pub fn local_read(&self) -> u64 {
+        LOCAL_CHAIN * self.beta()
+    }
+
+    /// Read latency from global memory (clean block, possibly homed in a
+    /// remote cluster).
+    pub fn global_read(&self) -> u64 {
+        GLOBAL_CHAIN * self.beta()
+    }
+
+    /// Read latency when a remote processor holds the block dirty.
+    pub fn dirty_remote_read(&self) -> u64 {
+        DIRTY_REMOTE_CHAIN * self.beta()
+    }
+}
+
+/// The Table 5.5 configuration: 16 processors, 4 clusters, 16-byte lines,
+/// bank cycle 2 (β = 9).
+pub fn table_5_5_cfm() -> Hierarchy {
+    Hierarchy {
+        processors: 16,
+        clusters: 4,
+        line_bytes: 16,
+        bank_cycle: 2,
+    }
+}
+
+/// DASH read latencies (processor clocks) as published and quoted in
+/// Table 5.5: local cluster, remote cluster, dirty-remote.
+pub const DASH_LATENCIES: [u64; 3] = [29, 100, 130];
+
+/// The Table 5.6 configuration: 1024 processors, 32 clusters (rings),
+/// 128-byte lines, bank cycle 2 (β = 65).
+pub fn table_5_6_cfm() -> Hierarchy {
+    Hierarchy {
+        processors: 1024,
+        clusters: 32,
+        line_bytes: 128,
+        bank_cycle: 2,
+    }
+}
+
+/// KSR1 read latencies as quoted in Table 5.6: local ring, global ring.
+pub const KSR1_LATENCIES: [u64; 2] = [175, 600];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_5_5_cfm_column() {
+        let h = table_5_5_cfm();
+        assert_eq!(h.procs_per_cluster(), 4);
+        assert_eq!(h.cluster_config().banks(), 8);
+        assert_eq!(h.beta(), 9);
+        assert_eq!(h.local_read(), 9);
+        assert_eq!(h.global_read(), 27);
+        assert_eq!(h.dirty_remote_read(), 63);
+    }
+
+    #[test]
+    fn table_5_5_cfm_beats_dash_everywhere() {
+        let h = table_5_5_cfm();
+        let cfm = [h.local_read(), h.global_read(), h.dirty_remote_read()];
+        for (c, d) in cfm.iter().zip(DASH_LATENCIES.iter()) {
+            assert!(c < d, "CFM {c} not below DASH {d}");
+        }
+    }
+
+    #[test]
+    fn table_5_6_cfm_column() {
+        let h = table_5_6_cfm();
+        assert_eq!(h.procs_per_cluster(), 32);
+        assert_eq!(h.cluster_config().banks(), 64);
+        assert_eq!(h.beta(), 65);
+        assert_eq!(h.local_read(), 65);
+        assert_eq!(h.global_read(), 195);
+    }
+
+    #[test]
+    fn table_5_6_cfm_beats_ksr1() {
+        let h = table_5_6_cfm();
+        assert!(h.local_read() < KSR1_LATENCIES[0]);
+        assert!(h.global_read() < KSR1_LATENCIES[1]);
+    }
+
+    #[test]
+    fn word_width_accounting() {
+        // 16-byte line over 8 banks → 16-bit words.
+        let h = table_5_5_cfm();
+        assert_eq!(h.cluster_config().word_width(), 16);
+        assert_eq!(h.cluster_config().block_bits(), 128);
+    }
+}

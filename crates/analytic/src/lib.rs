@@ -1,0 +1,17 @@
+//! # cfm-analytic — closed-form performance models from the paper
+//!
+//! The paper's quantitative evaluation is analytical. This crate
+//! implements every formula of §3.4 and the latency bookkeeping of §5.4.4
+//! so the benches can regenerate each figure and table:
+//!
+//! * [`efficiency`] — memory access efficiency of conventional
+//!   interleaved memory (`E(r)`, Fig 3.13) and of partially conflict-free
+//!   systems (`E(r, λ)`, Figs 3.14–3.15).
+//! * [`latency`] — block access and hierarchical read latencies, and the
+//!   published DASH / KSR1 comparison constants (Tables 5.5–5.6).
+//! * [`bandwidth`] — peak vs effective memory bandwidth across the
+//!   Table 3.3 configuration trade-off.
+
+pub mod bandwidth;
+pub mod efficiency;
+pub mod latency;

@@ -1,0 +1,236 @@
+//! Conventional interleaved memory with conflicts and retries (§3.4.1).
+//!
+//! `n` processors issue block accesses at rate `r` against `m` memory
+//! modules. An access finding its module busy waits a uniformly random
+//! `0 .. β` cycles (mean β/2, the paper's retry cost) and tries again.
+//! Efficiency is `β / mean completion time` — exactly the quantity the
+//! closed-form `E(r)` approximates, so the simulation validates the
+//! model's *shape* and exposes where the independence approximation
+//! drifts.
+
+use cfm_workloads::traffic::Traffic;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use cfm_net::circuit::CircuitOmega;
+
+/// Result of a conventional-memory simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Accesses completed.
+    pub completed: u64,
+    /// Mean completion time (first attempt → completion) in cycles.
+    pub mean_latency: f64,
+    /// Measured efficiency `β / mean_latency`.
+    pub efficiency: f64,
+    /// Total retries.
+    pub retries: u64,
+    /// Network-blocked attempts (0 unless a network is attached).
+    pub network_blocked: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProcState {
+    Idle,
+    /// Waiting to (re)try an access to `module`; `since` is first attempt.
+    Retry {
+        module: usize,
+        at: u64,
+        since: u64,
+    },
+    /// Access in service until the given cycle.
+    Busy {
+        until: u64,
+        since: u64,
+    },
+}
+
+/// The conventional-memory conflict simulator.
+pub struct ConventionalSim<T: Traffic> {
+    processors: usize,
+    beta: u64,
+    traffic: T,
+    /// Per-module busy-until cycle.
+    module_free_at: Vec<u64>,
+    /// Optional circuit-switched interconnect adding path contention.
+    network: Option<CircuitOmega>,
+    rng: SmallRng,
+}
+
+impl<T: Traffic> ConventionalSim<T> {
+    /// A simulator over `processors` processors with block time `beta`.
+    pub fn new(processors: usize, beta: u64, traffic: T, seed: u64) -> Self {
+        let modules = traffic.modules();
+        ConventionalSim {
+            processors,
+            beta,
+            traffic,
+            module_free_at: vec![0; modules],
+            network: None,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Attach a circuit-switched omega between processors and modules;
+    /// requires the port count to cover both sides.
+    pub fn with_network(mut self, network: CircuitOmega) -> Self {
+        assert!(network.topology().ports() >= self.processors.max(self.module_free_at.len()));
+        self.network = Some(network);
+        self
+    }
+
+    /// Run for `cycles` and measure.
+    pub fn run(&mut self, cycles: u64) -> SimResult {
+        let mut state = vec![ProcState::Idle; self.processors];
+        let mut completed = 0u64;
+        let mut total_latency = 0u64;
+        let mut retries = 0u64;
+        let mut network_blocked = 0u64;
+
+        for now in 0..cycles {
+            #[allow(clippy::needless_range_loop)] // p indexes parallel state arrays
+            for p in 0..self.processors {
+                if let ProcState::Busy { until, since } = state[p] {
+                    if now >= until {
+                        completed += 1;
+                        total_latency += until - since;
+                        state[p] = ProcState::Idle;
+                    } else {
+                        continue;
+                    }
+                }
+                let (module, since) = match state[p] {
+                    ProcState::Idle => match self.traffic.poll(now, p) {
+                        Some(m) => (m, now),
+                        None => continue,
+                    },
+                    ProcState::Retry { module, at, since } => {
+                        if now >= at {
+                            (module, since)
+                        } else {
+                            continue;
+                        }
+                    }
+                    ProcState::Busy { .. } => continue,
+                };
+                // Module conflict?
+                let module_free = self.module_free_at[module] <= now;
+                // Network conflict (only checked when the module is free,
+                // as a blocked module means no path attempt succeeds).
+                let granted = if module_free {
+                    match &mut self.network {
+                        Some(net) => {
+                            let ok = net.try_connect(now, p, module, self.beta).is_some();
+                            if !ok {
+                                network_blocked += 1;
+                            }
+                            ok
+                        }
+                        None => true,
+                    }
+                } else {
+                    false
+                };
+                if granted {
+                    let setup = self.network.as_ref().map_or(0, |n| n.setup_delay());
+                    let until = now + setup + self.beta;
+                    self.module_free_at[module] = until;
+                    state[p] = ProcState::Busy { until, since };
+                } else {
+                    retries += 1;
+                    let delay = self.rng.gen_range(0..self.beta.max(1)) + 1;
+                    state[p] = ProcState::Retry {
+                        module,
+                        at: now + delay,
+                        since,
+                    };
+                }
+            }
+        }
+
+        let mean_latency = if completed == 0 {
+            0.0
+        } else {
+            total_latency as f64 / completed as f64
+        };
+        SimResult {
+            completed,
+            mean_latency,
+            efficiency: if mean_latency == 0.0 {
+                1.0
+            } else {
+                self.beta as f64 / mean_latency
+            },
+            retries,
+            network_blocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfm_analytic::efficiency::Conventional;
+    use cfm_workloads::traffic::Uniform;
+
+    fn measure(n: usize, m: usize, beta: u64, rate: f64, cycles: u64) -> SimResult {
+        let traffic = Uniform::new(rate, m, 42);
+        ConventionalSim::new(n, beta, traffic, 7).run(cycles)
+    }
+
+    #[test]
+    fn idle_system_is_fully_efficient() {
+        let r = measure(8, 8, 17, 0.001, 200_000);
+        assert!(r.efficiency > 0.97, "efficiency {}", r.efficiency);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_rate() {
+        let lo = measure(8, 8, 17, 0.01, 300_000);
+        let hi = measure(8, 8, 17, 0.05, 300_000);
+        assert!(
+            lo.efficiency > hi.efficiency + 0.05,
+            "lo {} hi {}",
+            lo.efficiency,
+            hi.efficiency
+        );
+        assert!(hi.retries > lo.retries);
+    }
+
+    #[test]
+    fn simulation_tracks_the_analytic_shape() {
+        // The paper's E(r) is an approximation; require the simulation to
+        // stay within a loose band of it over the Fig 3.13 sweep.
+        let model = Conventional {
+            processors: 8,
+            modules: 8,
+            beta: 17.0,
+        };
+        for &rate in &[0.01, 0.02, 0.03] {
+            let sim = measure(8, 8, 17, rate, 400_000);
+            let pred = model.efficiency(rate);
+            assert!(
+                (sim.efficiency - pred).abs() < 0.15,
+                "r={rate}: sim {} vs model {pred}",
+                sim.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn network_contention_lowers_efficiency_further() {
+        // §3.4.1: "the actual efficiency of the conventional memory is
+        // even lower" once the interconnect contends.
+        let no_net = measure(8, 8, 17, 0.04, 300_000);
+        let traffic = Uniform::new(0.04, 8, 42);
+        let with_net = ConventionalSim::new(8, 17, traffic, 7)
+            .with_network(CircuitOmega::new(8, 2))
+            .run(300_000);
+        assert!(
+            with_net.efficiency < no_net.efficiency,
+            "net {} vs plain {}",
+            with_net.efficiency,
+            no_net.efficiency
+        );
+    }
+}

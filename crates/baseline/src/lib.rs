@@ -1,0 +1,22 @@
+//! # cfm-baseline — the systems the paper compares against
+//!
+//! Monte-Carlo conflict simulators that validate (and stress) the
+//! closed-form models of `cfm-analytic`:
+//!
+//! * [`conventional`] — conventional interleaved multi-module memory with
+//!   busy-module conflicts and delayed retries (§3.4.1's model, measured
+//!   instead of derived). Optionally adds circuit-switched network
+//!   contention, which the paper notes makes reality *worse* than the
+//!   formula.
+//! * [`partial_sim`] — slot-granular simulation of partially
+//!   conflict-free systems under locality-λ traffic (§3.4.2): local
+//!   accesses are conflict-free by AT-space partitioning, remote accesses
+//!   contend for the same slot streams.
+//! * [`hotspot`] — the Fig 2.1 experiment: hot-spot traffic through a
+//!   buffered omega network saturates queues backwards from the hot sink;
+//!   the CFM column of the experiment is structurally flat (no queues
+//!   exist).
+
+pub mod conventional;
+pub mod hotspot;
+pub mod partial_sim;

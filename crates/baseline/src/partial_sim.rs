@@ -1,0 +1,247 @@
+//! Slot-granular simulation of partially conflict-free systems (§3.4.2).
+//!
+//! The machine: `m` conflict-free memory modules, each with `s` AT-space
+//! slot streams (= contention sets); cluster `i` comprises the `s`
+//! processors homed on module `i`, one per contention set. A block access
+//! by processor `p` against module `M` occupies the resource
+//! `(M, set(p))` for `β` cycles:
+//!
+//! * **local** accesses (`M` = home) from different cluster members use
+//!   different sets — conflict-free by construction;
+//! * a local access *can* be blocked by a **remote** access from another
+//!   cluster's same-set processor (the paper's `P₁`), and remote accesses
+//!   conflict with each other and with locals (`P₂`).
+//!
+//! Measured efficiency `β / mean latency` is compared against the
+//! closed-form `E(r, λ)` in the Fig 3.14/3.15 benches.
+
+use cfm_workloads::traffic::Traffic;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a partial-CF simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartialSimResult {
+    /// Accesses completed.
+    pub completed: u64,
+    /// Mean completion time in cycles.
+    pub mean_latency: f64,
+    /// Measured efficiency `β / mean_latency`.
+    pub efficiency: f64,
+    /// Conflicted attempts.
+    pub conflicts: u64,
+    /// Completed accesses that were local.
+    pub local_completed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProcState {
+    Idle,
+    Retry { module: usize, at: u64, since: u64 },
+    Busy { until: u64, since: u64, local: bool },
+}
+
+/// The partially conflict-free conflict simulator.
+pub struct PartialSim<T: Traffic> {
+    modules: usize,
+    sets: usize,
+    beta: u64,
+    traffic: T,
+    /// `free_at[module][set]`.
+    free_at: Vec<Vec<u64>>,
+    /// Which contention set each processor was allocated (§7.2 calls
+    /// processor allocation "a very important issue"): the default
+    /// `p % sets` gives every cluster one processor per set — the
+    /// conflict-free allocation; other assignments make cluster members
+    /// collide on their own module.
+    allocation: Vec<usize>,
+    rng: SmallRng,
+}
+
+impl<T: Traffic> PartialSim<T> {
+    /// A system of `modules` clusters with `sets` processors each (one per
+    /// contention set) and block time `beta`. The traffic source must
+    /// address `modules` modules; processor `p` of the flat index space
+    /// `0 .. modules·sets` has home `p / sets` and set `p % sets`.
+    pub fn new(modules: usize, sets: usize, beta: u64, traffic: T, seed: u64) -> Self {
+        assert_eq!(traffic.modules(), modules);
+        let allocation = (0..modules * sets).map(|p| p % sets).collect();
+        PartialSim {
+            modules,
+            sets,
+            beta,
+            traffic,
+            free_at: vec![vec![0; sets]; modules],
+            allocation,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Override the contention-set allocation (one entry per processor,
+    /// values `< sets`). The §7.2 processor-allocation knob.
+    ///
+    /// # Panics
+    /// If the length or any entry is out of range.
+    pub fn with_allocation(mut self, allocation: Vec<usize>) -> Self {
+        assert_eq!(allocation.len(), self.processors());
+        assert!(allocation.iter().all(|&s| s < self.sets));
+        self.allocation = allocation;
+        self
+    }
+
+    /// Total processors `m · s`.
+    pub fn processors(&self) -> usize {
+        self.modules * self.sets
+    }
+
+    /// Run for `cycles` and measure.
+    pub fn run(&mut self, cycles: u64) -> PartialSimResult {
+        let procs = self.processors();
+        let mut state = vec![ProcState::Idle; procs];
+        let mut completed = 0u64;
+        let mut local_completed = 0u64;
+        let mut total_latency = 0u64;
+        let mut conflicts = 0u64;
+
+        for now in 0..cycles {
+            #[allow(clippy::needless_range_loop)] // p indexes parallel state arrays
+            for p in 0..procs {
+                if let ProcState::Busy {
+                    until,
+                    since,
+                    local,
+                } = state[p]
+                {
+                    if now >= until {
+                        completed += 1;
+                        if local {
+                            local_completed += 1;
+                        }
+                        total_latency += until - since;
+                        state[p] = ProcState::Idle;
+                    } else {
+                        continue;
+                    }
+                }
+                let (module, since) = match state[p] {
+                    ProcState::Idle => match self.traffic.poll(now, p) {
+                        Some(m) => (m, now),
+                        None => continue,
+                    },
+                    ProcState::Retry { module, at, since } => {
+                        if now >= at {
+                            (module, since)
+                        } else {
+                            continue;
+                        }
+                    }
+                    ProcState::Busy { .. } => continue,
+                };
+                let set = self.allocation[p];
+                if self.free_at[module][set] <= now {
+                    let until = now + self.beta;
+                    self.free_at[module][set] = until;
+                    state[p] = ProcState::Busy {
+                        until,
+                        since,
+                        local: module == p / self.sets,
+                    };
+                } else {
+                    conflicts += 1;
+                    let delay = self.rng.gen_range(0..self.beta.max(1)) + 1;
+                    state[p] = ProcState::Retry {
+                        module,
+                        at: now + delay,
+                        since,
+                    };
+                }
+            }
+        }
+
+        let mean_latency = if completed == 0 {
+            0.0
+        } else {
+            total_latency as f64 / completed as f64
+        };
+        PartialSimResult {
+            completed,
+            mean_latency,
+            efficiency: if mean_latency == 0.0 {
+                1.0
+            } else {
+                self.beta as f64 / mean_latency
+            },
+            conflicts,
+            local_completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfm_workloads::traffic::Locality;
+
+    fn measure(modules: usize, sets: usize, beta: u64, rate: f64, lambda: f64) -> PartialSimResult {
+        let traffic = Locality::new(rate, lambda, modules, sets, 21);
+        PartialSim::new(modules, sets, beta, traffic, 5).run(300_000)
+    }
+
+    #[test]
+    fn perfect_locality_is_conflict_free() {
+        // λ = 1: every access is local, each processor owns its slot
+        // stream — zero conflicts no matter the rate.
+        let r = measure(8, 8, 17, 0.05, 1.0);
+        assert_eq!(r.conflicts, 0);
+        assert!((r.efficiency - 1.0).abs() < 1e-9);
+        assert_eq!(r.local_completed, r.completed);
+    }
+
+    #[test]
+    fn efficiency_rises_with_locality() {
+        let e5 = measure(8, 8, 17, 0.05, 0.5).efficiency;
+        let e9 = measure(8, 8, 17, 0.05, 0.9).efficiency;
+        assert!(e9 > e5, "λ=0.9 {} vs λ=0.5 {}", e9, e5);
+    }
+
+    #[test]
+    fn remote_traffic_causes_conflicts() {
+        let r = measure(8, 8, 17, 0.05, 0.3);
+        assert!(r.conflicts > 0);
+        assert!(r.efficiency < 1.0);
+    }
+
+    #[test]
+    fn bad_allocation_creates_local_conflicts() {
+        // §7.2: put two cluster-mates in the same contention set — their
+        // local accesses now collide even at perfect locality.
+        let modules = 4;
+        let sets = 4;
+        let traffic = Locality::new(0.08, 1.0, modules, sets, 21);
+        let mut alloc: Vec<usize> = (0..modules * sets).map(|p| p % sets).collect();
+        // Cluster 0's processors 0 and 1 share set 0.
+        alloc[1] = 0;
+        let mut sim = PartialSim::new(modules, sets, 17, traffic, 5).with_allocation(alloc);
+        let r = sim.run(200_000);
+        assert!(r.conflicts > 0, "clashing allocation produced no conflicts");
+        assert!(r.efficiency < 1.0);
+    }
+
+    #[test]
+    fn tracks_analytic_shape() {
+        use cfm_analytic::efficiency::PartiallyConflictFree;
+        let model = PartiallyConflictFree {
+            modules: 8,
+            beta: 17.0,
+        };
+        for &(rate, lambda) in &[(0.02, 0.9), (0.02, 0.5), (0.04, 0.7)] {
+            let sim = measure(8, 8, 17, rate, lambda);
+            let pred = model.efficiency(rate, lambda);
+            assert!(
+                (sim.efficiency - pred).abs() < 0.2,
+                "r={rate} λ={lambda}: sim {} vs model {pred}",
+                sim.efficiency
+            );
+        }
+    }
+}

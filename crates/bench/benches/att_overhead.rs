@@ -1,0 +1,59 @@
+//! Criterion ablation bench: simulation cost of the CFM machine with the
+//! address tracking tables enabled vs disabled under contended traffic.
+
+use cfm_core::att::PriorityMode;
+use cfm_core::config::CfmConfig;
+use cfm_core::machine::CfmMachine;
+use cfm_core::op::Operation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn contended_run(att: bool, cycles: u64) -> u64 {
+    let cfg = CfmConfig::new(8, 1, 16).unwrap();
+    let mut m = CfmMachine::with_options(cfg, 4, att, PriorityMode::EarliestWins);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut marker = 0u64;
+    for _ in 0..cycles {
+        for p in 0..8 {
+            if !m.is_busy(p) && rng.gen_bool(0.3) {
+                let offset = rng.gen_range(0..4);
+                if rng.gen_bool(0.5) {
+                    marker += 1;
+                    m.issue(p, Operation::write(offset, vec![marker; 8]))
+                        .unwrap();
+                } else {
+                    m.issue(p, Operation::read(offset)).unwrap();
+                }
+            }
+        }
+        m.step();
+        for p in 0..8 {
+            let _ = m.poll(p);
+        }
+    }
+    m.stats().completed
+}
+
+fn bench_att(c: &mut Criterion) {
+    let mut group = c.benchmark_group("att_overhead");
+    for att in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if att { "enabled" } else { "disabled" }),
+            &att,
+            |b, &att| b.iter(|| black_box(contended_run(att, 5_000))),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_att);
+criterion_main!(benches);

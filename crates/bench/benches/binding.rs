@@ -1,0 +1,91 @@
+//! Criterion bench behind the Chapter 6 claims: threaded resource binding
+//! (fine strided binds vs one coarse bind) and the CFM-backed multiple
+//! test-and-set binding cost.
+
+use std::sync::Arc;
+
+use cfm_cache::machine::CcMachine;
+use cfm_core::config::CfmConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resource_binding::cfm_backed::CfmBindingManager;
+use resource_binding::data::SharedGrid;
+use resource_binding::manager::{BindingManager, SyncMode};
+use resource_binding::region::{Access, DimRange, Region};
+use std::hint::black_box;
+
+fn stripes(threads: usize, coarse: bool) {
+    let manager = Arc::new(BindingManager::new());
+    let grid = Arc::new(SharedGrid::new(manager, 32, 32, 0u64));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let grid = grid.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let rows = if coarse {
+                        DimRange::dense(0, 32)
+                    } else {
+                        DimRange::strided(t, 32, threads)
+                    };
+                    let g = grid
+                        .bind(rows, DimRange::dense(0, 32), Access::Rw, SyncMode::Blocking)
+                        .expect("bind");
+                    if coarse {
+                        for r in (t..32).step_by(threads) {
+                            for c in 0..32 {
+                                g.set(r, c, *g.get(r, c) + 1);
+                            }
+                        }
+                    } else {
+                        g.for_each_mut(|_, _, v| *v += 1);
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_threaded_binding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binding_stripes");
+    group.sample_size(10);
+    for threads in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("coarse", threads), &threads, |b, &t| {
+            b.iter(|| {
+                stripes(t, true);
+                black_box(())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fine", threads), &threads, |b, &t| {
+            b.iter(|| {
+                stripes(t, false);
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfm_backed(c: &mut Criterion) {
+    c.bench_function("cfm_backed_bind_unbind", |b| {
+        b.iter(|| {
+            let cfg = CfmConfig::new(4, 1, 16).unwrap();
+            let mut m = CfmBindingManager::new(CcMachine::new(cfg, 16, 8));
+            let r = m.register_resource(64, 8);
+            for i in 0..8 {
+                let region = Region::new(r, vec![DimRange::dense(i * 8, i * 8 + 8)]);
+                let bind = m.try_bind(0, &region).expect("free component");
+                m.unbind(bind);
+            }
+            black_box(m.machine().stats().cycles)
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_threaded_binding, bench_cfm_backed);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind Table 3.3: throughput of the CFM machine across
+//! the bank-count / word-width trade-off at fixed block size.
+
+use cfm_core::config::CfmConfig;
+use cfm_core::machine::CfmMachine;
+use cfm_core::program::Runner;
+use cfm_workloads::patterns::{read_write_mix, ScriptProgram};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// All processors replay a 50-op script on a machine shaped per one
+/// Table 3.3 row; returns consumed cycles.
+fn run_row(banks: usize) -> u64 {
+    let cfg = CfmConfig::from_block(256, banks, 2).expect("table row");
+    let n = cfg.processors();
+    let mut runner = Runner::new(CfmMachine::new(cfg, 16));
+    for p in 0..n {
+        let script = read_write_mix(50, 16, cfg.banks(), 0.5, p as u64);
+        runner.set_program(p, Box::new(ScriptProgram::new(script)));
+    }
+    runner.run(10_000_000);
+    runner.machine().stats().cycles
+}
+
+fn bench_config_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_3_3_sweep");
+    group.sample_size(10);
+    for banks in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            b.iter(|| black_box(run_row(banks)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_config_sweep);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench behind Figs 3.13–3.15: simulation throughput of the
+//! conventional conflict simulator vs the partially conflict-free
+//! simulator, plus the closed-form model evaluation cost.
+
+use cfm_analytic::efficiency::{Conventional, PartiallyConflictFree};
+use cfm_baseline::conventional::ConventionalSim;
+use cfm_baseline::partial_sim::PartialSim;
+use cfm_workloads::traffic::{Locality, Uniform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_conventional_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_3_13_conventional_sim");
+    for rate in [0.01f64, 0.03, 0.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
+            b.iter(|| {
+                let traffic = Uniform::new(rate, 8, 42);
+                let mut sim = ConventionalSim::new(8, 17, traffic, 7);
+                black_box(sim.run(20_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partial_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_3_14_partial_sim");
+    for lambda in [0.9f64, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, &l| {
+            b.iter(|| {
+                let traffic = Locality::new(0.04, l, 8, 8, 21);
+                let mut sim = PartialSim::new(8, 8, 17, traffic, 5);
+                black_box(sim.run(20_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("efficiency_models_sweep", |b| {
+        let conv = Conventional {
+            processors: 64,
+            modules: 8,
+            beta: 17.0,
+        };
+        let pcf = PartiallyConflictFree {
+            modules: 8,
+            beta: 17.0,
+        };
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let r = 0.0006 * i as f64;
+                acc += conv.efficiency(r) + pcf.efficiency(r, 0.7);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_conventional_sim, bench_partial_sim, bench_models
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench behind §5.4: the cycle-level hierarchical machine
+//! under miss storms (per NC way count) and the N-level chain model.
+
+use cfm_cache::hier_machine::{HierMachine, HierRequest};
+use cfm_cache::multi_level::MultiLevelCfm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn miss_storm(ways: usize) -> u64 {
+    let mut m = HierMachine::new(4, 4, 9, 9, ways);
+    for round in 0..50usize {
+        for p in 0..16 {
+            let _ = m.submit(p, HierRequest::Read(100_000 * (p + 1) + round));
+        }
+        m.run_until_idle(100_000);
+    }
+    m.stats().total_latency
+}
+
+fn bench_hier_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_miss_storm");
+    group.sample_size(10);
+    for ways in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, &w| {
+            b.iter(|| black_box(miss_storm(w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_level(c: &mut Criterion) {
+    c.bench_function("multi_level_chain_walk", |b| {
+        b.iter(|| {
+            let mut m = MultiLevelCfm::new(vec![4, 4, 4], vec![9, 9, 9]);
+            let mut total = 0u64;
+            for p in 0..64 {
+                total += m.read(p, p % 8).1;
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_hier_machine, bench_multi_level);
+criterion_main!(benches);

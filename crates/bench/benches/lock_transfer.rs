@@ -1,0 +1,81 @@
+//! Criterion bench behind Fig 5.4: full lock-contest runs on the cache
+//! machine (cache-spin locks) and on the raw CFM machine (swap-based
+//! §4.2.2 locks), per contender count.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cfm_cache::lock::{LockLedger, MultiLockProgram};
+use cfm_cache::machine::CcMachine;
+use cfm_cache::program::CcRunner;
+use cfm_core::config::CfmConfig;
+use cfm_core::lock::{CriticalLedger, SpinLockProgram};
+use cfm_core::machine::CfmMachine;
+use cfm_core::program::Runner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cache_lock_contest(contenders: usize) -> u64 {
+    let cfg = CfmConfig::new(contenders, 1, 16).unwrap();
+    let machine = CcMachine::new(cfg, 16, 8);
+    let ledger = Rc::new(RefCell::new(LockLedger::default()));
+    let mut runner = CcRunner::new(machine);
+    for p in 0..contenders {
+        runner.set_program(
+            p,
+            Box::new(MultiLockProgram::single(
+                p,
+                0,
+                contenders,
+                10,
+                3,
+                ledger.clone(),
+            )),
+        );
+    }
+    runner.run(5_000_000);
+    runner.machine().stats().cycles
+}
+
+fn swap_lock_contest(contenders: usize) -> u64 {
+    let cfg = CfmConfig::new(contenders, 1, 16).unwrap();
+    let machine = CfmMachine::new(cfg, 8);
+    let banks = machine.config().banks();
+    let ledger = Rc::new(RefCell::new(CriticalLedger::default()));
+    let mut runner = Runner::new(machine);
+    for p in 0..contenders {
+        runner.set_program(
+            p,
+            Box::new(SpinLockProgram::new(p, 0, banks, 10, 3, ledger.clone())),
+        );
+    }
+    runner.run(5_000_000);
+    runner.machine().stats().cycles
+}
+
+fn bench_lock_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_contest");
+    for contenders in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cache_spin", contenders),
+            &contenders,
+            |b, &n| b.iter(|| black_box(cache_lock_contest(n))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("swap_busy_wait", contenders),
+            &contenders,
+            |b, &n| b.iter(|| black_box(swap_lock_contest(n))),
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(name = benches; config = quick(); targets = bench_lock_transfer);
+criterion_main!(benches);

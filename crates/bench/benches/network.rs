@@ -1,0 +1,68 @@
+//! Criterion bench behind Fig 2.1 and §3.2: buffered-omega hot-spot
+//! stepping, circuit-switched path allocation, and synchronous-omega
+//! state precomputation.
+
+use cfm_net::buffered::BufferedOmega;
+use cfm_net::circuit::CircuitOmega;
+use cfm_net::sync_omega::SyncOmega;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_buffered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffered_omega_hotspot");
+    for ports in [16usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, &ports| {
+            b.iter(|| {
+                let mut net = BufferedOmega::with_sink_service(ports, 2, 4);
+                for _ in 0..500 {
+                    let offers: Vec<_> = (0..ports).map(|s| (s, 0)).collect();
+                    net.step(&offers);
+                }
+                black_box(net.stats().delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    c.bench_function("circuit_omega_allocation", |b| {
+        b.iter(|| {
+            let mut net = CircuitOmega::new(64, 2);
+            let mut grants = 0u64;
+            for t in 0..500u64 {
+                if net
+                    .try_connect(t, (t % 64) as usize, ((t * 7 + 3) % 64) as usize, 17)
+                    .is_some()
+                {
+                    grants += 1;
+                }
+            }
+            black_box(grants)
+        })
+    });
+}
+
+fn bench_sync_omega_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_omega_precompute");
+    for ports in [8usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, &ports| {
+            b.iter(|| black_box(SyncOmega::new(ports)))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_buffered, bench_circuit, bench_sync_omega_build
+);
+criterion_main!(benches);

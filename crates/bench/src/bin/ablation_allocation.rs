@@ -1,0 +1,58 @@
+//! Ablation — processor allocation (§7.2 future work: "design efficient
+//! processor allocation schemes that will reduce memory, network, or
+//! network controller contention"). In a partially conflict-free system,
+//! allocating each cluster one processor per contention set keeps local
+//! traffic conflict-free; scattering cooperating processors across sets
+//! carelessly makes cluster-mates collide on their own module.
+//!
+//! Setup: 8 modules × 8 sets, β = 17, locality-λ traffic. "Aligned" is
+//! the canonical allocation; "pairwise-clashing" puts each cluster's
+//! processors into only 4 of its 8 sets (two per set).
+
+use cfm_baseline::partial_sim::PartialSim;
+use cfm_bench::print_table;
+use cfm_workloads::traffic::Locality;
+
+fn run(lambda: f64, clash: bool) -> (f64, u64) {
+    let modules = 8;
+    let sets = 8;
+    let traffic = Locality::new(0.05, lambda, modules, sets, 21);
+    let mut sim = PartialSim::new(modules, sets, 17, traffic, 5);
+    if clash {
+        let alloc: Vec<usize> = (0..modules * sets).map(|p| (p % sets) / 2 * 2).collect();
+        sim = sim.with_allocation(alloc);
+    }
+    let r = sim.run(300_000);
+    (r.efficiency, r.conflicts)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &lambda in &[1.0, 0.9, 0.7, 0.5] {
+        let (e_ok, c_ok) = run(lambda, false);
+        let (e_bad, c_bad) = run(lambda, true);
+        rows.push(vec![
+            format!("{lambda}"),
+            format!("{e_ok:.4}"),
+            format!("{e_bad:.4}"),
+            c_ok.to_string(),
+            c_bad.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: processor allocation (8 modules × 8 sets, r = 0.05, β = 17)",
+        &[
+            "Locality λ",
+            "E (aligned)",
+            "E (clashing)",
+            "Conflicts (aligned)",
+            "Conflicts (clashing)",
+        ],
+        &rows,
+    );
+    println!(
+        "Aligned allocation keeps perfect-locality traffic conflict-free; the\n\
+         clashing allocation loses efficiency even at λ = 1 because cluster\n\
+         mates share contention sets — §7.2's allocation problem, quantified."
+    );
+}

@@ -1,0 +1,95 @@
+//! Ablation — cache associativity (§5.2.1 assumes direct-mapped caches,
+//! "although other approaches can also be used"): hit rate of matrix
+//! traversals under 1-, 2- and 4-way caches of equal capacity on the
+//! coherence machine.
+
+use cfm_bench::print_table;
+use cfm_cache::machine::{CcMachine, CpuRequest};
+use cfm_core::config::CfmConfig;
+use cfm_workloads::trace::{MatrixLayout, Traversal};
+
+fn hit_rate(layout: MatrixLayout, t: Traversal, ways: usize) -> f64 {
+    let cfg = CfmConfig::new(2, 1, 16).expect("valid config");
+    let mut m = CcMachine::with_associativity(cfg, layout.blocks(), 16, ways);
+    let trace = layout.trace(t);
+    let n = trace.len() as u64;
+    for offset in trace {
+        m.execute(0, CpuRequest::Load { offset });
+    }
+    m.stats().hits as f64 / n as f64
+}
+
+fn main() {
+    let layout = MatrixLayout {
+        rows: 32,
+        cols: 32,
+        elems_per_block: 8,
+    };
+    let mut rows = Vec::new();
+    for (name, t) in [
+        ("row-major", Traversal::RowMajor),
+        ("blocked 5×5", Traversal::Blocked { tile: 5 }),
+        ("column-major", Traversal::ColMajor),
+    ] {
+        // Two passes back-to-back so capacity/conflict reuse matters.
+        let rate = |ways| {
+            let cfg = CfmConfig::new(2, 1, 16).expect("valid config");
+            let mut m = CcMachine::with_associativity(cfg, layout.blocks(), 16, ways);
+            let trace = layout.trace(t);
+            let n = 2 * trace.len() as u64;
+            for _ in 0..2 {
+                for offset in &trace {
+                    m.execute(0, CpuRequest::Load { offset: *offset });
+                }
+            }
+            m.stats().hits as f64 / n as f64
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", hit_rate(layout, t, 1) * 100.0),
+            format!("{:.1}%", rate(1) * 100.0),
+            format!("{:.1}%", rate(2) * 100.0),
+            format!("{:.1}%", rate(4) * 100.0),
+        ]);
+    }
+    // A conflict-dominated pattern: ping-pong between index-colliding
+    // blocks, where associativity is decisive.
+    let ping_pong = |ways: usize| {
+        let cfg = CfmConfig::new(2, 1, 16).expect("valid config");
+        let mut m = CcMachine::with_associativity(cfg, 64, 16, ways);
+        let mut hits_den = 0u64;
+        for _ in 0..20 {
+            for &offset in &[3usize, 19, 35] {
+                // 3, 19, 35 share set 3 of a 16-set direct-mapped cache.
+                m.execute(0, CpuRequest::Load { offset });
+                hits_den += 1;
+            }
+        }
+        m.stats().hits as f64 / hits_den as f64
+    };
+    rows.push(vec![
+        "ping-pong ×3 colliders".to_string(),
+        "—".to_string(),
+        format!("{:.1}%", ping_pong(1) * 100.0),
+        format!("{:.1}%", ping_pong(2) * 100.0),
+        format!("{:.1}%", ping_pong(4) * 100.0),
+    ]);
+    print_table(
+        "Ablation: associativity — 16-line caches, 32×32 matrix (two sweeps)",
+        &[
+            "Traversal",
+            "1-way (single sweep)",
+            "1-way",
+            "2-way",
+            "4-way",
+        ],
+        &rows,
+    );
+    println!(
+        "Two effects, both real: associativity eliminates index-collision\n\
+         misses (ping-pong row), but LRU can lose to direct-mapped placement\n\
+         on cyclic sweeps larger than the cache (blocked row) — the classic\n\
+         LRU-thrash pathology. The dissertation's direct-mapped assumption is\n\
+         a reasonable default, not an oversight."
+    );
+}

@@ -1,0 +1,86 @@
+//! Ablation — time-slot sharing (§7.2 future work): the same 8-partition
+//! CFM serving 8 dedicated processors vs 16 processors at two per
+//! partition. Sharing doubles the processors on fixed memory hardware;
+//! the sweep shows the paper's expectation: at low access rates
+//! (computation-intensive code) utilisation doubles at almost no latency
+//! cost, while at high rates the shared partitions serialise.
+
+use cfm_bench::print_table;
+use cfm_core::config::CfmConfig;
+use cfm_core::op::Operation;
+use cfm_core::slotshare::SlotSharedMachine;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Outcome {
+    mean_latency: f64,
+    throughput: f64,
+    conflicts: u64,
+}
+
+fn run(slots: usize, sharers: usize, rate: f64, cycles: u64) -> Outcome {
+    let cfg = CfmConfig::new(slots, 1, 16).expect("valid config");
+    let mut m = SlotSharedMachine::new(cfg, 16, sharers);
+    let procs = m.processors();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let mut issued_at = vec![0u64; procs];
+    let mut total_latency = 0u64;
+    let mut completed = 0u64;
+    for t in 0..cycles {
+        #[allow(clippy::needless_range_loop)] // p indexes a parallel array
+        for p in 0..procs {
+            if !m.is_busy(p) && rng.gen_bool(rate) {
+                issued_at[p] = t;
+                m.issue(p, Operation::read(p % 16)).expect("idle");
+            }
+        }
+        m.step();
+        #[allow(clippy::needless_range_loop)] // p indexes a parallel array
+        for p in 0..procs {
+            if let Some(_c) = m.poll(p) {
+                total_latency += t + 1 - issued_at[p];
+                completed += 1;
+            }
+        }
+    }
+    Outcome {
+        mean_latency: total_latency as f64 / completed.max(1) as f64,
+        throughput: completed as f64 / cycles as f64,
+        conflicts: m.stats().slot_conflicts,
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &rate in &[0.005, 0.02, 0.05, 0.1, 0.2] {
+        let dedicated = run(8, 1, rate, 60_000);
+        let shared = run(8, 2, rate, 60_000);
+        rows.push(vec![
+            format!("{rate}"),
+            format!("{:.1}", dedicated.mean_latency),
+            format!("{:.1}", shared.mean_latency),
+            format!("{:.2}", dedicated.throughput),
+            format!("{:.2}", shared.throughput),
+            format!("{:.2}×", shared.throughput / dedicated.throughput),
+            shared.conflicts.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: slot sharing — 8-slot CFM with 8 dedicated vs 16 sharing processors",
+        &[
+            "Access rate",
+            "Latency ×1",
+            "Latency ×2",
+            "Ops/cycle ×1",
+            "Ops/cycle ×2",
+            "Throughput gain",
+            "Slot conflicts",
+        ],
+        &rows,
+    );
+    println!(
+        "Same banks and switch; sharing doubles the processors. At low access\n\
+         rates throughput nearly doubles for free; as the rate rises, queueing\n\
+         at the shared partitions eats the gain — the §7.2 trade-off."
+    );
+}

@@ -1,0 +1,58 @@
+//! Fig 3.13 — memory access efficiency, n = 8 processors, m = 8 modules,
+//! 16-word blocks, β = 17: conventional E(r) falls with the access rate
+//! while the CFM stays at 1. Both the closed-form model and the
+//! Monte-Carlo conflict simulation are printed.
+
+use cfm_analytic::efficiency::fig_3_13;
+use cfm_baseline::conventional::ConventionalSim;
+use cfm_bench::print_series;
+use cfm_workloads::traffic::Uniform;
+
+fn main() {
+    let (conv_model, cfm) = fig_3_13(0.06, 12);
+    let points: Vec<(f64, Vec<f64>)> = conv_model
+        .iter()
+        .zip(cfm.iter())
+        .map(|(c, f)| {
+            let sim = if c.rate == 0.0 {
+                1.0
+            } else {
+                let traffic = Uniform::new(c.rate, 8, 42);
+                ConventionalSim::new(8, 17, traffic, 7)
+                    .run(200_000)
+                    .efficiency
+            };
+            (c.rate, vec![f.efficiency, c.efficiency, sim])
+        })
+        .collect();
+    print_series(
+        "Fig 3.13: memory access efficiency (n=8, m=8, block=16, β=17)",
+        "rate r",
+        &[
+            "Conflict-free",
+            "Conventional (model)",
+            "Conventional (sim)",
+        ],
+        &points,
+    );
+    let record =
+        cfm_bench::record::ExperimentRecord::new("fig_3_13", "Fig 3.13: memory access efficiency")
+            .param("processors", 8)
+            .param("modules", 8)
+            .param("beta", 17)
+            .series(
+                "conflict-free",
+                points.iter().map(|(x, ys)| (*x, ys[0])).collect(),
+            )
+            .series(
+                "conventional model",
+                points.iter().map(|(x, ys)| (*x, ys[1])).collect(),
+            )
+            .series(
+                "conventional sim",
+                points.iter().map(|(x, ys)| (*x, ys[2])).collect(),
+            );
+    if let Some(path) = record.save() {
+        println!("(JSON record written to {})", path.display());
+    }
+}

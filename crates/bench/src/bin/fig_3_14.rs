@@ -1,0 +1,61 @@
+//! Fig 3.14 — memory access efficiency of the partially conflict-free
+//! system: n = 64 processors, m = 8 conflict-free modules, 16-word
+//! blocks, β = 17, localities λ ∈ {0.9, 0.8, 0.7, 0.5}; versus the
+//! conventional 64-module system. Closed-form curves plus the
+//! slot-granular simulation at λ = 0.9 and λ = 0.5.
+
+use cfm_analytic::efficiency::fig_3_14_15;
+use cfm_baseline::partial_sim::PartialSim;
+use cfm_bench::print_series;
+use cfm_workloads::traffic::Locality;
+
+fn main() {
+    let localities = [0.9, 0.8, 0.7, 0.5];
+    let (curves, conventional) = fig_3_14_15(64, 8, 64, 17.0, &localities, 0.06, 12);
+    let mut labels: Vec<String> = curves.iter().map(|(l, _)| format!("λ={l}")).collect();
+    labels.push("Conventional(64)".to_string());
+    labels.push("sim λ=0.9".to_string());
+    labels.push("sim λ=0.5".to_string());
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let points: Vec<(f64, Vec<f64>)> = (0..conventional.len())
+        .map(|i| {
+            let rate = conventional[i].rate;
+            let mut ys: Vec<f64> = curves.iter().map(|(_, c)| c[i].efficiency).collect();
+            ys.push(conventional[i].efficiency);
+            for lambda in [0.9, 0.5] {
+                let sim = if rate == 0.0 {
+                    1.0
+                } else {
+                    let traffic = Locality::new(rate, lambda, 8, 8, 21);
+                    PartialSim::new(8, 8, 17, traffic, 5)
+                        .run(120_000)
+                        .efficiency
+                };
+                ys.push(sim);
+            }
+            (rate, ys)
+        })
+        .collect();
+    print_series(
+        "Fig 3.14: memory access efficiency (n=64, m=8, block=16, β=17)",
+        "rate r",
+        &label_refs,
+        &points,
+    );
+    let mut record = cfm_bench::record::ExperimentRecord::new(
+        "fig_3_14",
+        "Fig 3.14: partially conflict-free efficiency",
+    )
+    .param("processors", 64)
+    .param("modules", 8)
+    .param("beta", 17);
+    for (i, label) in labels.iter().enumerate() {
+        record = record.series(
+            label.clone(),
+            points.iter().map(|(x, ys)| (*x, ys[i])).collect(),
+        );
+    }
+    if let Some(path) = record.save() {
+        println!("(JSON record written to {})", path.display());
+    }
+}

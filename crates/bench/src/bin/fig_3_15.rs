@@ -1,0 +1,28 @@
+//! Fig 3.15 — memory access efficiency of the partially conflict-free
+//! system at larger scale: n = 128 processors, m = 16 conflict-free
+//! modules, 16-word blocks, β = 17; versus the conventional 128-module
+//! system.
+
+use cfm_analytic::efficiency::fig_3_14_15;
+use cfm_bench::print_series;
+
+fn main() {
+    let localities = [0.9, 0.8, 0.7, 0.5];
+    let (curves, conventional) = fig_3_14_15(128, 16, 128, 17.0, &localities, 0.06, 12);
+    let mut labels: Vec<String> = curves.iter().map(|(l, _)| format!("λ={l}")).collect();
+    labels.push("Conventional(128)".to_string());
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    let points: Vec<(f64, Vec<f64>)> = (0..conventional.len())
+        .map(|i| {
+            let mut ys: Vec<f64> = curves.iter().map(|(_, c)| c[i].efficiency).collect();
+            ys.push(conventional[i].efficiency);
+            (conventional[i].rate, ys)
+        })
+        .collect();
+    print_series(
+        "Fig 3.15: memory access efficiency (n=128, m=16, block=16, β=17)",
+        "rate r",
+        &label_refs,
+        &points,
+    );
+}

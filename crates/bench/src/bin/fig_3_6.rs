@@ -1,0 +1,31 @@
+//! Fig 3.6 — the timing diagram of a read operation on the c = 2 CFM:
+//! the address pipelines through one bank per slot and each data word
+//! returns one slot after its injection.
+
+use cfm_core::config::CfmConfig;
+use cfm_core::timing::AccessSchedule;
+
+fn main() {
+    let cfg = CfmConfig::new(4, 2, 16).expect("valid config");
+    println!(
+        "== Fig 3.6: read issued by processor 0 at slot 0 (n=4, c=2, b=8, β={}) ==",
+        cfg.block_access_time()
+    );
+    println!("A = address presented, = = bank busy, D = data transfer\n");
+    let s = AccessSchedule::new(&cfg, 0, 0);
+    print!("{}", s.render());
+    println!(
+        "\ncompletes at slot {}, latency {} cycles",
+        s.completes_at(),
+        s.latency()
+    );
+
+    println!("\n== the same access issued mid-period (slot 3) starts at bank 3 — no stall ==\n");
+    let s = AccessSchedule::new(&cfg, 0, 3);
+    print!("{}", s.render());
+    println!(
+        "\ncompletes at slot {}, latency {} cycles",
+        s.completes_at(),
+        s.latency()
+    );
+}

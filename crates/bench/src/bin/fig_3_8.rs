@@ -1,0 +1,30 @@
+//! Fig 3.8 — the eight connection states of the 8×8 synchronous omega
+//! network: at slot `t` the network realises the permutation
+//! `output = (input + t) mod 8`, entirely clock-driven.
+
+use cfm_net::sync_omega::SyncOmega;
+
+fn main() {
+    let net = SyncOmega::new(8);
+    println!("== Fig 3.8: states of the 8×8 synchronous omega network ==\n");
+    for t in 0..8u64 {
+        let states: Vec<String> = (0..3)
+            .map(|col| {
+                (0..4)
+                    .map(|sw| net.switch_state(t, col, sw).to_string())
+                    .collect::<String>()
+            })
+            .collect();
+        let mapping: Vec<String> = (0..8).map(|p| format!("{p}→{}", net.route(t, p))).collect();
+        println!(
+            "state {t}: switches [{}]   ports {}",
+            states.join(" | "),
+            mapping.join("  ")
+        );
+    }
+    println!(
+        "\nEach column's four switch bits (0 = straight, 1 = interchange) are a\n\
+         pure function of the slot number — no routing tags, no setup delay,\n\
+         and provably no internal conflicts (Lawrie's shift-permutation result)."
+    );
+}

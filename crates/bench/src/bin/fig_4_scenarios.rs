@@ -1,0 +1,72 @@
+//! Figs 4.1 and 4.3–4.6 — the address-tracking scenarios: the tear that
+//! appears without the ATT, write/write arbitration (one winner, no
+//! tear), the read restart, and the swap interaction outcomes.
+
+use cfm_core::att::PriorityMode;
+use cfm_core::config::CfmConfig;
+use cfm_core::machine::CfmMachine;
+use cfm_core::op::{OpKind, Operation};
+
+fn machine(att: bool) -> CfmMachine {
+    let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
+    CfmMachine::with_options(cfg, 8, att, PriorityMode::EarliestWins)
+}
+
+fn main() {
+    println!("== Fig 4.1: inconsistency without address tracking ==");
+    let mut m = machine(false);
+    m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
+    m.step();
+    m.issue(1, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
+    m.run_until_idle(100).unwrap();
+    println!(
+        "two whole-block writes (all-1s, all-2s) left block {:?}  ← torn\n",
+        m.peek_block(5)
+    );
+
+    println!("== Fig 4.4: simultaneous same-address writes with the ATT ==");
+    // §4.1.2's latest-wins mode, where the loser aborts (valid pairwise).
+    let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
+    let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+    m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
+    m.issue(2, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
+    let done = m.run_until_idle(100).unwrap();
+    println!(
+        "block is {:?} — exactly one winner; outcomes: {:?}, aborts: {}\n",
+        m.peek_block(5),
+        done.iter().map(|c| c.outcome).collect::<Vec<_>>(),
+        m.stats().write_aborts
+    );
+
+    println!("== Fig 4.5: read restarted across a same-block write ==");
+    let mut m = machine(true);
+    m.poke_block(5, &[0, 0, 0, 0]);
+    m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
+    m.issue(0, Operation::read(5)).unwrap();
+    let done = m.run_until_idle(100).unwrap();
+    let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
+    println!(
+        "read returned {:?} after {} restart(s) — a single version\n",
+        read.data.as_deref().unwrap(),
+        read.restarts
+    );
+
+    println!("== Fig 4.6: concurrent swaps serialize ==");
+    let mut m = machine(true);
+    m.issue(0, Operation::swap(3, vec![1, 1, 1, 1])).unwrap();
+    m.issue(2, Operation::swap(3, vec![2, 2, 2, 2])).unwrap();
+    let done = m.run_until_idle(1000).unwrap();
+    for c in &done {
+        println!(
+            "proc {} swap observed old {:?} ({} restarts)",
+            c.proc,
+            c.data.as_deref().unwrap(),
+            c.restarts
+        );
+    }
+    println!(
+        "final block {:?}, swap restarts {}",
+        m.peek_block(3),
+        m.stats().swap_restarts
+    );
+}

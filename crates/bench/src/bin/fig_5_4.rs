@@ -1,0 +1,78 @@
+//! Fig 5.4 — lock transfer under the CFM cache protocol: spinners spin in
+//! their own caches; a release invalidates their copies; the transfer
+//! costs about three block accesses (write-back + read +
+//! read-invalidate). Prints the measured hand-off gaps.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cfm_cache::lock::{LockLedger, MultiLockProgram};
+use cfm_cache::machine::CcMachine;
+use cfm_cache::program::{CcRunOutcome, CcRunner};
+use cfm_core::config::CfmConfig;
+
+fn main() {
+    let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
+    let machine = CcMachine::new(cfg, 16, 8);
+    let beta = machine.config().block_access_time();
+    let ledger = Rc::new(RefCell::new(LockLedger::default()));
+    let mut runner = CcRunner::new(machine);
+    for p in 0..4 {
+        runner.set_program(
+            p,
+            Box::new(MultiLockProgram::single(p, 0, 4, 25, 4, ledger.clone())),
+        );
+    }
+    let outcome = runner.run(5_000_000);
+    assert!(matches!(outcome, CcRunOutcome::Finished(_)));
+    let ledger = ledger.borrow();
+    let mut log = ledger.log.clone();
+    log.sort();
+    println!("== Fig 5.4: lock transfer (4 processors, β = {beta}) ==");
+    println!(
+        "{:>8} {:>8} {:>6} {:>12}",
+        "acquired", "released", "proc", "handoff gap"
+    );
+    let mut gaps = Vec::new();
+    for w in log.windows(2) {
+        let gap = w[1].0.saturating_sub(w[0].1);
+        gaps.push(gap);
+        println!("{:>8} {:>8} {:>6} {:>12}", w[1].0, w[1].1, w[1].2, gap);
+    }
+    let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+    println!(
+        "\nmean release→acquire round trip {mean:.1} cycles = {:.2} block accesses",
+        mean / beta as f64
+    );
+    // The paper's "≈ 3 accesses" window is the transfer proper: the old
+    // holder's write-back + the new holder's read + read-invalidate. Our
+    // round trip adds the release's own read-invalidate and the acquire's
+    // trailing write-back (2 more accesses), so subtract them to compare.
+    println!(
+        "transfer window (round trip − release read-inv − acquire write-back) ≈ {:.2} block accesses (paper: ≈ 3)",
+        mean / beta as f64 - 2.0
+    );
+    let stats = runner.machine().stats();
+    println!(
+        "cache hits {} vs reads {} — spinners spin locally, not in memory",
+        stats.hits, stats.reads
+    );
+    // Fairness: busy-wait locks are unfair — the releasing processor's
+    // warm cache wins the next race until it runs out of rounds, so
+    // acquisitions come in same-processor streaks. The paper accepts
+    // this: fairness was never a claim, only freedom from hot spots.
+    let mut streak = 1u32;
+    let mut max_streak = 1u32;
+    for w in log.windows(2) {
+        if w[0].2 == w[1].2 {
+            streak += 1;
+            max_streak = max_streak.max(streak);
+        } else {
+            streak = 1;
+        }
+    }
+    println!(
+        "longest same-processor acquisition streak: {max_streak} of {} rounds          (busy-waiting favours the warm cache)",
+        log.len()
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig 5.5 — atomic multiple lock/unlock bit patterns: the paper's
+//! scripted example on the target block 01010110.
+
+use cfm_cache::machine::{CcMachine, CpuRequest, Rmw};
+use cfm_core::config::CfmConfig;
+
+fn bits(block: &[u64]) -> String {
+    format!("{:08b}", block[0])
+}
+
+fn main() {
+    let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
+    let mut m = CcMachine::new(cfg, 8, 8);
+    // Initial target pattern 01010110 (1 = locked, 0 = free), in word 0.
+    m.poke_memory(0, &[0b0101_0110, 0, 0, 0]);
+    println!("== Fig 5.5: atomic multiple lock/unlock ==");
+    println!("target block      {}", bits(&m.peek_memory(0)));
+
+    // First lock: request 10100001 — disjoint from held bits: succeeds.
+    let r1 = m.execute(
+        0,
+        CpuRequest::Rmw {
+            offset: 0,
+            rmw: Rmw::MultipleTestAndSet {
+                pattern: vec![0b1010_0001, 0, 0, 0].into_boxed_slice(),
+            },
+        },
+    );
+    println!(
+        "lock 10100001  →  {}  ({})",
+        bits(&m.peek_memory(0)),
+        if r1.failed { "failed" } else { "granted" }
+    );
+
+    // Second lock: request 01000010 — bit 1 is already held: fails.
+    let r2 = m.execute(
+        1,
+        CpuRequest::Rmw {
+            offset: 0,
+            rmw: Rmw::MultipleTestAndSet {
+                pattern: vec![0b0100_0010, 0, 0, 0].into_boxed_slice(),
+            },
+        },
+    );
+    println!(
+        "lock 01000010  →  {}  ({})",
+        bits(&m.peek_memory(0)),
+        if r2.failed { "failed" } else { "granted" }
+    );
+
+    // Unlock the first request's bits.
+    m.execute(
+        0,
+        CpuRequest::Rmw {
+            offset: 0,
+            rmw: Rmw::MultipleClear {
+                pattern: vec![0b1010_0001, 0, 0, 0].into_boxed_slice(),
+            },
+        },
+    );
+    println!("unlock 10100001 →  {}", bits(&m.peek_memory(0)));
+}

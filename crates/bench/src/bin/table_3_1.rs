@@ -1,0 +1,34 @@
+//! Table 3.1 — address path connections of the 4-processor, 8-bank CFM
+//! (bank cycle = 2 CPU cycles): at slot `t`, processor `p` drives the
+//! address of bank `(t + 2p) mod 8`.
+
+use cfm_bench::print_table;
+use cfm_core::atspace::AtSpace;
+use cfm_core::config::CfmConfig;
+
+fn main() {
+    let cfg = CfmConfig::new(4, 2, 16).expect("valid config");
+    let space = AtSpace::new(&cfg);
+    let table = space.connection_table(cfg.processors());
+    let header: Vec<String> = (0..cfg.banks()).map(|b| format!("B{b}")).collect();
+    let header_refs: Vec<&str> = std::iter::once("Slot")
+        .chain(header.iter().map(|s| s.as_str()))
+        .collect();
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .enumerate()
+        .map(|(slot, row)| {
+            std::iter::once(format!("{slot}"))
+                .chain(row.iter().map(|cell| match cell {
+                    Some(p) => format!("P{p}"),
+                    None => "-".to_string(),
+                }))
+                .collect()
+        })
+        .collect();
+    print_table(
+        "Table 3.1: address path connections (n=4, c=2, b=8)",
+        &header_refs,
+        &rows,
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 3.2 — the notation of the CFM configuration parameters, with
+//! their derived values for a worked example (the Fig 3.5 machine).
+
+use cfm_bench::print_table;
+use cfm_core::config::CfmConfig;
+
+fn main() {
+    let cfg = CfmConfig::new(4, 2, 16).expect("valid config");
+    let rows = vec![
+        vec![
+            "n".into(),
+            "Number of processors".into(),
+            cfg.processors().to_string(),
+        ],
+        vec![
+            "b".into(),
+            "Number of memory banks (b = c·n)".into(),
+            cfg.banks().to_string(),
+        ],
+        vec![
+            "m".into(),
+            "Number of memory modules (fully conflict-free: 1)".into(),
+            "1".into(),
+        ],
+        vec![
+            "l".into(),
+            "Block (and cache line) size in bits (l = b·w)".into(),
+            cfg.block_bits().to_string(),
+        ],
+        vec![
+            "w".into(),
+            "Memory word width in bits".into(),
+            cfg.word_width().to_string(),
+        ],
+        vec![
+            "c".into(),
+            "Memory bank cycle in CPU cycles".into(),
+            cfg.bank_cycle().to_string(),
+        ],
+        vec![
+            "β".into(),
+            "Block access time in CPU cycles (β = b + c − 1)".into(),
+            cfg.block_access_time().to_string(),
+        ],
+    ];
+    print_table(
+        "Table 3.2: notation, instantiated for the Fig 3.5 machine (n=4, c=2)",
+        &["Notation", "Definition", "Value"],
+        &rows,
+    );
+}

@@ -1,0 +1,25 @@
+//! Table 3.3 — the CFM configuration trade-off for a 256-bit block and
+//! bank cycle 2: fewer, wider banks lower latency but support fewer
+//! processors conflict-free.
+
+use cfm_bench::print_table;
+use cfm_core::config::tradeoff_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = tradeoff_table(256, 2)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.banks.to_string(),
+                r.word_width.to_string(),
+                r.latency.to_string(),
+                r.processors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3.3: trade-off in the CFM configurations (l = 256, c = 2)",
+        &["Memory banks", "Word width", "Memory latency", "Processors"],
+        &rows,
+    );
+}

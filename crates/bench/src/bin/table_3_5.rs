@@ -1,0 +1,39 @@
+//! Table 3.5 — configurations of a 64-bank multiprocessor built from 2×2
+//! switches: the trade-off between circuit-switched and clock-driven
+//! omega columns sets the block size and the degree of conflict freedom.
+//! The header-size column (Fig 3.10's accounting) is appended.
+
+use cfm_bench::print_table;
+use cfm_net::headers::HeaderModel;
+use cfm_net::partial::config_table;
+
+fn main() {
+    let headers = HeaderModel::new(64, 4096);
+    let rows: Vec<Vec<String>> = config_table(64)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.modules.to_string(),
+                r.banks.to_string(),
+                format!("{} words", r.block_words),
+                format!("{} columns", r.circuit_columns),
+                format!("{} columns", r.clock_columns),
+                format!("{} bits", headers.header_bits(r.circuit_columns)),
+                r.remark().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 3.5: configurations of a 64-bank multiprocessor",
+        &[
+            "Module",
+            "Bank",
+            "Block size",
+            "Circuit-switching",
+            "Clock-driven",
+            "Request header",
+            "Remark",
+        ],
+        &rows,
+    );
+}

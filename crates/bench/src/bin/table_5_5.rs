@@ -1,0 +1,54 @@
+//! Table 5.5 — read latency of the two-level CFM versus the published
+//! DASH figures (16 processors, 4 clusters, 16-byte lines, β = 9). The
+//! CFM column is *measured* on the hierarchical state model; the analytic
+//! chain formula is printed alongside as a cross-check.
+
+use cfm_analytic::latency::{table_5_5_cfm, DASH_LATENCIES};
+use cfm_bench::print_table;
+use cfm_cache::hierarchy::TwoLevelCfm;
+
+fn main() {
+    let model = table_5_5_cfm();
+    let beta = model.beta();
+    let mut sim = TwoLevelCfm::new(4, 4, beta, beta);
+
+    // Local cluster: warm the L2, then miss in a sibling's L1.
+    sim.read(0, 0, 1);
+    let local = sim.read(0, 1, 1).1;
+    // Global memory: cold block.
+    let global = sim.read(0, 0, 2).1;
+    // Dirty remote: cluster 1 owns block 3 dirty, cluster 2 reads it.
+    sim.write(1, 0, 3);
+    let dirty = sim.read(2, 0, 3).1;
+
+    let rows = vec![
+        vec![
+            "Retrieve from local cluster".to_string(),
+            format!("{local} cycles"),
+            format!("{} cycles", model.local_read()),
+            format!("{} cycles", DASH_LATENCIES[0]),
+        ],
+        vec![
+            "Retrieve from global memory (remote cluster)".to_string(),
+            format!("{global} cycles"),
+            format!("{} cycles", model.global_read()),
+            format!("{} cycles", DASH_LATENCIES[1]),
+        ],
+        vec![
+            "Retrieve from dirty remote".to_string(),
+            format!("{dirty} cycles"),
+            format!("{} cycles", model.dirty_remote_read()),
+            format!("{} cycles", DASH_LATENCIES[2]),
+        ],
+    ];
+    print_table(
+        "Table 5.5: read latency of CFM and DASH (16 procs, 4 clusters, 16-byte lines)",
+        &[
+            "Read accesses",
+            "CFM (measured)",
+            "CFM (model)",
+            "DASH (published)",
+        ],
+        &rows,
+    );
+}

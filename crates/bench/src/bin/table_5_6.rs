@@ -1,0 +1,42 @@
+//! Table 5.6 — read latency of the two-level CFM versus the published
+//! KSR1 figures (1024 processors, 32 clusters/rings, 128-byte lines,
+//! β = 65).
+
+use cfm_analytic::latency::{table_5_6_cfm, KSR1_LATENCIES};
+use cfm_bench::print_table;
+use cfm_cache::hierarchy::TwoLevelCfm;
+
+fn main() {
+    let model = table_5_6_cfm();
+    let beta = model.beta();
+    let mut sim = TwoLevelCfm::new(32, 32, beta, beta);
+
+    sim.read(0, 0, 1);
+    let local = sim.read(0, 1, 1).1;
+    let global = sim.read(0, 0, 2).1;
+
+    let rows = vec![
+        vec![
+            "Retrieve from local cluster".to_string(),
+            format!("{local} cycles"),
+            format!("{} cycles", model.local_read()),
+            format!("{} cycles", KSR1_LATENCIES[0]),
+        ],
+        vec![
+            "Retrieve from global memory (remote cluster)".to_string(),
+            format!("{global} cycles"),
+            format!("{} cycles", model.global_read()),
+            format!("{} cycles", KSR1_LATENCIES[1]),
+        ],
+    ];
+    print_table(
+        "Table 5.6: read latency of CFM and KSR1 (1024 procs, 32 clusters, 128-byte lines)",
+        &[
+            "Read accesses",
+            "CFM (measured)",
+            "CFM (model)",
+            "KSR1 (published)",
+        ],
+        &rows,
+    );
+}

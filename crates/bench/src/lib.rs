@@ -1,0 +1,79 @@
+//! Shared formatting helpers for the cfm-bench table/figure generators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; `cargo run -p cfm-bench --release --bin <id>` prints the rows
+//! or series. These helpers keep the output uniform and diffable.
+
+pub mod record;
+
+/// Print a rendered table: a title, a header row and aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!();
+}
+
+/// Print an (x, y…) series as aligned columns — one line per x, for
+/// figure reproductions.
+pub fn print_series(
+    title: &str,
+    x_label: &str,
+    series_labels: &[&str],
+    points: &[(f64, Vec<f64>)],
+) {
+    println!("== {title} ==");
+    print!("{x_label:>10}");
+    for label in series_labels {
+        print!("  {label:>14}");
+    }
+    println!();
+    for (x, ys) in points {
+        print!("{x:>10.4}");
+        for y in ys {
+            print!("  {y:>14.4}");
+        }
+        println!();
+    }
+    println!();
+}
+
+/// Format a float with 4 decimals (table cells).
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+        print_series("s", "x", &["y"], &[(0.0, vec![1.0]), (0.5, vec![0.7])]);
+        assert_eq!(f(1.0), "1.0000");
+    }
+}

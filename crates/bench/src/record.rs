@@ -1,0 +1,90 @@
+//! Machine-readable experiment records.
+//!
+//! Each table/figure binary can persist its data as JSON next to its
+//! textual output, so downstream tooling (plotters, regression checks)
+//! can consume the reproduction without scraping stdout. Records land in
+//! `results/<id>.json` relative to the workspace root (or the current
+//! directory when run elsewhere).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// A generic experiment record: an id, free-form parameters, and a set of
+/// named series.
+#[derive(Debug, Serialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (e.g. `fig_3_13`).
+    pub id: String,
+    /// The paper artifact reproduced.
+    pub artifact: String,
+    /// Parameter names and values, in display order.
+    pub params: Vec<(String, String)>,
+    /// Named data series.
+    pub series: Vec<Series>,
+}
+
+/// One named series of (x, y) points.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    /// Series label (e.g. `λ=0.9`).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ExperimentRecord {
+    /// A new record.
+    pub fn new(id: impl Into<String>, artifact: impl Into<String>) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            artifact: artifact.into(),
+            params: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a parameter.
+    pub fn param(mut self, name: impl Into<String>, value: impl ToString) -> Self {
+        self.params.push((name.into(), value.to_string()));
+        self
+    }
+
+    /// Add a series.
+    pub fn series(mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+        self
+    }
+
+    /// Write the record to `results/<id>.json`; returns the path written.
+    /// Errors are reported, not fatal — the textual output remains the
+    /// primary artifact.
+    pub fn save(&self) -> Option<PathBuf> {
+        let dir = PathBuf::from("results");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).ok()?;
+        let mut f = std::fs::File::create(&path).ok()?;
+        f.write_all(json.as_bytes()).ok()?;
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_serializes_round() {
+        let r = ExperimentRecord::new("test_exp", "Fig 0.0")
+            .param("n", 8)
+            .series("model", vec![(0.0, 1.0), (0.01, 0.95)]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("test_exp"));
+        assert!(json.contains("0.95"));
+    }
+}

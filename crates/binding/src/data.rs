@@ -1,0 +1,338 @@
+//! Shared data structures protected by data binding (§6.3).
+//!
+//! [`SharedGrid`] is a 2-D array whose elements may only be touched
+//! through a granted bind: `bind` returns a guard that exposes exactly
+//! the bound region, read-only or read-write. The binding manager's
+//! conflict rule (overlap + at least one `rw` ⇒ exclusion) is what makes
+//! the interior-mutability access sound: two guards can alias an element
+//! only when both are read-only.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+use crate::manager::{BindError, BindingGuard, BindingManager, SyncMode};
+use crate::region::{Access, DimRange, Region, ResourceId};
+
+/// A 2-D shared array managed by resource binding.
+#[derive(Debug)]
+pub struct SharedGrid<T> {
+    manager: Arc<BindingManager>,
+    resource: ResourceId,
+    rows: usize,
+    cols: usize,
+    cells: UnsafeCell<Box<[T]>>,
+}
+
+// SAFETY: all element access goes through `RegionGuard`, whose existence
+// proves a granted bind; the manager guarantees overlapping regions are
+// never simultaneously bound unless both are read-only.
+unsafe impl<T: Send + Sync> Sync for SharedGrid<T> {}
+unsafe impl<T: Send> Send for SharedGrid<T> {}
+
+impl<T: Clone> SharedGrid<T> {
+    /// A `rows × cols` grid filled with `init`, registered with `manager`.
+    pub fn new(manager: Arc<BindingManager>, rows: usize, cols: usize, init: T) -> Self {
+        let resource = manager.new_resource();
+        SharedGrid {
+            manager,
+            resource,
+            rows,
+            cols,
+            cells: UnsafeCell::new(vec![init; rows * cols].into_boxed_slice()),
+        }
+    }
+}
+
+impl<T> SharedGrid<T> {
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The resource identity within the manager.
+    pub fn resource(&self) -> ResourceId {
+        self.resource
+    }
+
+    /// Bind a region of the grid. `rows`/`cols` may be strided
+    /// (`sh[0:3:2][0:4:2]`-style selections, Fig 6.3c).
+    pub fn bind(
+        &self,
+        rows: DimRange,
+        cols: DimRange,
+        access: Access,
+        sync: SyncMode,
+    ) -> Result<RegionGuard<'_, T>, BindError> {
+        assert!(
+            rows.end <= self.rows && cols.end <= self.cols,
+            "region out of bounds"
+        );
+        let region = Region::new(self.resource, vec![rows, cols]);
+        let bind = self.manager.bind(region, access, sync)?;
+        Ok(RegionGuard { grid: self, bind })
+    }
+
+    /// Bind a single element.
+    pub fn bind_cell(
+        &self,
+        row: usize,
+        col: usize,
+        access: Access,
+        sync: SyncMode,
+    ) -> Result<RegionGuard<'_, T>, BindError> {
+        self.bind(DimRange::single(row), DimRange::single(col), access, sync)
+    }
+
+    /// Snapshot the whole grid (takes a read-only bind of everything).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let g = self
+            .bind(
+                DimRange::dense(0, self.rows),
+                DimRange::dense(0, self.cols),
+                Access::Ro,
+                SyncMode::Blocking,
+            )
+            .expect("blocking ro bind cannot fail");
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(g.get(r, c).clone());
+            }
+        }
+        out
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+}
+
+/// Access to a bound region of a [`SharedGrid`]; releases the bind on
+/// drop.
+#[derive(Debug)]
+pub struct RegionGuard<'g, T> {
+    grid: &'g SharedGrid<T>,
+    bind: BindingGuard<'g>,
+}
+
+impl<'g, T> RegionGuard<'g, T> {
+    /// The bound region.
+    pub fn region(&self) -> &Region {
+        self.bind.region()
+    }
+
+    /// Read element `(row, col)`.
+    ///
+    /// # Panics
+    /// If the coordinate is outside the bound region.
+    pub fn get(&self, row: usize, col: usize) -> &T {
+        assert!(
+            self.bind.region().contains(&[row, col]),
+            "({row}, {col}) not in bound region"
+        );
+        // SAFETY: the bind grants at least read access; writers to this
+        // element are excluded by the manager for the guard's lifetime.
+        unsafe { &(*self.grid.cells.get())[self.grid.idx(row, col)] }
+    }
+
+    /// Write element `(row, col)`.
+    ///
+    /// # Panics
+    /// If the coordinate is outside the region or the bind is read-only.
+    pub fn set(&self, row: usize, col: usize, value: T) {
+        assert_eq!(
+            self.bind.access(),
+            Access::Rw,
+            "write through a read-only bind"
+        );
+        assert!(
+            self.bind.region().contains(&[row, col]),
+            "({row}, {col}) not in bound region"
+        );
+        // SAFETY: an rw bind is exclusive over its region.
+        unsafe {
+            (*self.grid.cells.get())[self.grid.idx(row, col)] = value;
+        }
+    }
+
+    /// Apply `f` to every element of the region (rw binds only).
+    pub fn for_each_mut(&self, mut f: impl FnMut(usize, usize, &mut T)) {
+        assert_eq!(self.bind.access(), Access::Rw);
+        let region = self.bind.region().clone();
+        for r in region.dims[0].iter() {
+            for c in region.dims[1].iter() {
+                // SAFETY: rw bind exclusivity, coordinates in region.
+                unsafe {
+                    f(r, c, &mut (*self.grid.cells.get())[self.grid.idx(r, c)]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(rows: usize, cols: usize) -> SharedGrid<u64> {
+        SharedGrid::new(Arc::new(BindingManager::new()), rows, cols, 0)
+    }
+
+    #[test]
+    fn bound_region_reads_and_writes() {
+        let g = grid(4, 5);
+        let region = g
+            .bind(
+                DimRange::dense(1, 3),
+                DimRange::dense(0, 5),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        region.set(1, 2, 42);
+        assert_eq!(*region.get(1, 2), 42);
+        drop(region);
+        assert_eq!(g.snapshot()[5 + 2], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in bound region")]
+    fn out_of_region_read_panics() {
+        let g = grid(4, 4);
+        let region = g
+            .bind(
+                DimRange::dense(0, 2),
+                DimRange::dense(0, 2),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        let _ = region.get(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only bind")]
+    fn write_through_ro_bind_panics() {
+        let g = grid(2, 2);
+        let region = g
+            .bind(
+                DimRange::dense(0, 2),
+                DimRange::dense(0, 2),
+                Access::Ro,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        region.set(0, 0, 1);
+    }
+
+    #[test]
+    fn disjoint_rw_regions_bind_concurrently() {
+        let g = grid(4, 4);
+        let top = g
+            .bind(
+                DimRange::dense(0, 2),
+                DimRange::dense(0, 4),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        let bottom = g
+            .bind(
+                DimRange::dense(2, 4),
+                DimRange::dense(0, 4),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        top.set(0, 0, 1);
+        bottom.set(3, 3, 2);
+        drop(top);
+        drop(bottom);
+        let s = g.snapshot();
+        assert_eq!(s[0], 1);
+        assert_eq!(s[15], 2);
+    }
+
+    #[test]
+    fn overlapping_rw_bind_would_block() {
+        let g = grid(4, 4);
+        let _a = g
+            .bind(
+                DimRange::dense(0, 3),
+                DimRange::dense(0, 3),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        let err = g
+            .bind(
+                DimRange::dense(2, 4),
+                DimRange::dense(2, 4),
+                Access::Rw,
+                SyncMode::NonBlocking,
+            )
+            .unwrap_err();
+        assert_eq!(err, BindError::WouldBlock);
+    }
+
+    #[test]
+    fn parallel_writers_on_stripes() {
+        // 4 threads each own a strided stripe of rows (Fig 6.3c style) and
+        // write concurrently; the final grid is the disjoint union.
+        let manager = Arc::new(BindingManager::new());
+        let g = Arc::new(SharedGrid::new(manager, 8, 8, 0u64));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let region = g
+                    .bind(
+                        DimRange::strided(t, 8, 4),
+                        DimRange::dense(0, 8),
+                        Access::Rw,
+                        SyncMode::Blocking,
+                    )
+                    .unwrap();
+                region.for_each_mut(|_, _, v| *v = t as u64 + 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = g.snapshot();
+        for r in 0..8 {
+            for c in 0..8 {
+                assert_eq!(s[r * 8 + c], (r % 4) as u64 + 1, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_covers_exactly_the_region() {
+        let g = grid(4, 6);
+        let region = g
+            .bind(
+                DimRange::strided(0, 4, 2),
+                DimRange::strided(1, 6, 3),
+                Access::Rw,
+                SyncMode::Blocking,
+            )
+            .unwrap();
+        let mut visited = Vec::new();
+        region.for_each_mut(|r, c, v| {
+            *v = 9;
+            visited.push((r, c));
+        });
+        visited.sort();
+        assert_eq!(visited, vec![(0, 1), (0, 4), (2, 1), (2, 4)]);
+    }
+}

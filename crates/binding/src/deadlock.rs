@@ -1,0 +1,111 @@
+//! Wait-for-graph deadlock detection (§6.2's reliability condition).
+//!
+//! Resource binding makes deadlock detection cheap because the manager
+//! sees every dependency: a blocked binder waits on the *owners* of the
+//! binds that conflict with its request. A cycle in that wait-for graph is
+//! a deadlock; the manager refuses the bind that would close the cycle
+//! (returning [`crate::manager::BindError::Deadlock`]) instead of
+//! sleeping forever.
+
+use std::collections::{HashMap, HashSet};
+
+/// A binder identity (one per thread in the threaded manager).
+pub type BinderId = u64;
+
+/// The wait-for graph: `waiter → {owners it waits on}`.
+#[derive(Debug, Default, Clone)]
+pub struct WaitForGraph {
+    edges: HashMap<BinderId, HashSet<BinderId>>,
+}
+
+impl WaitForGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the out-edges of `waiter`.
+    pub fn set_waits(&mut self, waiter: BinderId, on: impl IntoIterator<Item = BinderId>) {
+        let set: HashSet<BinderId> = on.into_iter().filter(|&o| o != waiter).collect();
+        if set.is_empty() {
+            self.edges.remove(&waiter);
+        } else {
+            self.edges.insert(waiter, set);
+        }
+    }
+
+    /// Remove `waiter` from the graph (it stopped waiting).
+    pub fn clear_waits(&mut self, waiter: BinderId) {
+        self.edges.remove(&waiter);
+    }
+
+    /// Whether making `waiter` wait on `on` would close a cycle — i.e.
+    /// some member of `on` (transitively) waits on `waiter`.
+    pub fn would_deadlock(&self, waiter: BinderId, on: &[BinderId]) -> bool {
+        let mut stack: Vec<BinderId> = on.iter().copied().filter(|&o| o != waiter).collect();
+        let mut seen = HashSet::new();
+        while let Some(b) = stack.pop() {
+            if b == waiter {
+                return true;
+            }
+            if !seen.insert(b) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&b) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_never_deadlocks() {
+        let g = WaitForGraph::new();
+        assert!(!g.would_deadlock(1, &[2, 3]));
+    }
+
+    #[test]
+    fn two_party_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.set_waits(2, [1]);
+        assert!(g.would_deadlock(1, &[2]));
+        assert!(!g.would_deadlock(1, &[3]));
+    }
+
+    #[test]
+    fn long_cycle_detected() {
+        let mut g = WaitForGraph::new();
+        g.set_waits(2, [3]);
+        g.set_waits(3, [4]);
+        g.set_waits(4, [1]);
+        assert!(g.would_deadlock(1, &[2]));
+    }
+
+    #[test]
+    fn diamond_without_cycle_is_fine() {
+        let mut g = WaitForGraph::new();
+        g.set_waits(2, [4]);
+        g.set_waits(3, [4]);
+        assert!(!g.would_deadlock(1, &[2, 3]));
+    }
+
+    #[test]
+    fn clearing_waits_breaks_cycles() {
+        let mut g = WaitForGraph::new();
+        g.set_waits(2, [1]);
+        g.clear_waits(2);
+        assert!(!g.would_deadlock(1, &[2]));
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = WaitForGraph::new();
+        g.set_waits(1, [1]);
+        assert!(!g.would_deadlock(1, &[1]));
+    }
+}

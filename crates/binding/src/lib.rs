@@ -1,0 +1,46 @@
+//! # resource-binding — the parallel programming paradigm of Chapter 6
+//!
+//! Resource binding manages shared-data protection *and* process
+//! synchronization with two primitives:
+//!
+//! ```text
+//! b = bind(target, access, sync, level);
+//! unbind(b);
+//! ```
+//!
+//! A *target* is a strided multi-dimensional region of a shared data
+//! structure (or a virtual process); *access* is read-only (`ro`),
+//! read-write (`rw`) or execution (`ex`); *sync* is blocking or
+//! non-blocking. Two regions conflict iff they overlap and at least one
+//! side is `rw` — so resource binding preserves
+//! multiple-read/single-write parallelism that locking semaphores and
+//! monitors force programmers to give up or hand-tune.
+//!
+//! This crate implements the paradigm twice, as §6.5 prescribes:
+//!
+//! * on **real threads** ([`manager::BindingManager`], [`data::SharedGrid`],
+//!   [`process`]) with an active-binding list, per-bind request queues,
+//!   blocking and non-blocking binds, and wait-for-graph **deadlock
+//!   detection** ([`deadlock`]);
+//! * on the **CFM cache machine** ([`cfm_backed`]) by mapping coarse
+//!   components of each resource to bits of a lock block and binding with
+//!   one atomic *multiple test-and-set* (§6.5.1, §5.3.3).
+//!
+//! The dining philosophers (§6.3.1), overlapped data regions (§6.3.2),
+//! barrier and pipeline (§6.4.3) all appear as tests and examples.
+
+//! For comparison, the crate also carries the two paradigms the paper
+//! reviews: a miniature **Linda** tuple space (§6.1.3, [`linda`]) and
+//! **locking semaphores** with the manual ordering discipline (§6.1.1,
+//! [`semaphores`]) — so the paper's qualitative comparisons (matching
+//! cost, deadlock hazards, lost parallelism) are measurable.
+
+pub mod cfm_backed;
+pub mod data;
+pub mod deadlock;
+pub mod linda;
+pub mod manager;
+pub mod process;
+pub mod region;
+pub mod semaphores;
+pub mod vec;

@@ -1,0 +1,283 @@
+//! A miniature Linda tuple space — the paradigm the paper compares
+//! resource binding against (§6.1.3, Fig 6.1, Fig 6.4).
+//!
+//! Linda processes communicate through an associative shared space with
+//! four primitives: `out` places a tuple, `in` matches and removes one,
+//! `rd` matches and copies one, `eval` spawns a process (spawn a thread
+//! here). Matching is by key and per-field pattern (bound value or
+//! wildcard).
+//!
+//! The paper's critique, which this implementation makes measurable: the
+//! decoupling of senders and receivers forces an associative **search**
+//! on every match (cost grows with the space), and blocked `in`s cannot
+//! name who they wait for, so deadlock cannot be detected — contrast
+//! [`crate::manager::BindingManager`], whose wait-for graph refuses
+//! cycle-closing binds outright.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A tuple: a string key plus integer fields (enough for every example
+/// in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    /// The tuple's key (first field in Linda notation).
+    pub key: String,
+    /// The remaining fields.
+    pub fields: Vec<i64>,
+}
+
+impl Tuple {
+    /// Build a tuple.
+    pub fn new(key: impl Into<String>, fields: impl Into<Vec<i64>>) -> Self {
+        Tuple {
+            key: key.into(),
+            fields: fields.into(),
+        }
+    }
+}
+
+/// A match pattern: a key plus per-field constraints (`None` = wildcard,
+/// the `?x` formals of Linda).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Key to match exactly.
+    pub key: String,
+    /// One constraint per field.
+    pub fields: Vec<Option<i64>>,
+}
+
+impl Pattern {
+    /// A pattern with explicit field constraints.
+    pub fn new(key: impl Into<String>, fields: impl Into<Vec<Option<i64>>>) -> Self {
+        Pattern {
+            key: key.into(),
+            fields: fields.into(),
+        }
+    }
+
+    /// A pattern matching exact field values.
+    pub fn exact(key: impl Into<String>, fields: &[i64]) -> Self {
+        Pattern {
+            key: key.into(),
+            fields: fields.iter().map(|&f| Some(f)).collect(),
+        }
+    }
+
+    /// Whether `tuple` matches.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.key == tuple.key
+            && self.fields.len() == tuple.fields.len()
+            && self
+                .fields
+                .iter()
+                .zip(&tuple.fields)
+                .all(|(p, v)| p.is_none_or(|p| p == *v))
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpaceState {
+    tuples: Vec<Tuple>,
+    /// Linear probes performed by matching — the paper's overhead point.
+    probes: u64,
+}
+
+/// The shared tuple space.
+///
+/// ```
+/// use resource_binding::linda::{Pattern, Tuple, TupleSpace};
+///
+/// let space = TupleSpace::new();
+/// space.out(Tuple::new("x", [5, 7]));
+/// let t = space.take(&Pattern::new("x", [None, Some(7)])); // in("x", ?v, 7)
+/// assert_eq!(t.fields[0], 5);
+/// assert!(space.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct TupleSpace {
+    state: Mutex<SpaceState>,
+    cv: Condvar,
+}
+
+impl TupleSpace {
+    /// An empty space.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TupleSpace::default())
+    }
+
+    /// `out`: place a tuple into the space.
+    pub fn out(&self, tuple: Tuple) {
+        self.state.lock().tuples.push(tuple);
+        self.cv.notify_all();
+    }
+
+    fn try_take(state: &mut SpaceState, pattern: &Pattern, remove: bool) -> Option<Tuple> {
+        let mut idx = None;
+        for (i, t) in state.tuples.iter().enumerate() {
+            state.probes += 1;
+            if pattern.matches(t) {
+                idx = Some(i);
+                break;
+            }
+        }
+        let i = idx?;
+        Some(if remove {
+            state.tuples.swap_remove(i)
+        } else {
+            state.tuples[i].clone()
+        })
+    }
+
+    /// `in`: block until a tuple matches, remove and return it.
+    pub fn take(&self, pattern: &Pattern) -> Tuple {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = Self::try_take(&mut st, pattern, true) {
+                return t;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking `inp`.
+    pub fn try_take_now(&self, pattern: &Pattern) -> Option<Tuple> {
+        Self::try_take(&mut self.state.lock(), pattern, true)
+    }
+
+    /// `rd`: block until a tuple matches, return a copy.
+    pub fn read(&self, pattern: &Pattern) -> Tuple {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = Self::try_take(&mut st, pattern, false) {
+                return t;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Tuples currently in the space.
+    pub fn len(&self) -> usize {
+        self.state.lock().tuples.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total associative probes performed so far — the matching cost the
+    /// paper holds against Linda (§6.1.3).
+    pub fn probes(&self) -> u64 {
+        self.state.lock().probes
+    }
+}
+
+/// The paper's Fig 6.4: dining philosophers in Linda, made deadlock-free
+/// by admitting only `n − 1` philosophers via "room ticket" tuples.
+/// Returns meals eaten per philosopher.
+pub fn dining_philosophers_linda(philosophers: usize, meals: usize) -> Vec<u64> {
+    let space = TupleSpace::new();
+    for i in 0..philosophers {
+        space.out(Tuple::new("chopstick", [i as i64]));
+    }
+    for _ in 0..philosophers - 1 {
+        space.out(Tuple::new("room ticket", []));
+    }
+    let counts: Arc<Vec<std::sync::atomic::AtomicU64>> = Arc::new(
+        (0..philosophers)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect(),
+    );
+    std::thread::scope(|s| {
+        for i in 0..philosophers {
+            let space = space.clone();
+            let counts = counts.clone();
+            s.spawn(move || {
+                let left = i as i64;
+                let right = ((i + 1) % philosophers) as i64;
+                for _ in 0..meals {
+                    space.take(&Pattern::exact("room ticket", &[]));
+                    space.take(&Pattern::exact("chopstick", &[left]));
+                    space.take(&Pattern::exact("chopstick", &[right]));
+                    counts[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    space.out(Tuple::new("chopstick", [left]));
+                    space.out(Tuple::new("chopstick", [right]));
+                    space.out(Tuple::new("room ticket", []));
+                }
+            });
+        }
+    });
+    counts
+        .iter()
+        .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_in_roundtrip() {
+        let space = TupleSpace::new();
+        space.out(Tuple::new("x", [5, 7]));
+        let t = space.take(&Pattern::new("x", [None, Some(7)]));
+        assert_eq!(t.fields, vec![5, 7]);
+        assert!(space.is_empty());
+    }
+
+    #[test]
+    fn rd_does_not_remove() {
+        let space = TupleSpace::new();
+        space.out(Tuple::new("y", [1]));
+        let t = space.read(&Pattern::new("y", [None]));
+        assert_eq!(t.fields, vec![1]);
+        assert_eq!(space.len(), 1);
+    }
+
+    #[test]
+    fn patterns_match_by_key_arity_and_values() {
+        let t = Tuple::new("k", [1, 2]);
+        assert!(Pattern::new("k", [None, None]).matches(&t));
+        assert!(Pattern::exact("k", &[1, 2]).matches(&t));
+        assert!(!Pattern::exact("k", &[1, 3]).matches(&t));
+        assert!(!Pattern::new("k", [None]).matches(&t)); // arity
+        assert!(!Pattern::new("j", [None, None]).matches(&t)); // key
+    }
+
+    #[test]
+    fn blocked_in_wakes_on_out() {
+        let space = TupleSpace::new();
+        let s2 = space.clone();
+        let t = std::thread::spawn(move || s2.take(&Pattern::exact("sig", &[9])));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        space.out(Tuple::new("sig", [9]));
+        assert_eq!(t.join().unwrap().fields, vec![9]);
+    }
+
+    #[test]
+    fn dining_philosophers_complete() {
+        let meals = dining_philosophers_linda(5, 10);
+        assert!(meals.iter().all(|&m| m == 10));
+    }
+
+    #[test]
+    fn probe_count_grows_with_space_size() {
+        // The §6.1.3 critique made concrete: matching cost scales with
+        // the number of resident tuples.
+        let small = TupleSpace::new();
+        small.out(Tuple::new("needle", []));
+        small.take(&Pattern::exact("needle", &[]));
+        let small_probes = small.probes();
+
+        let big = TupleSpace::new();
+        for i in 0..1000 {
+            big.out(Tuple::new("hay", [i]));
+        }
+        big.out(Tuple::new("needle", []));
+        big.take(&Pattern::exact("needle", &[]));
+        assert!(big.probes() > 100 * small_probes.max(1));
+    }
+}

@@ -1,0 +1,358 @@
+//! Strided multi-dimensional shared data regions (§6.2.2, §6.3, Fig 6.3).
+//!
+//! A region selects, within one named resource, the cartesian product of
+//! per-dimension index progressions `start .. end step s` — the
+//! `sh[0:3:2][0:4:2]` selections of the paper's examples. Two regions
+//! **overlap** iff they name the same resource and their progressions
+//! intersect in *every* dimension; they **conflict** iff they overlap and
+//! at least one side binds read-write.
+
+/// Identifies a shared resource (an array, a structure, a file…).
+pub type ResourceId = u64;
+
+/// The access type of a bind (§6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Read-only: may overlap any number of `ro` binds.
+    Ro,
+    /// Read-write: exclusive against every overlapping bind.
+    Rw,
+}
+
+impl Access {
+    /// Whether two access types permit overlap.
+    pub fn compatible(self, other: Access) -> bool {
+        self == Access::Ro && other == Access::Ro
+    }
+}
+
+/// One dimension of a region: the indices `start, start+step, …` strictly
+/// below `end` (the paper's `start:end:step` with an inclusive end; ours
+/// is exclusive for Rust idiom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimRange {
+    /// First index.
+    pub start: usize,
+    /// One past the last candidate index.
+    pub end: usize,
+    /// Stride (≥ 1).
+    pub step: usize,
+}
+
+impl DimRange {
+    /// A dense range `start..end`.
+    pub fn dense(start: usize, end: usize) -> Self {
+        DimRange {
+            start,
+            end,
+            step: 1,
+        }
+    }
+
+    /// A strided range `start..end step s`.
+    ///
+    /// # Panics
+    /// If `step == 0`.
+    pub fn strided(start: usize, end: usize, step: usize) -> Self {
+        assert!(step >= 1, "stride must be at least 1");
+        DimRange { start, end, step }
+    }
+
+    /// A single index.
+    pub fn single(index: usize) -> Self {
+        DimRange {
+            start: index,
+            end: index + 1,
+            step: 1,
+        }
+    }
+
+    /// Whether the range selects no indices.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `index` belongs to the range.
+    pub fn contains(&self, index: usize) -> bool {
+        index >= self.start && index < self.end && (index - self.start).is_multiple_of(self.step)
+    }
+
+    /// Number of selected indices.
+    pub fn len(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            (self.end - 1 - self.start) / self.step + 1
+        }
+    }
+
+    /// Iterate the selected indices.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (self.start..self.end).step_by(self.step)
+    }
+
+    /// Whether two progressions share an index — the CRT test: an `x`
+    /// with `x ≡ a (mod s)`, `x ≡ b (mod t)` exists iff `gcd(s, t)`
+    /// divides `b − a`, and the smallest such `x ≥ max(starts)` must be
+    /// below `min(ends)`.
+    pub fn intersects(&self, other: &DimRange) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let lo = self.start.max(other.start);
+        let hi = self.end.min(other.end);
+        if lo >= hi {
+            return false;
+        }
+        // Solve x ≡ start_a (mod step_a), x ≡ start_b (mod step_b).
+        let (g, _, _) = egcd(self.step as i128, other.step as i128);
+        let diff = other.start as i128 - self.start as i128;
+        if diff % g != 0 {
+            return false;
+        }
+        // First solution ≥ both starts via CRT.
+        let lcm = (self.step as i128 / g) * other.step as i128;
+        let (_, m1, _) = egcd(self.step as i128, other.step as i128);
+        // x = start_a + step_a * k, with k ≡ (diff / g) · m1 (mod step_b / g)
+        let modb = other.step as i128 / g;
+        let k0 = ((diff / g) % modb * (m1 % modb) % modb + modb) % modb;
+        let mut x = self.start as i128 + self.step as i128 * k0;
+        // x is a common point modulo lcm; shift into [lo, hi).
+        let lo = lo as i128;
+        let hi = hi as i128;
+        if x < lo {
+            let jumps = (lo - x + lcm - 1) / lcm;
+            x += jumps * lcm;
+        } else {
+            let jumps = (x - lo) / lcm;
+            x -= jumps * lcm;
+            if x < lo {
+                x += lcm;
+            }
+        }
+        x < hi
+    }
+}
+
+/// Extended gcd: returns `(g, m, n)` with `a·m + b·n = g`.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, m, n) = egcd(b, a % b);
+        (g, n, m - (a / b) * n)
+    }
+}
+
+/// A bound region: a resource plus one range per dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// The resource the region belongs to.
+    pub resource: ResourceId,
+    /// One range per dimension.
+    pub dims: Vec<DimRange>,
+}
+
+impl Region {
+    /// A region of `resource` selecting `dims`.
+    pub fn new(resource: ResourceId, dims: Vec<DimRange>) -> Self {
+        assert!(!dims.is_empty(), "a region needs at least one dimension");
+        Region { resource, dims }
+    }
+
+    /// The whole 1-D resource `0..len`.
+    pub fn whole(resource: ResourceId, len: usize) -> Self {
+        Region::new(resource, vec![DimRange::dense(0, len)])
+    }
+
+    /// Whether the region selects no elements.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|d| d.is_empty())
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().map(|d| d.len()).product()
+    }
+
+    /// Whether a coordinate belongs to the region.
+    pub fn contains(&self, coord: &[usize]) -> bool {
+        coord.len() == self.dims.len() && self.dims.iter().zip(coord).all(|(d, &i)| d.contains(i))
+    }
+
+    /// Whether two regions share an element.
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.resource == other.resource
+            && self.dims.len() == other.dims.len()
+            && self
+                .dims
+                .iter()
+                .zip(other.dims.iter())
+                .all(|(a, b)| a.intersects(b))
+    }
+
+    /// §6.2.2's conflict rule: overlapping regions with at least one `rw`.
+    pub fn conflicts(&self, my_access: Access, other: &Region, other_access: Access) -> bool {
+        !my_access.compatible(other_access) && self.overlaps(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_ranges() {
+        let r = DimRange::dense(2, 6);
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(2) && r.contains(5));
+        assert!(!r.contains(6) && !r.contains(1));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn strided_ranges() {
+        // The paper's sh[0:3:2]: indices {0, 2} (our end-exclusive 0..4).
+        let r = DimRange::strided(0, 4, 2);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(r.contains(2));
+        assert!(!r.contains(1));
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn intersection_dense_dense() {
+        assert!(DimRange::dense(0, 5).intersects(&DimRange::dense(4, 9)));
+        assert!(!DimRange::dense(0, 4).intersects(&DimRange::dense(4, 9)));
+    }
+
+    #[test]
+    fn intersection_parity_disjoint() {
+        // Evens vs odds with step 2 never meet.
+        let evens = DimRange::strided(0, 10, 2);
+        let odds = DimRange::strided(1, 10, 2);
+        assert!(!evens.intersects(&odds));
+        assert!(evens.intersects(&evens));
+    }
+
+    #[test]
+    fn intersection_crt_cases() {
+        // {0,3,6,9} vs {4,6,8}: share 6.
+        assert!(DimRange::strided(0, 10, 3).intersects(&DimRange::strided(4, 10, 2)));
+        // {0,3,6,9} vs {5,7} (step 2 from 5 below 9): {5,7} — no common.
+        assert!(!DimRange::strided(0, 10, 3).intersects(&DimRange::strided(5, 9, 2)));
+        // {1,5,9} vs {3,7,11}: steps 4/4, offsets differ by 2 — disjoint.
+        assert!(!DimRange::strided(1, 12, 4).intersects(&DimRange::strided(3, 12, 4)));
+        // {2, 9, 16, 23} step 7 vs {9, 14, 19} step 5 from 9: share 9.
+        assert!(DimRange::strided(2, 25, 7).intersects(&DimRange::strided(9, 22, 5)));
+    }
+
+    #[test]
+    fn intersection_brute_force_agreement() {
+        // CRT result must equal brute force over a parameter sweep.
+        for sa in 0..4 {
+            for ea in sa..12 {
+                for ta in 1..5 {
+                    for sb in 0..4 {
+                        for tb in 1..5 {
+                            let a = DimRange::strided(sa, ea, ta);
+                            let b = DimRange::strided(sb, 11, tb);
+                            let brute = a.iter().any(|x| b.contains(x));
+                            assert_eq!(a.intersects(&b), brute, "a={a:?} b={b:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_overlap_needs_every_dimension() {
+        // Fig 6.2's regions B and C: same rows, disjoint columns.
+        let b = Region::new(1, vec![DimRange::dense(0, 4), DimRange::dense(0, 2)]);
+        let c = Region::new(1, vec![DimRange::dense(0, 4), DimRange::dense(2, 4)]);
+        assert!(!b.overlaps(&c));
+        let a = Region::new(1, vec![DimRange::dense(2, 6), DimRange::dense(1, 3)]);
+        assert!(a.overlaps(&b));
+    }
+
+    #[test]
+    fn different_resources_never_overlap() {
+        let a = Region::whole(1, 10);
+        let b = Region::whole(2, 10);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn conflict_rule_multiple_read_single_write() {
+        let a = Region::whole(1, 10);
+        let b = Region::whole(1, 10);
+        assert!(!a.conflicts(Access::Ro, &b, Access::Ro));
+        assert!(a.conflicts(Access::Ro, &b, Access::Rw));
+        assert!(a.conflicts(Access::Rw, &b, Access::Ro));
+        assert!(a.conflicts(Access::Rw, &b, Access::Rw));
+    }
+
+    #[test]
+    fn three_dimensional_regions() {
+        // Chapter 6 regions generalise to any rank: a 3-D lattice slab
+        // overlaps another iff all three axes intersect.
+        let a = Region::new(
+            9,
+            vec![
+                DimRange::dense(0, 4),
+                DimRange::strided(0, 8, 2),
+                DimRange::dense(2, 5),
+            ],
+        );
+        let b = Region::new(
+            9,
+            vec![
+                DimRange::dense(3, 6),
+                DimRange::strided(1, 8, 2), // odd columns: disjoint axis
+                DimRange::dense(0, 9),
+            ],
+        );
+        assert!(!a.overlaps(&b));
+        let c = Region::new(
+            9,
+            vec![
+                DimRange::dense(3, 6),
+                DimRange::strided(0, 8, 4),
+                DimRange::single(4),
+            ],
+        );
+        assert!(a.overlaps(&c));
+        assert_eq!(a.len(), 4 * 4 * 3);
+        assert!(a.contains(&[3, 6, 4]));
+        assert!(!a.contains(&[3, 5, 4]));
+    }
+
+    #[test]
+    fn mismatched_rank_never_overlaps() {
+        let a = Region::whole(1, 10);
+        let b = Region::new(1, vec![DimRange::dense(0, 10), DimRange::dense(0, 10)]);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn empty_region_properties() {
+        let e = Region::new(1, vec![DimRange::dense(5, 5)]);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.overlaps(&Region::whole(1, 10)));
+    }
+
+    #[test]
+    fn region_contains_coordinates() {
+        let r = Region::new(
+            1,
+            vec![DimRange::strided(0, 4, 2), DimRange::strided(0, 5, 2)],
+        );
+        assert!(r.contains(&[0, 0]));
+        assert!(r.contains(&[2, 4]));
+        assert!(!r.contains(&[1, 0]));
+        assert!(!r.contains(&[0, 3]));
+        assert_eq!(r.len(), 6); // {0,2} × {0,2,4}
+    }
+}

@@ -1,0 +1,241 @@
+//! Locking-semaphore baseline (§6.1.1, Fig 6.7).
+//!
+//! The conventional discipline the paper argues against: every shared
+//! component is guarded by a semaphore the *programmer* must associate
+//! with it and acquire in a global order to avoid deadlock. This module
+//! implements counting/locking semaphores plus the ordered multi-lock
+//! helper, so the resource-binding comparison (flexible regions, no
+//! manual ordering, built-in deadlock detection) is runnable, not
+//! rhetorical.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore (`P`/`V`, initialised to 1 for a lock).
+#[derive(Debug)]
+pub struct Semaphore {
+    count: Mutex<i64>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with the given initial count.
+    pub fn new(count: i64) -> Arc<Self> {
+        Arc::new(Semaphore {
+            count: Mutex::new(count),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// `P`: wait until the count is positive, then decrement.
+    pub fn acquire(&self) {
+        let mut c = self.count.lock();
+        while *c <= 0 {
+            self.cv.wait(&mut c);
+        }
+        *c -= 1;
+    }
+
+    /// Non-blocking `P`.
+    pub fn try_acquire(&self) -> bool {
+        let mut c = self.count.lock();
+        if *c > 0 {
+            *c -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `V`: increment and wake a waiter.
+    pub fn release(&self) {
+        *self.count.lock() += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// A bank of semaphores guarding the elements of a shared structure —
+/// the fixed-granularity association the paper criticises (§6.1.1: "the
+/// association … is artificially enforced by the programmer").
+#[derive(Debug)]
+pub struct SemaphoreBank {
+    sems: Vec<Arc<Semaphore>>,
+}
+
+impl SemaphoreBank {
+    /// One binary semaphore per element.
+    pub fn new(elements: usize) -> Self {
+        SemaphoreBank {
+            sems: (0..elements).map(|_| Semaphore::new(1)).collect(),
+        }
+    }
+
+    /// Number of guarded elements.
+    pub fn len(&self) -> usize {
+        self.sems.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sems.is_empty()
+    }
+
+    /// Acquire a set of elements **in ascending index order** — the
+    /// manual deadlock-avoidance discipline semaphore programs must
+    /// follow. Returns a guard releasing them on drop.
+    pub fn acquire_ordered(&self, indices: &[usize]) -> SemaphoreGuard<'_> {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &i in &sorted {
+            self.sems[i].acquire();
+        }
+        SemaphoreGuard {
+            bank: self,
+            held: sorted,
+        }
+    }
+
+    /// Acquire a set of elements in the *given* order — what happens when
+    /// the programmer forgets the discipline. Deadlock-prone; used by
+    /// tests to demonstrate the hazard with a timeout harness.
+    pub fn acquire_unordered(&self, indices: &[usize]) -> SemaphoreGuard<'_> {
+        for &i in indices {
+            self.sems[i].acquire();
+        }
+        SemaphoreGuard {
+            bank: self,
+            held: indices.to_vec(),
+        }
+    }
+}
+
+/// Holds acquired semaphores; releases on drop.
+#[derive(Debug)]
+pub struct SemaphoreGuard<'b> {
+    bank: &'b SemaphoreBank,
+    held: Vec<usize>,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        for &i in &self.held {
+            self.bank.sems[i].release();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn semaphore_counts() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let s = Semaphore::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        let inside = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                let counter = counter.clone();
+                let inside = inside.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        s.acquire();
+                        assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                        s.release();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn ordered_multi_acquire_is_deadlock_free() {
+        // Dining philosophers with the ordering discipline: always
+        // completes.
+        let bank = Arc::new(SemaphoreBank::new(5));
+        std::thread::scope(|scope| {
+            for i in 0..5usize {
+                let bank = bank.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _g = bank.acquire_ordered(&[i, (i + 1) % 5]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let bank = SemaphoreBank::new(3);
+        {
+            let _g = bank.acquire_ordered(&[0, 2]);
+            assert!(!bank.sems[0].try_acquire());
+        }
+        assert!(bank.sems[0].try_acquire());
+        bank.sems[0].release();
+    }
+
+    #[test]
+    fn unordered_acquisition_can_deadlock() {
+        // Two threads taking {0,1} and {1,0} without the discipline can
+        // deadlock; detect via timeout and confirm the hazard is real.
+        // (Run several attempts; the interleaving is timing-dependent.)
+        use std::sync::mpsc;
+        let mut deadlocked = false;
+        for _ in 0..50 {
+            let bank = Arc::new(SemaphoreBank::new(2));
+            let (tx, rx) = mpsc::channel();
+            let b1 = bank.clone();
+            let tx1 = tx.clone();
+            let t1 = std::thread::spawn(move || {
+                let _g = b1.acquire_unordered(&[0, 1]);
+                let _ = tx1.send(());
+            });
+            let b2 = bank.clone();
+            let t2 = std::thread::spawn(move || {
+                let _g = b2.acquire_unordered(&[1, 0]);
+                let _ = tx.send(());
+            });
+            let mut done = 0;
+            while done < 2 {
+                match rx.recv_timeout(std::time::Duration::from_millis(200)) {
+                    Ok(()) => done += 1,
+                    Err(_) => {
+                        deadlocked = true;
+                        break;
+                    }
+                }
+            }
+            if deadlocked {
+                // Leak the stuck threads; the test has shown its point.
+                std::mem::forget(t1);
+                std::mem::forget(t2);
+                break;
+            }
+            t1.join().unwrap();
+            t2.join().unwrap();
+        }
+        // The hazard usually manifests within 50 attempts, but timing
+        // can save the threads every time on a fast box — either way the
+        // ordered variant above must never deadlock, which is the claim.
+        let _ = deadlocked;
+    }
+}

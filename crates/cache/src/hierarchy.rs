@@ -1,0 +1,492 @@
+//! The hierarchical CFM architecture (§5.4, Fig 5.6).
+//!
+//! Clusters of processors + second-level cache banks are joined by
+//! **network controllers** into a global CFM; the same invalidation-based
+//! write-back protocol applies recursively. This module provides:
+//!
+//! * [`TwoLevelCfm`] — an event-level model of the two-level hierarchy
+//!   that tracks L1/L2 line states exactly and accounts each miss as its
+//!   chain of block accesses (the Tables 5.5/5.6 latencies). It is an
+//!   event/latency model, not a slot-level simulation: within one cluster
+//!   the slot-exact behaviour is already covered by
+//!   [`crate::machine::CcMachine`], and the hierarchy adds only chain
+//!   composition (see `DESIGN.md`).
+//! * [`NcQueue`] — a network-controller event queue with the Table 5.4
+//!   priorities, which guarantee deadlock freedom (write-back first, then
+//!   invalidations from above, then cluster read-invalidates, then reads).
+//! * The Table 5.3 state-pair invariant, checked after every operation.
+
+use std::collections::HashMap;
+
+use cfm_core::{BlockOffset, Cycle};
+
+use crate::line::LineState;
+
+/// Network-controller events in Table 5.4 priority order (1 = served
+/// first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NcEvent {
+    /// A write-back (never delayed; priority 1).
+    WriteBack = 1,
+    /// An invalidation request from the higher-level controller
+    /// (priority 2 — ensures a single exclusive owner at any time).
+    InvalidationFromAbove = 2,
+    /// A read-invalidate from the associated cluster (priority 3).
+    ReadInvalidateFromCluster = 3,
+    /// A read (priority 4).
+    Read = 4,
+}
+
+/// A priority queue of pending network-controller events.
+#[derive(Debug, Default)]
+pub struct NcQueue {
+    events: Vec<(NcEvent, u64)>,
+    seq: u64,
+}
+
+impl NcQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue an event.
+    pub fn push(&mut self, event: NcEvent) {
+        self.events.push((event, self.seq));
+        self.seq += 1;
+    }
+
+    /// Dequeue the highest-priority event (FIFO among equals).
+    pub fn pop(&mut self) -> Option<NcEvent> {
+        let idx = self
+            .events
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (e, s))| (*e, *s))
+            .map(|(i, _)| i)?;
+        Some(self.events.remove(idx).0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Where a read was served from, with its access chain length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// L1 hit (1 cycle).
+    L1Hit,
+    /// Local cluster (second-level cache) — 1 block access.
+    LocalCluster,
+    /// Global memory / clean remote — 3 chained block accesses.
+    Global,
+    /// A remote processor held the block dirty — 7 chained accesses.
+    DirtyRemote,
+}
+
+/// The two-level hierarchical CFM state/latency model.
+///
+/// ```
+/// use cfm_cache::hierarchy::{Served, TwoLevelCfm};
+///
+/// // The Table 5.5 sizing: 16 processors in 4 clusters, β = 9.
+/// let mut h = TwoLevelCfm::new(4, 4, 9, 9);
+/// assert_eq!(h.read(0, 0, 5), (Served::Global, 27));
+/// assert_eq!(h.read(0, 1, 5), (Served::LocalCluster, 9));
+/// h.write(1, 0, 5);
+/// assert_eq!(h.read(2, 0, 5), (Served::DirtyRemote, 63));
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelCfm {
+    clusters: usize,
+    procs_per_cluster: usize,
+    beta_cluster: u64,
+    beta_global: u64,
+    /// `l1[cluster][proc]` : offset → state.
+    l1: Vec<Vec<HashMap<BlockOffset, LineState>>>,
+    /// `l2[cluster]` : offset → state.
+    l2: Vec<HashMap<BlockOffset, LineState>>,
+    /// Running clock (sum of chain latencies of operations so far).
+    now: Cycle,
+}
+
+impl TwoLevelCfm {
+    /// A hierarchy with the given shape; `beta_cluster` and `beta_global`
+    /// are the block access times at each level (equal in the paper's
+    /// Table 5.5/5.6 sizings).
+    pub fn new(
+        clusters: usize,
+        procs_per_cluster: usize,
+        beta_cluster: u64,
+        beta_global: u64,
+    ) -> Self {
+        TwoLevelCfm {
+            clusters,
+            procs_per_cluster,
+            beta_cluster,
+            beta_global,
+            l1: vec![vec![HashMap::new(); procs_per_cluster]; clusters],
+            l2: vec![HashMap::new(); clusters],
+            now: 0,
+        }
+    }
+
+    /// Cluster-level block access time.
+    pub fn beta_cluster(&self) -> u64 {
+        self.beta_cluster
+    }
+
+    /// Global-level block access time.
+    pub fn beta_global(&self) -> u64 {
+        self.beta_global
+    }
+
+    fn l1_state(&self, c: usize, p: usize, o: BlockOffset) -> LineState {
+        *self.l1[c][p].get(&o).unwrap_or(&LineState::Invalid)
+    }
+
+    fn l2_state(&self, c: usize, o: BlockOffset) -> LineState {
+        *self.l2[c].get(&o).unwrap_or(&LineState::Invalid)
+    }
+
+    /// The cluster holding `o` dirty at the second level, if any.
+    fn dirty_cluster(&self, o: BlockOffset) -> Option<usize> {
+        (0..self.clusters).find(|&c| self.l2_state(c, o) == LineState::Dirty)
+    }
+
+    /// The processor holding `o` dirty at the first level within `c`.
+    fn dirty_proc_in(&self, c: usize, o: BlockOffset) -> Option<usize> {
+        (0..self.procs_per_cluster).find(|&p| self.l1_state(c, p, o) == LineState::Dirty)
+    }
+
+    /// Read `o` from processor (`cluster`, `proc`); returns the serving
+    /// level and the latency in cycles.
+    pub fn read(&mut self, cluster: usize, proc: usize, o: BlockOffset) -> (Served, u64) {
+        let (served, latency) = self.read_inner(cluster, proc, o);
+        self.now += latency;
+        debug_assert_eq!(self.check_table_5_3(), None);
+        (served, latency)
+    }
+
+    fn read_inner(&mut self, cluster: usize, proc: usize, o: BlockOffset) -> (Served, u64) {
+        match self.l1_state(cluster, proc, o) {
+            LineState::Valid | LineState::Dirty => (Served::L1Hit, 1),
+            LineState::Invalid => match self.l2_state(cluster, o) {
+                LineState::Valid | LineState::Dirty => {
+                    // Another L1 in this cluster may hold it dirty; its
+                    // write-back joins the chain (one extra cluster access).
+                    let mut chain = 1;
+                    if let Some(q) = self.dirty_proc_in(cluster, o) {
+                        self.l1[cluster][q].insert(o, LineState::Valid);
+                        chain += 1;
+                    }
+                    self.l1[cluster][proc].insert(o, LineState::Valid);
+                    (Served::LocalCluster, chain * self.beta_cluster)
+                }
+                LineState::Invalid => {
+                    if let Some(rc) = self.dirty_cluster(o) {
+                        // Dirty-remote chain (7 accesses, Table 5.5):
+                        //   1. local L1 read, L2 miss           (β_c)
+                        //   2. local NC global read → trigger   (β_g)
+                        //   3. remote NC triggers its L1 owner  (β_c)
+                        //   4. remote L1 write-back into L2     (β_c)
+                        //   5. remote NC global write-back      (β_g)
+                        //   6. local NC global read             (β_g)
+                        //   7. local L1 read from L2            (β_c)
+                        if let Some(q) = self.dirty_proc_in(rc, o) {
+                            self.l1[rc][q].insert(o, LineState::Valid);
+                        }
+                        self.l2[rc].insert(o, LineState::Valid);
+                        self.l2[cluster].insert(o, LineState::Valid);
+                        self.l1[cluster][proc].insert(o, LineState::Valid);
+                        (
+                            Served::DirtyRemote,
+                            4 * self.beta_cluster + 3 * self.beta_global,
+                        )
+                    } else {
+                        // Global chain (3 accesses):
+                        //   1. local L1 read, L2 miss   (β_c)
+                        //   2. NC global read           (β_g)
+                        //   3. local L1 read from L2    (β_c)
+                        self.l2[cluster].insert(o, LineState::Valid);
+                        self.l1[cluster][proc].insert(o, LineState::Valid);
+                        (Served::Global, 2 * self.beta_cluster + self.beta_global)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Write `o` from processor (`cluster`, `proc`); returns the latency.
+    /// Follows §5.4.2's write path: ownership must be obtained at the
+    /// second level (network controller) before the first level.
+    pub fn write(&mut self, cluster: usize, proc: usize, o: BlockOffset) -> u64 {
+        let latency = self.write_inner(cluster, proc, o);
+        self.now += latency;
+        debug_assert_eq!(self.check_table_5_3(), None);
+        latency
+    }
+
+    fn write_inner(&mut self, cluster: usize, proc: usize, o: BlockOffset) -> u64 {
+        if self.l1_state(cluster, proc, o) == LineState::Dirty {
+            return 1; // write hit on a dirty line: no memory access
+        }
+        // The cluster must own the block (L2 dirty) before the processor can.
+        let mut latency = 0;
+        if self.l2_state(cluster, o) != LineState::Dirty {
+            // Global read-invalidate: flush a dirty remote if any, then
+            // invalidate every remote copy.
+            if let Some(rc) = self.dirty_cluster(o) {
+                if let Some(q) = self.dirty_proc_in(rc, o) {
+                    self.l1[rc][q].insert(o, LineState::Valid);
+                    latency += self.beta_cluster; // remote L1 write-back
+                }
+                self.l2[rc].insert(o, LineState::Valid);
+                latency += self.beta_global; // remote L2 write-back
+            }
+            for c in 0..self.clusters {
+                if c == cluster {
+                    continue;
+                }
+                if self.l2_state(c, o) != LineState::Invalid {
+                    self.l2[c].insert(o, LineState::Invalid);
+                    for p in 0..self.procs_per_cluster {
+                        self.l1[c][p].insert(o, LineState::Invalid);
+                    }
+                }
+            }
+            self.l2[cluster].insert(o, LineState::Dirty);
+            latency += self.beta_global; // NC global read-invalidate
+        }
+        // First-level read-invalidate inside the cluster: flush/invalidate
+        // sibling copies.
+        if let Some(q) = self.dirty_proc_in(cluster, o) {
+            if q != proc {
+                self.l1[cluster][q].insert(o, LineState::Invalid);
+                latency += self.beta_cluster; // sibling write-back
+            }
+        }
+        for p in 0..self.procs_per_cluster {
+            if p != proc && self.l1_state(cluster, p, o) == LineState::Valid {
+                self.l1[cluster][p].insert(o, LineState::Invalid);
+            }
+        }
+        self.l1[cluster][proc].insert(o, LineState::Dirty);
+        latency += self.beta_cluster; // the processor's own read-invalidate
+        latency
+    }
+
+    /// Check the Table 5.3 invariant: a valid L1 line requires a valid or
+    /// dirty L2 line; a dirty L1 line requires a dirty L2 line; plus the
+    /// exclusivity rules (≤ 1 dirty L2 per block, ≤ 1 dirty L1 per
+    /// cluster). Returns a violating `(cluster, proc, offset)` if any.
+    pub fn check_table_5_3(&self) -> Option<(usize, usize, BlockOffset)> {
+        for c in 0..self.clusters {
+            let mut dirty_l1 = HashMap::new();
+            for p in 0..self.procs_per_cluster {
+                for (&o, &s) in &self.l1[c][p] {
+                    let l2 = self.l2_state(c, o);
+                    let legal = match s {
+                        LineState::Invalid => true,
+                        LineState::Valid => l2 != LineState::Invalid,
+                        LineState::Dirty => l2 == LineState::Dirty,
+                    };
+                    if !legal {
+                        return Some((c, p, o));
+                    }
+                    if s == LineState::Dirty && *dirty_l1.entry(o).or_insert(0u32) >= 1 {
+                        return Some((c, p, o));
+                    }
+                    if s == LineState::Dirty {
+                        dirty_l1.insert(o, 1);
+                    }
+                }
+            }
+        }
+        // Global exclusivity.
+        let mut offsets: Vec<BlockOffset> =
+            self.l2.iter().flat_map(|m| m.keys().copied()).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        for o in offsets {
+            let dirty = (0..self.clusters)
+                .filter(|&c| self.l2_state(c, o) == LineState::Dirty)
+                .count();
+            if dirty > 1 {
+                return Some((usize::MAX, usize::MAX, o));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 5.5 machine: 16 processors in 4 clusters, β = 9.
+    fn dash_comparable() -> TwoLevelCfm {
+        TwoLevelCfm::new(4, 4, 9, 9)
+    }
+
+    #[test]
+    fn table_5_5_latency_chain() {
+        let mut h = dash_comparable();
+        // Cold read: global memory, 27 cycles.
+        let (served, lat) = h.read(0, 0, 5);
+        assert_eq!(served, Served::Global);
+        assert_eq!(lat, 27);
+        // Same processor again: L1 hit.
+        assert_eq!(h.read(0, 0, 5), (Served::L1Hit, 1));
+        // Cluster sibling: local cluster, 9 cycles.
+        assert_eq!(h.read(0, 1, 5), (Served::LocalCluster, 9));
+        // Make cluster 1 the dirty owner, then read from cluster 2:
+        // the 63-cycle dirty-remote chain.
+        h.write(1, 0, 5);
+        let (served, lat) = h.read(2, 0, 5);
+        assert_eq!(served, Served::DirtyRemote);
+        assert_eq!(lat, 63);
+    }
+
+    #[test]
+    fn table_5_6_latency_chain() {
+        // 1024 processors in 32 clusters, β = 65.
+        let mut h = TwoLevelCfm::new(32, 32, 65, 65);
+        let (_, global) = h.read(0, 0, 1);
+        assert_eq!(global, 195);
+        assert_eq!(h.read(0, 5, 1).1, 65); // local cluster
+    }
+
+    #[test]
+    fn write_then_remote_read_round_trips_state() {
+        let mut h = dash_comparable();
+        h.write(0, 0, 7);
+        assert_eq!(h.l1_state(0, 0, 7), LineState::Dirty);
+        assert_eq!(h.l2_state(0, 7), LineState::Dirty);
+        let (served, _) = h.read(3, 2, 7);
+        assert_eq!(served, Served::DirtyRemote);
+        // Everyone holds clean copies now.
+        assert_eq!(h.l1_state(0, 0, 7), LineState::Valid);
+        assert_eq!(h.l2_state(0, 7), LineState::Valid);
+        assert_eq!(h.l2_state(3, 7), LineState::Valid);
+    }
+
+    #[test]
+    fn writes_invalidate_all_other_clusters() {
+        let mut h = dash_comparable();
+        for c in 0..4 {
+            h.read(c, 0, 9);
+        }
+        h.write(2, 1, 9);
+        for c in [0usize, 1, 3] {
+            assert_eq!(h.l2_state(c, 9), LineState::Invalid);
+            assert_eq!(h.l1_state(c, 0, 9), LineState::Invalid);
+        }
+        assert_eq!(h.l1_state(2, 1, 9), LineState::Dirty);
+    }
+
+    #[test]
+    fn sibling_write_steals_ownership_within_cluster() {
+        let mut h = dash_comparable();
+        h.write(0, 0, 3);
+        h.write(0, 1, 3);
+        assert_eq!(h.l1_state(0, 0, 3), LineState::Invalid);
+        assert_eq!(h.l1_state(0, 1, 3), LineState::Dirty);
+        assert_eq!(h.check_table_5_3(), None);
+    }
+
+    #[test]
+    fn random_walk_preserves_table_5_3() {
+        // A deterministic pseudo-random mix of reads and writes never
+        // violates the legal state pairs.
+        let mut h = TwoLevelCfm::new(3, 3, 9, 9);
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let c = (x >> 10) as usize % 3;
+            let p = (x >> 20) as usize % 3;
+            let o = (x >> 30) as usize % 5;
+            if x & 1 == 0 {
+                h.read(c, p, o);
+            } else {
+                h.write(c, p, o);
+            }
+            assert_eq!(h.check_table_5_3(), None);
+        }
+    }
+
+    #[test]
+    fn write_hit_on_own_dirty_line_is_free() {
+        let mut h = dash_comparable();
+        h.write(0, 0, 5);
+        assert_eq!(h.write(0, 0, 5), 1, "dirty write hit must cost 1 cycle");
+    }
+
+    #[test]
+    fn upgrade_within_owning_cluster_is_one_cluster_access() {
+        // Cluster already L2-dirty via a sibling: a second writer pays a
+        // sibling flush + its own read-invalidate, both cluster-level.
+        let mut h = dash_comparable();
+        h.write(0, 0, 5);
+        let lat = h.write(0, 1, 5);
+        assert_eq!(lat, 2 * 9, "expected sibling flush + read-invalidate");
+        assert_eq!(h.check_table_5_3(), None);
+    }
+
+    #[test]
+    fn read_after_local_sibling_dirty_pays_the_flush() {
+        let mut h = dash_comparable();
+        h.write(0, 0, 7);
+        // Sibling read: dirty L1 flush + the read = 2 cluster accesses.
+        let (served, lat) = h.read(0, 1, 7);
+        assert_eq!(served, Served::LocalCluster);
+        assert_eq!(lat, 18);
+    }
+
+    #[test]
+    fn nc_queue_orders_by_table_5_4() {
+        let mut q = NcQueue::new();
+        q.push(NcEvent::Read);
+        q.push(NcEvent::ReadInvalidateFromCluster);
+        q.push(NcEvent::WriteBack);
+        q.push(NcEvent::InvalidationFromAbove);
+        q.push(NcEvent::WriteBack);
+        assert_eq!(q.pop(), Some(NcEvent::WriteBack));
+        assert_eq!(q.pop(), Some(NcEvent::WriteBack));
+        assert_eq!(q.pop(), Some(NcEvent::InvalidationFromAbove));
+        assert_eq!(q.pop(), Some(NcEvent::ReadInvalidateFromCluster));
+        assert_eq!(q.pop(), Some(NcEvent::Read));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn latencies_beat_published_dash_and_ksr1() {
+        use cfm_analytic::latency::{DASH_LATENCIES, KSR1_LATENCIES};
+        let mut h = dash_comparable();
+        let cold = h.read(0, 0, 1).1;
+        let mut h2 = dash_comparable();
+        h2.write(1, 0, 2);
+        let dirty = h2.read(0, 0, 2).1;
+        let mut h3 = dash_comparable();
+        h3.read(0, 0, 3);
+        let local = h3.read(0, 1, 3).1;
+        assert!(local < DASH_LATENCIES[0]);
+        assert!(cold < DASH_LATENCIES[1]);
+        assert!(dirty < DASH_LATENCIES[2]);
+
+        let mut k = TwoLevelCfm::new(32, 32, 65, 65);
+        let g = k.read(0, 0, 1).1;
+        let l = k.read(0, 1, 1).1;
+        assert!(l < KSR1_LATENCIES[0]);
+        assert!(g < KSR1_LATENCIES[1]);
+    }
+}

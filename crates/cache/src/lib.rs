@@ -1,0 +1,40 @@
+//! # cfm-cache — the CFM cache coherence protocol (Chapter 5)
+//!
+//! An invalidation-based **write-back** protocol that combines the low
+//! storage overhead of snoopy protocols with the scalability of
+//! directory-based ones. The trick is structural: every CFM block access
+//! *visits every memory bank*, and each processor shares its cache
+//! directory with one memory bank ("processor–memory coupling", Fig 5.1),
+//! so any primitive operation can check and update every processor's
+//! directory on its way through the banks — broadcast semantics with no
+//! broadcast network, invalidations completed synchronously in the
+//! pipeline, and no acknowledgement messages at all.
+//!
+//! * [`line`](mod@line) — cache line states (invalid / valid / dirty) and the
+//!   direct-mapped cache container.
+//! * [`protocol`] — the three primitive operations (`read`,
+//!   `read-invalidate`, `write-back`), the hit/miss action table
+//!   (Table 5.1) and the access-control matrix (Table 5.2).
+//! * [`machine`] — [`machine::CcMachine`], the slot-stepped cache-coherent
+//!   CFM: per-processor cache controllers, remote-triggered write-backs,
+//!   autonomous access control (§5.2.4), and atomic read-modify-write
+//!   synchronization operations (§5.3.1), including the block-wide
+//!   **multiple test-and-set** of §5.3.3.
+//! * [`program`] — reactive processor programs against the cache machine.
+//! * [`lock`] — busy-waiting locks that spin in the local cache
+//!   (Fig 5.4's three-access lock transfer) and atomic multiple
+//!   lock/unlock (Fig 5.5).
+//! * [`hierarchy`] — the two-level hierarchical CFM (§5.4): recursive
+//!   protocol application, the legal L1/L2 state pairs of Table 5.3, the
+//!   network-controller event priorities of Table 5.4, and the read
+//!   latency chains behind Tables 5.5/5.6.
+
+pub mod hier_machine;
+pub mod hierarchy;
+pub mod line;
+pub mod lock;
+pub mod machine;
+pub mod multi_level;
+pub mod program;
+pub mod protocol;
+pub mod sharing;

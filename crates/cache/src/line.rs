@@ -1,0 +1,287 @@
+//! Cache line states and the cache container (§5.1.1, §5.2.1).
+//!
+//! The dissertation assumes direct-mapped caches "although other
+//! approaches can also be used" — this container supports both:
+//! [`Cache::new`] builds the direct-mapped cache of the paper, and
+//! [`Cache::set_associative`] generalises to N-way sets with LRU
+//! replacement, which the associativity ablation uses to quantify the
+//! conflict misses the assumption costs.
+
+use cfm_core::{BlockOffset, Word};
+
+/// The three states of the invalidation-based write-back protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// No cached block.
+    #[default]
+    Invalid,
+    /// A clean copy; may be shared by many caches.
+    Valid,
+    /// An exclusively-owned, modified copy — at most one in the system.
+    Dirty,
+}
+
+/// One cache line.
+#[derive(Debug, Clone)]
+pub struct CacheLine {
+    /// Line state.
+    pub state: LineState,
+    /// Tag: the block offset divided by the set count.
+    pub tag: usize,
+    /// Cached block data (one word per memory bank).
+    pub data: Box<[Word]>,
+    /// LRU timestamp (larger = more recently used).
+    last_used: u64,
+}
+
+/// A set-associative cache over block offsets. Block `o` maps to set
+/// `o % sets` with tag `o / sets`; each set holds `ways` lines replaced
+/// LRU. `ways == 1` is the paper's direct-mapped cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<CacheLine>,
+    clock: u64,
+}
+
+impl Cache {
+    /// A direct-mapped cache with `lines` lines for blocks of
+    /// `block_words` words (the dissertation's assumption).
+    pub fn new(lines: usize, block_words: usize) -> Self {
+        Self::set_associative(lines, 1, block_words)
+    }
+
+    /// A `sets × ways` set-associative cache with LRU replacement.
+    pub fn set_associative(sets: usize, ways: usize, block_words: usize) -> Self {
+        assert!(sets > 0 && ways > 0);
+        Cache {
+            sets,
+            ways,
+            lines: (0..sets * ways)
+                .map(|_| CacheLine {
+                    state: LineState::Invalid,
+                    tag: 0,
+                    data: vec![0; block_words].into_boxed_slice(),
+                    last_used: 0,
+                })
+                .collect(),
+            clock: 0,
+        }
+    }
+
+    /// Total line count.
+    pub fn lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// The set index for a block offset.
+    #[inline]
+    pub fn index_of(&self, offset: BlockOffset) -> usize {
+        offset % self.sets
+    }
+
+    /// The tag for a block offset.
+    #[inline]
+    pub fn tag_of(&self, offset: BlockOffset) -> usize {
+        offset / self.sets
+    }
+
+    /// Line indices of the set holding `offset`.
+    fn set_range(&self, offset: BlockOffset) -> std::ops::Range<usize> {
+        let set = self.index_of(offset);
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, offset: BlockOffset) -> Option<usize> {
+        let tag = self.tag_of(offset);
+        self.set_range(offset)
+            .find(|&i| self.lines[i].state != LineState::Invalid && self.lines[i].tag == tag)
+    }
+
+    /// The state of the block at `offset` in this cache (`Invalid` when
+    /// no line in its set holds it).
+    pub fn state_of(&self, offset: BlockOffset) -> LineState {
+        self.find(offset)
+            .map(|i| self.lines[i].state)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Immutable access to the line holding `offset`, if cached.
+    pub fn line_for(&self, offset: BlockOffset) -> Option<&CacheLine> {
+        self.find(offset).map(|i| &self.lines[i])
+    }
+
+    /// Mutable access to the line holding `offset`, if cached; bumps the
+    /// LRU clock.
+    pub fn line_for_mut(&mut self, offset: BlockOffset) -> Option<&mut CacheLine> {
+        let i = self.find(offset)?;
+        self.clock += 1;
+        self.lines[i].last_used = self.clock;
+        Some(&mut self.lines[i])
+    }
+
+    /// Mark `offset` recently used (hit accounting).
+    pub fn touch(&mut self, offset: BlockOffset) {
+        if let Some(i) = self.find(offset) {
+            self.clock += 1;
+            self.lines[i].last_used = self.clock;
+        }
+    }
+
+    /// The replacement victim's line index for installing `offset`: an
+    /// invalid way if any, else the LRU way.
+    fn victim(&self, offset: BlockOffset) -> usize {
+        let range = self.set_range(offset);
+        range
+            .clone()
+            .find(|&i| self.lines[i].state == LineState::Invalid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].last_used)
+                    .expect("non-empty set")
+            })
+    }
+
+    /// The block that must be written back before `offset` can be
+    /// installed: the replacement victim's block, if dirty and different.
+    pub fn eviction_victim(&self, offset: BlockOffset) -> Option<BlockOffset> {
+        if self.find(offset).is_some() {
+            return None; // already resident: no replacement needed
+        }
+        let v = self.victim(offset);
+        let line = &self.lines[v];
+        (line.state == LineState::Dirty).then(|| line.tag * self.sets + self.index_of(offset))
+    }
+
+    /// Install a block in the given state, replacing per LRU.
+    pub fn install(&mut self, offset: BlockOffset, state: LineState, data: &[Word]) {
+        let i = self.find(offset).unwrap_or_else(|| self.victim(offset));
+        self.clock += 1;
+        let tag = self.tag_of(offset);
+        let line = &mut self.lines[i];
+        line.state = state;
+        line.tag = tag;
+        line.data.copy_from_slice(data);
+        line.last_used = self.clock;
+    }
+
+    /// Invalidate the block at `offset` if cached. Returns the prior state.
+    pub fn invalidate(&mut self, offset: BlockOffset) -> LineState {
+        match self.find(offset) {
+            Some(i) => {
+                let prior = self.lines[i].state;
+                self.lines[i].state = LineState::Invalid;
+                prior
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Downgrade a dirty block to valid (after a write-back).
+    pub fn downgrade(&mut self, offset: BlockOffset) {
+        if let Some(i) = self.find(offset) {
+            if self.lines[i].state == LineState::Dirty {
+                self.lines[i].state = LineState::Valid;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_misses() {
+        let c = Cache::new(4, 8);
+        assert_eq!(c.state_of(3), LineState::Invalid);
+        assert!(c.line_for(3).is_none());
+    }
+
+    #[test]
+    fn install_and_hit() {
+        let mut c = Cache::new(4, 2);
+        c.install(6, LineState::Valid, &[1, 2]);
+        assert_eq!(c.state_of(6), LineState::Valid);
+        assert_eq!(c.line_for(6).unwrap().data.as_ref(), &[1, 2]);
+        // Offset 2 maps to the same set but a different tag: miss.
+        assert_eq!(c.state_of(2), LineState::Invalid);
+    }
+
+    #[test]
+    fn direct_mapped_conflicting_install_replaces() {
+        let mut c = Cache::new(4, 2);
+        c.install(6, LineState::Valid, &[1, 2]);
+        c.install(2, LineState::Dirty, &[9, 9]);
+        assert_eq!(c.state_of(6), LineState::Invalid);
+        assert_eq!(c.state_of(2), LineState::Dirty);
+    }
+
+    #[test]
+    fn two_way_set_holds_both_conflicting_blocks() {
+        // Offsets 2 and 6 collide direct-mapped (4 sets); a 2-way cache
+        // keeps both.
+        let mut c = Cache::set_associative(4, 2, 2);
+        c.install(6, LineState::Valid, &[1, 2]);
+        c.install(2, LineState::Valid, &[9, 9]);
+        assert_eq!(c.state_of(6), LineState::Valid);
+        assert_eq!(c.state_of(2), LineState::Valid);
+        // A third collider evicts the LRU (offset 6, untouched).
+        c.touch(2);
+        c.install(10, LineState::Valid, &[5, 5]);
+        assert_eq!(c.state_of(6), LineState::Invalid);
+        assert_eq!(c.state_of(2), LineState::Valid);
+        assert_eq!(c.state_of(10), LineState::Valid);
+    }
+
+    #[test]
+    fn lru_respects_touches() {
+        let mut c = Cache::set_associative(1, 2, 1);
+        c.install(0, LineState::Valid, &[1]);
+        c.install(1, LineState::Valid, &[2]);
+        c.touch(0); // 0 is now the most recent
+        c.install(2, LineState::Valid, &[3]);
+        assert_eq!(c.state_of(0), LineState::Valid);
+        assert_eq!(c.state_of(1), LineState::Invalid);
+    }
+
+    #[test]
+    fn eviction_victim_only_for_dirty_replacements() {
+        let mut c = Cache::new(4, 2);
+        c.install(6, LineState::Valid, &[1, 2]);
+        assert_eq!(c.eviction_victim(2), None); // clean: silently dropped
+        c.install(6, LineState::Dirty, &[1, 2]);
+        assert_eq!(c.eviction_victim(2), Some(6)); // dirty: must write back
+        assert_eq!(c.eviction_victim(6), None); // same block: no eviction
+    }
+
+    #[test]
+    fn assoc_eviction_victim_targets_the_lru_way() {
+        let mut c = Cache::set_associative(2, 2, 1);
+        c.install(0, LineState::Dirty, &[1]); // set 0, way A
+        c.install(2, LineState::Valid, &[2]); // set 0, way B
+        c.touch(0);
+        // Installing 4 (set 0) would evict the LRU way (offset 2, clean):
+        // no write-back needed.
+        assert_eq!(c.eviction_victim(4), None);
+        c.touch(2); // now offset 0 (dirty) is LRU
+        assert_eq!(c.eviction_victim(4), Some(0));
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = Cache::new(2, 2);
+        c.install(1, LineState::Dirty, &[5, 5]);
+        c.downgrade(1);
+        assert_eq!(c.state_of(1), LineState::Valid);
+        assert_eq!(c.invalidate(1), LineState::Valid);
+        assert_eq!(c.state_of(1), LineState::Invalid);
+        assert_eq!(c.invalidate(1), LineState::Invalid);
+    }
+}

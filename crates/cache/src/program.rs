@@ -1,0 +1,159 @@
+//! Reactive processor programs against the cache-coherent machine.
+
+use cfm_core::{Cycle, ProcId};
+
+use crate::machine::{CcMachine, CpuRequest, CpuResponse};
+
+/// Logic a processor runs against its cache controller.
+pub trait CacheProgram {
+    /// Called when the processor is idle; return the next CPU request.
+    fn next_request(&mut self, cycle: Cycle) -> Option<CpuRequest>;
+    /// Called when a request completes.
+    fn on_response(&mut self, response: &CpuResponse, cycle: Cycle);
+    /// Whether the program is done.
+    fn finished(&self) -> bool;
+}
+
+/// A processor that stays idle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdleCpu;
+
+impl CacheProgram for IdleCpu {
+    fn next_request(&mut self, _cycle: Cycle) -> Option<CpuRequest> {
+        None
+    }
+    fn on_response(&mut self, _response: &CpuResponse, _cycle: Cycle) {}
+    fn finished(&self) -> bool {
+        true
+    }
+}
+
+/// Outcome of [`CcRunner::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcRunOutcome {
+    /// All programs finished; cycles consumed.
+    Finished(u64),
+    /// The cycle budget elapsed first.
+    BudgetExhausted,
+}
+
+/// Drives a [`CcMachine`] with one [`CacheProgram`] per processor.
+pub struct CcRunner {
+    machine: CcMachine,
+    programs: Vec<Box<dyn CacheProgram>>,
+}
+
+impl CcRunner {
+    /// A runner with all processors idle.
+    pub fn new(machine: CcMachine) -> Self {
+        let n = machine.config().processors();
+        CcRunner {
+            machine,
+            programs: (0..n)
+                .map(|_| Box::new(IdleCpu) as Box<dyn CacheProgram>)
+                .collect(),
+        }
+    }
+
+    /// Attach a program to processor `p`.
+    pub fn set_program(&mut self, p: ProcId, program: Box<dyn CacheProgram>) {
+        self.programs[p] = program;
+    }
+
+    /// The machine being driven.
+    pub fn machine(&self) -> &CcMachine {
+        &self.machine
+    }
+
+    /// Mutable machine access.
+    pub fn machine_mut(&mut self) -> &mut CcMachine {
+        &mut self.machine
+    }
+
+    /// Deliver responses, solicit requests, step one cycle.
+    pub fn tick(&mut self) {
+        let cycle = self.machine.cycle();
+        for p in 0..self.programs.len() {
+            while let Some(r) = self.machine.poll(p) {
+                self.programs[p].on_response(&r, cycle);
+            }
+            if !self.machine.is_busy(p) {
+                if let Some(req) = self.programs[p].next_request(cycle) {
+                    self.machine
+                        .submit(p, req)
+                        .expect("idle processor accepted request");
+                }
+            }
+        }
+        self.machine.step();
+    }
+
+    /// Run until all programs finish and the machine drains.
+    pub fn run(&mut self, max_cycles: u64) -> CcRunOutcome {
+        let start = self.machine.cycle();
+        for _ in 0..max_cycles {
+            if self.programs.iter().all(|p| p.finished()) && self.machine.is_idle() {
+                let cycle = self.machine.cycle();
+                for p in 0..self.programs.len() {
+                    while let Some(r) = self.machine.poll(p) {
+                        self.programs[p].on_response(&r, cycle);
+                    }
+                }
+                return CcRunOutcome::Finished(self.machine.cycle() - start);
+            }
+            self.tick();
+        }
+        CcRunOutcome::BudgetExhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfm_core::config::CfmConfig;
+    use cfm_core::Word;
+
+    /// Increment a shared counter `rounds` times with fetch-and-add.
+    struct Incrementer {
+        rounds: u64,
+        outstanding: bool,
+    }
+
+    impl CacheProgram for Incrementer {
+        fn next_request(&mut self, _cycle: Cycle) -> Option<CpuRequest> {
+            if self.outstanding || self.rounds == 0 {
+                return None;
+            }
+            self.outstanding = true;
+            self.rounds -= 1;
+            Some(CpuRequest::Rmw {
+                offset: 0,
+                rmw: crate::machine::Rmw::FetchAndAdd { word: 0, delta: 1 },
+            })
+        }
+        fn on_response(&mut self, _r: &CpuResponse, _cycle: Cycle) {
+            self.outstanding = false;
+        }
+        fn finished(&self) -> bool {
+            self.rounds == 0 && !self.outstanding
+        }
+    }
+
+    #[test]
+    fn concurrent_incrementers_do_not_lose_updates() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let mut runner = CcRunner::new(CcMachine::new(cfg, 16, 8));
+        for p in 0..4 {
+            runner.set_program(
+                p,
+                Box::new(Incrementer {
+                    rounds: 10,
+                    outstanding: false,
+                }),
+            );
+        }
+        assert!(matches!(runner.run(1_000_000), CcRunOutcome::Finished(_)));
+        let total: Word = runner.machine().peek_memory(0)[0];
+        assert_eq!(total, 40);
+    }
+}

@@ -1,0 +1,114 @@
+//! Primitive operations and protocol decision tables (§5.2.2–5.2.4).
+
+use crate::line::LineState;
+
+/// The three primitive memory operations of the CFM cache protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimKind {
+    /// Retrieve a block; triggers a remote write-back if a dirty copy
+    /// exists; does not change remote states.
+    Read,
+    /// Retrieve a block *and* obtain exclusive ownership: invalidates
+    /// remote valid copies, triggers write-back of a remote dirty copy.
+    ReadInvalidate,
+    /// Flush an exclusively-owned dirty block back to memory.
+    WriteBack,
+}
+
+/// What a cache controller must do for a CPU access, given the local and
+/// (possible) remote states — Table 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Serve from the local cache, no memory access.
+    NoMemoryAccess,
+    /// Issue a read (may trigger a remote write-back).
+    IssueRead,
+    /// Issue a read-invalidate (may trigger a remote write-back).
+    IssueReadInvalidate,
+}
+
+/// Table 5.1: action for a CPU **read**, from the local line state.
+pub fn read_action(local: LineState) -> Action {
+    match local {
+        LineState::Valid | LineState::Dirty => Action::NoMemoryAccess,
+        LineState::Invalid => Action::IssueRead,
+    }
+}
+
+/// Table 5.1: action for a CPU **write**, from the local line state.
+pub fn write_action(local: LineState) -> Action {
+    match local {
+        LineState::Dirty => Action::NoMemoryAccess,
+        LineState::Valid | LineState::Invalid => Action::IssueReadInvalidate,
+    }
+}
+
+/// Table 5.2: what an operation does upon detecting a concurrent
+/// same-block operation. `None` = proceed; `Some(Retry)` = abort and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Abort the current attempt; retry after the conflicting operation.
+    Retry,
+}
+
+/// Access control between concurrent primitives (Table 5.2): the row
+/// operation detects the column operation on the same block.
+pub fn access_control(current: PrimKind, detected: PrimKind) -> Option<Resolution> {
+    use PrimKind::*;
+    match (current, detected) {
+        // Reads never disturb each other.
+        (Read, Read) | (ReadInvalidate, Read) => None,
+        // Reads and read-invalidates yield to ownership traffic.
+        (Read, ReadInvalidate)
+        | (Read, WriteBack)
+        | (ReadInvalidate, ReadInvalidate)
+        | (ReadInvalidate, WriteBack) => Some(Resolution::Retry),
+        // Write-back has the highest priority and never yields: at most
+        // one dirty copy exists, so two write-backs can never meet.
+        (WriteBack, _) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LineState::*;
+    use PrimKind::*;
+
+    #[test]
+    fn table_5_1_read_rows() {
+        assert_eq!(read_action(Valid), Action::NoMemoryAccess);
+        assert_eq!(read_action(Dirty), Action::NoMemoryAccess);
+        assert_eq!(read_action(Invalid), Action::IssueRead);
+    }
+
+    #[test]
+    fn table_5_1_write_rows() {
+        assert_eq!(write_action(Dirty), Action::NoMemoryAccess);
+        assert_eq!(write_action(Valid), Action::IssueReadInvalidate);
+        assert_eq!(write_action(Invalid), Action::IssueReadInvalidate);
+    }
+
+    #[test]
+    fn table_5_2_matrix() {
+        // Row: current; column: detected.
+        assert_eq!(access_control(Read, Read), None);
+        assert_eq!(
+            access_control(Read, ReadInvalidate),
+            Some(Resolution::Retry)
+        );
+        assert_eq!(access_control(Read, WriteBack), Some(Resolution::Retry));
+        assert_eq!(access_control(ReadInvalidate, Read), None);
+        assert_eq!(
+            access_control(ReadInvalidate, ReadInvalidate),
+            Some(Resolution::Retry)
+        );
+        assert_eq!(
+            access_control(ReadInvalidate, WriteBack),
+            Some(Resolution::Retry)
+        );
+        for k in [Read, ReadInvalidate, WriteBack] {
+            assert_eq!(access_control(WriteBack, k), None);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The address–time space and its mutually exclusive partition (§3.1.1–2).
+//!
+//! The CFM adds a *time* dimension to the memory address: the bank number
+//! is not part of the request but is selected by the time slot in which
+//! each word is accessed. With `b = c · n` banks, at time slot `t`
+//! processor `p` may inject an address into bank
+//!
+//! ```text
+//! bank(t, p) = (t + c · p) mod b
+//! ```
+//!
+//! (Table 3.1 is the `n = 4, c = 2` instance; Fig 3.3 is the `c = 1`
+//! instance `(t + p) mod 4`.) Because `bank(t, ·)` is injective for every
+//! `t`, the per-slot bank assignments of distinct processors are disjoint:
+//! the AT-space is partitioned into `n` mutually exclusive subsets and no
+//! memory conflict can ever occur.
+
+use crate::config::CfmConfig;
+use crate::{BankId, Cycle, ProcId};
+
+/// The AT-space schedule for one CFM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AtSpace {
+    banks: usize,
+    bank_cycle: u32,
+}
+
+impl AtSpace {
+    /// The schedule derived from a configuration.
+    pub fn new(config: &CfmConfig) -> Self {
+        AtSpace {
+            banks: config.banks(),
+            bank_cycle: config.bank_cycle(),
+        }
+    }
+
+    /// Number of banks `b` (equals the number of slots in a period).
+    #[inline]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// The bank into which processor `p` may inject an address at slot `t`:
+    /// `(t + c·p) mod b`.
+    #[inline]
+    pub fn bank_for(&self, slot: Cycle, p: ProcId) -> BankId {
+        debug_assert!(p * (self.bank_cycle as usize) < self.banks);
+        ((slot as usize).wrapping_add(self.bank_cycle as usize * p)) % self.banks
+    }
+
+    /// Inverse mapping: which processor (if any) owns the *address path* to
+    /// bank `k` at slot `t`. With `b = c·n`, bank `k` is reachable at slot
+    /// `t` iff `(k − t) mod b` is a multiple of `c`; the owner is then
+    /// `(k − t)/c mod n`.
+    pub fn proc_for(&self, slot: Cycle, bank: BankId) -> Option<ProcId> {
+        let c = self.bank_cycle as usize;
+        let diff = (bank + self.banks - (slot as usize % self.banks)) % self.banks;
+        if diff.is_multiple_of(c) {
+            Some(diff / c)
+        } else {
+            None
+        }
+    }
+
+    /// The slot (within a period) at which processor `p` can begin a block
+    /// access that starts at bank `k`, if any.
+    pub fn slot_for(&self, p: ProcId, bank: BankId) -> Option<Cycle> {
+        let c = self.bank_cycle as usize;
+        let t = (bank + self.banks - (c * p) % self.banks) % self.banks;
+        if self.bank_for(t as Cycle, p) == bank {
+            Some(t as Cycle)
+        } else {
+            None
+        }
+    }
+
+    /// The full address-path connection table of Table 3.1: for each slot
+    /// in one period, `table[slot][bank] = Some(p)` if processor `p`'s
+    /// address path is connected to `bank`.
+    pub fn connection_table(&self, processors: usize) -> Vec<Vec<Option<ProcId>>> {
+        (0..self.banks as Cycle)
+            .map(|t| {
+                let mut row = vec![None; self.banks];
+                for p in 0..processors {
+                    row[self.bank_for(t, p)] = Some(p);
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(n: usize, c: u32) -> AtSpace {
+        AtSpace::new(&CfmConfig::new(n, c, 16).unwrap())
+    }
+
+    #[test]
+    fn fig_3_3_partition() {
+        // Fig 3.3: at slot t, processor p accesses bank (t + p) mod 4.
+        let s = space(4, 1);
+        for t in 0..4u64 {
+            for p in 0..4 {
+                assert_eq!(s.bank_for(t, p), ((t as usize) + p) % 4);
+            }
+        }
+    }
+
+    #[test]
+    fn table_3_1_address_paths() {
+        // Table 3.1: n = 4, c = 2, b = 8; at slot t, processor p drives the
+        // address of bank (t + 2p) mod 8.
+        let s = space(4, 2);
+        assert_eq!(s.bank_for(0, 0), 0);
+        assert_eq!(s.bank_for(0, 1), 2);
+        assert_eq!(s.bank_for(0, 2), 4);
+        assert_eq!(s.bank_for(0, 3), 6);
+        assert_eq!(s.bank_for(2, 3), 0); // slot 2: P3 reaches bank 0
+        assert_eq!(s.bank_for(7, 0), 7);
+    }
+
+    #[test]
+    fn per_slot_assignment_is_injective() {
+        for (n, c) in [(4, 1), (4, 2), (8, 1), (8, 4), (16, 2), (3, 3)] {
+            let s = space(n, c);
+            for t in 0..(2 * s.banks()) as Cycle {
+                let mut seen = vec![false; s.banks()];
+                for p in 0..n {
+                    let k = s.bank_for(t, p);
+                    assert!(!seen[k], "conflict at t={t}, n={n}, c={c}");
+                    seen[k] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proc_for_inverts_bank_for() {
+        for (n, c) in [(4, 1), (4, 2), (8, 2), (5, 3)] {
+            let s = space(n, c);
+            for t in 0..s.banks() as Cycle {
+                for p in 0..n {
+                    assert_eq!(s.proc_for(t, s.bank_for(t, p)), Some(p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_banks_have_no_owner() {
+        // With c = 2 only every other bank is address-connected per slot.
+        let s = space(4, 2);
+        let owned: usize = (0..8).filter(|&k| s.proc_for(0, k).is_some()).count();
+        assert_eq!(owned, 4);
+        assert_eq!(s.proc_for(0, 1), None);
+    }
+
+    #[test]
+    fn slot_for_schedules_start_bank() {
+        let s = space(4, 2);
+        for p in 0..4 {
+            for k in 0..8 {
+                if let Some(t) = s.slot_for(p, k) {
+                    assert_eq!(s.bank_for(t, p), k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connection_table_matches_paper_table_3_1() {
+        let s = space(4, 2);
+        let tbl = s.connection_table(4);
+        // Slot 0: P0@B0 P1@B2 P2@B4 P3@B6.
+        assert_eq!(tbl[0][0], Some(0));
+        assert_eq!(tbl[0][2], Some(1));
+        assert_eq!(tbl[0][4], Some(2));
+        assert_eq!(tbl[0][6], Some(3));
+        assert_eq!(tbl[0][1], None);
+        // Slot 2: P3@B0 P0@B2 P1@B4 P2@B6.
+        assert_eq!(tbl[2][0], Some(3));
+        assert_eq!(tbl[2][2], Some(0));
+    }
+}

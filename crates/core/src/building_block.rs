@@ -1,0 +1,227 @@
+//! Building blocks for large-scale CFM construction (§7.2 future work):
+//! "A building block can be a board composed of multiple processors/ports
+//! and a conflict-free memory module with a number of memory banks. It
+//! would be more convenient if large scale multiprocessors could be
+//! implemented by integrating smaller building blocks such as four-bank
+//! CFM boards or eight-bank CFM boards."
+//!
+//! A [`BuildingBlock`] is a board type; [`compose`] checks a bill of
+//! materials against the AT-space constraint `b = c·n` and returns the
+//! composed machine configuration together with the port map assigning
+//! each board's processors and banks their global indices.
+
+use crate::config::{CfmConfig, ConfigError};
+
+/// A board type: so many processor ports and banks, with a fixed bank
+/// cycle and word width shared by every board in a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildingBlock {
+    /// Processor ports on the board.
+    pub processors: usize,
+    /// Memory banks on the board.
+    pub banks: usize,
+}
+
+impl BuildingBlock {
+    /// The classic four-bank board: `4/c` processors for bank cycle `c`.
+    pub fn four_bank(bank_cycle: u32) -> Self {
+        BuildingBlock {
+            processors: 4 / bank_cycle as usize,
+            banks: 4,
+        }
+    }
+
+    /// The classic eight-bank board.
+    pub fn eight_bank(bank_cycle: u32) -> Self {
+        BuildingBlock {
+            processors: 8 / bank_cycle as usize,
+            banks: 8,
+        }
+    }
+
+    /// Whether this board is internally balanced for bank cycle `c`
+    /// (its own banks cover its own processors).
+    pub fn balanced(&self, bank_cycle: u32) -> bool {
+        self.banks == self.processors * bank_cycle as usize
+    }
+}
+
+/// Where a board's resources land in the composed machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoardPlacement {
+    /// Index of the board in the bill of materials.
+    pub board: usize,
+    /// Global processor indices assigned to this board's ports.
+    pub processors: std::ops::Range<usize>,
+    /// Global bank indices assigned to this board's banks.
+    pub banks: std::ops::Range<usize>,
+}
+
+/// A composed machine: its configuration plus the board placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Composition {
+    /// The machine configuration the boards realise.
+    pub config: CfmConfig,
+    /// One placement per board, in bill-of-materials order.
+    pub placements: Vec<BoardPlacement>,
+}
+
+/// Why a bill of materials cannot form a CFM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// Σ banks ≠ c · Σ processors — the AT-space cannot be partitioned.
+    Unbalanced {
+        /// Total processors offered.
+        processors: usize,
+        /// Total banks offered.
+        banks: usize,
+        /// Required banks (`c · processors`).
+        required_banks: usize,
+    },
+    /// Empty bill of materials or zero processors.
+    Empty,
+    /// The derived configuration is invalid.
+    Config(ConfigError),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::Unbalanced {
+                processors,
+                banks,
+                required_banks,
+            } => write!(
+                f,
+                "{processors} processors need {required_banks} banks, boards supply {banks}"
+            ),
+            ComposeError::Empty => write!(f, "no boards"),
+            ComposeError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// Compose a machine from boards. All boards share `bank_cycle` and
+/// `word_width`; processors and banks are numbered board-by-board in
+/// order, which keeps each board's banks contiguous (a board is a
+/// conflict-free module in the §3.2.2 sense when its bank count matches
+/// the block size).
+pub fn compose(
+    boards: &[BuildingBlock],
+    bank_cycle: u32,
+    word_width: u32,
+) -> Result<Composition, ComposeError> {
+    if boards.is_empty() {
+        return Err(ComposeError::Empty);
+    }
+    let processors: usize = boards.iter().map(|b| b.processors).sum();
+    let banks: usize = boards.iter().map(|b| b.banks).sum();
+    if processors == 0 {
+        return Err(ComposeError::Empty);
+    }
+    let required = processors * bank_cycle as usize;
+    if banks != required {
+        return Err(ComposeError::Unbalanced {
+            processors,
+            banks,
+            required_banks: required,
+        });
+    }
+    let config =
+        CfmConfig::new(processors, bank_cycle, word_width).map_err(ComposeError::Config)?;
+    let mut placements = Vec::with_capacity(boards.len());
+    let (mut p0, mut b0) = (0usize, 0usize);
+    for (i, b) in boards.iter().enumerate() {
+        placements.push(BoardPlacement {
+            board: i,
+            processors: p0..p0 + b.processors,
+            banks: b0..b0 + b.banks,
+        });
+        p0 += b.processors;
+        b0 += b.banks;
+    }
+    Ok(Composition { config, placements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::CfmMachine;
+    use crate::op::Operation;
+
+    #[test]
+    fn four_eight_bank_boards_compose() {
+        // Two eight-bank boards + two four-bank boards at c = 2:
+        // 24 banks / 12 processor-bank-cycles → 12 processors? No:
+        // processors = 4 + 4 + 2 + 2 = 12, banks = 24 = 2·12 ✓.
+        let boards = [
+            BuildingBlock::eight_bank(2),
+            BuildingBlock::eight_bank(2),
+            BuildingBlock::four_bank(2),
+            BuildingBlock::four_bank(2),
+        ];
+        let c = compose(&boards, 2, 16).unwrap();
+        assert_eq!(c.config.processors(), 12);
+        assert_eq!(c.config.banks(), 24);
+        assert_eq!(c.placements.len(), 4);
+        assert_eq!(c.placements[0].banks, 0..8);
+        assert_eq!(c.placements[3].processors, 10..12);
+    }
+
+    #[test]
+    fn unbalanced_bills_are_rejected() {
+        let boards = [
+            BuildingBlock {
+                processors: 4,
+                banks: 4,
+            },
+            BuildingBlock {
+                processors: 0,
+                banks: 4,
+            },
+        ];
+        // c = 1 needs 4 banks for 4 processors; 8 supplied.
+        let err = compose(&boards, 1, 16).unwrap_err();
+        assert!(matches!(err, ComposeError::Unbalanced { banks: 8, .. }));
+    }
+
+    #[test]
+    fn composed_machine_is_conflict_free() {
+        let boards = [BuildingBlock::four_bank(1), BuildingBlock::four_bank(1)];
+        let comp = compose(&boards, 1, 16).unwrap();
+        let mut m = CfmMachine::new(comp.config, 8);
+        for p in 0..comp.config.processors() {
+            m.issue(p, Operation::read(p % 8)).unwrap();
+        }
+        let done = m.run_until_idle(1000).unwrap();
+        assert_eq!(done.len(), 8);
+        assert_eq!(m.stats().bank_conflicts, 0);
+    }
+
+    #[test]
+    fn memory_only_boards_balance_extra_processors() {
+        // A processor-heavy board plus a bank-only board: §7.2's point
+        // that boards needn't be internally balanced, only the total.
+        let boards = [
+            BuildingBlock {
+                processors: 6,
+                banks: 4,
+            },
+            BuildingBlock {
+                processors: 0,
+                banks: 2,
+            },
+        ];
+        let c = compose(&boards, 1, 16).unwrap();
+        assert_eq!(c.config.processors(), 6);
+        assert_eq!(c.config.banks(), 6);
+        assert!(!boards[0].balanced(1));
+    }
+
+    #[test]
+    fn empty_bills_are_rejected() {
+        assert_eq!(compose(&[], 1, 16).unwrap_err(), ComposeError::Empty);
+    }
+}

@@ -1,0 +1,323 @@
+//! Multi-cluster CFM systems using free time slots (§3.3, Fig 3.12).
+//!
+//! A CFM cluster may install fewer processors than it has AT-space
+//! partitions, leaving *free* slots. A memory-mapped port bound to a free
+//! partition serves block requests arriving from other clusters: remote
+//! accesses then add **no** memory or network contention inside the
+//! serving cluster — to the requester they are simply "slower" regular
+//! accesses (link latency on each direction). Contention is only possible
+//! on the inter-cluster link, which this model serialises FIFO.
+
+use std::collections::VecDeque;
+
+use crate::config::CfmConfig;
+use crate::machine::CfmMachine;
+use crate::op::{Completion, IssueError, Operation};
+use crate::topology::ClusterTopology;
+use crate::{Cycle, ProcId};
+
+/// Identifies a cluster in a [`ClusterSystem`].
+pub type ClusterId = usize;
+
+/// A ticket for an in-flight remote request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RemoteTicket(u64);
+
+/// A remote request travelling between clusters.
+#[derive(Debug)]
+struct RemoteRequest {
+    ticket: RemoteTicket,
+    op: Operation,
+    /// Cycle the requester created the request.
+    created_at: Cycle,
+    /// Cycle at which the request arrives at the serving cluster's port.
+    arrives_at: Cycle,
+    /// Hops the reply must travel back.
+    return_hops: u64,
+}
+
+#[derive(Debug)]
+struct PortState {
+    /// The AT-space partition (processor index) the port occupies.
+    port_proc: ProcId,
+    /// Requests queued at the port.
+    queue: VecDeque<RemoteRequest>,
+    /// Ticket, creation cycle and return hops of the request being
+    /// served, if any.
+    serving: Option<(RemoteTicket, Cycle, u64)>,
+}
+
+/// A system of CFM clusters, each with `local_procs` processors and one
+/// free-slot port serving remote block requests (Fig 3.12 shows two
+/// clusters with three processors and four banks each).
+#[derive(Debug)]
+pub struct ClusterSystem {
+    clusters: Vec<CfmMachine>,
+    ports: Vec<PortState>,
+    local_procs: usize,
+    /// One-way per-hop inter-cluster link latency in cycles.
+    link_latency: u64,
+    /// How the clusters are wired (§3.3 mentions hypercube, 2-D mesh…).
+    topology: ClusterTopology,
+    next_ticket: u64,
+    finished: Vec<(RemoteTicket, Completion)>,
+}
+
+impl ClusterSystem {
+    /// Build `clusters` CFM clusters. Each uses `slots` AT-space
+    /// partitions of which `local_procs` carry processors and the last one
+    /// is the remote-service port; `slots` must exceed `local_procs`.
+    ///
+    /// # Panics
+    /// If `local_procs >= slots` or `clusters == 0`.
+    pub fn new(
+        clusters: usize,
+        slots: usize,
+        local_procs: usize,
+        bank_cycle: u32,
+        offsets: usize,
+        link_latency: u64,
+    ) -> Self {
+        assert!(clusters > 0, "need at least one cluster");
+        assert!(
+            local_procs < slots,
+            "a free slot is required for the remote port"
+        );
+        let cfg = CfmConfig::new(slots, bank_cycle, 16).expect("valid config");
+        ClusterSystem {
+            clusters: (0..clusters)
+                .map(|_| CfmMachine::new(cfg, offsets))
+                .collect(),
+            ports: (0..clusters)
+                .map(|_| PortState {
+                    port_proc: slots - 1,
+                    queue: VecDeque::new(),
+                    serving: None,
+                })
+                .collect(),
+            local_procs,
+            link_latency,
+            topology: ClusterTopology::Full,
+            next_ticket: 0,
+            finished: Vec::new(),
+        }
+    }
+
+    /// Wire the clusters with a topology; remote requests then pay
+    /// `hops × link_latency` per direction.
+    ///
+    /// # Panics
+    /// If the topology's cluster count does not cover this system.
+    pub fn with_topology(mut self, topology: ClusterTopology) -> Self {
+        assert!(
+            topology.clusters() >= self.clusters.len(),
+            "topology too small for {} clusters",
+            self.clusters.len()
+        );
+        self.topology = topology;
+        self
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Processors per cluster (excluding the port).
+    pub fn local_procs(&self) -> usize {
+        self.local_procs
+    }
+
+    /// Access a cluster's machine (e.g. for stats or poking memory).
+    pub fn cluster(&self, c: ClusterId) -> &CfmMachine {
+        &self.clusters[c]
+    }
+
+    /// Mutable access to a cluster's machine.
+    pub fn cluster_mut(&mut self, c: ClusterId) -> &mut CfmMachine {
+        &mut self.clusters[c]
+    }
+
+    /// Issue a local block operation on processor `p` of cluster `c`.
+    pub fn issue_local(
+        &mut self,
+        c: ClusterId,
+        p: ProcId,
+        op: Operation,
+    ) -> Result<(), IssueError> {
+        assert!(p < self.local_procs, "processor index is a port");
+        self.clusters[c].issue(p, op)
+    }
+
+    /// Poll a local completion on processor `p` of cluster `c`.
+    pub fn poll_local(&mut self, c: ClusterId, p: ProcId) -> Option<Completion> {
+        self.clusters[c].poll(p)
+    }
+
+    /// Send a remote block request to cluster `dst` from an unspecified
+    /// neighbour (one hop); it traverses the link, queues at `dst`'s
+    /// free-slot port, executes as an ordinary conflict-free access, and
+    /// the completion travels back.
+    pub fn issue_remote(&mut self, dst: ClusterId, op: Operation) -> RemoteTicket {
+        self.issue_remote_over(1, dst, op)
+    }
+
+    /// Send a remote block request from cluster `src` to cluster `dst`,
+    /// paying the topology's hop count each way.
+    pub fn issue_remote_from(
+        &mut self,
+        src: ClusterId,
+        dst: ClusterId,
+        op: Operation,
+    ) -> RemoteTicket {
+        let hops = self.topology.hops(src, dst).max(1);
+        self.issue_remote_over(hops, dst, op)
+    }
+
+    fn issue_remote_over(&mut self, hops: u64, dst: ClusterId, op: Operation) -> RemoteTicket {
+        let ticket = RemoteTicket(self.next_ticket);
+        self.next_ticket += 1;
+        let now = self.clusters[dst].cycle();
+        self.ports[dst].queue.push_back(RemoteRequest {
+            ticket,
+            op,
+            created_at: now,
+            arrives_at: now + hops * self.link_latency,
+            return_hops: hops,
+        });
+        ticket
+    }
+
+    /// Poll for a finished remote request.
+    pub fn poll_remote(&mut self, ticket: RemoteTicket) -> Option<Completion> {
+        let idx = self.finished.iter().position(|(t, _)| *t == ticket)?;
+        Some(self.finished.remove(idx).1)
+    }
+
+    /// Step every cluster one cycle, moving remote requests through ports.
+    pub fn step(&mut self) {
+        for c in 0..self.clusters.len() {
+            let port_proc = self.ports[c].port_proc;
+            // Complete an in-service remote request.
+            if let Some(done) = self.clusters[c].poll(port_proc) {
+                let (ticket, created_at, return_hops) =
+                    self.ports[c].serving.take().expect("port was serving");
+                // The reply crosses the link; stamp the delivery time into
+                // completed_at and the original request time into
+                // issued_at so latency() spans the whole round trip.
+                let mut done = done;
+                done.issued_at = created_at;
+                done.completed_at += return_hops * self.link_latency;
+                self.finished.push((ticket, done));
+            }
+            // Start the next queued request if the port is idle.
+            if self.ports[c].serving.is_none() {
+                let now = self.clusters[c].cycle();
+                let ready = self.ports[c]
+                    .queue
+                    .front()
+                    .is_some_and(|r| r.arrives_at <= now);
+                if ready {
+                    let req = self.ports[c].queue.pop_front().expect("checked front");
+                    self.clusters[c]
+                        .issue(port_proc, req.op)
+                        .expect("port was idle");
+                    self.ports[c].serving = Some((req.ticket, req.created_at, req.return_hops));
+                }
+            }
+            self.clusters[c].step();
+        }
+    }
+
+    /// Step until all clusters are idle and all remote queues drained, up
+    /// to `max_cycles`. Returns `true` on success.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            let idle = self.clusters.iter().all(|m| m.is_idle())
+                && self
+                    .ports
+                    .iter()
+                    .all(|p| p.queue.is_empty() && p.serving.is_none());
+            if idle {
+                return true;
+            }
+            self.step();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_access_is_a_slower_regular_access() {
+        // Fig 3.12: two clusters, 4 slots, 3 local processors.
+        let mut sys = ClusterSystem::new(2, 4, 3, 1, 16, 5);
+        sys.cluster_mut(1).poke_block(7, &[4, 3, 2, 1]);
+        let ticket = sys.issue_remote(1, Operation::read(7));
+        assert!(sys.run_until_idle(1000));
+        let done = sys.poll_remote(ticket).unwrap();
+        assert_eq!(done.data.as_deref(), Some(&[4, 3, 2, 1][..]));
+        // Latency = 2 link hops + β, plus queueing (none here).
+        let beta = sys.cluster(1).config().block_access_time();
+        assert!(done.latency() >= 2 * 5 + beta);
+    }
+
+    #[test]
+    fn remote_service_adds_no_local_contention() {
+        let mut sys = ClusterSystem::new(2, 4, 3, 1, 16, 2);
+        // Saturate cluster 1 with local traffic while serving remote reads.
+        let t0 = sys.issue_remote(1, Operation::read(0));
+        let t1 = sys.issue_remote(1, Operation::read(1));
+        for p in 0..3 {
+            sys.issue_local(1, p, Operation::read(p)).unwrap();
+        }
+        assert!(sys.run_until_idle(1000));
+        // All local reads completed in exactly β — the remote service used
+        // only the free slot.
+        let beta = sys.cluster(1).config().block_access_time();
+        for p in 0..3 {
+            let c = sys.poll_local(1, p).unwrap();
+            assert_eq!(c.latency(), beta);
+        }
+        assert!(sys.poll_remote(t0).is_some());
+        assert!(sys.poll_remote(t1).is_some());
+        assert_eq!(sys.cluster(1).stats().bank_conflicts, 0);
+    }
+
+    #[test]
+    fn topology_hops_scale_remote_latency() {
+        use crate::topology::ClusterTopology;
+        let mut sys = ClusterSystem::new(4, 2, 1, 1, 8, 5).with_topology(ClusterTopology::Mesh2D {
+            width: 2,
+            height: 2,
+        });
+        sys.cluster_mut(3).poke_block(1, &[7, 8]);
+        // Cluster 0 → 3 is two mesh hops; 2 → 3 is one.
+        let far = sys.issue_remote_from(0, 3, Operation::read(1));
+        assert!(sys.run_until_idle(1000));
+        let far_done = sys.poll_remote(far).unwrap();
+        let near = sys.issue_remote_from(2, 3, Operation::read(1));
+        assert!(sys.run_until_idle(1000));
+        let near_done = sys.poll_remote(near).unwrap();
+        // Two extra hops × 5 cycles × 2 directions.
+        assert_eq!(far_done.latency() - near_done.latency(), 2 * 5);
+    }
+
+    #[test]
+    fn remote_requests_queue_fifo() {
+        let mut sys = ClusterSystem::new(1, 2, 1, 1, 8, 1);
+        sys.cluster_mut(0).poke_block(3, &[1, 2]);
+        let a = sys.issue_remote(0, Operation::read(3));
+        let b = sys.issue_remote(0, Operation::write(3, vec![9, 9]));
+        assert!(sys.run_until_idle(1000));
+        let ca = sys.poll_remote(a).unwrap();
+        let cb = sys.poll_remote(b).unwrap();
+        // FIFO: the read saw the pre-write value.
+        assert_eq!(ca.data.as_deref(), Some(&[1, 2][..]));
+        assert!(cb.completed_at > ca.completed_at);
+        assert_eq!(sys.cluster(0).peek_block(3), vec![9, 9]);
+    }
+}

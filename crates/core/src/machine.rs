@@ -1,0 +1,846 @@
+//! The slot-stepped CFM machine (§3.1, Chapter 4).
+//!
+//! [`CfmMachine`] ties together the AT-space schedule, the synchronous
+//! interconnect, the pipelined memory banks and the per-bank Address
+//! Tracking Tables. It is a deterministic state machine: [`CfmMachine::step`]
+//! simulates one CPU cycle (= one time slot); all state observable between
+//! steps is exact at cycle granularity.
+//!
+//! Timing model (Fig 3.6): an operation issued between steps begins its
+//! first word access in the very next simulated cycle — block accesses
+//! start at any slot with no alignment stall. It injects into one bank per
+//! cycle following the AT-space rotation `bank(t, p) = (t + c·p) mod b`;
+//! the `c − 1` cycle pipeline drain of the last bank is accounted in the
+//! completion timestamp, giving the paper's `β = b + c − 1` end-to-end.
+//!
+//! The machine verifies the central claim of the paper every cycle: **no
+//! two processors ever inject into the same bank in the same slot**
+//! ([`crate::stats::Stats::bank_conflicts`] stays 0). It also runs a
+//! block-version checker (writer-id stamps per word) that detects torn
+//! reads — which the ATT provably prevents, and which reappear the moment
+//! tracking is disabled (the Fig 4.1 ablation).
+
+use crate::atspace::AtSpace;
+use crate::att::{Att, Entry, PriorityMode, TrackKind, WriteVerdict};
+use crate::bank::Bank;
+use crate::config::CfmConfig;
+use crate::op::{BlockTransform, Completion, IssueError, OpKind, Operation, Outcome};
+use crate::stats::Stats;
+use crate::{BlockOffset, Cycle, ProcId, Word};
+
+/// Phase of an in-flight operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Sweeping banks reading words (plain read, or swap's read phase).
+    Read,
+    /// Sweeping banks writing words (plain write, or swap's write phase).
+    Write,
+    /// All word accesses done; waiting for the bank pipeline to drain.
+    Drain,
+}
+
+/// An operation in flight on one processor's AT-space subset.
+#[derive(Debug, Clone)]
+struct InFlight {
+    kind: OpKind,
+    offset: BlockOffset,
+    write_data: Box<[Word]>,
+    /// For RMWs: the transform computing the write data from the block
+    /// read (applied between phases, pipelined as §4.2.1 describes).
+    transform: Option<BlockTransform>,
+    phase: Phase,
+    /// Banks already accessed in the current phase.
+    visited: usize,
+    /// Whether the current write phase has updated bank 0 (tie-break).
+    bank0_updated: bool,
+    read_buf: Box<[Word]>,
+    observed_writers: Box<[u64]>,
+    issued_at: Cycle,
+    restarts: u32,
+    /// Unique id stamped on written words for the tear checker.
+    op_id: u64,
+    /// Cycle at which the drained completion is delivered.
+    completes_at: Cycle,
+    /// After a write restart, stay off the banks until the blocking ATT
+    /// entry has expired — immediate re-insertion would ping-pong with
+    /// the blocker's own restarts (see [`crate::att::WriteVerdict`]).
+    sleep_until: Cycle,
+    outcome: Outcome,
+}
+
+/// The cycle-accurate conflict-free memory machine.
+#[derive(Debug, Clone)]
+pub struct CfmMachine {
+    config: CfmConfig,
+    space: AtSpace,
+    banks: Vec<Bank>,
+    /// Writer-id stamp per bank per offset, for the tear checker.
+    writer_ids: Vec<Vec<u64>>,
+    atts: Vec<Att>,
+    inflight: Vec<Option<InFlight>>,
+    done: Vec<Vec<Completion>>,
+    cycle: Cycle,
+    next_op_id: u64,
+    stats: Stats,
+    att_enabled: bool,
+    mode: PriorityMode,
+}
+
+impl CfmMachine {
+    /// A machine with the given configuration and `offsets` blocks of
+    /// shared memory, address tracking enabled, in the swap-capable
+    /// earliest-wins priority mode (§4.2.1).
+    pub fn new(config: CfmConfig, offsets: usize) -> Self {
+        Self::with_options(config, offsets, true, PriorityMode::EarliestWins)
+    }
+
+    /// Full constructor. `att_enabled = false` reproduces the Fig 4.1
+    /// inconsistency; [`PriorityMode::LatestWins`] is the plain-write mode
+    /// of §4.1.2 (no swap support).
+    pub fn with_options(
+        config: CfmConfig,
+        offsets: usize,
+        att_enabled: bool,
+        mode: PriorityMode,
+    ) -> Self {
+        let b = config.banks();
+        CfmMachine {
+            space: AtSpace::new(&config),
+            banks: (0..b).map(|_| Bank::new(offsets)).collect(),
+            writer_ids: vec![vec![0; offsets]; b],
+            atts: (0..b).map(|_| Att::new(b)).collect(),
+            inflight: vec![None; config.processors()],
+            done: vec![Vec::new(); config.processors()],
+            cycle: 0,
+            next_op_id: 1,
+            stats: Stats::default(),
+            att_enabled,
+            mode,
+            config,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &CfmConfig {
+        &self.config
+    }
+
+    /// The next cycle to be simulated.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Number of block offsets per bank.
+    pub fn offsets(&self) -> usize {
+        self.banks[0].offsets()
+    }
+
+    /// Whether processor `p` has an operation in flight.
+    pub fn is_busy(&self, p: ProcId) -> bool {
+        self.inflight[p].is_some()
+    }
+
+    /// Whether every processor is idle.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.iter().all(|s| s.is_none())
+    }
+
+    /// Read a block directly (debug/test access, not a timed operation).
+    pub fn peek_block(&self, offset: BlockOffset) -> Vec<Word> {
+        self.banks.iter().map(|b| b.read(offset)).collect()
+    }
+
+    /// Write a block directly (initialisation, not a timed operation).
+    pub fn poke_block(&mut self, offset: BlockOffset, words: &[Word]) {
+        assert_eq!(words.len(), self.banks.len());
+        for (bank, &w) in self.banks.iter_mut().zip(words) {
+            bank.write(offset, w);
+        }
+    }
+
+    /// Issue a block operation on processor `p`. The first word access
+    /// happens in the next simulated cycle — no alignment stall.
+    pub fn issue(&mut self, p: ProcId, op: Operation) -> Result<(), IssueError> {
+        let b = self.config.banks();
+        if p >= self.config.processors() {
+            return Err(IssueError::NoSuchProcessor);
+        }
+        if op.offset() >= self.offsets() {
+            return Err(IssueError::NoSuchBlock);
+        }
+        if self.inflight[p].is_some() {
+            return Err(IssueError::Busy);
+        }
+        let (kind, offset, write_data, transform) = match op {
+            Operation::Read { offset } => {
+                (OpKind::Read, offset, Vec::new().into_boxed_slice(), None)
+            }
+            Operation::Write { offset, data } => {
+                if data.len() != b {
+                    return Err(IssueError::WrongBlockLength {
+                        got: data.len(),
+                        want: b,
+                    });
+                }
+                (OpKind::Write, offset, data, None)
+            }
+            Operation::Swap { offset, data } => {
+                if data.len() != b {
+                    return Err(IssueError::WrongBlockLength {
+                        got: data.len(),
+                        want: b,
+                    });
+                }
+                (OpKind::Swap, offset, data, None)
+            }
+            Operation::Rmw { offset, transform } => {
+                if let Some(len) = transform.pattern_len() {
+                    if len != b {
+                        return Err(IssueError::WrongBlockLength { got: len, want: b });
+                    }
+                }
+                (
+                    OpKind::Rmw,
+                    offset,
+                    Vec::new().into_boxed_slice(),
+                    Some(transform),
+                )
+            }
+        };
+        let phase = match kind {
+            OpKind::Write => Phase::Write,
+            _ => Phase::Read,
+        };
+        let op_id = self.next_op_id;
+        self.next_op_id += 1;
+        self.inflight[p] = Some(InFlight {
+            kind,
+            offset,
+            write_data,
+            transform,
+            phase,
+            visited: 0,
+            bank0_updated: false,
+            read_buf: vec![0; b].into_boxed_slice(),
+            observed_writers: vec![0; b].into_boxed_slice(),
+            issued_at: self.cycle,
+            restarts: 0,
+            op_id,
+            completes_at: 0,
+            sleep_until: 0,
+            outcome: Outcome::Completed,
+        });
+        self.stats.issued += 1;
+        Ok(())
+    }
+
+    /// Take the oldest undelivered completion for processor `p`.
+    pub fn poll(&mut self, p: ProcId) -> Option<Completion> {
+        if self.done[p].is_empty() {
+            None
+        } else {
+            Some(self.done[p].remove(0))
+        }
+    }
+
+    /// Simulate one CPU cycle (one time slot).
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        let b = self.config.banks();
+        for att in &mut self.atts {
+            att.expire(now);
+        }
+        for p in 0..self.inflight.len() {
+            let Some(mut op) = self.inflight[p].take() else {
+                continue;
+            };
+            if op.phase == Phase::Drain || now < op.sleep_until {
+                self.inflight[p] = Some(op);
+                continue;
+            }
+            let k = self.space.bank_for(now, p);
+            if !self.banks[k].note_injection(now) {
+                // Impossible under the AT-space schedule; recorded, not fatal.
+                self.stats.bank_conflicts += 1;
+            }
+            self.stats.word_accesses += 1;
+            match op.phase {
+                Phase::Read => {
+                    let conflict = self
+                        .att_enabled
+                        .then(|| self.atts[k].read_conflict(op.offset, p, now))
+                        .flatten();
+                    if conflict.is_some() {
+                        // Restart the read from the next bank; for a swap,
+                        // the whole operation restarts (Fig 4.6a).
+                        self.stats.wasted_word_accesses += op.visited as u64 + 1;
+                        if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                            self.stats.swap_restarts += 1;
+                        } else {
+                            self.stats.read_restarts += 1;
+                        }
+                        op.restarts += 1;
+                        op.visited = 0;
+                    } else {
+                        op.read_buf[k] = self.banks[k].read(op.offset);
+                        op.observed_writers[k] = self.writer_ids[k][op.offset];
+                        op.visited += 1;
+                        if op.visited == b {
+                            if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                                // §4.2.1: the modification is computed in a
+                                // pipelined fashion, so the write phase
+                                // starts with no extra delay.
+                                if let Some(t) = &op.transform {
+                                    op.write_data = t.apply(&op.read_buf).into_boxed_slice();
+                                }
+                                op.phase = Phase::Write;
+                                op.visited = 0;
+                                op.bank0_updated = false;
+                            } else {
+                                op.phase = Phase::Drain;
+                                op.completes_at = now + self.config.bank_cycle() as u64 - 1;
+                            }
+                        }
+                    }
+                }
+                Phase::Write => {
+                    if op.visited == 0 && self.att_enabled {
+                        self.atts[k].insert(Entry {
+                            offset: op.offset,
+                            kind: if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                                TrackKind::SwapWrite
+                            } else {
+                                TrackKind::Write
+                            },
+                            proc: p,
+                            inserted_at: now,
+                        });
+                    }
+                    let verdict = if self.att_enabled {
+                        self.atts[k].write_verdict(
+                            self.mode,
+                            op.offset,
+                            p,
+                            now,
+                            op.visited as u64,
+                            op.bank0_updated,
+                            // Write-phase accesses are consecutive, so the
+                            // phase began `visited` cycles ago.
+                            now - op.visited as u64,
+                        )
+                    } else {
+                        WriteVerdict::Proceed
+                    };
+                    match verdict {
+                        WriteVerdict::Proceed => {
+                            self.banks[k].write(op.offset, op.write_data[k]);
+                            self.writer_ids[k][op.offset] = op.op_id;
+                            op.bank0_updated |= k == 0;
+                            op.visited += 1;
+                            if op.visited == b {
+                                op.phase = Phase::Drain;
+                                op.completes_at = now + self.config.bank_cycle() as u64 - 1;
+                            }
+                        }
+                        WriteVerdict::Abort => {
+                            self.stats.wasted_word_accesses += op.visited as u64 + 1;
+                            self.stats.write_aborts += 1;
+                            op.outcome = Outcome::Overwritten;
+                            op.phase = Phase::Drain;
+                            op.completes_at = now;
+                        }
+                        WriteVerdict::Restart { blocker } => {
+                            self.stats.wasted_word_accesses += op.visited as u64 + 1;
+                            op.restarts += 1;
+                            // Withdraw our own entry: a backed-off write is
+                            // no longer a competitor, and its stale entry
+                            // would otherwise keep killing other writers
+                            // (3-writer livelock; see att.rs docs).
+                            let phase_start = now - op.visited as u64;
+                            let start_bank = self.space.bank_for(phase_start, p);
+                            self.atts[start_bank].remove(op.offset, p, phase_start);
+                            op.visited = 0;
+                            op.bank0_updated = false;
+                            // Back off until the blocker's entry expires
+                            // (one full ATT lifetime after its insertion).
+                            op.sleep_until = blocker.inserted_at + b as u64;
+                            if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                                self.stats.swap_restarts += 1;
+                                op.phase = Phase::Read;
+                            } else {
+                                self.stats.write_restarts += 1;
+                            }
+                        }
+                    }
+                }
+                Phase::Drain => unreachable!(),
+            }
+            self.inflight[p] = Some(op);
+        }
+
+        // Deliver completions whose pipeline has drained by the end of
+        // this cycle, freeing the processor for a back-to-back issue.
+        for p in 0..self.inflight.len() {
+            let ready = matches!(
+                &self.inflight[p],
+                Some(op) if op.phase == Phase::Drain && op.completes_at <= now
+            );
+            if ready {
+                let op = self.inflight[p].take().expect("checked above");
+                let data = match op.kind {
+                    OpKind::Read | OpKind::Swap | OpKind::Rmw => Some(op.read_buf),
+                    OpKind::Write => None,
+                };
+                let torn = if matches!(op.kind, OpKind::Read | OpKind::Swap | OpKind::Rmw)
+                    && op.outcome == Outcome::Completed
+                {
+                    let mut distinct = op.observed_writers.iter().collect::<Vec<_>>();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    distinct.len() > 1
+                } else {
+                    false
+                };
+                if torn {
+                    self.stats.torn_reads += 1;
+                }
+                self.stats.completed += 1;
+                self.done[p].push(Completion {
+                    proc: p,
+                    kind: op.kind,
+                    offset: op.offset,
+                    data,
+                    issued_at: op.issued_at,
+                    completed_at: op.completes_at,
+                    restarts: op.restarts,
+                    outcome: op.outcome,
+                    torn,
+                });
+            }
+        }
+
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// Issue one operation and run it to completion (single-op driver
+    /// for tests and examples; other processors must be idle or their
+    /// completions are delivered to their queues as usual).
+    ///
+    /// # Panics
+    /// If the processor is busy or the operation fails to complete
+    /// within a generous budget.
+    pub fn execute(&mut self, p: ProcId, op: Operation) -> Completion {
+        self.issue(p, op).expect("processor accepted operation");
+        for _ in 0..1_000_000 {
+            self.step();
+            if let Some(c) = self.poll(p) {
+                return c;
+            }
+        }
+        panic!("operation did not complete");
+    }
+
+    /// Step until every processor is idle (or `max_cycles` elapse),
+    /// returning all completions in delivery order. `Err` carries the
+    /// completions gathered before the cycle budget ran out.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<Vec<Completion>, Vec<Completion>> {
+        let mut out = Vec::new();
+        for _ in 0..max_cycles {
+            if self.is_idle() {
+                break;
+            }
+            self.step();
+            for p in 0..self.done.len() {
+                out.append(&mut self.done[p]);
+            }
+        }
+        if self.is_idle() {
+            Ok(out)
+        } else {
+            Err(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: usize, c: u32, offsets: usize) -> CfmMachine {
+        CfmMachine::new(CfmConfig::new(n, c, 16).unwrap(), offsets)
+    }
+
+    #[test]
+    fn single_read_takes_beta_cycles() {
+        // β = b + c − 1; n=4, c=2 → b=8, β=9 (Table 3.3's 8-bank row).
+        let mut m = machine(4, 2, 16);
+        m.issue(0, Operation::read(3)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency(), 9);
+        assert_eq!(done[0].outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn single_write_then_read_roundtrip() {
+        let mut m = machine(4, 1, 16);
+        let data: Vec<Word> = vec![10, 20, 30, 40];
+        m.issue(2, Operation::write(5, data.clone())).unwrap();
+        m.run_until_idle(100).unwrap();
+        assert_eq!(m.peek_block(5), data);
+        m.issue(1, Operation::read(5)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        assert_eq!(done[0].data.as_deref(), Some(&data[..]));
+        assert!(!done[0].torn);
+    }
+
+    #[test]
+    fn block_access_starts_at_any_slot_without_stall() {
+        // Issue at three different phases of the period; latency is always β.
+        for skew in 0..4u64 {
+            let mut m = machine(4, 1, 8);
+            for _ in 0..skew {
+                m.step();
+            }
+            m.issue(3, Operation::read(0)).unwrap();
+            let done = m.run_until_idle(100).unwrap();
+            assert_eq!(done[0].latency(), 4, "skew {skew}");
+        }
+    }
+
+    #[test]
+    fn all_processors_concurrently_zero_conflicts() {
+        // Every processor reads a different block simultaneously: all
+        // complete in exactly β with zero bank conflicts (the headline
+        // conflict-freedom claim).
+        let mut m = machine(8, 2, 32);
+        for p in 0..8 {
+            m.issue(p, Operation::read(p)).unwrap();
+        }
+        let done = m.run_until_idle(200).unwrap();
+        assert_eq!(done.len(), 8);
+        for c in &done {
+            assert_eq!(c.latency(), m.config().block_access_time());
+        }
+        assert_eq!(m.stats().bank_conflicts, 0);
+    }
+
+    #[test]
+    fn same_block_concurrent_reads_all_complete() {
+        let mut m = machine(4, 1, 8);
+        m.poke_block(2, &[7, 7, 7, 7]);
+        for p in 0..4 {
+            m.issue(p, Operation::read(2)).unwrap();
+        }
+        let done = m.run_until_idle(100).unwrap();
+        for c in done {
+            assert_eq!(c.data.as_deref(), Some(&[7, 7, 7, 7][..]));
+            assert_eq!(c.restarts, 0);
+        }
+    }
+
+    #[test]
+    fn busy_processor_rejects_second_issue() {
+        let mut m = machine(4, 1, 8);
+        m.issue(0, Operation::read(0)).unwrap();
+        assert_eq!(m.issue(0, Operation::read(1)), Err(IssueError::Busy));
+    }
+
+    #[test]
+    fn issue_validation() {
+        let mut m = machine(4, 1, 8);
+        assert_eq!(
+            m.issue(9, Operation::read(0)),
+            Err(IssueError::NoSuchProcessor)
+        );
+        assert_eq!(
+            m.issue(0, Operation::read(99)),
+            Err(IssueError::NoSuchBlock)
+        );
+        assert_eq!(
+            m.issue(0, Operation::write(0, vec![1, 2])),
+            Err(IssueError::WrongBlockLength { got: 2, want: 4 })
+        );
+    }
+
+    #[test]
+    fn swap_returns_old_block_and_installs_new() {
+        let mut m = machine(4, 1, 8);
+        m.poke_block(3, &[1, 2, 3, 4]);
+        m.issue(0, Operation::swap(3, vec![9, 9, 9, 9])).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        assert_eq!(done[0].data.as_deref(), Some(&[1, 2, 3, 4][..]));
+        assert_eq!(done[0].latency(), m.config().swap_access_time());
+        assert_eq!(m.peek_block(3), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn back_to_back_issues_have_no_gap() {
+        let mut m = machine(4, 1, 8);
+        m.issue(0, Operation::read(0)).unwrap();
+        let first = m.run_until_idle(100).unwrap().remove(0);
+        m.issue(0, Operation::read(1)).unwrap();
+        let second = m.run_until_idle(100).unwrap().remove(0);
+        assert_eq!(second.issued_at, first.completed_at + 1);
+    }
+
+    #[test]
+    fn concurrent_same_block_writes_one_winner_no_tear() {
+        // Two processors write the same block simultaneously: exactly one
+        // version survives intact (Fig 4.4's guarantee).
+        let mut m = machine(4, 1, 8);
+        m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
+        m.issue(2, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
+        m.run_until_idle(100).unwrap();
+        let block = m.peek_block(5);
+        assert!(
+            block == vec![1, 1, 1, 1] || block == vec![2, 2, 2, 2],
+            "torn block: {block:?}"
+        );
+    }
+
+    #[test]
+    fn fig_4_3_exact_timeline() {
+        // Fig 4.3, §4.1.2 (latest-wins): m = 8 banks, c = 1. Processor 1
+        // issues write a at slot 0 (first bank 1); processor 3 issues
+        // write b at slot 1 (first bank 4). At slot 3, a reaches bank 4,
+        // finds b's entry among its first n entries (b was issued later)
+        // and aborts; b completes untouched.
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        m.issue(1, Operation::write(5, vec![0xA; 8])).unwrap();
+        m.step(); // slot 0: a starts in bank 1
+        m.issue(3, Operation::write(5, vec![0xB; 8])).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let a = done.iter().find(|c| c.proc == 1).unwrap();
+        let b = done.iter().find(|c| c.proc == 3).unwrap();
+        assert_eq!(a.outcome, Outcome::Overwritten, "a must be aborted");
+        assert_eq!(b.outcome, Outcome::Completed);
+        // a aborted at slot 3 — after three word accesses.
+        assert_eq!(a.completed_at, 3);
+        assert_eq!(m.peek_block(5), vec![0xB; 8]);
+    }
+
+    #[test]
+    fn fig_4_4_simultaneous_writes_bank0_tiebreak() {
+        // Fig 4.4: writes c (processor 1, first bank 1) and d (processor
+        // 5, first bank 5) issued in the same slot. d updates bank 0 at
+        // slot 3; at slot 4, c detects d in its first four entries and
+        // aborts, while d (having updated bank 0) compares only three
+        // entries and proceeds.
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        m.issue(1, Operation::write(5, vec![0xC; 8])).unwrap();
+        m.issue(5, Operation::write(5, vec![0xD; 8])).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let c = done.iter().find(|x| x.proc == 1).unwrap();
+        let d = done.iter().find(|x| x.proc == 5).unwrap();
+        assert_eq!(c.outcome, Outcome::Overwritten, "c must lose the tie");
+        assert_eq!(c.completed_at, 4, "c aborts at slot 4 (bank 5)");
+        assert_eq!(d.outcome, Outcome::Completed);
+        assert_eq!(m.peek_block(5), vec![0xD; 8]);
+    }
+
+    #[test]
+    fn fig_4_5_read_restart_timeline() {
+        // Fig 4.5: read e (processor 1, first bank 1) and write f
+        // (processor 3, first bank 3) issued in the same slot. e reaches
+        // bank 3 at slot 2, detects f's entry, restarts, and returns the
+        // all-new block.
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        m.poke_block(5, &[0; 8]);
+        m.issue(3, Operation::write(5, vec![0xF; 8])).unwrap();
+        m.issue(1, Operation::read(5)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let e = done.iter().find(|x| x.kind == OpKind::Read).unwrap();
+        assert!(e.restarts >= 1, "e must restart at bank 3");
+        assert_eq!(
+            e.data.as_deref().unwrap(),
+            &[0xF; 8],
+            "restarted read must deliver a single (new) version"
+        );
+        assert!(!e.torn);
+    }
+
+    #[test]
+    fn att_disabled_produces_torn_blocks() {
+        // Fig 4.1: without address tracking, staggered same-block writes
+        // interleave and the block ends up torn.
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let mut m = CfmMachine::with_options(cfg, 8, false, PriorityMode::EarliestWins);
+        m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
+        m.step(); // processor 1 starts one slot later, offset start bank
+        m.issue(1, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
+        m.run_until_idle(100).unwrap();
+        let block = m.peek_block(5);
+        assert!(
+            block != vec![1, 1, 1, 1] && block != vec![2, 2, 2, 2],
+            "expected a torn block, got {block:?}"
+        );
+    }
+
+    #[test]
+    fn att_disabled_read_tear_detected() {
+        // A read overlapping a write with tracking off observes two
+        // versions; the checker flags it.
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let mut m = CfmMachine::with_options(cfg, 8, false, PriorityMode::EarliestWins);
+        m.poke_block(5, &[0, 0, 0, 0]);
+        // Writer p1 starts at bank 1 and reaches bank 0 last (cycle 3);
+        // reader p0 starts at bank 0 (cycle 0, old word) and then trails
+        // one bank behind the writer (new words) — a classic tear.
+        m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
+        m.issue(0, Operation::read(5)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
+        assert!(read.torn, "read should have observed a tear");
+        assert!(m.stats().torn_reads >= 1);
+    }
+
+    #[test]
+    fn att_enabled_reads_never_torn() {
+        // Same interleaving as above with tracking on: the read restarts
+        // and returns a single version.
+        let mut m = machine(4, 1, 8);
+        m.poke_block(5, &[0, 0, 0, 0]);
+        m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
+        m.issue(0, Operation::read(5)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
+        assert!(!read.torn);
+        let data = read.data.as_deref().unwrap();
+        assert!(
+            data == [0, 0, 0, 0] || data == [9, 9, 9, 9],
+            "mixed versions: {data:?}"
+        );
+        assert_eq!(m.stats().torn_reads, 0);
+    }
+
+    #[test]
+    fn swap_swap_conflict_is_serialized() {
+        // Two concurrent swaps on one block: outcomes equal one of the two
+        // sequential orders (Fig 4.6a/b) — exactly one sees the other's
+        // value or the initial value consistently.
+        let mut m = machine(4, 1, 8);
+        m.poke_block(5, &[0, 0, 0, 0]);
+        m.issue(0, Operation::swap(5, vec![1, 1, 1, 1])).unwrap();
+        m.issue(2, Operation::swap(5, vec![2, 2, 2, 2])).unwrap();
+        let done = m.run_until_idle(1000).unwrap();
+        let mut olds: Vec<Vec<Word>> = done
+            .iter()
+            .map(|c| c.data.as_deref().unwrap().to_vec())
+            .collect();
+        olds.sort();
+        let fin = m.peek_block(5);
+        // Serial order A;B: olds {0…, A's data}, final B's data.
+        let ok = (olds == vec![vec![0; 4], vec![1; 4]] && fin == vec![2; 4])
+            || (olds == vec![vec![0; 4], vec![2; 4]] && fin == vec![1; 4]);
+        assert!(ok, "olds {olds:?}, final {fin:?} is not a serial outcome");
+        assert_eq!(m.stats().torn_reads, 0);
+    }
+
+    #[test]
+    fn raw_fetch_and_add_is_atomic_across_processors() {
+        // §4.2.1's read-modify-write on the uncached machine: concurrent
+        // fetch-and-adds never lose an increment.
+        let mut m = machine(4, 1, 8);
+        for round in 0..5 {
+            for p in 0..4 {
+                m.issue(p, Operation::fetch_add(2, 0, 1)).unwrap();
+            }
+            let done = m.run_until_idle(100_000).unwrap();
+            assert_eq!(done.len(), 4, "round {round}");
+        }
+        assert_eq!(m.peek_block(2)[0], 20);
+        assert_eq!(m.stats().torn_reads, 0);
+    }
+
+    #[test]
+    fn raw_rmw_returns_old_block_and_times_like_swap() {
+        let mut m = machine(4, 2, 8);
+        m.poke_block(1, &[5, 0, 0, 0, 0, 0, 0, 0]);
+        m.issue(0, Operation::fetch_add(1, 0, 10)).unwrap();
+        let done = m.run_until_idle(1_000).unwrap();
+        assert_eq!(done[0].data.as_deref().unwrap()[0], 5); // old value
+        assert_eq!(done[0].latency(), m.config().swap_access_time());
+        assert_eq!(m.peek_block(1)[0], 15);
+    }
+
+    #[test]
+    fn raw_multiple_test_and_set_all_or_nothing() {
+        use crate::op::BlockTransform;
+        let mut m = machine(4, 1, 8);
+        m.poke_block(0, &[0b0101, 0, 0, 0]);
+        // Disjoint pattern succeeds.
+        m.issue(
+            0,
+            Operation::Rmw {
+                offset: 0,
+                transform: BlockTransform::MultipleTestAndSet {
+                    pattern: vec![0b1010, 0, 0, 1].into_boxed_slice(),
+                },
+            },
+        )
+        .unwrap();
+        m.run_until_idle(1_000).unwrap();
+        assert_eq!(m.peek_block(0), vec![0b1111, 0, 0, 1]);
+        // Overlapping pattern fails atomically: block unchanged, old
+        // value returned for the caller to inspect.
+        m.issue(
+            1,
+            Operation::Rmw {
+                offset: 0,
+                transform: BlockTransform::MultipleTestAndSet {
+                    pattern: vec![0b0100, 0, 0, 0].into_boxed_slice(),
+                },
+            },
+        )
+        .unwrap();
+        let done = m.run_until_idle(1_000).unwrap();
+        assert_eq!(done[0].data.as_deref().unwrap()[0], 0b1111);
+        assert_eq!(m.peek_block(0), vec![0b1111, 0, 0, 1]);
+    }
+
+    #[test]
+    fn rmw_pattern_length_validated() {
+        use crate::op::BlockTransform;
+        let mut m = machine(4, 1, 8);
+        assert_eq!(
+            m.issue(
+                0,
+                Operation::Rmw {
+                    offset: 0,
+                    transform: BlockTransform::MultipleTestAndSet {
+                        pattern: vec![1, 2].into_boxed_slice(),
+                    },
+                },
+            ),
+            Err(IssueError::WrongBlockLength { got: 2, want: 4 })
+        );
+    }
+
+    #[test]
+    fn stats_count_basic_run() {
+        let mut m = machine(4, 1, 8);
+        m.issue(0, Operation::read(0)).unwrap();
+        m.run_until_idle(100).unwrap();
+        assert_eq!(m.stats().issued, 1);
+        assert_eq!(m.stats().completed, 1);
+        assert_eq!(m.stats().word_accesses, 4);
+        assert_eq!(m.stats().efficiency(), 1.0);
+    }
+
+    #[test]
+    fn run_until_idle_reports_budget_exhaustion() {
+        let mut m = machine(4, 2, 8);
+        m.issue(0, Operation::read(0)).unwrap();
+        assert!(m.run_until_idle(3).is_err());
+    }
+}

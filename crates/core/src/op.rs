@@ -1,0 +1,307 @@
+//! Block operations and their completions.
+//!
+//! Every CFM memory access is a block access: a read or write of one word
+//! per bank, or an atomic [`Operation::Swap`] (§4.2.1) that reads the old
+//! block and writes a new one back-to-back, atomically with respect to
+//! all other block operations.
+
+use std::fmt;
+
+use crate::{BlockOffset, Cycle, ProcId, Word};
+
+/// A block operation issued by a processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operation {
+    /// Read the block at `offset`.
+    Read {
+        /// Block offset within every bank.
+        offset: BlockOffset,
+    },
+    /// Write `data` (one word per bank) to the block at `offset`.
+    Write {
+        /// Block offset within every bank.
+        offset: BlockOffset,
+        /// Exactly `b` words; word `k` goes to bank `k`.
+        data: Box<[Word]>,
+    },
+    /// Atomically exchange the block at `offset` with `data`, returning
+    /// the old block.
+    Swap {
+        /// Block offset within every bank.
+        offset: BlockOffset,
+        /// Exactly `b` words; word `k` goes to bank `k`.
+        data: Box<[Word]>,
+    },
+    /// A general atomic read-modify-write (§4.2.1's closing remark): the
+    /// read phase retrieves the block, the transform computes the new
+    /// block "in a pipelined fashion", and the write phase stores it —
+    /// same timing and arbitration as [`Operation::Swap`].
+    Rmw {
+        /// Block offset within every bank.
+        offset: BlockOffset,
+        /// The modification applied between the phases.
+        transform: BlockTransform,
+    },
+}
+
+/// Pure block-to-block modifications for [`Operation::Rmw`] — the atomic
+/// primitives the paper builds synchronization from, at the raw-memory
+/// level (no caches required).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockTransform {
+    /// Add `delta` (wrapping) to word `word`: fetch-and-add.
+    FetchAdd {
+        /// Word index within the block.
+        word: usize,
+        /// Amount to add.
+        delta: Word,
+    },
+    /// Set word `word` to 1: test-and-set.
+    TestAndSet {
+        /// Word index within the block.
+        word: usize,
+    },
+    /// OR a bit pattern into the block **iff** it is disjoint from the
+    /// held bits (multiple test-and-set, §5.3.3's semantics on the raw
+    /// machine); on conflict the block is written back unchanged and the
+    /// caller inspects the returned old block.
+    MultipleTestAndSet {
+        /// One pattern word per bank.
+        pattern: Box<[Word]>,
+    },
+    /// AND the complement of a pattern into the block (multiple unlock).
+    ClearBits {
+        /// One pattern word per bank.
+        pattern: Box<[Word]>,
+    },
+}
+
+impl BlockTransform {
+    /// Apply the transform to `old`, producing the block to write.
+    pub fn apply(&self, old: &[Word]) -> Vec<Word> {
+        let mut new: Vec<Word> = old.to_vec();
+        match self {
+            BlockTransform::FetchAdd { word, delta } => {
+                new[*word] = new[*word].wrapping_add(*delta);
+            }
+            BlockTransform::TestAndSet { word } => new[*word] = 1,
+            BlockTransform::MultipleTestAndSet { pattern } => {
+                let conflict = old.iter().zip(pattern.iter()).any(|(o, p)| o & p != 0);
+                if !conflict {
+                    for (n, p) in new.iter_mut().zip(pattern.iter()) {
+                        *n |= p;
+                    }
+                }
+            }
+            BlockTransform::ClearBits { pattern } => {
+                for (n, p) in new.iter_mut().zip(pattern.iter()) {
+                    *n &= !p;
+                }
+            }
+        }
+        new
+    }
+
+    /// Words the pattern-based transforms require (`None` for word-index
+    /// transforms, validated against the block length separately).
+    pub fn pattern_len(&self) -> Option<usize> {
+        match self {
+            BlockTransform::MultipleTestAndSet { pattern }
+            | BlockTransform::ClearBits { pattern } => Some(pattern.len()),
+            _ => None,
+        }
+    }
+}
+
+impl Operation {
+    /// Convenience constructor for a read.
+    pub fn read(offset: BlockOffset) -> Self {
+        Operation::Read { offset }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(offset: BlockOffset, data: impl Into<Vec<Word>>) -> Self {
+        Operation::Write {
+            offset,
+            data: data.into().into_boxed_slice(),
+        }
+    }
+
+    /// Convenience constructor for a swap.
+    pub fn swap(offset: BlockOffset, data: impl Into<Vec<Word>>) -> Self {
+        Operation::Swap {
+            offset,
+            data: data.into().into_boxed_slice(),
+        }
+    }
+
+    /// Convenience constructor for a fetch-and-add on one word.
+    pub fn fetch_add(offset: BlockOffset, word: usize, delta: Word) -> Self {
+        Operation::Rmw {
+            offset,
+            transform: BlockTransform::FetchAdd { word, delta },
+        }
+    }
+
+    /// The block offset targeted.
+    pub fn offset(&self) -> BlockOffset {
+        match self {
+            Operation::Read { offset }
+            | Operation::Write { offset, .. }
+            | Operation::Swap { offset, .. }
+            | Operation::Rmw { offset, .. } => *offset,
+        }
+    }
+
+    /// The operation kind.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Operation::Read { .. } => OpKind::Read,
+            Operation::Write { .. } => OpKind::Write,
+            Operation::Swap { .. } => OpKind::Swap,
+            Operation::Rmw { .. } => OpKind::Rmw,
+        }
+    }
+}
+
+/// Kind tag of an [`Operation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Block read.
+    Read,
+    /// Block write.
+    Write,
+    /// Atomic block swap.
+    Swap,
+    /// Atomic read-modify-write.
+    Rmw,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Read => write!(f, "read"),
+            OpKind::Write => write!(f, "write"),
+            OpKind::Swap => write!(f, "swap"),
+            OpKind::Rmw => write!(f, "read-modify-write"),
+        }
+    }
+}
+
+/// How an operation finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The operation performed all its word accesses.
+    Completed,
+    /// A write aborted because a higher-priority same-block write will
+    /// overwrite it anyway (§4.1.2) — semantically the write happened and
+    /// was immediately superseded.
+    Overwritten,
+}
+
+/// Delivered to the issuing processor when an operation leaves the memory
+/// system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The issuing processor.
+    pub proc: ProcId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Block offset accessed.
+    pub offset: BlockOffset,
+    /// The block read (for reads and swaps).
+    pub data: Option<Box<[Word]>>,
+    /// Cycle the operation was issued.
+    pub issued_at: Cycle,
+    /// Cycle the operation left the memory system (inclusive): a
+    /// conflict-free read or write satisfies
+    /// `completed_at − issued_at + 1 == β`.
+    pub completed_at: Cycle,
+    /// Number of ATT-forced restarts the operation suffered.
+    pub restarts: u32,
+    /// Completed or overwritten.
+    pub outcome: Outcome,
+    /// For reads and swaps: whether the block observed mixed two different
+    /// writers' words (a version tear). Always `false` while address
+    /// tracking is enabled — the Fig 4.1 ablation turns tracking off to
+    /// show tears appearing.
+    pub torn: bool,
+}
+
+impl Completion {
+    /// Latency in cycles, inclusive of the issue and completion slots.
+    pub fn latency(&self) -> u64 {
+        self.completed_at - self.issued_at + 1
+    }
+}
+
+/// Errors from [`crate::machine::CfmMachine::issue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueError {
+    /// The processor already has an operation in flight.
+    Busy,
+    /// Processor index out of range.
+    NoSuchProcessor,
+    /// Block offset out of range.
+    NoSuchBlock,
+    /// Write/swap data length differs from the bank count.
+    WrongBlockLength {
+        /// Words supplied.
+        got: usize,
+        /// Words required (= banks).
+        want: usize,
+    },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::Busy => write!(f, "processor already has an operation in flight"),
+            IssueError::NoSuchProcessor => write!(f, "processor index out of range"),
+            IssueError::NoSuchBlock => write!(f, "block offset out of range"),
+            IssueError::WrongBlockLength { got, want } => {
+                write!(f, "block data has {got} words, machine needs {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let r = Operation::read(5);
+        assert_eq!(r.kind(), OpKind::Read);
+        assert_eq!(r.offset(), 5);
+        let w = Operation::write(2, vec![1, 2]);
+        assert_eq!(w.kind(), OpKind::Write);
+        let s = Operation::swap(9, vec![0; 4]);
+        assert_eq!(s.kind(), OpKind::Swap);
+        assert_eq!(s.offset(), 9);
+    }
+
+    #[test]
+    fn completion_latency_is_inclusive() {
+        let c = Completion {
+            proc: 0,
+            kind: OpKind::Read,
+            offset: 0,
+            data: None,
+            issued_at: 10,
+            completed_at: 18,
+            restarts: 0,
+            outcome: Outcome::Completed,
+            torn: false,
+        };
+        assert_eq!(c.latency(), 9);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(OpKind::Swap.to_string(), "swap");
+    }
+}

@@ -1,0 +1,269 @@
+//! Time-slot sharing — the §7.2 future-work extension, built.
+//!
+//! The base CFM dedicates one AT-space partition to each processor; when
+//! a processor is not accessing memory its slots are wasted. This module
+//! assigns each partition to *several* processors: sharers of a slot can
+//! conflict with each other (a partition serves one block access at a
+//! time), but processors on different partitions remain conflict-free.
+//! The paper expects this to suit computation-intensive workloads, where
+//! per-processor access rates are low — the `ablation_slot_sharing`
+//! bench sweeps the access rate to find the crossover.
+
+use std::collections::VecDeque;
+
+use crate::config::CfmConfig;
+use crate::machine::CfmMachine;
+use crate::op::{Completion, IssueError, Operation};
+use crate::{Cycle, ProcId};
+
+/// Counters for slot sharing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShareStats {
+    /// Operations that found their partition busy and had to queue.
+    pub slot_conflicts: u64,
+    /// Total cycles operations spent queued behind a sharer.
+    pub queue_wait_cycles: u64,
+    /// Operations issued to the underlying machine.
+    pub issued: u64,
+}
+
+/// A CFM whose AT-space partitions are shared by `sharers_per_slot`
+/// processors each.
+///
+/// ```
+/// use cfm_core::config::CfmConfig;
+/// use cfm_core::op::Operation;
+/// use cfm_core::slotshare::SlotSharedMachine;
+///
+/// // 4 partitions, 2 processors each = 8 processors on half the banks.
+/// let cfg = CfmConfig::new(4, 1, 16).unwrap();
+/// let mut m = SlotSharedMachine::new(cfg, 16, 2);
+/// m.issue(0, Operation::read(0)).unwrap();
+/// m.issue(4, Operation::read(1)).unwrap(); // shares partition 0: queues
+/// assert!(m.run_until_idle(1_000));
+/// assert_eq!(m.stats().slot_conflicts, 1);
+/// ```
+#[derive(Debug)]
+pub struct SlotSharedMachine {
+    inner: CfmMachine,
+    sharers_per_slot: usize,
+    /// Per-slot FIFO of queued (sharer, op, enqueue cycle).
+    queues: Vec<VecDeque<(ProcId, Operation, Cycle)>>,
+    /// Which sharer's operation currently occupies each slot.
+    occupant: Vec<Option<ProcId>>,
+    /// Whether a given sharer has an operation queued or in flight.
+    busy: Vec<bool>,
+    /// Completions re-tagged per sharer.
+    done: Vec<VecDeque<Completion>>,
+    stats: ShareStats,
+}
+
+impl SlotSharedMachine {
+    /// A machine with `config.processors()` partitions, each shared by
+    /// `sharers_per_slot` processors (total processors = partitions ×
+    /// sharers).
+    pub fn new(config: CfmConfig, offsets: usize, sharers_per_slot: usize) -> Self {
+        assert!(sharers_per_slot >= 1);
+        let slots = config.processors();
+        SlotSharedMachine {
+            inner: CfmMachine::new(config, offsets),
+            sharers_per_slot,
+            queues: vec![VecDeque::new(); slots],
+            occupant: vec![None; slots],
+            busy: vec![false; slots * sharers_per_slot],
+            done: vec![VecDeque::new(); slots * sharers_per_slot],
+            stats: ShareStats::default(),
+        }
+    }
+
+    /// Total processors.
+    pub fn processors(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// The partition serving processor `p`.
+    pub fn slot_of(&self, p: ProcId) -> usize {
+        p % self.queues.len()
+    }
+
+    /// Processors sharing each partition.
+    pub fn sharers_per_slot(&self) -> usize {
+        self.sharers_per_slot
+    }
+
+    /// The underlying conflict-free machine.
+    pub fn inner(&self) -> &CfmMachine {
+        &self.inner
+    }
+
+    /// Sharing counters.
+    pub fn stats(&self) -> &ShareStats {
+        &self.stats
+    }
+
+    /// Whether processor `p` has an operation queued or in flight.
+    pub fn is_busy(&self, p: ProcId) -> bool {
+        self.busy[p]
+    }
+
+    /// Whether everything is drained.
+    pub fn is_idle(&self) -> bool {
+        self.inner.is_idle() && self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Issue an operation for processor `p`; it queues if the partition
+    /// is occupied by a sharer.
+    pub fn issue(&mut self, p: ProcId, op: Operation) -> Result<(), IssueError> {
+        if p >= self.processors() {
+            return Err(IssueError::NoSuchProcessor);
+        }
+        if self.busy[p] {
+            return Err(IssueError::Busy);
+        }
+        self.busy[p] = true;
+        let slot = self.slot_of(p);
+        if self.occupant[slot].is_some() || !self.queues[slot].is_empty() {
+            self.stats.slot_conflicts += 1;
+        }
+        self.queues[slot].push_back((p, op, self.inner.cycle()));
+        Ok(())
+    }
+
+    /// Take the oldest completion for processor `p`.
+    pub fn poll(&mut self, p: ProcId) -> Option<Completion> {
+        self.done[p].pop_front()
+    }
+
+    /// Simulate one cycle.
+    pub fn step(&mut self) {
+        // Launch queued operations on free partitions.
+        for slot in 0..self.queues.len() {
+            if self.occupant[slot].is_none() {
+                if let Some((p, op, enqueued)) = self.queues[slot].pop_front() {
+                    self.stats.queue_wait_cycles += self.inner.cycle() - enqueued;
+                    self.stats.issued += 1;
+                    self.inner
+                        .issue(slot, op)
+                        .expect("free partition accepted operation");
+                    self.occupant[slot] = Some(p);
+                }
+            }
+        }
+        self.inner.step();
+        // Route completions back to their sharers.
+        for slot in 0..self.queues.len() {
+            if let Some(c) = self.inner.poll(slot) {
+                let p = self.occupant[slot]
+                    .take()
+                    .expect("completion implies occupant");
+                self.busy[p] = false;
+                let mut c = c;
+                c.proc = p;
+                self.done[p].push_back(c);
+            }
+        }
+    }
+
+    /// Step until idle (or the budget runs out); `true` on idle.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_idle() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(slots: usize, sharers: usize) -> SlotSharedMachine {
+        let cfg = CfmConfig::new(slots, 1, 16).unwrap();
+        SlotSharedMachine::new(cfg, 16, sharers)
+    }
+
+    #[test]
+    fn sharers_map_to_slots_round_robin() {
+        let m = machine(4, 2);
+        assert_eq!(m.processors(), 8);
+        assert_eq!(m.slot_of(0), 0);
+        assert_eq!(m.slot_of(4), 0);
+        assert_eq!(m.slot_of(5), 1);
+    }
+
+    #[test]
+    fn single_sharer_behaves_like_base_machine() {
+        let mut m = machine(4, 1);
+        m.issue(2, Operation::read(3)).unwrap();
+        assert!(m.run_until_idle(100));
+        let c = m.poll(2).unwrap();
+        assert_eq!(c.proc, 2);
+        assert_eq!(m.stats().slot_conflicts, 0);
+    }
+
+    #[test]
+    fn sharers_serialize_on_their_partition() {
+        let mut m = machine(4, 2);
+        // Processors 0 and 4 share slot 0.
+        m.issue(0, Operation::read(1)).unwrap();
+        m.issue(4, Operation::read(2)).unwrap();
+        assert_eq!(m.stats().slot_conflicts, 1);
+        assert!(m.run_until_idle(1_000));
+        let c0 = m.poll(0).unwrap();
+        let c4 = m.poll(4).unwrap();
+        // Serialized: the second completes a full β after the first.
+        assert!(c4.completed_at > c0.completed_at);
+        assert!(m.stats().queue_wait_cycles > 0);
+    }
+
+    #[test]
+    fn different_slots_stay_conflict_free() {
+        let mut m = machine(4, 2);
+        for p in 0..4 {
+            m.issue(p, Operation::read(p)).unwrap();
+        }
+        assert!(m.run_until_idle(1_000));
+        assert_eq!(m.stats().slot_conflicts, 0);
+        assert_eq!(m.inner().stats().bank_conflicts, 0);
+        let betas: Vec<u64> = (0..4).map(|p| m.poll(p).unwrap().latency()).collect();
+        assert!(betas
+            .iter()
+            .all(|&b| b == m.inner().config().block_access_time()));
+    }
+
+    #[test]
+    fn completions_are_retagged_to_the_sharer() {
+        let mut m = machine(2, 3);
+        m.issue(4, Operation::write(0, vec![7, 7])).unwrap(); // slot 0
+        assert!(m.run_until_idle(100));
+        let c = m.poll(4).unwrap();
+        assert_eq!(c.proc, 4);
+        assert_eq!(m.inner().peek_block(0), vec![7, 7]);
+    }
+
+    #[test]
+    fn busy_sharer_rejects_second_issue() {
+        let mut m = machine(2, 2);
+        m.issue(1, Operation::read(0)).unwrap();
+        assert_eq!(m.issue(1, Operation::read(1)), Err(IssueError::Busy));
+    }
+
+    #[test]
+    fn queue_drains_fifo_per_slot() {
+        let mut m = machine(2, 4);
+        // Sharers 0, 2, 4, 6 all on slot 0.
+        for (i, p) in [0usize, 2, 4, 6].iter().enumerate() {
+            m.inner.poke_block(i, &[i as u64, 0]);
+            m.issue(*p, Operation::read(i)).unwrap();
+        }
+        assert!(m.run_until_idle(1_000));
+        let times: Vec<u64> = [0usize, 2, 4, 6]
+            .iter()
+            .map(|&p| m.poll(p).unwrap().completed_at)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "not FIFO: {times:?}");
+    }
+}

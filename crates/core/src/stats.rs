@@ -1,0 +1,63 @@
+//! Counters maintained by the simulators.
+
+/// Statistics gathered by a [`crate::machine::CfmMachine`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Block operations issued.
+    pub issued: u64,
+    /// Block operations completed (including overwritten writes).
+    pub completed: u64,
+    /// Word accesses (bank injections) performed.
+    pub word_accesses: u64,
+    /// Word accesses discarded by aborts and restarts (redone work).
+    pub wasted_word_accesses: u64,
+    /// Same-cycle same-bank injections — **must remain zero**; the machine
+    /// counts any occurrence as a violation of the conflict-freedom
+    /// invariant rather than panicking, so experiments can report it.
+    pub bank_conflicts: u64,
+    /// Writes aborted by ATT arbitration (their block was superseded).
+    pub write_aborts: u64,
+    /// Reads restarted by the ATT to preserve block-version consistency.
+    pub read_restarts: u64,
+    /// Writes restarted (plain write bumped by a swap).
+    pub write_restarts: u64,
+    /// Whole-swap restarts.
+    pub swap_restarts: u64,
+    /// Block-version tears observed by completed reads — can only become
+    /// non-zero when address tracking is disabled (the Fig 4.1 ablation)
+    /// and a checker is installed.
+    pub torn_reads: u64,
+}
+
+impl Stats {
+    /// Memory access efficiency over the run: the fraction of word
+    /// accesses that were never discarded by an abort or restart.
+    pub fn efficiency(&self) -> f64 {
+        if self.word_accesses == 0 {
+            return 1.0;
+        }
+        let useful = self.word_accesses.saturating_sub(self.wasted_word_accesses);
+        useful as f64 / self.word_accesses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_of_clean_run_is_one() {
+        let s = Stats {
+            word_accesses: 100,
+            ..Stats::default()
+        };
+        assert_eq!(s.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn efficiency_of_empty_run_is_one() {
+        assert_eq!(Stats::default().efficiency(), 1.0);
+    }
+}

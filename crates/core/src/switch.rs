@@ -1,0 +1,216 @@
+//! The clock-driven synchronous switch box and demultiplexer column
+//! (§3.1.2–3.1.3, Figs 3.4 and 3.5).
+//!
+//! A synchronous switch box is a crossbar whose routing state is a pure
+//! function of the system clock: at slot `t`, input port `i` connects to
+//! output port `(t + i) mod N`. It needs no address decoding, no setup
+//! delay and no routing decision — the AT-space partition is wired in.
+//!
+//! When the bank cycle is `c > 1` CPU cycles (Fig 3.5), an `n × n`
+//! synchronous switch feeds a column of 1-to-`c` demultiplexers, dividing
+//! each period into `b = c·n` slots so that processor `p` reaches bank
+//! `(t + c·p) mod b` — exactly [`crate::atspace::AtSpace::bank_for`].
+
+use crate::{BankId, Cycle, ProcId};
+
+/// An `N × N` synchronous switch box (Fig 3.4). At slot `t`, input `i` is
+/// connected to output `(t + i) mod N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncSwitch {
+    ports: usize,
+}
+
+impl SyncSwitch {
+    /// A switch with `ports` input and output ports.
+    ///
+    /// # Panics
+    /// If `ports == 0`.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "switch must have at least one port");
+        SyncSwitch { ports }
+    }
+
+    /// Number of ports on each side.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The routing state index at slot `t` (the switch cycles through
+    /// `ports` deterministic states, Fig 3.4b–e).
+    #[inline]
+    pub fn state(&self, slot: Cycle) -> usize {
+        (slot % self.ports as u64) as usize
+    }
+
+    /// Output port connected to input `i` at slot `t`.
+    #[inline]
+    pub fn route(&self, slot: Cycle, input: usize) -> usize {
+        debug_assert!(input < self.ports);
+        (self.state(slot) + input) % self.ports
+    }
+
+    /// Input port connected to output `o` at slot `t`.
+    #[inline]
+    pub fn route_back(&self, slot: Cycle, output: usize) -> usize {
+        debug_assert!(output < self.ports);
+        (output + self.ports - self.state(slot)) % self.ports
+    }
+
+    /// The full permutation realised at slot `t`: `perm[i]` is the output
+    /// connected to input `i`.
+    pub fn permutation(&self, slot: Cycle) -> Vec<usize> {
+        (0..self.ports).map(|i| self.route(slot, i)).collect()
+    }
+}
+
+/// A column of 1-to-`c` demultiplexers behind an `n`-port synchronous
+/// switch (Fig 3.5): switch output `o` fans out to banks
+/// `c·o .. c·o + c`, and the clock selects leg `sel(t)` so that the
+/// composite connects processor `p` to bank `(t + c·p) mod (c·n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemuxColumn {
+    fan_out: u32,
+    switch_ports: usize,
+}
+
+impl DemuxColumn {
+    /// A demux column with the given fan-out `c` behind an `n`-port switch.
+    ///
+    /// # Panics
+    /// If either parameter is zero.
+    pub fn new(switch_ports: usize, fan_out: u32) -> Self {
+        assert!(switch_ports > 0 && fan_out > 0);
+        DemuxColumn {
+            fan_out,
+            switch_ports,
+        }
+    }
+
+    /// Total banks served, `b = c · n`.
+    #[inline]
+    pub fn banks(&self) -> usize {
+        self.switch_ports * self.fan_out as usize
+    }
+
+    /// The bank connected to switch-output `o` at slot `t`.
+    ///
+    /// The composite of switch and demux must realise
+    /// `bank(t, p) = (t + c·p) mod b`. The switch contributes
+    /// `o = (σ(t) + p) mod n`; solving for the demux leg gives the leg
+    /// selection implemented here.
+    pub fn bank_for_output(&self, slot: Cycle, output: usize) -> BankId {
+        let c = self.fan_out as usize;
+        let b = self.banks();
+        let t = (slot % b as u64) as usize;
+        // Processor routed to this output under switch state σ(t) = t mod n:
+        let n = self.switch_ports;
+        let p = (output + n - (t % n)) % n;
+        (t + c * p) % b
+    }
+}
+
+/// The composite interconnect of Fig 3.5: an `n × n` synchronous switch
+/// plus a 1-to-`c` demux column, realising the AT-space mapping for
+/// `b = c·n` banks.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncInterconnect {
+    switch: SyncSwitch,
+    demux: DemuxColumn,
+}
+
+impl SyncInterconnect {
+    /// Interconnect for `n` processors with bank cycle `c`.
+    pub fn new(processors: usize, bank_cycle: u32) -> Self {
+        SyncInterconnect {
+            switch: SyncSwitch::new(processors),
+            demux: DemuxColumn::new(processors, bank_cycle),
+        }
+    }
+
+    /// The bank that processor `p`'s address path reaches at slot `t`.
+    pub fn bank_for(&self, slot: Cycle, p: ProcId) -> BankId {
+        let n = self.switch.ports();
+        let output = self.switch.route(slot % n as u64, p);
+        self.demux.bank_for_output(slot, output)
+    }
+
+    /// Total banks behind the interconnect.
+    pub fn banks(&self) -> usize {
+        self.demux.banks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atspace::AtSpace;
+    use crate::config::CfmConfig;
+
+    #[test]
+    fn fig_3_4_states() {
+        // Fig 3.4: 4×4 switch; state 0 is the identity, state s shifts by s.
+        let sw = SyncSwitch::new(4);
+        assert_eq!(sw.permutation(0), vec![0, 1, 2, 3]);
+        assert_eq!(sw.permutation(1), vec![1, 2, 3, 0]);
+        assert_eq!(sw.permutation(2), vec![2, 3, 0, 1]);
+        assert_eq!(sw.permutation(3), vec![3, 0, 1, 2]);
+        assert_eq!(sw.permutation(4), sw.permutation(0)); // period n
+    }
+
+    #[test]
+    fn route_back_inverts_route() {
+        let sw = SyncSwitch::new(8);
+        for t in 0..16u64 {
+            for i in 0..8 {
+                assert_eq!(sw.route_back(t, sw.route(t, i)), i);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective_every_slot() {
+        for ports in [2usize, 3, 4, 8, 16] {
+            let sw = SyncSwitch::new(ports);
+            for t in 0..2 * ports as u64 {
+                let mut perm = sw.permutation(t);
+                perm.sort_unstable();
+                assert_eq!(perm, (0..ports).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn interconnect_realises_at_space() {
+        // The switch + demux composite must agree with the abstract
+        // AT-space mapping for every slot and processor (Fig 3.5 ≡ §3.1.2).
+        for (n, c) in [(4usize, 1u32), (4, 2), (8, 2), (2, 4), (6, 3)] {
+            let cfg = CfmConfig::new(n, c, 16).unwrap();
+            let space = AtSpace::new(&cfg);
+            let ic = SyncInterconnect::new(n, c);
+            assert_eq!(ic.banks(), cfg.banks());
+            for t in 0..(2 * cfg.banks()) as u64 {
+                for p in 0..n {
+                    assert_eq!(
+                        ic.bank_for(t, p),
+                        space.bank_for(t, p),
+                        "n={n} c={c} t={t} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interconnect_is_conflict_free() {
+        let ic = SyncInterconnect::new(4, 2);
+        for t in 0..16u64 {
+            let mut seen = vec![false; ic.banks()];
+            for p in 0..4 {
+                let k = ic.bank_for(t, p);
+                assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+    }
+}

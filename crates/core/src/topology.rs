@@ -1,0 +1,108 @@
+//! Inter-cluster topologies (§3.3): "The multiple-cluster connection
+//! scheme can be used to extend the CFM architecture for constructing
+//! multiprocessors with various scales, connectivity, and topologies.
+//! These include hypercube, 2-D mesh, etc."
+//!
+//! [`ClusterTopology`] supplies hop counts between clusters so
+//! [`crate::cluster::ClusterSystem`] can charge multi-hop link latency
+//! for remote block requests.
+
+/// How clusters are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterTopology {
+    /// Every cluster one hop from every other (a crossbar of clusters).
+    Full,
+    /// A 2-D mesh of the given width and height (Manhattan distance).
+    Mesh2D {
+        /// Mesh width.
+        width: usize,
+        /// Mesh height.
+        height: usize,
+    },
+    /// A binary hypercube of the given dimension (Hamming distance).
+    Hypercube {
+        /// log2 of the cluster count.
+        dim: u32,
+    },
+}
+
+impl ClusterTopology {
+    /// Number of clusters the topology wires.
+    pub fn clusters(&self) -> usize {
+        match self {
+            ClusterTopology::Full => usize::MAX, // any count
+            ClusterTopology::Mesh2D { width, height } => width * height,
+            ClusterTopology::Hypercube { dim } => 1 << dim,
+        }
+    }
+
+    /// Hops between clusters `a` and `b` (0 when equal).
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        if a == b {
+            return 0;
+        }
+        match self {
+            ClusterTopology::Full => 1,
+            ClusterTopology::Mesh2D { width, .. } => {
+                let (ax, ay) = (a % width, a / width);
+                let (bx, by) = (b % width, b / width);
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+            }
+            ClusterTopology::Hypercube { .. } => (a ^ b).count_ones() as u64,
+        }
+    }
+
+    /// Network diameter (largest hop count) over `clusters` clusters.
+    pub fn diameter(&self, clusters: usize) -> u64 {
+        let mut d = 0;
+        for a in 0..clusters {
+            for b in 0..clusters {
+                d = d.max(self.hops(a, b));
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_is_always_one_hop() {
+        let t = ClusterTopology::Full;
+        assert_eq!(t.hops(0, 5), 1);
+        assert_eq!(t.hops(3, 3), 0);
+    }
+
+    #[test]
+    fn mesh_uses_manhattan_distance() {
+        let t = ClusterTopology::Mesh2D {
+            width: 4,
+            height: 3,
+        };
+        assert_eq!(t.clusters(), 12);
+        assert_eq!(t.hops(0, 3), 3); // same row
+        assert_eq!(t.hops(0, 11), 3 + 2); // corner to corner
+        assert_eq!(t.diameter(12), 5);
+    }
+
+    #[test]
+    fn hypercube_uses_hamming_distance() {
+        let t = ClusterTopology::Hypercube { dim: 3 };
+        assert_eq!(t.clusters(), 8);
+        assert_eq!(t.hops(0b000, 0b111), 3);
+        assert_eq!(t.hops(0b101, 0b100), 1);
+        assert_eq!(t.diameter(8), 3);
+    }
+
+    #[test]
+    fn hypercube_diameter_is_logarithmic() {
+        // The §3.3 scalability point: diameter grows with log of the
+        // cluster count, so remote latency scales gently.
+        for dim in 1..6u32 {
+            let t = ClusterTopology::Hypercube { dim };
+            assert_eq!(t.diameter(1 << dim), dim as u64);
+        }
+    }
+}

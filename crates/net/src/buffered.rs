@@ -1,0 +1,363 @@
+//! Buffered packet-switched omega network and the tree-saturation effect
+//! (Fig 2.1, after Pfister & Norton's hot-spot analysis).
+//!
+//! Each switch output carries a small FIFO. When many processors direct
+//! traffic at one module (a *hot spot* — e.g. a spin lock), the hot sink's
+//! queue fills, back-pressure fills the queues of the switches feeding it,
+//! and the congestion spreads backwards as a tree until accesses to
+//! *unrelated* modules stall too. The CFM cannot exhibit this: it has no
+//! queues because it has no contention.
+//!
+//! The model: packets advance one column per cycle when the downstream
+//! queue has room; each switch forwards at most one packet per output leg
+//! per cycle; each memory module consumes at most one packet per cycle.
+
+use std::collections::VecDeque;
+
+use crate::topology::OmegaTopology;
+
+/// A packet heading for a destination port. With combining enabled a
+/// packet may represent several merged requests (the Ultracomputer/RP3
+/// fetch-and-add combining of §2.1.1): `count` requests whose injection
+/// times sum to `inject_sum`.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: usize,
+    count: u64,
+    inject_sum: u64,
+}
+
+/// Per-run counters for the buffered network.
+#[derive(Debug, Clone, Default)]
+pub struct BufferedStats {
+    /// Requests delivered to memory (combined packets count once per
+    /// merged request).
+    pub delivered: u64,
+    /// Sum of request latencies (injection → delivery).
+    pub total_latency: u64,
+    /// Injections refused because the first-column queue was full.
+    pub inject_blocked: u64,
+    /// Requests merged into an existing packet by combining switches.
+    pub combined: u64,
+}
+
+impl BufferedStats {
+    /// Mean delivered-packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// A buffered omega network.
+///
+/// ```
+/// use cfm_net::buffered::BufferedOmega;
+///
+/// // A slow memory module turns a hot spot into tree saturation…
+/// let mut net = BufferedOmega::with_sink_service(8, 2, 4);
+/// for _ in 0..300 {
+///     let offers: Vec<_> = (0..8).map(|src| (src, 0)).collect();
+///     net.step(&offers);
+/// }
+/// assert!(net.occupancy_by_column()[0] > 0.25); // back at the sources
+///
+/// // …which §2.1.1-style combining relieves.
+/// let mut comb = BufferedOmega::with_sink_service(8, 2, 4).with_combining();
+/// for _ in 0..300 {
+///     let offers: Vec<_> = (0..8).map(|src| (src, 0)).collect();
+///     comb.step(&offers);
+/// }
+/// assert!(comb.stats().delivered > net.stats().delivered);
+/// ```
+#[derive(Debug)]
+pub struct BufferedOmega {
+    topo: OmegaTopology,
+    /// `queues[column][line]` — the FIFO on each output line of a column.
+    queues: Vec<Vec<VecDeque<Packet>>>,
+    capacity: usize,
+    /// Memory service time: cycles a module needs per consumed packet.
+    sink_service: u64,
+    /// Remaining busy cycles per module.
+    sink_busy: Vec<u64>,
+    /// Whether switches combine same-destination packets (§2.1.1).
+    combining: bool,
+    cycle: u64,
+    stats: BufferedStats,
+}
+
+impl BufferedOmega {
+    /// A network with per-queue `capacity` packets and memory modules that
+    /// consume one packet per cycle.
+    pub fn new(ports: usize, capacity: usize) -> Self {
+        Self::with_sink_service(ports, capacity, 1)
+    }
+
+    /// A network whose memory modules take `sink_service` cycles per
+    /// packet — values > 1 make the module itself the bottleneck, the
+    /// classic hot-spot setup of Fig 2.1.
+    pub fn with_sink_service(ports: usize, capacity: usize, sink_service: u64) -> Self {
+        assert!(sink_service >= 1);
+        let topo = OmegaTopology::new(ports);
+        let stages = topo.stages as usize;
+        BufferedOmega {
+            topo,
+            queues: vec![vec![VecDeque::with_capacity(capacity); ports]; stages],
+            capacity,
+            sink_service,
+            sink_busy: vec![0; ports],
+            combining: false,
+            cycle: 0,
+            stats: BufferedStats::default(),
+        }
+    }
+
+    /// Enable §2.1.1-style combining: a packet entering a queue that
+    /// already holds a same-destination packet merges into it (the NYU
+    /// Ultracomputer / IBM RP3 technique — the paper notes it helps only
+    /// same-location traffic, which this module-granular model gives the
+    /// *most* charitable reading).
+    pub fn with_combining(mut self) -> Self {
+        self.combining = true;
+        self
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &BufferedStats {
+        &self.stats
+    }
+
+    /// Output line a packet on `line` (entering `column`) will occupy.
+    fn next_line(&self, column: usize, line: usize, dst: usize) -> usize {
+        let k = self.topo.stages;
+        let shuffled = self.topo.shuffle(line);
+        let switch = shuffled >> 1;
+        let out = (dst >> (k as usize - 1 - column)) & 1;
+        (switch << 1) | out
+    }
+
+    /// Advance one cycle: consume at the sinks, forward between columns,
+    /// then inject `offers` — `(src, dst)` pairs offered by processors
+    /// this cycle. Returns the number of offers accepted.
+    pub fn step(&mut self, offers: &[(usize, usize)]) -> usize {
+        let stages = self.topo.stages as usize;
+        let ports = self.topo.ports();
+
+        // 1. Sinks consume one packet per module per service interval (a
+        //    combined packet is served as one access, which is combining's
+        //    whole point).
+        for line in 0..ports {
+            if self.sink_busy[line] > 0 {
+                self.sink_busy[line] -= 1;
+                continue;
+            }
+            if let Some(p) = self.queues[stages - 1][line].pop_front() {
+                debug_assert_eq!(p.dst, line);
+                self.stats.delivered += p.count;
+                self.stats.total_latency += self.cycle * p.count - p.inject_sum;
+                self.sink_busy[line] = self.sink_service - 1;
+            }
+        }
+
+        // 2. Forward column j−1 → column j, last first so a packet moves at
+        //    most one column per cycle; one packet per output line per cycle.
+        for j in (1..stages).rev() {
+            let mut used_line = vec![false; ports];
+            for line in 0..ports {
+                let Some(head) = self.queues[j - 1][line].front().copied() else {
+                    continue;
+                };
+                let nl = self.next_line(j, line, head.dst);
+                if used_line[nl] {
+                    continue;
+                }
+                if self.combining {
+                    if let Some(existing) =
+                        self.queues[j][nl].iter_mut().find(|q| q.dst == head.dst)
+                    {
+                        existing.count += head.count;
+                        existing.inject_sum += head.inject_sum;
+                        self.stats.combined += head.count;
+                        used_line[nl] = true;
+                        self.queues[j - 1][line].pop_front();
+                        continue;
+                    }
+                }
+                if self.queues[j][nl].len() < self.capacity {
+                    used_line[nl] = true;
+                    let p = self.queues[j - 1][line].pop_front().expect("head exists");
+                    self.queues[j][nl].push_back(p);
+                }
+            }
+        }
+
+        // 3. Inject offers into column 0.
+        let mut used_line = vec![false; ports];
+        let mut accepted = 0;
+        for &(src, dst) in offers {
+            let nl = self.next_line(0, src, dst);
+            if used_line[nl] {
+                self.stats.inject_blocked += 1;
+                continue;
+            }
+            if self.combining {
+                if let Some(existing) = self.queues[0][nl].iter_mut().find(|q| q.dst == dst) {
+                    existing.count += 1;
+                    existing.inject_sum += self.cycle;
+                    self.stats.combined += 1;
+                    used_line[nl] = true;
+                    accepted += 1;
+                    continue;
+                }
+            }
+            if self.queues[0][nl].len() < self.capacity {
+                used_line[nl] = true;
+                self.queues[0][nl].push_back(Packet {
+                    dst,
+                    count: 1,
+                    inject_sum: self.cycle,
+                });
+                accepted += 1;
+            } else {
+                self.stats.inject_blocked += 1;
+            }
+        }
+
+        self.cycle += 1;
+        accepted
+    }
+
+    /// Mean queue occupancy per column (fraction of capacity), the series
+    /// the Fig 2.1 reproduction plots: under a hot spot the last column
+    /// saturates first and congestion creeps backwards.
+    pub fn occupancy_by_column(&self) -> Vec<f64> {
+        let ports = self.topo.ports() as f64;
+        self.queues
+            .iter()
+            .map(|col| {
+                col.iter().map(|q| q.len() as f64).sum::<f64>() / (ports * self.capacity as f64)
+            })
+            .collect()
+    }
+
+    /// Fraction of saturated (full) queues per column.
+    pub fn saturation_by_column(&self) -> Vec<f64> {
+        let ports = self.topo.ports() as f64;
+        self.queues
+            .iter()
+            .map(|col| col.iter().filter(|q| q.len() >= self.capacity).count() as f64 / ports)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_light_traffic_flows_freely() {
+        let mut net = BufferedOmega::new(8, 4);
+        for t in 0..200u64 {
+            // One packet per cycle from a rotating source to a rotating,
+            // non-hot destination.
+            let src = (t % 8) as usize;
+            let dst = ((t * 3 + 1) % 8) as usize;
+            net.step(&[(src, dst)]);
+        }
+        for _ in 0..50 {
+            net.step(&[]);
+        }
+        assert_eq!(net.stats().delivered, 200);
+        assert_eq!(net.stats().inject_blocked, 0);
+        let occ = net.occupancy_by_column();
+        assert!(occ.iter().all(|&o| o < 0.2), "light load queued: {occ:?}");
+    }
+
+    #[test]
+    fn hot_spot_saturates_backwards() {
+        // Everyone hammers module 0 whose service time exceeds the link
+        // rate: the hot sink's queue saturates and the congestion tree
+        // reaches back to the first column (Fig 2.1).
+        let mut net = BufferedOmega::with_sink_service(8, 2, 4);
+        for _ in 0..400 {
+            let offers: Vec<_> = (0..8).map(|src| (src, 0)).collect();
+            net.step(&offers);
+        }
+        let occ = net.occupancy_by_column();
+        assert!(
+            occ[0] > 0.1,
+            "saturation did not spread to column 0: {occ:?}"
+        );
+        assert!(net.stats().inject_blocked > 0);
+        // The hot sink queue itself is saturated.
+        let sat = net.saturation_by_column();
+        assert!(
+            sat.last().unwrap() > &0.0,
+            "hot sink not saturated: {sat:?}"
+        );
+    }
+
+    #[test]
+    fn combining_defuses_the_hot_spot() {
+        // §2.1.1: combining merges same-destination requests in the
+        // switches, so the hot sink sees far fewer packets and the tree
+        // does not saturate to the sources.
+        let run = |combining: bool| {
+            let mut net = BufferedOmega::with_sink_service(8, 2, 4);
+            if combining {
+                net = net.with_combining();
+            }
+            for _ in 0..400 {
+                let offers: Vec<_> = (0..8).map(|src| (src, 0)).collect();
+                net.step(&offers);
+            }
+            (
+                net.occupancy_by_column()[0],
+                net.stats().delivered,
+                net.stats().combined,
+                net.stats().mean_latency(),
+            )
+        };
+        let (occ_plain, del_plain, _, lat_plain) = run(false);
+        let (occ_comb, del_comb, combined, lat_comb) = run(true);
+        assert!(combined > 0, "no combining happened");
+        assert!(del_comb > del_plain, "combining should raise throughput");
+        assert!(occ_comb < occ_plain, "combining should relieve column 0");
+        assert!(lat_comb < lat_plain, "combining should cut latency");
+    }
+
+    #[test]
+    fn combining_preserves_request_accounting() {
+        // Delivered + in-flight request counts must equal accepted offers.
+        let mut net = BufferedOmega::with_sink_service(4, 2, 1).with_combining();
+        let mut accepted = 0u64;
+        for _ in 0..100 {
+            accepted += net.step(&[(0, 1), (2, 1)]) as u64;
+        }
+        for _ in 0..100 {
+            net.step(&[]);
+        }
+        assert_eq!(net.stats().delivered, accepted);
+    }
+
+    #[test]
+    fn delivered_latency_grows_under_hot_spot() {
+        let mut cool = BufferedOmega::with_sink_service(8, 4, 2);
+        let mut hot = BufferedOmega::with_sink_service(8, 4, 2);
+        for t in 0..300u64 {
+            let src = (t % 8) as usize;
+            cool.step(&[(src, (src + 1) % 8)]);
+            let offers: Vec<_> = (0..8).map(|s| (s, 0)).collect();
+            hot.step(&offers);
+        }
+        assert!(hot.stats().mean_latency() > cool.stats().mean_latency());
+    }
+}

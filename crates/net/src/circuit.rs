@@ -1,0 +1,145 @@
+//! Circuit-switched omega baseline (§2.1.2 style, the network the paper's
+//! conventional configurations ride on).
+//!
+//! A memory access request must first *establish a path* from its
+//! processor to its memory module, holding every link of the path for the
+//! whole block transfer. Establishing costs a setup delay; a request whose
+//! path conflicts with a held path is **blocked** and must retry (the BBN
+//! Butterfly aborts and retries rather than buffering, which avoids tree
+//! saturation but raises contention because whole paths are held).
+
+use crate::topology::OmegaTopology;
+
+/// A held path through the network.
+#[derive(Debug, Clone, Copy)]
+struct Hold {
+    src: usize,
+    dst: usize,
+    until: u64,
+}
+
+/// Counters for a [`CircuitOmega`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Successful path establishments.
+    pub grants: u64,
+    /// Requests blocked by a conflicting held path.
+    pub blocked: u64,
+}
+
+/// A circuit-switched omega network with path holding.
+#[derive(Debug, Clone)]
+pub struct CircuitOmega {
+    topo: OmegaTopology,
+    holds: Vec<Hold>,
+    /// Cycles needed to set up a path before data can flow.
+    setup_delay: u64,
+    stats: CircuitStats,
+}
+
+impl CircuitOmega {
+    /// A network with `ports` ports and the given path-setup delay.
+    pub fn new(ports: usize, setup_delay: u64) -> Self {
+        CircuitOmega {
+            topo: OmegaTopology::new(ports),
+            holds: Vec::new(),
+            setup_delay,
+            stats: CircuitStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &OmegaTopology {
+        &self.topo
+    }
+
+    /// Path setup delay in cycles.
+    pub fn setup_delay(&self) -> u64 {
+        self.setup_delay
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CircuitStats {
+        self.stats
+    }
+
+    /// Drop expired holds.
+    pub fn expire(&mut self, now: u64) {
+        self.holds.retain(|h| h.until > now);
+    }
+
+    /// Try to establish `src → dst` at `now`, holding the path for
+    /// `transfer_cycles` *after* the setup delay. Returns the cycle at
+    /// which the path releases on success, or `None` if blocked.
+    pub fn try_connect(
+        &mut self,
+        now: u64,
+        src: usize,
+        dst: usize,
+        transfer_cycles: u64,
+    ) -> Option<u64> {
+        self.expire(now);
+        let mut pairs: Vec<(usize, usize)> = self.holds.iter().map(|h| (h.src, h.dst)).collect();
+        pairs.push((src, dst));
+        if self.topo.routable(&pairs) {
+            let until = now + self.setup_delay + transfer_cycles;
+            self.holds.push(Hold { src, dst, until });
+            self.stats.grants += 1;
+            Some(until)
+        } else {
+            self.stats.blocked += 1;
+            None
+        }
+    }
+
+    /// Currently held paths.
+    pub fn active_paths(&self) -> usize {
+        self.holds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_paths_coexist() {
+        let mut net = CircuitOmega::new(8, 2);
+        assert!(net.try_connect(0, 0, 0, 10).is_some());
+        assert!(net.try_connect(0, 1, 1, 10).is_some());
+        assert_eq!(net.active_paths(), 2);
+        assert_eq!(net.stats().blocked, 0);
+    }
+
+    #[test]
+    fn conflicting_path_is_blocked_until_release() {
+        let mut net = CircuitOmega::new(8, 0);
+        // Same destination module: guaranteed final-link conflict.
+        let release = net.try_connect(0, 0, 5, 10).unwrap();
+        assert!(net.try_connect(1, 1, 5, 10).is_none());
+        assert_eq!(net.stats().blocked, 1);
+        // After release the retry succeeds.
+        assert!(net.try_connect(release, 1, 5, 10).is_some());
+    }
+
+    #[test]
+    fn internal_link_conflicts_block_distinct_modules() {
+        // The bit-reversal permutation blocks inside an omega even though
+        // all destinations are distinct.
+        let mut net = CircuitOmega::new(8, 0);
+        let rev = |i: usize| ((i & 1) << 2) | (i & 2) | (i >> 2);
+        let mut blocked = 0;
+        for src in 0..8 {
+            if net.try_connect(0, src, rev(src), 100).is_none() {
+                blocked += 1;
+            }
+        }
+        assert!(blocked > 0, "expected internal blocking somewhere");
+    }
+
+    #[test]
+    fn release_time_includes_setup() {
+        let mut net = CircuitOmega::new(4, 3);
+        assert_eq!(net.try_connect(10, 0, 2, 7), Some(20));
+    }
+}

@@ -1,0 +1,89 @@
+//! Message-header size accounting (§3.2.1–3.2.2, Figs 3.9 and 3.10).
+//!
+//! In a circuit-switched omega every request header carries the memory
+//! module number (used by the switch columns for routing) plus the offset.
+//! In a synchronous omega the clock selects the bank, so the header
+//! carries only the offset; in a partially synchronous network it carries
+//! the module number (`r` bits) and the offset. Smaller headers mean less
+//! data moved per memory access — one of the CFM's overhead savings, and
+//! how it sidesteps the TC2000's 34-bit address-transformation hack.
+
+/// Header layout accounting for a machine with `2^k` banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderModel {
+    /// log2 of the bank count (`k`).
+    pub bank_bits: u32,
+    /// Bits of block offset within a bank.
+    pub offset_bits: u32,
+}
+
+impl HeaderModel {
+    /// A model for `banks` banks (power of two) and `offsets` blocks.
+    pub fn new(banks: usize, offsets: usize) -> Self {
+        assert!(banks.is_power_of_two() && banks >= 2);
+        HeaderModel {
+            bank_bits: banks.trailing_zeros(),
+            offset_bits: (offsets.max(2) as u64).next_power_of_two().trailing_zeros(),
+        }
+    }
+
+    /// Request-header bits when the first `circuit_columns` omega columns
+    /// are circuit-switched: module bits + offset bits (Fig 3.10). The two
+    /// extremes are Fig 3.9: fully synchronous (`0` → offset only) and
+    /// fully circuit-switched (`k` → module ≡ bank number + offset).
+    pub fn header_bits(&self, circuit_columns: u32) -> u32 {
+        assert!(circuit_columns <= self.bank_bits);
+        circuit_columns + self.offset_bits
+    }
+
+    /// Header bits saved by the synchronous scheme relative to full
+    /// circuit switching.
+    pub fn savings_bits(&self, circuit_columns: u32) -> u32 {
+        self.header_bits(self.bank_bits) - self.header_bits(circuit_columns)
+    }
+
+    /// Relative request-message overhead: header bits per data bit for a
+    /// block of `block_bits`.
+    pub fn overhead(&self, circuit_columns: u32, block_bits: u64) -> f64 {
+        self.header_bits(circuit_columns) as f64 / block_bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_3_9_sync_header_drops_the_bank_number() {
+        let m = HeaderModel::new(8, 1024); // k = 3, offset 10 bits
+        assert_eq!(m.header_bits(3), 13); // circuit: module(=bank) + offset
+        assert_eq!(m.header_bits(0), 10); // synchronous: offset only
+        assert_eq!(m.savings_bits(0), 3);
+    }
+
+    #[test]
+    fn fig_3_10_partial_headers() {
+        let m = HeaderModel::new(8, 1024);
+        assert_eq!(m.header_bits(2), 12); // 4 two-bank modules
+        assert_eq!(m.header_bits(1), 11); // 2 four-bank modules
+    }
+
+    #[test]
+    fn tc2000_sized_address_space_needs_no_transformation() {
+        // §3.4.3: the TC2000 needed 34-bit system addresses (vs the CPU's
+        // 32) to pass module routing bits; the synchronous header carries
+        // no bank number, so the same offset bits address the same space.
+        let m = HeaderModel::new(64, 1 << 28); // 64 banks × 2^28 blocks
+        assert_eq!(m.header_bits(0), 28);
+        assert_eq!(m.header_bits(6), 34); // the circuit header's 34 bits
+        assert_eq!(m.savings_bits(0), 6);
+    }
+
+    #[test]
+    fn overhead_shrinks_with_fewer_circuit_columns() {
+        let m = HeaderModel::new(64, 4096);
+        let block_bits = 256;
+        assert!(m.overhead(0, block_bits) < m.overhead(3, block_bits));
+        assert!(m.overhead(3, block_bits) < m.overhead(6, block_bits));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cfm-net — interconnection networks for the CFM reproduction
+//!
+//! Chapter 3 of the paper replaces circuit-switched multistage
+//! interconnection networks (MINs) with **synchronous omega networks**
+//! whose switch states are driven by the system clock, eliminating switch
+//! contention, routing setup and most of the message header (§3.2). For
+//! large machines, **partially synchronous** omega networks route the
+//! first columns by circuit switching (selecting a conflict-free memory
+//! module) and drive the remaining columns from the clock (§3.2.2,
+//! Table 3.5).
+//!
+//! Modules:
+//!
+//! * [`topology`] — the omega wiring (perfect shuffle + 2×2 switches) and
+//!   destination-tag routing, shared by all variants.
+//! * [`sync_omega`] — the fully synchronous omega network (Fig 3.8,
+//!   Table 3.4): realises the AT-space shift permutation every slot with
+//!   provably zero switch conflicts (Lawrie's result, verified in tests).
+//! * [`partial`] — partially synchronous omega networks: conflict-free
+//!   modules, contention sets, conflict-free clusters (Fig 3.11).
+//! * [`circuit`] — the conventional circuit-switched omega baseline with
+//!   path allocation, blocking and retry (the BBN Butterfly style the
+//!   paper compares against).
+//! * [`buffered`] — a buffered packet-switching omega used to reproduce
+//!   the hot-spot **tree saturation** effect of Fig 2.1.
+//! * [`headers`] — message-header size accounting (Figs 3.9 and 3.10):
+//!   synchronous routing removes the bank number from every request.
+
+pub mod buffered;
+pub mod circuit;
+pub mod headers;
+pub mod partial;
+pub mod sync_omega;
+pub mod topology;

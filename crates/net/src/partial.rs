@@ -1,0 +1,314 @@
+//! Partially synchronous omega networks (§3.2.2, Figs 3.10–3.11,
+//! Table 3.5).
+//!
+//! For machines with many banks, a full-machine block becomes too large.
+//! The fix: route the **first `r` columns** of the omega by circuit
+//! switching on the memory-module number, and drive the **remaining
+//! `k − r` columns** from the clock. The banks split into `2^r`
+//! conflict-free modules of `2^(k−r)` banks; a block shrinks to
+//! `2^(k−r)` words.
+//!
+//! Because destination-tag routing consumes destination bits
+//! most-significant first, the circuit columns consume exactly the module
+//! number, and the clock-driven columns select the bank within the module
+//! — the message header needs only (module, offset).
+//!
+//! Processors fall into `2^(k−r)` **contention sets** — `p` and `p'` are
+//! in the same set iff `p ≡ p' (mod 2^(k−r))`, i.e. they present the same
+//! input leg pattern to every module's clock-driven subnetwork (Fig 3.11's
+//! sets {0,2,4,6}/{1,3,5,7} and (0,4),(1,5),(2,6),(3,7)). A
+//! **conflict-free cluster** picks one processor from each set: its
+//! members can never conflict on any module.
+
+use crate::topology::OmegaTopology;
+
+/// A partially synchronous omega configuration.
+///
+/// ```
+/// use cfm_net::partial::PartialOmega;
+///
+/// // Fig 3.11a: 8 banks, 2 circuit columns → 4 two-bank modules.
+/// let net = PartialOmega::new(8, 2);
+/// assert_eq!(net.modules(), 4);
+/// assert_eq!(net.banks_per_module(), 2);
+/// // Processors 0 and 2 share a contention set; 0 and 1 never conflict.
+/// assert_eq!(net.contention_set(0), net.contention_set(2));
+/// assert_ne!(net.contention_set(0), net.contention_set(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialOmega {
+    topo: OmegaTopology,
+    circuit_columns: u32,
+}
+
+impl PartialOmega {
+    /// An `N`-port omega with the first `circuit_columns` columns routed by
+    /// circuit switching; `circuit_columns == 0` is the fully synchronous
+    /// network, `== log2 N` the fully conventional one.
+    ///
+    /// # Panics
+    /// If `ports` is not a power of two ≥ 2 or `circuit_columns` exceeds
+    /// the column count.
+    pub fn new(ports: usize, circuit_columns: u32) -> Self {
+        let topo = OmegaTopology::new(ports);
+        assert!(
+            circuit_columns <= topo.stages,
+            "only {} columns available",
+            topo.stages
+        );
+        PartialOmega {
+            topo,
+            circuit_columns,
+        }
+    }
+
+    /// Port (= bank) count `N`.
+    pub fn ports(&self) -> usize {
+        self.topo.ports()
+    }
+
+    /// Columns routed by circuit switching (`r`).
+    pub fn circuit_columns(&self) -> u32 {
+        self.circuit_columns
+    }
+
+    /// Columns driven by the clock (`k − r`).
+    pub fn clock_columns(&self) -> u32 {
+        self.topo.stages - self.circuit_columns
+    }
+
+    /// Number of conflict-free memory modules, `2^r`.
+    pub fn modules(&self) -> usize {
+        1 << self.circuit_columns
+    }
+
+    /// Banks per module (= block size in words), `2^(k−r)`.
+    pub fn banks_per_module(&self) -> usize {
+        1 << self.clock_columns()
+    }
+
+    /// The module containing `bank` (modules are contiguous bank ranges).
+    pub fn module_of_bank(&self, bank: usize) -> usize {
+        bank >> self.clock_columns()
+    }
+
+    /// The contention set of processor `p`: processors with equal
+    /// `p mod 2^(k−r)` share every module subnetwork input and can
+    /// conflict; distinct sets never can.
+    pub fn contention_set(&self, p: usize) -> usize {
+        p & (self.banks_per_module() - 1)
+    }
+
+    /// Number of contention sets (= banks per module).
+    pub fn contention_sets(&self) -> usize {
+        self.banks_per_module()
+    }
+
+    /// The bank processor `p` reaches inside `module` at slot `t`: the
+    /// clock-driven subnetwork gives each contention set its own AT-space
+    /// partition, `module·2^(k−r) + (t + set(p)) mod 2^(k−r)`.
+    pub fn bank_for(&self, slot: u64, p: usize, module: usize) -> usize {
+        let bpm = self.banks_per_module();
+        module * bpm + ((slot as usize + self.contention_set(p)) % bpm)
+    }
+
+    /// A canonical conflict-free cluster: one processor per contention
+    /// set, namely processors `base·2^(k−r) .. (base+1)·2^(k−r)`.
+    pub fn cluster(&self, base: usize) -> Vec<usize> {
+        let bpm = self.banks_per_module();
+        (0..bpm).map(|i| base * bpm + i).collect()
+    }
+
+    /// Number of disjoint canonical clusters.
+    pub fn clusters(&self) -> usize {
+        self.ports() / self.banks_per_module()
+    }
+}
+
+/// One row of Table 3.5 (configurations of a 64-bank machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigRow {
+    /// Conflict-free memory modules.
+    pub modules: usize,
+    /// Banks per module.
+    pub banks: usize,
+    /// Block size in words (= banks per module).
+    pub block_words: usize,
+    /// Circuit-switched columns.
+    pub circuit_columns: u32,
+    /// Clock-driven columns.
+    pub clock_columns: u32,
+}
+
+impl ConfigRow {
+    /// "CFM", "Conventional" or "" as in Table 3.5's Remark column.
+    pub fn remark(&self) -> &'static str {
+        if self.circuit_columns == 0 {
+            "CFM"
+        } else if self.clock_columns == 0 {
+            "Conventional"
+        } else {
+            ""
+        }
+    }
+}
+
+/// Enumerate all configurations of an `N`-bank machine (Table 3.5 is
+/// `N = 64`).
+pub fn config_table(ports: usize) -> Vec<ConfigRow> {
+    let k = OmegaTopology::new(ports).stages;
+    (0..=k)
+        .map(|r| {
+            let net = PartialOmega::new(ports, r);
+            ConfigRow {
+                modules: net.modules(),
+                banks: net.banks_per_module(),
+                block_words: net.banks_per_module(),
+                circuit_columns: r,
+                clock_columns: k - r,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_3_11a_four_two_bank_modules() {
+        // 8 ports, 2 circuit columns → 4 modules of 2 banks; contention
+        // sets are the parity classes.
+        let net = PartialOmega::new(8, 2);
+        assert_eq!(net.modules(), 4);
+        assert_eq!(net.banks_per_module(), 2);
+        assert_eq!(net.contention_sets(), 2);
+        let evens: Vec<_> = [0, 2, 4, 6]
+            .iter()
+            .map(|&p| net.contention_set(p))
+            .collect();
+        assert!(evens.iter().all(|&s| s == 0));
+        let odds: Vec<_> = [1, 3, 5, 7]
+            .iter()
+            .map(|&p| net.contention_set(p))
+            .collect();
+        assert!(odds.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn fig_3_11b_two_four_bank_modules() {
+        let net = PartialOmega::new(8, 1);
+        assert_eq!(net.modules(), 2);
+        assert_eq!(net.banks_per_module(), 4);
+        // Contention sets (0,4), (1,5), (2,6), (3,7).
+        for p in 0..4 {
+            assert_eq!(net.contention_set(p), net.contention_set(p + 4));
+        }
+        assert_eq!(net.contention_sets(), 4);
+    }
+
+    #[test]
+    fn cluster_members_never_conflict() {
+        // Within a conflict-free cluster, all members targeting any module
+        // at any slot reach distinct banks.
+        let net = PartialOmega::new(16, 2);
+        for base in 0..net.clusters() {
+            let cluster = net.cluster(base);
+            for t in 0..16u64 {
+                for module in 0..net.modules() {
+                    let mut banks: Vec<_> = cluster
+                        .iter()
+                        .map(|&p| net.bank_for(t, p, module))
+                        .collect();
+                    banks.sort_unstable();
+                    banks.dedup();
+                    assert_eq!(banks.len(), cluster.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_set_processors_do_collide() {
+        let net = PartialOmega::new(8, 2);
+        // 0 and 2 share a contention set: same bank every slot.
+        for t in 0..8u64 {
+            assert_eq!(net.bank_for(t, 0, 1), net.bank_for(t, 2, 1));
+        }
+    }
+
+    #[test]
+    fn banks_stay_inside_module() {
+        let net = PartialOmega::new(64, 3);
+        for t in 0..64u64 {
+            for p in 0..64 {
+                for module in 0..net.modules() {
+                    let bank = net.bank_for(t, p, module);
+                    assert_eq!(net.module_of_bank(bank), module);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_3_5_reproduced() {
+        let rows = config_table(64);
+        let expect = [
+            (1usize, 64usize, 64usize, 0u32, 6u32, "CFM"),
+            (2, 32, 32, 1, 5, ""),
+            (4, 16, 16, 2, 4, ""),
+            (8, 8, 8, 3, 3, ""),
+            (16, 4, 4, 4, 2, ""),
+            (32, 2, 2, 5, 1, ""),
+            (64, 1, 1, 6, 0, "Conventional"),
+        ];
+        assert_eq!(rows.len(), expect.len());
+        for (row, (m, b, w, cc, kc, remark)) in rows.iter().zip(expect.iter()) {
+            assert_eq!(row.modules, *m);
+            assert_eq!(row.banks, *b);
+            assert_eq!(row.block_words, *w);
+            assert_eq!(row.circuit_columns, *cc);
+            assert_eq!(row.clock_columns, *kc);
+            assert_eq!(row.remark(), *remark);
+        }
+    }
+
+    #[test]
+    fn cluster_assignments_route_structurally() {
+        // The formulas above must correspond to *routable* paths: for any
+        // slot, the members of one conflict-free cluster targeting any
+        // single module must route through the omega simultaneously —
+        // the circuit columns carry the module bits, the clock columns
+        // the AT-space shift (Fig 3.11's construction).
+        use crate::topology::OmegaTopology;
+        for (ports, r) in [(8usize, 1u32), (8, 2), (16, 2), (16, 3)] {
+            let net = PartialOmega::new(ports, r);
+            let topo = OmegaTopology::new(ports);
+            for base in 0..net.clusters() {
+                let cluster = net.cluster(base);
+                for t in 0..(2 * ports) as u64 {
+                    for module in 0..net.modules() {
+                        let pairs: Vec<(usize, usize)> = cluster
+                            .iter()
+                            .map(|&p| (p, net.bank_for(t, p, module)))
+                            .collect();
+                        assert!(
+                            topo.routable(&pairs),
+                            "ports={ports} r={r} base={base} t={t} module={module}: {pairs:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_are_cfm_and_conventional() {
+        let full = PartialOmega::new(64, 0);
+        assert_eq!(full.modules(), 1);
+        assert_eq!(full.banks_per_module(), 64);
+        let conv = PartialOmega::new(64, 6);
+        assert_eq!(conv.modules(), 64);
+        assert_eq!(conv.banks_per_module(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Fully synchronous omega networks (§3.2.1, Figs 3.7–3.8, Table 3.4).
+//!
+//! A synchronous omega network behaves like one big synchronous switch: at
+//! time slot `t`, input `p` is connected to output `(t + p) mod N`. Since
+//! uniform shifts are routable through an omega with no conflicts
+//! (Lawrie), every switch can be set to the correct state for each slot
+//! purely from the system clock — no routing bits, no setup time, no
+//! propagation of routing decisions between columns.
+
+use crate::topology::OmegaTopology;
+
+/// A synchronous omega network of `N = 2^k` ports.
+///
+/// ```
+/// use cfm_net::sync_omega::SyncOmega;
+///
+/// let net = SyncOmega::new(8);
+/// // At slot t, input p reaches output (p + t) mod 8 — no routing tags.
+/// assert_eq!(net.route(3, 2), 5);
+/// // The realising switch states are precomputed per slot.
+/// assert_eq!(net.switch_state(0, 0, 0), 0); // slot 0: all straight
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyncOmega {
+    topo: OmegaTopology,
+    /// Precomputed switch states `[slot][column][switch]` for one period.
+    states: Vec<Vec<Vec<u8>>>,
+}
+
+impl SyncOmega {
+    /// Build the network and precompute its per-slot switch states.
+    ///
+    /// # Panics
+    /// If `ports` is not a power of two ≥ 2 (omega shape), or —
+    /// impossible by Lawrie's theorem, asserted anyway — if some shift
+    /// permutation fails to route.
+    pub fn new(ports: usize) -> Self {
+        let topo = OmegaTopology::new(ports);
+        let states = (0..ports)
+            .map(|t| {
+                let pairs: Vec<_> = (0..ports).map(|p| (p, (p + t) % ports)).collect();
+                topo.switch_states(&pairs)
+                    .expect("shift permutations always route (Lawrie)")
+                    .into_iter()
+                    // Unused switches idle in the straight state.
+                    .map(|col| col.into_iter().map(|s| s.unwrap_or(0)).collect())
+                    .collect()
+            })
+            .collect();
+        SyncOmega { topo, states }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &OmegaTopology {
+        &self.topo
+    }
+
+    /// Port count `N`.
+    pub fn ports(&self) -> usize {
+        self.topo.ports()
+    }
+
+    /// The output port connected to input `p` at slot `t` — identical to a
+    /// single `N × N` synchronous switch.
+    pub fn route(&self, slot: u64, p: usize) -> usize {
+        let n = self.ports();
+        ((slot as usize % n) + p) % n
+    }
+
+    /// The state (0 = straight, 1 = interchange) of `switch` in `column`
+    /// at slot `t` (the Table 3.4 entries).
+    pub fn switch_state(&self, slot: u64, column: u32, switch: usize) -> u8 {
+        self.states[slot as usize % self.ports()][column as usize][switch]
+    }
+
+    /// The whole state table for one period: `[slot][column][switch]`
+    /// (Table 3.4 prints this for the 8×8 network).
+    pub fn state_table(&self) -> &[Vec<Vec<u8>>] {
+        &self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_port_network_has_3_columns_of_4_switches() {
+        let net = SyncOmega::new(8);
+        assert_eq!(net.state_table().len(), 8); // slots per period
+        assert_eq!(net.state_table()[0].len(), 3); // columns
+        assert_eq!(net.state_table()[0][0].len(), 4); // switches per column
+    }
+
+    #[test]
+    fn slot0_is_identity_all_straight() {
+        // Table 3.4, slot 0: every switch straight (state 0).
+        let net = SyncOmega::new(8);
+        for col in 0..3 {
+            for sw in 0..4 {
+                assert_eq!(net.switch_state(0, col, sw), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn route_matches_shift_permutation() {
+        let net = SyncOmega::new(16);
+        for t in 0..32u64 {
+            for p in 0..16 {
+                assert_eq!(net.route(t, p), (p + t as usize) % 16);
+            }
+        }
+    }
+
+    #[test]
+    fn states_realise_the_routes() {
+        // Walk each path through the network with the precomputed switch
+        // states and check it lands on route(t, p).
+        let net = SyncOmega::new(8);
+        let topo = net.topology();
+        for t in 0..8u64 {
+            for p in 0..8 {
+                let mut line = p;
+                for col in 0..topo.stages {
+                    line = topo.shuffle(line);
+                    let switch = line >> 1;
+                    let input = (line & 1) as u8;
+                    let output = input ^ net.switch_state(t, col, switch);
+                    line = (switch << 1) | output as usize;
+                }
+                assert_eq!(line, net.route(t, p), "t={t} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn period_is_port_count() {
+        let net = SyncOmega::new(8);
+        for col in 0..3 {
+            for sw in 0..4 {
+                assert_eq!(net.switch_state(3, col, sw), net.switch_state(11, col, sw));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_networks_build() {
+        for ports in [4usize, 32, 64] {
+            let net = SyncOmega::new(ports);
+            assert_eq!(net.state_table().len(), ports);
+        }
+    }
+}

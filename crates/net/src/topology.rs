@@ -1,0 +1,203 @@
+//! Omega network wiring and destination-tag routing (Fig 3.7).
+//!
+//! An `N × N` omega network (`N = 2^k`) has `k` columns of `N/2` two-input
+//! switches; each column is preceded by the perfect-shuffle permutation.
+//! A message from source `s` to destination `d` is routed by consuming the
+//! bits of `d` most-significant first: at column `j` the switch forwards
+//! to its upper output if bit `k−1−j` of `d` is 0, lower if 1.
+
+/// The static shape of an omega network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaTopology {
+    /// log2 of the port count.
+    pub stages: u32,
+}
+
+/// One hop of a path: which switch of which column, and the input/output
+/// legs used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Column index, `0 ..= stages−1`.
+    pub column: u32,
+    /// Switch index within the column, `0 ..= N/2 − 1`.
+    pub switch: usize,
+    /// Input leg (0 = upper, 1 = lower).
+    pub input: u8,
+    /// Output leg (0 = upper, 1 = lower).
+    pub output: u8,
+}
+
+impl Hop {
+    /// The 2×2 switch state this hop requires: 0 = straight (input leg ==
+    /// output leg), 1 = interchange.
+    pub fn state(&self) -> u8 {
+        self.input ^ self.output
+    }
+}
+
+impl OmegaTopology {
+    /// A topology with `ports` inputs/outputs.
+    ///
+    /// # Panics
+    /// If `ports` is not a power of two ≥ 2.
+    pub fn new(ports: usize) -> Self {
+        assert!(
+            ports.is_power_of_two() && ports >= 2,
+            "omega network needs a power-of-two port count ≥ 2"
+        );
+        OmegaTopology {
+            stages: ports.trailing_zeros(),
+        }
+    }
+
+    /// Number of input/output ports `N`.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        1 << self.stages
+    }
+
+    /// Switches per column, `N / 2`.
+    #[inline]
+    pub fn switches_per_column(&self) -> usize {
+        self.ports() / 2
+    }
+
+    /// The perfect shuffle: rotate the `k`-bit line number left by one.
+    #[inline]
+    pub fn shuffle(&self, line: usize) -> usize {
+        let k = self.stages;
+        let n = self.ports();
+        ((line << 1) | (line >> (k - 1))) & (n - 1)
+    }
+
+    /// The full path from `src` to `dst` as a sequence of hops, one per
+    /// column.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<Hop> {
+        let k = self.stages;
+        assert!(src < self.ports() && dst < self.ports());
+        let mut line = src;
+        let mut hops = Vec::with_capacity(k as usize);
+        for j in 0..k {
+            line = self.shuffle(line);
+            let switch = line >> 1;
+            let input = (line & 1) as u8;
+            let output = ((dst >> (k - 1 - j)) & 1) as u8;
+            hops.push(Hop {
+                column: j,
+                switch,
+                input,
+                output,
+            });
+            line = (switch << 1) | output as usize;
+        }
+        debug_assert_eq!(
+            line, dst,
+            "destination-tag routing reached {line}, not {dst}"
+        );
+        hops
+    }
+
+    /// Whether a set of (src, dst) pairs can be routed simultaneously with
+    /// no switch-state conflict (each switch needs one consistent state)
+    /// and no link shared by two paths.
+    pub fn routable(&self, pairs: &[(usize, usize)]) -> bool {
+        self.switch_states(pairs).is_some()
+    }
+
+    /// Compute per-switch states realising all `pairs` at once, or `None`
+    /// if they conflict. The result is indexed `[column][switch]`; `None`
+    /// entries are unused switches (free to take either state).
+    pub fn switch_states(&self, pairs: &[(usize, usize)]) -> Option<Vec<Vec<Option<u8>>>> {
+        let mut states: Vec<Vec<Option<u8>>> =
+            vec![vec![None; self.switches_per_column()]; self.stages as usize];
+        // A 2×2 switch in one state carries at most one path per input
+        // leg; track leg usage to catch same-leg collisions.
+        let mut leg_used: Vec<Vec<[bool; 2]>> =
+            vec![vec![[false; 2]; self.switches_per_column()]; self.stages as usize];
+        for &(src, dst) in pairs {
+            for hop in self.path(src, dst) {
+                let col = hop.column as usize;
+                let cell = &mut states[col][hop.switch];
+                match cell {
+                    None => *cell = Some(hop.state()),
+                    Some(s) if *s == hop.state() => {}
+                    Some(_) => return None, // conflicting switch setting
+                }
+                let used = &mut leg_used[col][hop.switch][hop.input as usize];
+                if *used {
+                    return None; // two paths over the same input leg
+                }
+                *used = true;
+            }
+        }
+        Some(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let r = std::panic::catch_unwind(|| OmegaTopology::new(6));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn shuffle_is_rotate_left() {
+        let t = OmegaTopology::new(8);
+        assert_eq!(t.shuffle(0b001), 0b010);
+        assert_eq!(t.shuffle(0b100), 0b001);
+        assert_eq!(t.shuffle(0b111), 0b111);
+    }
+
+    #[test]
+    fn path_reaches_destination() {
+        for ports in [2usize, 4, 8, 16, 64] {
+            let t = OmegaTopology::new(ports);
+            for src in 0..ports {
+                for dst in 0..ports {
+                    let hops = t.path(src, dst);
+                    assert_eq!(hops.len(), t.stages as usize);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_routable() {
+        let t = OmegaTopology::new(8);
+        let pairs: Vec<_> = (0..8).map(|i| (i, i)).collect();
+        assert!(t.routable(&pairs));
+        // Identity sets every used switch straight.
+        let states = t.switch_states(&pairs).unwrap();
+        for col in states {
+            for s in col.into_iter().flatten() {
+                assert_eq!(s, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reversal_blocks_in_omega() {
+        // The bit-reversal permutation is a classic omega blocker for N=8.
+        let t = OmegaTopology::new(8);
+        let rev = |i: usize| ((i & 1) << 2) | (i & 2) | (i >> 2);
+        let pairs: Vec<_> = (0..8).map(|i| (i, rev(i))).collect();
+        assert!(!t.routable(&pairs));
+    }
+
+    #[test]
+    fn shift_permutations_route_conflict_free() {
+        // Lawrie: uniform shifts pass an omega network — the property the
+        // synchronous omega depends on.
+        for ports in [4usize, 8, 16, 32, 64, 128] {
+            let t = OmegaTopology::new(ports);
+            for shift in 0..ports {
+                let pairs: Vec<_> = (0..ports).map(|i| (i, (i + shift) % ports)).collect();
+                assert!(t.routable(&pairs), "shift {shift} blocked on {ports} ports");
+            }
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! # cfm-workloads — deterministic synthetic workloads
+//!
+//! The paper's evaluation sweeps access rate `r`, data locality `λ` and
+//! hot-spot concentration. This crate supplies seeded generators for all
+//! of them, shared by the conflict simulations in `cfm-baseline`, the
+//! machine-level programs in `cfm-core`, and the benches.
+//!
+//! * [`traffic`] — per-cycle module-level request generators (uniform,
+//!   hot-spot, locality-λ) used by the slotted conflict simulators.
+//! * [`patterns`] — block-operation sequences and a rate-driven
+//!   [`patterns::RandomAccessProgram`] for the cycle-accurate CFM machine.
+//! * [`trace`] — matrix-traversal block traces (row-major, column-major,
+//!   tiled) that make the paper's program-locality assumption testable.
+
+pub mod patterns;
+pub mod trace;
+pub mod traffic;

@@ -1,0 +1,248 @@
+//! Per-cycle request generators for the slotted conflict simulators.
+//!
+//! A [`Traffic`] source answers, for each processor and cycle, whether the
+//! processor wants to start a block access and against which memory
+//! module. All sources are deterministic given their seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cycle, per-processor request generator.
+pub trait Traffic {
+    /// Whether processor `proc` issues a request this cycle, and to which
+    /// module.
+    fn poll(&mut self, cycle: u64, proc: usize) -> Option<usize>;
+
+    /// Number of memory modules addressed.
+    fn modules(&self) -> usize;
+}
+
+/// Uniform traffic: each processor issues with probability `rate` per
+/// cycle, targeting a uniformly random module (§3.4.1's assumption).
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    rate: f64,
+    modules: usize,
+    rng: SmallRng,
+}
+
+impl Uniform {
+    /// A source with the given per-cycle issue probability.
+    pub fn new(rate: f64, modules: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(modules > 0);
+        Uniform {
+            rate,
+            modules,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Traffic for Uniform {
+    fn poll(&mut self, _cycle: u64, _proc: usize) -> Option<usize> {
+        if self.rng.gen_bool(self.rate) {
+            Some(self.rng.gen_range(0..self.modules))
+        } else {
+            None
+        }
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+/// Hot-spot traffic (§2.1, Fig 2.1): a fraction `hot_fraction` of requests
+/// target one module; the rest are uniform.
+#[derive(Debug, Clone)]
+pub struct HotSpot {
+    rate: f64,
+    hot_fraction: f64,
+    hot_module: usize,
+    modules: usize,
+    rng: SmallRng,
+}
+
+impl HotSpot {
+    /// A source sending `hot_fraction` of its requests to `hot_module`.
+    pub fn new(rate: f64, hot_fraction: f64, hot_module: usize, modules: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(hot_module < modules);
+        HotSpot {
+            rate,
+            hot_fraction,
+            hot_module,
+            modules,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Traffic for HotSpot {
+    fn poll(&mut self, _cycle: u64, _proc: usize) -> Option<usize> {
+        if !self.rng.gen_bool(self.rate) {
+            return None;
+        }
+        if self.rng.gen_bool(self.hot_fraction) {
+            Some(self.hot_module)
+        } else {
+            Some(self.rng.gen_range(0..self.modules))
+        }
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+/// Locality-λ traffic (§3.4.2): each processor belongs to a cluster with a
+/// home module; with probability `lambda` a request goes home, otherwise
+/// to a uniformly random *remote* module.
+#[derive(Debug, Clone)]
+pub struct Locality {
+    rate: f64,
+    lambda: f64,
+    modules: usize,
+    procs_per_cluster: usize,
+    rng: SmallRng,
+}
+
+impl Locality {
+    /// A source for a system of `modules` clusters, `procs_per_cluster`
+    /// processors each; processor `p`'s home module is
+    /// `p / procs_per_cluster`.
+    pub fn new(
+        rate: f64,
+        lambda: f64,
+        modules: usize,
+        procs_per_cluster: usize,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&lambda));
+        assert!(modules > 1, "remote traffic needs ≥ 2 modules");
+        Locality {
+            rate,
+            lambda,
+            modules,
+            procs_per_cluster,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The home module of `proc`.
+    pub fn home(&self, proc: usize) -> usize {
+        (proc / self.procs_per_cluster) % self.modules
+    }
+}
+
+impl Traffic for Locality {
+    fn poll(&mut self, _cycle: u64, proc: usize) -> Option<usize> {
+        if !self.rng.gen_bool(self.rate) {
+            return None;
+        }
+        let home = self.home(proc);
+        if self.rng.gen_bool(self.lambda) {
+            Some(home)
+        } else {
+            // Uniform over the m − 1 remote modules.
+            let r = self.rng.gen_range(0..self.modules - 1);
+            Some(if r >= home { r + 1 } else { r })
+        }
+    }
+
+    fn modules(&self) -> usize {
+        self.modules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate<T: Traffic>(mut t: T, cycles: u64, procs: usize) -> f64 {
+        let mut issued = 0u64;
+        for c in 0..cycles {
+            for p in 0..procs {
+                if t.poll(c, p).is_some() {
+                    issued += 1;
+                }
+            }
+        }
+        issued as f64 / (cycles * procs as u64) as f64
+    }
+
+    #[test]
+    fn uniform_rate_matches() {
+        let r = empirical_rate(Uniform::new(0.05, 8, 42), 20_000, 4);
+        assert!((r - 0.05).abs() < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn uniform_covers_all_modules() {
+        let mut t = Uniform::new(1.0, 8, 7);
+        let mut seen = [false; 8];
+        for c in 0..1000 {
+            if let Some(m) = t.poll(c, 0) {
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hot_spot_concentrates() {
+        let mut t = HotSpot::new(1.0, 0.8, 3, 8, 1);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        for c in 0..50_000 {
+            if let Some(m) = t.poll(c, 0) {
+                total += 1;
+                if m == 3 {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        // 0.8 hot plus 1/8 of the uniform remainder ≈ 0.825.
+        assert!((frac - 0.825).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn locality_targets_home() {
+        let mut t = Locality::new(1.0, 0.9, 8, 4, 9);
+        let mut home = 0u64;
+        let mut total = 0u64;
+        for c in 0..50_000 {
+            if let Some(m) = t.poll(c, 5) {
+                total += 1;
+                if m == 1 {
+                    home += 1; // proc 5 / 4 per cluster → cluster 1
+                }
+            }
+        }
+        let frac = home as f64 / total as f64;
+        assert!((frac - 0.9).abs() < 0.02, "home fraction {frac}");
+    }
+
+    #[test]
+    fn locality_remote_is_never_home() {
+        let mut t = Locality::new(1.0, 0.0, 4, 2, 3);
+        for c in 0..5_000 {
+            if let Some(m) = t.poll(c, 0) {
+                assert_ne!(m, 0, "λ=0 must never target home");
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = || {
+            let mut t = Uniform::new(0.3, 8, 99);
+            (0..100).filter_map(|c| t.poll(c, 0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,61 @@
+//! Sweep memory access efficiency against access rate and locality — the
+//! data behind Figs 3.13–3.15 in one runnable program, model and
+//! simulation side by side.
+//!
+//! ```sh
+//! cargo run --release --example efficiency_sweep
+//! ```
+
+use conflict_free_memory::analytic::efficiency::{Conventional, PartiallyConflictFree};
+use conflict_free_memory::baseline::conventional::ConventionalSim;
+use conflict_free_memory::baseline::partial_sim::PartialSim;
+use conflict_free_memory::workloads::traffic::{Locality, Uniform};
+
+fn main() {
+    println!("conventional memory, n = 8, m = 8, β = 17 (Fig 3.13):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "rate", "model E(r)", "sim E(r)", "CFM"
+    );
+    let model = Conventional {
+        processors: 8,
+        modules: 8,
+        beta: 17.0,
+    };
+    for i in 0..=6 {
+        let rate = 0.01 * i as f64;
+        let sim = if rate == 0.0 {
+            1.0
+        } else {
+            ConventionalSim::new(8, 17, Uniform::new(rate, 8, 42), 7)
+                .run(150_000)
+                .efficiency
+        };
+        println!(
+            "{:>8.3} {:>12.4} {:>12.4} {:>8.4}",
+            rate,
+            model.efficiency(rate),
+            sim,
+            1.0
+        );
+    }
+
+    println!("\npartially conflict-free, n = 64, m = 8, β = 17 (Fig 3.14), r = 0.04:");
+    println!("{:>8} {:>12} {:>12}", "λ", "model", "sim");
+    let pcf = PartiallyConflictFree {
+        modules: 8,
+        beta: 17.0,
+    };
+    for lambda in [0.9, 0.8, 0.7, 0.5, 0.3] {
+        let sim = PartialSim::new(8, 8, 17, Locality::new(0.04, lambda, 8, 8, 21), 5)
+            .run(150_000)
+            .efficiency;
+        println!(
+            "{:>8.2} {:>12.4} {:>12.4}",
+            lambda,
+            pcf.efficiency(0.04, lambda),
+            sim
+        );
+    }
+    println!("\nshape check: efficiency falls with rate, rises with locality, CFM stays at 1.");
+}

@@ -1,0 +1,60 @@
+//! The hot-spot experiment (Fig 2.1): spin-lock style traffic saturates a
+//! buffered MIN tree-wise, while the same traffic on the CFM cache
+//! machine spins harmlessly in the waiters' own caches.
+//!
+//! ```sh
+//! cargo run --release --example hot_spot
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conflict_free_memory::baseline::hotspot::run_hot_spot;
+use conflict_free_memory::cache::lock::{LockLedger, MultiLockProgram};
+use conflict_free_memory::cache::machine::CcMachine;
+use conflict_free_memory::cache::program::CcRunner;
+use conflict_free_memory::core::config::CfmConfig;
+
+fn main() {
+    // Side 1: hot-spot traffic through a buffered omega MIN.
+    let result = run_hot_spot(16, 2, 4, 0.8, 0.5, 3_000, 500, 42);
+    println!("buffered MIN under a 50% hot spot (16 ports):");
+    for s in &result.samples {
+        let bars: Vec<String> = s
+            .occupancy
+            .iter()
+            .map(|o| format!("{:<10}", "#".repeat((o * 10.0) as usize)))
+            .collect();
+        println!("  cycle {:>5}  [{}]", s.cycle, bars.join("|"));
+    }
+    println!(
+        "  mean latency {:.1} cycles, {} offers refused, saturated back to sources: {}\n",
+        result.mean_latency,
+        result.inject_blocked,
+        result.saturated_to_sources()
+    );
+
+    // Side 2: the same contention pattern — every processor hammering one
+    // lock — on the CFM cache protocol. Spinners hit their own caches;
+    // there is no tree to saturate and no queue anywhere.
+    let cfg = CfmConfig::new(8, 1, 16).expect("valid configuration");
+    let machine = CcMachine::new(cfg, 16, 8);
+    let ledger = Rc::new(RefCell::new(LockLedger::default()));
+    let mut runner = CcRunner::new(machine);
+    for p in 0..8 {
+        runner.set_program(
+            p,
+            Box::new(MultiLockProgram::single(p, 0, 8, 20, 3, ledger.clone())),
+        );
+    }
+    runner.run(10_000_000);
+    let stats = runner.machine().stats();
+    println!("CFM cache machine, 8 processors spinning on one lock:");
+    println!(
+        "  {} critical sections, {} cache-hit spins, {} memory reads, 0 queues, 0 tree saturation",
+        ledger.borrow().log.len(),
+        stats.hits,
+        stats.reads
+    );
+    assert_eq!(ledger.borrow().conflicts_observed, 0);
+}

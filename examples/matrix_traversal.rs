@@ -1,0 +1,57 @@
+//! Program locality made visible: the same matrix swept three ways
+//! through the CFM cache machine. The paper's block-access design bets on
+//! locality (§3.4.4); this example shows what each traversal's hit rate
+//! and memory traffic look like on the simulated protocol.
+//!
+//! ```sh
+//! cargo run --release --example matrix_traversal
+//! ```
+
+use conflict_free_memory::cache::machine::{CcMachine, CpuRequest};
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::workloads::trace::{locality, MatrixLayout, Traversal};
+
+fn main() {
+    let layout = MatrixLayout {
+        rows: 32,
+        cols: 32,
+        elems_per_block: 8,
+    };
+    println!(
+        "32×32 matrix, 8 elements per block ({} blocks), 16-line direct-mapped cache\n",
+        layout.blocks()
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>14}",
+        "traversal", "accesses", "seq. reuse", "hit rate", "memory reads"
+    );
+    for (name, t) in [
+        ("row-major", Traversal::RowMajor),
+        ("blocked 8×8", Traversal::Blocked { tile: 8 }),
+        ("blocked 5×5", Traversal::Blocked { tile: 5 }),
+        ("column-major", Traversal::ColMajor),
+    ] {
+        let trace = layout.trace(t);
+        let loc = locality(&trace);
+        let cfg = CfmConfig::new(2, 1, 16).expect("valid config");
+        let mut m = CcMachine::new(cfg, layout.blocks(), 16);
+        for offset in &trace {
+            m.execute(0, CpuRequest::Load { offset: *offset });
+        }
+        let stats = m.stats();
+        let hit_rate = stats.hits as f64 / trace.len() as f64;
+        println!(
+            "{name:<22} {:>10} {:>11.1}% {:>11.1}% {:>14}",
+            loc.accesses,
+            loc.sequential_reuse * 100.0,
+            hit_rate * 100.0,
+            stats.reads
+        );
+    }
+    println!(
+        "\nRow-major order turns 7 of 8 accesses into cache hits; column-major\n\
+         pays a block access per element — exactly why the CFM couples its\n\
+         block size to the cache line (§3.1.4) and why locality λ drives the\n\
+         partially conflict-free efficiency curves (Fig 3.14)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a CFM machine, run concurrent block accesses from
+//! every processor, and verify the headline property — zero memory
+//! conflicts, every access completing in exactly β cycles.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::op::Operation;
+
+fn main() {
+    // Eight processors, bank cycle of 2 CPU cycles → 16 banks; a block is
+    // 16 words and a block access takes β = 16 + 2 − 1 = 17 cycles.
+    let cfg = CfmConfig::new(8, 2, 16).expect("valid configuration");
+    println!(
+        "CFM: {} processors, {} banks, {}-bit blocks, β = {} cycles",
+        cfg.processors(),
+        cfg.banks(),
+        cfg.block_bits(),
+        cfg.block_access_time()
+    );
+
+    let mut machine = CfmMachine::new(cfg, 64);
+
+    // Initialise one block per processor.
+    for p in 0..cfg.processors() {
+        let block: Vec<u64> = (0..cfg.banks() as u64)
+            .map(|w| 100 * p as u64 + w)
+            .collect();
+        machine.poke_block(p, &block);
+    }
+
+    // Every processor reads a different block in the same cycle — on a
+    // conventional interleaved memory this pattern conflicts; on the CFM
+    // the AT-space partition keeps every bank visit disjoint.
+    for p in 0..cfg.processors() {
+        machine
+            .issue(p, Operation::read(p))
+            .expect("idle processor");
+    }
+    let done = machine.run_until_idle(1_000).expect("completes");
+    for c in &done {
+        println!(
+            "proc {} read block {:>2}: latency {:>2} cycles, first word {}",
+            c.proc,
+            c.offset,
+            c.latency(),
+            c.data.as_ref().unwrap()[0]
+        );
+        assert_eq!(c.latency(), cfg.block_access_time());
+    }
+
+    // Atomic block swap: exchange a whole block and get the old one back.
+    machine
+        .issue(3, Operation::swap(0, vec![7; cfg.banks()]))
+        .expect("idle");
+    let swap = machine.run_until_idle(1_000).expect("completes").remove(0);
+    println!(
+        "proc 3 swapped block 0: old block started with {}, new block is all 7s",
+        swap.data.as_ref().unwrap()[0]
+    );
+
+    let stats = machine.stats();
+    println!(
+        "simulated {} cycles, {} word accesses, bank conflicts: {} (always 0)",
+        stats.cycles, stats.word_accesses, stats.bank_conflicts
+    );
+    assert_eq!(stats.bank_conflicts, 0);
+}

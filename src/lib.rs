@@ -1,0 +1,43 @@
+//! # conflict-free-memory — a reproduction of the CFM multiprocessor design
+//!
+//! Facade crate over the workspace implementing Shing & Ni's
+//! *A Conflict-Free Memory Design for Multiprocessors* (Supercomputing
+//! '91; dissertation 1992). See `README.md` for the architecture overview
+//! and `DESIGN.md` / `EXPERIMENTS.md` for the system inventory and the
+//! per-table/figure reproduction index.
+//!
+//! * [`core`] — the cycle-accurate CFM machine: AT-space scheduling,
+//!   synchronous switches, pipelined banks, address tracking, atomic
+//!   block swap, busy-waiting locks, multi-cluster extension.
+//! * [`net`] — omega networks: fully/partially synchronous,
+//!   circuit-switched, and buffered (hot-spot tree saturation).
+//! * [`cache`] — the invalidation-based write-back CFM cache protocol,
+//!   synchronization operations (multiple test-and-set), and the
+//!   hierarchical two-level CFM.
+//! * [`baseline`] — conventional interleaved memory with conflicts and
+//!   retries; hot-spot experiments.
+//! * [`analytic`] — the paper's closed-form efficiency and latency models.
+//! * [`workloads`] — seeded synthetic traffic and operation generators.
+//! * [`binding`] — the resource-binding parallel programming paradigm, on
+//!   real threads and on the CFM cache machine.
+
+pub use cfm_analytic as analytic;
+pub use cfm_baseline as baseline;
+pub use cfm_cache as cache;
+pub use cfm_core as core;
+pub use cfm_net as net;
+pub use cfm_workloads as workloads;
+pub use resource_binding as binding;
+
+/// Crate version of the reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let cfg = crate::core::config::CfmConfig::new(4, 1, 16).unwrap();
+        assert_eq!(cfg.banks(), 4);
+        assert!(!crate::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Cross-validation of the analytic bandwidth model against the
+//! cycle-accurate machine: drive every processor back-to-back and
+//! compare measured words-per-cycle with
+//! `cfm-analytic::bandwidth::bandwidth` at full demand.
+
+use conflict_free_memory::analytic::bandwidth::bandwidth;
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::program::{Program, RunOutcome, Runner};
+use conflict_free_memory::core::{Cycle, ProcId};
+
+/// Issues `ops` reads back-to-back on one block.
+struct Saturator {
+    offset: usize,
+    remaining: u32,
+    outstanding: bool,
+}
+
+impl Program for Saturator {
+    fn next_op(&mut self, _cycle: Cycle) -> Option<conflict_free_memory::core::op::Operation> {
+        if self.outstanding || self.remaining == 0 {
+            return None;
+        }
+        self.outstanding = true;
+        self.remaining -= 1;
+        Some(conflict_free_memory::core::op::Operation::read(self.offset))
+    }
+    fn on_completion(&mut self, _c: &conflict_free_memory::core::op::Completion, _cycle: Cycle) {
+        self.outstanding = false;
+    }
+    fn finished(&self) -> bool {
+        self.remaining == 0 && !self.outstanding
+    }
+}
+
+fn measured_words_per_cycle(n: usize, c: u32, ops: u32) -> f64 {
+    let cfg = CfmConfig::new(n, c, 16).unwrap();
+    let mut runner = Runner::new(CfmMachine::new(cfg, 8));
+    for p in 0..n as ProcId {
+        runner.set_program(
+            p,
+            Box::new(Saturator {
+                offset: p % 8,
+                remaining: ops,
+                outstanding: false,
+            }),
+        );
+    }
+    assert!(matches!(runner.run(10_000_000), RunOutcome::Finished(_)));
+    let stats = runner.machine().stats();
+    stats.word_accesses as f64 / stats.cycles as f64
+}
+
+#[test]
+fn saturated_machine_matches_bandwidth_model() {
+    for (n, c) in [(4usize, 1u32), (8, 1), (4, 2), (8, 2)] {
+        let cfg = CfmConfig::new(n, c, 16).unwrap();
+        let model = bandwidth(&cfg, 1.0, 1.0);
+        let model_words_per_cycle = model.effective_bits_per_cycle / cfg.word_width() as f64;
+        let measured = measured_words_per_cycle(n, c, 50);
+        // Completion/issue hand-off costs a bounded constant per op; the
+        // asymptotic rate must be within 10 % of the model.
+        let ratio = measured / model_words_per_cycle;
+        assert!(
+            (0.90..=1.02).contains(&ratio),
+            "n={n} c={c}: measured {measured:.3} vs model {model_words_per_cycle:.3} (ratio {ratio:.3})"
+        );
+    }
+}
+
+#[test]
+fn unit_cycle_machine_saturates_banks() {
+    // c = 1, full demand: every bank busy almost every cycle.
+    let measured = measured_words_per_cycle(8, 1, 100);
+    assert!(measured > 7.2, "only {measured:.2} of 8 banks busy");
+}

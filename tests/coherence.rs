@@ -1,0 +1,197 @@
+//! Integration tests of the CFM cache protocol against a sequential
+//! reference model: randomized request streams must behave as if executed
+//! one at a time (the protocol serializes conflicting accesses), and the
+//! hardware invariants must hold throughout.
+
+use std::collections::HashSet;
+
+use conflict_free_memory::cache::machine::{CcMachine, CpuRequest, Rmw};
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::Word;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn machine(n: usize) -> CcMachine {
+    CcMachine::new(CfmConfig::new(n, 1, 16).unwrap(), 16, 4)
+}
+
+/// Drive random loads/stores/RMWs from all processors.
+///
+/// Checks, all without assuming wall-clock linearization points:
+/// * ≤ 1 dirty copy per block, every cycle;
+/// * writes to one block serialize in response order, so replaying
+///   responses into a model reproduces the exact final memory;
+/// * an RMW's observed old block equals the model at its response (RMWs
+///   on a block are totally ordered by exclusive ownership);
+/// * a load never returns a *torn* block: every loaded value is some
+///   version that actually existed in the write history.
+#[test]
+fn randomized_traffic_matches_serial_model() {
+    let n = 4;
+    let offsets = 8usize;
+    let mut m = machine(n);
+    let banks = m.config().banks();
+    let mut rng = SmallRng::seed_from_u64(2024);
+    let mut model: Vec<Vec<Word>> = vec![vec![0; banks]; offsets];
+    let mut history: Vec<HashSet<Vec<Word>>> = (0..offsets)
+        .map(|o| {
+            let mut s = HashSet::new();
+            s.insert(model[o].clone());
+            s
+        })
+        .collect();
+    let mut outstanding: Vec<Option<CpuRequest>> = vec![None; n];
+
+    for cyc in 0..60_000 {
+        #[allow(clippy::needless_range_loop)] // p indexes parallel state arrays
+        for p in 0..n {
+            // Stop submitting near the end so every response is polled
+            // (and folded into the model) inside this loop.
+            if cyc < 30_000 && outstanding[p].is_none() && rng.gen_bool(0.2) {
+                let offset = rng.gen_range(0..offsets);
+                let req = match rng.gen_range(0..4) {
+                    0 => CpuRequest::Load { offset },
+                    1 => CpuRequest::Store {
+                        offset,
+                        word: rng.gen_range(0..banks),
+                        value: rng.gen_range(1..1000),
+                    },
+                    2 => CpuRequest::Rmw {
+                        offset,
+                        rmw: Rmw::FetchAndAdd {
+                            word: rng.gen_range(0..banks),
+                            delta: 1,
+                        },
+                    },
+                    _ => CpuRequest::Rmw {
+                        offset,
+                        rmw: Rmw::Swap {
+                            new: (0..banks)
+                                .map(|_| rng.gen_range(0..1000))
+                                .collect::<Vec<_>>()
+                                .into_boxed_slice(),
+                        },
+                    },
+                };
+                m.submit(p, req.clone()).unwrap();
+                outstanding[p] = Some(req);
+            }
+        }
+        m.step();
+        assert_eq!(m.check_single_dirty(), None, "two dirty copies");
+        #[allow(clippy::needless_range_loop)] // p indexes a parallel array
+        for p in 0..n {
+            if let Some(resp) = m.poll(p) {
+                let req = outstanding[p].take().expect("response implies request");
+                match req {
+                    CpuRequest::Load { offset } => {
+                        let got = resp.data.to_vec();
+                        assert!(
+                            history[offset].contains(&got),
+                            "load at offset {offset} returned a torn block {got:?}"
+                        );
+                    }
+                    CpuRequest::Store {
+                        offset,
+                        word,
+                        value,
+                    } => {
+                        model[offset][word] = value;
+                        history[offset].insert(model[offset].clone());
+                    }
+                    CpuRequest::Rmw { offset, rmw } => {
+                        assert_eq!(
+                            resp.data.to_vec(),
+                            model[offset],
+                            "rmw at offset {offset} observed stale data"
+                        );
+                        match rmw {
+                            Rmw::Swap { new } => model[offset].copy_from_slice(&new),
+                            Rmw::TestAndSet { word } => model[offset][word] = 1,
+                            Rmw::FetchAndAdd { word, delta } => {
+                                model[offset][word] = model[offset][word].wrapping_add(delta)
+                            }
+                            Rmw::MultipleTestAndSet { pattern } => {
+                                if !resp.failed {
+                                    for (d, q) in model[offset].iter_mut().zip(pattern.iter()) {
+                                        *d |= q;
+                                    }
+                                }
+                            }
+                            Rmw::MultipleClear { pattern } => {
+                                for (d, q) in model[offset].iter_mut().zip(pattern.iter()) {
+                                    *d &= !q;
+                                }
+                            }
+                        }
+                        history[offset].insert(model[offset].clone());
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        outstanding.iter().all(|o| o.is_none()),
+        "requests still outstanding after the drain window"
+    );
+    assert!(m.run_until_idle(1_000_000));
+    #[allow(clippy::needless_range_loop)] // offset indexes two parallel tables
+    for offset in 0..offsets {
+        assert_eq!(
+            m.coherent_block(offset),
+            model[offset],
+            "final state diverged at offset {offset}"
+        );
+    }
+}
+
+/// Concurrent fetch-and-adds from all processors never lose an update
+/// even across cache-line evictions (offsets colliding in the 4-line
+/// cache).
+#[test]
+fn fetch_and_add_survives_evictions() {
+    let n = 4;
+    let mut m = machine(n);
+    // Offsets 1, 5, 9, 13 all map to cache line 1: constant eviction.
+    for round in 0..10 {
+        for p in 0..n {
+            m.submit(
+                p,
+                CpuRequest::Rmw {
+                    offset: [1, 5, 9, 13][(p + round) % 4],
+                    rmw: Rmw::FetchAndAdd { word: 0, delta: 1 },
+                },
+            )
+            .unwrap();
+        }
+        assert!(m.run_until_idle(1_000_000));
+    }
+    let total: Word = [1, 5, 9, 13].iter().map(|&o| m.peek_memory(o)[0]).sum();
+    assert_eq!(total, 40);
+}
+
+/// The weak-consistency contract (§5.3.1): a synchronization operation's
+/// effects are globally visible once it completes — a subsequent load
+/// from *any* processor observes them.
+#[test]
+fn sync_ops_are_globally_performed_on_completion() {
+    let mut m = machine(4);
+    for p in 0..4 {
+        let r = m.execute(
+            p,
+            CpuRequest::Rmw {
+                offset: 3,
+                rmw: Rmw::FetchAndAdd { word: 2, delta: 10 },
+            },
+        );
+        assert_eq!(
+            r.data[2],
+            (p as Word) * 10,
+            "processor {p} saw a stale counter"
+        );
+        // Immediately visible to a different processor's load.
+        let q = (p + 1) % 4;
+        let load = m.execute(q, CpuRequest::Load { offset: 3 });
+        assert_eq!(load.data[2], (p as Word + 1) * 10);
+    }
+}

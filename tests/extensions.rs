@@ -1,0 +1,188 @@
+//! Integration tests of the reproduction's extensions working together:
+//! slot sharing under workload scripts, the cycle-level hierarchy
+//! agreeing with the analytic chains, combining networks under the
+//! hot-spot generator, and the Linda / semaphore / binding paradigms
+//! computing the same answers.
+
+use conflict_free_memory::analytic::latency::table_5_5_cfm;
+use conflict_free_memory::binding::linda::{Pattern, Tuple, TupleSpace};
+use conflict_free_memory::binding::manager::{BindingManager, SyncMode};
+use conflict_free_memory::binding::region::{Access, DimRange};
+use conflict_free_memory::binding::semaphores::SemaphoreBank;
+use conflict_free_memory::binding::vec::SharedVec;
+use conflict_free_memory::cache::hier_machine::{HierMachine, HierRequest};
+use conflict_free_memory::cache::multi_level::MultiLevelCfm;
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::op::Operation;
+use conflict_free_memory::core::slotshare::SlotSharedMachine;
+use conflict_free_memory::net::buffered::BufferedOmega;
+use conflict_free_memory::workloads::traffic::{HotSpot, Traffic};
+use std::sync::Arc;
+
+/// Slot sharing preserves every data value under randomized scripts: the
+/// serialization is transparent to programs.
+#[test]
+fn slot_sharing_is_transparent_to_programs() {
+    let cfg = CfmConfig::new(4, 1, 16).unwrap();
+    let mut m = SlotSharedMachine::new(cfg, 32, 2);
+    // All 8 processors write their own block, then read it back.
+    for p in 0..8 {
+        m.issue(p, Operation::write(p, vec![p as u64; 4])).unwrap();
+    }
+    assert!(m.run_until_idle(10_000));
+    for p in 0..8 {
+        assert!(m.poll(p).is_some());
+        m.issue(p, Operation::read(p)).unwrap();
+    }
+    assert!(m.run_until_idle(10_000));
+    for p in 0..8 {
+        let c = m.poll(p).unwrap();
+        assert_eq!(c.data.as_deref(), Some(&vec![p as u64; 4][..]));
+    }
+    assert_eq!(m.inner().stats().bank_conflicts, 0);
+}
+
+/// The cycle-level hierarchical machine reproduces the analytic model's
+/// uncontended chain latencies (and hence Table 5.5's CFM column).
+#[test]
+fn hier_machine_agrees_with_analytic_chains() {
+    let model = table_5_5_cfm();
+    let mut m = HierMachine::new(4, 4, model.beta(), model.beta(), 1);
+    let cold = m.execute(0, HierRequest::Read(1));
+    assert_eq!(cold.latency(), model.global_read());
+    let sibling = m.execute(1, HierRequest::Read(1));
+    assert_eq!(sibling.latency(), model.local_read());
+    // And the N-level model agrees on the same shape.
+    let mut ml = MultiLevelCfm::new(vec![4, 4], vec![model.beta(), model.beta()]);
+    assert_eq!(ml.read(0, 1).1, model.global_read());
+    assert_eq!(ml.read(1, 1).1, model.local_read());
+}
+
+/// Combining plus the hot-spot generator: the §2.1.1 network keeps
+/// serving while the plain one collapses.
+#[test]
+fn combining_network_under_hot_spot_generator() {
+    let run = |combining: bool| {
+        let mut net = BufferedOmega::with_sink_service(16, 2, 4);
+        if combining {
+            net = net.with_combining();
+        }
+        let mut traffic = HotSpot::new(0.7, 0.6, 0, 16, 5);
+        for now in 0..2_000u64 {
+            let offers: Vec<_> = (0..16)
+                .filter_map(|p| traffic.poll(now, p).map(|d| (p, d)))
+                .collect();
+            net.step(&offers);
+        }
+        net.stats().delivered
+    };
+    let plain = run(false);
+    let combined = run(true);
+    assert!(
+        combined as f64 > 1.5 * plain as f64,
+        "combining {combined} vs plain {plain}"
+    );
+}
+
+/// The three paradigms compute the same parallel-prefix result on a
+/// shared array.
+#[test]
+fn paradigms_compute_identical_results() {
+    const N: usize = 64;
+    // Resource binding: strided stripes.
+    let manager = Arc::new(BindingManager::new());
+    let v = Arc::new(SharedVec::new(manager, N, 0u64));
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let v = v.clone();
+            s.spawn(move || {
+                let g = v
+                    .bind(DimRange::strided(t, N, 4), Access::Rw, SyncMode::Blocking)
+                    .unwrap();
+                g.for_each_mut(|i, x| *x = (i * i) as u64);
+            });
+        }
+    });
+    let binding_result = v.snapshot();
+
+    // Semaphores: one lock per element, ordered acquisition.
+    let bank = Arc::new(SemaphoreBank::new(N));
+    let sem_result = Arc::new(
+        (0..N)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect::<Vec<_>>(),
+    );
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let bank = bank.clone();
+            let out = sem_result.clone();
+            s.spawn(move || {
+                for i in (t..N).step_by(4) {
+                    let _g = bank.acquire_ordered(&[i]);
+                    out[i].store((i * i) as u64, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // Linda: workers take ("task", i) tuples and out ("done", i, i²).
+    let space = TupleSpace::new();
+    for i in 0..N {
+        space.out(Tuple::new("task", [i as i64]));
+    }
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let space = space.clone();
+            s.spawn(move || {
+                while let Some(t) = space.try_take_now(&Pattern::new("task", [None])) {
+                    let i = t.fields[0];
+                    space.out(Tuple::new("done", [i, i * i]));
+                }
+            });
+        }
+    });
+    let mut linda_result = vec![0u64; N];
+    for _ in 0..N {
+        let t = space.take(&Pattern::new("done", [None, None]));
+        linda_result[t.fields[0] as usize] = t.fields[1] as u64;
+    }
+
+    for i in 0..N {
+        assert_eq!(binding_result[i], (i * i) as u64);
+        assert_eq!(
+            sem_result[i].load(std::sync::atomic::Ordering::Relaxed),
+            (i * i) as u64
+        );
+        assert_eq!(linda_result[i], (i * i) as u64);
+    }
+}
+
+/// Raw-machine atomic RMW and the cache-machine RMW agree on final state
+/// for the same operation sequence.
+#[test]
+fn raw_and_cached_rmw_agree() {
+    use conflict_free_memory::cache::machine::{CcMachine, CpuRequest, Rmw};
+    use conflict_free_memory::core::machine::CfmMachine;
+
+    let cfg = CfmConfig::new(4, 1, 16).unwrap();
+    let mut raw = CfmMachine::new(cfg, 8);
+    let mut cached = CcMachine::new(cfg, 8, 8);
+
+    for round in 0..6u64 {
+        let p = (round % 4) as usize;
+        raw.issue(p, Operation::fetch_add(3, 1, round + 1)).unwrap();
+        raw.run_until_idle(10_000).unwrap();
+        cached.execute(
+            p,
+            CpuRequest::Rmw {
+                offset: 3,
+                rmw: Rmw::FetchAndAdd {
+                    word: 1,
+                    delta: round + 1,
+                },
+            },
+        );
+    }
+    assert_eq!(raw.peek_block(3), cached.coherent_block(3));
+    assert_eq!(raw.peek_block(3)[1], 21);
+}

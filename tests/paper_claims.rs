@@ -1,0 +1,160 @@
+//! Cross-crate integration tests for the paper's headline claims.
+
+use conflict_free_memory::analytic::efficiency::{Conventional, PartiallyConflictFree};
+use conflict_free_memory::analytic::latency::{
+    table_5_5_cfm, table_5_6_cfm, DASH_LATENCIES, KSR1_LATENCIES,
+};
+use conflict_free_memory::baseline::conventional::ConventionalSim;
+use conflict_free_memory::baseline::hotspot::run_hot_spot;
+use conflict_free_memory::cache::hierarchy::TwoLevelCfm;
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::program::{RunOutcome, Runner};
+use conflict_free_memory::workloads::patterns::{read_write_mix, ScriptProgram};
+use conflict_free_memory::workloads::traffic::Uniform;
+
+/// Claim 1 (§3.1): the CFM eliminates memory conflicts — any workload on
+/// distinct blocks completes with zero conflicts and per-op latency β.
+#[test]
+fn cfm_is_conflict_free_under_saturation() {
+    let cfg = CfmConfig::new(8, 2, 16).unwrap();
+    let mut runner = Runner::new(CfmMachine::new(cfg, 32));
+    for p in 0..8 {
+        // Each processor hammers its own block back-to-back: 100%
+        // utilisation of its AT-space partition.
+        let script = vec![conflict_free_memory::core::op::Operation::read(p); 40];
+        runner.set_program(p, Box::new(ScriptProgram::new(script)));
+    }
+    assert!(matches!(runner.run(100_000), RunOutcome::Finished(_)));
+    let stats = runner.machine().stats();
+    assert_eq!(stats.bank_conflicts, 0);
+    assert_eq!(stats.wasted_word_accesses, 0);
+    assert_eq!(stats.efficiency(), 1.0);
+}
+
+/// Claim 2 (§3.4, Fig 3.13): conventional efficiency falls roughly
+/// linearly with access rate; the measured curve tracks the model and
+/// stays strictly below the CFM's 1.0 at every non-zero rate.
+#[test]
+fn conventional_memory_loses_efficiency_with_rate() {
+    let model = Conventional {
+        processors: 8,
+        modules: 8,
+        beta: 17.0,
+    };
+    let mut last = 1.1;
+    for &rate in &[0.01, 0.03, 0.05] {
+        let sim = ConventionalSim::new(8, 17, Uniform::new(rate, 8, 42), 7)
+            .run(200_000)
+            .efficiency;
+        assert!(sim < 1.0);
+        assert!(sim < last, "not decreasing at r = {rate}");
+        // The closed form tracks the simulation at moderate rates; near
+        // saturation it overestimates conflicts because it ignores that
+        // busy processors stop issuing (recorded in EXPERIMENTS.md), so
+        // the band check applies below r ≈ 0.04 only.
+        if rate <= 0.03 {
+            assert!((sim - model.efficiency(rate)).abs() < 0.15);
+        }
+        last = sim;
+    }
+}
+
+/// Claim 3 (§3.4.2, Figs 3.14/3.15): at every plotted locality the
+/// partially conflict-free system beats the same-connectivity
+/// conventional system, and higher locality is better.
+#[test]
+fn partial_cf_dominates_conventional() {
+    let pcf = PartiallyConflictFree {
+        modules: 8,
+        beta: 17.0,
+    };
+    let conv = Conventional {
+        processors: 64,
+        modules: 64,
+        beta: 17.0,
+    };
+    for &rate in &[0.01, 0.03, 0.05] {
+        for &lambda in &[0.9, 0.8, 0.7, 0.5] {
+            assert!(
+                pcf.efficiency(rate, lambda) >= conv.efficiency(rate),
+                "λ={lambda}, r={rate}"
+            );
+        }
+        assert!(pcf.efficiency(rate, 0.9) > pcf.efficiency(rate, 0.5));
+    }
+}
+
+/// Claim 4 (§2.1 vs §3.2): hot-spot traffic tree-saturates a buffered
+/// MIN but cannot congest the CFM (no queues exist to fill).
+#[test]
+fn hot_spot_saturates_min_not_cfm() {
+    let min = run_hot_spot(16, 2, 4, 0.8, 0.5, 3_000, 300, 9);
+    assert!(min.saturated_to_sources());
+
+    // The "CFM side": the same offered load as block accesses on the CFM
+    // machine — all complete, conflict-free.
+    let cfg = CfmConfig::new(16, 1, 16).unwrap();
+    let mut runner = Runner::new(CfmMachine::new(cfg, 4));
+    for p in 0..16 {
+        // Everyone reads block 0 (the "hot" block) repeatedly.
+        let script = vec![conflict_free_memory::core::op::Operation::read(0); 20];
+        runner.set_program(p, Box::new(ScriptProgram::new(script)));
+    }
+    assert!(matches!(runner.run(100_000), RunOutcome::Finished(_)));
+    assert_eq!(runner.machine().stats().bank_conflicts, 0);
+    assert_eq!(runner.machine().stats().read_restarts, 0);
+}
+
+/// Claim 5 (Tables 5.5/5.6): hierarchical CFM read latencies beat the
+/// published DASH and KSR1 numbers at every level, and the event-level
+/// simulator agrees with the analytic chains.
+#[test]
+fn hierarchical_latencies_beat_dash_and_ksr1() {
+    let model = table_5_5_cfm();
+    let mut sim = TwoLevelCfm::new(4, 4, model.beta(), model.beta());
+    let cold = sim.read(0, 0, 1).1;
+    assert_eq!(cold, model.global_read());
+    assert!(cold < DASH_LATENCIES[1]);
+    sim.write(1, 0, 2);
+    let dirty = sim.read(0, 0, 2).1;
+    assert_eq!(dirty, model.dirty_remote_read());
+    assert!(dirty < DASH_LATENCIES[2]);
+
+    let model6 = table_5_6_cfm();
+    assert!(model6.local_read() < KSR1_LATENCIES[0]);
+    assert!(model6.global_read() < KSR1_LATENCIES[1]);
+}
+
+/// Claim 6 (§3.4.3): the synchronous header drops the bank number; CFM
+/// needs fewer header bits than any partially or fully circuit-switched
+/// configuration of the same machine.
+#[test]
+fn header_savings_monotonic() {
+    let m = conflict_free_memory::net::headers::HeaderModel::new(64, 4096);
+    let mut last = 0;
+    for r in 0..=6 {
+        let bits = m.header_bits(r);
+        assert!(bits > last || r == 0);
+        last = bits;
+    }
+    assert_eq!(m.savings_bits(0), 6); // full bank number eliminated
+}
+
+/// Mixed read/write scripts across all processors complete deterministically
+/// and identically across runs (the whole simulator is reproducible).
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let cfg = CfmConfig::new(4, 2, 16).unwrap();
+        let mut runner = Runner::new(CfmMachine::new(cfg, 16));
+        for p in 0..4 {
+            let script = read_write_mix(30, 16, 8, 0.5, p as u64 + 100);
+            runner.set_program(p, Box::new(ScriptProgram::new(script)));
+        }
+        runner.run(1_000_000);
+        let m = runner.into_machine();
+        (0..16).map(|o| m.peek_block(o)).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,108 @@
+//! Scale smoke tests: the paper's large configurations actually run.
+//! These use the real simulators at sizes the dissertation talks about
+//! (64–128 processors, 64-port networks, 1024-processor hierarchies) and
+//! check the structural invariants hold there too.
+
+use conflict_free_memory::cache::hier_machine::{HierMachine, HierRequest};
+use conflict_free_memory::cache::multi_level::MultiLevelCfm;
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::op::Operation;
+use conflict_free_memory::net::partial::PartialOmega;
+use conflict_free_memory::net::sync_omega::SyncOmega;
+
+/// A 64-processor, 128-bank CFM (the Fig 3.14 scale) under simultaneous
+/// full-width traffic: conflict-free, every access exactly β.
+#[test]
+fn sixty_four_processor_machine_is_conflict_free() {
+    let cfg = CfmConfig::new(64, 2, 16).unwrap();
+    assert_eq!(cfg.banks(), 128);
+    let beta = cfg.block_access_time();
+    let mut m = CfmMachine::new(cfg, 64);
+    for round in 0..3 {
+        for p in 0..64 {
+            m.issue(p, Operation::read((p + round) % 64)).unwrap();
+        }
+        let done = m.run_until_idle(10_000).unwrap();
+        assert_eq!(done.len(), 64);
+        assert!(done.iter().all(|c| c.latency() == beta));
+    }
+    assert_eq!(m.stats().bank_conflicts, 0);
+}
+
+/// The 64-port synchronous omega (Table 3.5's CFM row) precomputes all
+/// 64 slot states and realises every shift conflict-free.
+#[test]
+fn sixty_four_port_synchronous_omega() {
+    let net = SyncOmega::new(64);
+    assert_eq!(net.state_table().len(), 64);
+    for t in [0u64, 1, 31, 63] {
+        for p in 0..64 {
+            assert_eq!(net.route(t, p), (p + t as usize) % 64);
+        }
+    }
+}
+
+/// Every Table 3.5 row of the 64-bank machine keeps its clusters
+/// structurally conflict-free.
+#[test]
+fn all_table_3_5_rows_have_conflict_free_clusters() {
+    for r in 0..=6u32 {
+        let net = PartialOmega::new(64, r);
+        let cluster = net.cluster(0);
+        for t in 0..64u64 {
+            for module in [0usize, net.modules() - 1] {
+                let mut banks: Vec<_> = cluster
+                    .iter()
+                    .map(|&p| net.bank_for(t, p, module))
+                    .collect();
+                banks.sort_unstable();
+                banks.dedup();
+                assert_eq!(banks.len(), cluster.len(), "r={r} t={t}");
+            }
+        }
+    }
+}
+
+/// The Table 5.6-scale hierarchy (1024 processors) as an N-level model,
+/// and a mid-size cycle-level hierarchy under load.
+#[test]
+fn thousand_processor_hierarchy() {
+    let mut big = MultiLevelCfm::new(vec![32, 32], vec![65, 65]);
+    assert_eq!(big.processors(), 1024);
+    assert_eq!(big.read(0, 0).1, 195);
+    assert_eq!(big.read(1023, 0).1, 195);
+    assert_eq!(big.read(1, 0).1, 65);
+
+    // Cycle-level: 8 clusters × 8 processors with random reads.
+    let mut m = HierMachine::new(8, 8, 9, 9, 1);
+    for p in 0..64 {
+        assert!(m.submit(p, HierRequest::Read(p % 16)));
+    }
+    assert!(m.run_until_idle(100_000));
+    assert_eq!(m.check_states(), None);
+    let mut served = 0;
+    for p in 0..64 {
+        if m.poll(p).is_some() {
+            served += 1;
+        }
+    }
+    assert_eq!(served, 64);
+}
+
+/// The Monarch-style configuration (§3.2.2's closing example): 64 banks
+/// of 1-bit words, block = one 64-bit memory word, as a CFM module.
+#[test]
+fn monarch_style_bit_serial_module() {
+    let cfg = CfmConfig::from_block(64, 64, 1).unwrap();
+    assert_eq!(cfg.word_width(), 1);
+    assert_eq!(cfg.processors(), 64);
+    assert_eq!(cfg.block_access_time(), 64); // vs the Monarch's longer path
+    let mut m = CfmMachine::new(cfg, 4);
+    for p in 0..64 {
+        m.issue(p, Operation::read(p % 4)).unwrap();
+    }
+    let done = m.run_until_idle(10_000).unwrap();
+    assert_eq!(done.len(), 64);
+    assert_eq!(m.stats().bank_conflicts, 0);
+}
