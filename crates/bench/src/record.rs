@@ -6,14 +6,13 @@
 //! `results/<id>.json` relative to the workspace root (or the current
 //! directory when run elsewhere).
 
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use serde::Serialize;
-
 /// A generic experiment record: an id, free-form parameters, and a set of
 /// named series.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct ExperimentRecord {
     /// Experiment id (e.g. `fig_3_13`).
     pub id: String,
@@ -26,7 +25,7 @@ pub struct ExperimentRecord {
 }
 
 /// One named series of (x, y) points.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Series {
     /// Series label (e.g. `λ=0.9`).
     pub label: String,
@@ -60,6 +59,42 @@ impl ExperimentRecord {
         self
     }
 
+    /// Render the record as JSON. Hand-rolled (the workspace builds
+    /// offline, without serde); key order is fixed so output is diffable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = write!(
+            out,
+            "  \"id\": {},\n  \"artifact\": {},\n",
+            json_str(&self.id),
+            json_str(&self.artifact)
+        );
+        out.push_str("  \"params\": [");
+        for (i, (name, value)) in self.params.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{}, {}]", json_str(name), json_str(value));
+        }
+        out.push_str("],\n  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"label\": {}, \"points\": [",
+                json_str(&s.label)
+            );
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{}, {}]", json_f64(*x), json_f64(*y));
+            }
+            out.push_str(if i + 1 == self.series.len() {
+                "]}\n"
+            } else {
+                "]},\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Write the record to `results/<id>.json`; returns the path written.
     /// Errors are reported, not fatal — the textual output remains the
     /// primary artifact.
@@ -67,10 +102,40 @@ impl ExperimentRecord {
         let dir = PathBuf::from("results");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join(format!("{}.json", self.id));
-        let json = serde_json::to_string_pretty(self).ok()?;
         let mut f = std::fs::File::create(&path).ok()?;
-        f.write_all(json.as_bytes()).ok()?;
+        f.write_all(self.to_json().as_bytes()).ok()?;
         Some(path)
+    }
+}
+
+/// A JSON string literal with the escapes JSON requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: finite floats verbatim, non-finite as null (JSON has no
+/// NaN/Inf).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -83,8 +148,15 @@ mod tests {
         let r = ExperimentRecord::new("test_exp", "Fig 0.0")
             .param("n", 8)
             .series("model", vec![(0.0, 1.0), (0.01, 0.95)]);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("test_exp"));
         assert!(json.contains("0.95"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.5), "0.5");
     }
 }

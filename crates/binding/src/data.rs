@@ -27,6 +27,8 @@ pub struct SharedGrid<T> {
 // proves a granted bind; the manager guarantees overlapping regions are
 // never simultaneously bound unless both are read-only.
 unsafe impl<T: Send + Sync> Sync for SharedGrid<T> {}
+// SAFETY: same argument as `Sync` above — ownership transfer is safe
+// because the `UnsafeCell` contents are only reached via guards.
 unsafe impl<T: Send> Send for SharedGrid<T> {}
 
 impl<T: Clone> SharedGrid<T> {

@@ -35,6 +35,12 @@
 //! [`semaphores`]) — so the paper's qualitative comparisons (matching
 //! cost, deadlock hazards, lost parallelism) are measurable.
 
+// The shared-region containers hand out &/&mut into an UnsafeCell guarded
+// by the binding manager's conflict rules — the one place this workspace
+// needs `unsafe` (workspace lints deny it elsewhere). Every block carries
+// a SAFETY comment, enforced by `clippy::undocumented_unsafe_blocks`.
+#![allow(unsafe_code)]
+
 pub mod cfm_backed;
 pub mod data;
 pub mod deadlock;

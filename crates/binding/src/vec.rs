@@ -19,6 +19,8 @@ pub struct SharedVec<T> {
 // SAFETY: element access requires a granted bind; the manager excludes
 // overlapping binds unless all are read-only.
 unsafe impl<T: Send + Sync> Sync for SharedVec<T> {}
+// SAFETY: same argument as `Sync` above — ownership transfer is safe
+// because the `UnsafeCell` contents are only reached via guards.
 unsafe impl<T: Send> Send for SharedVec<T> {}
 
 impl<T: Clone> SharedVec<T> {

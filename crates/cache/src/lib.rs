@@ -28,12 +28,17 @@
 //!   protocol application, the legal L1/L2 state pairs of Table 5.3, the
 //!   network-controller event priorities of Table 5.4, and the read
 //!   latency chains behind Tables 5.5/5.6.
+//! * [`model`] — a pure transition-system abstraction of the protocol
+//!   whose *entire* reachable state space `cfm-verify` enumerates to
+//!   prove the coherence invariants (plus deliberately broken variants
+//!   that prove the checker can fail).
 
 pub mod hier_machine;
 pub mod hierarchy;
 pub mod line;
 pub mod lock;
 pub mod machine;
+pub mod model;
 pub mod multi_level;
 pub mod program;
 pub mod protocol;

@@ -1,0 +1,415 @@
+//! A *pure* transition-system model of the CFM coherence protocol, for
+//! exhaustive model checking.
+//!
+//! The cycle-accurate [`crate::machine::CcMachine`] interleaves the
+//! protocol with AT-space timing, ATT arbitration and bank pipelines —
+//! faithful, but far too much state to enumerate. This module abstracts
+//! the protocol to its coherence-relevant skeleton so `cfm-verify` can
+//! walk the **entire reachable state space** by BFS and prove the
+//! paper's §5 invariants rather than sample them:
+//!
+//! * each processor × block holds a [`LineState`]
+//!   (invalid / valid / dirty — §5.2.1);
+//! * the three primitive operations (`read`, `read-invalidate`,
+//!   `write-back` — §5.2.2) are modelled as *issue* then *complete*
+//!   transitions, so any interleaving of outstanding primitives is
+//!   explored. The ATT serializes same-block primitives in hardware
+//!   (Table 5.2), which is what justifies atomic `complete` steps; the
+//!   checker separately asserts that Table 5.2 resolves every concurrent
+//!   pair the state space can produce;
+//! * data values are abstracted to freshness bits: a copy (or memory) is
+//!   *fresh* when it equals the logically-current block value, the only
+//!   fact coherence invariants mention. Every write makes the writer
+//!   fresh and everyone else stale, so the abstraction is exact for the
+//!   invariants checked.
+//!
+//! [`ProtocolVariant`] selects the faithful protocol or one of two
+//! deliberately broken mutants; the mutants exist so the checker's
+//! counterexample machinery is itself testable (a verifier that cannot
+//! fail proves nothing).
+
+use crate::line::LineState;
+use crate::protocol::PrimKind;
+
+/// Model dimensions: a small processor/block grid whose reachable state
+/// space is enumerated exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Processor count (2–4 is exhaustive in seconds).
+    pub procs: usize,
+    /// Distinct cache blocks tracked.
+    pub blocks: usize,
+}
+
+impl ModelConfig {
+    /// The default checking configuration: 3 processors × 2 blocks.
+    pub fn small() -> Self {
+        ModelConfig {
+            procs: 3,
+            blocks: 2,
+        }
+    }
+}
+
+/// Protocol variant under check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolVariant {
+    /// The protocol as specified in §5.2.
+    #[default]
+    Correct,
+    /// Mutant: `read-invalidate` fetches ownership but *fails to
+    /// invalidate* remote valid copies — the classic stale-sharer bug.
+    /// Breaks single-writer-multiple-reader and no-stale-read.
+    MissingInvalidate,
+    /// Mutant: a `read` that finds a remote dirty copy *skips the
+    /// triggered write-back* and reads stale memory. Breaks
+    /// no-stale-read.
+    LostWriteBack,
+}
+
+/// One protocol state: line states, freshness bits and outstanding
+/// primitives. `lines`/`cached_fresh` are indexed `proc * blocks + block`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelState {
+    /// Cache line state per (proc, block).
+    pub lines: Vec<LineState>,
+    /// Whether the cached copy equals the current block value, per
+    /// (proc, block). Canonically `true` for invalid lines.
+    pub cached_fresh: Vec<bool>,
+    /// Whether memory holds the current block value, per block.
+    pub mem_fresh: Vec<bool>,
+    /// The outstanding primitive per processor, if any.
+    pub pending: Vec<Option<(PrimKind, usize)>>,
+}
+
+impl ModelState {
+    /// The initial state: all lines invalid, memory current, nothing
+    /// outstanding.
+    pub fn initial(cfg: ModelConfig) -> Self {
+        ModelState {
+            lines: vec![LineState::Invalid; cfg.procs * cfg.blocks],
+            cached_fresh: vec![true; cfg.procs * cfg.blocks],
+            mem_fresh: vec![true; cfg.blocks],
+            pending: vec![None; cfg.procs],
+        }
+    }
+
+    /// Index of (proc, block).
+    #[inline]
+    pub fn idx(&self, cfg: ModelConfig, p: usize, b: usize) -> usize {
+        p * cfg.blocks + b
+    }
+
+    /// Line state of processor `p` for block `b`.
+    #[inline]
+    pub fn line(&self, cfg: ModelConfig, p: usize, b: usize) -> LineState {
+        self.lines[p * cfg.blocks + b]
+    }
+}
+
+/// One transition label — the alphabet counterexample traces are written
+/// in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelEvent {
+    /// Processor `proc` issues a primitive for `block` (a read miss, a
+    /// write miss/upgrade, or a dirty-line flush).
+    Issue {
+        /// Issuing processor.
+        proc: usize,
+        /// Primitive issued.
+        kind: PrimKind,
+        /// Target block.
+        block: usize,
+    },
+    /// Processor `proc`'s outstanding primitive reaches memory and takes
+    /// effect atomically (ATT-serialized in hardware).
+    Complete {
+        /// Completing processor.
+        proc: usize,
+    },
+    /// Processor `proc` silently drops a clean copy of `block`
+    /// (replacement of a valid line needs no memory operation).
+    EvictClean {
+        /// Evicting processor.
+        proc: usize,
+        /// Dropped block.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for ModelEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelEvent::Issue { proc, kind, block } => {
+                write!(f, "P{proc} issues {kind:?} for block {block}")
+            }
+            ModelEvent::Complete { proc } => write!(f, "P{proc}'s primitive completes"),
+            ModelEvent::EvictClean { proc, block } => {
+                write!(f, "P{proc} evicts clean block {block}")
+            }
+        }
+    }
+}
+
+/// The pure transition function of the protocol model.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolModel {
+    /// Model dimensions.
+    pub cfg: ModelConfig,
+    /// Faithful protocol or a broken mutant.
+    pub variant: ProtocolVariant,
+}
+
+impl ProtocolModel {
+    /// A model of the faithful protocol.
+    pub fn new(cfg: ModelConfig) -> Self {
+        ProtocolModel {
+            cfg,
+            variant: ProtocolVariant::Correct,
+        }
+    }
+
+    /// A model of the given variant.
+    pub fn with_variant(cfg: ModelConfig, variant: ProtocolVariant) -> Self {
+        ProtocolModel { cfg, variant }
+    }
+
+    /// All transitions enabled in `state`, with their successor states.
+    pub fn successors(&self, state: &ModelState) -> Vec<(ModelEvent, ModelState)> {
+        let cfg = self.cfg;
+        let mut out = Vec::new();
+        for p in 0..cfg.procs {
+            if state.pending[p].is_none() {
+                for b in 0..cfg.blocks {
+                    let line = state.line(cfg, p, b);
+                    // Read miss.
+                    if line == LineState::Invalid {
+                        out.push(self.issue(state, p, PrimKind::Read, b));
+                    }
+                    // Write miss or write upgrade (Table 5.1's write row).
+                    if line != LineState::Dirty {
+                        out.push(self.issue(state, p, PrimKind::ReadInvalidate, b));
+                    }
+                    // Replacement flush of a dirty line.
+                    if line == LineState::Dirty {
+                        out.push(self.issue(state, p, PrimKind::WriteBack, b));
+                    }
+                    // Silent replacement of a clean line.
+                    if line == LineState::Valid {
+                        let mut next = state.clone();
+                        let i = next.idx(cfg, p, b);
+                        next.lines[i] = LineState::Invalid;
+                        next.cached_fresh[i] = true;
+                        out.push((ModelEvent::EvictClean { proc: p, block: b }, next));
+                    }
+                }
+            } else {
+                out.push((ModelEvent::Complete { proc: p }, self.complete(state, p)));
+            }
+        }
+        out
+    }
+
+    fn issue(
+        &self,
+        state: &ModelState,
+        p: usize,
+        kind: PrimKind,
+        b: usize,
+    ) -> (ModelEvent, ModelState) {
+        let mut next = state.clone();
+        next.pending[p] = Some((kind, b));
+        (
+            ModelEvent::Issue {
+                proc: p,
+                kind,
+                block: b,
+            },
+            next,
+        )
+    }
+
+    /// Apply processor `p`'s outstanding primitive atomically.
+    fn complete(&self, state: &ModelState, p: usize) -> ModelState {
+        let cfg = self.cfg;
+        let (kind, b) = state.pending[p].expect("complete requires a pending primitive");
+        let mut next = state.clone();
+        next.pending[p] = None;
+        match kind {
+            PrimKind::Read => {
+                // A remote dirty copy is written back first (§5.2.2: read
+                // triggers the write-back, the owner's state becomes
+                // valid) — unless the LostWriteBack mutant drops it.
+                if self.variant != ProtocolVariant::LostWriteBack {
+                    for q in 0..cfg.procs {
+                        let qi = next.idx(cfg, q, b);
+                        if q != p && next.lines[qi] == LineState::Dirty {
+                            next.lines[qi] = LineState::Valid;
+                            next.mem_fresh[b] = next.cached_fresh[qi];
+                        }
+                    }
+                }
+                let i = next.idx(cfg, p, b);
+                next.lines[i] = LineState::Valid;
+                // The reader caches whatever memory now holds.
+                next.cached_fresh[i] = next.mem_fresh[b];
+            }
+            PrimKind::ReadInvalidate => {
+                // Remote dirty writes back; remote valid copies are
+                // invalidated (§5.2.2) — unless the MissingInvalidate
+                // mutant leaves them in place.
+                for q in 0..cfg.procs {
+                    if q == p {
+                        continue;
+                    }
+                    let qi = next.idx(cfg, q, b);
+                    if next.lines[qi] == LineState::Dirty {
+                        next.mem_fresh[b] = next.cached_fresh[qi];
+                        next.lines[qi] = LineState::Valid;
+                    }
+                    if next.lines[qi] == LineState::Valid
+                        && self.variant != ProtocolVariant::MissingInvalidate
+                    {
+                        next.lines[qi] = LineState::Invalid;
+                        next.cached_fresh[qi] = true;
+                    }
+                }
+                // The writer now owns the block and performs its CPU
+                // write: its copy becomes the current value, every other
+                // copy and memory go stale.
+                let i = next.idx(cfg, p, b);
+                next.lines[i] = LineState::Dirty;
+                next.cached_fresh[i] = true;
+                next.mem_fresh[b] = false;
+                for q in 0..cfg.procs {
+                    let qi = next.idx(cfg, q, b);
+                    if q != p && next.lines[qi] != LineState::Invalid {
+                        next.cached_fresh[qi] = false;
+                    }
+                }
+            }
+            PrimKind::WriteBack => {
+                let i = next.idx(cfg, p, b);
+                // The flush may race a remote read that already wrote the
+                // block back and downgraded us; flushing is then a no-op
+                // drop of the clean copy.
+                if next.lines[i] == LineState::Dirty {
+                    next.mem_fresh[b] = next.cached_fresh[i];
+                }
+                next.lines[i] = LineState::Invalid;
+                next.cached_fresh[i] = true;
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ProtocolModel {
+        ProtocolModel::new(ModelConfig {
+            procs: 2,
+            blocks: 1,
+        })
+    }
+
+    fn fire(m: &ProtocolModel, s: &ModelState, want: ModelEvent) -> ModelState {
+        m.successors(s)
+            .into_iter()
+            .find(|(e, _)| *e == want)
+            .unwrap_or_else(|| panic!("event {want} not enabled"))
+            .1
+    }
+
+    #[test]
+    fn initial_state_enables_only_misses() {
+        let m = model();
+        let s0 = ModelState::initial(m.cfg);
+        for (e, _) in m.successors(&s0) {
+            assert!(
+                matches!(
+                    e,
+                    ModelEvent::Issue {
+                        kind: PrimKind::Read | PrimKind::ReadInvalidate,
+                        ..
+                    }
+                ),
+                "unexpected initial event {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_then_remote_read_downgrades_and_freshens_memory() {
+        let m = model();
+        let s0 = ModelState::initial(m.cfg);
+        let s1 = fire(
+            &m,
+            &s0,
+            ModelEvent::Issue {
+                proc: 0,
+                kind: PrimKind::ReadInvalidate,
+                block: 0,
+            },
+        );
+        let s2 = fire(&m, &s1, ModelEvent::Complete { proc: 0 });
+        assert_eq!(s2.line(m.cfg, 0, 0), LineState::Dirty);
+        assert!(!s2.mem_fresh[0]);
+        let s3 = fire(
+            &m,
+            &s2,
+            ModelEvent::Issue {
+                proc: 1,
+                kind: PrimKind::Read,
+                block: 0,
+            },
+        );
+        let s4 = fire(&m, &s3, ModelEvent::Complete { proc: 1 });
+        assert_eq!(s4.line(m.cfg, 0, 0), LineState::Valid);
+        assert_eq!(s4.line(m.cfg, 1, 0), LineState::Valid);
+        assert!(s4.mem_fresh[0]);
+        assert!(s4.cached_fresh[s4.idx(m.cfg, 1, 0)]);
+    }
+
+    #[test]
+    fn missing_invalidate_mutant_leaves_stale_sharer() {
+        let m = ProtocolModel::with_variant(
+            ModelConfig {
+                procs: 2,
+                blocks: 1,
+            },
+            ProtocolVariant::MissingInvalidate,
+        );
+        let s0 = ModelState::initial(m.cfg);
+        // P1 reads (valid copy), then P0 writes: P1's copy must go stale
+        // yet stay valid under the mutant.
+        let s1 = fire(
+            &m,
+            &s0,
+            ModelEvent::Issue {
+                proc: 1,
+                kind: PrimKind::Read,
+                block: 0,
+            },
+        );
+        let s2 = fire(&m, &s1, ModelEvent::Complete { proc: 1 });
+        let s3 = fire(
+            &m,
+            &s2,
+            ModelEvent::Issue {
+                proc: 0,
+                kind: PrimKind::ReadInvalidate,
+                block: 0,
+            },
+        );
+        let s4 = fire(&m, &s3, ModelEvent::Complete { proc: 0 });
+        assert_eq!(s4.line(m.cfg, 1, 0), LineState::Valid);
+        assert!(
+            !s4.cached_fresh[s4.idx(m.cfg, 1, 0)],
+            "sharer must be stale"
+        );
+        assert_eq!(s4.line(m.cfg, 0, 0), LineState::Dirty);
+    }
+}

@@ -15,8 +15,60 @@
 //! the AT-space is partitioned into `n` mutually exclusive subsets and no
 //! memory conflict can ever occur.
 
+use std::fmt;
+
 use crate::config::CfmConfig;
 use crate::{BankId, Cycle, ProcId};
+
+/// A witness that two processors reach the same bank in the same slot —
+/// the event the AT-space partition makes impossible for valid
+/// configurations. Produced by the invariant hooks below and consumed by
+/// `cfm-verify`'s schedule checker, which reports it verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictWitness {
+    /// The colliding time slot.
+    pub slot: Cycle,
+    /// First processor (the one that claimed the bank earlier in the
+    /// per-slot scan).
+    pub proc_a: ProcId,
+    /// Second processor.
+    pub proc_b: ProcId,
+    /// The bank both processors reach.
+    pub bank: BankId,
+}
+
+impl fmt::Display for ConflictWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slot {}: processors {} and {} both reach bank {}",
+            self.slot, self.proc_a, self.proc_b, self.bank
+        )
+    }
+}
+
+/// A witness that `proc_for` fails to invert `bank_for`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTripWitness {
+    /// The slot at which inversion fails.
+    pub slot: Cycle,
+    /// The processor whose assignment does not round-trip.
+    pub proc: ProcId,
+    /// The bank `bank_for` assigned.
+    pub bank: BankId,
+    /// What `proc_for` returned instead of `Some(proc)`.
+    pub got: Option<ProcId>,
+}
+
+impl fmt::Display for RoundTripWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slot {}: bank_for({}, p{}) = bank {} but proc_for returned {:?}",
+            self.slot, self.slot, self.proc, self.bank, self.got
+        )
+    }
+}
 
 /// The AT-space schedule for one CFM configuration.
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +124,78 @@ impl AtSpace {
         } else {
             None
         }
+    }
+
+    /// Invariant hook: prove `bank_for(slot, ·)` injective over the first
+    /// `processors` processors, or return the colliding pair.
+    ///
+    /// For every valid configuration (`b = c·n`) this can never fail —
+    /// `cfm-verify` calls it exhaustively over a full period to turn that
+    /// "can never" into a machine-checked fact per configuration.
+    pub fn check_slot_injective(
+        &self,
+        processors: usize,
+        slot: Cycle,
+    ) -> Result<(), ConflictWitness> {
+        let mut owner: Vec<Option<ProcId>> = vec![None; self.banks];
+        for p in 0..processors {
+            // Evaluate the schedule formula directly: unlike `bank_for`,
+            // the hook must accept out-of-range processor counts — that
+            // is exactly the misconfiguration it exists to witness.
+            let bank = ((slot as usize).wrapping_add(self.bank_cycle as usize * p)) % self.banks;
+            if let Some(earlier) = owner[bank] {
+                return Err(ConflictWitness {
+                    slot,
+                    proc_a: earlier,
+                    proc_b: p,
+                    bank,
+                });
+            }
+            owner[bank] = Some(p);
+        }
+        Ok(())
+    }
+
+    /// Invariant hook: [`Self::check_slot_injective`] over every slot of
+    /// one AT-space period (the schedule is periodic with period `b`, so
+    /// this is exhaustive for all time).
+    pub fn check_period_injective(&self, processors: usize) -> Result<(), ConflictWitness> {
+        for slot in 0..self.banks as Cycle {
+            self.check_slot_injective(processors, slot)?;
+        }
+        Ok(())
+    }
+
+    /// Invariant hook: prove `proc_for` inverts `bank_for` for every
+    /// (slot, processor) pair in one period, or return the failing pair.
+    pub fn check_round_trip(&self, processors: usize) -> Result<(), RoundTripWitness> {
+        for slot in 0..self.banks as Cycle {
+            for proc in 0..processors {
+                let bank = self.bank_for(slot, proc);
+                let got = self.proc_for(slot, bank);
+                if got != Some(proc) {
+                    return Err(RoundTripWitness {
+                        slot,
+                        proc,
+                        bank,
+                        got,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant hook: the schedule really is periodic with period `b`
+    /// (so the per-period checks above cover all time). Checks a window
+    /// of `periods` extra periods.
+    pub fn check_periodicity(&self, processors: usize, periods: u32) -> bool {
+        (0..self.banks as Cycle).all(|t| {
+            (1..=periods as Cycle).all(|k| {
+                (0..processors)
+                    .all(|p| self.bank_for(t, p) == self.bank_for(t + k * self.banks as Cycle, p))
+            })
+        })
     }
 
     /// The full address-path connection table of Table 3.1: for each slot
@@ -168,6 +292,38 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn invariant_hooks_pass_for_valid_configs() {
+        for (n, c) in [(1, 1), (4, 1), (4, 2), (8, 4), (16, 2), (5, 3)] {
+            let s = space(n, c);
+            assert_eq!(s.check_period_injective(n), Ok(()));
+            assert_eq!(s.check_round_trip(n), Ok(()));
+            assert!(s.check_periodicity(n, 3));
+        }
+    }
+
+    #[test]
+    fn injectivity_hook_names_the_colliding_pair() {
+        // Over-subscribing the schedule (more processors than partitions)
+        // must produce a witness naming the first collision: with c = 1,
+        // b = 4, processor 4 wraps onto processor 0's partition.
+        let s = space(4, 1);
+        let w = s.check_slot_injective(5, 0).unwrap_err();
+        assert_eq!(
+            w,
+            ConflictWitness {
+                slot: 0,
+                proc_a: 0,
+                proc_b: 4,
+                bank: 0
+            }
+        );
+        assert_eq!(
+            w.to_string(),
+            "slot 0: processors 0 and 4 both reach bank 0"
+        );
     }
 
     #[test]

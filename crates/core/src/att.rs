@@ -205,6 +205,44 @@ impl Att {
             .copied()
     }
 
+    /// Invariant hook: the structural properties the hardware shift queue
+    /// guarantees — used by `cfm-verify` and the machine's debug checks.
+    ///
+    /// * entries are ordered newest-first (`inserted_at` non-increasing),
+    ///   mirroring the shift-register order;
+    /// * after [`Self::expire`], no entry is older than the capacity
+    ///   (`b − 1` slots);
+    /// * at most one in-flight insertion beyond capacity is buffered.
+    pub fn check_shift_invariant(&self, now: Cycle) -> Result<(), String> {
+        let mut prev: Option<Cycle> = None;
+        for e in &self.entries {
+            if let Some(p) = prev {
+                if e.inserted_at > p {
+                    return Err(format!(
+                        "ATT order violated: entry at cycle {} follows entry at cycle {}",
+                        e.inserted_at, p
+                    ));
+                }
+            }
+            prev = Some(e.inserted_at);
+            let age = now.saturating_sub(e.inserted_at);
+            if age > self.capacity as Cycle + 1 {
+                return Err(format!(
+                    "ATT entry from cycle {} outlived the queue (age {} > capacity {})",
+                    e.inserted_at, age, self.capacity
+                ));
+            }
+        }
+        if self.entries.len() > self.capacity + 1 {
+            return Err(format!(
+                "ATT holds {} entries, capacity {}",
+                self.entries.len(),
+                self.capacity
+            ));
+        }
+        Ok(())
+    }
+
     /// Verdict for a write-phase word access.
     ///
     /// * `n` — banks already updated by the current write phase,
@@ -383,6 +421,32 @@ mod tests {
                 WriteVerdict::Proceed
             );
         }
+    }
+
+    #[test]
+    fn shift_invariant_holds_through_insert_and_expire() {
+        let mut att = Att::new(8);
+        for t in 0..20u64 {
+            att.expire(t);
+            if t % 3 == 0 {
+                att.insert(entry(
+                    (t % 5) as usize,
+                    TrackKind::Write,
+                    (t % 4) as usize,
+                    t,
+                ));
+            }
+            assert_eq!(att.check_shift_invariant(t), Ok(()));
+        }
+    }
+
+    #[test]
+    fn shift_invariant_rejects_missed_expiry() {
+        let mut att = Att::new(4);
+        att.insert(entry(1, TrackKind::Write, 0, 0));
+        // 10 cycles later without expire(): the entry has outlived the
+        // hardware queue, which shifts it out after b − 1 slots.
+        assert!(att.check_shift_invariant(10).is_err());
     }
 
     #[test]

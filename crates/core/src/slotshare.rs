@@ -164,6 +164,52 @@ impl SlotSharedMachine {
         }
     }
 
+    /// Invariant hook: the bookkeeping invariants that make slot sharing
+    /// safe — used by `cfm-verify`'s slot-sharing sweep.
+    ///
+    /// * every queued or occupying sharer is marked busy, and every busy
+    ///   sharer is queued or occupying (exactly once);
+    /// * every queued/occupying sharer belongs to the partition it sits
+    ///   in (`slot_of` agreement) — the property that keeps different
+    ///   partitions conflict-free while sharers serialize.
+    pub fn check_share_invariant(&self) -> Result<(), String> {
+        let mut claims = vec![0usize; self.processors()];
+        for (slot, q) in self.queues.iter().enumerate() {
+            for &(p, _, _) in q {
+                if self.slot_of(p) != slot {
+                    return Err(format!(
+                        "sharer {p} queued on partition {slot} but belongs to {}",
+                        self.slot_of(p)
+                    ));
+                }
+                claims[p] += 1;
+            }
+        }
+        for (slot, occ) in self.occupant.iter().enumerate() {
+            if let Some(p) = occ {
+                if self.slot_of(*p) != slot {
+                    return Err(format!(
+                        "sharer {p} occupies partition {slot} but belongs to {}",
+                        self.slot_of(*p)
+                    ));
+                }
+                claims[*p] += 1;
+            }
+        }
+        for (p, &n) in claims.iter().enumerate() {
+            if n > 1 {
+                return Err(format!("sharer {p} has {n} operations in flight"));
+            }
+            if (n == 1) != self.busy[p] {
+                return Err(format!(
+                    "sharer {p}: busy flag {} but {} in-flight operations",
+                    self.busy[p], n
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Step until idle (or the budget runs out); `true` on idle.
     pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
         for _ in 0..max_cycles {
@@ -249,6 +295,20 @@ mod tests {
         let mut m = machine(2, 2);
         m.issue(1, Operation::read(0)).unwrap();
         assert_eq!(m.issue(1, Operation::read(1)), Err(IssueError::Busy));
+    }
+
+    #[test]
+    fn share_invariant_holds_throughout_a_run() {
+        let mut m = machine(4, 2);
+        for p in 0..8 {
+            m.issue(p, Operation::read(p % 4)).unwrap();
+            assert_eq!(m.check_share_invariant(), Ok(()));
+        }
+        for _ in 0..200 {
+            m.step();
+            assert_eq!(m.check_share_invariant(), Ok(()));
+        }
+        assert!(m.is_idle());
     }
 
     #[test]

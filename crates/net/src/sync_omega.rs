@@ -78,6 +78,37 @@ impl SyncOmega {
     pub fn state_table(&self) -> &[Vec<Vec<u8>>] {
         &self.states
     }
+
+    /// The output port input `p` reaches at `slot` by *walking the
+    /// precomputed switch states* column by column — the physical path,
+    /// as opposed to the arithmetic shortcut [`Self::route`].
+    ///
+    /// `cfm-verify` cross-checks the two: if a switch state were wrong,
+    /// `walk_route` would diverge from `route` (or two inputs would land
+    /// on one output).
+    pub fn walk_route(&self, slot: u64, p: usize) -> usize {
+        let mut line = p;
+        for col in 0..self.topo.stages {
+            line = self.topo.shuffle(line);
+            let switch = line >> 1;
+            let input = (line & 1) as u8;
+            let output = input ^ self.switch_state(slot, col, switch);
+            line = (switch << 1) | output as usize;
+        }
+        line
+    }
+
+    /// The full permutation the switch states realize at `slot`:
+    /// `perm[p] = walk_route(slot, p)` for every input port.
+    ///
+    /// For a correct network this is a conflict-free permutation (a
+    /// bijection) equal to the uniform shift `p ↦ (p + t) mod N`; the
+    /// verifier asserts both rather than assuming them.
+    pub fn permutation(&self, slot: u64) -> Vec<usize> {
+        (0..self.ports())
+            .map(|p| self.walk_route(slot, p))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +161,23 @@ mod tests {
                     line = (switch << 1) | output as usize;
                 }
                 assert_eq!(line, net.route(t, p), "t={t} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_extraction_matches_routes() {
+        for ports in [2usize, 4, 8, 16] {
+            let net = SyncOmega::new(ports);
+            for t in 0..ports as u64 {
+                let perm = net.permutation(t);
+                // A bijection onto 0..N that equals the uniform shift.
+                let mut seen = vec![false; ports];
+                for (p, &out) in perm.iter().enumerate() {
+                    assert!(!seen[out], "ports={ports} t={t}: output {out} reused");
+                    seen[out] = true;
+                    assert_eq!(out, net.route(t, p));
+                }
             }
         }
     }

@@ -1,0 +1,343 @@
+//! Command-line interface: argument parsing and section orchestration.
+//!
+//! ```text
+//! cfm-verify [--sweep n=A..=B c=A..=B] [--sharers LIST]
+//!            [--model procs=P blocks=B] [--variant NAME] [--max-states N]
+//!            [--self-test] [--ci] [--format text|json]
+//! ```
+//!
+//! With no section flag (and with `--ci`) all three sections run with
+//! defaults: the schedule sweep, the coherence model checker, and the
+//! seeded-fault self-test. Naming any section flag runs only the named
+//! sections. Exit code 0 = all checks passed, 1 = a check failed, 2 =
+//! usage error.
+
+use cfm_cache::model::{ModelConfig, ProtocolVariant};
+
+use crate::coherence::CheckOptions;
+use crate::report::Report;
+use crate::schedule::{self, SweepSpec};
+use crate::{coherence, USAGE};
+
+/// Output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable text (default).
+    #[default]
+    Text,
+    /// Stable machine-readable JSON for CI.
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Schedule sweep spec (None = section not requested).
+    pub sweep: Option<SweepSpec>,
+    /// Model-checker options (None = section not requested).
+    pub model: Option<CheckOptions>,
+    /// Whether to run the seeded-fault self-test section.
+    pub self_test: bool,
+    /// Output format.
+    pub format: Format,
+}
+
+impl Default for Options {
+    /// The default run: every section with default parameters.
+    fn default() -> Self {
+        Options {
+            sweep: Some(SweepSpec::default()),
+            model: Some(CheckOptions::default()),
+            self_test: true,
+            format: Format::Text,
+        }
+    }
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("invalid {what}: {s:?}"))
+}
+
+/// Parse `2..=16` or a bare `4` into an inclusive range.
+fn parse_range(s: &str, what: &str) -> Result<(usize, usize), String> {
+    if let Some((lo, hi)) = s.split_once("..=") {
+        let lo = parse_usize(lo, what)?;
+        let hi = parse_usize(hi, what)?;
+        if lo > hi || lo == 0 {
+            return Err(format!("empty or zero-based {what} range: {s:?}"));
+        }
+        Ok((lo, hi))
+    } else {
+        let v = parse_usize(s, what)?;
+        if v == 0 {
+            return Err(format!("{what} must be positive"));
+        }
+        Ok((v, v))
+    }
+}
+
+/// Parse the argument list (excluding the program name).
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut sweep: Option<SweepSpec> = None;
+    let mut model: Option<CheckOptions> = None;
+    let mut self_test = false;
+    let mut ci = false;
+    let mut format = Format::Text;
+    let mut sharers: Option<Vec<usize>> = None;
+    let mut variant: Option<ProtocolVariant> = None;
+    let mut max_states: Option<usize> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sweep" => {
+                let mut spec = SweepSpec::default();
+                while i + 1 < args.len() {
+                    let next = &args[i + 1];
+                    if let Some(r) = next.strip_prefix("n=") {
+                        let (lo, hi) = parse_range(r, "n")?;
+                        spec.n = lo..=hi;
+                    } else if let Some(r) = next.strip_prefix("c=") {
+                        let (lo, hi) = parse_range(r, "c")?;
+                        spec.c = lo as u32..=hi as u32;
+                    } else {
+                        break;
+                    }
+                    i += 1;
+                }
+                sweep = Some(spec);
+            }
+            "--model" => {
+                let mut cfg = ModelConfig::small();
+                while i + 1 < args.len() {
+                    let next = &args[i + 1];
+                    if let Some(v) = next.strip_prefix("procs=") {
+                        cfg.procs = parse_usize(v, "procs")?;
+                    } else if let Some(v) = next.strip_prefix("blocks=") {
+                        cfg.blocks = parse_usize(v, "blocks")?;
+                    } else {
+                        break;
+                    }
+                    i += 1;
+                }
+                if cfg.procs == 0 || cfg.blocks == 0 {
+                    return Err("--model needs positive procs and blocks".into());
+                }
+                model = Some(CheckOptions {
+                    cfg,
+                    ..CheckOptions::default()
+                });
+            }
+            "--sharers" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .ok_or("--sharers needs a comma-separated list")?;
+                let parsed: Result<Vec<usize>, String> =
+                    list.split(',').map(|s| parse_usize(s, "sharers")).collect();
+                sharers = Some(parsed?);
+            }
+            "--variant" => {
+                i += 1;
+                let name = args.get(i).ok_or("--variant needs a name")?;
+                variant = Some(match name.as_str() {
+                    "correct" => ProtocolVariant::Correct,
+                    "missing-invalidate" => ProtocolVariant::MissingInvalidate,
+                    "lost-write-back" => ProtocolVariant::LostWriteBack,
+                    other => {
+                        return Err(format!(
+                            "unknown variant {other:?} (correct | missing-invalidate | \
+                             lost-write-back)"
+                        ))
+                    }
+                });
+            }
+            "--max-states" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-states needs a number")?;
+                max_states = Some(parse_usize(v, "max-states")?);
+            }
+            "--self-test" => self_test = true,
+            "--ci" => ci = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    // No section named (or --ci): run everything with defaults.
+    if ci || (sweep.is_none() && model.is_none() && !self_test) {
+        sweep.get_or_insert_with(SweepSpec::default);
+        model.get_or_insert_with(CheckOptions::default);
+        self_test = true;
+    }
+    if let (Some(spec), Some(s)) = (sweep.as_mut(), sharers) {
+        spec.sharers = s;
+    }
+    if let Some(opts) = model.as_mut() {
+        if let Some(v) = variant {
+            opts.variant = v;
+        }
+        if let Some(m) = max_states {
+            opts.max_states = m;
+        }
+    }
+
+    Ok(Options {
+        sweep,
+        model,
+        self_test,
+        format,
+    })
+}
+
+/// Run the requested sections and collect the report.
+pub fn run(opts: &Options) -> Report {
+    let mut report = Report::new();
+    if let Some(spec) = &opts.sweep {
+        report.extend(schedule::sweep(spec));
+    }
+    if let Some(model_opts) = &opts.model {
+        report.push(coherence::check(model_opts));
+    }
+    if opts.self_test {
+        report.extend(schedule::self_test());
+        report.extend(coherence_self_test(
+            opts.model.map(|m| m.max_states).unwrap_or(2_000_000),
+        ));
+    }
+    report
+}
+
+/// Coherence half of the self-test: the deliberately broken protocol
+/// variants must produce a counterexample trace; each check passes iff
+/// the mutant was caught.
+pub fn coherence_self_test(max_states: usize) -> Vec<crate::report::Check> {
+    use crate::report::Check;
+    let mutants = [
+        ProtocolVariant::MissingInvalidate,
+        ProtocolVariant::LostWriteBack,
+    ];
+    mutants
+        .iter()
+        .map(|&variant| {
+            let opts = CheckOptions {
+                cfg: ModelConfig {
+                    procs: 2,
+                    blocks: 1,
+                },
+                variant,
+                max_states,
+            };
+            let subj = format!("procs=2 blocks=1 variant={variant:?}");
+            let result = coherence::explore(&opts);
+            match result.violation {
+                Some(v) if !v.trace.is_empty() => Check::pass(
+                    "self-test/coherence-mutant",
+                    &subj,
+                    format!(
+                        "mutant caught: {} violated ({}; {}-step trace)",
+                        v.invariant,
+                        v.detail,
+                        v.trace.len() - 1
+                    ),
+                )
+                .with_metric("states", result.states),
+                _ => Check::fail(
+                    "self-test/coherence-mutant",
+                    &subj,
+                    "broken protocol variant was NOT caught — the checker is vacuous",
+                    vec!["expected an invariant violation with a trace".into()],
+                ),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn acceptance_sweep_arguments_parse() {
+        let o = parse(&args(&["--sweep", "n=2..=16", "c=1..=4"])).unwrap();
+        let spec = o.sweep.expect("sweep requested");
+        assert_eq!(spec.n, 2..=16);
+        assert_eq!(spec.c, 1..=4);
+        // Only the named section runs.
+        assert!(o.model.is_none());
+        assert!(!o.self_test);
+    }
+
+    #[test]
+    fn no_arguments_runs_everything() {
+        let o = parse(&[]).unwrap();
+        assert!(o.sweep.is_some());
+        assert!(o.model.is_some());
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Text);
+    }
+
+    #[test]
+    fn ci_forces_all_sections_and_json_parses() {
+        let o = parse(&args(&["--ci", "--format", "json"])).unwrap();
+        assert!(o.sweep.is_some() && o.model.is_some() && o.self_test);
+        assert_eq!(o.format, Format::Json);
+    }
+
+    #[test]
+    fn model_dimensions_and_variant_parse() {
+        let o = parse(&args(&[
+            "--model",
+            "procs=2",
+            "blocks=1",
+            "--variant",
+            "missing-invalidate",
+            "--max-states",
+            "1000",
+        ]))
+        .unwrap();
+        let m = o.model.unwrap();
+        assert_eq!((m.cfg.procs, m.cfg.blocks), (2, 1));
+        assert_eq!(m.variant, ProtocolVariant::MissingInvalidate);
+        assert_eq!(m.max_states, 1000);
+        assert!(o.sweep.is_none());
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        assert!(parse(&args(&["--frobnicate"])).is_err());
+        assert!(parse(&args(&["--sweep", "n=0..=4"])).is_err());
+        assert!(parse(&args(&["--variant", "bogus"])).is_err());
+        assert!(parse(&args(&["--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn coherence_self_test_catches_both_mutants() {
+        for check in coherence_self_test(2_000_000) {
+            assert_eq!(
+                check.status,
+                crate::report::Status::Pass,
+                "{}: {}",
+                check.subject,
+                check.detail
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The `cfm-verify` binary: parse arguments, run the requested
+//! verification sections, print the report, exit 0/1/2.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use cfm_verify::cli::{self, Format};
+
+/// Write to stdout, swallowing broken-pipe errors so `cfm-verify | head`
+/// exits with the report's code instead of a panic.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg == cfm_verify::USAGE => {
+            emit(&msg);
+            emit("\n");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = cli::run(&opts);
+    match opts.format {
+        Format::Text => emit(&report.render_text()),
+        Format::Json => emit(&report.to_json().render()),
+    }
+    ExitCode::from(report.exit_code() as u8)
+}

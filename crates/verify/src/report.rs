@@ -1,0 +1,267 @@
+//! Structured verification reports.
+//!
+//! Every analysis in this crate produces [`Check`]s — named pass/fail
+//! verdicts with a subject (which configuration or model was checked),
+//! a human-readable detail line, counters, and, on failure, a
+//! counterexample (a schedule conflict witness or a model-checker
+//! trace). A [`Report`] aggregates them and renders either human text
+//! or byte-stable JSON for the CI gate.
+
+use crate::json::Json;
+
+/// Outcome of one check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The property was proven for the subject.
+    Pass,
+    /// The property failed; the check carries a counterexample.
+    Fail,
+}
+
+impl Status {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Fail => "fail",
+        }
+    }
+}
+
+/// One verification check: a property proven (or refuted) for one
+/// subject.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Hierarchical property name, e.g. `schedule/injectivity`.
+    pub name: String,
+    /// What was checked, e.g. `n=4 c=2 b=8`.
+    pub subject: String,
+    /// Verdict.
+    pub status: Status,
+    /// One-line human summary of what was proven or how it failed.
+    pub detail: String,
+    /// Counterexample lines (witness or trace); empty on pass.
+    pub counterexample: Vec<String>,
+    /// Named counters, e.g. `("states", 18_432)`.
+    pub metrics: Vec<(String, u64)>,
+}
+
+impl Check {
+    /// A passing check.
+    pub fn pass(
+        name: impl Into<String>,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Check {
+            name: name.into(),
+            subject: subject.into(),
+            status: Status::Pass,
+            detail: detail.into(),
+            counterexample: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// A failing check carrying a counterexample.
+    pub fn fail(
+        name: impl Into<String>,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+        counterexample: Vec<String>,
+    ) -> Self {
+        Check {
+            name: name.into(),
+            subject: subject.into(),
+            status: Status::Fail,
+            detail: detail.into(),
+            counterexample,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach a named counter (builder style).
+    pub fn with_metric(mut self, name: &str, value: u64) -> Self {
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+}
+
+/// An ordered collection of checks with summary accessors and renderers.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// The checks, in execution order.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append one check.
+    pub fn push(&mut self, check: Check) {
+        self.checks.push(check);
+    }
+
+    /// Append many checks.
+    pub fn extend(&mut self, checks: impl IntoIterator<Item = Check>) {
+        self.checks.extend(checks);
+    }
+
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| c.status == Status::Pass)
+            .count()
+    }
+
+    /// Number of failing checks.
+    pub fn failed(&self) -> usize {
+        self.checks.len() - self.passed()
+    }
+
+    /// Whether every check passed.
+    pub fn all_passed(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Total model-checker states explored (sum of `states` metrics).
+    pub fn states_explored(&self) -> u64 {
+        self.metric_sum("states")
+    }
+
+    /// Number of swept schedule configurations (one `schedule/injectivity`
+    /// check is emitted per configuration).
+    pub fn configs_swept(&self) -> u64 {
+        self.checks
+            .iter()
+            .filter(|c| c.name == "schedule/injectivity")
+            .count() as u64
+    }
+
+    fn metric_sum(&self, name: &str) -> u64 {
+        self.checks
+            .iter()
+            .flat_map(|c| c.metrics.iter())
+            .filter(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Process exit code: 0 if everything passed, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.all_passed())
+    }
+
+    /// Render the human-readable text report.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "cfm-verify: {} checks, {} passed, {} failed ({} configs swept, {} states explored)\n",
+            self.checks.len(),
+            self.passed(),
+            self.failed(),
+            self.configs_swept(),
+            self.states_explored(),
+        );
+        for c in &self.checks {
+            let tag = match c.status {
+                Status::Pass => "PASS",
+                Status::Fail => "FAIL",
+            };
+            out.push_str(&format!(
+                "  [{tag}] {:<36} {:<28} {}\n",
+                c.name, c.subject, c.detail
+            ));
+            if !c.counterexample.is_empty() {
+                out.push_str("         counterexample:\n");
+                for line in &c.counterexample {
+                    out.push_str(&format!("           {line}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "result: {}\n",
+            if self.all_passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON report (stable key order).
+    pub fn to_json(&self) -> Json {
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("name".into(), Json::str(&c.name)),
+                    ("subject".into(), Json::str(&c.subject)),
+                    ("status".into(), Json::str(c.status.label())),
+                    ("detail".into(), Json::str(&c.detail)),
+                    (
+                        "metrics".into(),
+                        Json::Obj(
+                            c.metrics
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "counterexample".into(),
+                        Json::Arr(c.counterexample.iter().map(Json::str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("tool".into(), Json::str("cfm-verify")),
+            ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            (
+                "status".into(),
+                Json::str(if self.all_passed() { "pass" } else { "fail" }),
+            ),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("checks".into(), Json::UInt(self.checks.len() as u64)),
+                    ("passed".into(), Json::UInt(self.passed() as u64)),
+                    ("failed".into(), Json::UInt(self.failed() as u64)),
+                    ("configs_swept".into(), Json::UInt(self.configs_swept())),
+                    ("states_explored".into(), Json::UInt(self.states_explored())),
+                ]),
+            ),
+            ("checks".into(), Json::Arr(checks)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_counts_and_exit_code() {
+        let mut r = Report::new();
+        r.push(Check::pass("schedule/injectivity", "n=2 c=1 b=2", "ok").with_metric("states", 3));
+        r.push(Check::fail("x", "y", "boom", vec!["w".into()]));
+        assert_eq!((r.passed(), r.failed()), (1, 1));
+        assert_eq!(r.configs_swept(), 1);
+        assert_eq!(r.states_explored(), 3);
+        assert_eq!(r.exit_code(), 1);
+        assert!(r.render_text().contains("[FAIL] x"));
+        assert!(r.render_text().contains("counterexample:"));
+    }
+
+    #[test]
+    fn json_has_stable_top_level_shape() {
+        let r = Report::new();
+        let s = r.to_json().render();
+        assert!(s.starts_with("{\n  \"tool\": \"cfm-verify\",\n  \"version\": "));
+        assert!(s.contains("\"status\": \"pass\""));
+        assert!(s.contains("\"summary\": {"));
+        assert!(s.contains("\"checks\": []"));
+    }
+}

@@ -33,6 +33,23 @@ proptest! {
         }
     }
 
+    /// The invariant hooks prove `proc_for(t, bank_for(t, p)) == Some(p)`
+    /// and per-slot injectivity *exhaustively over a full period* for any
+    /// valid (n, c) — sampled configurations, exhaustive slots (the
+    /// periodicity hook extends the period proof to all time).
+    #[test]
+    fn atspace_round_trip_exhaustive(n in 1usize..64, c in 1u32..8) {
+        let cfg = CfmConfig::new(n, c, 16).unwrap();
+        let space = AtSpace::new(&cfg);
+        if let Err(w) = space.check_round_trip(n) {
+            prop_assert!(false, "round-trip witness: {}", w);
+        }
+        if let Err(w) = space.check_period_injective(n) {
+            prop_assert!(false, "conflict witness: {}", w);
+        }
+        prop_assert!(space.check_periodicity(n, 2));
+    }
+
     /// Every shift permutation routes through an omega network without
     /// conflict (Lawrie's theorem, which the synchronous omega rests on).
     #[test]

@@ -1,0 +1,226 @@
+//! Offline drop-in replacement for the subset of the [`criterion`] crate
+//! API this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature wall-clock benchmarking harness with the same
+//! surface: [`Criterion`] with `warm_up_time` / `measurement_time` /
+//! `sample_size` configuration, benchmark groups, [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery it reports the mean and
+//! min/max of `sample_size` timed samples, each running as many
+//! iterations as fit in `measurement_time / sample_size`. That is enough
+//! for the repository's benches, whose job is relative comparison of
+//! simulator configurations, and it keeps `cargo bench` functional
+//! offline.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    label: String,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, printing a one-line report.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Estimate iterations per sample from the warm-up rate.
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let sample_budget = self.config.measurement_time / self.config.sample_size as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let mut samples = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(t0.elapsed() / iters_per_sample as u32);
+        }
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{:<50} time: [{min:>12.2?} {mean:>12.2?} {max:>12.2?}]  ({} samples × {} iters)",
+            self.label,
+            samples.len(),
+            iters_per_sample
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            config: &self.config,
+            label: name.to_string(),
+        };
+        f(&mut b);
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: std::time::Duration) -> &mut Self {
+        self.criterion.config.measurement_time = d;
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut b = Bencher {
+            config: &self.criterion.config,
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            config: &self.criterion.config,
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+    }
+
+    /// Finish the group (a no-op in this harness; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declare the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}

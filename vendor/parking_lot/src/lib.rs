@@ -1,0 +1,157 @@
+//! Offline drop-in replacement for the subset of the [`parking_lot`]
+//! crate API this workspace uses: [`Mutex`] and [`Condvar`] with
+//! parking_lot's signatures (no poison `Result`s, `Condvar::wait` on a
+//! `&mut` guard), implemented over `std::sync`.
+//!
+//! Poisoning is deliberately swallowed (`into_inner` on a poisoned lock),
+//! matching parking_lot's poison-free semantics. The performance
+//! characteristics of the real crate (adaptive spinning, word-sized
+//! locks) are *not* reproduced; the resource-binding crate uses these
+//! types for correctness, not as a measured fast path.
+//!
+//! [`parking_lot`]: https://crates.io/crates/parking_lot
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock without lock poisoning.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard for a held [`Mutex`].
+///
+/// The inner `Option` is always `Some` except transiently inside
+/// [`Condvar::wait`], which moves the std guard out and back.
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard's lock and sleep until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_provides_mutual_exclusion() {
+        let m = Arc::new(Mutex::new(0u64));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn condvar_wait_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut ready = m.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn try_lock_reports_contention() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 1);
+    }
+}

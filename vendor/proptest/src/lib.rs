@@ -1,0 +1,200 @@
+//! Offline drop-in replacement for the subset of the [`proptest`] crate
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing harness with the same surface
+//! syntax: the [`proptest!`] macro over functions whose arguments are
+//! drawn `name in strategy`, range strategies over integers, the
+//! [`collection::vec`] combinator, and the [`prop_assert!`] /
+//! [`prop_assert_eq!`] assertion forms.
+//!
+//! Differences from the real crate, chosen for smallness:
+//!
+//! * no shrinking — a failing case reports the *original* sampled inputs;
+//! * cases are generated from a seed derived deterministically from the
+//!   test's module path and case index, so failures always reproduce;
+//! * the case count defaults to 64 and is overridable with the
+//!   `PROPTEST_CASES` environment variable, matching the real crate's
+//!   knob.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Commonly imported names, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Strategies over collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{IntoSizeRange, VecStrategy};
+
+    /// A strategy producing `Vec`s of values drawn from `element`, with a
+    /// length drawn from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into_size_range(),
+        }
+    }
+}
+
+/// The number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The deterministic generator for one case of one named property.
+pub fn case_rng(test_path: &str, case: u64) -> SmallRng {
+    // FNV-1a over the test path keeps distinct properties on distinct
+    // streams; the case index advances the stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Define property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a zero-argument
+/// test that samples the strategies [`cases`] times and panics with the
+/// sampled inputs on the first failing case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut __proptest_rng =
+                        $crate::case_rng(concat!(module_path!(), "::", stringify!($name)), case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    let __proptest_inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&::std::format!(
+                                "{} = {:?}; ", stringify!($arg), &$arg
+                            ));
+                        )*
+                        s
+                    };
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = __proptest_result {
+                        ::std::panic!(
+                            "property {} failed at case {}/{}:\n  {}\n  inputs: {}",
+                            stringify!($name), case, cases, msg, __proptest_inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n    left: {:?}\n   right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n    left: {:?}\n   right: {:?}",
+                ::std::format!($($fmt)*), l, r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::case_rng("x::y", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::case_rng("x::y", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The harness itself: ranges respect bounds, vec sizes respect
+        /// their range, and assertion macros pass on truths.
+        #[test]
+        fn harness_samples_in_bounds(
+            x in 3usize..17,
+            y in 0u64..5,
+            v in crate::collection::vec(0u64..16, 2..9),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5, "y out of range: {}", y);
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 16));
+            prop_assert_eq!(x, x);
+        }
+
+        /// Fixed-size vec strategies produce exactly that many elements.
+        #[test]
+        fn fixed_size_vec(v in crate::collection::vec(0u64..4, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property ")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0usize..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

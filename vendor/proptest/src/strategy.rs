@@ -1,0 +1,71 @@
+//! Value-generation strategies: integer ranges and vectors thereof.
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    /// Element strategy.
+    pub element: S,
+    /// Length range (half-open).
+    pub size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let len = if self.size.end - self.size.start <= 1 {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Accepted size arguments for [`crate::collection::vec`]: a fixed length
+/// or a half-open range of lengths.
+pub trait IntoSizeRange {
+    /// Convert into a half-open length range.
+    fn into_size_range(self) -> Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn into_size_range(self) -> Range<usize> {
+        self
+    }
+}
