@@ -45,6 +45,7 @@ pub mod cfm_backed;
 pub mod data;
 pub mod deadlock;
 pub mod linda;
+pub mod lockorder;
 pub mod manager;
 pub mod process;
 pub mod region;

@@ -1,0 +1,293 @@
+//! Static lock-order analysis — the compile-time sibling of the runtime
+//! wait-for graph in [`crate::deadlock`].
+//!
+//! The semaphore paradigm (§6.1.1) avoids deadlock only by a *manual*
+//! ordering discipline: every process must acquire its semaphores in one
+//! global order (what [`crate::semaphores::SemaphoreBank::acquire_ordered`]
+//! enforces by sorting). This module checks that discipline *statically*:
+//! feed it the acquisition sequences a program can perform (each sequence
+//! lists the locks taken, in order, while holding the earlier ones) and it
+//! builds the held→acquired graph. A cycle in that graph is a potential
+//! deadlock, reported with a witness path naming the sequences that
+//! contribute each edge — the classic dining-philosophers cycle
+//! `fork 0 → fork 1 → … → fork 0` falls out immediately, and any set of
+//! sequences that respects a global order is certified acyclic.
+//!
+//! `cfm-verify trace` runs this analyzer over the lock usage patterns of
+//! the binding crate's own primitives (semaphores, regions, Linda
+//! templates) as its static pass.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A lock identity (index into a [`crate::semaphores::SemaphoreBank`],
+/// region id, or any other stable numbering).
+pub type LockId = usize;
+
+/// One ordered edge of the acquisition graph: some sequence acquires
+/// `acquired` while already holding `held`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderEdge {
+    /// The lock already held.
+    pub held: LockId,
+    /// The lock acquired while holding it.
+    pub acquired: LockId,
+    /// Labels of the sequences that perform this acquisition (sorted,
+    /// deduplicated — the witnesses).
+    pub witnesses: Vec<String>,
+}
+
+/// A lock-order cycle: a potential deadlock, with one witness sequence
+/// label per edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderCycle {
+    /// The locks around the cycle; `locks[i] → locks[(i+1) % len]` is an
+    /// edge of the acquisition graph. Rotated so the smallest lock id
+    /// comes first (canonical form, so reports are deterministic).
+    pub locks: Vec<LockId>,
+    /// For each edge of the cycle, the label of one sequence that
+    /// contributes it (the first witness in sorted order).
+    pub witnesses: Vec<String>,
+}
+
+impl OrderCycle {
+    /// Human-readable witness path, e.g.
+    /// `"0 -[phil-0]-> 1 -[phil-1]-> 0"`.
+    pub fn path(&self) -> String {
+        let mut out = String::new();
+        for (i, lock) in self.locks.iter().enumerate() {
+            out.push_str(&lock.to_string());
+            out.push_str(&format!(" -[{}]-> ", self.witnesses[i]));
+        }
+        out.push_str(&self.locks[0].to_string());
+        out
+    }
+}
+
+/// The static acquisition graph: locks as nodes, held→acquired edges
+/// accumulated from labelled acquisition sequences.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderGraph {
+    /// `(held, acquired) → witness labels`.
+    edges: BTreeMap<(LockId, LockId), BTreeSet<String>>,
+    locks: BTreeSet<LockId>,
+}
+
+impl LockOrderGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one acquisition sequence: `locks` are taken in the given
+    /// order, each while still holding all the earlier ones (nested
+    /// critical sections). Adds a held→acquired edge for every pair, so
+    /// `[a, b, c]` contributes `a→b`, `a→c`, `b→c`. Repeated ids within
+    /// a sequence are ignored (re-acquiring a held lock adds no ordering
+    /// constraint; whether it self-deadlocks is a runtime property).
+    pub fn add_sequence(&mut self, label: &str, locks: &[LockId]) {
+        for (i, &held) in locks.iter().enumerate() {
+            self.locks.insert(held);
+            for &acquired in &locks[i + 1..] {
+                if acquired != held {
+                    self.edges
+                        .entry((held, acquired))
+                        .or_default()
+                        .insert(label.to_string());
+                }
+            }
+        }
+    }
+
+    /// Record a sequence as
+    /// [`crate::semaphores::SemaphoreBank::acquire_ordered`] would
+    /// perform it: sorted ascending and deduplicated. Sequences added
+    /// this way can never create a cycle among themselves — the global
+    /// ascending order is the discipline the analyzer certifies.
+    pub fn add_ordered_sequence(&mut self, label: &str, locks: &[LockId]) {
+        let mut sorted: Vec<LockId> = locks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.add_sequence(label, &sorted);
+    }
+
+    /// Locks seen so far.
+    pub fn locks(&self) -> impl Iterator<Item = LockId> + '_ {
+        self.locks.iter().copied()
+    }
+
+    /// All edges, sorted by `(held, acquired)`.
+    pub fn edges(&self) -> Vec<OrderEdge> {
+        self.edges
+            .iter()
+            .map(|(&(held, acquired), labels)| OrderEdge {
+                held,
+                acquired,
+                witnesses: labels.iter().cloned().collect(),
+            })
+            .collect()
+    }
+
+    /// Number of distinct held→acquired edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All elementary cycles of the acquisition graph, in canonical form
+    /// (smallest lock first, lexicographically sorted) — each one a
+    /// potential deadlock with witness labels. Empty means the recorded
+    /// sequences respect some global order and cannot deadlock on these
+    /// locks.
+    ///
+    /// Uses the start-anchored DFS enumeration (each cycle is found once,
+    /// from its smallest node, visiting only nodes ≥ the anchor), which
+    /// is exact and deterministic on the small graphs lock disciplines
+    /// produce.
+    pub fn find_cycles(&self) -> Vec<OrderCycle> {
+        let mut adjacency: BTreeMap<LockId, Vec<LockId>> = BTreeMap::new();
+        for &(held, acquired) in self.edges.keys() {
+            adjacency.entry(held).or_default().push(acquired);
+        }
+        let mut cycles = Vec::new();
+        for &start in self.locks.iter() {
+            let mut path = vec![start];
+            let mut on_path: BTreeSet<LockId> = BTreeSet::new();
+            on_path.insert(start);
+            self.dfs_cycles(
+                start,
+                start,
+                &adjacency,
+                &mut path,
+                &mut on_path,
+                &mut cycles,
+            );
+        }
+        cycles.sort();
+        cycles.dedup();
+        cycles
+    }
+
+    /// Whether the acquisition graph is cycle-free (the discipline holds).
+    pub fn is_deadlock_free(&self) -> bool {
+        self.find_cycles().is_empty()
+    }
+
+    fn dfs_cycles(
+        &self,
+        anchor: LockId,
+        node: LockId,
+        adjacency: &BTreeMap<LockId, Vec<LockId>>,
+        path: &mut Vec<LockId>,
+        on_path: &mut BTreeSet<LockId>,
+        cycles: &mut Vec<OrderCycle>,
+    ) {
+        let Some(nexts) = adjacency.get(&node) else {
+            return;
+        };
+        for &next in nexts {
+            if next == anchor {
+                cycles.push(self.witness_cycle(path));
+            } else if next > anchor && !on_path.contains(&next) {
+                path.push(next);
+                on_path.insert(next);
+                self.dfs_cycles(anchor, next, adjacency, path, on_path, cycles);
+                on_path.remove(&next);
+                path.pop();
+            }
+        }
+    }
+
+    /// Build the canonical [`OrderCycle`] for the lock path `path`
+    /// (closing edge back to `path[0]` implied).
+    fn witness_cycle(&self, path: &[LockId]) -> OrderCycle {
+        let witnesses = (0..path.len())
+            .map(|i| {
+                let edge = (path[i], path[(i + 1) % path.len()]);
+                self.edges[&edge]
+                    .iter()
+                    .next()
+                    .expect("edge on a found cycle has a witness")
+                    .clone()
+            })
+            .collect();
+        OrderCycle {
+            locks: path.to_vec(),
+            witnesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_sequences_are_acyclic() {
+        let mut g = LockOrderGraph::new();
+        for i in 0..5usize {
+            g.add_ordered_sequence(&format!("phil-{i}"), &[i, (i + 1) % 5]);
+        }
+        assert!(g.is_deadlock_free());
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn unordered_philosophers_cycle_is_found_with_witnesses() {
+        let mut g = LockOrderGraph::new();
+        for i in 0..3usize {
+            g.add_sequence(&format!("phil-{i}"), &[i, (i + 1) % 3]);
+        }
+        let cycles = g.find_cycles();
+        assert_eq!(cycles.len(), 1);
+        let c = &cycles[0];
+        assert_eq!(c.locks, vec![0, 1, 2]);
+        assert_eq!(c.witnesses, vec!["phil-0", "phil-1", "phil-2"]);
+        assert_eq!(c.path(), "0 -[phil-0]-> 1 -[phil-1]-> 2 -[phil-2]-> 0");
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle() {
+        let mut g = LockOrderGraph::new();
+        g.add_sequence("ab", &[7, 9]);
+        g.add_sequence("ba", &[9, 7]);
+        let cycles = g.find_cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].locks, vec![7, 9]);
+    }
+
+    #[test]
+    fn nested_sequence_adds_transitive_edges() {
+        let mut g = LockOrderGraph::new();
+        g.add_sequence("nest", &[1, 2, 3]);
+        let edges = g.edges();
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|e| (e.held, e.acquired)).collect();
+        assert_eq!(pairs, vec![(1, 2), (1, 3), (2, 3)]);
+        assert!(g.is_deadlock_free());
+    }
+
+    #[test]
+    fn repeated_ids_add_no_self_edge() {
+        let mut g = LockOrderGraph::new();
+        g.add_sequence("re", &[4, 4]);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_deadlock_free());
+    }
+
+    #[test]
+    fn each_cycle_reported_once() {
+        let mut g = LockOrderGraph::new();
+        // Two independent 2-cycles plus a 3-cycle sharing a node.
+        g.add_sequence("s1", &[0, 1]);
+        g.add_sequence("s2", &[1, 0]);
+        g.add_sequence("s3", &[2, 3]);
+        g.add_sequence("s4", &[3, 2]);
+        g.add_sequence("s5", &[0, 4]);
+        g.add_sequence("s6", &[4, 5]);
+        g.add_sequence("s7", &[5, 0]);
+        let cycles = g.find_cycles();
+        assert_eq!(cycles.len(), 3);
+        let locksets: Vec<&[usize]> = cycles.iter().map(|c| c.locks.as_slice()).collect();
+        assert!(locksets.contains(&&[0usize, 1][..]));
+        assert!(locksets.contains(&&[2usize, 3][..]));
+        assert!(locksets.contains(&&[0usize, 4, 5][..]));
+    }
+}

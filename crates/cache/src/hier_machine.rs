@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use cfm_core::op::StallError;
 use cfm_core::{BlockOffset, Cycle, ProcId};
 
 use crate::hierarchy::{NcEvent, NcQueue};
@@ -648,15 +649,55 @@ impl HierMachine {
     }
 
     /// Submit a request and run it to completion (single-request driver).
+    ///
+    /// # Panics
+    /// If the processor is busy or the request never completes within
+    /// the budget (see [`Self::try_execute`] for the non-panicking
+    /// form).
     pub fn execute(&mut self, p: ProcId, req: HierRequest) -> HierResponse {
+        match self.try_execute(p, req) {
+            Ok(r) => r,
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// [`Self::execute`] returning a typed [`StallError`] instead of
+    /// panicking when the request never completes within the budget.
+    /// Progress is sampled from the hierarchy's counters (NC jobs served,
+    /// requests completed), so `last_progress` is the slot after which
+    /// the machine went quiet.
+    pub fn try_execute(
+        &mut self,
+        p: ProcId,
+        req: HierRequest,
+    ) -> Result<HierResponse, StallError<HierRequest>> {
         assert!(self.submit(p, req), "processor busy");
-        for _ in 0..1_000_000 {
+        const BUDGET: u64 = 1_000_000;
+        let mut last_progress = self.cycle;
+        let mut snapshot = HierStats {
+            cycles: 0,
+            ..self.stats
+        };
+        for _ in 0..BUDGET {
             if let Some(r) = self.poll(p) {
-                return r;
+                return Ok(r);
             }
             self.step();
+            let probe = HierStats {
+                cycles: 0,
+                ..self.stats
+            };
+            if probe != snapshot {
+                snapshot = probe;
+                last_progress = self.cycle;
+            }
         }
-        panic!("request did not complete");
+        Err(StallError {
+            op: req,
+            proc: p,
+            last_progress,
+            waited: BUDGET,
+        })
     }
 
     /// Step until idle; `true` on success.

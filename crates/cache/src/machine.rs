@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 
 use cfm_core::atspace::AtSpace;
 use cfm_core::config::CfmConfig;
+use cfm_core::op::StallError;
 use cfm_core::{BlockOffset, Cycle, ProcId, Word};
 
 use crate::line::{Cache, LineState};
@@ -490,16 +491,56 @@ impl CcMachine {
     }
 
     /// Submit a request and run it to completion (convenience driver).
+    ///
+    /// # Panics
+    /// If the processor is busy or the request never completes within
+    /// the budget (see [`Self::try_execute`] for the non-panicking
+    /// form).
     pub fn execute(&mut self, p: ProcId, req: CpuRequest) -> CpuResponse {
-        self.submit(p, req).expect("processor busy");
-        let limit = 100_000;
-        for _ in 0..limit {
+        match self.try_execute(p, req) {
+            Ok(r) => r,
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// [`Self::execute`] returning a typed [`StallError`] instead of
+    /// panicking when the request never completes within the budget.
+    /// Progress is sampled from the machine's counters: any primitive
+    /// issued, retried, or completed anywhere counts, so `last_progress`
+    /// is the slot after which the whole machine went quiet on the
+    /// request.
+    pub fn try_execute(
+        &mut self,
+        p: ProcId,
+        req: CpuRequest,
+    ) -> Result<CpuResponse, StallError<CpuRequest>> {
+        self.submit(p, req.clone()).expect("processor busy");
+        const BUDGET: u64 = 100_000;
+        let mut last_progress = self.cycle;
+        let mut snapshot = CcStats {
+            cycles: 0,
+            ..self.stats
+        };
+        for _ in 0..BUDGET {
             if let Some(r) = self.poll(p) {
-                return r;
+                return Ok(r);
             }
             self.step();
+            let probe = CcStats {
+                cycles: 0,
+                ..self.stats
+            };
+            if probe != snapshot {
+                snapshot = probe;
+                last_progress = self.cycle;
+            }
         }
-        panic!("request did not complete within {limit} cycles");
+        Err(StallError {
+            op: req,
+            proc: p,
+            last_progress,
+            waited: BUDGET,
+        })
     }
 
     /// Whether some *other* processor has a conflicting primitive in

@@ -18,6 +18,7 @@
 use std::fmt;
 
 use crate::config::CfmConfig;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::{BankId, Cycle, ProcId};
 
 /// A witness that two processors reach the same bank in the same slot —
@@ -98,6 +99,20 @@ impl AtSpace {
     pub fn bank_for(&self, slot: Cycle, p: ProcId) -> BankId {
         debug_assert!(p * (self.bank_cycle as usize) < self.banks);
         ((slot as usize).wrapping_add(self.bank_cycle as usize * p)) % self.banks
+    }
+
+    /// [`Self::bank_for`] with the routing decision recorded as a
+    /// [`TraceEvent::Route`] — the schedule-level hook of the trace
+    /// layer. Analyses replay these events to re-validate injectivity
+    /// and bank busy spacing against the *executed* schedule.
+    pub fn route_traced(&self, slot: Cycle, p: ProcId, sink: &mut dyn TraceSink) -> BankId {
+        let bank = self.bank_for(slot, p);
+        sink.record(TraceEvent::Route {
+            slot,
+            proc: p,
+            bank,
+        });
+        bank
     }
 
     /// Inverse mapping: which processor (if any) owns the *address path* to

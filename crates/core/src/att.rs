@@ -60,7 +60,8 @@
 
 use std::collections::VecDeque;
 
-use crate::{BlockOffset, Cycle, ProcId};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::{BankId, BlockOffset, Cycle, ProcId};
 
 /// What kind of write inserted an ATT entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +105,10 @@ pub enum WriteVerdict {
     Proceed,
     /// Abort the operation; its block will be overwritten anyway
     /// (latest-wins mode only).
-    Abort,
+    Abort {
+        /// The later-issued entry that outranks the aborting write.
+        blocker: Entry,
+    },
     /// Restart the operation after the blocking entry expires (for a
     /// swap, the whole swap restarts from its read phase).
     Restart {
@@ -141,6 +145,66 @@ impl Att {
                 break;
             }
         }
+    }
+
+    /// [`Self::expire`] with every shifted-out entry recorded as a
+    /// [`TraceEvent::AttExpire`] — the trace analyses use expiries to
+    /// bound how long an entry could have arbitrated.
+    pub fn expire_traced(&mut self, now: Cycle, bank: BankId, sink: &mut dyn TraceSink) {
+        while let Some(back) = self.entries.back() {
+            if now.saturating_sub(back.inserted_at) > self.capacity as Cycle {
+                let e = *back;
+                self.entries.pop_back();
+                sink.record(TraceEvent::AttExpire {
+                    slot: now,
+                    bank,
+                    proc: e.proc,
+                    offset: e.offset,
+                });
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// [`Self::insert`] with the insertion recorded as a
+    /// [`TraceEvent::AttInsert`].
+    pub fn insert_traced(
+        &mut self,
+        entry: Entry,
+        bank: BankId,
+        op_id: u64,
+        sink: &mut dyn TraceSink,
+    ) {
+        sink.record(TraceEvent::AttInsert {
+            slot: entry.inserted_at,
+            bank,
+            proc: entry.proc,
+            offset: entry.offset,
+            op_id,
+        });
+        self.insert(entry);
+    }
+
+    /// [`Self::remove`] with the withdrawal recorded as a
+    /// [`TraceEvent::AttRemove`].
+    #[allow(clippy::too_many_arguments)] // the trace context is wide
+    pub fn remove_traced(
+        &mut self,
+        offset: BlockOffset,
+        proc: ProcId,
+        inserted_at: Cycle,
+        now: Cycle,
+        bank: BankId,
+        sink: &mut dyn TraceSink,
+    ) {
+        sink.record(TraceEvent::AttRemove {
+            slot: now,
+            bank,
+            proc,
+            offset,
+        });
+        self.remove(offset, proc, inserted_at);
     }
 
     /// Insert the entry for a write phase starting at this bank this
@@ -272,7 +336,7 @@ impl Att {
                     n
                 };
                 match self.find_in_ages(offset, me, now, 1, hi) {
-                    Some(_) => WriteVerdict::Abort,
+                    Some(blocker) => WriteVerdict::Abort { blocker },
                     None => WriteVerdict::Proceed,
                 }
             }
@@ -341,10 +405,10 @@ mod tests {
         // slots ago (earlier-issued) must not.
         let mut att = Att::new(8);
         att.insert(entry(5, TrackKind::Write, 1, 18)); // age 2 at now=20
-        assert_eq!(
+        assert!(matches!(
             att.write_verdict(PriorityMode::LatestWins, 5, 0, 20, 4, false, 16),
-            WriteVerdict::Abort
-        );
+            WriteVerdict::Abort { blocker } if blocker.proc == 1
+        ));
         let mut att = Att::new(8);
         att.insert(entry(5, TrackKind::Write, 1, 14)); // age 6 at now=20
         assert_eq!(
@@ -359,10 +423,10 @@ mod tests {
         // current op has updated bank 0 (Fig 4.4).
         let mut att = Att::new(8);
         att.insert(entry(5, TrackKind::Write, 1, 16)); // age 4 at now=20
-        assert_eq!(
+        assert!(matches!(
             att.write_verdict(PriorityMode::LatestWins, 5, 0, 20, 4, false, 16),
-            WriteVerdict::Abort
-        );
+            WriteVerdict::Abort { .. }
+        ));
         assert_eq!(
             att.write_verdict(PriorityMode::LatestWins, 5, 0, 20, 4, true, 16),
             WriteVerdict::Proceed

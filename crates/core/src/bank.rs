@@ -12,7 +12,8 @@
 //! bank in between) and accounts for the `c − 1` pipeline drain purely in
 //! completion timing, which reproduces the paper's `β = b + c − 1`.
 
-use crate::{BlockOffset, Word};
+use crate::trace::{TraceEvent, TraceSink};
+use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
 
 /// One memory bank: a word store indexed by block offset plus busy
 /// bookkeeping used by the conflict-freedom invariant check.
@@ -49,6 +50,58 @@ impl Bank {
     #[inline]
     pub fn write(&mut self, offset: BlockOffset, word: Word) {
         self.words[offset] = word;
+    }
+
+    /// [`Self::read`] with the word-level access recorded as a
+    /// [`TraceEvent::BankAccess`]. `bank`/`proc`/`op_id` identify the
+    /// access for the trace analyses; the bank itself does not need
+    /// them.
+    #[allow(clippy::too_many_arguments)] // the trace context is wide
+    pub fn read_traced(
+        &self,
+        offset: BlockOffset,
+        slot: Cycle,
+        bank: BankId,
+        proc: ProcId,
+        op_id: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Word {
+        let word = self.read(offset);
+        sink.record(TraceEvent::BankAccess {
+            slot,
+            proc,
+            bank,
+            offset,
+            op_id,
+            write: false,
+            word,
+        });
+        word
+    }
+
+    /// [`Self::write`] with the word-level access recorded as a
+    /// [`TraceEvent::BankAccess`].
+    #[allow(clippy::too_many_arguments)] // the trace context is wide
+    pub fn write_traced(
+        &mut self,
+        offset: BlockOffset,
+        word: Word,
+        slot: Cycle,
+        bank: BankId,
+        proc: ProcId,
+        op_id: u64,
+        sink: &mut dyn TraceSink,
+    ) {
+        self.write(offset, word);
+        sink.record(TraceEvent::BankAccess {
+            slot,
+            proc,
+            bank,
+            offset,
+            op_id,
+            write: true,
+            word,
+        });
     }
 
     /// Record an injection at `cycle`; returns `false` (a detected

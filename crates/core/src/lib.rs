@@ -41,6 +41,10 @@
 //!   sharing each AT-space partition.
 //! * [`timing`] — Fig 3.6 block-access timing diagrams.
 //! * [`stats`] — counters shared by the simulators.
+//! * [`trace`] — structured execution events ([`trace::TraceEvent`]) and
+//!   the [`trace::TraceSink`] hook the machines thread through the
+//!   schedule, banks and ATTs; `cfm-verify trace` analyses the recorded
+//!   logs (happens-before races, linearizability, bank busy times).
 //!
 //! ## Quick start
 //!
@@ -78,6 +82,7 @@ pub mod switch;
 pub mod sync_programs;
 pub mod timing;
 pub mod topology;
+pub mod trace;
 
 /// A machine word as stored in one memory bank entry.
 ///

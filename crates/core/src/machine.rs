@@ -24,8 +24,9 @@ use crate::atspace::AtSpace;
 use crate::att::{Att, Entry, PriorityMode, TrackKind, WriteVerdict};
 use crate::bank::Bank;
 use crate::config::CfmConfig;
-use crate::op::{BlockTransform, Completion, IssueError, OpKind, Operation, Outcome};
+use crate::op::{BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, StallError};
 use crate::stats::Stats;
+use crate::trace::{MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
 use crate::{BlockOffset, Cycle, ProcId, Word};
 
 /// Phase of an in-flight operation.
@@ -66,6 +67,10 @@ struct InFlight {
     /// the blocker's own restarts (see [`crate::att::WriteVerdict`]).
     sleep_until: Cycle,
     outcome: Outcome,
+    /// Last slot at which the operation made observable progress (issue,
+    /// access, restart, …) — the stall diagnosis of
+    /// [`crate::op::StallError`].
+    last_progress: Cycle,
 }
 
 /// The cycle-accurate conflict-free memory machine.
@@ -84,6 +89,13 @@ pub struct CfmMachine {
     stats: Stats,
     att_enabled: bool,
     mode: PriorityMode,
+    /// Event log, recorded while [`CfmMachine::enable_trace`] is active.
+    trace: Option<MemoryTrace>,
+    /// Fault injection: number of upcoming ATT insertions to silently
+    /// drop (the "dropped ATT merge" seeded fault of the trace
+    /// self-tests — a detector that cannot see this fault proves
+    /// nothing).
+    att_insert_drops: u64,
 }
 
 impl CfmMachine {
@@ -116,7 +128,44 @@ impl CfmMachine {
             stats: Stats::default(),
             att_enabled,
             mode,
+            trace: None,
+            att_insert_drops: 0,
             config,
+        }
+    }
+
+    /// Start recording a [`MemoryTrace`] (idempotent; an active trace
+    /// keeps accumulating).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(MemoryTrace::new());
+        }
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&MemoryTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Stop tracing and take the recorded trace.
+    pub fn take_trace(&mut self) -> Option<MemoryTrace> {
+        self.trace.take()
+    }
+
+    /// Fault injection for the trace self-tests: silently drop the next
+    /// `count` ATT insertions, so the corresponding write phases go
+    /// untracked and same-block races slip past the arbitration — the
+    /// race detector must catch the consequences.
+    pub fn inject_att_insert_drops(&mut self, count: u64) {
+        self.att_insert_drops = count;
+    }
+
+    /// Record an event into the trace if tracing is enabled — used by
+    /// wrappers (slot sharing) that annotate the inner machine's trace
+    /// with their own scheduling decisions.
+    pub(crate) fn record_event(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(event);
         }
     }
 
@@ -234,8 +283,18 @@ impl CfmMachine {
             completes_at: 0,
             sleep_until: 0,
             outcome: Outcome::Completed,
+            last_progress: self.cycle,
         });
         self.stats.issued += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Issue {
+                slot: self.cycle,
+                proc: p,
+                op_id,
+                kind,
+                offset,
+            });
+        }
         Ok(())
     }
 
@@ -252,8 +311,17 @@ impl CfmMachine {
     pub fn step(&mut self) {
         let now = self.cycle;
         let b = self.config.banks();
-        for att in &mut self.atts {
-            att.expire(now);
+        // Move the trace out of `self` so the hooks can borrow it as a
+        // sink while the rest of the machine stays mutably accessible;
+        // `NullSink` keeps the untraced path allocation-free.
+        let mut active = self.trace.take();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match active.as_mut() {
+            Some(t) => t,
+            None => &mut null,
+        };
+        for (k, att) in self.atts.iter_mut().enumerate() {
+            att.expire_traced(now, k, sink);
         }
         for p in 0..self.inflight.len() {
             let Some(mut op) = self.inflight[p].take() else {
@@ -263,21 +331,32 @@ impl CfmMachine {
                 self.inflight[p] = Some(op);
                 continue;
             }
-            let k = self.space.bank_for(now, p);
+            let k = self.space.route_traced(now, p, sink);
             if !self.banks[k].note_injection(now) {
                 // Impossible under the AT-space schedule; recorded, not fatal.
                 self.stats.bank_conflicts += 1;
             }
             self.stats.word_accesses += 1;
+            op.last_progress = now;
             match op.phase {
                 Phase::Read => {
                     let conflict = self
                         .att_enabled
                         .then(|| self.atts[k].read_conflict(op.offset, p, now))
                         .flatten();
-                    if conflict.is_some() {
+                    if let Some(blocker) = conflict {
                         // Restart the read from the next bank; for a swap,
                         // the whole operation restarts (Fig 4.6a).
+                        sink.record(TraceEvent::AttMerge {
+                            slot: now,
+                            bank: k,
+                            proc: p,
+                            op_id: op.op_id,
+                            offset: op.offset,
+                            blocker_proc: blocker.proc,
+                            blocker_inserted_at: blocker.inserted_at,
+                            action: MergeAction::ReadRestart,
+                        });
                         self.stats.wasted_word_accesses += op.visited as u64 + 1;
                         if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
                             self.stats.swap_restarts += 1;
@@ -287,7 +366,8 @@ impl CfmMachine {
                         op.restarts += 1;
                         op.visited = 0;
                     } else {
-                        op.read_buf[k] = self.banks[k].read(op.offset);
+                        op.read_buf[k] =
+                            self.banks[k].read_traced(op.offset, now, k, p, op.op_id, sink);
                         op.observed_writers[k] = self.writer_ids[k][op.offset];
                         op.visited += 1;
                         if op.visited == b {
@@ -310,16 +390,25 @@ impl CfmMachine {
                 }
                 Phase::Write => {
                     if op.visited == 0 && self.att_enabled {
-                        self.atts[k].insert(Entry {
-                            offset: op.offset,
-                            kind: if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
-                                TrackKind::SwapWrite
-                            } else {
-                                TrackKind::Write
-                            },
-                            proc: p,
-                            inserted_at: now,
-                        });
+                        if self.att_insert_drops > 0 {
+                            self.att_insert_drops -= 1;
+                        } else {
+                            self.atts[k].insert_traced(
+                                Entry {
+                                    offset: op.offset,
+                                    kind: if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                                        TrackKind::SwapWrite
+                                    } else {
+                                        TrackKind::Write
+                                    },
+                                    proc: p,
+                                    inserted_at: now,
+                                },
+                                k,
+                                op.op_id,
+                                sink,
+                            );
+                        }
                     }
                     let verdict = if self.att_enabled {
                         self.atts[k].write_verdict(
@@ -338,7 +427,15 @@ impl CfmMachine {
                     };
                     match verdict {
                         WriteVerdict::Proceed => {
-                            self.banks[k].write(op.offset, op.write_data[k]);
+                            self.banks[k].write_traced(
+                                op.offset,
+                                op.write_data[k],
+                                now,
+                                k,
+                                p,
+                                op.op_id,
+                                sink,
+                            );
                             self.writer_ids[k][op.offset] = op.op_id;
                             op.bank0_updated |= k == 0;
                             op.visited += 1;
@@ -347,7 +444,17 @@ impl CfmMachine {
                                 op.completes_at = now + self.config.bank_cycle() as u64 - 1;
                             }
                         }
-                        WriteVerdict::Abort => {
+                        WriteVerdict::Abort { blocker } => {
+                            sink.record(TraceEvent::AttMerge {
+                                slot: now,
+                                bank: k,
+                                proc: p,
+                                op_id: op.op_id,
+                                offset: op.offset,
+                                blocker_proc: blocker.proc,
+                                blocker_inserted_at: blocker.inserted_at,
+                                action: MergeAction::WriteAbort,
+                            });
                             self.stats.wasted_word_accesses += op.visited as u64 + 1;
                             self.stats.write_aborts += 1;
                             op.outcome = Outcome::Overwritten;
@@ -355,6 +462,16 @@ impl CfmMachine {
                             op.completes_at = now;
                         }
                         WriteVerdict::Restart { blocker } => {
+                            sink.record(TraceEvent::AttMerge {
+                                slot: now,
+                                bank: k,
+                                proc: p,
+                                op_id: op.op_id,
+                                offset: op.offset,
+                                blocker_proc: blocker.proc,
+                                blocker_inserted_at: blocker.inserted_at,
+                                action: MergeAction::WriteRestart,
+                            });
                             self.stats.wasted_word_accesses += op.visited as u64 + 1;
                             op.restarts += 1;
                             // Withdraw our own entry: a backed-off write is
@@ -363,7 +480,14 @@ impl CfmMachine {
                             // (3-writer livelock; see att.rs docs).
                             let phase_start = now - op.visited as u64;
                             let start_bank = self.space.bank_for(phase_start, p);
-                            self.atts[start_bank].remove(op.offset, p, phase_start);
+                            self.atts[start_bank].remove_traced(
+                                op.offset,
+                                p,
+                                phase_start,
+                                now,
+                                start_bank,
+                                sink,
+                            );
                             op.visited = 0;
                             op.bank0_updated = false;
                             // Back off until the blocker's entry expires
@@ -410,6 +534,17 @@ impl CfmMachine {
                     self.stats.torn_reads += 1;
                 }
                 self.stats.completed += 1;
+                sink.record(TraceEvent::Complete {
+                    slot: now,
+                    proc: p,
+                    op_id: op.op_id,
+                    kind: op.kind,
+                    offset: op.offset,
+                    issued_at: op.issued_at,
+                    restarts: op.restarts,
+                    completed: op.outcome == Outcome::Completed,
+                    torn,
+                });
                 self.done[p].push(Completion {
                     proc: p,
                     kind: op.kind,
@@ -424,6 +559,7 @@ impl CfmMachine {
             }
         }
 
+        self.trace = active;
         self.cycle += 1;
         self.stats.cycles += 1;
     }
@@ -434,16 +570,44 @@ impl CfmMachine {
     ///
     /// # Panics
     /// If the processor is busy or the operation fails to complete
-    /// within a generous budget.
+    /// within a generous budget (see [`Self::try_execute`] for the
+    /// non-panicking form).
     pub fn execute(&mut self, p: ProcId, op: Operation) -> Completion {
-        self.issue(p, op).expect("processor accepted operation");
-        for _ in 0..1_000_000 {
+        match self.try_execute(p, op) {
+            Ok(c) => c,
+            Err(stall) => panic!("{stall}"),
+        }
+    }
+
+    /// [`Self::execute`] returning a typed [`StallError`] instead of
+    /// panicking when the operation fails to complete within a generous
+    /// budget. The error carries the pending operation, the owning
+    /// processor, and the last slot at which the machine made observable
+    /// progress on it.
+    pub fn try_execute(
+        &mut self,
+        p: ProcId,
+        op: Operation,
+    ) -> Result<Completion, StallError<Operation>> {
+        self.issue(p, op.clone())
+            .expect("processor accepted operation");
+        const BUDGET: u64 = 1_000_000;
+        for _ in 0..BUDGET {
             self.step();
             if let Some(c) = self.poll(p) {
-                return c;
+                return Ok(c);
             }
         }
-        panic!("operation did not complete");
+        let last_progress = self.inflight[p]
+            .as_ref()
+            .map(|f| f.last_progress)
+            .unwrap_or(self.cycle);
+        Err(StallError {
+            op,
+            proc: p,
+            last_progress,
+            waited: BUDGET,
+        })
     }
 
     /// Step until every processor is idle (or `max_cycles` elapse),

@@ -268,6 +268,39 @@ impl fmt::Display for IssueError {
 
 impl std::error::Error for IssueError {}
 
+/// A single-op driver (`try_execute`) gave up waiting: the operation
+/// never completed within the cycle budget. Carries the diagnosis the
+/// bare `panic!("did not complete")` used to discard — the pending
+/// request, the owning processor, and the last slot at which the machine
+/// was still making observable progress on it.
+///
+/// Generic over the request type so the cache and hierarchy machines
+/// reuse it with their own request enums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallError<Op> {
+    /// The request that never completed.
+    pub op: Op,
+    /// The processor that owns it.
+    pub proc: ProcId,
+    /// Last slot at which the machine made observable progress on the
+    /// request (issue slot if it never progressed at all).
+    pub last_progress: Cycle,
+    /// Cycles waited before giving up.
+    pub waited: u64,
+}
+
+impl<Op: fmt::Debug> fmt::Display for StallError<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "processor {} stalled: {:?} made no progress since slot {} ({} cycles waited)",
+            self.proc, self.op, self.last_progress, self.waited
+        )
+    }
+}
+
+impl<Op: fmt::Debug> std::error::Error for StallError<Op> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

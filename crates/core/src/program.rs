@@ -46,7 +46,12 @@ pub enum RunOutcome {
     /// Every program reported finished; carries the cycle count consumed.
     Finished(u64),
     /// The cycle budget elapsed first.
-    BudgetExhausted,
+    BudgetExhausted {
+        /// Cycles executed before the budget ran out (= the budget that
+        /// was given, reported so callers can surface a proper error
+        /// instead of a bare "did not finish").
+        executed: u64,
+    },
 }
 
 /// Drives a machine with one [`Program`] per processor.
@@ -125,7 +130,9 @@ impl Runner {
             }
             self.tick();
         }
-        RunOutcome::BudgetExhausted
+        RunOutcome::BudgetExhausted {
+            executed: self.machine.cycle() - start,
+        }
     }
 }
 
@@ -190,7 +197,9 @@ mod tests {
         }
         match r.run(1000) {
             RunOutcome::Finished(cycles) => assert!(cycles < 100),
-            RunOutcome::BudgetExhausted => panic!("did not finish"),
+            RunOutcome::BudgetExhausted { executed } => {
+                panic!("did not finish within the budget ({executed} cycles executed)")
+            }
         }
         assert_eq!(r.machine().stats().bank_conflicts, 0);
     }

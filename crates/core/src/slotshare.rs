@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use crate::config::CfmConfig;
 use crate::machine::CfmMachine;
 use crate::op::{Completion, IssueError, Operation};
+use crate::trace::{MemoryTrace, TraceEvent};
 use crate::{Cycle, ProcId};
 
 /// Counters for slot sharing.
@@ -101,6 +102,18 @@ impl SlotSharedMachine {
         &self.stats
     }
 
+    /// Start recording a [`MemoryTrace`] on the inner machine; sharing
+    /// decisions appear as [`TraceEvent::SlotEnqueue`] /
+    /// [`TraceEvent::SlotLaunch`] alongside the memory events.
+    pub fn enable_trace(&mut self) {
+        self.inner.enable_trace();
+    }
+
+    /// Stop tracing and take the recorded trace.
+    pub fn take_trace(&mut self) -> Option<MemoryTrace> {
+        self.inner.take_trace()
+    }
+
     /// Whether processor `p` has an operation queued or in flight.
     pub fn is_busy(&self, p: ProcId) -> bool {
         self.busy[p]
@@ -125,6 +138,11 @@ impl SlotSharedMachine {
         if self.occupant[slot].is_some() || !self.queues[slot].is_empty() {
             self.stats.slot_conflicts += 1;
         }
+        self.inner.record_event(TraceEvent::SlotEnqueue {
+            slot: self.inner.cycle(),
+            sharer: p,
+            partition: slot,
+        });
         self.queues[slot].push_back((p, op, self.inner.cycle()));
         Ok(())
     }
@@ -140,8 +158,15 @@ impl SlotSharedMachine {
         for slot in 0..self.queues.len() {
             if self.occupant[slot].is_none() {
                 if let Some((p, op, enqueued)) = self.queues[slot].pop_front() {
-                    self.stats.queue_wait_cycles += self.inner.cycle() - enqueued;
+                    let waited = self.inner.cycle() - enqueued;
+                    self.stats.queue_wait_cycles += waited;
                     self.stats.issued += 1;
+                    self.inner.record_event(TraceEvent::SlotLaunch {
+                        slot: self.inner.cycle(),
+                        sharer: p,
+                        partition: slot,
+                        waited,
+                    });
                     self.inner
                         .issue(slot, op)
                         .expect("free partition accepted operation");

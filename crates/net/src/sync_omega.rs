@@ -7,6 +7,8 @@
 //! purely from the system clock — no routing bits, no setup time, no
 //! propagation of routing decisions between columns.
 
+use cfm_core::trace::{TraceEvent, TraceSink};
+
 use crate::topology::OmegaTopology;
 
 /// A synchronous omega network of `N = 2^k` ports.
@@ -96,6 +98,20 @@ impl SyncOmega {
             line = (switch << 1) | output as usize;
         }
         line
+    }
+
+    /// [`Self::walk_route`] with the physical switch traversal recorded
+    /// as a [`TraceEvent::NetRoute`] — the trace analyses cross-check
+    /// these against the AT-space [`TraceEvent::Route`] events to prove
+    /// the network actually delivers the schedule it claims.
+    pub fn walk_route_traced(&self, slot: u64, p: usize, sink: &mut dyn TraceSink) -> usize {
+        let output = self.walk_route(slot, p);
+        sink.record(TraceEvent::NetRoute {
+            slot,
+            input: p,
+            output,
+        });
+        output
     }
 
     /// The full permutation the switch states realize at `slot`:

@@ -4,20 +4,25 @@
 //! cfm-verify [--sweep n=A..=B c=A..=B] [--sharers LIST]
 //!            [--model procs=P blocks=B] [--variant NAME] [--max-states N]
 //!            [--self-test] [--ci] [--format text|json]
+//! cfm-verify trace [n=A..=B] [c=C..=D] [--sharers LIST]
+//!                  [--self-test | --ci] [--format text|json]
 //! ```
 //!
-//! With no section flag (and with `--ci`) all three sections run with
-//! defaults: the schedule sweep, the coherence model checker, and the
-//! seeded-fault self-test. Naming any section flag runs only the named
-//! sections. Exit code 0 = all checks passed, 1 = a check failed, 2 =
-//! usage error.
+//! With no section flag (and with `--ci`) all three static sections run
+//! with defaults: the schedule sweep, the coherence model checker, and
+//! the seeded-fault self-test. Naming any section flag runs only the
+//! named sections. The `trace` subcommand instead runs the dynamic
+//! analyses of [`crate::trace`] over real simulator executions;
+//! `trace --ci` adds their seeded-fault self-tests. Exit code 0 = all
+//! checks passed, 1 = a check failed, 2 = usage error.
 
 use cfm_cache::model::{ModelConfig, ProtocolVariant};
 
 use crate::coherence::CheckOptions;
 use crate::report::Report;
 use crate::schedule::{self, SweepSpec};
-use crate::{coherence, USAGE};
+use crate::trace::TraceSpec;
+use crate::{coherence, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,16 +45,20 @@ pub struct Options {
     pub self_test: bool,
     /// Output format.
     pub format: Format,
+    /// Trace-analysis spec (Some = the `trace` subcommand was used;
+    /// the static sections are then skipped).
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for Options {
-    /// The default run: every section with default parameters.
+    /// The default run: every static section with default parameters.
     fn default() -> Self {
         Options {
             sweep: Some(SweepSpec::default()),
             model: Some(CheckOptions::default()),
             self_test: true,
             format: Format::Text,
+            trace: None,
         }
     }
 }
@@ -77,8 +86,67 @@ fn parse_range(s: &str, what: &str) -> Result<(usize, usize), String> {
     }
 }
 
+/// Parse the `trace` subcommand's arguments (everything after the
+/// `trace` word).
+fn parse_trace(args: &[String]) -> Result<Options, String> {
+    let mut spec = TraceSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(r) = arg.strip_prefix("n=") {
+            let (lo, hi) = parse_range(r, "n")?;
+            spec.n = lo..=hi;
+        } else if let Some(r) = arg.strip_prefix("c=") {
+            let (lo, hi) = parse_range(r, "c")?;
+            spec.c = lo as u32..=hi as u32;
+        } else {
+            match arg {
+                "--sharers" => {
+                    i += 1;
+                    let list = args
+                        .get(i)
+                        .ok_or("--sharers needs a comma-separated list")?;
+                    let parsed: Result<Vec<usize>, String> =
+                        list.split(',').map(|s| parse_usize(s, "sharers")).collect();
+                    spec.sharers = parsed?;
+                }
+                "--self-test" => self_test = true,
+                // The spec already defaults to the full acceptance
+                // sweep; --ci only has to switch the self-tests on.
+                "--ci" => self_test = true,
+                "--format" => {
+                    i += 1;
+                    format = match args.get(i).map(String::as_str) {
+                        Some("text") => Format::Text,
+                        Some("json") => Format::Json,
+                        other => {
+                            let got = other.unwrap_or("<missing>");
+                            return Err(format!("unknown format {got:?} (text | json)"));
+                        }
+                    };
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown trace argument {other:?}\n{USAGE}")),
+            }
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: Some(spec),
+    })
+}
+
 /// Parse the argument list (excluding the program name).
 pub fn parse(args: &[String]) -> Result<Options, String> {
+    if args.first().map(String::as_str) == Some("trace") {
+        return parse_trace(&args[1..]);
+    }
     let mut sweep: Option<SweepSpec> = None;
     let mut model: Option<CheckOptions> = None;
     let mut self_test = false;
@@ -200,12 +268,17 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         model,
         self_test,
         format,
+        trace: None,
     })
 }
 
 /// Run the requested sections and collect the report.
 pub fn run(opts: &Options) -> Report {
     let mut report = Report::new();
+    if let Some(spec) = &opts.trace {
+        report.extend(trace::verify(spec, opts.self_test));
+        return report;
+    }
     if let Some(spec) = &opts.sweep {
         report.extend(schedule::sweep(spec));
     }
@@ -326,6 +399,33 @@ mod tests {
         assert!(parse(&args(&["--sweep", "n=0..=4"])).is_err());
         assert!(parse(&args(&["--variant", "bogus"])).is_err());
         assert!(parse(&args(&["--format", "yaml"])).is_err());
+        assert!(parse(&args(&["trace", "--model"])).is_err());
+        assert!(parse(&args(&["trace", "n=0..=4"])).is_err());
+    }
+
+    #[test]
+    fn trace_subcommand_is_exclusive_and_defaults_to_the_full_sweep() {
+        let o = parse(&args(&["trace"])).unwrap();
+        let spec = o.trace.expect("trace requested");
+        assert_eq!(spec, TraceSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && !o.self_test);
+    }
+
+    #[test]
+    fn trace_ci_keeps_the_sweep_and_adds_self_tests() {
+        let o = parse(&args(&["trace", "--ci", "--format", "json"])).unwrap();
+        assert_eq!(o.trace, Some(TraceSpec::default()));
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+    }
+
+    #[test]
+    fn trace_ranges_and_sharers_parse() {
+        let o = parse(&args(&["trace", "n=2..=4", "c=1..=2", "--sharers", "2,3"])).unwrap();
+        let spec = o.trace.unwrap();
+        assert_eq!(spec.n, 2..=4);
+        assert_eq!(spec.c, 1..=2);
+        assert_eq!(spec.sharers, vec![2, 3]);
     }
 
     #[test]

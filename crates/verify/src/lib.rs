@@ -17,6 +17,13 @@
 //!   single-writer-multiple-reader, no-stale-read, and Table 5.2 race
 //!   resolution; deliberately broken variants prove the checker can
 //!   fail.
+//! * [`trace`] — dynamic analyses over *real* simulator executions via
+//!   the structured event layer: a vector-clock happens-before race
+//!   detector, an exhaustive linearizability checker for swap/RMW and
+//!   the lock protocol, a bank busy-time auditor re-validating the
+//!   spacing theorem on observed injections, a physical omega-route
+//!   cross-check, and the static lock-order analysis — each with its
+//!   own seeded-fault self-test (`cfm-verify trace --ci`).
 //! * [`report`] / [`json`] — structured findings rendered as text or
 //!   byte-stable JSON (`--format json`) for the CI gate.
 //! * [`cli`] — the `cfm-verify` binary: `--sweep`, `--model`,
@@ -30,6 +37,7 @@ pub mod coherence;
 pub mod json;
 pub mod report;
 pub mod schedule;
+pub mod trace;
 
 /// Usage text shared by `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -37,6 +45,15 @@ cfm-verify — prove the CFM conflict-free schedule and coherence protocol
 
 USAGE:
   cfm-verify [OPTIONS]
+  cfm-verify trace [OPTIONS]
+
+The `trace` subcommand runs the dynamic analyses instead: it executes
+real simulator workloads with event tracing enabled and checks the
+traces for races (vector-clock happens-before + word-order uniformity),
+linearizability (swap/RMW, the lock protocol, the cache counter),
+schedule conformance of every observed bank injection, slot-sharing
+FIFO accounting, and static lock-order cycles. `trace --ci` adds the
+seeded-fault self-tests.
 
 Sections (none selected = all, with defaults):
   --sweep n=A..=B c=C..=D   verify every AT-space schedule in the range

@@ -1,0 +1,483 @@
+//! Happens-before reconstruction and the race detector.
+//!
+//! The detector rebuilds, from a [`TraceEvent`] log, (1) a **vector-clock
+//! happens-before order**: program order within each processor plus the
+//! ATT arbitration edges — every [`TraceEvent::AttMerge`] joins the
+//! loser's clock with the snapshot the winner's entry carried at its
+//! [`TraceEvent::AttInsert`]; and (2) the **word-level interleaving** of
+//! every operation's final bank sweep. Two same-block operations from
+//! different processors, at least one writing, are then *race-free* iff
+//! they are ordered by happens-before **or** their per-word access order
+//! is uniform across every bank (one strictly leads the other at each
+//! word, so the trailing sweep observes a single consistent version).
+//! Mixed per-word order with no ordering edge is exactly a version tear
+//! in the making — the thing the ATT exists to prevent — and is reported
+//! as a race with a bank-by-bank witness.
+//!
+//! The same event scan audits the static spacing theorem: every bank's
+//! observed injection slots must sit on the `c`-spaced lattice the
+//! AT-space schedule promises (gaps ≥ `c` and ≡ 0 mod `c`), and every
+//! routed injection must match `bank = (slot + c·proc) mod b`.
+
+use std::collections::BTreeMap;
+
+use cfm_core::op::OpKind;
+use cfm_core::trace::TraceEvent;
+use cfm_core::{BankId, BlockOffset, Cycle, ProcId};
+
+/// A vector clock: per-processor event counters, absent = 0.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(BTreeMap<ProcId, u64>);
+
+impl VectorClock {
+    /// The counter for `p`.
+    pub fn get(&self, p: ProcId) -> u64 {
+        self.0.get(&p).copied().unwrap_or(0)
+    }
+
+    /// Increment the counter for `p`, returning the new value.
+    pub fn tick(&mut self, p: ProcId) -> u64 {
+        let v = self.0.entry(p).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&p, &v) in &other.0 {
+            let e = self.0.entry(p).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+}
+
+/// Everything the analyses need to know about one traced operation.
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Trace-wide operation id.
+    pub op_id: u64,
+    /// Issuing processor.
+    pub proc: ProcId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Block offset accessed.
+    pub offset: BlockOffset,
+    /// Issue slot.
+    pub issued_at: Cycle,
+    /// Per-processor issue sequence number (the op's own clock index).
+    pub seq: u64,
+    /// Final word access per bank: `bank → (slot, was_write)`. Earlier
+    /// sweeps discarded by a restart are overwritten, so this is the
+    /// sweep whose values the operation actually kept.
+    pub accesses: BTreeMap<BankId, (Cycle, bool)>,
+    /// Whether a [`TraceEvent::Complete`] was seen.
+    pub delivered: bool,
+    /// Whether the machine's own tear checker flagged the completion.
+    pub torn: bool,
+    /// The operation's final vector clock (at completion, or the last
+    /// event scanned if still in flight).
+    pub vc: VectorClock,
+}
+
+impl OpRecord {
+    /// Whether the final sweep wrote at least one word.
+    pub fn writes(&self) -> bool {
+        self.accesses.values().any(|&(_, w)| w)
+    }
+
+    /// `self` happens-before `other`: `other`'s clock has absorbed
+    /// `self`'s issue (program order within a processor, arbitration
+    /// edges across processors).
+    pub fn happens_before(&self, other: &OpRecord) -> bool {
+        (self.proc != other.proc || self.seq != other.seq) && other.vc.get(self.proc) >= self.seq
+    }
+}
+
+/// A detected race: the witness lines name the operations, the unordered
+/// banks, and why neither defence applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceWitness {
+    /// One-line summary for the check detail.
+    pub summary: String,
+    /// Witness lines for the counterexample block.
+    pub lines: Vec<String>,
+}
+
+/// The per-trace analysis state: operation records in issue order plus
+/// the raw event count.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// All operations seen, keyed by `op_id`, in first-seen order.
+    pub ops: Vec<OpRecord>,
+    /// Raw events scanned.
+    pub events: usize,
+}
+
+/// Scan an event log into [`OpRecord`]s with final vector clocks.
+pub fn analyze(events: &[TraceEvent]) -> TraceAnalysis {
+    let mut ops: Vec<OpRecord> = Vec::new();
+    let mut index: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut clocks: BTreeMap<ProcId, VectorClock> = BTreeMap::new();
+    // Live op per processor (one in flight each on the core machine).
+    let mut current: BTreeMap<ProcId, usize> = BTreeMap::new();
+    // Vector-clock snapshot each ATT entry carried when inserted,
+    // keyed by the (proc, inserted_at) pair that identifies the entry.
+    let mut insert_snapshots: BTreeMap<(ProcId, Cycle), VectorClock> = BTreeMap::new();
+
+    for ev in events {
+        match ev {
+            TraceEvent::Issue {
+                slot,
+                proc,
+                op_id,
+                kind,
+                offset,
+            } => {
+                let clock = clocks.entry(*proc).or_default();
+                let seq = clock.tick(*proc);
+                let rec = OpRecord {
+                    op_id: *op_id,
+                    proc: *proc,
+                    kind: *kind,
+                    offset: *offset,
+                    issued_at: *slot,
+                    seq,
+                    accesses: BTreeMap::new(),
+                    delivered: false,
+                    torn: false,
+                    vc: clock.clone(),
+                };
+                index.insert(*op_id, ops.len());
+                current.insert(*proc, ops.len());
+                ops.push(rec);
+            }
+            TraceEvent::BankAccess {
+                slot,
+                bank,
+                op_id,
+                write,
+                ..
+            } => {
+                if let Some(&i) = index.get(op_id) {
+                    ops[i].accesses.insert(*bank, (*slot, *write));
+                }
+            }
+            TraceEvent::AttInsert { slot, proc, .. } => {
+                let clock = clocks.entry(*proc).or_default().clone();
+                insert_snapshots.insert((*proc, *slot), clock);
+            }
+            TraceEvent::AttMerge {
+                proc,
+                blocker_proc,
+                blocker_inserted_at,
+                ..
+            } => {
+                // The loser observed the winner's entry: arbitration
+                // orders the winner's insertion before everything the
+                // loser does from here on.
+                if let Some(snap) = insert_snapshots.get(&(*blocker_proc, *blocker_inserted_at)) {
+                    let snap = snap.clone();
+                    clocks.entry(*proc).or_default().join(&snap);
+                }
+            }
+            TraceEvent::Complete {
+                proc, op_id, torn, ..
+            } => {
+                if let Some(&i) = index.get(op_id) {
+                    ops[i].delivered = true;
+                    ops[i].torn = *torn;
+                    ops[i].vc = clocks.entry(*proc).or_default().clone();
+                }
+            }
+            _ => {}
+        }
+    }
+    // Ops still in flight at the end of the log carry their processor's
+    // final clock.
+    for (proc, &i) in &current {
+        if !ops[i].delivered {
+            ops[i].vc = clocks.entry(*proc).or_default().clone();
+        }
+    }
+    TraceAnalysis {
+        ops,
+        events: events.len(),
+    }
+}
+
+/// Whether the per-word access order of `a` and `b` is uniform: at every
+/// bank both touched, the same operation strictly leads. Returns `None`
+/// when uniform (or fewer than two common banks), or the pair of banks
+/// witnessing the mixed order.
+fn mixed_order(a: &OpRecord, b: &OpRecord) -> Option<(BankId, BankId)> {
+    let mut a_leads: Option<(bool, BankId)> = None;
+    for (&bank, &(sa, _)) in &a.accesses {
+        if let Some(&(sb, _)) = b.accesses.get(&bank) {
+            let lead = sa < sb || (sa == sb && a.op_id < b.op_id);
+            match a_leads {
+                None => a_leads = Some((lead, bank)),
+                Some((prev, prev_bank)) if prev != lead => {
+                    return Some((prev_bank, bank));
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Find all races in the analysed trace: pairs of same-block operations
+/// from different processors, at least one writing, that are neither
+/// happens-before ordered nor word-order uniform — plus any completion
+/// the machine's own tear checker flagged.
+pub fn find_races(analysis: &TraceAnalysis) -> Vec<RaceWitness> {
+    let mut races = Vec::new();
+    for op in &analysis.ops {
+        if op.torn {
+            races.push(RaceWitness {
+                summary: format!(
+                    "op {} (proc {}, {}) observed a torn block at offset {}",
+                    op.op_id, op.proc, op.kind, op.offset
+                ),
+                lines: vec![format!(
+                    "completion of op {} mixed words from different writers",
+                    op.op_id
+                )],
+            });
+        }
+    }
+    for (i, a) in analysis.ops.iter().enumerate() {
+        for b in &analysis.ops[i + 1..] {
+            if a.proc == b.proc || a.offset != b.offset {
+                continue;
+            }
+            if !(a.writes() || b.writes()) {
+                continue;
+            }
+            if a.accesses.is_empty() || b.accesses.is_empty() {
+                continue;
+            }
+            if a.happens_before(b) || b.happens_before(a) {
+                continue;
+            }
+            if let Some((bank_x, bank_y)) = mixed_order(a, b) {
+                let order = |bank: BankId| {
+                    let (sa, _) = a.accesses[&bank];
+                    let (sb, _) = b.accesses[&bank];
+                    if sa < sb {
+                        format!(
+                            "bank {bank}: op {} @{sa} before op {} @{sb}",
+                            a.op_id, b.op_id
+                        )
+                    } else {
+                        format!(
+                            "bank {bank}: op {} @{sb} before op {} @{sa}",
+                            b.op_id, a.op_id
+                        )
+                    }
+                };
+                races.push(RaceWitness {
+                    summary: format!(
+                        "ops {} (proc {}, {}) and {} (proc {}, {}) race on offset {}",
+                        a.op_id, a.proc, a.kind, b.op_id, b.proc, b.kind, a.offset
+                    ),
+                    lines: vec![
+                        order(bank_x),
+                        order(bank_y),
+                        "word order is mixed and no happens-before edge orders the pair".into(),
+                    ],
+                });
+            }
+        }
+    }
+    races
+}
+
+/// Audit the spacing theorem against the observed injections: per bank,
+/// route slots must be strictly increasing with gaps ≥ `c` and ≡ 0
+/// (mod `c`), and every route must match the AT-space formula
+/// `bank = (slot + c·proc) mod b`. Returns the route count, or witness
+/// lines for every violation.
+pub fn audit_bank_spacing(events: &[TraceEvent], banks: usize, c: u64) -> Result<u64, Vec<String>> {
+    let mut last: Vec<Option<Cycle>> = vec![None; banks];
+    let mut routes = 0u64;
+    let mut violations = Vec::new();
+    for ev in events {
+        if let TraceEvent::Route { slot, proc, bank } = ev {
+            routes += 1;
+            let expect = ((slot + c * (*proc as u64)) % banks as u64) as usize;
+            if *bank != expect {
+                violations.push(format!(
+                    "slot {slot} proc {proc}: routed to bank {bank}, schedule says {expect}"
+                ));
+            }
+            if let Some(prev) = last[*bank] {
+                let gap = slot.saturating_sub(prev);
+                if *slot <= prev {
+                    violations.push(format!(
+                        "bank {bank}: injection at slot {slot} not after previous at {prev}"
+                    ));
+                } else if gap < c || gap % c != 0 {
+                    violations.push(format!(
+                        "bank {bank}: injection gap {gap} between slots {prev} and {slot} \
+                         off the c={c} lattice"
+                    ));
+                }
+            }
+            last[*bank] = Some(*slot);
+        }
+    }
+    if violations.is_empty() {
+        Ok(routes)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issue(slot: u64, proc: usize, op_id: u64, write: bool) -> TraceEvent {
+        TraceEvent::Issue {
+            slot,
+            proc,
+            op_id,
+            kind: if write { OpKind::Write } else { OpKind::Read },
+            offset: 0,
+        }
+    }
+
+    fn access(slot: u64, proc: usize, bank: usize, op_id: u64, write: bool) -> TraceEvent {
+        TraceEvent::BankAccess {
+            slot,
+            proc,
+            bank,
+            offset: 0,
+            op_id,
+            write,
+            word: 0,
+        }
+    }
+
+    #[test]
+    fn uniform_order_is_not_a_race() {
+        // Writer sweeps banks 0,1 at slots 0,1; reader at 10,11.
+        let events = vec![
+            issue(0, 0, 1, true),
+            access(0, 0, 0, 1, true),
+            access(1, 0, 1, 1, true),
+            issue(10, 1, 2, false),
+            access(10, 1, 0, 2, false),
+            access(11, 1, 1, 2, false),
+        ];
+        let a = analyze(&events);
+        assert_eq!(a.ops.len(), 2);
+        assert!(find_races(&a).is_empty());
+    }
+
+    #[test]
+    fn mixed_order_without_ordering_is_a_race() {
+        // Writer hits bank 0 first; reader hits bank 1 first: a tear.
+        let events = vec![
+            issue(0, 0, 1, true),
+            issue(0, 1, 2, false),
+            access(0, 0, 0, 1, true),
+            access(0, 1, 1, 2, false),
+            access(1, 0, 1, 1, true),
+            access(1, 1, 0, 2, false),
+        ];
+        let a = analyze(&events);
+        let races = find_races(&a);
+        assert_eq!(races.len(), 1);
+        assert!(races[0].summary.contains("ops 1") && races[0].summary.contains("race"));
+    }
+
+    #[test]
+    fn merge_edge_orders_the_pair() {
+        // Same interleaving as above, but the reader merged against the
+        // writer's tracked entry: ordered, not a race.
+        let events = vec![
+            issue(0, 0, 1, true),
+            TraceEvent::AttInsert {
+                slot: 0,
+                bank: 0,
+                proc: 0,
+                offset: 0,
+                op_id: 1,
+            },
+            issue(0, 1, 2, false),
+            access(0, 0, 0, 1, true),
+            access(0, 1, 1, 2, false),
+            TraceEvent::AttMerge {
+                slot: 1,
+                bank: 1,
+                proc: 1,
+                op_id: 2,
+                offset: 0,
+                blocker_proc: 0,
+                blocker_inserted_at: 0,
+                action: cfm_core::trace::MergeAction::ReadRestart,
+            },
+            access(1, 0, 1, 1, true),
+            access(1, 1, 0, 2, false),
+        ];
+        let a = analyze(&events);
+        assert!(find_races(&a).is_empty());
+    }
+
+    #[test]
+    fn torn_completion_is_reported() {
+        let events = vec![
+            issue(0, 0, 1, false),
+            TraceEvent::Complete {
+                slot: 5,
+                proc: 0,
+                op_id: 1,
+                kind: OpKind::Read,
+                offset: 0,
+                issued_at: 0,
+                restarts: 0,
+                completed: true,
+                torn: true,
+            },
+        ];
+        let races = find_races(&analyze(&events));
+        assert_eq!(races.len(), 1);
+        assert!(races[0].summary.contains("torn"));
+    }
+
+    #[test]
+    fn spacing_audit_accepts_lattice_and_rejects_off_lattice() {
+        let ok = vec![
+            TraceEvent::Route {
+                slot: 0,
+                proc: 0,
+                bank: 0,
+            },
+            TraceEvent::Route {
+                slot: 2,
+                proc: 1,
+                bank: 0,
+            },
+        ];
+        // b=4, c=2: bank 0 at slots 0 (p0) and 2 (p1): gaps on lattice.
+        assert_eq!(audit_bank_spacing(&ok, 4, 2), Ok(2));
+        let bad = vec![
+            TraceEvent::Route {
+                slot: 0,
+                proc: 0,
+                bank: 0,
+            },
+            TraceEvent::Route {
+                slot: 1,
+                proc: 0,
+                bank: 0,
+            },
+        ];
+        let err = audit_bank_spacing(&bad, 4, 2).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|l| l.contains("lattice") || l.contains("schedule")));
+    }
+}

@@ -75,6 +75,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         model: Some(model_opts(ProtocolVariant::MissingInvalidate)),
         self_test: false,
         format: Format::Text,
+        trace: None,
     };
     let report = cli::run(&mutant);
     assert_eq!(report.exit_code(), 1);
@@ -89,6 +90,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         model: Some(model_opts(ProtocolVariant::Correct)),
         self_test: true,
         format: Format::Json,
+        trace: None,
     };
     let report = cli::run(&correct);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -107,6 +109,7 @@ fn json_report_is_byte_stable_across_renders() {
         model: None,
         self_test: false,
         format: Format::Json,
+        trace: None,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

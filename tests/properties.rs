@@ -303,3 +303,21 @@ proptest! {
         prop_assert_eq!(a.intersects(&b), brute);
     }
 }
+
+proptest! {
+    /// Any configuration in the acceptance sweep produces a race-free,
+    /// schedule-conformant trace under the contention workload: the
+    /// happens-before detector finds no unordered mixed-order pair and
+    /// every observed injection sits on the c-spaced lattice.
+    #[test]
+    fn traced_executions_are_race_free(n in 2usize..13, c in 1u32..5) {
+        use cfm_verify::trace::{hb, workloads};
+        let (events, history) = workloads::core_contention(n, c);
+        let analysis = hb::analyze(&events);
+        prop_assert_eq!(analysis.ops.len(), history.len());
+        let races = hb::find_races(&analysis);
+        prop_assert!(races.is_empty(), "race found: {}", races[0].summary);
+        let banks = n * c as usize;
+        prop_assert!(hb::audit_bank_spacing(&events, banks, c as u64).is_ok());
+    }
+}
