@@ -51,6 +51,7 @@ pub fn table_3_3_bandwidth(block_bits: u32, bank_cycle: u32) -> Vec<(usize, Band
         .into_iter()
         .filter_map(|row| {
             CfmConfig::from_block(block_bits, row.banks, bank_cycle)
+                .ok()
                 .map(|cfg| (row.banks, bandwidth(&cfg, 1.0, 1.0)))
         })
         .collect()

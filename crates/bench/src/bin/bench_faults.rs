@@ -1,0 +1,186 @@
+//! Degraded-mode throughput vs. the healthy baseline.
+//!
+//! Soaks the same write/read/fetch-add workload on three machines —
+//! fault-free, one transient bank error (recovered by bounded retry
+//! with slot-backoff), one permanent bank failure (remapped onto the
+//! spare) — and reports simulated slots per wall-clock second for
+//! each, so the overhead trajectory of the fault path is tracked in
+//! `BENCH_faults.json` (see `docs/fault-model.md`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cfm_bench::print_table;
+use cfm_core::config::CfmConfig;
+use cfm_core::fault::{FaultKind, FaultPlan};
+use cfm_core::machine::CfmMachine;
+use cfm_core::op::{Operation, Outcome};
+
+const N: usize = 4;
+const C: u32 = 1;
+const SPARES: usize = 1;
+const WORD_WIDTH: u32 = 16;
+const OFFSETS: usize = 64;
+const MACHINES: usize = 200;
+const ROUNDS: usize = 40;
+
+struct Scenario {
+    name: &'static str,
+    plan: fn() -> FaultPlan,
+}
+
+/// One measured scenario: aggregate simulated slots, completed ops and
+/// wall time over `MACHINES` machine instances.
+struct Measured {
+    name: &'static str,
+    slots: u64,
+    ops: u64,
+    wall_s: f64,
+}
+
+fn run_scenario(plan: fn() -> FaultPlan) -> (u64, u64, f64) {
+    let b = N * C as usize;
+    let start = Instant::now();
+    let mut slots = 0u64;
+    let mut ops = 0u64;
+    for _ in 0..MACHINES {
+        let cfg = CfmConfig::new(N, C, WORD_WIDTH)
+            .and_then(|c| c.with_spares(SPARES))
+            .expect("valid bench config");
+        let mut m = CfmMachine::new(cfg, OFFSETS);
+        m.set_fault_plan(plan());
+        for round in 0..ROUNDS {
+            for p in 0..N {
+                let value = (p as u64 + 1) * 100 + round as u64;
+                let done = m.execute(p, Operation::write(p, vec![value; b]));
+                assert_eq!(
+                    done.outcome,
+                    Outcome::Completed,
+                    "write aborted under fault"
+                );
+                ops += 1;
+                let done = m.execute(p, Operation::read(p));
+                assert!(!done.torn, "torn read under fault");
+                ops += 1;
+                let done = m.execute(p, Operation::fetch_add(N, 0, 1));
+                assert_eq!(
+                    done.outcome,
+                    Outcome::Completed,
+                    "fetch-add aborted under fault"
+                );
+                ops += 1;
+            }
+        }
+        slots += m.cycle();
+    }
+    (slots, ops, start.elapsed().as_secs_f64())
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "healthy",
+            plan: FaultPlan::empty,
+        },
+        Scenario {
+            name: "one-transient",
+            plan: || {
+                FaultPlan::single(
+                    10,
+                    FaultKind::TransientBankError {
+                        bank: 1,
+                        repair_slot: 40,
+                    },
+                )
+            },
+        },
+        Scenario {
+            name: "one-permanent",
+            plan: || FaultPlan::single(10, FaultKind::PermanentBankFailure { bank: 1 }),
+        },
+    ]
+}
+
+fn json_report(measured: &[Measured]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_faults\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\n    \"n\": {N},\n    \"c\": {C},\n    \"spares\": {SPARES},\n    \"machines\": {MACHINES},\n    \"rounds\": {ROUNDS}\n  }},\n"
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    let baseline = measured[0].slots as f64 / measured[0].wall_s;
+    for (i, m) in measured.iter().enumerate() {
+        let slots_per_s = m.slots as f64 / m.wall_s;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"slots\": {}, \"ops\": {}, \"wall_time_s\": {:.3}, \"slots_per_s\": {:.0}, \"vs_healthy\": {:.3}}}{}\n",
+            m.name,
+            m.slots,
+            m.ops,
+            m.wall_s,
+            slots_per_s,
+            slots_per_s / baseline,
+            if i + 1 == measured.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"build\": \"{}\"\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut measured = Vec::new();
+    for s in scenarios() {
+        let (slots, ops, wall_s) = run_scenario(s.plan);
+        measured.push(Measured {
+            name: s.name,
+            slots,
+            ops,
+            wall_s,
+        });
+    }
+
+    let baseline = measured[0].slots as f64 / measured[0].wall_s;
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            let rate = m.slots as f64 / m.wall_s;
+            vec![
+                m.name.to_string(),
+                m.slots.to_string(),
+                m.ops.to_string(),
+                format!("{:.3}", m.wall_s),
+                format!("{rate:.0}"),
+                format!("{:.3}", rate / baseline),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fault-path throughput: simulated slots/s, healthy vs degraded",
+        &[
+            "Scenario",
+            "Slots",
+            "Ops",
+            "Wall (s)",
+            "Slots/s",
+            "vs healthy",
+        ],
+        &rows,
+    );
+
+    let json = json_report(&measured);
+    print!("{json}");
+    match std::fs::File::create("BENCH_faults.json").and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        Ok(()) => println!("wrote BENCH_faults.json"),
+        Err(e) => println!("could not write BENCH_faults.json: {e}"),
+    }
+}

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use cfm_core::fault::{FaultPlan, FaultState};
 use cfm_core::op::StallError;
 use cfm_core::{BlockOffset, Cycle, ProcId};
 
@@ -156,6 +157,11 @@ pub struct HierStats {
     pub nc_jobs: u64,
     /// Total cycles jobs waited in NC queues.
     pub nc_queue_wait: u64,
+    /// Faults injected from the active plan.
+    pub faults_injected: u64,
+    /// Cycles a network controller sat paused by an active transient
+    /// fault while jobs were queued.
+    pub nc_fault_stalls: u64,
 }
 
 impl HierStats {
@@ -180,6 +186,9 @@ pub struct HierMachine {
     proc_state: Vec<ProcState>,
     responses: Vec<Vec<HierResponse>>,
     cycle: Cycle,
+    /// Scheduled faults; a transient error on "bank" `c` pauses cluster
+    /// `c`'s network controller until its repair slot.
+    fault_state: FaultState,
     stats: HierStats,
 }
 
@@ -215,8 +224,26 @@ impl HierMachine {
             proc_state: vec![ProcState::Idle; clusters * procs_per_cluster],
             responses: vec![Vec::new(); clusters * procs_per_cluster],
             cycle: 0,
+            fault_state: FaultState::new(
+                FaultPlan::empty(),
+                clusters,
+                clusters * procs_per_cluster,
+            ),
             stats: HierStats::default(),
         }
+    }
+
+    /// Install a fault plan. The hierarchy models transient faults only,
+    /// reinterpreted at its level of abstraction: a
+    /// [`TransientBankError`](cfm_core::fault::FaultKind::TransientBankError)
+    /// on bank `c` pauses cluster `c`'s network controller (no new global
+    /// jobs start) until the repair slot — the paper's §5.4.3 contention
+    /// point under partial outage. Other fault kinds are counted as
+    /// injected and otherwise ignored here; the flat machines model them.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let clusters = self.clusters.len();
+        let procs = self.proc_state.len();
+        self.fault_state = FaultState::new(plan, clusters, procs);
     }
 
     /// Total processors.
@@ -366,8 +393,17 @@ impl HierMachine {
     pub fn step(&mut self) {
         let now = self.cycle;
 
-        // 0. Start queued NC jobs (enqueued in earlier cycles) on free ways.
+        self.stats.faults_injected += self.fault_state.advance(now).len() as u64;
+
+        // 0. Start queued NC jobs (enqueued in earlier cycles) on free ways
+        //    — unless a transient fault has the cluster's NC paused.
         for c in 0..self.clusters.len() {
+            if self.fault_state.transient_fault(now, c) {
+                if !self.clusters[c].queue.is_empty() {
+                    self.stats.nc_fault_stalls += 1;
+                }
+                continue;
+            }
             for way in 0..self.nc_ways {
                 if self.clusters[c].nc_serving[way].is_none() {
                     if let Some(event) = self.clusters[c].queue.pop() {
@@ -796,6 +832,31 @@ mod tests {
         assert!(wait1 > 0, "no queueing observed with one way");
         assert!(max2 < max1, "extra NC way did not help: {max2} vs {max1}");
         assert!(wait2 < wait1, "queue wait not reduced: {wait2} vs {wait1}");
+    }
+
+    #[test]
+    fn transient_fault_pauses_the_network_controller() {
+        use cfm_core::fault::{FaultKind, FaultPlan};
+        // Baseline: a cold global read with a healthy NC.
+        let mut healthy = dash_like(1);
+        let clean = healthy.execute(0, HierRequest::Read(5)).latency();
+        // Faulted: the NC of cluster 0 is down for 200 cycles.
+        let mut m = dash_like(1);
+        m.set_fault_plan(FaultPlan::single(
+            0,
+            FaultKind::TransientBankError {
+                bank: 0,
+                repair_slot: 200,
+            },
+        ));
+        let r = m.execute(0, HierRequest::Read(5));
+        assert!(
+            r.latency() > clean + 100,
+            "NC pause not observed: {} vs {clean}",
+            r.latency()
+        );
+        assert!(m.stats().nc_fault_stalls > 0);
+        assert_eq!(m.stats().faults_injected, 1);
     }
 
     #[test]

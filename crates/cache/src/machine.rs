@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 
 use cfm_core::atspace::AtSpace;
 use cfm_core::config::CfmConfig;
+use cfm_core::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction};
 use cfm_core::op::StallError;
 use cfm_core::{BlockOffset, Cycle, ProcId, Word};
 
@@ -151,6 +152,18 @@ pub struct CcStats {
     pub retries: u64,
     /// Stores absorbed by the weak-consistency write buffer.
     pub buffered_stores: u64,
+    /// Faults injected from the active [`FaultPlan`].
+    pub faults_injected: u64,
+    /// Primitive aborts caused by a transient bank fault (retried with
+    /// exponential backoff, on top of the Table 5.2 `retries`).
+    pub fault_retries: u64,
+    /// Dead banks remapped onto spares.
+    pub bank_remaps: u64,
+    /// Dead banks masked (no spare available).
+    pub banks_masked: u64,
+    /// Bank visits that hit a masked (dead, spare-less) bank: reads
+    /// return 0, write-backs are dropped.
+    pub masked_accesses: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,6 +231,9 @@ struct ProcUnit {
     rmw_hold: Option<BlockOffset>,
     /// Do not issue a new primitive before this cycle (post-abort delay).
     retry_at: Cycle,
+    /// Consecutive transient-fault aborts since the last completed
+    /// primitive; drives the exponential retry backoff.
+    fault_attempts: u32,
     responses: VecDeque<CpuResponse>,
 }
 
@@ -246,7 +262,9 @@ struct ProcUnit {
 pub struct CcMachine {
     config: CfmConfig,
     space: AtSpace,
-    /// `memory[bank][offset]`.
+    /// `memory[physical bank][offset]` — sized `total_banks()` so spare
+    /// banks exist physically; primitives address logical banks through
+    /// `bank_map`.
     memory: Vec<Vec<Word>>,
     procs: Vec<ProcUnit>,
     cycle: Cycle,
@@ -254,6 +272,11 @@ pub struct CcMachine {
     /// Store-buffer depth per processor (0 = write buffering disabled,
     /// every store is a blocking transaction).
     buffer_capacity: usize,
+    /// Scheduled faults consulted every cycle (empty plan by default).
+    fault_state: FaultState,
+    /// Logical→physical bank map; permanent failures retire banks onto
+    /// spares (or mask them) here.
+    bank_map: BankMap,
     stats: CcStats,
 }
 
@@ -280,7 +303,7 @@ impl CcMachine {
         let b = config.banks();
         CcMachine {
             space: AtSpace::new(&config),
-            memory: vec![vec![0; offsets]; b],
+            memory: vec![vec![0; offsets]; config.total_banks()],
             procs: (0..config.processors())
                 .map(|_| ProcUnit {
                     cache: Cache::set_associative(cache_lines / ways, ways, b),
@@ -291,15 +314,38 @@ impl CcMachine {
                     wb_requested: None,
                     rmw_hold: None,
                     retry_at: 0,
+                    fault_attempts: 0,
                     responses: VecDeque::new(),
                 })
                 .collect(),
             cycle: 0,
             retry_delay: 1,
             buffer_capacity: 0,
+            fault_state: FaultState::new(FaultPlan::empty(), b, config.processors()),
+            bank_map: BankMap::new(b, config.spares()),
             stats: CcStats::default(),
             config,
         }
+    }
+
+    /// Install a fault plan, replacing any previous one. The cache machine
+    /// models the two *bank* fault kinds: permanent failures retire the
+    /// logical bank (remap onto a spare, or mask it), and transient errors
+    /// abort the sweeping primitive, which retries with exponential
+    /// backoff. Network and response fault kinds are counted as injected
+    /// but have no cache-level effect (the flat [`CfmMachine`] models
+    /// those; see `docs/fault-model.md`).
+    ///
+    /// [`CfmMachine`]: cfm_core::machine::CfmMachine
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let b = self.config.banks();
+        let n = self.config.processors();
+        self.fault_state = FaultState::new(plan, b, n);
+    }
+
+    /// The logical→physical bank map (degraded-mode inspection).
+    pub fn bank_map(&self) -> &BankMap {
+        &self.bank_map
     }
 
     /// Enable weak-consistency write buffering (§5.3.1): up to `depth`
@@ -363,16 +409,25 @@ impl CcMachine {
         self.procs[p].cache.state_of(offset)
     }
 
-    /// Read a block from memory directly (test access, untimed).
+    /// Read a block from memory directly (test access, untimed). Words of
+    /// masked (dead, spare-less) banks read as 0.
     pub fn peek_memory(&self, offset: BlockOffset) -> Vec<Word> {
-        self.memory.iter().map(|bank| bank[offset]).collect()
+        (0..self.config.banks())
+            .map(|k| match self.bank_map.phys(k) {
+                Some(ph) => self.memory[ph][offset],
+                None => 0,
+            })
+            .collect()
     }
 
-    /// Write a block to memory directly (initialisation, untimed).
+    /// Write a block to memory directly (initialisation, untimed). Words
+    /// destined for masked banks are dropped.
     pub fn poke_memory(&mut self, offset: BlockOffset, words: &[Word]) {
-        assert_eq!(words.len(), self.memory.len());
-        for (bank, &w) in self.memory.iter_mut().zip(words) {
-            bank[offset] = w;
+        assert_eq!(words.len(), self.config.banks());
+        for (k, &w) in words.iter().enumerate() {
+            if let Some(ph) = self.bank_map.phys(k) {
+                self.memory[ph][offset] = w;
+            }
         }
     }
 
@@ -463,6 +518,12 @@ impl CcMachine {
     pub fn step(&mut self) {
         let now = self.cycle;
         let n = self.config.processors();
+        for kind in self.fault_state.advance(now) {
+            self.stats.faults_injected += 1;
+            if let FaultKind::PermanentBankFailure { bank } = kind {
+                self.retire_bank(bank);
+            }
+        }
         for p in 0..n {
             self.advance_prim(p, now);
         }
@@ -573,6 +634,50 @@ impl CcMachine {
         self.stats.retries += 1;
     }
 
+    /// A transient bank fault hit the sweeping primitive: abort it and
+    /// retry with exponential backoff. Unlike the Table 5.2
+    /// [`Self::abort_prim`], write-backs abort too (the bank, not a
+    /// competing primitive, failed) — they re-issue from the still-dirty
+    /// cache line, so no data is lost and the RMW modification is never
+    /// re-applied.
+    fn fault_abort_prim(&mut self, p: ProcId, now: Cycle) {
+        let flight = self.procs[p]
+            .prim
+            .take()
+            .expect("fault abort with prim in flight");
+        if flight.purpose == Purpose::Txn
+            && matches!(flight.kind, PrimKind::Read | PrimKind::ReadInvalidate)
+        {
+            // Restart the transaction from its decision stage, like a
+            // Table 5.2 abort. Sync write-backs keep their WaitSyncWb
+            // stage and re-flush via the issue path instead (restarting
+            // from Start would re-apply the RMW to the dirty line).
+            if let Some(txn) = &mut self.procs[p].txn {
+                txn.stage = Stage::Start;
+            }
+        }
+        let attempt = self.procs[p].fault_attempts;
+        self.procs[p].fault_attempts = attempt.saturating_add(1);
+        let backoff = self.retry_delay.max(1) << attempt.min(6);
+        self.procs[p].retry_at = now + backoff;
+        self.stats.fault_retries += 1;
+    }
+
+    /// Retire logical bank `logical` after a permanent failure: remap it
+    /// onto a spare (copying the bank's contents) or mask it when the
+    /// spare pool is exhausted.
+    fn retire_bank(&mut self, logical: usize) {
+        match self.bank_map.retire(logical) {
+            RetireAction::Remapped { old, new } => {
+                let words = self.memory[old].clone();
+                self.memory[new] = words;
+                self.stats.bank_remaps += 1;
+            }
+            RetireAction::Masked { .. } => self.stats.banks_masked += 1,
+            RetireAction::AlreadyDead => {}
+        }
+    }
+
     fn advance_prim(&mut self, p: ProcId, now: Cycle) {
         let Some(flight) = self.procs[p].prim.clone() else {
             return;
@@ -587,6 +692,15 @@ impl CcMachine {
         }
         let mut flight = flight;
         let k = self.space.bank_for(now, p);
+        // A transient bank error invalidates this sweep: abort and retry.
+        if self.fault_state.transient_fault(now, k) {
+            self.fault_abort_prim(p, now);
+            return;
+        }
+        let phys = self.bank_map.phys(k);
+        if phys.is_none() {
+            self.stats.masked_accesses += 1;
+        }
         match flight.kind {
             PrimKind::Read | PrimKind::ReadInvalidate => {
                 // Directory check at the coupled processor (bank k ↔
@@ -607,10 +721,17 @@ impl CcMachine {
                         _ => {}
                     }
                 }
-                flight.buf[k] = self.memory[k][flight.offset];
+                // Masked bank: the word is gone, read as 0.
+                flight.buf[k] = match phys {
+                    Some(ph) => self.memory[ph][flight.offset],
+                    None => 0,
+                };
             }
             PrimKind::WriteBack => {
-                self.memory[k][flight.offset] = flight.buf[k];
+                // Masked bank: the word is dropped (documented data loss).
+                if let Some(ph) = phys {
+                    self.memory[ph][flight.offset] = flight.buf[k];
+                }
             }
         }
         flight.visited += 1;
@@ -686,8 +807,23 @@ impl CcMachine {
         match txn.stage {
             Stage::Start => self.txn_start(p, txn, now),
             Stage::Modify => self.txn_modify(p, txn, now),
+            // Only reachable with no primitive in flight after a transient
+            // fault aborted the synchronization write-back: re-flush the
+            // still-dirty line. (The modification is already applied, so
+            // the transaction must NOT restart from Start — that would
+            // re-apply the RMW.)
+            Stage::WaitSyncWb => {
+                let offset = txn.req.offset();
+                let data = self.procs[p]
+                    .cache
+                    .line_for(offset)
+                    .expect("sync write-back holds the dirty line")
+                    .data
+                    .clone();
+                self.start_prim(p, PrimKind::WriteBack, offset, Purpose::Txn, data);
+            }
             // Waiting stages advance on primitive completion.
-            Stage::WaitRead | Stage::WaitOwn | Stage::WaitSyncWb => {}
+            Stage::WaitRead | Stage::WaitOwn => {}
         }
     }
 
@@ -859,6 +995,8 @@ impl CcMachine {
             return;
         }
         let flight = self.procs[p].prim.take().expect("checked");
+        // A full sweep survived: any transient-fault backoff resets.
+        self.procs[p].fault_attempts = 0;
         match (flight.kind, flight.purpose) {
             (PrimKind::Read, Purpose::Txn) => {
                 self.procs[p]
@@ -1425,6 +1563,106 @@ mod tests {
         // Installing 5 must evict the dirty LRU block 1 with a write-back.
         m.execute(0, CpuRequest::Load { offset: 5 });
         assert_eq!(m.peek_memory(1)[0], 7, "dirty victim lost on eviction");
+    }
+
+    // ---- Fault injection and degraded mode ----
+
+    #[test]
+    fn transient_fault_retries_and_preserves_atomicity() {
+        let mut m = machine(4, 1);
+        m.set_fault_plan(FaultPlan::single(
+            3,
+            FaultKind::TransientBankError {
+                bank: 2,
+                repair_slot: 60,
+            },
+        ));
+        for p in 0..4 {
+            m.submit(
+                p,
+                CpuRequest::Rmw {
+                    offset: 0,
+                    rmw: Rmw::FetchAndAdd { word: 0, delta: 1 },
+                },
+            )
+            .unwrap();
+        }
+        assert!(m.run_until_idle(100_000));
+        assert_eq!(m.peek_memory(0)[0], 4, "an increment was lost or doubled");
+        assert!(m.stats().fault_retries > 0, "the fault never struck");
+        assert_eq!(m.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn sync_write_back_fault_never_reapplies_the_rmw() {
+        let mut m = machine(4, 1);
+        // The read-invalidate sweep finishes by cycle 4; a transient
+        // window opening at cycle 6 strikes the synchronization
+        // write-back, which must re-flush without re-incrementing.
+        m.set_fault_plan(FaultPlan::single(
+            6,
+            FaultKind::TransientBankError {
+                bank: 2,
+                repair_slot: 60,
+            },
+        ));
+        let r = m.execute(
+            0,
+            CpuRequest::Rmw {
+                offset: 0,
+                rmw: Rmw::FetchAndAdd { word: 0, delta: 1 },
+            },
+        );
+        assert_eq!(r.data.as_ref(), &[0, 0, 0, 0]);
+        assert_eq!(
+            m.peek_memory(0)[0],
+            1,
+            "RMW applied a wrong number of times"
+        );
+        assert!(m.stats().fault_retries > 0, "write-back was never struck");
+    }
+
+    #[test]
+    fn permanent_failure_remaps_memory_onto_spare() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap().with_spares(1).unwrap();
+        let mut m = CcMachine::new(cfg, 32, 8);
+        m.poke_memory(3, &[1, 2, 3, 4]);
+        m.set_fault_plan(FaultPlan::single(
+            5,
+            FaultKind::PermanentBankFailure { bank: 1 },
+        ));
+        for _ in 0..8 {
+            m.step();
+        }
+        assert_eq!(
+            m.bank_map().phys(1),
+            Some(4),
+            "bank 1 should live on the spare"
+        );
+        assert_eq!(m.stats().bank_remaps, 1);
+        assert_eq!(
+            m.peek_memory(3),
+            vec![1, 2, 3, 4],
+            "remap lost the bank contents"
+        );
+        let r = m.execute(0, CpuRequest::Load { offset: 3 });
+        assert_eq!(r.data.as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spareless_failure_masks_the_bank() {
+        let mut m = machine(4, 1);
+        m.poke_memory(2, &[9, 9, 9, 9]);
+        m.set_fault_plan(FaultPlan::single(
+            0,
+            FaultKind::PermanentBankFailure { bank: 2 },
+        ));
+        m.step();
+        assert!(m.bank_map().is_masked(2));
+        assert_eq!(m.stats().banks_masked, 1);
+        let r = m.execute(0, CpuRequest::Load { offset: 2 });
+        assert_eq!(r.data.as_ref(), &[9, 9, 0, 9], "masked word must read as 0");
+        assert!(m.stats().masked_accesses > 0);
     }
 
     #[test]

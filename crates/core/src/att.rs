@@ -121,6 +121,13 @@ pub enum WriteVerdict {
 #[derive(Debug, Clone)]
 pub struct Att {
     entries: VecDeque<Entry>,
+    /// Entries pinned by a fault-stalled write phase: the owner committed
+    /// some words, hit a transient bank error, and is backing off. The
+    /// partial block stays torn until the owner resumes, so its entry
+    /// must keep arbitrating — held entries are exempt from [`Self::expire`]
+    /// (in hardware the faulted controller freezes the valid bit instead
+    /// of letting the queue shift the entry out).
+    held: Vec<Entry>,
     /// Maximum entry age retained — `b − 1` in hardware.
     capacity: usize,
 }
@@ -130,6 +137,7 @@ impl Att {
     pub fn new(banks: usize) -> Self {
         Att {
             entries: VecDeque::with_capacity(banks.saturating_sub(1)),
+            held: Vec::new(),
             capacity: banks.saturating_sub(1),
         }
     }
@@ -233,6 +241,38 @@ impl Att {
     pub fn remove(&mut self, offset: BlockOffset, proc: ProcId, inserted_at: Cycle) {
         self.entries
             .retain(|e| !(e.offset == offset && e.proc == proc && e.inserted_at == inserted_at));
+        self.held
+            .retain(|e| !(e.offset == offset && e.proc == proc && e.inserted_at == inserted_at));
+    }
+
+    /// Pin the matching entry as **held**: its owner's write phase is
+    /// fault-stalled with words already committed, so the entry must keep
+    /// arbitrating (readers restart, later writers defer) past its normal
+    /// `b − 1`-slot lifetime — until the owner resumes and re-inserts a
+    /// fresh entry, completes, or abandons the operation, all of which
+    /// release it via [`Self::remove`]. A withdrawn-and-expired entry here
+    /// would let a concurrent sweep observe the torn half-written block.
+    pub fn hold(&mut self, offset: BlockOffset, proc: ProcId, inserted_at: Cycle) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let e = self.entries[i];
+            if e.offset == offset && e.proc == proc && e.inserted_at == inserted_at {
+                self.entries.remove(i);
+                self.held.push(e);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// The entries currently pinned by fault-stalled write phases.
+    pub fn held_entries(&self) -> &[Entry] {
+        &self.held
+    }
+
+    /// All arbitrating entries: the live queue plus any held ones.
+    fn arbitrating(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().chain(self.held.iter())
     }
 
     /// Whether any same-offset write entry from another processor is live,
@@ -240,8 +280,7 @@ impl Att {
     /// accessing address of the read operation needs to be compared with
     /// all the entries").
     pub fn read_conflict(&self, offset: BlockOffset, me: ProcId, now: Cycle) -> Option<Entry> {
-        self.entries
-            .iter()
+        self.arbitrating()
             .find(|e| e.offset == offset && e.proc != me && now > e.inserted_at)
             .copied()
     }
@@ -347,9 +386,9 @@ impl Att {
                 // owners will defer when they meet our entry — and they
                 // must meet it, because their read- and write-phase visits
                 // to our start bank straddle exactly the entry's lifetime.
+                // Held (fault-stalled) entries always count as earlier.
                 let blocker = self
-                    .entries
-                    .iter()
+                    .arbitrating()
                     .filter(|e| e.offset == offset && e.proc != me && now > e.inserted_at)
                     .find(|e| {
                         e.inserted_at < phase_start || (e.inserted_at == phase_start && e.proc < me)
@@ -511,6 +550,24 @@ mod tests {
         // 10 cycles later without expire(): the entry has outlived the
         // hardware queue, which shifts it out after b − 1 slots.
         assert!(att.check_shift_invariant(10).is_err());
+    }
+
+    #[test]
+    fn held_entries_survive_expiry_and_keep_arbitrating() {
+        let mut att = Att::new(4);
+        att.insert(entry(3, TrackKind::Write, 1, 10));
+        att.hold(3, 1, 10);
+        att.expire(100); // far past the b − 1 lifetime
+        assert_eq!(att.held_entries().len(), 1);
+        assert!(att.read_conflict(3, 0, 100).is_some());
+        assert!(matches!(
+            att.write_verdict(PriorityMode::EarliestWins, 3, 0, 100, 0, false, 99),
+            WriteVerdict::Restart { .. }
+        ));
+        assert_eq!(att.check_shift_invariant(100), Ok(()));
+        att.remove(3, 1, 10);
+        assert!(att.held_entries().is_empty());
+        assert!(att.read_conflict(3, 0, 100).is_none());
     }
 
     #[test]

@@ -8,13 +8,38 @@
 
 use std::fmt;
 
-/// Errors constructing a [`CfmConfig`].
+/// Errors constructing a [`CfmConfig`]. Every invalid shape is a typed,
+/// recoverable error — misconfiguration (including fault-plan / spare-bank
+/// setups built from user input) must never abort the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// `n`, `c` and `w` must all be non-zero.
     ZeroParameter,
-    /// The derived bank count `b = c · n` overflowed `usize`.
+    /// The derived bank count `b = c · n` (plus spares) overflowed `usize`.
     TooLarge,
+    /// The block size is not a whole number of bits per bank.
+    BlockNotDivisible {
+        /// Requested block size in bits.
+        block_bits: u32,
+        /// Requested bank count.
+        banks: usize,
+    },
+    /// The bank count is not a multiple of the bank cycle, so no integral
+    /// conflict-free processor count `n = b / c` exists.
+    CycleNotDividingBanks {
+        /// Requested bank count.
+        banks: usize,
+        /// Requested bank cycle.
+        bank_cycle: u32,
+    },
+    /// More spare banks requested than primary banks — a spare pool larger
+    /// than the machine it protects is always a configuration mistake.
+    TooManySpares {
+        /// Requested spares.
+        spares: usize,
+        /// Primary bank count `b = c · n`.
+        banks: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -24,6 +49,17 @@ impl fmt::Display for ConfigError {
                 write!(f, "processors, bank cycle and word width must be non-zero")
             }
             ConfigError::TooLarge => write!(f, "derived bank count overflows usize"),
+            ConfigError::BlockNotDivisible { block_bits, banks } => write!(
+                f,
+                "block size {block_bits} bits is not divisible by {banks} banks"
+            ),
+            ConfigError::CycleNotDividingBanks { banks, bank_cycle } => write!(
+                f,
+                "bank count {banks} is not a multiple of bank cycle {bank_cycle}"
+            ),
+            ConfigError::TooManySpares { spares, banks } => {
+                write!(f, "{spares} spare banks exceed the {banks} primary banks")
+            }
         }
     }
 }
@@ -39,12 +75,14 @@ pub struct CfmConfig {
     processors: usize,
     bank_cycle: u32,
     word_width: u32,
+    spares: usize,
 }
 
 impl CfmConfig {
     /// Build a configuration from the number of processors `n`, the memory
     /// bank cycle `c` (CPU cycles per bank access) and the memory word
-    /// width `w` in bits. The bank count is derived as `b = c · n`.
+    /// width `w` in bits. The bank count is derived as `b = c · n`; no
+    /// spare banks are configured (see [`CfmConfig::with_spares`]).
     pub fn new(processors: usize, bank_cycle: u32, word_width: u32) -> Result<Self, ConfigError> {
         if processors == 0 || bank_cycle == 0 || word_width == 0 {
             return Err(ConfigError::ZeroParameter);
@@ -56,32 +94,49 @@ impl CfmConfig {
             processors,
             bank_cycle,
             word_width,
+            spares: 0,
         })
+    }
+
+    /// Configure `spares` spare memory banks standing by for graceful
+    /// degradation: a permanent bank failure is remapped onto a spare
+    /// online, keeping the full conflict-free schedule. Spares sit outside
+    /// the AT-space (the schedule still cycles over `b = c · n` logical
+    /// banks), so they change capacity, not timing.
+    pub fn with_spares(mut self, spares: usize) -> Result<Self, ConfigError> {
+        let banks = self.banks();
+        if spares > banks {
+            return Err(ConfigError::TooManySpares { spares, banks });
+        }
+        banks.checked_add(spares).ok_or(ConfigError::TooLarge)?;
+        self.spares = spares;
+        Ok(self)
     }
 
     /// Derive the configuration that supports a given cache-line size
     /// `block_bits` with `banks` memory banks of cycle `c` (the axis of
-    /// Table 3.3). Returns `None` when `banks` does not divide the block
-    /// size or fewer than one processor would be supported.
-    pub fn from_block(block_bits: u32, banks: usize, bank_cycle: u32) -> Option<Self> {
+    /// Table 3.3). Every invalid shape is a typed [`ConfigError`] naming
+    /// the constraint that failed.
+    pub fn from_block(block_bits: u32, banks: usize, bank_cycle: u32) -> Result<Self, ConfigError> {
         if banks == 0 || bank_cycle == 0 || block_bits == 0 {
-            return None;
+            return Err(ConfigError::ZeroParameter);
         }
         if !(block_bits as usize).is_multiple_of(banks) {
-            return None;
+            return Err(ConfigError::BlockNotDivisible { block_bits, banks });
         }
         let word_width = block_bits / banks as u32;
         if !banks.is_multiple_of(bank_cycle as usize) {
-            return None;
+            return Err(ConfigError::CycleNotDividingBanks { banks, bank_cycle });
         }
         let processors = banks / bank_cycle as usize;
         if processors == 0 {
-            return None;
+            return Err(ConfigError::ZeroParameter);
         }
-        Some(CfmConfig {
+        Ok(CfmConfig {
             processors,
             bank_cycle,
             word_width,
+            spares: 0,
         })
     }
 
@@ -107,6 +162,19 @@ impl CfmConfig {
     #[inline]
     pub fn banks(&self) -> usize {
         self.processors * self.bank_cycle as usize
+    }
+
+    /// Configured spare banks (0 unless set via [`CfmConfig::with_spares`]).
+    #[inline]
+    pub fn spares(&self) -> usize {
+        self.spares
+    }
+
+    /// Total physical banks the machine provisions: `b` scheduled banks
+    /// plus the configured spares.
+    #[inline]
+    pub fn total_banks(&self) -> usize {
+        self.banks() + self.spares
     }
 
     /// Words per block — one word per bank.
@@ -165,7 +233,7 @@ pub fn tradeoff_table(block_bits: u32, bank_cycle: u32) -> Vec<TradeoffRow> {
     let mut rows = Vec::new();
     let mut banks = block_bits as usize;
     while banks >= bank_cycle as usize {
-        if let Some(cfg) = CfmConfig::from_block(block_bits, banks, bank_cycle) {
+        if let Ok(cfg) = CfmConfig::from_block(block_bits, banks, bank_cycle) {
             rows.push(TradeoffRow {
                 banks,
                 word_width: cfg.word_width(),
@@ -254,9 +322,51 @@ mod tests {
     }
 
     #[test]
-    fn from_block_rejects_indivisible() {
-        assert!(CfmConfig::from_block(256, 3, 2).is_none()); // 256 % 3 != 0
-        assert!(CfmConfig::from_block(256, 128, 3).is_none()); // 128 % 3 != 0
-        assert!(CfmConfig::from_block(0, 8, 2).is_none());
+    fn from_block_rejects_indivisible_with_typed_errors() {
+        assert_eq!(
+            CfmConfig::from_block(256, 3, 2), // 256 % 3 != 0
+            Err(ConfigError::BlockNotDivisible {
+                block_bits: 256,
+                banks: 3
+            })
+        );
+        assert_eq!(
+            CfmConfig::from_block(256, 128, 3), // 128 % 3 != 0
+            Err(ConfigError::CycleNotDividingBanks {
+                banks: 128,
+                bank_cycle: 3
+            })
+        );
+        assert_eq!(
+            CfmConfig::from_block(0, 8, 2),
+            Err(ConfigError::ZeroParameter)
+        );
+    }
+
+    #[test]
+    fn spares_extend_physical_banks_not_the_schedule() {
+        let cfg = CfmConfig::new(4, 2, 16).unwrap().with_spares(2).unwrap();
+        assert_eq!(cfg.banks(), 8);
+        assert_eq!(cfg.spares(), 2);
+        assert_eq!(cfg.total_banks(), 10);
+        // Timing quantities are unchanged by spares.
+        assert_eq!(cfg.block_access_time(), 9);
+        assert_eq!(cfg.slots_per_period(), 8);
+    }
+
+    #[test]
+    fn oversized_spare_pool_is_a_typed_error() {
+        let cfg = CfmConfig::new(2, 1, 8).unwrap();
+        assert_eq!(
+            cfg.with_spares(3),
+            Err(ConfigError::TooManySpares {
+                spares: 3,
+                banks: 2
+            })
+        );
+        assert_eq!(
+            cfg.with_spares(3).unwrap_err().to_string(),
+            "3 spare banks exceed the 2 primary banks"
+        );
     }
 }

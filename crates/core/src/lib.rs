@@ -45,6 +45,11 @@
 //!   the [`trace::TraceSink`] hook the machines thread through the
 //!   schedule, banks and ATTs; `cfm-verify trace` analyses the recorded
 //!   logs (happens-before races, linearizability, bank busy times).
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
+//!   the degraded-mode [`fault::BankMap`]: seeded, slot-scheduled bank /
+//!   switch / response faults the machines consult every slot, with
+//!   online remap of dead banks onto spares; `cfm-verify chaos` soaks the
+//!   standard workloads under generated plans.
 //!
 //! ## Quick start
 //!
@@ -72,6 +77,7 @@ pub mod bank;
 pub mod building_block;
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod lock;
 pub mod machine;
 pub mod op;

@@ -24,10 +24,25 @@ use crate::atspace::AtSpace;
 use crate::att::{Att, Entry, PriorityMode, TrackKind, WriteVerdict};
 use crate::bank::Bank;
 use crate::config::CfmConfig;
-use crate::op::{BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, StallError};
+use crate::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction, MASKED_WRITER};
+use crate::op::{
+    BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, PendingOp, StallError,
+};
 use crate::stats::Stats;
 use crate::trace::{MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
-use crate::{BlockOffset, Cycle, ProcId, Word};
+use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
+
+/// Bounded retry budget against a transiently erroring bank; past it the
+/// operation is abandoned with [`Outcome::TransientFault`].
+const MAX_FAULT_RETRIES: u32 = 8;
+
+/// Exponential slot-backoff cap: retry `a` sleeps `2^min(a, CAP)` slots.
+const FAULT_BACKOFF_CAP: u32 = 6;
+
+/// Bit pattern XORed into the word a suppressed retry lets through — the
+/// "missed retry" seeded fault corrupts data exactly like an undetected
+/// bank error would.
+const CORRUPT_MASK: Word = 0xDEAD_BEEF_DEAD_BEEF;
 
 /// Phase of an in-flight operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +73,9 @@ struct InFlight {
     observed_writers: Box<[u64]>,
     issued_at: Cycle,
     restarts: u32,
+    /// Phase restarts forced by transient bank errors (bounded by
+    /// [`MAX_FAULT_RETRIES`], each backed off exponentially).
+    fault_retries: u32,
     /// Unique id stamped on written words for the tear checker.
     op_id: u64,
     /// Cycle at which the drained completion is delivered.
@@ -66,6 +84,10 @@ struct InFlight {
     /// entry has expired — immediate re-insertion would ping-pong with
     /// the blocker's own restarts (see [`crate::att::WriteVerdict`]).
     sleep_until: Cycle,
+    /// The `(bank, inserted_at)` of an ATT entry pinned by a fault-
+    /// stalled partial write (see [`Att::hold`]); released when the
+    /// resumed phase re-inserts, or on abandonment/completion.
+    held_entry: Option<(BankId, Cycle)>,
     outcome: Outcome,
     /// Last slot at which the operation made observable progress (issue,
     /// access, restart, …) — the stall diagnosis of
@@ -96,6 +118,18 @@ pub struct CfmMachine {
     /// self-tests — a detector that cannot see this fault proves
     /// nothing).
     att_insert_drops: u64,
+    /// Live fault-plan state, consulted every slot.
+    fault_state: FaultState,
+    /// Logical→physical bank table; identity until a permanent bank
+    /// failure remaps a bank onto a spare (or masks it).
+    bank_map: BankMap,
+    /// Seeded-fault hook: number of upcoming transient-fault retries to
+    /// suppress — the access proceeds with a corrupted word, as an
+    /// undetected bank error would.
+    retry_suppressions: u64,
+    /// Seeded-fault hook: skip the data copy of the next remap, losing
+    /// every committed write on the retired bank.
+    skip_remap_copy: bool,
 }
 
 impl CfmMachine {
@@ -116,10 +150,13 @@ impl CfmMachine {
         mode: PriorityMode,
     ) -> Self {
         let b = config.banks();
+        // Banks and writer stamps are *physical* (spares included); the
+        // schedule, the ATTs and every trace event stay *logical*.
+        let physical = config.total_banks();
         CfmMachine {
             space: AtSpace::new(&config),
-            banks: (0..b).map(|_| Bank::new(offsets)).collect(),
-            writer_ids: vec![vec![0; offsets]; b],
+            banks: (0..physical).map(|_| Bank::new(offsets)).collect(),
+            writer_ids: vec![vec![0; offsets]; physical],
             atts: (0..b).map(|_| Att::new(b)).collect(),
             inflight: vec![None; config.processors()],
             done: vec![Vec::new(); config.processors()],
@@ -130,8 +167,48 @@ impl CfmMachine {
             mode,
             trace: None,
             att_insert_drops: 0,
+            fault_state: FaultState::new(FaultPlan::empty(), b, config.processors()),
+            bank_map: BankMap::new(b, config.spares()),
+            retry_suppressions: 0,
+            skip_remap_copy: false,
             config,
         }
+    }
+
+    /// Install a fault plan, replacing any previous plan and its
+    /// progress. Install before driving the machine: events whose slot
+    /// has already passed fire on the next step.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_state = FaultState::new(plan, self.config.banks(), self.config.processors());
+    }
+
+    /// The logical→physical bank table (identity until a permanent bank
+    /// failure degrades the machine).
+    pub fn bank_map(&self) -> &BankMap {
+        &self.bank_map
+    }
+
+    /// Seeded-fault hook for the chaos self-tests: corrupt the bank map
+    /// by forcing `logical` onto `physical` without retiring anyone —
+    /// the "undetected bank death" the injectivity detector must refuse
+    /// to certify.
+    pub fn inject_bank_alias(&mut self, logical: BankId, physical: usize) {
+        self.bank_map.inject_alias(logical, physical);
+    }
+
+    /// Seeded-fault hook for the chaos self-tests: let the next `count`
+    /// transient-faulted accesses proceed (with a corrupted word) instead
+    /// of retrying — the "missed retry" the durability detector must
+    /// catch.
+    pub fn inject_retry_suppression(&mut self, count: u64) {
+        self.retry_suppressions = count;
+    }
+
+    /// Seeded-fault hook for the chaos self-tests: the next remap skips
+    /// its data copy, losing every committed write on the retired bank —
+    /// the "remap losing a write" the durability detector must catch.
+    pub fn inject_remap_copy_skip(&mut self) {
+        self.skip_remap_copy = true;
     }
 
     /// Start recording a [`MemoryTrace`] (idempotent; an active trace
@@ -200,16 +277,50 @@ impl CfmMachine {
     }
 
     /// Read a block directly (debug/test access, not a timed operation).
+    /// Follows the bank map: remapped words come from their spare bank,
+    /// masked words read as 0.
     pub fn peek_block(&self, offset: BlockOffset) -> Vec<Word> {
-        self.banks.iter().map(|b| b.read(offset)).collect()
+        (0..self.config.banks())
+            .map(|k| match self.bank_map.phys(k) {
+                Some(ph) => self.banks[ph].read(offset),
+                None => 0,
+            })
+            .collect()
     }
 
     /// Write a block directly (initialisation, not a timed operation).
+    /// Follows the bank map; words of masked banks are dropped.
     pub fn poke_block(&mut self, offset: BlockOffset, words: &[Word]) {
-        assert_eq!(words.len(), self.banks.len());
-        for (bank, &w) in self.banks.iter_mut().zip(words) {
-            bank.write(offset, w);
+        assert_eq!(words.len(), self.config.banks());
+        for (k, &w) in words.iter().enumerate() {
+            if let Some(ph) = self.bank_map.phys(k) {
+                self.banks[ph].write(offset, w);
+            }
         }
+    }
+
+    /// Snapshot every in-flight operation with its owning processor —
+    /// the stall diagnostics [`crate::program::Runner`] attaches to
+    /// [`crate::program::RunOutcome::BudgetExhausted`].
+    pub fn pending_ops(&self) -> Vec<(ProcId, PendingOp)> {
+        self.inflight
+            .iter()
+            .enumerate()
+            .filter_map(|(p, slot)| {
+                slot.as_ref().map(|op| {
+                    (
+                        p,
+                        PendingOp {
+                            kind: op.kind,
+                            offset: op.offset,
+                            issued_at: op.issued_at,
+                            restarts: op.restarts,
+                            last_progress: op.last_progress,
+                        },
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Issue a block operation on processor `p`. The first word access
@@ -279,9 +390,11 @@ impl CfmMachine {
             observed_writers: vec![0; b].into_boxed_slice(),
             issued_at: self.cycle,
             restarts: 0,
+            fault_retries: 0,
             op_id,
             completes_at: 0,
             sleep_until: 0,
+            held_entry: None,
             outcome: Outcome::Completed,
             last_progress: self.cycle,
         });
@@ -323,6 +436,23 @@ impl CfmMachine {
         for (k, att) in self.atts.iter_mut().enumerate() {
             att.expire_traced(now, k, sink);
         }
+        // Activate fault-plan events due this slot. Permanent failures
+        // reconfigure the bank map online; transient and response faults
+        // latch in the fault state and strike at the access/delivery
+        // points below.
+        for kind in self.fault_state.advance(now) {
+            self.stats.faults_injected += 1;
+            match kind {
+                FaultKind::DroppedResponse { .. } | FaultKind::CorruptedResponse { .. } => {}
+                _ => sink.record(TraceEvent::Fault {
+                    slot: now,
+                    fault: kind,
+                }),
+            }
+            if let FaultKind::PermanentBankFailure { bank } = kind {
+                self.retire_bank(bank, now, sink);
+            }
+        }
         for p in 0..self.inflight.len() {
             let Some(mut op) = self.inflight[p].take() else {
                 continue;
@@ -332,11 +462,34 @@ impl CfmMachine {
                 continue;
             }
             let k = self.space.route_traced(now, p, sink);
-            if !self.banks[k].note_injection(now) {
-                // Impossible under the AT-space schedule; recorded, not fatal.
-                self.stats.bank_conflicts += 1;
+            // Transient bank error: the access fails before injecting.
+            // Retry with exponential slot-backoff, bounded; a suppressed
+            // retry (seeded fault) proceeds with a corrupted word.
+            let corrupt_mask: Word = if self.fault_state.transient_fault(now, k) {
+                if self.retry_suppressions > 0 {
+                    self.retry_suppressions -= 1;
+                    CORRUPT_MASK
+                } else {
+                    self.transient_retry(&mut op, p, k, now, sink);
+                    self.inflight[p] = Some(op);
+                    continue;
+                }
+            } else {
+                0
+            };
+            // The physical bank serving logical bank `k`; a masked bank
+            // (dead, no spare) skips the word access — that word of the
+            // block is lost in spare-less degraded mode.
+            let phys = self.bank_map.phys(k);
+            if let Some(ph) = phys {
+                if !self.banks[ph].note_injection(now) {
+                    // Impossible under the AT-space schedule; recorded, not fatal.
+                    self.stats.bank_conflicts += 1;
+                }
+                self.stats.word_accesses += 1;
+            } else {
+                self.stats.masked_accesses += 1;
             }
-            self.stats.word_accesses += 1;
             op.last_progress = now;
             match op.phase {
                 Phase::Read => {
@@ -366,9 +519,18 @@ impl CfmMachine {
                         op.restarts += 1;
                         op.visited = 0;
                     } else {
-                        op.read_buf[k] =
-                            self.banks[k].read_traced(op.offset, now, k, p, op.op_id, sink);
-                        op.observed_writers[k] = self.writer_ids[k][op.offset];
+                        match phys {
+                            Some(ph) => {
+                                op.read_buf[k] = self.banks[ph]
+                                    .read_traced(op.offset, now, k, p, op.op_id, sink)
+                                    ^ corrupt_mask;
+                                op.observed_writers[k] = self.writer_ids[ph][op.offset];
+                            }
+                            None => {
+                                op.read_buf[k] = 0;
+                                op.observed_writers[k] = MASKED_WRITER;
+                            }
+                        }
                         op.visited += 1;
                         if op.visited == b {
                             if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
@@ -390,6 +552,11 @@ impl CfmMachine {
                 }
                 Phase::Write => {
                     if op.visited == 0 && self.att_enabled {
+                        // A resumed fault-stalled phase re-protects itself
+                        // with a fresh entry; the held one is released.
+                        if let Some((bank, at)) = op.held_entry.take() {
+                            self.atts[bank].remove_traced(op.offset, p, at, now, bank, sink);
+                        }
                         if self.att_insert_drops > 0 {
                             self.att_insert_drops -= 1;
                         } else {
@@ -427,16 +594,18 @@ impl CfmMachine {
                     };
                     match verdict {
                         WriteVerdict::Proceed => {
-                            self.banks[k].write_traced(
-                                op.offset,
-                                op.write_data[k],
-                                now,
-                                k,
-                                p,
-                                op.op_id,
-                                sink,
-                            );
-                            self.writer_ids[k][op.offset] = op.op_id;
+                            if let Some(ph) = phys {
+                                self.banks[ph].write_traced(
+                                    op.offset,
+                                    op.write_data[k] ^ corrupt_mask,
+                                    now,
+                                    k,
+                                    p,
+                                    op.op_id,
+                                    sink,
+                                );
+                                self.writer_ids[ph][op.offset] = op.op_id;
+                            }
                             op.bank0_updated |= k == 0;
                             op.visited += 1;
                             if op.visited == b {
@@ -515,7 +684,34 @@ impl CfmMachine {
                 Some(op) if op.phase == Phase::Drain && op.completes_at <= now
             );
             if ready {
-                let op = self.inflight[p].take().expect("checked above");
+                // Response-path fault: the completion is not delivered —
+                // ECC detects the loss/corruption and the buffered
+                // response is retransmitted one AT-space period later
+                // (the banks are untouched, so non-idempotent RMWs are
+                // never re-executed).
+                if let Some(kind) = self.fault_state.take_response_fault(p) {
+                    match kind {
+                        FaultKind::DroppedResponse { .. } => self.stats.dropped_responses += 1,
+                        FaultKind::CorruptedResponse { .. } => self.stats.corrupted_responses += 1,
+                        _ => {}
+                    }
+                    sink.record(TraceEvent::Fault {
+                        slot: now,
+                        fault: kind,
+                    });
+                    let op = self.inflight[p].as_mut().expect("checked above");
+                    op.completes_at = now + b as u64;
+                    op.restarts += 1;
+                    op.last_progress = now;
+                    continue;
+                }
+                let mut op = self.inflight[p].take().expect("checked above");
+                // Defensive: no delivered operation may leave a pinned
+                // ATT entry behind (reachable only if the seeded
+                // insert-drop hook swallowed the resume re-insert).
+                if let Some((bank, at)) = op.held_entry.take() {
+                    self.atts[bank].remove_traced(op.offset, p, at, now, bank, sink);
+                }
                 let data = match op.kind {
                     OpKind::Read | OpKind::Swap | OpKind::Rmw => Some(op.read_buf),
                     OpKind::Write => None,
@@ -523,7 +719,14 @@ impl CfmMachine {
                 let torn = if matches!(op.kind, OpKind::Read | OpKind::Swap | OpKind::Rmw)
                     && op.outcome == Outcome::Completed
                 {
-                    let mut distinct = op.observed_writers.iter().collect::<Vec<_>>();
+                    // Masked-bank words carry the sentinel writer stamp:
+                    // they are lost, not torn, and must not mix into the
+                    // distinct-writers count.
+                    let mut distinct = op
+                        .observed_writers
+                        .iter()
+                        .filter(|w| **w != MASKED_WRITER)
+                        .collect::<Vec<_>>();
                     distinct.sort_unstable();
                     distinct.dedup();
                     distinct.len() > 1
@@ -562,6 +765,103 @@ impl CfmMachine {
         self.trace = active;
         self.cycle += 1;
         self.stats.cycles += 1;
+    }
+
+    /// Online graceful degradation for a permanent bank failure: remap
+    /// the logical bank onto a spare (copying its committed words) or,
+    /// with no spare left, mask it.
+    fn retire_bank(&mut self, logical: BankId, now: Cycle, sink: &mut dyn TraceSink) {
+        match self.bank_map.retire(logical) {
+            RetireAction::Remapped { old, new } => {
+                if self.skip_remap_copy {
+                    self.skip_remap_copy = false;
+                } else {
+                    for offset in 0..self.banks[old].offsets() {
+                        let word = self.banks[old].read(offset);
+                        self.banks[new].write(offset, word);
+                        self.writer_ids[new][offset] = self.writer_ids[old][offset];
+                    }
+                }
+                self.stats.bank_remaps += 1;
+                sink.record(TraceEvent::BankRemap {
+                    slot: now,
+                    bank: logical,
+                    old_phys: old,
+                    new_phys: Some(new),
+                });
+            }
+            RetireAction::Masked { old } => {
+                self.stats.banks_masked += 1;
+                sink.record(TraceEvent::BankRemap {
+                    slot: now,
+                    bank: logical,
+                    old_phys: old,
+                    new_phys: None,
+                });
+            }
+            RetireAction::AlreadyDead => {}
+        }
+    }
+
+    /// A transient bank error hit `op`'s injection into logical bank `k`:
+    /// restart the phase with exponential slot-backoff, or — past the
+    /// bounded retry budget — abandon the operation with
+    /// [`Outcome::TransientFault`].
+    ///
+    /// A fault mid-write-phase leaves a *partially committed* block in
+    /// memory, so the op's ATT entry must not be withdrawn (as an
+    /// ATT-forced restart would) — it is **held** ([`Att::hold`]): it
+    /// keeps arbitrating past its normal lifetime so concurrent readers
+    /// restart and later writers defer instead of observing the torn
+    /// block. For the same reason a faulted swap/RMW write phase does
+    /// *not* re-read: the pre-image it computed its modification from
+    /// was partially overwritten by its own aborted sweep, and re-reading
+    /// would re-apply the RMW. The resumed phase rewrites the whole block
+    /// from the cached `write_data` — idempotent, because the held entry
+    /// kept every competitor off the block.
+    fn transient_retry(
+        &mut self,
+        op: &mut InFlight,
+        p: ProcId,
+        k: BankId,
+        now: Cycle,
+        sink: &mut dyn TraceSink,
+    ) {
+        op.last_progress = now;
+        op.fault_retries += 1;
+        self.stats.fault_retries += 1;
+        self.stats.wasted_word_accesses += op.visited as u64;
+        if op.phase == Phase::Write && op.visited > 0 && self.att_enabled {
+            let phase_start = now - op.visited as u64;
+            let start_bank = self.space.bank_for(phase_start, p);
+            self.atts[start_bank].hold(op.offset, p, phase_start);
+            op.held_entry = Some((start_bank, phase_start));
+        }
+        if op.fault_retries > MAX_FAULT_RETRIES {
+            self.stats.fault_aborts += 1;
+            op.outcome = Outcome::TransientFault;
+            op.phase = Phase::Drain;
+            op.completes_at = now;
+            // The abandoned block stays torn; release the held entry so
+            // the loss becomes observable instead of wedging the offset.
+            if let Some((bank, at)) = op.held_entry.take() {
+                self.atts[bank].remove_traced(op.offset, p, at, now, bank, sink);
+            }
+            return;
+        }
+        let backoff = 1u64 << op.fault_retries.min(FAULT_BACKOFF_CAP);
+        sink.record(TraceEvent::FaultRetry {
+            slot: now,
+            proc: p,
+            op_id: op.op_id,
+            bank: k,
+            attempt: op.fault_retries,
+            backoff,
+        });
+        op.restarts += 1;
+        op.visited = 0;
+        op.bank0_updated = false;
+        op.sleep_until = now + backoff;
     }
 
     /// Issue one operation and run it to completion (single-op driver
@@ -1006,5 +1306,159 @@ mod tests {
         let mut m = machine(4, 2, 8);
         m.issue(0, Operation::read(0)).unwrap();
         assert!(m.run_until_idle(3).is_err());
+    }
+
+    use crate::fault::{FaultKind, FaultPlan};
+
+    #[test]
+    fn transient_fault_recovers_with_backoff() {
+        let mut m = machine(4, 1, 8);
+        m.set_fault_plan(FaultPlan::single(
+            1,
+            FaultKind::TransientBankError {
+                bank: 2,
+                repair_slot: 8,
+            },
+        ));
+        m.issue(0, Operation::write(3, vec![5, 6, 7, 8])).unwrap();
+        let done = m.run_until_idle(1_000).unwrap();
+        assert_eq!(done[0].outcome, Outcome::Completed);
+        assert!(m.stats().fault_retries >= 1, "the fault window was hit");
+        assert_eq!(m.stats().fault_aborts, 0);
+        assert_eq!(m.peek_block(3), vec![5, 6, 7, 8], "recovered write intact");
+        assert!(
+            done[0].latency() > m.config().block_access_time(),
+            "backoff must cost slots"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_transient_fault() {
+        let mut m = machine(4, 1, 8);
+        // A repair slot far beyond the bounded retry budget: every
+        // backed-off retry still lands in the fault window.
+        m.set_fault_plan(FaultPlan::single(
+            0,
+            FaultKind::TransientBankError {
+                bank: 1,
+                repair_slot: 1_000_000,
+            },
+        ));
+        m.issue(2, Operation::read(0)).unwrap();
+        let done = m.run_until_idle(5_000).unwrap();
+        assert_eq!(done[0].outcome, Outcome::TransientFault);
+        assert_eq!(m.stats().fault_aborts, 1);
+        assert!(m.stats().fault_retries >= 8);
+    }
+
+    #[test]
+    fn permanent_failure_remaps_onto_spare_preserving_data() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap().with_spares(1).unwrap();
+        let mut m = CfmMachine::new(cfg, 8);
+        m.poke_block(2, &[11, 22, 33, 44]);
+        m.set_fault_plan(FaultPlan::single(
+            3,
+            FaultKind::PermanentBankFailure { bank: 1 },
+        ));
+        m.issue(0, Operation::read(2)).unwrap();
+        for _ in 0..20 {
+            m.step();
+        }
+        assert_eq!(m.stats().bank_remaps, 1);
+        assert!(m.bank_map().is_degraded());
+        assert_eq!(m.bank_map().phys(1), Some(4), "bank 1 now on the spare");
+        assert_eq!(m.bank_map().check_injective(), Ok(()));
+        assert_eq!(
+            m.peek_block(2),
+            vec![11, 22, 33, 44],
+            "committed words survive the remap"
+        );
+        // A fresh read over the degraded machine still round-trips.
+        let c = m.execute(2, Operation::read(2));
+        assert_eq!(c.data.as_deref(), Some(&[11, 22, 33, 44][..]));
+        assert!(!c.torn);
+    }
+
+    #[test]
+    fn spareless_failure_masks_the_bank_without_tearing() {
+        let mut m = machine(4, 1, 8);
+        m.poke_block(5, &[1, 2, 3, 4]);
+        m.set_fault_plan(FaultPlan::single(
+            0,
+            FaultKind::PermanentBankFailure { bank: 2 },
+        ));
+        m.step();
+        assert_eq!(m.stats().banks_masked, 1);
+        assert!(m.bank_map().is_masked(2));
+        assert_eq!(m.peek_block(5), vec![1, 2, 0, 4], "word 2 is lost");
+        let c = m.execute(0, Operation::read(5));
+        assert_eq!(c.data.as_deref(), Some(&[1, 2, 0, 4][..]));
+        assert!(!c.torn, "a lost word is not a tear");
+        assert!(m.stats().masked_accesses >= 1);
+    }
+
+    #[test]
+    fn dropped_response_is_retransmitted_one_period_later() {
+        let mut m = machine(4, 1, 8);
+        m.set_fault_plan(FaultPlan::single(0, FaultKind::DroppedResponse { proc: 0 }));
+        m.issue(0, Operation::read(1)).unwrap();
+        let done = m.run_until_idle(100).unwrap();
+        let beta = m.config().block_access_time();
+        let banks = m.config().banks() as u64;
+        assert_eq!(done[0].latency(), beta + banks, "delayed by one period");
+        assert_eq!(done[0].restarts, 1);
+        assert_eq!(m.stats().dropped_responses, 1);
+    }
+
+    #[test]
+    fn suppressed_retry_commits_a_corrupted_word() {
+        // The "missed retry" seeded fault: the transient window covers
+        // exactly the slot where the write sweep hits bank 3; with the
+        // retry suppressed, the erroring bank stores a corrupted word.
+        let mut m = machine(4, 1, 8);
+        m.set_fault_plan(FaultPlan::single(
+            3,
+            FaultKind::TransientBankError {
+                bank: 3,
+                repair_slot: 4,
+            },
+        ));
+        m.inject_retry_suppression(1);
+        m.issue(0, Operation::write(6, vec![9, 9, 9, 9])).unwrap();
+        m.run_until_idle(100).unwrap();
+        let block = m.peek_block(6);
+        assert_eq!(&block[..3], &[9, 9, 9]);
+        assert_ne!(block[3], 9, "the suppressed retry corrupted word 3");
+        assert_eq!(m.stats().fault_retries, 0, "no retry was taken");
+    }
+
+    #[test]
+    fn remap_copy_skip_loses_committed_writes() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap().with_spares(1).unwrap();
+        let mut m = CfmMachine::new(cfg, 8);
+        m.poke_block(0, &[7, 7, 7, 7]);
+        m.inject_remap_copy_skip();
+        m.set_fault_plan(FaultPlan::single(
+            1,
+            FaultKind::PermanentBankFailure { bank: 2 },
+        ));
+        m.step();
+        m.step();
+        let block = m.peek_block(0);
+        assert_eq!(block, vec![7, 7, 0, 7], "the skipped copy lost word 2");
+    }
+
+    #[test]
+    fn pending_ops_snapshot_names_the_owner() {
+        let mut m = machine(4, 2, 8);
+        m.issue(1, Operation::swap(3, vec![0; 8])).unwrap();
+        m.step();
+        let pending = m.pending_ops();
+        assert_eq!(pending.len(), 1);
+        let (proc, op) = &pending[0];
+        assert_eq!(*proc, 1);
+        assert_eq!(op.kind, OpKind::Swap);
+        assert_eq!(op.offset, 3);
+        assert_eq!(op.issued_at, 0);
     }
 }

@@ -197,6 +197,15 @@ pub enum Outcome {
     /// overwrite it anyway (§4.1.2) — semantically the write happened and
     /// was immediately superseded.
     Overwritten,
+    /// The operation was abandoned after exhausting its bounded retry
+    /// budget against a transiently erroring bank: every retry (with
+    /// exponential slot-backoff) still hit the fault window. Returned
+    /// read data is invalid, and an abandoned write/swap may have
+    /// committed only a prefix of its sweep (subsequent reads surface
+    /// that as a torn block — see `docs/fault-model.md` for what is
+    /// deliberately not guaranteed here). The issuer decides whether to
+    /// reissue.
+    TransientFault,
 }
 
 /// Delivered to the issuing processor when an operation leaves the memory
@@ -300,6 +309,23 @@ impl<Op: fmt::Debug> fmt::Display for StallError<Op> {
 }
 
 impl<Op: fmt::Debug> std::error::Error for StallError<Op> {}
+
+/// Snapshot of an in-flight operation, reported when a run budget is
+/// exhausted so the caller learns *what* was stuck and *whose* it was —
+/// the stall diagnostics that matter most under injected faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOp {
+    /// Kind of the stuck operation.
+    pub kind: OpKind,
+    /// Block offset it targets.
+    pub offset: BlockOffset,
+    /// Cycle it was issued.
+    pub issued_at: Cycle,
+    /// ATT-forced restarts it has suffered so far.
+    pub restarts: u32,
+    /// Last slot at which the machine made observable progress on it.
+    pub last_progress: Cycle,
+}
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@
 //! granularity.
 
 use crate::machine::CfmMachine;
-use crate::op::{Completion, Operation};
+use crate::op::{Completion, Operation, PendingOp, StallError};
 use crate::{Cycle, ProcId};
 
 /// The logic a processor runs against the memory system.
@@ -41,7 +41,7 @@ impl Program for Idle {
 }
 
 /// Outcome of [`Runner::run`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Every program reported finished; carries the cycle count consumed.
     Finished(u64),
@@ -51,6 +51,11 @@ pub enum RunOutcome {
         /// was given, reported so callers can surface a proper error
         /// instead of a bare "did not finish").
         executed: u64,
+        /// One [`StallError`] per operation still in flight, naming the
+        /// owning processor, the stuck operation, and its last observable
+        /// progress — the diagnosis that matters when an injected fault
+        /// (not the budget) is what wedged the run.
+        stalled: Vec<StallError<PendingOp>>,
     },
 }
 
@@ -130,9 +135,19 @@ impl Runner {
             }
             self.tick();
         }
-        RunOutcome::BudgetExhausted {
-            executed: self.machine.cycle() - start,
-        }
+        let executed = self.machine.cycle() - start;
+        let stalled = self
+            .machine
+            .pending_ops()
+            .into_iter()
+            .map(|(proc, op)| StallError {
+                last_progress: op.last_progress,
+                op,
+                proc,
+                waited: executed,
+            })
+            .collect();
+        RunOutcome::BudgetExhausted { executed, stalled }
     }
 }
 
@@ -197,7 +212,7 @@ mod tests {
         }
         match r.run(1000) {
             RunOutcome::Finished(cycles) => assert!(cycles < 100),
-            RunOutcome::BudgetExhausted { executed } => {
+            RunOutcome::BudgetExhausted { executed, .. } => {
                 panic!("did not finish within the budget ({executed} cycles executed)")
             }
         }
@@ -209,5 +224,36 @@ mod tests {
         let cfg = CfmConfig::new(2, 1, 16).unwrap();
         let mut r = Runner::new(CfmMachine::new(cfg, 4));
         assert_eq!(r.run(10), RunOutcome::Finished(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_names_the_stalled_owners() {
+        let cfg = CfmConfig::new(4, 2, 16).unwrap();
+        let mut r = Runner::new(CfmMachine::new(cfg, 8));
+        r.set_program(
+            2,
+            Box::new(WriteThenRead {
+                offset: 1,
+                banks: 8,
+                state: 0,
+                ok: false,
+            }),
+        );
+        // A 2-cycle budget cannot complete the 9-cycle write: the
+        // outcome must carry the pending op and its owner.
+        match r.run(2) {
+            RunOutcome::BudgetExhausted { executed, stalled } => {
+                assert_eq!(executed, 2);
+                assert_eq!(stalled.len(), 1);
+                let s = &stalled[0];
+                assert_eq!(s.proc, 2);
+                assert_eq!(s.op.kind, OpKind::Write);
+                assert_eq!(s.op.offset, 1);
+                assert_eq!(s.waited, 2);
+                // Display carries the diagnosis end to end.
+                assert!(s.to_string().contains("processor 2 stalled"));
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
     }
 }

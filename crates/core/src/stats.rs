@@ -29,6 +29,27 @@ pub struct Stats {
     /// non-zero when address tracking is disabled (the Fig 4.1 ablation)
     /// and a checker is installed.
     pub torn_reads: u64,
+    /// Fault-plan events activated (all kinds).
+    pub faults_injected: u64,
+    /// Phase restarts forced by transient bank errors (each backed off
+    /// exponentially in slots).
+    pub fault_retries: u64,
+    /// Operations abandoned with [`crate::op::Outcome::TransientFault`]
+    /// after exhausting the bounded retry budget.
+    pub fault_aborts: u64,
+    /// Completions whose response was dropped on the return path and
+    /// retransmitted one period later.
+    pub dropped_responses: u64,
+    /// Completions whose response was corrupted in transit (ECC-detected)
+    /// and retransmitted one period later.
+    pub corrupted_responses: u64,
+    /// Permanent bank failures remapped online onto a spare bank.
+    pub bank_remaps: u64,
+    /// Permanent bank failures masked because no spare was left.
+    pub banks_masked: u64,
+    /// Word accesses skipped because their logical bank is masked (the
+    /// lost-word cost of spare-less degraded mode).
+    pub masked_accesses: u64,
 }
 
 impl Stats {

@@ -19,6 +19,7 @@
 //! Tracing is opt-in and zero-cost when off: machines hold an
 //! `Option<MemoryTrace>` and pass a [`NullSink`] when it is `None`.
 
+use crate::fault::FaultKind;
 use crate::op::OpKind;
 use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
 
@@ -181,6 +182,45 @@ pub enum TraceEvent {
         /// Slots spent queued behind other sharers.
         waited: u64,
     },
+    /// A fault-plan event activated (all kinds, including response faults
+    /// at the slot their effect strikes).
+    Fault {
+        /// Activation slot.
+        slot: Cycle,
+        /// The fault that struck.
+        fault: FaultKind,
+    },
+    /// A transient bank error forced a phase restart; the operation backs
+    /// off exponentially before re-entering its AT-space partition.
+    FaultRetry {
+        /// Slot of the faulted injection.
+        slot: Cycle,
+        /// Retrying processor.
+        proc: ProcId,
+        /// Operation id of the retrier.
+        op_id: u64,
+        /// The erroring bank.
+        bank: BankId,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Slots the operation sleeps before retrying.
+        backoff: u64,
+    },
+    /// A permanent bank failure reconfigured the bank map online: the
+    /// logical bank was remapped onto a spare physical bank, or masked
+    /// when no spare was left. [`TraceEvent::Route`] events stay logical,
+    /// so the schedule audits remain valid across the remap boundary.
+    BankRemap {
+        /// Reconfiguration slot.
+        slot: Cycle,
+        /// The logical bank that failed.
+        bank: BankId,
+        /// Physical bank retired.
+        old_phys: usize,
+        /// Spare physical bank now serving the logical bank, or `None`
+        /// if the bank was masked.
+        new_phys: Option<usize>,
+    },
     /// An operation left the memory system.
     Complete {
         /// Slot the completion was delivered.
@@ -219,6 +259,9 @@ impl TraceEvent {
             | TraceEvent::AttExpire { slot, .. }
             | TraceEvent::SlotEnqueue { slot, .. }
             | TraceEvent::SlotLaunch { slot, .. }
+            | TraceEvent::Fault { slot, .. }
+            | TraceEvent::FaultRetry { slot, .. }
+            | TraceEvent::BankRemap { slot, .. }
             | TraceEvent::Complete { slot, .. } => *slot,
         }
     }

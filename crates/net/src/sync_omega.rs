@@ -27,6 +27,9 @@ pub struct SyncOmega {
     topo: OmegaTopology,
     /// Precomputed switch states `[slot][column][switch]` for one period.
     states: Vec<Vec<Vec<u8>>>,
+    /// Injected stuck-at faults: `(column, switch, stuck_state)`
+    /// overrides applied on top of the healthy state table.
+    stuck: Vec<(u32, usize, u8)>,
 }
 
 impl SyncOmega {
@@ -49,7 +52,31 @@ impl SyncOmega {
                     .collect()
             })
             .collect();
-        SyncOmega { topo, states }
+        SyncOmega {
+            topo,
+            states,
+            stuck: Vec::new(),
+        }
+    }
+
+    /// Inject a stuck-at fault: `switch` in `column` latches in `state`
+    /// (0 = straight, 1 = interchange) for every slot, regardless of the
+    /// clock. The physical walk ([`Self::walk_route`]) then diverges from
+    /// the arithmetic schedule ([`Self::route`]) at the slots where the
+    /// healthy state differs — the divergence the `cfm-verify` net
+    /// cross-check exists to detect.
+    pub fn inject_stuck_switch(&mut self, column: u32, switch: usize, state: u8) {
+        self.stuck.push((column, switch, state & 1));
+    }
+
+    /// Remove all injected stuck-at faults, restoring the healthy table.
+    pub fn clear_stuck_switches(&mut self) {
+        self.stuck.clear();
+    }
+
+    /// The injected stuck-at faults, in injection order.
+    pub fn stuck_switches(&self) -> &[(u32, usize, u8)] {
+        &self.stuck
     }
 
     /// The underlying topology.
@@ -70,13 +97,21 @@ impl SyncOmega {
     }
 
     /// The state (0 = straight, 1 = interchange) of `switch` in `column`
-    /// at slot `t` (the Table 3.4 entries).
+    /// at slot `t` (the Table 3.4 entries), with any injected stuck-at
+    /// fault applied on top.
     pub fn switch_state(&self, slot: u64, column: u32, switch: usize) -> u8 {
+        for &(c, s, state) in &self.stuck {
+            if c == column && s == switch {
+                return state;
+            }
+        }
         self.states[slot as usize % self.ports()][column as usize][switch]
     }
 
-    /// The whole state table for one period: `[slot][column][switch]`
-    /// (Table 3.4 prints this for the 8×8 network).
+    /// The whole *healthy* state table for one period:
+    /// `[slot][column][switch]` (Table 3.4 prints this for the 8×8
+    /// network). Stuck-at injections do not rewrite the table; they
+    /// override [`Self::switch_state`] reads.
     pub fn state_table(&self) -> &[Vec<Vec<u8>>] {
         &self.states
     }
@@ -213,6 +248,29 @@ mod tests {
         for ports in [4usize, 32, 64] {
             let net = SyncOmega::new(ports);
             assert_eq!(net.state_table().len(), ports);
+        }
+    }
+
+    #[test]
+    fn stuck_switch_diverges_walk_from_schedule() {
+        let mut net = SyncOmega::new(8);
+        // Healthy: physical walk equals the arithmetic shift everywhere.
+        for t in 0..8u64 {
+            for p in 0..8 {
+                assert_eq!(net.walk_route(t, p), net.route(t, p));
+            }
+        }
+        net.inject_stuck_switch(1, 2, 1);
+        assert_eq!(net.stuck_switches(), &[(1, 2, 1)]);
+        // Faulted: some slot/input pair must diverge (the healthy state
+        // of that switch is not 1 in every slot).
+        let diverged = (0..8u64).any(|t| (0..8).any(|p| net.walk_route(t, p) != net.route(t, p)));
+        assert!(diverged, "stuck switch must break some route");
+        net.clear_stuck_switches();
+        for t in 0..8u64 {
+            for p in 0..8 {
+                assert_eq!(net.walk_route(t, p), net.route(t, p));
+            }
         }
     }
 }

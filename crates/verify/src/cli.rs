@@ -18,11 +18,12 @@
 
 use cfm_cache::model::{ModelConfig, ProtocolVariant};
 
+use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
 use crate::report::Report;
 use crate::schedule::{self, SweepSpec};
 use crate::trace::TraceSpec;
-use crate::{coherence, trace, USAGE};
+use crate::{chaos, coherence, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +49,9 @@ pub struct Options {
     /// Trace-analysis spec (Some = the `trace` subcommand was used;
     /// the static sections are then skipped).
     pub trace: Option<TraceSpec>,
+    /// Chaos soak spec (Some = the `chaos` subcommand was used; the
+    /// static sections are then skipped).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for Options {
@@ -59,6 +63,7 @@ impl Default for Options {
             self_test: true,
             format: Format::Text,
             trace: None,
+            chaos: None,
         }
     }
 }
@@ -139,6 +144,58 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
         self_test,
         format,
         trace: Some(spec),
+        chaos: None,
+    })
+}
+
+/// Parse the `chaos` subcommand's arguments (everything after the
+/// `chaos` word).
+fn parse_chaos(args: &[String]) -> Result<Options, String> {
+    let mut spec = ChaosSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let list = args.get(i).ok_or("--seeds needs a comma-separated list")?;
+                let parsed: Result<Vec<u64>, String> = list
+                    .split(',')
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("invalid seed: {s:?}")))
+                    .collect();
+                spec.seeds = parsed?;
+                if spec.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--self-test" => self_test = true,
+            // The default spec is already the full soak; --ci only has
+            // to switch the seeded-fault self-tests on.
+            "--ci" => self_test = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown chaos argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: None,
+        chaos: Some(spec),
     })
 }
 
@@ -146,6 +203,9 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
 pub fn parse(args: &[String]) -> Result<Options, String> {
     if args.first().map(String::as_str) == Some("trace") {
         return parse_trace(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("chaos") {
+        return parse_chaos(&args[1..]);
     }
     let mut sweep: Option<SweepSpec> = None;
     let mut model: Option<CheckOptions> = None;
@@ -269,12 +329,17 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         self_test,
         format,
         trace: None,
+        chaos: None,
     })
 }
 
 /// Run the requested sections and collect the report.
 pub fn run(opts: &Options) -> Report {
     let mut report = Report::new();
+    if let Some(spec) = &opts.chaos {
+        report.extend(chaos::verify(spec, opts.self_test));
+        return report;
+    }
     if let Some(spec) = &opts.trace {
         report.extend(trace::verify(spec, opts.self_test));
         return report;
@@ -426,6 +491,26 @@ mod tests {
         assert_eq!(spec.n, 2..=4);
         assert_eq!(spec.c, 1..=2);
         assert_eq!(spec.sharers, vec![2, 3]);
+    }
+
+    #[test]
+    fn chaos_subcommand_is_exclusive_and_defaults_to_the_full_soak() {
+        let o = parse(&args(&["chaos"])).unwrap();
+        let spec = o.chaos.expect("chaos requested");
+        assert_eq!(spec, ChaosSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none());
+        assert!(!o.self_test);
+    }
+
+    #[test]
+    fn chaos_ci_adds_self_tests_and_seeds_parse() {
+        let o = parse(&args(&["chaos", "--ci", "--format", "json"])).unwrap();
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        let o = parse(&args(&["chaos", "--seeds", "1,2,3"])).unwrap();
+        assert_eq!(o.chaos.unwrap().seeds, vec![1, 2, 3]);
+        assert!(parse(&args(&["chaos", "--seeds", "nope"])).is_err());
+        assert!(parse(&args(&["chaos", "--model"])).is_err());
     }
 
     #[test]

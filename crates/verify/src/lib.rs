@@ -24,6 +24,12 @@
 //!   spacing theorem on observed injections, a physical omega-route
 //!   cross-check, and the static lock-order analysis — each with its
 //!   own seeded-fault self-test (`cfm-verify trace --ci`).
+//! * [`chaos`] — fault-injection soaks: seeded [`cfm_core::fault`]
+//!   plans (bank death, transient errors, dropped/corrupted responses,
+//!   stuck omega switches) driven against standard workloads, asserting
+//!   post-remap injectivity, race freedom, write durability across
+//!   remap boundaries, lock correctness, and stuck-switch detection —
+//!   with seeded-fault self-tests (`cfm-verify chaos --ci`).
 //! * [`report`] / [`json`] — structured findings rendered as text or
 //!   byte-stable JSON (`--format json`) for the CI gate.
 //! * [`cli`] — the `cfm-verify` binary: `--sweep`, `--model`,
@@ -32,6 +38,7 @@
 //! Exit codes: 0 = everything proved, 1 = a check failed (report names
 //! the witness or trace), 2 = usage error.
 
+pub mod chaos;
 pub mod cli;
 pub mod coherence;
 pub mod json;
@@ -46,6 +53,7 @@ cfm-verify — prove the CFM conflict-free schedule and coherence protocol
 USAGE:
   cfm-verify [OPTIONS]
   cfm-verify trace [OPTIONS]
+  cfm-verify chaos [--seeds LIST] [--self-test | --ci] [--format F]
 
 The `trace` subcommand runs the dynamic analyses instead: it executes
 real simulator workloads with event tracing enabled and checks the
@@ -54,6 +62,14 @@ linearizability (swap/RMW, the lock protocol, the cache counter),
 schedule conformance of every observed bank injection, slot-sharing
 FIFO accounting, and static lock-order cycles. `trace --ci` adds the
 seeded-fault self-tests.
+
+The `chaos` subcommand soaks standard workloads under seeded
+fault-injection plans (permanent bank death, transient bank errors,
+dropped/corrupted responses, stuck omega switches) and asserts the
+degraded-mode contract: post-remap per-slot injectivity, zero races,
+no lost or torn writes across remap boundaries, lock correctness, and
+stuck-switch detectability. `--seeds` overrides the default plan seeds;
+`chaos --ci` adds self-tests that prove each detector non-vacuous.
 
 Sections (none selected = all, with defaults):
   --sweep n=A..=B c=C..=D   verify every AT-space schedule in the range

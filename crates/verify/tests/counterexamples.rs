@@ -76,6 +76,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         self_test: false,
         format: Format::Text,
         trace: None,
+        chaos: None,
     };
     let report = cli::run(&mutant);
     assert_eq!(report.exit_code(), 1);
@@ -91,6 +92,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         self_test: true,
         format: Format::Json,
         trace: None,
+        chaos: None,
     };
     let report = cli::run(&correct);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -110,6 +112,7 @@ fn json_report_is_byte_stable_across_renders() {
         self_test: false,
         format: Format::Json,
         trace: None,
+        chaos: None,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

@@ -92,6 +92,7 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
             c: 1..=2,
             sharers: vec![2, 3],
         }),
+        chaos: None,
     };
     let report = cli::run(&opts);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -120,6 +121,7 @@ fn trace_json_report_is_byte_stable_across_runs() {
             c: 1..=2,
             sharers: vec![2],
         }),
+        chaos: None,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();
