@@ -1,0 +1,228 @@
+//! Core-engine throughput: sequential vs parallel slot engine.
+//!
+//! Soaks a steady disjoint-block workload (every processor continuously
+//! re-issuing reads/writes of its own block — the conflict-free case the
+//! parallel engine shards) on a grid of machine shapes × engine
+//! configurations × variants (plain / traced / faulted), and records
+//! simulated slots per wall-clock second into `BENCH_core.json`.
+//!
+//! The report includes `host_cpus` because the numbers are only
+//! meaningful relative to the cores actually available: on a single-CPU
+//! host every extra lane adds two scheduler handoffs per slot and the
+//! parallel engine *cannot* beat the sequential one — the recorded
+//! numbers then measure engine overhead, not speedup (see
+//! `docs/performance.md` for how to read them).
+//!
+//! `--smoke` shrinks the slot budget for CI.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cfm_bench::print_table;
+use cfm_core::config::{CfmConfig, Engine};
+use cfm_core::fault::{FaultPlan, PlanParams};
+use cfm_core::machine::CfmMachine;
+use cfm_core::op::Operation;
+
+const WORD_WIDTH: u32 = 16;
+const SPARES: usize = 1;
+
+/// Machine shapes exercised: small / medium / large (single-cluster).
+const SHAPES: [(usize, u32); 3] = [(16, 1), (64, 1), (256, 1)];
+
+/// Engine grid: the sequential reference plus the parallel engine at
+/// 1/2/4/8 threads (1 thread = the pipeline without worker handoffs).
+const ENGINES: [(&str, Engine); 5] = [
+    ("sequential", Engine::Sequential),
+    ("parallel-1", Engine::Parallel { threads: 1 }),
+    ("parallel-2", Engine::Parallel { threads: 2 }),
+    ("parallel-4", Engine::Parallel { threads: 4 }),
+    ("parallel-8", Engine::Parallel { threads: 8 }),
+];
+
+const VARIANTS: [&str; 3] = ["plain", "traced", "faulted"];
+
+struct Measured {
+    shape: (usize, u32),
+    variant: &'static str,
+    engine: &'static str,
+    slots: u64,
+    wall_s: f64,
+    parallel_slots: u64,
+}
+
+fn run_one(
+    (n, c): (usize, u32),
+    engine: Engine,
+    variant: &str,
+    slot_budget: u64,
+) -> (u64, f64, u64) {
+    let cfg = CfmConfig::new(n, c, WORD_WIDTH)
+        .and_then(|cfg| cfg.with_spares(SPARES))
+        .expect("valid bench config")
+        .with_engine(engine);
+    let b = cfg.banks();
+    let mut m = CfmMachine::new(cfg, n);
+    if variant == "faulted" {
+        m.set_fault_plan(FaultPlan::generate(
+            42,
+            &PlanParams {
+                banks: b,
+                processors: n,
+                horizon: slot_budget.max(4) / 2,
+                permanent: 1,
+                transient: 4,
+                max_repair: 8,
+                responses: 2,
+                stuck: 0,
+            },
+        ));
+    }
+    if variant == "traced" {
+        m.enable_trace();
+    }
+    let mut write_next = vec![true; n];
+    let start = Instant::now();
+    while m.cycle() < slot_budget {
+        for (p, next) in write_next.iter_mut().enumerate() {
+            if !m.is_busy(p) {
+                // Each processor hammers its own block: disjoint offsets,
+                // so the slot stays hazard-free and the parallel plan
+                // engages (the engine's best case, which is the point of
+                // the comparison).
+                let op = if *next {
+                    Operation::write(p, vec![m.cycle() + p as u64; b])
+                } else {
+                    Operation::read(p)
+                };
+                *next = !*next;
+                let _ = m.issue(p, op);
+            }
+        }
+        m.step();
+        for p in 0..n {
+            while m.poll(p).is_some() {}
+        }
+        // Bound trace memory: the events are the cost being measured, not
+        // the analysis, so drop them periodically.
+        if variant == "traced" && m.cycle().is_multiple_of(4096) {
+            m.take_trace();
+            m.enable_trace();
+        }
+    }
+    (m.cycle(), start.elapsed().as_secs_f64(), m.parallel_slots())
+}
+
+fn json_report(measured: &[Measured], host_cpus: usize, slot_budget: u64, smoke: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"bench_core\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"slot_budget\": {slot_budget},\n"));
+    out.push_str(
+        "  \"note\": \"Honest numbers for the host recorded in host_cpus: with fewer free \
+         cores than lanes the parallel engine pays two scheduler handoffs per extra lane per \
+         slot and cannot beat sequential; speedup_vs_seq > 1 requires >= threads free cores. \
+         See docs/performance.md.\",\n",
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        let rate = m.slots as f64 / m.wall_s;
+        let seq_rate = measured
+            .iter()
+            .find(|s| s.shape == m.shape && s.variant == m.variant && s.engine == "sequential")
+            .map(|s| s.slots as f64 / s.wall_s)
+            .unwrap_or(rate);
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"c\": {}, \"variant\": \"{}\", \"engine\": \"{}\", \
+             \"slots\": {}, \"wall_time_s\": {:.4}, \"slots_per_s\": {:.0}, \
+             \"speedup_vs_seq\": {:.3}, \"parallel_slots\": {}, \"parallel_fraction\": {:.3}}}{}\n",
+            m.shape.0,
+            m.shape.1,
+            m.variant,
+            m.engine,
+            m.slots,
+            m.wall_s,
+            rate,
+            rate / seq_rate,
+            m.parallel_slots,
+            m.parallel_slots as f64 / m.slots.max(1) as f64,
+            if i + 1 == measured.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"build\": \"{}\"\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let slot_budget: u64 = if smoke { 512 } else { 6000 };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut measured = Vec::new();
+    for shape in SHAPES {
+        for variant in VARIANTS {
+            for (name, engine) in ENGINES {
+                let (slots, wall_s, parallel_slots) = run_one(shape, engine, variant, slot_budget);
+                measured.push(Measured {
+                    shape,
+                    variant,
+                    engine: name,
+                    slots,
+                    wall_s,
+                    parallel_slots,
+                });
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            let rate = m.slots as f64 / m.wall_s;
+            let seq_rate = measured
+                .iter()
+                .find(|s| s.shape == m.shape && s.variant == m.variant && s.engine == "sequential")
+                .map(|s| s.slots as f64 / s.wall_s)
+                .unwrap_or(rate);
+            vec![
+                format!("n={} c={}", m.shape.0, m.shape.1),
+                m.variant.to_string(),
+                m.engine.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.3}", rate / seq_rate),
+                format!("{:.3}", m.parallel_slots as f64 / m.slots.max(1) as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Core engine throughput (host_cpus = {host_cpus})"),
+        &[
+            "Shape",
+            "Variant",
+            "Engine",
+            "Slots/s",
+            "vs seq",
+            "par fraction",
+        ],
+        &rows,
+    );
+
+    let json = json_report(&measured, host_cpus, slot_budget, smoke);
+    match std::fs::File::create("BENCH_core.json").and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote BENCH_core.json"),
+        Err(e) => println!("could not write BENCH_core.json: {e}"),
+    }
+}

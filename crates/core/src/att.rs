@@ -58,7 +58,7 @@
 //! Reads compare **all** live entries and restart from the current bank
 //! on any match, in both modes (§4.1.2, Fig 4.5).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::trace::{TraceEvent, TraceSink};
 use crate::{BankId, BlockOffset, Cycle, ProcId};
@@ -130,6 +130,13 @@ pub struct Att {
     held: Vec<Entry>,
     /// Maximum entry age retained — `b − 1` in hardware.
     capacity: usize,
+    /// Arbitrating-entry count per block offset (live queue + held), kept
+    /// in sync by every insert/expire/remove/trim. The comparison paths
+    /// ([`Self::read_conflict`], [`Self::write_verdict`],
+    /// [`Self::contended_by_other`]) consult it first so the common case —
+    /// no live entry for the accessed offset — is O(1) instead of a
+    /// full-queue scan. Keys are removed when their count drops to zero.
+    by_offset: HashMap<BlockOffset, u32>,
 }
 
 impl Att {
@@ -139,7 +146,32 @@ impl Att {
             entries: VecDeque::with_capacity(banks.saturating_sub(1)),
             held: Vec::new(),
             capacity: banks.saturating_sub(1),
+            by_offset: HashMap::new(),
         }
+    }
+
+    fn index_add(&mut self, offset: BlockOffset) {
+        *self.by_offset.entry(offset).or_insert(0) += 1;
+    }
+
+    fn index_sub(&mut self, offset: BlockOffset) {
+        if let Some(n) = self.by_offset.get_mut(&offset) {
+            *n -= 1;
+            if *n == 0 {
+                self.by_offset.remove(&offset);
+            }
+        }
+    }
+
+    /// Whether any arbitrating entry (live or held) tracks this offset —
+    /// O(1) via the offset index. The common no-contention case short-
+    /// circuits every comparison path through here.
+    #[inline]
+    fn offset_tracked(&self, offset: BlockOffset) -> bool {
+        if self.entries.is_empty() && self.held.is_empty() {
+            return false;
+        }
+        self.by_offset.contains_key(&offset)
     }
 
     /// Drop entries older than the capacity. The hardware queue shifts one
@@ -148,7 +180,9 @@ impl Att {
     pub fn expire(&mut self, now: Cycle) {
         while let Some(back) = self.entries.back() {
             if now.saturating_sub(back.inserted_at) > self.capacity as Cycle {
+                let e = *back;
                 self.entries.pop_back();
+                self.index_sub(e.offset);
             } else {
                 break;
             }
@@ -163,6 +197,7 @@ impl Att {
             if now.saturating_sub(back.inserted_at) > self.capacity as Cycle {
                 let e = *back;
                 self.entries.pop_back();
+                self.index_sub(e.offset);
                 sink.record(TraceEvent::AttExpire {
                     slot: now,
                     bank,
@@ -219,11 +254,14 @@ impl Att {
     /// cycle.
     pub fn insert(&mut self, entry: Entry) {
         self.entries.push_front(entry);
+        self.index_add(entry.offset);
         // A bank receives at most one injection per slot, so at most one
         // insert per slot; capacity can still be exceeded transiently if
         // `expire` has not run this cycle, so trim defensively.
         while self.entries.len() > self.capacity + 1 {
-            self.entries.pop_back();
+            if let Some(e) = self.entries.pop_back() {
+                self.index_sub(e.offset);
+            }
         }
     }
 
@@ -239,10 +277,23 @@ impl Att {
     /// system livelocks. In hardware this is the aborting controller
     /// clearing its entry's valid bit.
     pub fn remove(&mut self, offset: BlockOffset, proc: ProcId, inserted_at: Cycle) {
-        self.entries
-            .retain(|e| !(e.offset == offset && e.proc == proc && e.inserted_at == inserted_at));
-        self.held
-            .retain(|e| !(e.offset == offset && e.proc == proc && e.inserted_at == inserted_at));
+        // Entries are unique by (offset, proc, inserted_at): a processor
+        // runs one operation at a time and a write phase inserts exactly
+        // once, so a single removal suffices — no need for the former
+        // double full-queue `retain`. The offset index makes the common
+        // miss (entry already expired) O(1).
+        if !self.offset_tracked(offset) {
+            return;
+        }
+        let matches =
+            |e: &Entry| e.offset == offset && e.proc == proc && e.inserted_at == inserted_at;
+        if let Some(i) = self.entries.iter().position(matches) {
+            self.entries.remove(i);
+            self.index_sub(offset);
+        } else if let Some(i) = self.held.iter().position(matches) {
+            self.held.remove(i);
+            self.index_sub(offset);
+        }
     }
 
     /// Pin the matching entry as **held**: its owner's write phase is
@@ -275,11 +326,32 @@ impl Att {
         self.entries.iter().chain(self.held.iter())
     }
 
+    /// Whether an arbitrating entry for `offset` from a processor other
+    /// than `me` exists, at any age (including a same-slot insertion).
+    ///
+    /// This is the parallel engine's *hazard probe*: a slot may only run a
+    /// processor's access on a worker thread if the target bank's ATT is
+    /// provably indifferent to it — no same-offset entry from anyone else,
+    /// so every comparison ([`Self::read_conflict`],
+    /// [`Self::write_verdict`]) is statically `None`/`Proceed` and no
+    /// restart/abort/hold can reach across banks. O(1) on the offset
+    /// index for the common uncontended case.
+    pub fn contended_by_other(&self, offset: BlockOffset, me: ProcId) -> bool {
+        if !self.offset_tracked(offset) {
+            return false;
+        }
+        self.arbitrating()
+            .any(|e| e.offset == offset && e.proc != me)
+    }
+
     /// Whether any same-offset write entry from another processor is live,
     /// regardless of age — the read-operation comparison (§4.1.2: "the
     /// accessing address of the read operation needs to be compared with
     /// all the entries").
     pub fn read_conflict(&self, offset: BlockOffset, me: ProcId, now: Cycle) -> Option<Entry> {
+        if !self.offset_tracked(offset) {
+            return None;
+        }
         self.arbitrating()
             .find(|e| e.offset == offset && e.proc != me && now > e.inserted_at)
             .copied()
@@ -295,7 +367,7 @@ impl Att {
         lo: u64,
         hi: u64,
     ) -> Option<Entry> {
-        if lo > hi {
+        if lo > hi || !self.offset_tracked(offset) {
             return None;
         }
         self.entries
@@ -343,6 +415,16 @@ impl Att {
                 self.capacity
             ));
         }
+        let mut counts: HashMap<BlockOffset, u32> = HashMap::new();
+        for e in self.arbitrating() {
+            *counts.entry(e.offset).or_insert(0) += 1;
+        }
+        if counts != self.by_offset {
+            return Err(format!(
+                "ATT offset index out of sync: actual {:?}, index {:?}",
+                counts, self.by_offset
+            ));
+        }
         Ok(())
     }
 
@@ -387,6 +469,9 @@ impl Att {
                 // must meet it, because their read- and write-phase visits
                 // to our start bank straddle exactly the entry's lifetime.
                 // Held (fault-stalled) entries always count as earlier.
+                if !self.offset_tracked(offset) {
+                    return WriteVerdict::Proceed;
+                }
                 let blocker = self
                     .arbitrating()
                     .filter(|e| e.offset == offset && e.proc != me && now > e.inserted_at)
@@ -568,6 +653,77 @@ mod tests {
         att.remove(3, 1, 10);
         assert!(att.held_entries().is_empty());
         assert!(att.read_conflict(3, 0, 100).is_none());
+    }
+
+    #[test]
+    fn remove_drops_exactly_the_identified_entry() {
+        // Removal is keyed on the full (offset, proc, inserted_at)
+        // identity: same-offset entries from other processors or other
+        // phase starts must survive, whether live or held.
+        let mut att = Att::new(8);
+        att.insert(entry(5, TrackKind::Write, 0, 10));
+        att.insert(entry(5, TrackKind::Write, 1, 11));
+        att.insert(entry(5, TrackKind::SwapWrite, 0, 12));
+        att.insert(entry(6, TrackKind::Write, 0, 13));
+        att.remove(5, 0, 10);
+        let left: Vec<_> = att.entries().copied().collect();
+        assert_eq!(
+            left,
+            vec![
+                entry(6, TrackKind::Write, 0, 13),
+                entry(5, TrackKind::SwapWrite, 0, 12),
+                entry(5, TrackKind::Write, 1, 11),
+            ]
+        );
+        // Mismatched identity fields are no-ops.
+        att.remove(5, 1, 12); // proc 1 inserted at 11, not 12
+        att.remove(7, 0, 13); // offset never inserted
+        assert_eq!(att.entries().count(), 3);
+        // Held entries are removable by the same identity.
+        att.hold(5, 1, 11);
+        assert_eq!(att.held_entries().len(), 1);
+        att.remove(5, 1, 11);
+        assert!(att.held_entries().is_empty());
+        assert_eq!(att.entries().count(), 2);
+        assert_eq!(att.check_shift_invariant(13), Ok(()));
+    }
+
+    #[test]
+    fn contended_by_other_tracks_live_and_held_entries() {
+        let mut att = Att::new(8);
+        assert!(!att.contended_by_other(3, 0));
+        att.insert(entry(3, TrackKind::Write, 1, 10));
+        assert!(att.contended_by_other(3, 0));
+        assert!(!att.contended_by_other(3, 1)); // own entry is not a hazard
+        assert!(!att.contended_by_other(4, 0)); // other offset
+        att.hold(3, 1, 10);
+        att.expire(100); // held entries outlive expiry and still arbitrate
+        assert!(att.contended_by_other(3, 0));
+        att.remove(3, 1, 10);
+        assert!(!att.contended_by_other(3, 0));
+    }
+
+    #[test]
+    fn offset_index_stays_consistent_through_churn() {
+        // The invariant check cross-validates the offset index against the
+        // actual queues; drive every mutation path and keep it green.
+        let mut att = Att::new(4);
+        for t in 0..40u64 {
+            att.expire(t);
+            att.insert(entry(
+                (t % 3) as usize,
+                TrackKind::Write,
+                (t % 5) as usize,
+                t,
+            ));
+            if t % 7 == 0 {
+                att.hold((t % 3) as usize, (t % 5) as usize, t);
+            }
+            if t % 11 == 0 && t > 0 {
+                att.remove(((t - 1) % 3) as usize, ((t - 1) % 5) as usize, t - 1);
+            }
+            assert_eq!(att.check_shift_invariant(t), Ok(()));
+        }
     }
 
     #[test]

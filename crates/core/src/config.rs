@@ -66,6 +66,42 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Which slot engine [`crate::machine::CfmMachine::step`] runs.
+///
+/// The paper's conflict-freedom theorem (§3.1.4) makes the simulator's own
+/// hot loop parallel *by construction*: at any slot the active accesses
+/// touch pairwise-disjoint banks, so their per-slot work is independent.
+/// The parallel engine exploits this with a plan → execute → merge
+/// pipeline that shards processors across worker threads while committing
+/// results in deterministic processor order — traces, stats and
+/// [`crate::op::Completion`] streams stay byte-identical to the sequential
+/// engine (see `docs/performance.md` for the safety argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Walk processors in order on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// Plan → execute → merge pipeline sharding the per-slot processor
+    /// work across `threads` execution lanes (the calling thread plus
+    /// `threads − 1` pooled workers). `threads: 1` runs the full pipeline
+    /// inline — useful for testing the pipeline without thread scheduling.
+    Parallel {
+        /// Total execution lanes (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl Engine {
+    /// Execution lanes this engine uses (1 for the sequential engine).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        match self {
+            Engine::Sequential => 1,
+            Engine::Parallel { threads } => (*threads).max(1),
+        }
+    }
+}
+
 /// A fully conflict-free CFM configuration.
 ///
 /// Invariant: `banks == bank_cycle * processors` (the condition `b = c·n`
@@ -76,6 +112,7 @@ pub struct CfmConfig {
     bank_cycle: u32,
     word_width: u32,
     spares: usize,
+    engine: Engine,
 }
 
 impl CfmConfig {
@@ -95,6 +132,7 @@ impl CfmConfig {
             bank_cycle,
             word_width,
             spares: 0,
+            engine: Engine::Sequential,
         })
     }
 
@@ -111,6 +149,21 @@ impl CfmConfig {
         banks.checked_add(spares).ok_or(ConfigError::TooLarge)?;
         self.spares = spares;
         Ok(self)
+    }
+
+    /// Select the slot engine [`crate::machine::CfmMachine::step`] runs.
+    /// The default is [`Engine::Sequential`]; [`Engine::Parallel`] shards
+    /// each slot's processor work across worker threads while keeping the
+    /// observable behaviour (completions, stats, traces) byte-identical.
+    /// Thread counts are clamped to at least 1; this cannot fail.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = match engine {
+            Engine::Parallel { threads } => Engine::Parallel {
+                threads: threads.max(1),
+            },
+            Engine::Sequential => Engine::Sequential,
+        };
+        self
     }
 
     /// Derive the configuration that supports a given cache-line size
@@ -137,6 +190,7 @@ impl CfmConfig {
             bank_cycle,
             word_width,
             spares: 0,
+            engine: Engine::Sequential,
         })
     }
 
@@ -168,6 +222,12 @@ impl CfmConfig {
     #[inline]
     pub fn spares(&self) -> usize {
         self.spares
+    }
+
+    /// The slot engine (see [`CfmConfig::with_engine`]).
+    #[inline]
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Total physical banks the machine provisions: `b` scheduled banks
@@ -352,6 +412,23 @@ mod tests {
         // Timing quantities are unchanged by spares.
         assert_eq!(cfg.block_access_time(), 9);
         assert_eq!(cfg.slots_per_period(), 8);
+    }
+
+    #[test]
+    fn engine_selection_defaults_sequential_and_clamps_threads() {
+        let cfg = CfmConfig::new(4, 1, 8).unwrap();
+        assert_eq!(cfg.engine(), Engine::Sequential);
+        assert_eq!(cfg.engine().lanes(), 1);
+        let par = cfg.with_engine(Engine::Parallel { threads: 4 });
+        assert_eq!(par.engine(), Engine::Parallel { threads: 4 });
+        assert_eq!(par.engine().lanes(), 4);
+        // A zero thread count is clamped, never a panic.
+        let one = cfg.with_engine(Engine::Parallel { threads: 0 });
+        assert_eq!(one.engine(), Engine::Parallel { threads: 1 });
+        // The engine is a performance knob, not a shape parameter: timing
+        // quantities are untouched.
+        assert_eq!(par.banks(), cfg.banks());
+        assert_eq!(par.block_access_time(), cfg.block_access_time());
     }
 
     #[test]

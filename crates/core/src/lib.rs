@@ -27,7 +27,12 @@
 //!   state machines, including abort and restart outcomes.
 //! * [`machine`] — [`machine::CfmMachine`], the slot-stepped simulator that
 //!   ties processors, the synchronous interconnect, banks and ATTs
-//!   together and checks the conflict-freedom invariant every cycle.
+//!   together and checks the conflict-freedom invariant every cycle. Its
+//!   hot loop can shard each slot across worker threads
+//!   ([`config::Engine::Parallel`]) — conflict freedom makes the per-slot
+//!   work disjoint by construction, and the plan → execute → merge
+//!   pipeline keeps the observable behaviour byte-identical to the
+//!   sequential engine (see `docs/performance.md`).
 //! * [`program`] — a small "processor program" abstraction for driving the
 //!   machine with reactive per-processor logic, used by the lock
 //!   implementations and the examples.
@@ -77,6 +82,7 @@ pub mod bank;
 pub mod building_block;
 pub mod cluster;
 pub mod config;
+pub(crate) mod engine;
 pub mod fault;
 pub mod lock;
 pub mod machine;

@@ -20,10 +20,15 @@
 //! reads — which the ATT provably prevents, and which reappear the moment
 //! tracking is disabled (the Fig 4.1 ablation).
 
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
 use crate::atspace::AtSpace;
 use crate::att::{Att, Entry, PriorityMode, TrackKind, WriteVerdict};
 use crate::bank::Bank;
-use crate::config::CfmConfig;
+use crate::config::{CfmConfig, Engine};
+use crate::engine::WorkerPool;
 use crate::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction, MASKED_WRITER};
 use crate::op::{
     BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, PendingOp, StallError,
@@ -95,6 +100,80 @@ struct InFlight {
     last_progress: Cycle,
 }
 
+/// One planned word access of the parallel engine: everything the plan
+/// phase proved and precomputed about an active processor's slot, consumed
+/// by the execute phase (on a worker) and the merge phase (deferred
+/// bank/ATT commits, in processor order).
+#[derive(Debug, Clone, Copy)]
+struct ProcPlan {
+    /// The processor.
+    p: ProcId,
+    /// Index of the processor within its lane's in-flight chunk.
+    idx: usize,
+    /// Logical bank the AT-space schedule routes `p` to this slot.
+    k: BankId,
+    /// Physical bank serving `k` (`None` = masked, spare-less degraded).
+    phys: Option<usize>,
+    /// Whether the op is in its write phase (plan-time snapshot).
+    write: bool,
+    /// Whether this access inserts the write phase's ATT entry
+    /// (`visited == 0`, tracking enabled).
+    insert: bool,
+}
+
+/// Slot-wide constants shipped to the execute lanes.
+#[derive(Debug, Clone, Copy)]
+struct SlotCtx {
+    now: Cycle,
+    banks: usize,
+    bank_cycle: u64,
+    tracing: bool,
+}
+
+/// The unit of work handed to one execute lane: the lane's in-flight
+/// chunk (owned, moved in and out — no copying), its plan entries,
+/// a reusable event buffer, and shared read-only views of the banks and
+/// writer stamps. The views are `Arc`s because a pooled worker cannot
+/// borrow from the machine; they are reclaimed uncloned after every lane
+/// returns (the machine is the only holder again by merge time).
+struct SlotTask {
+    ops: Vec<Option<InFlight>>,
+    plans: Vec<ProcPlan>,
+    events: Vec<TraceEvent>,
+    banks: Option<Arc<Vec<Bank>>>,
+    writers: Option<Arc<Vec<Vec<u64>>>>,
+    ctx: SlotCtx,
+}
+
+/// Reusable per-lane buffers (plan entries, trace events) kept across
+/// slots so the parallel path allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+struct LaneScratch {
+    plans: Vec<ProcPlan>,
+    events: Vec<TraceEvent>,
+}
+
+/// The lazily spawned worker pool. Cloning a machine clones its *state*,
+/// not its threads: the clone starts with no pool and spawns its own on
+/// first use. Debug shows only the pool size (a thread pool has no
+/// meaningful state to print).
+struct EnginePool(Option<WorkerPool<SlotTask>>);
+
+impl Clone for EnginePool {
+    fn clone(&self) -> Self {
+        EnginePool(None)
+    }
+}
+
+impl fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(pool) => write!(f, "EnginePool({} workers)", pool.workers()),
+            None => write!(f, "EnginePool(unspawned)"),
+        }
+    }
+}
+
 /// The cycle-accurate conflict-free memory machine.
 #[derive(Debug, Clone)]
 pub struct CfmMachine {
@@ -104,8 +183,20 @@ pub struct CfmMachine {
     /// Writer-id stamp per bank per offset, for the tear checker.
     writer_ids: Vec<Vec<u64>>,
     atts: Vec<Att>,
-    inflight: Vec<Option<InFlight>>,
-    done: Vec<Vec<Completion>>,
+    /// In-flight operations, chunked by execute lane (processor `p` lives
+    /// at `inflight[p / chunk_size][p % chunk_size]`). The chunking lets
+    /// the parallel engine move a whole lane's operations to a worker as
+    /// one `Vec` (three pointer-sized moves) instead of per-processor
+    /// moves; with the sequential engine there is exactly one chunk.
+    inflight: Vec<Vec<Option<InFlight>>>,
+    /// Processors per in-flight chunk (the last chunk may be shorter).
+    chunk_size: usize,
+    done: Vec<VecDeque<Completion>>,
+    /// Recycled block-sized buffers (`read_buf`, `observed_writers`,
+    /// RMW `write_data`) — completions return their buffers here and
+    /// issues draw from here, so the steady-state hot path performs no
+    /// buffer allocation.
+    buf_pool: Vec<Box<[u64]>>,
     cycle: Cycle,
     next_op_id: u64,
     stats: Stats,
@@ -130,6 +221,14 @@ pub struct CfmMachine {
     /// Seeded-fault hook: skip the data copy of the next remap, losing
     /// every committed write on the retired bank.
     skip_remap_copy: bool,
+    /// Worker threads of the parallel engine (never spawned under
+    /// [`Engine::Sequential`] or `Parallel { threads: 1 }`).
+    pool: EnginePool,
+    /// Per-lane reusable plan/event buffers for the parallel engine.
+    lane_scratch: Vec<LaneScratch>,
+    /// Slots executed by the plan → execute → merge pipeline (deliberately
+    /// *not* in [`Stats`]: stats must stay byte-identical across engines).
+    parallel_slots: u64,
 }
 
 impl CfmMachine {
@@ -153,13 +252,23 @@ impl CfmMachine {
         // Banks and writer stamps are *physical* (spares included); the
         // schedule, the ATTs and every trace event stay *logical*.
         let physical = config.total_banks();
+        let n = config.processors();
+        // One in-flight chunk per execute lane; the sequential engine is
+        // a single lane (one chunk holding every processor).
+        let lanes = config.engine().lanes().min(n).max(1);
+        let chunk_size = n.div_ceil(lanes);
+        let chunks = n.div_ceil(chunk_size);
         CfmMachine {
             space: AtSpace::new(&config),
             banks: (0..physical).map(|_| Bank::new(offsets)).collect(),
             writer_ids: vec![vec![0; offsets]; physical],
             atts: (0..b).map(|_| Att::new(b)).collect(),
-            inflight: vec![None; config.processors()],
-            done: vec![Vec::new(); config.processors()],
+            inflight: (0..chunks)
+                .map(|i| vec![None; chunk_size.min(n - i * chunk_size)])
+                .collect(),
+            chunk_size,
+            done: vec![VecDeque::new(); n],
+            buf_pool: Vec::new(),
             cycle: 0,
             next_op_id: 1,
             stats: Stats::default(),
@@ -171,6 +280,9 @@ impl CfmMachine {
             bank_map: BankMap::new(b, config.spares()),
             retry_suppressions: 0,
             skip_remap_copy: false,
+            pool: EnginePool(None),
+            lane_scratch: vec![LaneScratch::default(); chunks],
+            parallel_slots: 0,
             config,
         }
     }
@@ -261,19 +373,58 @@ impl CfmMachine {
         &self.stats
     }
 
+    /// Slots executed by the parallel plan → execute → merge pipeline
+    /// (always 0 under [`Engine::Sequential`]; slots the plan hands back
+    /// to the sequential fallback are not counted). Kept out of
+    /// [`Stats`] so stats stay byte-identical across engines.
+    pub fn parallel_slots(&self) -> u64 {
+        self.parallel_slots
+    }
+
     /// Number of block offsets per bank.
     pub fn offsets(&self) -> usize {
         self.banks[0].offsets()
     }
 
+    /// Processor `p`'s in-flight slot within the chunked storage.
+    #[inline]
+    fn op_ref(&self, p: ProcId) -> &Option<InFlight> {
+        &self.inflight[p / self.chunk_size][p % self.chunk_size]
+    }
+
+    /// Mutable form of [`Self::op_ref`].
+    #[inline]
+    fn op_mut(&mut self, p: ProcId) -> &mut Option<InFlight> {
+        &mut self.inflight[p / self.chunk_size][p % self.chunk_size]
+    }
+
+    /// A zeroed block-sized buffer, recycled from [`Self::buf_pool`] when
+    /// one is available.
+    fn take_buf(&mut self) -> Box<[u64]> {
+        match self.buf_pool.pop() {
+            Some(mut buf) => {
+                buf.fill(0);
+                buf
+            }
+            None => vec![0; self.config.banks()].into_boxed_slice(),
+        }
+    }
+
+    /// Return a block-sized buffer to the pool for reuse.
+    #[inline]
+    fn recycle_buf(&mut self, buf: Box<[u64]>) {
+        debug_assert_eq!(buf.len(), self.config.banks());
+        self.buf_pool.push(buf);
+    }
+
     /// Whether processor `p` has an operation in flight.
     pub fn is_busy(&self, p: ProcId) -> bool {
-        self.inflight[p].is_some()
+        self.op_ref(p).is_some()
     }
 
     /// Whether every processor is idle.
     pub fn is_idle(&self) -> bool {
-        self.inflight.iter().all(|s| s.is_none())
+        self.inflight.iter().flatten().all(|s| s.is_none())
     }
 
     /// Read a block directly (debug/test access, not a timed operation).
@@ -305,6 +456,7 @@ impl CfmMachine {
     pub fn pending_ops(&self) -> Vec<(ProcId, PendingOp)> {
         self.inflight
             .iter()
+            .flatten()
             .enumerate()
             .filter_map(|(p, slot)| {
                 slot.as_ref().map(|op| {
@@ -333,7 +485,7 @@ impl CfmMachine {
         if op.offset() >= self.offsets() {
             return Err(IssueError::NoSuchBlock);
         }
-        if self.inflight[p].is_some() {
+        if self.is_busy(p) {
             return Err(IssueError::Busy);
         }
         let (kind, offset, write_data, transform) = match op {
@@ -364,12 +516,9 @@ impl CfmMachine {
                         return Err(IssueError::WrongBlockLength { got: len, want: b });
                     }
                 }
-                (
-                    OpKind::Rmw,
-                    offset,
-                    Vec::new().into_boxed_slice(),
-                    Some(transform),
-                )
+                // Pre-size the write buffer so the read→write transition
+                // applies the transform into it without allocating.
+                (OpKind::Rmw, offset, self.take_buf(), Some(transform))
             }
         };
         let phase = match kind {
@@ -378,7 +527,9 @@ impl CfmMachine {
         };
         let op_id = self.next_op_id;
         self.next_op_id += 1;
-        self.inflight[p] = Some(InFlight {
+        let read_buf = self.take_buf();
+        let observed_writers = self.take_buf();
+        *self.op_mut(p) = Some(InFlight {
             kind,
             offset,
             write_data,
@@ -386,8 +537,8 @@ impl CfmMachine {
             phase,
             visited: 0,
             bank0_updated: false,
-            read_buf: vec![0; b].into_boxed_slice(),
-            observed_writers: vec![0; b].into_boxed_slice(),
+            read_buf,
+            observed_writers,
             issued_at: self.cycle,
             restarts: 0,
             fault_retries: 0,
@@ -413,21 +564,39 @@ impl CfmMachine {
 
     /// Take the oldest undelivered completion for processor `p`.
     pub fn poll(&mut self, p: ProcId) -> Option<Completion> {
-        if self.done[p].is_empty() {
-            None
-        } else {
-            Some(self.done[p].remove(0))
-        }
+        self.done[p].pop_front()
     }
 
     /// Simulate one CPU cycle (one time slot).
+    ///
+    /// The slot runs as a *plan → execute → merge* pipeline when the
+    /// machine was configured with [`Engine::Parallel`]: the plan phase
+    /// proves the slot hazard-free and, if it succeeds, the per-processor
+    /// word accesses run sharded across execute lanes with their bank and
+    /// ATT commits merged back in processor order — byte-identical traces,
+    /// stats and completions (see `docs/performance.md`). Any slot the
+    /// plan cannot prove falls back to the sequential path, unchanged.
     pub fn step(&mut self) {
         let now = self.cycle;
-        let b = self.config.banks();
         // Move the trace out of `self` so the hooks can borrow it as a
         // sink while the rest of the machine stays mutably accessible;
         // `NullSink` keeps the untraced path allocation-free.
         let mut active = self.trace.take();
+        self.step_prologue(now, &mut active);
+        let ran_parallel = matches!(self.config.engine(), Engine::Parallel { .. })
+            && self.parallel_slot(now, &mut active);
+        if !ran_parallel {
+            self.step_procs(now, &mut active);
+        }
+        self.step_epilogue(now, &mut active);
+        self.trace = active;
+        self.cycle += 1;
+        self.stats.cycles += 1;
+    }
+
+    /// ATT expiry and fault-plan activation for slot `now` — shared by
+    /// both engines.
+    fn step_prologue(&mut self, now: Cycle, active: &mut Option<MemoryTrace>) {
         let mut null = NullSink;
         let sink: &mut dyn TraceSink = match active.as_mut() {
             Some(t) => t,
@@ -453,12 +622,24 @@ impl CfmMachine {
                 self.retire_bank(bank, now, sink);
             }
         }
-        for p in 0..self.inflight.len() {
-            let Some(mut op) = self.inflight[p].take() else {
+    }
+
+    /// The sequential per-processor slot loop — the reference engine, and
+    /// the fallback for every slot the parallel plan cannot prove
+    /// hazard-free.
+    fn step_procs(&mut self, now: Cycle, active: &mut Option<MemoryTrace>) {
+        let b = self.config.banks();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match active.as_mut() {
+            Some(t) => t,
+            None => &mut null,
+        };
+        for p in 0..self.config.processors() {
+            let Some(mut op) = self.op_mut(p).take() else {
                 continue;
             };
             if op.phase == Phase::Drain || now < op.sleep_until {
-                self.inflight[p] = Some(op);
+                *self.op_mut(p) = Some(op);
                 continue;
             }
             let k = self.space.route_traced(now, p, sink);
@@ -471,7 +652,7 @@ impl CfmMachine {
                     CORRUPT_MASK
                 } else {
                     self.transient_retry(&mut op, p, k, now, sink);
-                    self.inflight[p] = Some(op);
+                    *self.op_mut(p) = Some(op);
                     continue;
                 }
             } else {
@@ -538,7 +719,7 @@ impl CfmMachine {
                                 // pipelined fashion, so the write phase
                                 // starts with no extra delay.
                                 if let Some(t) = &op.transform {
-                                    op.write_data = t.apply(&op.read_buf).into_boxed_slice();
+                                    t.apply_into(&op.read_buf, &mut op.write_data);
                                 }
                                 op.phase = Phase::Write;
                                 op.visited = 0;
@@ -673,14 +854,23 @@ impl CfmMachine {
                 }
                 Phase::Drain => unreachable!(),
             }
-            self.inflight[p] = Some(op);
+            *self.op_mut(p) = Some(op);
         }
+    }
 
-        // Deliver completions whose pipeline has drained by the end of
-        // this cycle, freeing the processor for a back-to-back issue.
-        for p in 0..self.inflight.len() {
+    /// Deliver completions whose pipeline has drained by the end of this
+    /// cycle, freeing the processor for a back-to-back issue — shared by
+    /// both engines.
+    fn step_epilogue(&mut self, now: Cycle, active: &mut Option<MemoryTrace>) {
+        let b = self.config.banks();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match active.as_mut() {
+            Some(t) => t,
+            None => &mut null,
+        };
+        for p in 0..self.config.processors() {
             let ready = matches!(
-                &self.inflight[p],
+                self.op_ref(p),
                 Some(op) if op.phase == Phase::Drain && op.completes_at <= now
             );
             if ready {
@@ -699,40 +889,47 @@ impl CfmMachine {
                         slot: now,
                         fault: kind,
                     });
-                    let op = self.inflight[p].as_mut().expect("checked above");
+                    let op = self.op_mut(p).as_mut().expect("checked above");
                     op.completes_at = now + b as u64;
                     op.restarts += 1;
                     op.last_progress = now;
                     continue;
                 }
-                let mut op = self.inflight[p].take().expect("checked above");
+                let mut op = self.op_mut(p).take().expect("checked above");
                 // Defensive: no delivered operation may leave a pinned
                 // ATT entry behind (reachable only if the seeded
                 // insert-drop hook swallowed the resume re-insert).
                 if let Some((bank, at)) = op.held_entry.take() {
                     self.atts[bank].remove_traced(op.offset, p, at, now, bank, sink);
                 }
-                let data = match op.kind {
-                    OpKind::Read | OpKind::Swap | OpKind::Rmw => Some(op.read_buf),
-                    OpKind::Write => None,
-                };
                 let torn = if matches!(op.kind, OpKind::Read | OpKind::Swap | OpKind::Rmw)
                     && op.outcome == Outcome::Completed
                 {
                     // Masked-bank words carry the sentinel writer stamp:
                     // they are lost, not torn, and must not mix into the
-                    // distinct-writers count.
-                    let mut distinct = op
-                        .observed_writers
-                        .iter()
-                        .filter(|w| **w != MASKED_WRITER)
-                        .collect::<Vec<_>>();
-                    distinct.sort_unstable();
-                    distinct.dedup();
-                    distinct.len() > 1
+                    // distinct-writers scan (allocation-free: torn iff two
+                    // non-masked stamps differ).
+                    let mut stamps = op.observed_writers.iter().filter(|w| **w != MASKED_WRITER);
+                    match stamps.next() {
+                        Some(first) => stamps.any(|w| w != first),
+                        None => false,
+                    }
                 } else {
                     false
                 };
+                // Reads hand their buffer to the completion; every other
+                // buffer goes back to the pool for the next issue.
+                let data = match op.kind {
+                    OpKind::Read | OpKind::Swap | OpKind::Rmw => Some(op.read_buf),
+                    OpKind::Write => {
+                        self.recycle_buf(op.read_buf);
+                        None
+                    }
+                };
+                self.recycle_buf(op.observed_writers);
+                if !op.write_data.is_empty() {
+                    self.recycle_buf(op.write_data);
+                }
                 if torn {
                     self.stats.torn_reads += 1;
                 }
@@ -748,7 +945,7 @@ impl CfmMachine {
                     completed: op.outcome == Outcome::Completed,
                     torn,
                 });
-                self.done[p].push(Completion {
+                self.done[p].push_back(Completion {
                     proc: p,
                     kind: op.kind,
                     offset: op.offset,
@@ -761,10 +958,212 @@ impl CfmMachine {
                 });
             }
         }
+    }
 
-        self.trace = active;
-        self.cycle += 1;
-        self.stats.cycles += 1;
+    /// Attempt slot `now` as a plan → execute → merge pipeline. Returns
+    /// `false` (having mutated nothing) when the slot is not provably
+    /// hazard-free, or when no processor injects this slot.
+    ///
+    /// **Plan** (pure): for every processor injecting this slot, snapshot
+    /// `(bank, phase, physical bank, ATT-insert?)` and check the hazard
+    /// conditions — a pending transient fault on the routed bank, a held
+    /// ATT entry, or *any* other processor's entry arbitrating the same
+    /// offset. A hazard-free slot statically guarantees what the
+    /// sequential loop would discover dynamically: every read's
+    /// `read_conflict` is `None`, every write verdict is `Proceed`, no
+    /// restart/abort/hold mutates another lane's state.
+    ///
+    /// **Execute**: each lane walks its plan entries against shared
+    /// *read-only* bank/writer views, mutating only its own in-flight
+    /// chunk and appending trace events to its own buffer. Per-slot bank
+    /// disjointness (the paper's invariant) plus deferred writes make the
+    /// lanes non-interfering: a same-slot write can never be observed by
+    /// a same-slot read even in the sequential engine, because the two
+    /// would have to touch the same bank in the same slot.
+    ///
+    /// **Merge** (sequential, ascending processor order — the order the
+    /// sequential loop commits in): append each lane's events, then apply
+    /// the deferred ATT inserts, bank writes, writer stamps and stats.
+    /// Ordering the commits cannot change any value: banks written this
+    /// slot were not read this slot (disjointness), same-slot ATT entries
+    /// are invisible to every verdict filter (`now > inserted_at`), and
+    /// the stat increments are commutative sums.
+    fn parallel_slot(&mut self, now: Cycle, active: &mut Option<MemoryTrace>) -> bool {
+        // Seeded-fault hooks perturb individual accesses in ways the plan
+        // does not model — let the sequential engine handle those slots.
+        if self.att_insert_drops > 0 || self.retry_suppressions > 0 {
+            return false;
+        }
+        let b = self.config.banks();
+        let chunk_size = self.chunk_size;
+        let chunks = self.inflight.len();
+        // Plan: pure reads only, so bailing out costs nothing.
+        let mut actives = 0usize;
+        let mut hazard = false;
+        {
+            let inflight = &self.inflight;
+            let scratch = &mut self.lane_scratch;
+            let atts = &self.atts;
+            let space = &self.space;
+            let fault_state = &self.fault_state;
+            let bank_map = &self.bank_map;
+            let att_enabled = self.att_enabled;
+            'plan: for (ci, chunk) in inflight.iter().enumerate() {
+                let plans = &mut scratch[ci].plans;
+                debug_assert!(plans.is_empty());
+                for (idx, slot) in chunk.iter().enumerate() {
+                    let Some(op) = slot.as_ref() else { continue };
+                    if op.phase == Phase::Drain || now < op.sleep_until {
+                        continue;
+                    }
+                    let p = ci * chunk_size + idx;
+                    let k = space.bank_for(now, p);
+                    if fault_state.transient_fault(now, k)
+                        || op.held_entry.is_some()
+                        || (att_enabled && atts[k].contended_by_other(op.offset, p))
+                    {
+                        hazard = true;
+                        break 'plan;
+                    }
+                    let write = op.phase == Phase::Write;
+                    plans.push(ProcPlan {
+                        p,
+                        idx,
+                        k,
+                        phys: bank_map.phys(k),
+                        write,
+                        insert: write && op.visited == 0 && att_enabled,
+                    });
+                    actives += 1;
+                }
+            }
+        }
+        if hazard || actives == 0 {
+            for s in &mut self.lane_scratch {
+                s.plans.clear();
+            }
+            return false;
+        }
+        // Execute: move each lane's chunk out, share the banks and writer
+        // stamps read-only, run extra lanes on the pool and lane 0 here.
+        let banks = Arc::new(std::mem::take(&mut self.banks));
+        let writers = Arc::new(std::mem::take(&mut self.writer_ids));
+        let ctx = SlotCtx {
+            now,
+            banks: b,
+            bank_cycle: self.config.bank_cycle() as u64,
+            tracing: active.is_some(),
+        };
+        if chunks > 1 && self.pool.0.is_none() {
+            self.pool.0 = Some(WorkerPool::new(chunks - 1, run_lane));
+        }
+        for ci in 1..chunks {
+            let scratch = &mut self.lane_scratch[ci];
+            let task = SlotTask {
+                ops: std::mem::take(&mut self.inflight[ci]),
+                plans: std::mem::take(&mut scratch.plans),
+                events: std::mem::take(&mut scratch.events),
+                banks: Some(Arc::clone(&banks)),
+                writers: Some(Arc::clone(&writers)),
+                ctx,
+            };
+            self.pool
+                .0
+                .as_ref()
+                .expect("pool spawned above")
+                .dispatch(ci - 1, task);
+        }
+        let mut local = SlotTask {
+            ops: std::mem::take(&mut self.inflight[0]),
+            plans: std::mem::take(&mut self.lane_scratch[0].plans),
+            events: std::mem::take(&mut self.lane_scratch[0].events),
+            banks: Some(Arc::clone(&banks)),
+            writers: Some(Arc::clone(&writers)),
+            ctx,
+        };
+        run_lane(&mut local);
+        // Merge, part 1: take every lane back in ascending lane (= proc)
+        // order, restoring its chunk and buffers and appending its events
+        // — the exact emission order of the sequential loop.
+        for ci in 0..chunks {
+            let mut task = if ci == 0 {
+                std::mem::replace(
+                    &mut local,
+                    SlotTask {
+                        ops: Vec::new(),
+                        plans: Vec::new(),
+                        events: Vec::new(),
+                        banks: None,
+                        writers: None,
+                        ctx,
+                    },
+                )
+            } else {
+                self.pool
+                    .0
+                    .as_ref()
+                    .expect("pool spawned above")
+                    .collect(ci - 1)
+            };
+            task.banks = None;
+            task.writers = None;
+            self.inflight[ci] = task.ops;
+            if let Some(t) = active.as_mut() {
+                t.append(&mut task.events);
+            }
+            let scratch = &mut self.lane_scratch[ci];
+            scratch.plans = task.plans;
+            scratch.events = task.events;
+        }
+        // Every lane view is back: reclaim the sole ownership.
+        self.banks =
+            Arc::try_unwrap(banks).unwrap_or_else(|_| unreachable!("all lane bank views returned"));
+        self.writer_ids = Arc::try_unwrap(writers)
+            .unwrap_or_else(|_| unreachable!("all lane writer views returned"));
+        // Merge, part 2: the deferred commits, in processor order.
+        for ci in 0..chunks {
+            let plans = std::mem::take(&mut self.lane_scratch[ci].plans);
+            for plan in &plans {
+                let (offset, kind, op_id, word) = {
+                    let op = self.inflight[ci][plan.idx].as_ref().expect("planned op");
+                    let word = if plan.write { op.write_data[plan.k] } else { 0 };
+                    (op.offset, op.kind, op.op_id, word)
+                };
+                if plan.write {
+                    if plan.insert {
+                        self.atts[plan.k].insert(Entry {
+                            offset,
+                            kind: if matches!(kind, OpKind::Swap | OpKind::Rmw) {
+                                TrackKind::SwapWrite
+                            } else {
+                                TrackKind::Write
+                            },
+                            proc: plan.p,
+                            inserted_at: now,
+                        });
+                    }
+                    if let Some(ph) = plan.phys {
+                        self.banks[ph].write(offset, word);
+                        self.writer_ids[ph][offset] = op_id;
+                    }
+                }
+                if let Some(ph) = plan.phys {
+                    if !self.banks[ph].note_injection(now) {
+                        // Impossible under the AT-space schedule; recorded,
+                        // not fatal.
+                        self.stats.bank_conflicts += 1;
+                    }
+                    self.stats.word_accesses += 1;
+                } else {
+                    self.stats.masked_accesses += 1;
+                }
+            }
+            let mut plans = plans;
+            plans.clear();
+            self.lane_scratch[ci].plans = plans;
+        }
+        self.parallel_slots += 1;
+        true
     }
 
     /// Online graceful degradation for a permanent bank failure: remap
@@ -889,8 +1288,7 @@ impl CfmMachine {
         p: ProcId,
         op: Operation,
     ) -> Result<Completion, StallError<Operation>> {
-        self.issue(p, op.clone())
-            .expect("processor accepted operation");
+        self.issue(p, op).expect("processor accepted operation");
         const BUDGET: u64 = 1_000_000;
         for _ in 0..BUDGET {
             self.step();
@@ -898,10 +1296,29 @@ impl CfmMachine {
                 return Ok(c);
             }
         }
-        let last_progress = self.inflight[p]
+        // Stalled. Reconstruct the operation for the diagnostic from its
+        // in-flight state (present by construction: a delivered completion
+        // would have been polled above) — the completing path never clones.
+        let f = self
+            .op_ref(p)
             .as_ref()
-            .map(|f| f.last_progress)
-            .unwrap_or(self.cycle);
+            .expect("stalled operation is still in flight");
+        let last_progress = f.last_progress;
+        let op = match f.kind {
+            OpKind::Read => Operation::Read { offset: f.offset },
+            OpKind::Write => Operation::Write {
+                offset: f.offset,
+                data: f.write_data.clone(),
+            },
+            OpKind::Swap => Operation::Swap {
+                offset: f.offset,
+                data: f.write_data.clone(),
+            },
+            OpKind::Rmw => Operation::Rmw {
+                offset: f.offset,
+                transform: f.transform.clone().expect("an RMW keeps its transform"),
+            },
+        };
         Err(StallError {
             op,
             proc: p,
@@ -921,13 +1338,109 @@ impl CfmMachine {
             }
             self.step();
             for p in 0..self.done.len() {
-                out.append(&mut self.done[p]);
+                out.extend(self.done[p].drain(..));
             }
         }
         if self.is_idle() {
             Ok(out)
         } else {
             Err(out)
+        }
+    }
+}
+
+/// The execute phase of one lane: walk the lane's plan entries, perform
+/// the word accesses against the shared read-only bank/writer views, and
+/// advance each operation's phase machine — exactly what the sequential
+/// loop does on a hazard-free slot, minus the deferred commits
+/// ([`CfmMachine::parallel_slot`]'s merge applies those). Runs on a pooled
+/// worker thread for lanes ≥ 1 and inline on the stepping thread for
+/// lane 0.
+fn run_lane(task: &mut SlotTask) {
+    let ctx = task.ctx;
+    let banks = task.banks.as_ref().expect("lane bank view");
+    let writers = task.writers.as_ref().expect("lane writer view");
+    for plan in &task.plans {
+        let op = task.ops[plan.idx].as_mut().expect("planned op");
+        if ctx.tracing {
+            task.events.push(TraceEvent::Route {
+                slot: ctx.now,
+                proc: plan.p,
+                bank: plan.k,
+            });
+        }
+        op.last_progress = ctx.now;
+        match op.phase {
+            Phase::Read => {
+                match plan.phys {
+                    Some(ph) => {
+                        let word = banks[ph].read(op.offset);
+                        if ctx.tracing {
+                            task.events.push(TraceEvent::BankAccess {
+                                slot: ctx.now,
+                                proc: plan.p,
+                                bank: plan.k,
+                                offset: op.offset,
+                                op_id: op.op_id,
+                                write: false,
+                                word,
+                            });
+                        }
+                        op.read_buf[plan.k] = word;
+                        op.observed_writers[plan.k] = writers[ph][op.offset];
+                    }
+                    None => {
+                        op.read_buf[plan.k] = 0;
+                        op.observed_writers[plan.k] = MASKED_WRITER;
+                    }
+                }
+                op.visited += 1;
+                if op.visited == ctx.banks {
+                    if matches!(op.kind, OpKind::Swap | OpKind::Rmw) {
+                        // §4.2.1: the modification is computed in a
+                        // pipelined fashion, so the write phase starts
+                        // with no extra delay.
+                        if let Some(t) = &op.transform {
+                            t.apply_into(&op.read_buf, &mut op.write_data);
+                        }
+                        op.phase = Phase::Write;
+                        op.visited = 0;
+                        op.bank0_updated = false;
+                    } else {
+                        op.phase = Phase::Drain;
+                        op.completes_at = ctx.now + ctx.bank_cycle - 1;
+                    }
+                }
+            }
+            Phase::Write => {
+                if plan.insert && ctx.tracing {
+                    task.events.push(TraceEvent::AttInsert {
+                        slot: ctx.now,
+                        bank: plan.k,
+                        proc: plan.p,
+                        offset: op.offset,
+                        op_id: op.op_id,
+                    });
+                }
+                if plan.phys.is_some() && ctx.tracing {
+                    task.events.push(TraceEvent::BankAccess {
+                        slot: ctx.now,
+                        proc: plan.p,
+                        bank: plan.k,
+                        offset: op.offset,
+                        op_id: op.op_id,
+                        write: true,
+                        word: op.write_data[plan.k],
+                    });
+                }
+                op.bank0_updated |= plan.k == 0;
+                op.visited += 1;
+                if op.visited == ctx.banks {
+                    op.phase = Phase::Drain;
+                    op.completes_at = ctx.now + ctx.bank_cycle - 1;
+                }
+            }
+            Phase::Drain => unreachable!("drain ops are never planned"),
         }
     }
 }
@@ -1460,5 +1973,148 @@ mod tests {
         assert_eq!(op.kind, OpKind::Swap);
         assert_eq!(op.offset, 3);
         assert_eq!(op.issued_at, 0);
+    }
+
+    /// Drive one machine through a mixed disjoint-block workload and
+    /// return everything externally observable: completions, stats,
+    /// final memory image, and the full trace.
+    fn drive_disjoint(engine: Engine) -> (Vec<Completion>, Stats, Vec<Vec<Word>>, MemoryTrace) {
+        let cfg = CfmConfig::new(8, 2, 16).unwrap().with_engine(engine);
+        let b = cfg.banks();
+        let mut m = CfmMachine::new(cfg, 32);
+        m.enable_trace();
+        for o in 0..8 {
+            m.poke_block(o, &vec![o as Word + 1; b]);
+        }
+        let mut completions = Vec::new();
+        for round in 0..5u64 {
+            for p in 0..8usize {
+                let op = match (p + round as usize) % 4 {
+                    0 => Operation::read((p + round as usize) % 8),
+                    1 => Operation::write(p, vec![round * 100 + p as u64; b]),
+                    2 => Operation::swap(p, vec![round + 7 * p as u64; b]),
+                    _ => Operation::fetch_add(p, p % b, round + 1),
+                };
+                m.issue(p, op).unwrap();
+            }
+            completions.extend(m.run_until_idle(10_000).unwrap());
+        }
+        if matches!(engine, Engine::Parallel { .. }) {
+            assert!(m.parallel_slots() > 0, "the parallel path really engaged");
+        }
+        let image = (0..8).map(|o| m.peek_block(o)).collect();
+        let trace = m.take_trace().unwrap();
+        (completions, *m.stats(), image, trace)
+    }
+
+    #[test]
+    fn parallel_engine_is_byte_identical_on_disjoint_workload() {
+        let seq = drive_disjoint(Engine::Sequential);
+        for threads in [1, 2, 4] {
+            let par = drive_disjoint(Engine::Parallel { threads });
+            assert_eq!(seq.0, par.0, "completions, {threads} threads");
+            assert_eq!(seq.1, par.1, "stats, {threads} threads");
+            assert_eq!(seq.2, par.2, "memory, {threads} threads");
+            assert_eq!(seq.3, par.3, "trace, {threads} threads");
+        }
+    }
+
+    /// Same-block contention (every processor swaps block 0) forces ATT
+    /// arbitration — hazard slots the parallel plan must hand back to the
+    /// sequential path without observable difference.
+    fn drive_contended(engine: Engine) -> (Vec<Completion>, Stats, Vec<Word>, MemoryTrace) {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap().with_engine(engine);
+        let b = cfg.banks();
+        let mut m = CfmMachine::new(cfg, 8);
+        m.enable_trace();
+        let mut completions = Vec::new();
+        for round in 0..4u64 {
+            for p in 0..4usize {
+                m.issue(p, Operation::swap(0, vec![round * 10 + p as u64; b]))
+                    .unwrap();
+            }
+            completions.extend(m.run_until_idle(10_000).unwrap());
+        }
+        (
+            completions,
+            *m.stats(),
+            m.peek_block(0),
+            m.take_trace().unwrap(),
+        )
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_under_contention() {
+        let seq = drive_contended(Engine::Sequential);
+        let par = drive_contended(Engine::Parallel { threads: 2 });
+        assert_eq!(seq.0, par.0, "completions");
+        assert_eq!(seq.1, par.1, "stats");
+        assert_eq!(seq.2, par.2, "memory");
+        assert_eq!(seq.3, par.3, "trace");
+        assert!(seq.1.swap_restarts > 0, "workload really contends");
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_under_faults() {
+        let run = |engine: Engine| {
+            let cfg = CfmConfig::new(4, 1, 16)
+                .unwrap()
+                .with_spares(1)
+                .unwrap()
+                .with_engine(engine);
+            let b = cfg.banks();
+            let mut m = CfmMachine::new(cfg, 8);
+            m.enable_trace();
+            m.set_fault_plan(FaultPlan::generate(
+                11,
+                &crate::fault::PlanParams {
+                    banks: b,
+                    processors: 4,
+                    horizon: 48,
+                    permanent: 1,
+                    transient: 3,
+                    max_repair: 4,
+                    responses: 2,
+                    stuck: 0,
+                },
+            ));
+            let mut completions = Vec::new();
+            for round in 0..6u64 {
+                for p in 0..4usize {
+                    let op = if (p + round as usize).is_multiple_of(2) {
+                        Operation::read(p)
+                    } else {
+                        Operation::write(p, vec![round + p as u64; b])
+                    };
+                    m.issue(p, op).unwrap();
+                }
+                completions.extend(m.run_until_idle(10_000).unwrap());
+            }
+            (completions, *m.stats(), m.take_trace().unwrap())
+        };
+        let seq = run(Engine::Sequential);
+        let par = run(Engine::Parallel { threads: 2 });
+        assert_eq!(seq.0, par.0, "completions");
+        assert_eq!(seq.1, par.1, "stats");
+        assert_eq!(seq.2, par.2, "trace");
+        assert!(seq.1.faults_injected > 0, "plan really injects");
+    }
+
+    #[test]
+    fn cloned_parallel_machine_respawns_its_own_pool() {
+        let cfg = CfmConfig::new(4, 1, 16)
+            .unwrap()
+            .with_engine(Engine::Parallel { threads: 2 });
+        let b = cfg.banks();
+        let mut m = CfmMachine::new(cfg, 8);
+        m.issue(0, Operation::write(1, vec![9; b])).unwrap();
+        m.run_until_idle(100).unwrap();
+        let mut clone = m.clone();
+        clone.issue(2, Operation::read(1)).unwrap();
+        let done = clone.run_until_idle(100).unwrap();
+        assert_eq!(done[0].data.as_deref(), Some(&vec![9; b][..]));
+        // The original keeps working too (its pool was never shared).
+        m.issue(1, Operation::read(1)).unwrap();
+        assert_eq!(m.run_until_idle(100).unwrap().len(), 1);
     }
 }

@@ -80,26 +80,34 @@ impl BlockTransform {
     /// Apply the transform to `old`, producing the block to write.
     pub fn apply(&self, old: &[Word]) -> Vec<Word> {
         let mut new: Vec<Word> = old.to_vec();
+        self.apply_into(old, &mut new);
+        new
+    }
+
+    /// [`Self::apply`] writing into a caller-provided block buffer
+    /// (`out.len() == old.len()`) — the machines' hot path recycles the
+    /// in-flight buffer instead of allocating per RMW.
+    pub fn apply_into(&self, old: &[Word], out: &mut [Word]) {
+        out.copy_from_slice(old);
         match self {
             BlockTransform::FetchAdd { word, delta } => {
-                new[*word] = new[*word].wrapping_add(*delta);
+                out[*word] = out[*word].wrapping_add(*delta);
             }
-            BlockTransform::TestAndSet { word } => new[*word] = 1,
+            BlockTransform::TestAndSet { word } => out[*word] = 1,
             BlockTransform::MultipleTestAndSet { pattern } => {
                 let conflict = old.iter().zip(pattern.iter()).any(|(o, p)| o & p != 0);
                 if !conflict {
-                    for (n, p) in new.iter_mut().zip(pattern.iter()) {
+                    for (n, p) in out.iter_mut().zip(pattern.iter()) {
                         *n |= p;
                     }
                 }
             }
             BlockTransform::ClearBits { pattern } => {
-                for (n, p) in new.iter_mut().zip(pattern.iter()) {
+                for (n, p) in out.iter_mut().zip(pattern.iter()) {
                     *n &= !p;
                 }
             }
         }
-        new
     }
 
     /// Words the pattern-based transforms require (`None` for word-index

@@ -312,6 +312,13 @@ impl MemoryTrace {
         self.events.is_empty()
     }
 
+    /// Move `events` to the end of the log — the parallel slot engine's
+    /// merge phase concatenating per-lane event buffers in processor
+    /// order.
+    pub(crate) fn append(&mut self, events: &mut Vec<TraceEvent>) {
+        self.events.append(events);
+    }
+
     /// Consume the trace, returning the raw event log (for tampering in
     /// seeded-fault self-tests as much as for analysis).
     pub fn into_events(self) -> Vec<TraceEvent> {
@@ -329,6 +336,89 @@ impl TraceSink for MemoryTrace {
     #[inline]
     fn record(&mut self, event: TraceEvent) {
         self.events.push(event);
+    }
+}
+
+/// A bare event vector is a sink — the parallel slot engine's workers
+/// record into plain per-lane buffers that the merge phase concatenates
+/// in processor order.
+impl TraceSink for Vec<TraceEvent> {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.push(event);
+    }
+}
+
+/// A sink that batches events in an internal buffer and forwards them to
+/// the inner sink `chunk` at a time — amortising a per-event cost (lock,
+/// syscall, channel send…) the inner sink may carry. `BENCH_trace.json`
+/// showed per-event emission on the hot path; batching moves that cost off
+/// it.
+///
+/// Buffered events are **never lost**: [`BufferedSink::flush`] drains
+/// explicitly, and the `Drop` impl flushes whatever remains, so dropping
+/// the sink (including mid-panic unwinding) delivers every recorded event
+/// to the inner sink.
+#[derive(Debug)]
+pub struct BufferedSink<S: TraceSink> {
+    inner: S,
+    buf: Vec<TraceEvent>,
+    chunk: usize,
+}
+
+impl<S: TraceSink> BufferedSink<S> {
+    /// Wrap `inner`, forwarding events in batches of `chunk` (clamped to
+    /// at least 1).
+    pub fn new(inner: S, chunk: usize) -> Self {
+        let chunk = chunk.max(1);
+        BufferedSink {
+            inner,
+            buf: Vec::with_capacity(chunk),
+            chunk,
+        }
+    }
+
+    /// Forward every buffered event to the inner sink, in order.
+    pub fn flush(&mut self) {
+        for event in self.buf.drain(..) {
+            self.inner.record(event);
+        }
+    }
+
+    /// Events currently buffered (not yet forwarded).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Flush and return the inner sink.
+    pub fn into_inner(mut self) -> S
+    where
+        S: Default,
+    {
+        self.flush();
+        std::mem::take(&mut self.inner)
+    }
+
+    /// The inner sink (events still buffered are not visible in it until
+    /// a flush).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for BufferedSink<S> {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.buf.push(event);
+        if self.buf.len() >= self.chunk {
+            self.flush();
+        }
+    }
+}
+
+impl<S: TraceSink> Drop for BufferedSink<S> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -368,6 +458,63 @@ mod tests {
             proc: 0,
             offset: 0,
         });
+    }
+
+    fn route(slot: Cycle) -> TraceEvent {
+        TraceEvent::Route {
+            slot,
+            proc: 0,
+            bank: 0,
+        }
+    }
+
+    #[test]
+    fn buffered_sink_batches_and_preserves_order() {
+        let mut sink = BufferedSink::new(MemoryTrace::new(), 3);
+        for slot in 0..7 {
+            sink.record(route(slot));
+        }
+        // Two full batches forwarded, one event still buffered.
+        assert_eq!(sink.inner().len(), 6);
+        assert_eq!(sink.buffered(), 1);
+        let trace = sink.into_inner();
+        assert_eq!(trace.len(), 7);
+        let slots: Vec<Cycle> = trace.events().iter().map(TraceEvent::slot).collect();
+        assert_eq!(slots, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn buffered_sink_flushes_on_drop_losing_nothing() {
+        // The inner sink outlives the buffer via a shared log so the drop
+        // flush is observable.
+        #[derive(Default)]
+        struct SharedLog(std::rc::Rc<std::cell::RefCell<Vec<TraceEvent>>>);
+        impl TraceSink for SharedLog {
+            fn record(&mut self, event: TraceEvent) {
+                self.0.borrow_mut().push(event);
+            }
+        }
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut sink = BufferedSink::new(SharedLog(log.clone()), 64);
+            for slot in 0..5 {
+                sink.record(route(slot));
+            }
+            // Nothing forwarded yet: the batch is far from full.
+            assert_eq!(log.borrow().len(), 0);
+        } // drop flushes
+        assert_eq!(log.borrow().len(), 5);
+        let slots: Vec<Cycle> = log.borrow().iter().map(TraceEvent::slot).collect();
+        assert_eq!(slots, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut buf: Vec<TraceEvent> = Vec::new();
+        buf.record(route(1));
+        buf.record(route(2));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[1].slot(), 2);
     }
 
     #[test]

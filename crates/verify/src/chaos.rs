@@ -31,7 +31,7 @@
 use std::collections::VecDeque;
 
 use cfm_core::atspace::AtSpace;
-use cfm_core::config::CfmConfig;
+use cfm_core::config::{CfmConfig, Engine};
 use cfm_core::fault::{FaultKind, FaultPlan, PlanParams};
 use cfm_core::lock::{CriticalLedger, SpinLockProgram};
 use cfm_core::machine::CfmMachine;
@@ -55,15 +55,34 @@ pub struct ChaosSpec {
     /// Fault-plan seeds; each soaks one generated plan on one machine
     /// shape (shapes rotate per seed index).
     pub seeds: Vec<u64>,
+    /// Slot engines the soaks rotate through (engine rotates per seed
+    /// index, like the shapes): the degraded-mode contract must hold
+    /// identically on the parallel plan → execute → merge pipeline.
+    pub engines: Vec<Engine>,
 }
 
 impl Default for ChaosSpec {
     /// Four seeded plans covering remap, pipelined banks, masking (no
-    /// spare), and a two-spare pool.
+    /// spare), and a two-spare pool, rotated across the sequential
+    /// engine and the parallel engine at 2 and 4 threads.
     fn default() -> Self {
         ChaosSpec {
             seeds: vec![0xC0FFEE, 0xBAD_F00D, 0x5EED, 0xFEED],
+            engines: vec![
+                Engine::Sequential,
+                Engine::Parallel { threads: 2 },
+                Engine::Parallel { threads: 4 },
+            ],
         }
+    }
+}
+
+/// Short stable label for an engine, used in check subjects and CLI
+/// parsing (`sequential`, `parallel-2`, ...).
+pub(crate) fn engine_label(engine: Engine) -> String {
+    match engine {
+        Engine::Sequential => "sequential".into(),
+        Engine::Parallel { threads } => format!("parallel-{threads}"),
     }
 }
 
@@ -76,6 +95,14 @@ const HORIZON: u64 = 160;
 
 fn shape_for(index: usize) -> (usize, u32, usize) {
     SHAPES[index % SHAPES.len()]
+}
+
+fn engine_for(spec: &ChaosSpec, index: usize) -> Engine {
+    if spec.engines.is_empty() {
+        Engine::Sequential
+    } else {
+        spec.engines[index % spec.engines.len()]
+    }
 }
 
 fn plan_params(n: usize, c: u32) -> PlanParams {
@@ -101,7 +128,7 @@ pub fn verify(spec: &ChaosSpec, self_test: bool) -> Vec<Check> {
     let mut checks = Vec::new();
     checks.push(coverage_check(spec));
     for (i, &seed) in spec.seeds.iter().enumerate() {
-        checks.extend(soak(seed, shape_for(i)));
+        checks.extend(soak(seed, shape_for(i), engine_for(spec, i)));
     }
     checks.push(lock_soak(spec.seeds.first().copied().unwrap_or(1)));
     checks.push(net_stuck_check(spec));
@@ -223,17 +250,24 @@ fn owned_value(p: usize, r: u64) -> Word {
     (p as Word + 1) * 100 + r
 }
 
-/// Soak one seeded plan on one machine shape and check injectivity,
-/// race freedom, and write durability on the faulted execution.
-fn soak(seed: u64, (n, c, spares): (usize, u32, usize)) -> Vec<Check> {
+/// Soak one seeded plan on one machine shape and slot engine and check
+/// injectivity, race freedom, and write durability on the faulted
+/// execution. With a parallel engine the soak additionally asserts the
+/// parallel plan → execute → merge path actually ran (a fallback-only
+/// soak would make the engine rotation vacuous).
+fn soak(seed: u64, (n, c, spares): (usize, u32, usize), engine: Engine) -> Vec<Check> {
     let cfg = CfmConfig::new(n, c, 16)
         .expect("valid soak shape")
         .with_spares(spares)
-        .expect("spare pool fits");
+        .expect("spare pool fits")
+        .with_engine(engine);
     let banks = cfg.banks();
     let plan = FaultPlan::generate(seed, &plan_params(n, c));
     let scheduled = plan.events().len() as u64;
-    let subject = format!("chaos: seed={seed:#x} n={n} c={c} b={banks} spares={spares}");
+    let subject = format!(
+        "chaos: seed={seed:#x} n={n} c={c} b={banks} spares={spares} engine={}",
+        engine_label(engine)
+    );
 
     let mut m = CfmMachine::new(cfg, 16);
     m.enable_trace();
@@ -257,6 +291,29 @@ fn soak(seed: u64, (n, c, spares): (usize, u32, usize)) -> Vec<Check> {
     let stats = *m.stats();
 
     let mut checks = Vec::new();
+
+    // Engine non-vacuousness: under a parallel engine at least some
+    // slots must take the sharded path (the owned-block rounds are
+    // hazard-free); hazardous slots falling back is expected, a soak
+    // that *only* fell back proves nothing about the parallel merge.
+    if engine != Engine::Sequential {
+        let parallel_slots = m.parallel_slots();
+        checks.push(if parallel_slots > 0 {
+            Check::pass(
+                "chaos/engine-parallel",
+                &subject,
+                format!("{parallel_slots} slot(s) took the parallel path under faults"),
+            )
+            .with_metric("parallel_slots", parallel_slots)
+        } else {
+            Check::fail(
+                "chaos/engine-parallel",
+                &subject,
+                "the parallel engine never left the sequential fallback",
+                vec!["every slot of the soak hit a hazard — the rotation is vacuous".into()],
+            )
+        });
+    }
 
     // Post-remap injectivity: the map itself, the composed per-slot
     // physical schedule, and the observed injections (Route events stay
@@ -690,7 +747,8 @@ mod tests {
 
     #[test]
     fn default_suite_is_green() {
-        for check in verify(&ChaosSpec::default(), false) {
+        let checks = verify(&ChaosSpec::default(), false);
+        for check in &checks {
             assert_eq!(
                 check.status,
                 Status::Pass,
@@ -700,6 +758,37 @@ mod tests {
                 check.detail
             );
         }
+        // The default rotation must actually exercise the parallel
+        // engine (and its non-vacuousness check must have fired).
+        let parallel = checks
+            .iter()
+            .filter(|c| c.name == "chaos/engine-parallel")
+            .count();
+        assert!(
+            parallel >= 2,
+            "expected at least two parallel-engine soaks, got {parallel}"
+        );
+    }
+
+    #[test]
+    fn engine_rotation_covers_every_requested_engine() {
+        let spec = ChaosSpec::default();
+        let rotated: Vec<Engine> = (0..spec.seeds.len())
+            .map(|i| engine_for(&spec, i))
+            .collect();
+        for &engine in &spec.engines {
+            assert!(
+                rotated.contains(&engine),
+                "engine {} never rotated in",
+                engine_label(engine)
+            );
+        }
+        // An empty engine list degrades to sequential-only.
+        let empty = ChaosSpec {
+            engines: vec![],
+            ..ChaosSpec::default()
+        };
+        assert_eq!(engine_for(&empty, 3), Engine::Sequential);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! checks passed, 1 = a check failed, 2 = usage error.
 
 use cfm_cache::model::{ModelConfig, ProtocolVariant};
+use cfm_core::config::Engine;
 
 use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
@@ -73,6 +74,22 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, String> {
         .map_err(|_| format!("invalid {what}: {s:?}"))
 }
 
+/// Parse an engine name: `sequential` or `parallel-N` (N ≥ 1 threads).
+fn parse_engine(s: &str) -> Result<Engine, String> {
+    if s == "sequential" {
+        return Ok(Engine::Sequential);
+    }
+    if let Some(t) = s.strip_prefix("parallel-") {
+        let threads = t
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| format!("invalid thread count in engine {s:?}"))?;
+        return Ok(Engine::Parallel { threads });
+    }
+    Err(format!("unknown engine {s:?} (sequential | parallel-N)"))
+}
+
 /// Parse `2..=16` or a bare `4` into an inclusive range.
 fn parse_range(s: &str, what: &str) -> Result<(usize, usize), String> {
     if let Some((lo, hi)) = s.split_once("..=") {
@@ -116,6 +133,11 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
                     let parsed: Result<Vec<usize>, String> =
                         list.split(',').map(|s| parse_usize(s, "sharers")).collect();
                     spec.sharers = parsed?;
+                }
+                "--engine" => {
+                    i += 1;
+                    let name = args.get(i).ok_or("--engine needs a name")?;
+                    spec.engine = parse_engine(name)?;
                 }
                 "--self-test" => self_test = true,
                 // The spec already defaults to the full acceptance
@@ -167,6 +189,18 @@ fn parse_chaos(args: &[String]) -> Result<Options, String> {
                 spec.seeds = parsed?;
                 if spec.seeds.is_empty() {
                     return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--engines" => {
+                i += 1;
+                let list = args
+                    .get(i)
+                    .ok_or("--engines needs a comma-separated list")?;
+                let parsed: Result<Vec<Engine>, String> =
+                    list.split(',').map(parse_engine).collect();
+                spec.engines = parsed?;
+                if spec.engines.is_empty() {
+                    return Err("--engines needs at least one engine".into());
                 }
             }
             "--self-test" => self_test = true,
@@ -500,6 +534,22 @@ mod tests {
         assert_eq!(spec, ChaosSpec::default());
         assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none());
         assert!(!o.self_test);
+    }
+
+    #[test]
+    fn engine_flags_parse() {
+        let o = parse(&args(&["trace", "--engine", "parallel-2"])).unwrap();
+        assert_eq!(o.trace.unwrap().engine, Engine::Parallel { threads: 2 });
+        let o = parse(&args(&["trace", "--engine", "sequential"])).unwrap();
+        assert_eq!(o.trace.unwrap().engine, Engine::Sequential);
+        let o = parse(&args(&["chaos", "--engines", "sequential,parallel-4"])).unwrap();
+        assert_eq!(
+            o.chaos.unwrap().engines,
+            vec![Engine::Sequential, Engine::Parallel { threads: 4 }]
+        );
+        assert!(parse(&args(&["trace", "--engine", "bogus"])).is_err());
+        assert!(parse(&args(&["trace", "--engine", "parallel-0"])).is_err());
+        assert!(parse(&args(&["chaos", "--engines", ""])).is_err());
     }
 
     #[test]

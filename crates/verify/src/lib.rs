@@ -52,8 +52,9 @@ cfm-verify — prove the CFM conflict-free schedule and coherence protocol
 
 USAGE:
   cfm-verify [OPTIONS]
-  cfm-verify trace [OPTIONS]
-  cfm-verify chaos [--seeds LIST] [--self-test | --ci] [--format F]
+  cfm-verify trace [OPTIONS] [--engine E]
+  cfm-verify chaos [--seeds LIST] [--engines LIST]
+             [--self-test | --ci] [--format F]
 
 The `trace` subcommand runs the dynamic analyses instead: it executes
 real simulator workloads with event tracing enabled and checks the
@@ -61,15 +62,19 @@ traces for races (vector-clock happens-before + word-order uniformity),
 linearizability (swap/RMW, the lock protocol, the cache counter),
 schedule conformance of every observed bank injection, slot-sharing
 FIFO accounting, and static lock-order cycles. `trace --ci` adds the
-seeded-fault self-tests.
+seeded-fault self-tests. `--engine sequential|parallel-N` selects the
+slot engine the core workloads execute on, so the same analyses gate
+the parallel plan → execute → merge pipeline.
 
 The `chaos` subcommand soaks standard workloads under seeded
 fault-injection plans (permanent bank death, transient bank errors,
 dropped/corrupted responses, stuck omega switches) and asserts the
 degraded-mode contract: post-remap per-slot injectivity, zero races,
 no lost or torn writes across remap boundaries, lock correctness, and
-stuck-switch detectability. `--seeds` overrides the default plan seeds;
-`chaos --ci` adds self-tests that prove each detector non-vacuous.
+stuck-switch detectability. `--seeds` overrides the default plan seeds,
+`--engines` the slot engines the soaks rotate through (default
+sequential,parallel-2,parallel-4); `chaos --ci` adds self-tests that
+prove each detector non-vacuous.
 
 Sections (none selected = all, with defaults):
   --sweep n=A..=B c=C..=D   verify every AT-space schedule in the range

@@ -28,7 +28,7 @@ pub mod workloads;
 
 use std::ops::RangeInclusive;
 
-use cfm_core::config::CfmConfig;
+use cfm_core::config::{CfmConfig, Engine};
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::Operation;
 use cfm_core::trace::{MemoryTrace, TraceEvent};
@@ -46,6 +46,11 @@ pub struct TraceSpec {
     pub c: RangeInclusive<u32>,
     /// Slot-sharing degrees exercised by the sharing pass.
     pub sharers: Vec<usize>,
+    /// Slot engine the core-machine workloads run under (`--engine`):
+    /// the dynamic analyses consume real traces, so running the sweep
+    /// with [`Engine::Parallel`] re-derives the paper's guarantees from
+    /// the parallel pipeline's executions.
+    pub engine: Engine,
 }
 
 impl Default for TraceSpec {
@@ -55,6 +60,7 @@ impl Default for TraceSpec {
             n: 2..=16,
             c: 1..=4,
             sharers: vec![2],
+            engine: Engine::Sequential,
         }
     }
 }
@@ -66,7 +72,7 @@ pub fn verify(spec: &TraceSpec, self_test: bool) -> Vec<Check> {
     let mut checks = Vec::new();
     for n in spec.n.clone() {
         for c in spec.c.clone() {
-            checks.extend(verify_config(n, c));
+            checks.extend(verify_config(n, c, spec.engine));
         }
     }
     checks.extend(fixed_passes(&spec.sharers));
@@ -78,13 +84,17 @@ pub fn verify(spec: &TraceSpec, self_test: bool) -> Vec<Check> {
 
 /// The per-configuration dynamic checks: race freedom of the contention
 /// workload, the bank busy-time audit, and (where an omega network of
-/// that size exists) the physical-route cross-check.
-pub fn verify_config(n: usize, c: u32) -> Vec<Check> {
+/// that size exists) the physical-route cross-check — all over a trace
+/// produced by the requested slot `engine`.
+pub fn verify_config(n: usize, c: u32, engine: Engine) -> Vec<Check> {
     let mut checks = Vec::new();
     let cfg = CfmConfig::new(n, c, 16).expect("valid sweep config");
     let banks = cfg.banks();
-    let subject = format!("core: n={n} c={c} b={banks}");
-    let (events, history) = workloads::core_contention(n, c);
+    let subject = format!(
+        "core: n={n} c={c} b={banks} engine={}",
+        crate::chaos::engine_label(engine)
+    );
+    let (events, history) = workloads::core_contention(n, c, engine);
     let analysis = hb::analyze(&events);
 
     let races = hb::find_races(&analysis);
@@ -601,7 +611,20 @@ mod tests {
 
     #[test]
     fn one_config_passes_cleanly() {
-        for check in verify_config(4, 2) {
+        for check in verify_config(4, 2, Engine::Sequential) {
+            assert_eq!(
+                check.status,
+                Status::Pass,
+                "{}: {}",
+                check.name,
+                check.detail
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_traces_pass_the_same_analyses() {
+        for check in verify_config(4, 1, Engine::Parallel { threads: 2 }) {
             assert_eq!(
                 check.status,
                 Status::Pass,
@@ -641,7 +664,7 @@ mod tests {
 
     #[test]
     fn every_crate_has_a_workload() {
-        let mut checks = verify_config(4, 1);
+        let mut checks = verify_config(4, 1, Engine::Sequential);
         checks.extend(fixed_passes(&[2]));
         for prefix in ["core:", "net:", "cache:", "binding:"] {
             assert!(

@@ -10,7 +10,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use cfm_core::config::CfmConfig;
+use cfm_core::config::{CfmConfig, Engine};
 use cfm_core::lock::{CriticalLedger, SpinLockProgram};
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::Operation;
@@ -74,10 +74,13 @@ fn drive(machine: &mut CfmMachine, scripts: &mut [VecDeque<Operation>], history:
 
 /// The per-config contention workload: every processor writes a shared
 /// block, reads the *other* shared block, fetch-adds a counter word, and
-/// re-reads — maximal same-block overlap under the real ATT. Returns the
-/// event log and the completed history.
-pub fn core_contention(n: usize, c: u32) -> (Vec<TraceEvent>, Vec<HistOp>) {
-    let cfg = CfmConfig::new(n, c, 16).expect("valid sweep config");
+/// re-reads — maximal same-block overlap under the real ATT, executed on
+/// the requested slot `engine`. Returns the event log and the completed
+/// history.
+pub fn core_contention(n: usize, c: u32, engine: Engine) -> (Vec<TraceEvent>, Vec<HistOp>) {
+    let cfg = CfmConfig::new(n, c, 16)
+        .expect("valid sweep config")
+        .with_engine(engine);
     let banks = cfg.banks();
     let mut m = CfmMachine::new(cfg, 8);
     m.enable_trace();

@@ -4,6 +4,7 @@
 //! same public API the CLI uses, and the JSON report must stay
 //! byte-stable.
 
+use cfm_core::config::Engine;
 use cfm_core::op::OpKind;
 use cfm_core::trace::{MemoryTrace, TraceEvent, TraceSink};
 use cfm_verify::cli::{self, Format, Options};
@@ -91,6 +92,7 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
             n: 2..=5,
             c: 1..=2,
             sharers: vec![2, 3],
+            engine: Engine::Sequential,
         }),
         chaos: None,
     };
@@ -120,6 +122,9 @@ fn trace_json_report_is_byte_stable_across_runs() {
             n: 2..=4,
             c: 1..=2,
             sharers: vec![2],
+            // The parallel engine must be just as deterministic: two
+            // runs of the same sweep render byte-identical JSON.
+            engine: Engine::Parallel { threads: 2 },
         }),
         chaos: None,
     };

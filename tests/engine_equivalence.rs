@@ -1,0 +1,150 @@
+//! Engine equivalence: the parallel plan → execute → merge pipeline must
+//! be observationally *byte-identical* to the sequential reference engine
+//! — same completions, same stats, same trace event stream — for any
+//! machine shape, workload, and fault plan. The property test samples that
+//! space; the pinned-digest test freezes one fixed workload's parallel
+//! trace so silent drift in either engine (or in the event shapes the
+//! analyses depend on) fails loudly.
+
+use conflict_free_memory::core::config::{CfmConfig, Engine};
+use conflict_free_memory::core::fault::{FaultPlan, PlanParams};
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::op::{Completion, Operation};
+use conflict_free_memory::core::stats::Stats;
+use conflict_free_memory::core::trace::TraceEvent;
+use proptest::prelude::*;
+
+/// Drive one machine through the script (issuing round-robin across
+/// processors, draining whenever the next issuer is busy) and return
+/// everything externally observable. Each script word packs one issue:
+/// low byte selects the op kind, the next byte the block offset, the
+/// rest the written value.
+fn drive(
+    engine: Engine,
+    n: usize,
+    c: u32,
+    offsets: usize,
+    script: &[u64],
+    fault_seed: Option<u64>,
+) -> (Vec<Completion>, Stats, Vec<TraceEvent>) {
+    let cfg = CfmConfig::new(n, c, 16)
+        .unwrap()
+        .with_spares(1)
+        .unwrap()
+        .with_engine(engine);
+    let b = cfg.banks();
+    let mut m = CfmMachine::new(cfg, offsets);
+    m.enable_trace();
+    if let Some(seed) = fault_seed {
+        m.set_fault_plan(FaultPlan::generate(
+            seed,
+            &PlanParams {
+                banks: b,
+                processors: n,
+                horizon: 64,
+                permanent: 1,
+                transient: 2,
+                max_repair: 4,
+                responses: 1,
+                stuck: 0,
+            },
+        ));
+    }
+    let mut completions = Vec::new();
+    for (i, &word) in script.iter().enumerate() {
+        let p = i % n;
+        if m.is_busy(p) {
+            completions.extend(m.run_until_idle(200_000).expect("workload drains"));
+        }
+        let offset = (word >> 8) as usize % offsets;
+        let val = word >> 16;
+        let op = match word % 4 {
+            0 => Operation::read(offset),
+            1 => Operation::write(offset, vec![val; b]),
+            2 => Operation::swap(offset, vec![val ^ 0xA5A5; b]),
+            _ => Operation::fetch_add(offset, val as usize % b, val | 1),
+        };
+        m.issue(p, op).unwrap();
+    }
+    completions.extend(m.run_until_idle(200_000).expect("workload drains"));
+    (
+        completions,
+        *m.stats(),
+        m.take_trace().unwrap().into_events(),
+    )
+}
+
+proptest! {
+    /// Random `(n, c, threads, program, fault plan)` → both engines
+    /// produce identical completion streams, statistics, and traces.
+    /// `fault_sel` past the seed range means "no fault plan".
+    #[test]
+    fn parallel_engine_is_equivalent_to_sequential(
+        n in 2usize..9,
+        c in 1u32..3,
+        threads in 2usize..5,
+        script in proptest::collection::vec(0u64..u64::MAX, 1..40),
+        fault_sel in 0u64..2_000,
+    ) {
+        let fault_seed = (fault_sel < 1_000).then_some(fault_sel);
+        let seq = drive(Engine::Sequential, n, c, 8, &script, fault_seed);
+        let par = drive(Engine::Parallel { threads }, n, c, 8, &script, fault_seed);
+        prop_assert_eq!(&seq.0, &par.0, "completions diverged");
+        prop_assert_eq!(&seq.1, &par.1, "stats diverged");
+        prop_assert_eq!(&seq.2, &par.2, "traces diverged");
+    }
+}
+
+/// FNV-1a over the debug rendering of every trace event — a stable,
+/// dependency-free byte digest of the trace stream.
+fn trace_digest(events: &[TraceEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in events {
+        for byte in format!("{e:?}\n").as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// The fixed workload for the pinned regression: every op kind, some
+/// same-block contention (hazard → sequential fallback), plus a seeded
+/// fault plan.
+fn pinned_script() -> Vec<u64> {
+    (0..32u64)
+        .map(|i| (i % 4) | ((i % 5) << 8) | ((i.wrapping_mul(0x9E37_79B9) | 1) << 16))
+        .collect()
+}
+
+/// Frozen observables of [`pinned_parallel_trace_bytes`] — re-pin only on
+/// a deliberate engine or trace-shape change (the failure message prints
+/// the new values).
+const PINNED_LEN: usize = 540;
+const PINNED_DIGEST: u64 = 0x5db1_f1b3_d7b5_cfbd;
+
+/// Byte-pinned trace regression: the parallel engine's trace for a fixed
+/// workload — digest and length frozen. If this fails, either an engine
+/// changed observable behaviour or a [`TraceEvent`] shape changed; both
+/// must be deliberate.
+#[test]
+fn pinned_parallel_trace_bytes() {
+    let seq = drive(Engine::Sequential, 4, 1, 8, &pinned_script(), Some(7));
+    let par = drive(
+        Engine::Parallel { threads: 2 },
+        4,
+        1,
+        8,
+        &pinned_script(),
+        Some(7),
+    );
+    assert_eq!(seq.2, par.2, "engines diverged on the pinned workload");
+    let digest = trace_digest(&par.2);
+    assert_eq!(
+        (par.2.len(), digest),
+        (PINNED_LEN, PINNED_DIGEST),
+        "pinned trace drifted: len {}, digest {:#018x}",
+        par.2.len(),
+        digest,
+    );
+}

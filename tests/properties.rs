@@ -306,13 +306,20 @@ proptest! {
 
 proptest! {
     /// Any configuration in the acceptance sweep produces a race-free,
-    /// schedule-conformant trace under the contention workload: the
-    /// happens-before detector finds no unordered mixed-order pair and
-    /// every observed injection sits on the c-spaced lattice.
+    /// schedule-conformant trace under the contention workload — on
+    /// either slot engine: the happens-before detector finds no
+    /// unordered mixed-order pair and every observed injection sits on
+    /// the c-spaced lattice.
     #[test]
-    fn traced_executions_are_race_free(n in 2usize..13, c in 1u32..5) {
+    fn traced_executions_are_race_free(n in 2usize..13, c in 1u32..5, eng in 0usize..3) {
         use cfm_verify::trace::{hb, workloads};
-        let (events, history) = workloads::core_contention(n, c);
+        use conflict_free_memory::core::config::Engine;
+        let engine = [
+            Engine::Sequential,
+            Engine::Parallel { threads: 2 },
+            Engine::Parallel { threads: 4 },
+        ][eng];
+        let (events, history) = workloads::core_contention(n, c, engine);
         let analysis = hb::analyze(&events);
         prop_assert_eq!(analysis.ops.len(), history.len());
         let races = hb::find_races(&analysis);
