@@ -1,7 +1,6 @@
 //! Criterion ablation bench: simulation cost of the CFM machine with the
 //! address tracking tables enabled vs disabled under contended traffic.
 
-use cfm_core::att::PriorityMode;
 use cfm_core::config::CfmConfig;
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::Operation;
@@ -12,7 +11,7 @@ use std::hint::black_box;
 
 fn contended_run(att: bool, cycles: u64) -> u64 {
     let cfg = CfmConfig::new(8, 1, 16).unwrap();
-    let mut m = CfmMachine::with_options(cfg, 4, att, PriorityMode::EarliestWins);
+    let mut m = CfmMachine::builder(cfg).offsets(4).tracking(att).build();
     let mut rng = SmallRng::seed_from_u64(3);
     let mut marker = 0u64;
     for _ in 0..cycles {

@@ -13,7 +13,7 @@ use std::hint::black_box;
 fn run_row(banks: usize) -> u64 {
     let cfg = CfmConfig::from_block(256, banks, 2).expect("table row");
     let n = cfg.processors();
-    let mut runner = Runner::new(CfmMachine::new(cfg, 16));
+    let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(16).build());
     for p in 0..n {
         let script = read_write_mix(50, 16, cfg.banks(), 0.5, p as u64);
         runner.set_program(p, Box::new(ScriptProgram::new(script)));

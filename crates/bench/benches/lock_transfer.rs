@@ -39,7 +39,7 @@ fn cache_lock_contest(contenders: usize) -> u64 {
 
 fn swap_lock_contest(contenders: usize) -> u64 {
     let cfg = CfmConfig::new(contenders, 1, 16).unwrap();
-    let machine = CfmMachine::new(cfg, 8);
+    let machine = CfmMachine::builder(cfg).offsets(8).build();
     let banks = machine.config().banks();
     let ledger = Rc::new(RefCell::new(CriticalLedger::default()));
     let mut runner = Runner::new(machine);

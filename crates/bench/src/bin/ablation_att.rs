@@ -3,7 +3,6 @@
 //! without the ATT (the design-choice ablation behind Chapter 4).
 
 use cfm_bench::print_table;
-use cfm_core::att::PriorityMode;
 use cfm_core::config::CfmConfig;
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::Operation;
@@ -12,7 +11,7 @@ use rand::{Rng, SeedableRng};
 
 fn run(att: bool, seed: u64) -> (u64, u64, u64) {
     let cfg = CfmConfig::new(8, 1, 16).expect("valid config");
-    let mut m = CfmMachine::with_options(cfg, 16, att, PriorityMode::EarliestWins);
+    let mut m = CfmMachine::builder(cfg).offsets(16).tracking(att).build();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut marker: u64 = 1;
     for _ in 0..40_000 {

@@ -62,9 +62,12 @@ fn run_one(
         .expect("valid bench config")
         .with_engine(engine);
     let b = cfg.banks();
-    let mut m = CfmMachine::new(cfg, n);
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(n)
+        .trace(variant == "traced")
+        .build();
     if variant == "faulted" {
-        m.set_fault_plan(FaultPlan::generate(
+        m.injector().fault_plan(FaultPlan::generate(
             42,
             &PlanParams {
                 banks: b,
@@ -77,9 +80,6 @@ fn run_one(
                 stuck: 0,
             },
         ));
-    }
-    if variant == "traced" {
-        m.enable_trace();
     }
     let mut write_next = vec![true; n];
     let start = Instant::now();
@@ -106,8 +106,7 @@ fn run_one(
         // Bound trace memory: the events are the cost being measured, not
         // the analysis, so drop them periodically.
         if variant == "traced" && m.cycle().is_multiple_of(4096) {
-            m.take_trace();
-            m.enable_trace();
+            m.drain_trace();
         }
     }
     (m.cycle(), start.elapsed().as_secs_f64(), m.parallel_slots())

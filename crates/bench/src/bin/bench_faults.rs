@@ -47,8 +47,10 @@ fn run_scenario(plan: fn() -> FaultPlan) -> (u64, u64, f64) {
         let cfg = CfmConfig::new(N, C, WORD_WIDTH)
             .and_then(|c| c.with_spares(SPARES))
             .expect("valid bench config");
-        let mut m = CfmMachine::new(cfg, OFFSETS);
-        m.set_fault_plan(plan());
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(OFFSETS)
+            .fault_plan(plan())
+            .build();
         for round in 0..ROUNDS {
             for p in 0..N {
                 let value = (p as u64 + 1) * 100 + round as u64;

@@ -9,7 +9,7 @@ use cfm_core::op::{OpKind, Operation};
 
 fn machine(att: bool) -> CfmMachine {
     let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
-    CfmMachine::with_options(cfg, 8, att, PriorityMode::EarliestWins)
+    CfmMachine::builder(cfg).offsets(8).tracking(att).build()
 }
 
 fn main() {
@@ -18,7 +18,7 @@ fn main() {
     m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
     m.step();
     m.issue(1, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
-    m.run_until_idle(100).unwrap();
+    m.run(100).expect_idle();
     println!(
         "two whole-block writes (all-1s, all-2s) left block {:?}  ← torn\n",
         m.peek_block(5)
@@ -27,10 +27,13 @@ fn main() {
     println!("== Fig 4.4: simultaneous same-address writes with the ATT ==");
     // §4.1.2's latest-wins mode, where the loser aborts (valid pairwise).
     let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
-    let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(8)
+        .priority(PriorityMode::LatestWins)
+        .build();
     m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
     m.issue(2, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
-    let done = m.run_until_idle(100).unwrap();
+    let done = m.run(100).expect_idle();
     println!(
         "block is {:?} — exactly one winner; outcomes: {:?}, aborts: {}\n",
         m.peek_block(5),
@@ -43,7 +46,7 @@ fn main() {
     m.poke_block(5, &[0, 0, 0, 0]);
     m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
     m.issue(0, Operation::read(5)).unwrap();
-    let done = m.run_until_idle(100).unwrap();
+    let done = m.run(100).expect_idle();
     let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
     println!(
         "read returned {:?} after {} restart(s) — a single version\n",
@@ -55,7 +58,7 @@ fn main() {
     let mut m = machine(true);
     m.issue(0, Operation::swap(3, vec![1, 1, 1, 1])).unwrap();
     m.issue(2, Operation::swap(3, vec![2, 2, 2, 2])).unwrap();
-    let done = m.run_until_idle(1000).unwrap();
+    let done = m.run(1000).expect_idle();
     for c in &done {
         println!(
             "proc {} swap observed old {:?} ({} restarts)",

@@ -191,11 +191,11 @@ mod tests {
     fn composed_machine_is_conflict_free() {
         let boards = [BuildingBlock::four_bank(1), BuildingBlock::four_bank(1)];
         let comp = compose(&boards, 1, 16).unwrap();
-        let mut m = CfmMachine::new(comp.config, 8);
+        let mut m = CfmMachine::builder(comp.config).offsets(8).build();
         for p in 0..comp.config.processors() {
             m.issue(p, Operation::read(p % 8)).unwrap();
         }
-        let done = m.run_until_idle(1000).unwrap();
+        let done = m.run(1000).expect_idle();
         assert_eq!(done.len(), 8);
         assert_eq!(m.stats().bank_conflicts, 0);
     }

@@ -86,7 +86,7 @@ impl ClusterSystem {
         let cfg = CfmConfig::new(slots, bank_cycle, 16).expect("valid config");
         ClusterSystem {
             clusters: (0..clusters)
-                .map(|_| CfmMachine::new(cfg, offsets))
+                .map(|_| CfmMachine::builder(cfg).offsets(offsets).build())
                 .collect(),
             ports: (0..clusters)
                 .map(|_| PortState {

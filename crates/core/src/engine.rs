@@ -22,6 +22,11 @@
 //! workers and back, running a fixed closure over them. Determinism comes
 //! from the caller collecting results in lane order — the pool itself
 //! imposes no ordering between lanes.
+//!
+//! The pool is public because it is exactly the primitive a thread-based
+//! service loop needs: `cfm-serve` hosts its event loop on a one-worker
+//! pool, getting the park/wake discipline, panic propagation, and
+//! join-on-drop for free.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
@@ -51,14 +56,14 @@ struct Worker<T> {
 /// with a shared body closure. Dispatch and collect are paired per worker
 /// index; results come back by move, so `T` can carry owned state (shards
 /// of machine state) across the handoff without copying.
-pub(crate) struct WorkerPool<T: Send + 'static> {
+pub struct WorkerPool<T: Send + 'static> {
     workers: Vec<Worker<T>>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
     /// Spawn `workers` parked threads, each running `body` over every task
     /// dispatched to it.
-    pub(crate) fn new<F>(workers: usize, body: F) -> Self
+    pub fn new<F>(workers: usize, body: F) -> Self
     where
         F: Fn(&mut T) + Send + Sync + 'static,
     {
@@ -90,14 +95,14 @@ impl<T: Send + 'static> WorkerPool<T> {
     }
 
     /// Number of pooled workers (extra lanes beyond the calling thread).
-    pub(crate) fn workers(&self) -> usize {
+    pub fn workers(&self) -> usize {
         self.workers.len()
     }
 
     /// Hand `task` to worker `i`. The worker must be idle (every dispatch
     /// is paired with a [`WorkerPool::collect`] before the next dispatch
     /// to the same worker).
-    pub(crate) fn dispatch(&self, i: usize, task: T) {
+    pub fn dispatch(&self, i: usize, task: T) {
         let mail = &self.workers[i].mail;
         let mut slot = mail.slot.lock().expect("engine mailbox poisoned");
         debug_assert!(slot.task.is_none() && slot.result.is_none());
@@ -111,7 +116,7 @@ impl<T: Send + 'static> WorkerPool<T> {
     ///
     /// # Panics
     /// Propagates a panic from the worker body.
-    pub(crate) fn collect(&self, i: usize) -> T {
+    pub fn collect(&self, i: usize) -> T {
         let mail = &self.workers[i].mail;
         let mut slot = mail.slot.lock().expect("engine mailbox poisoned");
         loop {
@@ -155,11 +160,16 @@ where
                 Err(_) => return,
             };
             loop {
-                if slot.shutdown {
-                    return;
-                }
+                // Take a dispatched task even when shutdown is already
+                // flagged: a task handed to the pool is a promise to run
+                // it, and bodies with side effects (ticket close-out in
+                // `cfm-serve`) rely on that promise when the pool is
+                // dropped right after a dispatch.
                 if let Some(task) = slot.task.take() {
                     break task;
+                }
+                if slot.shutdown {
+                    return;
                 }
                 slot = match mail.cv.wait(slot) {
                     Ok(s) => s,
@@ -229,6 +239,21 @@ mod tests {
         pool.dispatch(0, 13);
         let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.collect(0)));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn drop_runs_a_dispatched_but_uncollected_task() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        let pool: WorkerPool<u32> = WorkerPool::new(1, move |_| {
+            flag.store(true, Ordering::SeqCst);
+        });
+        // Drop immediately after dispatch: the worker may not even have
+        // started yet, but the task must still run before it exits.
+        pool.dispatch(0, 1);
+        drop(pool);
+        assert!(ran.load(Ordering::SeqCst));
     }
 
     #[test]

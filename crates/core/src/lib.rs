@@ -55,6 +55,12 @@
 //!   switch / response faults the machines consult every slot, with
 //!   online remap of dead banks onto spares; `cfm-verify chaos` soaks the
 //!   standard workloads under generated plans.
+//! * [`engine`] — the persistent [`engine::WorkerPool`] behind the
+//!   parallel slot engine, reusable by anything that needs long-lived
+//!   condvar-parked worker threads (the `cfm-serve` event loop runs on
+//!   it).
+//! * [`testing`] — the [`testing::Injector`] facade over the machine's
+//!   seeded-fault hooks, used by the verifier's self-tests.
 //!
 //! ## Quick start
 //!
@@ -65,13 +71,13 @@
 //!
 //! // Four processors, bank cycle = 1 CPU cycle, so four banks (Fig 3.4).
 //! let cfg = CfmConfig::new(4, 1, 32).unwrap();
-//! let mut m = CfmMachine::new(cfg, 64);
+//! let mut m = CfmMachine::builder(cfg).offsets(64).build();
 //!
 //! // Processor 2 writes block 7 while processor 0 reads block 3 — they can
 //! // start in the *same* cycle because their AT-space subsets are disjoint.
 //! m.issue(2, Operation::write(7, vec![1, 2, 3, 4])).unwrap();
 //! m.issue(0, Operation::read(3)).unwrap();
-//! let done = m.run_until_idle(100).unwrap();
+//! let done = m.run(100).expect_idle();
 //! assert_eq!(done.len(), 2);
 //! assert_eq!(m.stats().bank_conflicts, 0); // conflict-free by construction
 //! ```
@@ -82,7 +88,7 @@ pub mod bank;
 pub mod building_block;
 pub mod cluster;
 pub mod config;
-pub(crate) mod engine;
+pub mod engine;
 pub mod fault;
 pub mod lock;
 pub mod machine;
@@ -92,6 +98,7 @@ pub mod slotshare;
 pub mod stats;
 pub mod switch;
 pub mod sync_programs;
+pub mod testing;
 pub mod timing;
 pub mod topology;
 pub mod trace;

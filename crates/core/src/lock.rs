@@ -194,7 +194,7 @@ mod tests {
 
     fn run_lock_contest(n: usize, rounds: u64, hold: u64) -> (Rc<RefCell<CriticalLedger>>, Runner) {
         let cfg = CfmConfig::new(n, 1, 16).unwrap();
-        let machine = CfmMachine::new(cfg, 8);
+        let machine = CfmMachine::builder(cfg).offsets(8).build();
         let banks = machine.config().banks();
         let ledger = Rc::new(RefCell::new(CriticalLedger::default()));
         let mut runner = Runner::new(machine);

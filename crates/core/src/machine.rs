@@ -231,23 +231,174 @@ pub struct CfmMachine {
     parallel_slots: u64,
 }
 
+/// Staged construction of a [`CfmMachine`] — the single entry point for
+/// every pre-run configuration knob (shared-memory size, address
+/// tracking, priority mode, fault plan, tracing, seeded test faults).
+///
+/// Obtained from [`CfmMachine::builder`]; consumed by
+/// [`CfmMachineBuilder::build`]:
+///
+/// ```
+/// use cfm_core::config::CfmConfig;
+/// use cfm_core::machine::CfmMachine;
+///
+/// let cfg = CfmConfig::new(4, 1, 16).unwrap();
+/// let m = CfmMachine::builder(cfg).offsets(64).trace(true).build();
+/// assert_eq!(m.offsets(), 64);
+/// assert!(m.trace().is_some());
+/// ```
+///
+/// The builder subsumes the deprecated `new` / `with_options` /
+/// `set_fault_plan` / `enable_trace` constructors-and-mutators; seeded
+/// fault hooks (the old `inject_*` methods) live behind the
+/// [`crate::testing::Injector`] facade, reachable here through
+/// [`CfmMachineBuilder::inject`] and at runtime through
+/// [`CfmMachine::injector`].
+pub struct CfmMachineBuilder {
+    config: CfmConfig,
+    offsets: usize,
+    att_enabled: bool,
+    mode: PriorityMode,
+    fault_plan: Option<FaultPlan>,
+    trace: bool,
+    seeds: Vec<InjectorSeed>,
+}
+
+/// A deferred [`crate::testing::Injector`] closure queued by
+/// [`CfmMachineBuilder::inject`], applied after construction.
+type InjectorSeed = Box<dyn FnOnce(&mut crate::testing::Injector<'_>)>;
+
+impl CfmMachineBuilder {
+    /// Number of block offsets of shared memory (blocks per bank). The
+    /// default equals the bank count; most callers set it explicitly.
+    pub fn offsets(mut self, offsets: usize) -> Self {
+        self.offsets = offsets;
+        self
+    }
+
+    /// Enable or disable address tracking. Disabling reproduces the
+    /// Fig 4.1 inconsistency (torn blocks under same-block races); the
+    /// default is enabled.
+    pub fn tracking(mut self, enabled: bool) -> Self {
+        self.att_enabled = enabled;
+        self
+    }
+
+    /// Select the ATT priority mode: the default
+    /// [`PriorityMode::EarliestWins`] is the swap-capable mode of §4.2.1;
+    /// [`PriorityMode::LatestWins`] is the plain-write mode of §4.1.2.
+    pub fn priority(mut self, mode: PriorityMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Install a [`FaultPlan`] before the machine runs. Events whose slot
+    /// has already passed fire on the first step. (To replace the plan on
+    /// a machine that is already running, go through
+    /// [`crate::testing::Injector::fault_plan`].)
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Record a [`MemoryTrace`] from the first step (default off). The
+    /// trace is read with [`CfmMachine::trace`] and taken with
+    /// [`CfmMachine::take_trace`] / [`CfmMachine::drain_trace`].
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Seed test faults through the [`crate::testing::Injector`] facade
+    /// before the machine is handed back — the builder-reachable form of
+    /// the old `inject_*` footguns:
+    ///
+    /// ```
+    /// use cfm_core::config::CfmConfig;
+    /// use cfm_core::machine::CfmMachine;
+    ///
+    /// let cfg = CfmConfig::new(4, 1, 16).unwrap();
+    /// let m = CfmMachine::builder(cfg)
+    ///     .offsets(8)
+    ///     .inject(|inj| {
+    ///         inj.drop_att_inserts(1);
+    ///     })
+    ///     .build();
+    /// # let _ = m;
+    /// ```
+    pub fn inject(
+        mut self,
+        seed: impl FnOnce(&mut crate::testing::Injector<'_>) + 'static,
+    ) -> Self {
+        self.seeds.push(Box::new(seed));
+        self
+    }
+
+    /// Construct the machine.
+    pub fn build(self) -> CfmMachine {
+        let mut machine =
+            CfmMachine::construct(self.config, self.offsets, self.att_enabled, self.mode);
+        if let Some(plan) = self.fault_plan {
+            machine.install_fault_plan(plan);
+        }
+        if self.trace {
+            machine.start_trace();
+        }
+        for seed in self.seeds {
+            let mut injector = machine.injector();
+            seed(&mut injector);
+        }
+        machine
+    }
+}
+
 impl CfmMachine {
+    /// Start building a machine for `config` — see [`CfmMachineBuilder`]
+    /// for the available knobs. Defaults: `offsets = config.banks()`,
+    /// address tracking enabled, [`PriorityMode::EarliestWins`], no fault
+    /// plan, tracing off.
+    pub fn builder(config: CfmConfig) -> CfmMachineBuilder {
+        CfmMachineBuilder {
+            offsets: config.banks(),
+            config,
+            att_enabled: true,
+            mode: PriorityMode::EarliestWins,
+            fault_plan: None,
+            trace: false,
+            seeds: Vec::new(),
+        }
+    }
+
     /// A machine with the given configuration and `offsets` blocks of
     /// shared memory, address tracking enabled, in the swap-capable
     /// earliest-wins priority mode (§4.2.1).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CfmMachine::builder(config).offsets(offsets).build()`"
+    )]
     pub fn new(config: CfmConfig, offsets: usize) -> Self {
-        Self::with_options(config, offsets, true, PriorityMode::EarliestWins)
+        Self::construct(config, offsets, true, PriorityMode::EarliestWins)
     }
 
     /// Full constructor. `att_enabled = false` reproduces the Fig 4.1
     /// inconsistency; [`PriorityMode::LatestWins`] is the plain-write mode
     /// of §4.1.2 (no swap support).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CfmMachine::builder(config).offsets(..).tracking(..).priority(..).build()`"
+    )]
     pub fn with_options(
         config: CfmConfig,
         offsets: usize,
         att_enabled: bool,
         mode: PriorityMode,
     ) -> Self {
+        Self::construct(config, offsets, att_enabled, mode)
+    }
+
+    /// The one true constructor behind both the builder and the
+    /// deprecated shims.
+    fn construct(config: CfmConfig, offsets: usize, att_enabled: bool, mode: PriorityMode) -> Self {
         let b = config.banks();
         // Banks and writer stamps are *physical* (spares included); the
         // schedule, the ATTs and every trace event stay *logical*.
@@ -290,7 +441,18 @@ impl CfmMachine {
     /// Install a fault plan, replacing any previous plan and its
     /// progress. Install before driving the machine: events whose slot
     /// has already passed fire on the next step.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CfmMachineBuilder::fault_plan` (or \
+                `machine.injector().fault_plan(..)` at runtime)"
+    )]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.install_fault_plan(plan);
+    }
+
+    /// Non-deprecated internal path behind the builder and the
+    /// [`crate::testing::Injector`] facade.
+    pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
         self.fault_state = FaultState::new(plan, self.config.banks(), self.config.processors());
     }
 
@@ -304,28 +466,45 @@ impl CfmMachine {
     /// by forcing `logical` onto `physical` without retiring anyone —
     /// the "undetected bank death" the injectivity detector must refuse
     /// to certify.
+    #[deprecated(since = "0.2.0", note = "use `machine.injector().bank_alias(..)`")]
     pub fn inject_bank_alias(&mut self, logical: BankId, physical: usize) {
-        self.bank_map.inject_alias(logical, physical);
+        self.seed_bank_alias(logical, physical);
     }
 
     /// Seeded-fault hook for the chaos self-tests: let the next `count`
     /// transient-faulted accesses proceed (with a corrupted word) instead
     /// of retrying — the "missed retry" the durability detector must
     /// catch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `machine.injector().suppress_retries(..)`"
+    )]
     pub fn inject_retry_suppression(&mut self, count: u64) {
-        self.retry_suppressions = count;
+        self.seed_retry_suppression(count);
     }
 
     /// Seeded-fault hook for the chaos self-tests: the next remap skips
     /// its data copy, losing every committed write on the retired bank —
     /// the "remap losing a write" the durability detector must catch.
+    #[deprecated(since = "0.2.0", note = "use `machine.injector().skip_remap_copy()`")]
     pub fn inject_remap_copy_skip(&mut self) {
-        self.skip_remap_copy = true;
+        self.seed_remap_copy_skip();
     }
 
     /// Start recording a [`MemoryTrace`] (idempotent; an active trace
     /// keeps accumulating).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CfmMachineBuilder::trace(true)` (or `drain_trace` to \
+                restart tracing mid-run)"
+    )]
     pub fn enable_trace(&mut self) {
+        self.start_trace();
+    }
+
+    /// Non-deprecated internal path behind the builder, wrappers, and
+    /// [`Self::drain_trace`].
+    pub(crate) fn start_trace(&mut self) {
         if self.trace.is_none() {
             self.trace = Some(MemoryTrace::new());
         }
@@ -341,11 +520,50 @@ impl CfmMachine {
         self.trace.take()
     }
 
+    /// Take the trace recorded so far and immediately keep tracing —
+    /// bounds trace memory in long soaks that only sample events
+    /// periodically. Returns `None` (and does not start tracing) if
+    /// tracing was never enabled.
+    pub fn drain_trace(&mut self) -> Option<MemoryTrace> {
+        let drained = self.trace.take();
+        if drained.is_some() {
+            self.start_trace();
+        }
+        drained
+    }
+
     /// Fault injection for the trace self-tests: silently drop the next
     /// `count` ATT insertions, so the corresponding write phases go
     /// untracked and same-block races slip past the arbitration — the
     /// race detector must catch the consequences.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `machine.injector().drop_att_inserts(..)`"
+    )]
     pub fn inject_att_insert_drops(&mut self, count: u64) {
+        self.seed_att_insert_drops(count);
+    }
+
+    /// Seeded-fault facade over the machine's test hooks — see
+    /// [`crate::testing::Injector`]. Also reachable at build time through
+    /// [`CfmMachineBuilder::inject`].
+    pub fn injector(&mut self) -> crate::testing::Injector<'_> {
+        crate::testing::Injector::new(self)
+    }
+
+    pub(crate) fn seed_bank_alias(&mut self, logical: BankId, physical: usize) {
+        self.bank_map.inject_alias(logical, physical);
+    }
+
+    pub(crate) fn seed_retry_suppression(&mut self, count: u64) {
+        self.retry_suppressions = count;
+    }
+
+    pub(crate) fn seed_remap_copy_skip(&mut self) {
+        self.skip_remap_copy = true;
+    }
+
+    pub(crate) fn seed_att_insert_drops(&mut self, count: u64) {
         self.att_insert_drops = count;
     }
 
@@ -1330,21 +1548,111 @@ impl CfmMachine {
     /// Step until every processor is idle (or `max_cycles` elapse),
     /// returning all completions in delivery order. `Err` carries the
     /// completions gathered before the cycle budget ran out.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CfmMachine::run`, which returns a typed `RunReport`"
+    )]
     pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<Vec<Completion>, Vec<Completion>> {
-        let mut out = Vec::new();
+        let report = self.run(max_cycles);
+        if report.is_idle() {
+            Ok(report.completions)
+        } else {
+            Err(report.completions)
+        }
+    }
+
+    /// Step until every processor is idle (or `max_cycles` elapse).
+    /// Completions arrive in delivery order; [`RunReport::outcome`] says
+    /// whether the machine went idle or the budget ran out with
+    /// operations still in flight.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        let mut completions = Vec::new();
         for _ in 0..max_cycles {
             if self.is_idle() {
                 break;
             }
             self.step();
             for p in 0..self.done.len() {
-                out.extend(self.done[p].drain(..));
+                completions.extend(self.done[p].drain(..));
             }
         }
-        if self.is_idle() {
-            Ok(out)
+        let outcome = if self.is_idle() {
+            RunStatus::Idle
         } else {
-            Err(out)
+            RunStatus::CycleBudgetExhausted {
+                pending: self.pending_ops(),
+            }
+        };
+        RunReport {
+            completions,
+            outcome,
+        }
+    }
+}
+
+/// Typed result of [`CfmMachine::run`] — the completions delivered plus
+/// how the run ended, aligned with [`crate::program::RunOutcome`] at the
+/// program layer.
+#[must_use = "check `outcome` (or call `expect_idle`) — a budget-exhausted \
+              run leaves operations in flight"]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Completions in delivery order (poll order per slot).
+    pub completions: Vec<Completion>,
+    /// How the run ended.
+    pub outcome: RunStatus,
+}
+
+/// How a [`CfmMachine::run`] call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every processor went idle within the cycle budget.
+    Idle,
+    /// The cycle budget elapsed with operations still in flight;
+    /// `pending` snapshots them with their owning processors.
+    CycleBudgetExhausted {
+        /// The in-flight operations and their owners at cutoff.
+        pending: Vec<(ProcId, PendingOp)>,
+    },
+}
+
+impl RunReport {
+    /// Whether the machine went idle within the budget.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.outcome, RunStatus::Idle)
+    }
+
+    /// The completions, asserting the machine went idle. Panics with the
+    /// pending owners if the cycle budget was exhausted — the typed
+    /// replacement for `run_until_idle(..).unwrap()`.
+    pub fn expect_idle(self) -> Vec<Completion> {
+        match self.outcome {
+            RunStatus::Idle => self.completions,
+            RunStatus::CycleBudgetExhausted { pending } => {
+                let owners: Vec<_> = pending
+                    .iter()
+                    .map(|(p, op)| format!("p{p}:{:?}@{}", op.kind, op.offset))
+                    .collect();
+                panic!(
+                    "cycle budget exhausted with {} op(s) pending: [{}]",
+                    pending.len(),
+                    owners.join(", ")
+                )
+            }
+        }
+    }
+
+    /// The completions regardless of outcome — for callers that only
+    /// want whatever finished within the budget.
+    pub fn into_completions(self) -> Vec<Completion> {
+        self.completions
+    }
+
+    /// The pending owners if the budget ran out, empty when idle.
+    pub fn pending(&self) -> &[(ProcId, PendingOp)] {
+        match &self.outcome {
+            RunStatus::Idle => &[],
+            RunStatus::CycleBudgetExhausted { pending } => pending,
         }
     }
 }
@@ -1450,7 +1758,9 @@ mod tests {
     use super::*;
 
     fn machine(n: usize, c: u32, offsets: usize) -> CfmMachine {
-        CfmMachine::new(CfmConfig::new(n, c, 16).unwrap(), offsets)
+        CfmMachine::builder(CfmConfig::new(n, c, 16).unwrap())
+            .offsets(offsets)
+            .build()
     }
 
     #[test]
@@ -1458,7 +1768,7 @@ mod tests {
         // β = b + c − 1; n=4, c=2 → b=8, β=9 (Table 3.3's 8-bank row).
         let mut m = machine(4, 2, 16);
         m.issue(0, Operation::read(3)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].latency(), 9);
         assert_eq!(done[0].outcome, Outcome::Completed);
@@ -1469,10 +1779,10 @@ mod tests {
         let mut m = machine(4, 1, 16);
         let data: Vec<Word> = vec![10, 20, 30, 40];
         m.issue(2, Operation::write(5, data.clone())).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         assert_eq!(m.peek_block(5), data);
         m.issue(1, Operation::read(5)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         assert_eq!(done[0].data.as_deref(), Some(&data[..]));
         assert!(!done[0].torn);
     }
@@ -1486,7 +1796,7 @@ mod tests {
                 m.step();
             }
             m.issue(3, Operation::read(0)).unwrap();
-            let done = m.run_until_idle(100).unwrap();
+            let done = m.run(100).expect_idle();
             assert_eq!(done[0].latency(), 4, "skew {skew}");
         }
     }
@@ -1500,7 +1810,7 @@ mod tests {
         for p in 0..8 {
             m.issue(p, Operation::read(p)).unwrap();
         }
-        let done = m.run_until_idle(200).unwrap();
+        let done = m.run(200).expect_idle();
         assert_eq!(done.len(), 8);
         for c in &done {
             assert_eq!(c.latency(), m.config().block_access_time());
@@ -1515,7 +1825,7 @@ mod tests {
         for p in 0..4 {
             m.issue(p, Operation::read(2)).unwrap();
         }
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         for c in done {
             assert_eq!(c.data.as_deref(), Some(&[7, 7, 7, 7][..]));
             assert_eq!(c.restarts, 0);
@@ -1551,7 +1861,7 @@ mod tests {
         let mut m = machine(4, 1, 8);
         m.poke_block(3, &[1, 2, 3, 4]);
         m.issue(0, Operation::swap(3, vec![9, 9, 9, 9])).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         assert_eq!(done[0].data.as_deref(), Some(&[1, 2, 3, 4][..]));
         assert_eq!(done[0].latency(), m.config().swap_access_time());
         assert_eq!(m.peek_block(3), vec![9, 9, 9, 9]);
@@ -1561,9 +1871,9 @@ mod tests {
     fn back_to_back_issues_have_no_gap() {
         let mut m = machine(4, 1, 8);
         m.issue(0, Operation::read(0)).unwrap();
-        let first = m.run_until_idle(100).unwrap().remove(0);
+        let first = m.run(100).expect_idle().remove(0);
         m.issue(0, Operation::read(1)).unwrap();
-        let second = m.run_until_idle(100).unwrap().remove(0);
+        let second = m.run(100).expect_idle().remove(0);
         assert_eq!(second.issued_at, first.completed_at + 1);
     }
 
@@ -1574,7 +1884,7 @@ mod tests {
         let mut m = machine(4, 1, 8);
         m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
         m.issue(2, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         let block = m.peek_block(5);
         assert!(
             block == vec![1, 1, 1, 1] || block == vec![2, 2, 2, 2],
@@ -1590,11 +1900,14 @@ mod tests {
         // finds b's entry among its first n entries (b was issued later)
         // and aborts; b completes untouched.
         let cfg = CfmConfig::new(8, 1, 16).unwrap();
-        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(8)
+            .priority(PriorityMode::LatestWins)
+            .build();
         m.issue(1, Operation::write(5, vec![0xA; 8])).unwrap();
         m.step(); // slot 0: a starts in bank 1
         m.issue(3, Operation::write(5, vec![0xB; 8])).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let a = done.iter().find(|c| c.proc == 1).unwrap();
         let b = done.iter().find(|c| c.proc == 3).unwrap();
         assert_eq!(a.outcome, Outcome::Overwritten, "a must be aborted");
@@ -1612,10 +1925,13 @@ mod tests {
         // aborts, while d (having updated bank 0) compares only three
         // entries and proceeds.
         let cfg = CfmConfig::new(8, 1, 16).unwrap();
-        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(8)
+            .priority(PriorityMode::LatestWins)
+            .build();
         m.issue(1, Operation::write(5, vec![0xC; 8])).unwrap();
         m.issue(5, Operation::write(5, vec![0xD; 8])).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let c = done.iter().find(|x| x.proc == 1).unwrap();
         let d = done.iter().find(|x| x.proc == 5).unwrap();
         assert_eq!(c.outcome, Outcome::Overwritten, "c must lose the tie");
@@ -1631,11 +1947,14 @@ mod tests {
         // bank 3 at slot 2, detects f's entry, restarts, and returns the
         // all-new block.
         let cfg = CfmConfig::new(8, 1, 16).unwrap();
-        let mut m = CfmMachine::with_options(cfg, 8, true, PriorityMode::LatestWins);
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(8)
+            .priority(PriorityMode::LatestWins)
+            .build();
         m.poke_block(5, &[0; 8]);
         m.issue(3, Operation::write(5, vec![0xF; 8])).unwrap();
         m.issue(1, Operation::read(5)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let e = done.iter().find(|x| x.kind == OpKind::Read).unwrap();
         assert!(e.restarts >= 1, "e must restart at bank 3");
         assert_eq!(
@@ -1651,11 +1970,11 @@ mod tests {
         // Fig 4.1: without address tracking, staggered same-block writes
         // interleave and the block ends up torn.
         let cfg = CfmConfig::new(4, 1, 16).unwrap();
-        let mut m = CfmMachine::with_options(cfg, 8, false, PriorityMode::EarliestWins);
+        let mut m = CfmMachine::builder(cfg).offsets(8).tracking(false).build();
         m.issue(0, Operation::write(5, vec![1, 1, 1, 1])).unwrap();
         m.step(); // processor 1 starts one slot later, offset start bank
         m.issue(1, Operation::write(5, vec![2, 2, 2, 2])).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         let block = m.peek_block(5);
         assert!(
             block != vec![1, 1, 1, 1] && block != vec![2, 2, 2, 2],
@@ -1668,14 +1987,14 @@ mod tests {
         // A read overlapping a write with tracking off observes two
         // versions; the checker flags it.
         let cfg = CfmConfig::new(4, 1, 16).unwrap();
-        let mut m = CfmMachine::with_options(cfg, 8, false, PriorityMode::EarliestWins);
+        let mut m = CfmMachine::builder(cfg).offsets(8).tracking(false).build();
         m.poke_block(5, &[0, 0, 0, 0]);
         // Writer p1 starts at bank 1 and reaches bank 0 last (cycle 3);
         // reader p0 starts at bank 0 (cycle 0, old word) and then trails
         // one bank behind the writer (new words) — a classic tear.
         m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
         m.issue(0, Operation::read(5)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
         assert!(read.torn, "read should have observed a tear");
         assert!(m.stats().torn_reads >= 1);
@@ -1689,7 +2008,7 @@ mod tests {
         m.poke_block(5, &[0, 0, 0, 0]);
         m.issue(1, Operation::write(5, vec![9, 9, 9, 9])).unwrap();
         m.issue(0, Operation::read(5)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let read = done.iter().find(|c| c.kind == OpKind::Read).unwrap();
         assert!(!read.torn);
         let data = read.data.as_deref().unwrap();
@@ -1709,7 +2028,7 @@ mod tests {
         m.poke_block(5, &[0, 0, 0, 0]);
         m.issue(0, Operation::swap(5, vec![1, 1, 1, 1])).unwrap();
         m.issue(2, Operation::swap(5, vec![2, 2, 2, 2])).unwrap();
-        let done = m.run_until_idle(1000).unwrap();
+        let done = m.run(1000).expect_idle();
         let mut olds: Vec<Vec<Word>> = done
             .iter()
             .map(|c| c.data.as_deref().unwrap().to_vec())
@@ -1732,7 +2051,7 @@ mod tests {
             for p in 0..4 {
                 m.issue(p, Operation::fetch_add(2, 0, 1)).unwrap();
             }
-            let done = m.run_until_idle(100_000).unwrap();
+            let done = m.run(100_000).expect_idle();
             assert_eq!(done.len(), 4, "round {round}");
         }
         assert_eq!(m.peek_block(2)[0], 20);
@@ -1744,7 +2063,7 @@ mod tests {
         let mut m = machine(4, 2, 8);
         m.poke_block(1, &[5, 0, 0, 0, 0, 0, 0, 0]);
         m.issue(0, Operation::fetch_add(1, 0, 10)).unwrap();
-        let done = m.run_until_idle(1_000).unwrap();
+        let done = m.run(1_000).expect_idle();
         assert_eq!(done[0].data.as_deref().unwrap()[0], 5); // old value
         assert_eq!(done[0].latency(), m.config().swap_access_time());
         assert_eq!(m.peek_block(1)[0], 15);
@@ -1766,7 +2085,7 @@ mod tests {
             },
         )
         .unwrap();
-        m.run_until_idle(1_000).unwrap();
+        m.run(1_000).expect_idle();
         assert_eq!(m.peek_block(0), vec![0b1111, 0, 0, 1]);
         // Overlapping pattern fails atomically: block unchanged, old
         // value returned for the caller to inspect.
@@ -1780,7 +2099,7 @@ mod tests {
             },
         )
         .unwrap();
-        let done = m.run_until_idle(1_000).unwrap();
+        let done = m.run(1_000).expect_idle();
         assert_eq!(done[0].data.as_deref().unwrap()[0], 0b1111);
         assert_eq!(m.peek_block(0), vec![0b1111, 0, 0, 1]);
     }
@@ -1807,7 +2126,7 @@ mod tests {
     fn stats_count_basic_run() {
         let mut m = machine(4, 1, 8);
         m.issue(0, Operation::read(0)).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         assert_eq!(m.stats().issued, 1);
         assert_eq!(m.stats().completed, 1);
         assert_eq!(m.stats().word_accesses, 4);
@@ -1815,10 +2134,30 @@ mod tests {
     }
 
     #[test]
-    fn run_until_idle_reports_budget_exhaustion() {
+    fn run_reports_budget_exhaustion_with_pending_owners() {
         let mut m = machine(4, 2, 8);
         m.issue(0, Operation::read(0)).unwrap();
-        assert!(m.run_until_idle(3).is_err());
+        let report = m.run(3);
+        assert!(!report.is_idle());
+        let pending = report.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].0, 0);
+        assert_eq!(pending[0].1.offset, 0);
+        // The deprecated shim maps the same run onto the old Result shape.
+        #[allow(deprecated)]
+        {
+            let mut m2 = machine(4, 2, 8);
+            m2.issue(0, Operation::read(0)).unwrap();
+            assert!(m2.run_until_idle(3).is_err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle budget exhausted")]
+    fn expect_idle_panics_naming_pending_owners() {
+        let mut m = machine(4, 2, 8);
+        m.issue(1, Operation::read(2)).unwrap();
+        let _ = m.run(2).expect_idle();
     }
 
     use crate::fault::{FaultKind, FaultPlan};
@@ -1826,7 +2165,7 @@ mod tests {
     #[test]
     fn transient_fault_recovers_with_backoff() {
         let mut m = machine(4, 1, 8);
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().fault_plan(FaultPlan::single(
             1,
             FaultKind::TransientBankError {
                 bank: 2,
@@ -1834,7 +2173,7 @@ mod tests {
             },
         ));
         m.issue(0, Operation::write(3, vec![5, 6, 7, 8])).unwrap();
-        let done = m.run_until_idle(1_000).unwrap();
+        let done = m.run(1_000).expect_idle();
         assert_eq!(done[0].outcome, Outcome::Completed);
         assert!(m.stats().fault_retries >= 1, "the fault window was hit");
         assert_eq!(m.stats().fault_aborts, 0);
@@ -1850,7 +2189,7 @@ mod tests {
         let mut m = machine(4, 1, 8);
         // A repair slot far beyond the bounded retry budget: every
         // backed-off retry still lands in the fault window.
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().fault_plan(FaultPlan::single(
             0,
             FaultKind::TransientBankError {
                 bank: 1,
@@ -1858,7 +2197,7 @@ mod tests {
             },
         ));
         m.issue(2, Operation::read(0)).unwrap();
-        let done = m.run_until_idle(5_000).unwrap();
+        let done = m.run(5_000).expect_idle();
         assert_eq!(done[0].outcome, Outcome::TransientFault);
         assert_eq!(m.stats().fault_aborts, 1);
         assert!(m.stats().fault_retries >= 8);
@@ -1867,9 +2206,9 @@ mod tests {
     #[test]
     fn permanent_failure_remaps_onto_spare_preserving_data() {
         let cfg = CfmConfig::new(4, 1, 16).unwrap().with_spares(1).unwrap();
-        let mut m = CfmMachine::new(cfg, 8);
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
         m.poke_block(2, &[11, 22, 33, 44]);
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().fault_plan(FaultPlan::single(
             3,
             FaultKind::PermanentBankFailure { bank: 1 },
         ));
@@ -1896,7 +2235,7 @@ mod tests {
     fn spareless_failure_masks_the_bank_without_tearing() {
         let mut m = machine(4, 1, 8);
         m.poke_block(5, &[1, 2, 3, 4]);
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().fault_plan(FaultPlan::single(
             0,
             FaultKind::PermanentBankFailure { bank: 2 },
         ));
@@ -1913,9 +2252,10 @@ mod tests {
     #[test]
     fn dropped_response_is_retransmitted_one_period_later() {
         let mut m = machine(4, 1, 8);
-        m.set_fault_plan(FaultPlan::single(0, FaultKind::DroppedResponse { proc: 0 }));
+        m.injector()
+            .fault_plan(FaultPlan::single(0, FaultKind::DroppedResponse { proc: 0 }));
         m.issue(0, Operation::read(1)).unwrap();
-        let done = m.run_until_idle(100).unwrap();
+        let done = m.run(100).expect_idle();
         let beta = m.config().block_access_time();
         let banks = m.config().banks() as u64;
         assert_eq!(done[0].latency(), beta + banks, "delayed by one period");
@@ -1929,16 +2269,16 @@ mod tests {
         // exactly the slot where the write sweep hits bank 3; with the
         // retry suppressed, the erroring bank stores a corrupted word.
         let mut m = machine(4, 1, 8);
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().fault_plan(FaultPlan::single(
             3,
             FaultKind::TransientBankError {
                 bank: 3,
                 repair_slot: 4,
             },
         ));
-        m.inject_retry_suppression(1);
+        m.injector().suppress_retries(1);
         m.issue(0, Operation::write(6, vec![9, 9, 9, 9])).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         let block = m.peek_block(6);
         assert_eq!(&block[..3], &[9, 9, 9]);
         assert_ne!(block[3], 9, "the suppressed retry corrupted word 3");
@@ -1948,10 +2288,10 @@ mod tests {
     #[test]
     fn remap_copy_skip_loses_committed_writes() {
         let cfg = CfmConfig::new(4, 1, 16).unwrap().with_spares(1).unwrap();
-        let mut m = CfmMachine::new(cfg, 8);
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
         m.poke_block(0, &[7, 7, 7, 7]);
-        m.inject_remap_copy_skip();
-        m.set_fault_plan(FaultPlan::single(
+        m.injector().skip_remap_copy();
+        m.injector().fault_plan(FaultPlan::single(
             1,
             FaultKind::PermanentBankFailure { bank: 2 },
         ));
@@ -1981,8 +2321,8 @@ mod tests {
     fn drive_disjoint(engine: Engine) -> (Vec<Completion>, Stats, Vec<Vec<Word>>, MemoryTrace) {
         let cfg = CfmConfig::new(8, 2, 16).unwrap().with_engine(engine);
         let b = cfg.banks();
-        let mut m = CfmMachine::new(cfg, 32);
-        m.enable_trace();
+        let mut m = CfmMachine::builder(cfg).offsets(32).build();
+        m.start_trace();
         for o in 0..8 {
             m.poke_block(o, &vec![o as Word + 1; b]);
         }
@@ -1997,7 +2337,7 @@ mod tests {
                 };
                 m.issue(p, op).unwrap();
             }
-            completions.extend(m.run_until_idle(10_000).unwrap());
+            completions.extend(m.run(10_000).expect_idle());
         }
         if matches!(engine, Engine::Parallel { .. }) {
             assert!(m.parallel_slots() > 0, "the parallel path really engaged");
@@ -2025,15 +2365,15 @@ mod tests {
     fn drive_contended(engine: Engine) -> (Vec<Completion>, Stats, Vec<Word>, MemoryTrace) {
         let cfg = CfmConfig::new(4, 1, 16).unwrap().with_engine(engine);
         let b = cfg.banks();
-        let mut m = CfmMachine::new(cfg, 8);
-        m.enable_trace();
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
+        m.start_trace();
         let mut completions = Vec::new();
         for round in 0..4u64 {
             for p in 0..4usize {
                 m.issue(p, Operation::swap(0, vec![round * 10 + p as u64; b]))
                     .unwrap();
             }
-            completions.extend(m.run_until_idle(10_000).unwrap());
+            completions.extend(m.run(10_000).expect_idle());
         }
         (
             completions,
@@ -2063,9 +2403,9 @@ mod tests {
                 .unwrap()
                 .with_engine(engine);
             let b = cfg.banks();
-            let mut m = CfmMachine::new(cfg, 8);
-            m.enable_trace();
-            m.set_fault_plan(FaultPlan::generate(
+            let mut m = CfmMachine::builder(cfg).offsets(8).build();
+            m.start_trace();
+            m.injector().fault_plan(FaultPlan::generate(
                 11,
                 &crate::fault::PlanParams {
                     banks: b,
@@ -2088,7 +2428,7 @@ mod tests {
                     };
                     m.issue(p, op).unwrap();
                 }
-                completions.extend(m.run_until_idle(10_000).unwrap());
+                completions.extend(m.run(10_000).expect_idle());
             }
             (completions, *m.stats(), m.take_trace().unwrap())
         };
@@ -2106,15 +2446,15 @@ mod tests {
             .unwrap()
             .with_engine(Engine::Parallel { threads: 2 });
         let b = cfg.banks();
-        let mut m = CfmMachine::new(cfg, 8);
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
         m.issue(0, Operation::write(1, vec![9; b])).unwrap();
-        m.run_until_idle(100).unwrap();
+        m.run(100).expect_idle();
         let mut clone = m.clone();
         clone.issue(2, Operation::read(1)).unwrap();
-        let done = clone.run_until_idle(100).unwrap();
+        let done = clone.run(100).expect_idle();
         assert_eq!(done[0].data.as_deref(), Some(&vec![9; b][..]));
         // The original keeps working too (its pool was never shared).
         m.issue(1, Operation::read(1)).unwrap();
-        assert_eq!(m.run_until_idle(100).unwrap().len(), 1);
+        assert_eq!(m.run(100).expect_idle().len(), 1);
     }
 }

@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn runner_drives_programs_to_completion() {
         let cfg = CfmConfig::new(4, 1, 16).unwrap();
-        let mut r = Runner::new(CfmMachine::new(cfg, 16));
+        let mut r = Runner::new(CfmMachine::builder(cfg).offsets(16).build());
         for p in 0..4 {
             r.set_program(
                 p,
@@ -222,14 +222,14 @@ mod tests {
     #[test]
     fn idle_runner_finishes_immediately() {
         let cfg = CfmConfig::new(2, 1, 16).unwrap();
-        let mut r = Runner::new(CfmMachine::new(cfg, 4));
+        let mut r = Runner::new(CfmMachine::builder(cfg).offsets(4).build());
         assert_eq!(r.run(10), RunOutcome::Finished(0));
     }
 
     #[test]
     fn budget_exhaustion_names_the_stalled_owners() {
         let cfg = CfmConfig::new(4, 2, 16).unwrap();
-        let mut r = Runner::new(CfmMachine::new(cfg, 8));
+        let mut r = Runner::new(CfmMachine::builder(cfg).offsets(8).build());
         r.set_program(
             2,
             Box::new(WriteThenRead {

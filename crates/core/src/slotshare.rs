@@ -67,7 +67,7 @@ impl SlotSharedMachine {
         assert!(sharers_per_slot >= 1);
         let slots = config.processors();
         SlotSharedMachine {
-            inner: CfmMachine::new(config, offsets),
+            inner: CfmMachine::builder(config).offsets(offsets).build(),
             sharers_per_slot,
             queues: vec![VecDeque::new(); slots],
             occupant: vec![None; slots],
@@ -106,7 +106,7 @@ impl SlotSharedMachine {
     /// decisions appear as [`TraceEvent::SlotEnqueue`] /
     /// [`TraceEvent::SlotLaunch`] alongside the memory events.
     pub fn enable_trace(&mut self) {
-        self.inner.enable_trace();
+        self.inner.start_trace();
     }
 
     /// Stop tracing and take the recorded trace.

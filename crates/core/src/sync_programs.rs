@@ -167,7 +167,7 @@ mod tests {
         let n = 4;
         let cfg = CfmConfig::new(n, 1, 16).unwrap();
         let log: BarrierLog = Rc::new(RefCell::new(Vec::new()));
-        let mut runner = Runner::new(CfmMachine::new(cfg, 8));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(8).build());
         for p in 0..n {
             runner.set_program(
                 p,
@@ -202,7 +202,7 @@ mod tests {
     fn tickets_are_unique_and_dense() {
         let n = 4;
         let cfg = CfmConfig::new(n, 1, 16).unwrap();
-        let mut runner = Runner::new(CfmMachine::new(cfg, 4));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(4).build());
         for p in 0..n {
             runner.set_program(p, Box::new(TicketProgram::new(1, 5)));
         }
@@ -215,7 +215,7 @@ mod tests {
     fn single_party_barrier_is_free_running() {
         let cfg = CfmConfig::new(2, 1, 16).unwrap();
         let log: BarrierLog = Rc::new(RefCell::new(Vec::new()));
-        let mut runner = Runner::new(CfmMachine::new(cfg, 4));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(4).build());
         runner.set_program(0, Box::new(BarrierProgram::new(0, 0, 1, 5, log.clone())));
         assert!(matches!(runner.run(10_000), RunOutcome::Finished(_)));
         assert_eq!(log.borrow().len(), 5);

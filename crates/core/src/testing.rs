@@ -1,0 +1,83 @@
+//! Seeded-fault facade for exercising the verifier's detectors.
+//!
+//! The chaos and trace self-tests need to *break* the machine in precise,
+//! repeatable ways — corrupt the bank map, suppress a retry, skip a remap
+//! copy, drop an ATT insertion — so each detector can be shown to catch
+//! exactly the failure it exists for. Those hooks used to live as four
+//! ad-hoc `inject_*` methods on [`CfmMachine`] itself; they are now
+//! gathered behind this one [`Injector`] facade so the machine's public
+//! surface no longer advertises fault-seeding footguns.
+//!
+//! Reach it at build time through
+//! [`crate::machine::CfmMachineBuilder::inject`], or at runtime (e.g. to
+//! install a fault plan relative to the current slot) through
+//! [`CfmMachine::injector`]:
+//!
+//! ```
+//! use cfm_core::config::CfmConfig;
+//! use cfm_core::machine::CfmMachine;
+//!
+//! let cfg = CfmConfig::new(4, 1, 16).unwrap();
+//! let mut m = CfmMachine::builder(cfg).offsets(8).build();
+//! m.injector().suppress_retries(1);
+//! ```
+
+use crate::fault::FaultPlan;
+use crate::machine::CfmMachine;
+use crate::BankId;
+
+/// Borrowed facade over a [`CfmMachine`]'s seeded-fault hooks. Every
+/// method corrupts the machine on purpose — these exist so the
+/// verifier's detectors can be proven non-vacuous, not for production
+/// configuration (that is [`crate::machine::CfmMachineBuilder`]'s job).
+pub struct Injector<'m> {
+    machine: &'m mut CfmMachine,
+}
+
+impl<'m> Injector<'m> {
+    pub(crate) fn new(machine: &'m mut CfmMachine) -> Self {
+        Self { machine }
+    }
+
+    /// Corrupt the bank map by forcing `logical` onto `physical` without
+    /// retiring anyone — the "undetected bank death" the injectivity
+    /// detector must refuse to certify.
+    pub fn bank_alias(&mut self, logical: BankId, physical: usize) -> &mut Self {
+        self.machine.seed_bank_alias(logical, physical);
+        self
+    }
+
+    /// Let the next `count` transient-faulted accesses proceed (with a
+    /// corrupted word) instead of retrying — the "missed retry" the
+    /// durability detector must catch.
+    pub fn suppress_retries(&mut self, count: u64) -> &mut Self {
+        self.machine.seed_retry_suppression(count);
+        self
+    }
+
+    /// Make the next permanent-failure remap skip its data copy, losing
+    /// every committed write on the retired bank — the "remap losing a
+    /// write" the durability detector must catch.
+    pub fn skip_remap_copy(&mut self) -> &mut Self {
+        self.machine.seed_remap_copy_skip();
+        self
+    }
+
+    /// Silently drop the next `count` ATT insertions, so the
+    /// corresponding write phases go untracked and same-block races slip
+    /// past the arbitration — the race detector must catch the
+    /// consequences.
+    pub fn drop_att_inserts(&mut self, count: u64) -> &mut Self {
+        self.machine.seed_att_insert_drops(count);
+        self
+    }
+
+    /// Install (or replace) a [`FaultPlan`] on a machine that may already
+    /// be running — events whose slot has passed fire on the next step.
+    /// Prefer [`crate::machine::CfmMachineBuilder::fault_plan`] when the
+    /// plan is known before construction.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.machine.install_fault_plan(plan);
+        self
+    }
+}

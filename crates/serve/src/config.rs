@@ -1,0 +1,72 @@
+//! Service configuration: the machine shape plus the tenant roster.
+
+use cfm_core::config::CfmConfig;
+
+/// One tenant's admission and scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (appears in metrics and reports).
+    pub name: String,
+    /// Deficit round-robin weight: a backlogged tenant receives issue
+    /// slots in proportion to its weight. Must be ≥ 1.
+    pub weight: u32,
+    /// Bound on this tenant's admission queue; a submit beyond it is
+    /// rejected with [`crate::Reject::QueueFull`].
+    pub queue_capacity: usize,
+}
+
+/// Configuration consumed by [`crate::Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The machine to drive (sequential or parallel engine).
+    pub machine: CfmConfig,
+    /// Blocks of shared memory (offsets per bank).
+    pub offsets: usize,
+    /// The tenant roster; tenant IDs are indexes into this list.
+    pub tenants: Vec<TenantSpec>,
+    /// Global bound on queued operations across all tenants. A submit
+    /// that would exceed it is shed with [`crate::Reject::Overloaded`]
+    /// even if the tenant's own queue has room — the service's
+    /// load-shedding backstop. Defaults to 4× the machine's processor
+    /// count per tenant once tenants are added, until set explicitly.
+    pub max_queued: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// A configuration for `machine` with `offsets` blocks of shared
+    /// memory and no tenants yet.
+    pub fn new(machine: CfmConfig, offsets: usize) -> Self {
+        ServiceConfig {
+            machine,
+            offsets,
+            tenants: Vec::new(),
+            max_queued: None,
+        }
+    }
+
+    /// Add a tenant with the given DRR `weight` and queue bound. The
+    /// returned tenant's ID is its position in the roster (first added
+    /// is 0).
+    pub fn tenant(mut self, name: &str, weight: u32, queue_capacity: usize) -> Self {
+        self.tenants.push(TenantSpec {
+            name: name.to_string(),
+            weight,
+            queue_capacity,
+        });
+        self
+    }
+
+    /// Set the global queued-operation bound (load-shedding threshold).
+    pub fn max_queued(mut self, limit: usize) -> Self {
+        self.max_queued = Some(limit);
+        self
+    }
+
+    /// The effective global bound: the explicit limit, or the sum of all
+    /// tenant queue capacities when unset (i.e. shedding only at the
+    /// per-tenant bound).
+    pub fn effective_max_queued(&self) -> usize {
+        self.max_queued
+            .unwrap_or_else(|| self.tenants.iter().map(|t| t.queue_capacity).sum())
+    }
+}

@@ -1,0 +1,78 @@
+//! # cfm-serve — a multi-tenant request front end for the CFM machine
+//!
+//! The paper's claim is that the AT-space schedule removes memory and
+//! network contention *by construction* — exactly the property a shared
+//! memory service wants under hot-spot traffic (the tree-saturation
+//! problem a combining network tries to mitigate statistically, CFM
+//! avoids structurally). This crate is the front end that turns external
+//! per-tenant request streams into scheduled slots:
+//!
+//! * **Admission** ([`Service::submit`]) — bounded per-tenant queues with
+//!   typed rejection ([`Reject::QueueFull`], [`Reject::Overloaded`]):
+//!   overload sheds at the edge instead of queueing without bound, so
+//!   backpressure is explicit and a hot tenant cannot grow another
+//!   tenant's latency tail.
+//! * **Scheduling** ([`scheduler::DrrScheduler`]) — a deficit round-robin
+//!   pass maps tenant queues onto idle processor lanes every slot; a
+//!   backlogged tenant is guaranteed its weight share of issue slots no
+//!   matter how hard another tenant pushes.
+//! * **Batching** — each event-loop iteration coalesces up to one
+//!   operation per idle processor into a single-slot batch, issues the
+//!   batch, and steps the machine exactly one slot; the machine's
+//!   conflict-freedom invariant (zero same-slot bank conflicts) holds for
+//!   every batch by construction.
+//! * **Event loop** — one thread hosted on a
+//!   [`cfm_core::engine::WorkerPool`] (the same persistent parked-worker
+//!   primitive the parallel slot engine uses; no tokio, the build is
+//!   offline). The loop parks on a condvar when fully idle and is woken
+//!   by submits and drain; it never blocks while operations are in
+//!   flight.
+//! * **Drain** ([`Service::drain`]) — stop admitting, finish everything
+//!   already admitted (queued *and* in flight), and return a
+//!   [`ServiceReport`] with the machine's own statistics. Dropping a
+//!   service instead closes outstanding tickets so no waiter deadlocks.
+//! * **Observability** ([`metrics`]) — per-tenant counters and
+//!   log₂-bucketed latency histograms with p50/p90/p99 snapshots,
+//!   exported as byte-stable ordered JSON (`bench_serve` writes them to
+//!   `BENCH_serve.json`).
+//!
+//! See `docs/service.md` for the architecture and the admission /
+//! backpressure / fairness semantics in detail.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cfm_core::config::CfmConfig;
+//! use cfm_core::op::Operation;
+//! use cfm_serve::{Service, ServiceConfig};
+//!
+//! let cfg = CfmConfig::new(4, 1, 16).unwrap();
+//! let service = Service::start(
+//!     ServiceConfig::new(cfg, 64)
+//!         .tenant("alice", 1, 32)
+//!         .tenant("bob", 3, 32),
+//! )
+//! .unwrap();
+//!
+//! let banks = 4;
+//! let ticket = service
+//!     .submit(0, Operation::write(7, vec![1; banks]))
+//!     .expect("admitted");
+//! let response = ticket.wait().expect("completed");
+//! assert_eq!(response.tenant, 0);
+//!
+//! let report = service.drain();
+//! assert_eq!(report.stats.bank_conflicts, 0); // conflict-free by construction
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+
+pub use config::{ServiceConfig, TenantSpec};
+pub use metrics::{Histogram, MetricsSnapshot, TenantMetrics};
+pub use request::{Reject, Response, TenantId, Ticket};
+pub use service::{Service, ServiceReport, StartError};

@@ -1,0 +1,313 @@
+//! Per-tenant counters and log₂-bucketed latency histograms.
+//!
+//! Latencies are recorded in wall-clock nanoseconds into power-of-two
+//! buckets: bucket `i` holds samples in `[2^i, 2^(i+1))`. Quantile
+//! snapshots report the *upper bound* of the bucket containing the
+//! quantile rank — a deliberate over-estimate (≤ 2× the true value) so
+//! a reported p99 is never flattering. The JSON export is handwritten
+//! and ordered (insertion-order keys, no map iteration), so two runs
+//! with identical counts render byte-identically.
+
+use crate::request::TenantId;
+
+/// Number of log₂ buckets: covers 1 ns to ~2⁶³ ns.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in nanoseconds (0 is clamped to 1).
+    pub fn record(&mut self, ns: u64) {
+        let ns = ns.max(1);
+        let bucket = 63 - ns.leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 < q <= 1.0`); 0 when empty. The true quantile is between
+    /// half this value and this value.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper-bound estimate).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th percentile (upper-bound estimate).
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th percentile (upper-bound estimate).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    fn json_into(&self, out: &mut String, indent: &str) {
+        out.push_str(&format!("{indent}\"count\": {},\n", self.count));
+        out.push_str(&format!("{indent}\"mean_ns\": {},\n", self.mean_ns()));
+        out.push_str(&format!("{indent}\"p50_ns\": {},\n", self.p50_ns()));
+        out.push_str(&format!("{indent}\"p90_ns\": {},\n", self.p90_ns()));
+        out.push_str(&format!("{indent}\"p99_ns\": {},\n", self.p99_ns()));
+        out.push_str(&format!("{indent}\"max_ns\": {}", self.max_ns()));
+    }
+}
+
+/// One tenant's counters, maintained by the service.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TenantCounters {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) rejected_queue_full: u64,
+    pub(crate) rejected_overloaded: u64,
+    pub(crate) rejected_shutdown: u64,
+    pub(crate) latency: Histogram,
+}
+
+/// All counters the service maintains, per tenant plus service-wide.
+#[derive(Debug, Clone)]
+pub(crate) struct Metrics {
+    pub(crate) names: Vec<String>,
+    pub(crate) tenants: Vec<TenantCounters>,
+}
+
+impl Metrics {
+    pub(crate) fn new(names: Vec<String>) -> Self {
+        Metrics {
+            tenants: vec![TenantCounters::default(); names.len()],
+            names,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut overall = Histogram::new();
+        for t in &self.tenants {
+            overall.merge(&t.latency);
+        }
+        MetricsSnapshot {
+            tenants: self
+                .names
+                .iter()
+                .zip(self.tenants.iter())
+                .enumerate()
+                .map(|(id, (name, c))| TenantMetrics {
+                    tenant: id,
+                    name: name.clone(),
+                    submitted: c.submitted,
+                    completed: c.completed,
+                    rejected_queue_full: c.rejected_queue_full,
+                    rejected_overloaded: c.rejected_overloaded,
+                    rejected_shutdown: c.rejected_shutdown,
+                    latency: c.latency.clone(),
+                })
+                .collect(),
+            overall,
+        }
+    }
+}
+
+/// One tenant's counters in a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantMetrics {
+    /// Tenant ID (roster index).
+    pub tenant: TenantId,
+    /// Tenant display name.
+    pub name: String,
+    /// Operations accepted by [`crate::Service::submit`].
+    pub submitted: u64,
+    /// Operations fulfilled (ticket delivered).
+    pub completed: u64,
+    /// Submits rejected because this tenant's queue was full.
+    pub rejected_queue_full: u64,
+    /// Submits shed by the global overload bound.
+    pub rejected_overloaded: u64,
+    /// Submits refused during drain/shutdown.
+    pub rejected_shutdown: u64,
+    /// Admission-to-fulfillment wall-clock latency.
+    pub latency: Histogram,
+}
+
+/// Point-in-time view of the service's counters.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Per-tenant counters, in roster order.
+    pub tenants: Vec<TenantMetrics>,
+    /// All tenants' latency samples merged.
+    pub overall: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Total operations fulfilled across tenants.
+    pub fn completed(&self) -> u64 {
+        self.tenants.iter().map(|t| t.completed).sum()
+    }
+
+    /// Total submits rejected (all causes) across tenants.
+    pub fn rejected(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|t| t.rejected_queue_full + t.rejected_overloaded + t.rejected_shutdown)
+            .sum()
+    }
+
+    /// Render as ordered JSON (2-space indent, byte-stable for equal
+    /// counter values).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"completed\": {},\n", self.completed()));
+        out.push_str(&format!("  \"rejected\": {},\n", self.rejected()));
+        out.push_str("  \"latency\": {\n");
+        self.overall.json_into(&mut out, "    ");
+        out.push_str("\n  },\n");
+        out.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"tenant\": {},\n", t.tenant));
+            out.push_str(&format!("      \"name\": \"{}\",\n", t.name));
+            out.push_str(&format!("      \"submitted\": {},\n", t.submitted));
+            out.push_str(&format!("      \"completed\": {},\n", t.completed));
+            out.push_str(&format!(
+                "      \"rejected_queue_full\": {},\n",
+                t.rejected_queue_full
+            ));
+            out.push_str(&format!(
+                "      \"rejected_overloaded\": {},\n",
+                t.rejected_overloaded
+            ));
+            out.push_str(&format!(
+                "      \"rejected_shutdown\": {},\n",
+                t.rejected_shutdown
+            ));
+            out.push_str("      \"latency\": {\n");
+            t.latency.json_into(&mut out, "        ");
+            out.push_str("\n      }\n");
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 == self.tenants.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_and_quantiles_upper_bound() {
+        let mut h = Histogram::new();
+        for ns in [1u64, 2, 3, 4, 100, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_ns(), 1_000_000);
+        // p50 of 7 samples is the 4th (ns=4) → bucket [4,8) → upper 7.
+        assert_eq!(h.p50_ns(), 7);
+        // p99 lands on the largest sample's bucket [2^19, 2^20).
+        assert_eq!(h.p99_ns(), (1u64 << 20) - 1);
+        assert!(h.p99_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn zero_sample_is_clamped_and_empty_is_zero() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p99_ns(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50_ns(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 1000);
+    }
+
+    #[test]
+    fn snapshot_json_is_ordered_and_stable() {
+        let mut m = Metrics::new(vec!["a".into(), "b".into()]);
+        m.tenants[0].submitted = 3;
+        m.tenants[0].completed = 2;
+        m.tenants[0].latency.record(500);
+        m.tenants[1].rejected_queue_full = 1;
+        let json = m.snapshot().to_json();
+        assert_eq!(json, m.snapshot().to_json(), "byte-stable");
+        let completed = json.find("\"completed\"").unwrap();
+        let tenants = json.find("\"tenants\"").unwrap();
+        assert!(completed < tenants, "key order fixed");
+        assert!(json.contains("\"name\": \"b\""));
+    }
+}

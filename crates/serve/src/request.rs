@@ -1,0 +1,177 @@
+//! Requests, typed admission rejection, and completion tickets.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cfm_core::op::Completion;
+use parking_lot::{Condvar, Mutex};
+
+/// Index of a tenant in the [`crate::ServiceConfig`] roster.
+pub type TenantId = usize;
+
+/// Why a submit was refused admission. Every variant is a *normal*
+/// backpressure signal, not an error in the service: the caller is
+/// expected to shed, retry later, or slow down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// The tenant's own bounded queue is full.
+    QueueFull {
+        /// The tenant whose queue is at capacity.
+        tenant: TenantId,
+        /// The configured per-tenant bound.
+        capacity: usize,
+    },
+    /// The service-wide queued-operation bound is reached — global load
+    /// shedding, independent of which tenant is responsible.
+    Overloaded {
+        /// Operations queued across all tenants at rejection time.
+        queued: usize,
+        /// The configured global bound.
+        limit: usize,
+    },
+    /// The service is draining or shut down and admits nothing new.
+    ShuttingDown,
+    /// No such tenant in the roster.
+    UnknownTenant {
+        /// The offending tenant ID.
+        tenant: TenantId,
+    },
+    /// The operation's block offset is outside the machine's memory.
+    NoSuchBlock {
+        /// The requested offset.
+        offset: usize,
+        /// Blocks available.
+        offsets: usize,
+    },
+    /// Write/swap data length differs from the machine's bank count.
+    WrongBlockLength {
+        /// Words supplied.
+        got: usize,
+        /// Words required (= banks).
+        want: usize,
+    },
+}
+
+impl fmt::Display for Reject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reject::QueueFull { tenant, capacity } => {
+                write!(f, "tenant {tenant} queue full (capacity {capacity})")
+            }
+            Reject::Overloaded { queued, limit } => {
+                write!(f, "service overloaded ({queued} queued, limit {limit})")
+            }
+            Reject::ShuttingDown => write!(f, "service is shutting down"),
+            Reject::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            Reject::NoSuchBlock { offset, offsets } => {
+                write!(f, "block {offset} out of range ({offsets} blocks)")
+            }
+            Reject::WrongBlockLength { got, want } => {
+                write!(f, "block data has {got} words, machine wants {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// A fulfilled request: the machine-level completion plus wall-clock
+/// latency accounting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The submitting tenant.
+    pub tenant: TenantId,
+    /// The machine's completion record (data for reads/swaps, restart
+    /// count, slot-level latency).
+    pub completion: Completion,
+    /// Wall-clock nanoseconds from admission to issue (queueing delay).
+    pub queued_ns: u64,
+    /// Wall-clock nanoseconds from admission to fulfillment (the latency
+    /// the tenant observes; recorded in the service histograms).
+    pub total_ns: u64,
+}
+
+/// Shared slot a ticket waits on. `closed` is set (instead of a
+/// response) when the service shuts down without completing the request,
+/// so no waiter can deadlock on an abandoned ticket.
+pub(crate) struct TicketInner {
+    pub(crate) slot: Mutex<TicketState>,
+    pub(crate) ready: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct TicketState {
+    pub(crate) response: Option<Response>,
+    pub(crate) closed: bool,
+}
+
+impl TicketInner {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketInner {
+            slot: Mutex::new(TicketState::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the response and wake the waiter.
+    pub(crate) fn fulfill(&self, response: Response) {
+        let mut state = self.slot.lock();
+        debug_assert!(state.response.is_none() && !state.closed);
+        state.response = Some(response);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Mark the ticket abandoned (service shut down before completion)
+    /// and wake the waiter.
+    pub(crate) fn close(&self) {
+        let mut state = self.slot.lock();
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one admitted request. Obtained from
+/// [`crate::Service::submit`]; redeemed with [`Ticket::wait`].
+pub struct Ticket {
+    pub(crate) inner: Arc<TicketInner>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the request completes. Returns `None` only if the
+    /// service was dropped (not drained) before the request finished —
+    /// [`crate::Service::drain`] completes every admitted request, so a
+    /// drained service never abandons a ticket.
+    pub fn wait(self) -> Option<Response> {
+        let mut state = self.inner.slot.lock();
+        loop {
+            if let Some(response) = state.response.take() {
+                return Some(response);
+            }
+            if state.closed {
+                return None;
+            }
+            self.inner.ready.wait(&mut state);
+        }
+    }
+
+    /// Take the response if it is already available, without blocking.
+    pub fn try_take(&mut self) -> Option<Response> {
+        self.inner.slot.lock().response.take()
+    }
+
+    /// Whether the response is available (or the ticket was abandoned).
+    pub fn is_ready(&self) -> bool {
+        let state = self.inner.slot.lock();
+        state.response.is_some() || state.closed
+    }
+}

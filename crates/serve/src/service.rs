@@ -1,0 +1,522 @@
+//! The service itself: admission, the slot-batching event loop, drain.
+//!
+//! One thread, hosted on a [`cfm_core::engine::WorkerPool`] with a single
+//! worker, owns the [`CfmMachine`] outright — clients never touch the
+//! machine, so the machine runs lock-free. Clients and the loop meet at
+//! a small shared state (tenant queues + counters) guarded by one
+//! mutex with short critical sections, plus a condvar the loop parks on
+//! when — and only when — there is neither queued nor in-flight work.
+//!
+//! Per iteration the loop: dequeues up to one operation per idle
+//! processor (deficit round-robin across tenants), issues that batch,
+//! steps the machine exactly one slot, polls completions, and fulfills
+//! their tickets. Admission-to-fulfillment wall time lands in the
+//! tenant's latency histogram.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfm_core::config::Engine;
+use cfm_core::engine::WorkerPool;
+use cfm_core::machine::CfmMachine;
+use cfm_core::op::Operation;
+use cfm_core::stats::Stats;
+use cfm_core::ProcId;
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::ServiceConfig;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{Pending, TenantQueue};
+use crate::request::{Reject, Response, TenantId, Ticket, TicketInner};
+use crate::scheduler::DrrScheduler;
+
+/// Why [`Service::start`] refused the configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartError {
+    /// The roster is empty — a service with no tenants serves nobody.
+    NoTenants,
+    /// A tenant has weight 0 (it would never be scheduled).
+    ZeroWeight {
+        /// The offending tenant.
+        tenant: TenantId,
+    },
+    /// A tenant has queue capacity 0 (every submit would be rejected).
+    ZeroCapacity {
+        /// The offending tenant.
+        tenant: TenantId,
+    },
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::NoTenants => write!(f, "service config has no tenants"),
+            StartError::ZeroWeight { tenant } => write!(f, "tenant {tenant} has weight 0"),
+            StartError::ZeroCapacity { tenant } => {
+                write!(f, "tenant {tenant} has queue capacity 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// Final accounting returned by [`Service::drain`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Counter and latency snapshot at drain.
+    pub metrics: MetricsSnapshot,
+    /// The machine's own statistics — `bank_conflicts` must be 0, the
+    /// conflict-freedom invariant the whole design rests on.
+    pub stats: Stats,
+    /// Slots the machine simulated.
+    pub cycles: u64,
+    /// Slots executed by the parallel plan → execute → merge pipeline
+    /// (0 under [`Engine::Sequential`]).
+    pub parallel_slots: u64,
+    /// Engine the machine ran.
+    pub engine: Engine,
+}
+
+/// Client-facing state: queues and counters, guarded by one mutex.
+struct Inner {
+    queues: Vec<TenantQueue>,
+    total_queued: usize,
+    max_queued: usize,
+    metrics: Metrics,
+    draining: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<Inner>,
+    /// The event loop parks here when fully idle; submits and
+    /// drain/shutdown notify it.
+    work: Condvar,
+}
+
+/// One in-flight operation's service-side bookkeeping, indexed by the
+/// processor lane carrying it.
+struct InFlightReq {
+    tenant: TenantId,
+    ticket: Arc<TicketInner>,
+    submitted: Instant,
+    queued_ns: u64,
+}
+
+/// Everything the event-loop thread owns. Moved into the worker pool at
+/// start and taken back (with `report` filled) at drain.
+struct LoopState {
+    machine: CfmMachine,
+    shared: Arc<Shared>,
+    sched: DrrScheduler,
+    /// `inflight[p]` is the request processor lane `p` is carrying.
+    inflight: Vec<Option<InFlightReq>>,
+    free: Vec<ProcId>,
+    inflight_count: usize,
+    report: Option<ServiceReport>,
+}
+
+/// A running multi-tenant request service over one [`CfmMachine`].
+///
+/// Construct with [`Service::start`], submit with [`Service::submit`],
+/// finish with [`Service::drain`]. Dropping without draining shuts down
+/// promptly: queued and in-flight requests are abandoned and their
+/// tickets closed (waiters get `None` rather than a deadlock).
+pub struct Service {
+    shared: Arc<Shared>,
+    pool: WorkerPool<LoopState>,
+    banks: usize,
+    offsets: usize,
+}
+
+impl Service {
+    /// Validate `config`, build the machine, and spawn the event loop.
+    pub fn start(config: ServiceConfig) -> Result<Service, StartError> {
+        if config.tenants.is_empty() {
+            return Err(StartError::NoTenants);
+        }
+        for (id, t) in config.tenants.iter().enumerate() {
+            if t.weight == 0 {
+                return Err(StartError::ZeroWeight { tenant: id });
+            }
+            if t.queue_capacity == 0 {
+                return Err(StartError::ZeroCapacity { tenant: id });
+            }
+        }
+
+        let banks = config.machine.banks();
+        let offsets = config.offsets;
+        let processors = config.machine.processors();
+        let machine = CfmMachine::builder(config.machine).offsets(offsets).build();
+
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Inner {
+                queues: config
+                    .tenants
+                    .iter()
+                    .map(|t| TenantQueue::new(t.queue_capacity))
+                    .collect(),
+                total_queued: 0,
+                max_queued: config.effective_max_queued(),
+                metrics: Metrics::new(config.tenants.iter().map(|t| t.name.clone()).collect()),
+                draining: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+
+        let state = LoopState {
+            machine,
+            shared: Arc::clone(&shared),
+            sched: DrrScheduler::new(config.tenants.iter().map(|t| u64::from(t.weight)).collect()),
+            inflight: (0..processors).map(|_| None).collect(),
+            free: (0..processors).rev().collect(),
+            inflight_count: 0,
+            report: None,
+        };
+
+        let pool = WorkerPool::new(1, run_event_loop);
+        pool.dispatch(0, state);
+
+        Ok(Service {
+            shared,
+            pool,
+            banks,
+            offsets,
+        })
+    }
+
+    /// Submit one block operation on behalf of `tenant`. Validation and
+    /// admission control happen here, synchronously: the returned
+    /// [`Ticket`] is only handed out for operations that *will* be
+    /// scheduled (absent shutdown). Rejections are typed backpressure —
+    /// see [`Reject`].
+    pub fn submit(&self, tenant: TenantId, op: Operation) -> Result<Ticket, Reject> {
+        // Validate against machine geometry before touching the lock.
+        let (offset, data_len) = match &op {
+            Operation::Read { offset } => (*offset, None),
+            Operation::Write { offset, data } | Operation::Swap { offset, data } => {
+                (*offset, Some(data.len()))
+            }
+            Operation::Rmw { offset, .. } => (*offset, None),
+        };
+        if offset >= self.offsets {
+            return Err(Reject::NoSuchBlock {
+                offset,
+                offsets: self.offsets,
+            });
+        }
+        if let Some(got) = data_len {
+            if got != self.banks {
+                return Err(Reject::WrongBlockLength {
+                    got,
+                    want: self.banks,
+                });
+            }
+        }
+
+        let mut inner = self.shared.state.lock();
+        if tenant >= inner.queues.len() {
+            return Err(Reject::UnknownTenant { tenant });
+        }
+        if inner.draining || inner.shutdown {
+            inner.metrics.tenants[tenant].rejected_shutdown += 1;
+            return Err(Reject::ShuttingDown);
+        }
+        if inner.queues[tenant].is_full() {
+            let capacity = inner.queues[tenant].capacity;
+            inner.metrics.tenants[tenant].rejected_queue_full += 1;
+            return Err(Reject::QueueFull { tenant, capacity });
+        }
+        if inner.total_queued >= inner.max_queued {
+            let (queued, limit) = (inner.total_queued, inner.max_queued);
+            inner.metrics.tenants[tenant].rejected_overloaded += 1;
+            return Err(Reject::Overloaded { queued, limit });
+        }
+
+        let ticket = TicketInner::new();
+        inner.queues[tenant].push(Pending {
+            op,
+            ticket: Arc::clone(&ticket),
+            submitted: Instant::now(),
+        });
+        inner.total_queued += 1;
+        inner.metrics.tenants[tenant].submitted += 1;
+        drop(inner);
+        // The loop may be parked; one waiter, one wake.
+        self.shared.work.notify_one();
+        Ok(Ticket { inner: ticket })
+    }
+
+    /// Current counters and latency quantiles (cheap clone under the
+    /// state lock; does not disturb the event loop).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.state.lock().metrics.snapshot()
+    }
+
+    /// Stop admitting, complete every already-admitted request (queued
+    /// and in flight), shut the event loop down, and return the final
+    /// report. Blocks until the machine is idle.
+    pub fn drain(self) -> ServiceReport {
+        {
+            let mut inner = self.shared.state.lock();
+            inner.draining = true;
+        }
+        self.shared.work.notify_one();
+        let mut state = self.pool.collect(0);
+        state
+            .report
+            .take()
+            .expect("event loop fills the report before exiting")
+        // `self` drops here: the shutdown flag it sets is a no-op for an
+        // already-exited loop, and the pool joins its parked worker.
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Fast shutdown for the non-drain path: tell the loop to abandon
+        // outstanding work (closing tickets) so the pool's join in its
+        // own Drop cannot block on a parked-forever loop.
+        {
+            let mut inner = self.shared.state.lock();
+            inner.shutdown = true;
+        }
+        self.shared.work.notify_one();
+    }
+}
+
+/// The event-loop body, run by the single pooled worker for the whole
+/// service lifetime.
+fn run_event_loop(state: &mut LoopState) {
+    if state.report.is_some() {
+        // Already ran (a dispatch after drain would be a bug).
+        return;
+    }
+    // Hold the shared handle separately so locking it does not borrow
+    // `state` (the exit helpers need `&mut LoopState` while the guard
+    // lives).
+    let shared = Arc::clone(&state.shared);
+    loop {
+        // ---- Admit: dequeue up to one op per idle processor. --------
+        let mut batch: Vec<(ProcId, Pending, TenantId)> = Vec::new();
+        {
+            let mut inner = shared.state.lock();
+            loop {
+                if inner.shutdown {
+                    abandon(state, &mut inner);
+                    return;
+                }
+                while !state.free.is_empty() && inner.total_queued > 0 {
+                    let queues = &inner.queues;
+                    let Some(t) = state.sched.next(|t| !queues[t].is_empty()) else {
+                        break;
+                    };
+                    let pending = inner.queues[t].pop().expect("scheduler saw work");
+                    inner.total_queued -= 1;
+                    let p = state.free.pop().expect("checked non-empty");
+                    batch.push((p, pending, t));
+                }
+                if !batch.is_empty() || state.inflight_count > 0 {
+                    break;
+                }
+                if inner.draining {
+                    // Nothing queued, nothing in flight, no new admits:
+                    // the service is drained.
+                    finish(state, &mut inner);
+                    return;
+                }
+                // Fully idle: park until a submit or drain wakes us.
+                shared.work.wait(&mut inner);
+            }
+        }
+
+        // ---- Issue the slot batch (outside the lock). ----------------
+        for (p, pending, tenant) in batch {
+            let queued_ns = pending.submitted.elapsed().as_nanos() as u64;
+            state
+                .machine
+                .issue(p, pending.op)
+                .expect("validated at admission onto an idle processor");
+            state.inflight[p] = Some(InFlightReq {
+                tenant,
+                ticket: pending.ticket,
+                submitted: pending.submitted,
+                queued_ns,
+            });
+            state.inflight_count += 1;
+        }
+
+        // ---- One slot. ----------------------------------------------
+        state.machine.step();
+
+        // ---- Complete: poll lanes, fulfill tickets. ------------------
+        let mut fulfilled: Vec<(Arc<TicketInner>, Response)> = Vec::new();
+        for p in 0..state.inflight.len() {
+            while let Some(completion) = state.machine.poll(p) {
+                let req = state.inflight[p]
+                    .take()
+                    .expect("completion implies an in-flight request");
+                state.inflight_count -= 1;
+                state.free.push(p);
+                let total_ns = req.submitted.elapsed().as_nanos() as u64;
+                fulfilled.push((
+                    req.ticket,
+                    Response {
+                        tenant: req.tenant,
+                        completion,
+                        queued_ns: req.queued_ns,
+                        total_ns,
+                    },
+                ));
+            }
+        }
+        if !fulfilled.is_empty() {
+            {
+                let mut inner = shared.state.lock();
+                for (_, response) in &fulfilled {
+                    let t = &mut inner.metrics.tenants[response.tenant];
+                    t.completed += 1;
+                    t.latency.record(response.total_ns);
+                }
+            }
+            for (ticket, response) in fulfilled {
+                ticket.fulfill(response);
+            }
+        }
+    }
+}
+
+/// Graceful-drain exit: the machine is idle and every admitted request
+/// has been fulfilled; snapshot everything into the report.
+fn finish(state_ref: &mut LoopState, inner: &mut Inner) {
+    debug_assert!(state_ref.machine.is_idle());
+    state_ref.report = Some(ServiceReport {
+        metrics: inner.metrics.snapshot(),
+        stats: *state_ref.machine.stats(),
+        cycles: state_ref.machine.cycle(),
+        parallel_slots: state_ref.machine.parallel_slots(),
+        engine: state_ref.machine.config().engine(),
+    });
+}
+
+/// Hard-shutdown exit (service dropped, not drained): close every
+/// outstanding ticket so no waiter deadlocks, then report what was done.
+fn abandon(state_ref: &mut LoopState, inner: &mut Inner) {
+    for q in &mut inner.queues {
+        while let Some(pending) = q.pop() {
+            inner.total_queued -= 1;
+            pending.ticket.close();
+        }
+    }
+    for slot in &mut state_ref.inflight {
+        if let Some(req) = slot.take() {
+            state_ref.inflight_count -= 1;
+            req.ticket.close();
+        }
+    }
+    state_ref.report = Some(ServiceReport {
+        metrics: inner.metrics.snapshot(),
+        stats: *state_ref.machine.stats(),
+        cycles: state_ref.machine.cycle(),
+        parallel_slots: state_ref.machine.parallel_slots(),
+        engine: state_ref.machine.config().engine(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfm_core::config::CfmConfig;
+    use cfm_core::op::Outcome;
+
+    fn small_service() -> Service {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        Service::start(
+            ServiceConfig::new(cfg, 32)
+                .tenant("a", 1, 16)
+                .tenant("b", 1, 16),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let service = small_service();
+        let w = service.submit(0, Operation::write(3, vec![9; 4])).unwrap();
+        assert_eq!(w.wait().unwrap().completion.outcome, Outcome::Completed);
+        let r = service.submit(1, Operation::read(3)).unwrap();
+        let resp = r.wait().unwrap();
+        assert_eq!(resp.completion.data.as_deref(), Some(&[9, 9, 9, 9][..]));
+        assert!(resp.total_ns >= resp.queued_ns);
+        let report = service.drain();
+        assert_eq!(report.stats.bank_conflicts, 0);
+        assert_eq!(report.metrics.completed(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_before_admission() {
+        let service = small_service();
+        assert_eq!(
+            service.submit(0, Operation::read(99)).err(),
+            Some(Reject::NoSuchBlock {
+                offset: 99,
+                offsets: 32
+            })
+        );
+        assert_eq!(
+            service.submit(0, Operation::write(0, vec![1, 2])).err(),
+            Some(Reject::WrongBlockLength { got: 2, want: 4 })
+        );
+        assert_eq!(
+            service.submit(7, Operation::read(0)).err(),
+            Some(Reject::UnknownTenant { tenant: 7 })
+        );
+        let report = service.drain();
+        assert_eq!(report.metrics.completed(), 0);
+    }
+
+    #[test]
+    fn start_rejects_degenerate_configs() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        assert_eq!(
+            Service::start(ServiceConfig::new(cfg, 8)).err(),
+            Some(StartError::NoTenants)
+        );
+        assert_eq!(
+            Service::start(ServiceConfig::new(cfg, 8).tenant("x", 0, 4)).err(),
+            Some(StartError::ZeroWeight { tenant: 0 })
+        );
+        assert_eq!(
+            Service::start(ServiceConfig::new(cfg, 8).tenant("x", 1, 0)).err(),
+            Some(StartError::ZeroCapacity { tenant: 0 })
+        );
+    }
+
+    #[test]
+    fn drop_without_drain_closes_tickets() {
+        let service = small_service();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| service.submit(0, Operation::read(i)).unwrap())
+            .collect();
+        drop(service);
+        // Every ticket resolves (Some if it completed before shutdown,
+        // None if abandoned) — nobody deadlocks.
+        for t in tickets {
+            let _ = t.wait();
+        }
+    }
+
+    #[test]
+    fn metrics_are_visible_mid_flight() {
+        let service = small_service();
+        let t = service.submit(0, Operation::read(0)).unwrap();
+        t.wait().unwrap();
+        let snap = service.metrics();
+        assert_eq!(snap.tenants[0].submitted, 1);
+        assert_eq!(snap.tenants[0].completed, 1);
+        assert!(snap.tenants[0].latency.p99_ns() > 0);
+        service.drain();
+    }
+}

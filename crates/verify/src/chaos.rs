@@ -269,9 +269,11 @@ fn soak(seed: u64, (n, c, spares): (usize, u32, usize), engine: Engine) -> Vec<C
         engine_label(engine)
     );
 
-    let mut m = CfmMachine::new(cfg, 16);
-    m.enable_trace();
-    m.set_fault_plan(plan);
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(16)
+        .trace(true)
+        .fault_plan(plan)
+        .build();
     // Each processor owns block `p`; block `n` is a shared counter.
     let shared = n;
     let mut scripts: Vec<VecDeque<Operation>> = (0..n)
@@ -474,8 +476,7 @@ fn lock_soak(seed: u64) -> Check {
     );
     let scheduled = plan.events().len() as u64;
     let subject = format!("chaos: lock-contest n={n} rounds={rounds} seed={seed:#x}");
-    let mut machine = CfmMachine::new(cfg, 8);
-    machine.set_fault_plan(plan);
+    let machine = CfmMachine::builder(cfg).offsets(8).fault_plan(plan).build();
     let ledger = std::rc::Rc::new(std::cell::RefCell::new(CriticalLedger::default()));
     let mut runner = Runner::new(machine);
     for p in 0..n {
@@ -611,10 +612,9 @@ fn undetected_bank_death_self_test() -> Check {
         .with_spares(1)
         .expect("spare fits");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.enable_trace();
+    let mut m = CfmMachine::builder(cfg).offsets(8).trace(true).build();
     m.execute(0, Operation::write(0, vec![7; banks]));
-    m.inject_bank_alias(1, 0);
+    m.injector().bank_alias(1, 0);
     let events = m.take_trace().expect("tracing was enabled").into_events();
     let races = hb::find_races(&hb::analyze(&events));
     let subject = "chaos: n=4 spares=1, logical bank 1 aliased onto physical 0";
@@ -646,18 +646,18 @@ fn undetected_bank_death_self_test() -> Check {
 fn missed_retry_self_test() -> Check {
     let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.set_fault_plan(FaultPlan::single(
+    let mut m = CfmMachine::builder(cfg).offsets(8).build();
+    m.injector().fault_plan(FaultPlan::single(
         3,
         FaultKind::TransientBankError {
             bank: 3,
             repair_slot: 4,
         },
     ));
-    m.inject_retry_suppression(1);
+    m.injector().suppress_retries(1);
     m.issue(0, Operation::write(6, vec![9; banks]))
         .expect("idle processor accepts");
-    m.run_until_idle(1_000).expect("short write drains");
+    m.run(1_000).expect_idle();
     let subject = "chaos: n=4, transient retry on bank 3 suppressed";
     let corrupted: Vec<usize> = m
         .peek_block(6)
@@ -698,11 +698,11 @@ fn remap_lost_write_self_test() -> Check {
         .with_spares(1)
         .expect("spare fits");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
+    let mut m = CfmMachine::builder(cfg).offsets(8).build();
     m.execute(0, Operation::write(0, vec![7; banks]));
-    m.inject_remap_copy_skip();
+    m.injector().skip_remap_copy();
     let now = m.cycle();
-    m.set_fault_plan(FaultPlan::single(
+    m.injector().fault_plan(FaultPlan::single(
         now + 1,
         FaultKind::PermanentBankFailure { bank: 2 },
     ));

@@ -23,8 +23,9 @@ use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
 use crate::report::Report;
 use crate::schedule::{self, SweepSpec};
+use crate::serve::ServeSpec;
 use crate::trace::TraceSpec;
-use crate::{chaos, coherence, trace, USAGE};
+use crate::{chaos, coherence, serve, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,6 +54,9 @@ pub struct Options {
     /// Chaos soak spec (Some = the `chaos` subcommand was used; the
     /// static sections are then skipped).
     pub chaos: Option<ChaosSpec>,
+    /// Serve soak spec (Some = the `serve` subcommand was used; the
+    /// static sections are then skipped).
+    pub serve: Option<ServeSpec>,
 }
 
 impl Default for Options {
@@ -65,6 +69,7 @@ impl Default for Options {
             format: Format::Text,
             trace: None,
             chaos: None,
+            serve: None,
         }
     }
 }
@@ -167,6 +172,7 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
         format,
         trace: Some(spec),
         chaos: None,
+        serve: None,
     })
 }
 
@@ -230,6 +236,68 @@ fn parse_chaos(args: &[String]) -> Result<Options, String> {
         format,
         trace: None,
         chaos: Some(spec),
+        serve: None,
+    })
+}
+
+/// Parse the `serve` subcommand's arguments (everything after the
+/// `serve` word).
+fn parse_serve(args: &[String]) -> Result<Options, String> {
+    let mut spec = ServeSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let list = args.get(i).ok_or("--seeds needs a comma-separated list")?;
+                let parsed: Result<Vec<u64>, String> = list
+                    .split(',')
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("invalid seed: {s:?}")))
+                    .collect();
+                spec.seeds = parsed?;
+                if spec.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--ops" => {
+                i += 1;
+                let v = args.get(i).ok_or("--ops needs a number")?;
+                spec.ops_per_tenant = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid op budget: {v:?}"))?;
+            }
+            "--self-test" => self_test = true,
+            // The default spec is already the full soak; --ci only has
+            // to switch the detector self-tests on.
+            "--ci" => self_test = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown serve argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: None,
+        chaos: None,
+        serve: Some(spec),
     })
 }
 
@@ -240,6 +308,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         return parse_chaos(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve(&args[1..]);
     }
     let mut sweep: Option<SweepSpec> = None;
     let mut model: Option<CheckOptions> = None;
@@ -364,12 +435,17 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         format,
         trace: None,
         chaos: None,
+        serve: None,
     })
 }
 
 /// Run the requested sections and collect the report.
 pub fn run(opts: &Options) -> Report {
     let mut report = Report::new();
+    if let Some(spec) = &opts.serve {
+        report.extend(serve::verify(spec, opts.self_test));
+        return report;
+    }
     if let Some(spec) = &opts.chaos {
         report.extend(chaos::verify(spec, opts.self_test));
         return report;
@@ -561,6 +637,29 @@ mod tests {
         assert_eq!(o.chaos.unwrap().seeds, vec![1, 2, 3]);
         assert!(parse(&args(&["chaos", "--seeds", "nope"])).is_err());
         assert!(parse(&args(&["chaos", "--model"])).is_err());
+    }
+
+    #[test]
+    fn serve_subcommand_is_exclusive_and_defaults_to_the_full_soak() {
+        let o = parse(&args(&["serve"])).unwrap();
+        let spec = o.serve.expect("serve requested");
+        assert_eq!(spec, ServeSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none() && o.chaos.is_none());
+        assert!(!o.self_test);
+    }
+
+    #[test]
+    fn serve_ci_adds_self_tests_and_arguments_parse() {
+        let o = parse(&args(&["serve", "--ci", "--format", "json"])).unwrap();
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        let o = parse(&args(&["serve", "--seeds", "3,4", "--ops", "500"])).unwrap();
+        let spec = o.serve.unwrap();
+        assert_eq!(spec.seeds, vec![3, 4]);
+        assert_eq!(spec.ops_per_tenant, 500);
+        assert!(parse(&args(&["serve", "--ops", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--seeds", "nope"])).is_err());
+        assert!(parse(&args(&["serve", "--model"])).is_err());
     }
 
     #[test]

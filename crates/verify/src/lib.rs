@@ -30,6 +30,12 @@
 //!   post-remap injectivity, race freedom, write durability across
 //!   remap boundaries, lock correctness, and stuck-switch detection —
 //!   with seeded-fault self-tests (`cfm-verify chaos --ci`).
+//! * [`serve`] — multi-tenant service soaks over `cfm-serve`: a mixed
+//!   roster with a pure hot-spot tenant must keep `bank_conflicts` at 0,
+//!   honour the windowed deficit-round-robin fairness bound, exercise
+//!   typed queue-full backpressure without deadlocking, and complete
+//!   every admitted request on drain — with detector self-tests
+//!   (`cfm-verify serve --ci`).
 //! * [`report`] / [`json`] — structured findings rendered as text or
 //!   byte-stable JSON (`--format json`) for the CI gate.
 //! * [`cli`] — the `cfm-verify` binary: `--sweep`, `--model`,
@@ -44,6 +50,7 @@ pub mod coherence;
 pub mod json;
 pub mod report;
 pub mod schedule;
+pub mod serve;
 pub mod trace;
 
 /// Usage text shared by `--help` and argument errors.
@@ -54,6 +61,8 @@ USAGE:
   cfm-verify [OPTIONS]
   cfm-verify trace [OPTIONS] [--engine E]
   cfm-verify chaos [--seeds LIST] [--engines LIST]
+             [--self-test | --ci] [--format F]
+  cfm-verify serve [--seeds LIST] [--ops N]
              [--self-test | --ci] [--format F]
 
 The `trace` subcommand runs the dynamic analyses instead: it executes
@@ -75,6 +84,16 @@ stuck-switch detectability. `--seeds` overrides the default plan seeds,
 `--engines` the slot engines the soaks rotate through (default
 sequential,parallel-2,parallel-4); `chaos --ci` adds self-tests that
 prove each detector non-vacuous.
+
+The `serve` subcommand soaks the cfm-serve multi-tenant request
+service: a roster with one pure hot-spot tenant must complete every
+admitted operation with zero bank conflicts, a continuously backlogged
+weight-1 tenant must meet the windowed deficit-round-robin fairness
+bound against a weight-8 hog, queue flooding must produce typed
+QueueFull backpressure with no admission deadlock, and drain must
+complete all in-flight work. `--seeds` overrides the traffic seeds,
+`--ops` the per-tenant operation budget; `serve --ci` adds detector
+self-tests.
 
 Sections (none selected = all, with defaults):
   --sweep n=A..=B c=C..=D   verify every AT-space schedule in the range

@@ -435,9 +435,13 @@ pub fn self_tests() -> Vec<Check> {
 fn dropped_merge_self_test() -> Check {
     let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.enable_trace();
-    m.inject_att_insert_drops(1);
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(8)
+        .trace(true)
+        .inject(|inj| {
+            inj.drop_att_inserts(1);
+        })
+        .build();
     m.issue(0, Operation::write(0, vec![7; banks]))
         .expect("idle processor accepts");
     m.issue(1, Operation::read(0))
@@ -474,8 +478,7 @@ fn dropped_merge_self_test() -> Check {
 fn reordered_writeback_self_test() -> Check {
     let cfg = CfmConfig::new(4, 1, 16).expect("valid config");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.enable_trace();
+    let mut m = CfmMachine::builder(cfg).offsets(8).trace(true).build();
     let a = m.execute(0, Operation::write(0, vec![11; banks]));
     // Let processor 0's ATT entry age out so the second write is merged
     // with nothing — the two writes are word-uniform, not HB-ordered.

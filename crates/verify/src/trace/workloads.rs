@@ -82,8 +82,7 @@ pub fn core_contention(n: usize, c: u32, engine: Engine) -> (Vec<TraceEvent>, Ve
         .expect("valid sweep config")
         .with_engine(engine);
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.enable_trace();
+    let mut m = CfmMachine::builder(cfg).offsets(8).trace(true).build();
     let mut scripts: Vec<VecDeque<Operation>> = (0..n)
         .map(|p| {
             let mut q = VecDeque::new();
@@ -106,7 +105,7 @@ pub fn core_contention(n: usize, c: u32, engine: Engine) -> (Vec<TraceEvent>, Ve
 pub fn core_swap_contest(n: usize) -> (Vec<HistOp>, usize) {
     let cfg = CfmConfig::new(n, 1, 16).expect("valid config");
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 4);
+    let mut m = CfmMachine::builder(cfg).offsets(4).build();
     let mut scripts: Vec<VecDeque<Operation>> = (0..n)
         .map(|p| {
             let mut q = VecDeque::new();
@@ -138,8 +137,7 @@ pub struct LockRun {
 /// each on one lock block, tracing the machine underneath.
 pub fn lock_contest(n: usize, rounds: u64, hold: u64) -> LockRun {
     let cfg = CfmConfig::new(n, 1, 16).expect("valid config");
-    let mut machine = CfmMachine::new(cfg, 8);
-    machine.enable_trace();
+    let machine = CfmMachine::builder(cfg).offsets(8).trace(true).build();
     let banks = machine.config().banks();
     let ledger = Rc::new(RefCell::new(CriticalLedger::default()));
     let mut runner = Runner::new(machine);

@@ -77,6 +77,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         format: Format::Text,
         trace: None,
         chaos: None,
+        serve: None,
     };
     let report = cli::run(&mutant);
     assert_eq!(report.exit_code(), 1);
@@ -93,6 +94,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         format: Format::Json,
         trace: None,
         chaos: None,
+        serve: None,
     };
     let report = cli::run(&correct);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -113,6 +115,7 @@ fn json_report_is_byte_stable_across_renders() {
         format: Format::Json,
         trace: None,
         chaos: None,
+        serve: None,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

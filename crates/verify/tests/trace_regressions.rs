@@ -95,6 +95,7 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
             engine: Engine::Sequential,
         }),
         chaos: None,
+        serve: None,
     };
     let report = cli::run(&opts);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -127,6 +128,7 @@ fn trace_json_report_is_byte_stable_across_runs() {
             engine: Engine::Parallel { threads: 2 },
         }),
         chaos: None,
+        serve: None,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

@@ -11,7 +11,10 @@
 //!   [`patterns::RandomAccessProgram`] for the cycle-accurate CFM machine.
 //! * [`trace`] — matrix-traversal block traces (row-major, column-major,
 //!   tiled) that make the paper's program-locality assumption testable.
+//! * [`tenants`] — per-tenant operation streams (uniform, hot-spot,
+//!   scan, bursty) that drive the `cfm-serve` multi-tenant service.
 
 pub mod patterns;
+pub mod tenants;
 pub mod trace;
 pub mod traffic;

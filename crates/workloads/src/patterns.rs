@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn script_program_replays_everything() {
         let cfg = CfmConfig::new(4, 1, 16).unwrap();
-        let mut runner = Runner::new(CfmMachine::new(cfg, 16));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(16).build());
         for p in 0..4 {
             let script = read_write_mix(20, 16, 4, 0.5, p as u64);
             runner.set_program(p, Box::new(ScriptProgram::new(script)));
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn random_program_terminates_with_exact_count() {
         let cfg = CfmConfig::new(2, 1, 16).unwrap();
-        let mut runner = Runner::new(CfmMachine::new(cfg, 8));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(8).build());
         runner.set_program(0, Box::new(RandomAccessProgram::new(0.5, 25, 8, 2, 0.5, 3)));
         assert!(matches!(runner.run(100_000), RunOutcome::Finished(_)));
         assert_eq!(runner.machine().stats().issued, 25);

@@ -52,7 +52,7 @@ fn main() {
     // spinning reads are restarted by the holder's swaps, never the other
     // way around — the holder is never delayed.
     let cfg = CfmConfig::new(4, 1, 16).expect("valid configuration");
-    let machine = CfmMachine::new(cfg, 8);
+    let machine = CfmMachine::builder(cfg).offsets(8).build();
     let banks = machine.config().banks();
     let ledger = Rc::new(RefCell::new(CriticalLedger::default()));
     let mut runner = Runner::new(machine);

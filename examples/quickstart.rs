@@ -22,7 +22,7 @@ fn main() {
         cfg.block_access_time()
     );
 
-    let mut machine = CfmMachine::new(cfg, 64);
+    let mut machine = CfmMachine::builder(cfg).offsets(64).build();
 
     // Initialise one block per processor.
     for p in 0..cfg.processors() {
@@ -40,7 +40,7 @@ fn main() {
             .issue(p, Operation::read(p))
             .expect("idle processor");
     }
-    let done = machine.run_until_idle(1_000).expect("completes");
+    let done = machine.run(1_000).expect_idle();
     for c in &done {
         println!(
             "proc {} read block {:>2}: latency {:>2} cycles, first word {}",
@@ -56,7 +56,7 @@ fn main() {
     machine
         .issue(3, Operation::swap(0, vec![7; cfg.banks()]))
         .expect("idle");
-    let swap = machine.run_until_idle(1_000).expect("completes").remove(0);
+    let swap = machine.run(1_000).expect_idle().remove(0);
     println!(
         "proc 3 swapped block 0: old block started with {}, new block is all 7s",
         swap.data.as_ref().unwrap()[0]

@@ -20,12 +20,16 @@
 //! * [`workloads`] — seeded synthetic traffic and operation generators.
 //! * [`binding`] — the resource-binding parallel programming paradigm, on
 //!   real threads and on the CFM cache machine.
+//! * [`serve`] — the multi-tenant request service over one CFM machine:
+//!   bounded admission queues, deficit-round-robin tenant scheduling,
+//!   slot batching, and latency observability.
 
 pub use cfm_analytic as analytic;
 pub use cfm_baseline as baseline;
 pub use cfm_cache as cache;
 pub use cfm_core as core;
 pub use cfm_net as net;
+pub use cfm_serve as serve;
 pub use cfm_workloads as workloads;
 pub use resource_binding as binding;
 

@@ -1,0 +1,147 @@
+//! Builder ↔ legacy API equivalence.
+//!
+//! The `CfmMachineBuilder` / `Injector` / `RunReport` redesign must be a
+//! pure refactor of the deprecated constructor-and-mutator surface:
+//! given the same seed and program, a machine built either way produces
+//! **byte-identical** statistics, memory image, and trace. These
+//! properties pin that down so the deprecated shims can be deleted in a
+//! later release without behavioural archaeology.
+
+// This test exercises the deprecated surface on purpose.
+#![allow(deprecated)]
+
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::fault::{FaultPlan, PlanParams};
+use conflict_free_memory::core::machine::CfmMachine;
+use conflict_free_memory::core::op::{Completion, Operation};
+use conflict_free_memory::workloads::patterns::read_write_mix;
+use proptest::prelude::*;
+
+/// Drive `script` deterministically: issue operation `i` to processor
+/// `i mod n`, running the machine to idle between full rounds so the
+/// issue order never depends on completion timing.
+fn drive(m: &mut CfmMachine, script: &[Operation], n: usize) -> Vec<Completion> {
+    let mut completions = Vec::new();
+    for round in script.chunks(n) {
+        for (p, op) in round.iter().enumerate() {
+            m.issue(p, op.clone()).expect("idle processor accepts");
+        }
+        completions.extend(m.run(100_000).expect_idle());
+    }
+    completions
+}
+
+/// Digest of everything observable: stats, full memory image, trace.
+fn observe(mut m: CfmMachine, offsets: usize) -> String {
+    let trace = m.take_trace();
+    let image: Vec<Vec<u64>> = (0..offsets).map(|o| m.peek_block(o)).collect();
+    format!("{:?}\n{image:?}\n{trace:?}", m.stats())
+}
+
+proptest! {
+    /// Same seed, same program: a builder-built machine and a
+    /// legacy-built machine are observationally identical (stats, memory
+    /// image, trace digest).
+    #[test]
+    fn builder_equals_legacy_constructor(
+        shape in 0usize..8,
+        len in 1usize..32,
+        wf_pct in 0u64..101,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (n, c) = [(2, 1), (3, 1), (4, 1), (8, 1), (2, 2), (3, 2), (4, 2), (8, 2)][shape];
+        let write_fraction = wf_pct as f64 / 100.0;
+        let cfg = CfmConfig::new(n, c, 16).unwrap();
+        let offsets = cfg.banks();
+        let script = read_write_mix(len, offsets, cfg.banks(), write_fraction, seed);
+
+        let mut legacy = CfmMachine::new(cfg, offsets);
+        legacy.enable_trace();
+        let modern = CfmMachine::builder(cfg).trace(true).build();
+        let mut modern = modern;
+
+        let a = drive(&mut legacy, &script, n);
+        let b = drive(&mut modern, &script, n);
+        prop_assert_eq!(&a, &b, "completion streams diverge");
+        prop_assert_eq!(observe(legacy, offsets), observe(modern, offsets));
+    }
+
+    /// The equivalence holds under seeded fault plans installed either
+    /// through the deprecated `set_fault_plan` or the builder.
+    #[test]
+    fn builder_equals_legacy_under_faults(
+        shape in 0usize..2,
+        len in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let n = [2usize, 4][shape];
+        let cfg = CfmConfig::new(n, 1, 16).unwrap().with_spares(1).unwrap();
+        let offsets = cfg.banks();
+        let params = PlanParams {
+            banks: cfg.banks(),
+            processors: n,
+            horizon: 64,
+            permanent: 1,
+            transient: 2,
+            max_repair: 16,
+            responses: 1,
+            stuck: 0,
+        };
+        let script = read_write_mix(len, offsets, cfg.banks(), 0.5, seed);
+
+        let mut legacy = CfmMachine::with_options(
+            cfg,
+            offsets,
+            true,
+            conflict_free_memory::core::att::PriorityMode::EarliestWins,
+        );
+        legacy.set_fault_plan(FaultPlan::generate(seed, &params));
+        let mut modern = CfmMachine::builder(cfg)
+            .fault_plan(FaultPlan::generate(seed, &params))
+            .build();
+
+        let a = drive(&mut legacy, &script, n);
+        let b = drive(&mut modern, &script, n);
+        prop_assert_eq!(&a, &b, "completion streams diverge under faults");
+        prop_assert_eq!(observe(legacy, offsets), observe(modern, offsets));
+    }
+
+    /// `run` is `run_until_idle` with the outcome made typed: on the
+    /// same machine state both report the same completions, and
+    /// `RunReport::is_idle` mirrors the old Ok/Err split.
+    #[test]
+    fn run_report_matches_run_until_idle(
+        shape in 0usize..2,
+        len in 1usize..16,
+        seed in 0u64..u64::MAX,
+        budget_idx in 0usize..3,
+    ) {
+        let n = [2usize, 4][shape];
+        let budget = [1u64, 3, 100_000][budget_idx];
+        let cfg = CfmConfig::new(n, 1, 16).unwrap();
+        let offsets = cfg.banks();
+        let script = read_write_mix(len, offsets, cfg.banks(), 0.5, seed);
+
+        let mut old_style = CfmMachine::new(cfg, offsets);
+        let mut new_style = CfmMachine::builder(cfg).build();
+        for (i, op) in script.iter().take(n).enumerate() {
+            old_style.issue(i, op.clone()).unwrap();
+            new_style.issue(i, op.clone()).unwrap();
+        }
+
+        let old_result = old_style.run_until_idle(budget);
+        let report = new_style.run(budget);
+        match old_result {
+            Ok(done) => {
+                prop_assert!(report.is_idle(), "old Ok but new not idle");
+                prop_assert_eq!(done, report.into_completions());
+            }
+            Err(done) => {
+                prop_assert!(!report.is_idle(), "old Err but new idle");
+                prop_assert!(!report.pending().is_empty(),
+                    "budget exhausted must name pending owners");
+                prop_assert_eq!(done, report.into_completions());
+            }
+        }
+    }
+}

@@ -35,7 +35,7 @@ impl Program for Saturator {
 
 fn measured_words_per_cycle(n: usize, c: u32, ops: u32) -> f64 {
     let cfg = CfmConfig::new(n, c, 16).unwrap();
-    let mut runner = Runner::new(CfmMachine::new(cfg, 8));
+    let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(8).build());
     for p in 0..n as ProcId {
         runner.set_program(
             p,

@@ -33,10 +33,12 @@ fn drive(
         .unwrap()
         .with_engine(engine);
     let b = cfg.banks();
-    let mut m = CfmMachine::new(cfg, offsets);
-    m.enable_trace();
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(offsets)
+        .trace(true)
+        .build();
     if let Some(seed) = fault_seed {
-        m.set_fault_plan(FaultPlan::generate(
+        m.injector().fault_plan(FaultPlan::generate(
             seed,
             &PlanParams {
                 banks: b,
@@ -54,7 +56,7 @@ fn drive(
     for (i, &word) in script.iter().enumerate() {
         let p = i % n;
         if m.is_busy(p) {
-            completions.extend(m.run_until_idle(200_000).expect("workload drains"));
+            completions.extend(m.run(200_000).expect_idle());
         }
         let offset = (word >> 8) as usize % offsets;
         let val = word >> 16;
@@ -66,7 +68,7 @@ fn drive(
         };
         m.issue(p, op).unwrap();
     }
-    completions.extend(m.run_until_idle(200_000).expect("workload drains"));
+    completions.extend(m.run(200_000).expect_idle());
     (
         completions,
         *m.stats(),

@@ -165,13 +165,13 @@ fn raw_and_cached_rmw_agree() {
     use conflict_free_memory::core::machine::CfmMachine;
 
     let cfg = CfmConfig::new(4, 1, 16).unwrap();
-    let mut raw = CfmMachine::new(cfg, 8);
+    let mut raw = CfmMachine::builder(cfg).offsets(8).build();
     let mut cached = CcMachine::new(cfg, 8, 8);
 
     for round in 0..6u64 {
         let p = (round % 4) as usize;
         raw.issue(p, Operation::fetch_add(3, 1, round + 1)).unwrap();
-        raw.run_until_idle(10_000).unwrap();
+        raw.run(10_000).expect_idle();
         cached.execute(
             p,
             CpuRequest::Rmw {

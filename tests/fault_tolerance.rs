@@ -46,13 +46,15 @@ proptest! {
     ) {
         let cfg = CfmConfig::new(n, c, 8).unwrap().with_spares(spares).unwrap();
         let banks = cfg.banks();
-        let mut m = CfmMachine::new(cfg, 8);
-        m.set_fault_plan(soak_plan(seed, banks, n, spares + 1));
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(8)
+            .fault_plan(soak_plan(seed, banks, n, spares + 1))
+            .build();
         for p in 0..n {
             m.issue(p, Operation::write(p, vec![p as Word + 1; banks])).unwrap();
         }
         prop_assert!(
-            m.run_until_idle(50_000).is_ok(),
+            m.run(50_000).is_idle(),
             "faulted write workload stalled"
         );
         while m.cycle() < HORIZON + 16 {
@@ -85,8 +87,10 @@ proptest! {
     ) {
         let cfg = CfmConfig::new(n, c, 8).unwrap().with_spares(spares).unwrap();
         let banks = cfg.banks();
-        let mut m = CfmMachine::new(cfg, 8);
-        m.set_fault_plan(soak_plan(seed, banks, n, spares + 1));
+        let mut m = CfmMachine::builder(cfg)
+            .offsets(8)
+            .fault_plan(soak_plan(seed, banks, n, spares + 1))
+            .build();
         while m.cycle() < HORIZON + 16 {
             m.step();
         }
@@ -116,10 +120,9 @@ proptest! {
 fn remap_trace_is_pinned() {
     let cfg = CfmConfig::new(4, 1, 8).unwrap().with_spares(1).unwrap();
     let banks = cfg.banks();
-    let mut m = CfmMachine::new(cfg, 8);
-    m.enable_trace();
+    let mut m = CfmMachine::builder(cfg).offsets(8).trace(true).build();
     m.execute(0, Operation::write(2, vec![7; banks]));
-    m.set_fault_plan(FaultPlan::single(
+    m.injector().fault_plan(FaultPlan::single(
         6,
         FaultKind::PermanentBankFailure { bank: 1 },
     ));

@@ -18,7 +18,7 @@ use conflict_free_memory::workloads::traffic::Uniform;
 #[test]
 fn cfm_is_conflict_free_under_saturation() {
     let cfg = CfmConfig::new(8, 2, 16).unwrap();
-    let mut runner = Runner::new(CfmMachine::new(cfg, 32));
+    let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(32).build());
     for p in 0..8 {
         // Each processor hammers its own block back-to-back: 100%
         // utilisation of its AT-space partition.
@@ -95,7 +95,7 @@ fn hot_spot_saturates_min_not_cfm() {
     // The "CFM side": the same offered load as block accesses on the CFM
     // machine — all complete, conflict-free.
     let cfg = CfmConfig::new(16, 1, 16).unwrap();
-    let mut runner = Runner::new(CfmMachine::new(cfg, 4));
+    let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(4).build());
     for p in 0..16 {
         // Everyone reads block 0 (the "hot" block) repeatedly.
         let script = vec![conflict_free_memory::core::op::Operation::read(0); 20];
@@ -147,7 +147,7 @@ fn header_savings_monotonic() {
 fn deterministic_end_to_end() {
     let run = || {
         let cfg = CfmConfig::new(4, 2, 16).unwrap();
-        let mut runner = Runner::new(CfmMachine::new(cfg, 16));
+        let mut runner = Runner::new(CfmMachine::builder(cfg).offsets(16).build());
         for p in 0..4 {
             let script = read_write_mix(30, 16, 8, 0.5, p as u64 + 100);
             runner.set_program(p, Box::new(ScriptProgram::new(script)));

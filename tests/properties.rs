@@ -84,7 +84,7 @@ proptest! {
     ) {
         let cfg = CfmConfig::new(n, c, 16).unwrap();
         let beta = cfg.block_access_time();
-        let mut m = CfmMachine::new(cfg, 16);
+        let mut m = CfmMachine::builder(cfg).offsets(16).build();
         // Stagger issues per processor by the given skews.
         let mut issued = 0usize;
         for t in 0..200u64 {
@@ -117,7 +117,7 @@ proptest! {
         delays in proptest::collection::vec(0u64..12, 2..9),
     ) {
         let cfg = CfmConfig::new(n, 1, 16).unwrap();
-        let mut m = CfmMachine::new(cfg, 4);
+        let mut m = CfmMachine::builder(cfg).offsets(4).build();
         let writers = delays.len().min(n);
         for t in 0..100u64 {
             for (p, &d) in delays.iter().enumerate().take(writers) {
@@ -128,7 +128,7 @@ proptest! {
             }
             m.step();
         }
-        let _ = m.run_until_idle(50_000);
+        let _ = m.run(50_000);
         let block = m.peek_block(0);
         let first = block[0];
         prop_assert!(block.iter().all(|&w| w == first), "torn block {:?}", block);
@@ -142,14 +142,14 @@ proptest! {
     #[test]
     fn swaps_serialize(n in 2usize..7, stagger in 0u64..8) {
         let cfg = CfmConfig::new(n, 1, 16).unwrap();
-        let mut m = CfmMachine::new(cfg, 4);
+        let mut m = CfmMachine::builder(cfg).offsets(4).build();
         for p in 0..n {
             for _ in 0..stagger.min(p as u64) {
                 m.step();
             }
             m.issue(p, Operation::swap(0, vec![p as u64 + 1; n])).unwrap();
         }
-        let done = m.run_until_idle(500_000).unwrap();
+        let done = m.run(500_000).expect_idle();
         let final_val = m.peek_block(0)[0];
         // Observed old values must be {0} plus all new values except the
         // final one (the chain property).

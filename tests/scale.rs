@@ -18,12 +18,12 @@ fn sixty_four_processor_machine_is_conflict_free() {
     let cfg = CfmConfig::new(64, 2, 16).unwrap();
     assert_eq!(cfg.banks(), 128);
     let beta = cfg.block_access_time();
-    let mut m = CfmMachine::new(cfg, 64);
+    let mut m = CfmMachine::builder(cfg).offsets(64).build();
     for round in 0..3 {
         for p in 0..64 {
             m.issue(p, Operation::read((p + round) % 64)).unwrap();
         }
-        let done = m.run_until_idle(10_000).unwrap();
+        let done = m.run(10_000).expect_idle();
         assert_eq!(done.len(), 64);
         assert!(done.iter().all(|c| c.latency() == beta));
     }
@@ -98,11 +98,11 @@ fn monarch_style_bit_serial_module() {
     assert_eq!(cfg.word_width(), 1);
     assert_eq!(cfg.processors(), 64);
     assert_eq!(cfg.block_access_time(), 64); // vs the Monarch's longer path
-    let mut m = CfmMachine::new(cfg, 4);
+    let mut m = CfmMachine::builder(cfg).offsets(4).build();
     for p in 0..64 {
         m.issue(p, Operation::read(p % 4)).unwrap();
     }
-    let done = m.run_until_idle(10_000).unwrap();
+    let done = m.run(10_000).expect_idle();
     assert_eq!(done.len(), 64);
     assert_eq!(m.stats().bank_conflicts, 0);
 }

@@ -1,0 +1,177 @@
+//! End-to-end edge cases for the `cfm-serve` multi-tenant service,
+//! exercised through the facade crate exactly as an embedding
+//! application would: typed queue-full backpressure, drain with work
+//! still in flight, and the deficit-round-robin starvation bound with
+//! one pure hot-spot tenant hogging the roster.
+
+use std::sync::Arc;
+use std::thread;
+
+use conflict_free_memory::core::config::CfmConfig;
+use conflict_free_memory::core::op::Operation;
+use conflict_free_memory::serve::{Reject, Service, ServiceConfig, Ticket};
+use conflict_free_memory::workloads::tenants::{TenantProfile, TenantTraffic};
+
+const WORD_WIDTH: u32 = 16;
+
+fn machine_config(processors: usize) -> CfmConfig {
+    CfmConfig::new(processors, 1, WORD_WIDTH).unwrap()
+}
+
+/// Flooding one bounded queue without ever reaping tickets must produce
+/// typed `Reject::QueueFull` backpressure — and every ticket that *was*
+/// admitted must still resolve at drain, so backpressure never turns
+/// into loss.
+#[test]
+fn queue_full_rejection_is_typed_and_lossless() {
+    let machine = machine_config(4);
+    let banks = machine.banks();
+    let config = ServiceConfig::new(machine, banks).tenant("flooder", 1, 8);
+    let service = Service::start(config).expect("valid roster");
+
+    let mut admitted: Vec<Ticket> = Vec::new();
+    let mut queue_full = 0u64;
+    for _ in 0..512 {
+        match service.submit(0, Operation::read(0)) {
+            Ok(ticket) => admitted.push(ticket),
+            Err(Reject::QueueFull { tenant, capacity }) => {
+                assert_eq!(tenant, 0);
+                assert_eq!(capacity, 8);
+                queue_full += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(
+        queue_full > 0,
+        "a 512-op flood must overflow a depth-8 queue"
+    );
+    assert!(!admitted.is_empty(), "admission must not be all-or-nothing");
+
+    let report = service.drain();
+    assert_eq!(report.stats.bank_conflicts, 0);
+    for ticket in admitted {
+        let response = ticket.wait().expect("admitted op completes at drain");
+        assert_eq!(response.tenant, 0);
+        assert!(response.total_ns >= response.queued_ns);
+    }
+    let flooder = &report.metrics.tenants[0];
+    assert_eq!(flooder.rejected_queue_full, queue_full);
+    assert_eq!(flooder.completed, flooder.submitted);
+}
+
+/// Draining while a full queue of requests is still in flight must
+/// complete every admitted operation — drain is graceful, not abortive.
+#[test]
+fn drain_completes_inflight_work() {
+    let machine = machine_config(4);
+    let banks = machine.banks();
+    let config = ServiceConfig::new(machine, banks)
+        .tenant("writer", 1, 64)
+        .tenant("reader", 1, 64);
+    let service = Service::start(config).expect("valid roster");
+
+    let mut writer = TenantTraffic::new(
+        TenantProfile::Uniform {
+            write_fraction: 1.0,
+        },
+        banks,
+        banks,
+        7,
+    );
+    let mut tickets = Vec::new();
+    for _ in 0..48 {
+        tickets.push(service.submit(0, writer.tick().unwrap()).unwrap());
+        tickets.push(service.submit(1, Operation::read(0)).unwrap());
+    }
+
+    // No waiting: drain races the event loop with 96 ops outstanding.
+    let report = service.drain();
+    assert_eq!(report.stats.bank_conflicts, 0);
+    assert_eq!(report.metrics.completed(), 96);
+    for ticket in tickets {
+        assert!(ticket.is_ready(), "drain left a ticket unresolved");
+        assert!(ticket.wait().is_some());
+    }
+}
+
+/// A weight-1 tenant sharing the service with a pure hot-spot hog must
+/// keep completing work: deficit round-robin bounds starvation even
+/// when the hog's queue never empties.
+#[test]
+fn hot_spot_hog_cannot_starve_a_meek_tenant() {
+    const PROCESSORS: usize = 8;
+    const OPS_PER_TENANT: u64 = 4_000;
+    const CAPACITY: usize = 32;
+    const WINDOW: usize = 48; // > CAPACITY keeps the tenant backlogged
+
+    let machine = machine_config(PROCESSORS);
+    let banks = machine.banks();
+    let config = ServiceConfig::new(machine, banks)
+        .tenant("hog", 6, CAPACITY)
+        .tenant("meek", 1, CAPACITY);
+    let service = Arc::new(Service::start(config).expect("valid roster"));
+
+    let profiles = [
+        // Every hog op hammers one offset — the adversarial case for a
+        // conventional interleaved memory, a no-op for the CFM schedule.
+        TenantProfile::HotSpot {
+            hot_offset: 3,
+            hot_fraction: 1.0,
+            write_fraction: 0.5,
+        },
+        TenantProfile::Uniform {
+            write_fraction: 0.25,
+        },
+    ];
+
+    let mut drivers = Vec::new();
+    for (tenant, profile) in profiles.into_iter().enumerate() {
+        let service = Arc::clone(&service);
+        drivers.push(thread::spawn(move || {
+            let mut traffic = TenantTraffic::new(profile, banks, banks, 40 + tenant as u64);
+            let mut window: Vec<Ticket> = Vec::new();
+            let mut sent = 0u64;
+            while sent < OPS_PER_TENANT {
+                let op = match traffic.tick() {
+                    Some(op) => op,
+                    None => continue,
+                };
+                loop {
+                    match service.submit(tenant, op.clone()) {
+                        Ok(ticket) => {
+                            window.push(ticket);
+                            sent += 1;
+                            break;
+                        }
+                        Err(Reject::QueueFull { .. } | Reject::Overloaded { .. }) => {
+                            // Backpressured: reap the oldest ticket and retry.
+                            window.remove(0).wait().expect("service alive");
+                        }
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                if window.len() > WINDOW {
+                    window.remove(0).wait().expect("service alive");
+                }
+            }
+            for ticket in window {
+                ticket.wait().expect("service alive");
+            }
+        }));
+    }
+    for driver in drivers {
+        driver.join().expect("tenant driver panicked");
+    }
+
+    let service = Arc::try_unwrap(service).ok().expect("drivers done");
+    let report = service.drain();
+    assert_eq!(report.stats.bank_conflicts, 0, "hot spot caused conflicts");
+    let meek = &report.metrics.tenants[1];
+    assert_eq!(meek.completed, OPS_PER_TENANT, "meek tenant lost work");
+    // Both tenants ran to completion concurrently; with weights 6:1 the
+    // meek tenant is guaranteed at least its share of every scheduling
+    // round, so its latency distribution must be populated and bounded.
+    assert_eq!(meek.latency.count(), OPS_PER_TENANT);
+    assert!(meek.latency.p50_ns() <= meek.latency.p99_ns());
+}
