@@ -59,6 +59,10 @@
 //!   parallel slot engine, reusable by anything that needs long-lived
 //!   condvar-parked worker threads (the `cfm-serve` event loop runs on
 //!   it).
+//! * [`spec`] — declarative program specifications with symbolic
+//!   offsets, their static [`spec::Footprint`]s, and the
+//!   [`spec::HazardSummary`] artifact `cfm-verify analyze` proves and
+//!   the parallel planner / `cfm-serve` admission consume.
 //! * [`testing`] — the [`testing::Injector`] facade over the machine's
 //!   seeded-fault hooks, used by the verifier's self-tests.
 //!
@@ -95,6 +99,7 @@ pub mod machine;
 pub mod op;
 pub mod program;
 pub mod slotshare;
+pub mod spec;
 pub mod stats;
 pub mod switch;
 pub mod sync_programs;

@@ -33,6 +33,7 @@ use crate::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction, MASK
 use crate::op::{
     BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, PendingOp, StallError,
 };
+use crate::spec::{HazardSummary, SummaryError};
 use crate::stats::Stats;
 use crate::trace::{MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
 use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
@@ -143,6 +144,34 @@ struct SlotTask {
     banks: Option<Arc<Vec<Bank>>>,
     writers: Option<Arc<Vec<Vec<u64>>>>,
     ctx: SlotCtx,
+    /// Slots to execute in this handoff. `1` = the classic single-slot
+    /// plan → execute → merge; `> 1` = a statically proven window
+    /// ([`CfmMachine::step_window`]): the lane advances its operations
+    /// through `window` consecutive slots against the pre-window bank
+    /// snapshot, recomputing each slot's routing itself.
+    window: u64,
+    /// First processor id of this lane's chunk (`lane · chunk_size`) —
+    /// the window path derives `p` from it, having no per-slot plans.
+    base: usize,
+    /// Logical→physical bank snapshot for the window path (the bank map
+    /// cannot change inside a window: the fault state is idle).
+    phys: Option<Arc<Vec<Option<usize>>>>,
+}
+
+/// Per-operation trajectory state for the window merge replay: the
+/// pre-window snapshot [`CfmMachine::step_window`] advances slot by slot
+/// to recompute each deferred commit. Phase evolution inside a proven
+/// window is deterministic — no verdict, restart, or fault can deflect
+/// it — so the replay needs no access to the operations themselves
+/// until write data is read (after the lanes return, by which time any
+/// swap/RMW transform has been applied).
+struct WinOp {
+    p: ProcId,
+    offset: BlockOffset,
+    op_id: u64,
+    kind: OpKind,
+    phase: Phase,
+    visited: usize,
 }
 
 /// Reusable per-lane buffers (plan entries, trace events) kept across
@@ -229,6 +258,17 @@ pub struct CfmMachine {
     /// Slots executed by the plan → execute → merge pipeline (deliberately
     /// *not* in [`Stats`]: stats must stay byte-identical across engines).
     parallel_slots: u64,
+    /// Statically proven hazard summary, armed by
+    /// [`CfmMachine::arm_summary`] — lets the parallel planner skip the
+    /// dynamic ATT probe for statically safe offsets and dispatch whole
+    /// proven windows per handoff. Disarmed by any fault plan, seeded
+    /// fault hook, or undeclared issue (trust-but-verify).
+    summary: Option<HazardSummary>,
+    /// Slots executed inside statically proven windows (kept out of
+    /// [`Stats`], like [`Self::parallel_slots`]).
+    static_slots: u64,
+    /// Number of statically proven windows dispatched.
+    static_windows: u64,
 }
 
 /// Staged construction of a [`CfmMachine`] — the single entry point for
@@ -434,6 +474,9 @@ impl CfmMachine {
             pool: EnginePool(None),
             lane_scratch: vec![LaneScratch::default(); chunks],
             parallel_slots: 0,
+            summary: None,
+            static_slots: 0,
+            static_windows: 0,
             config,
         }
     }
@@ -453,6 +496,8 @@ impl CfmMachine {
     /// Non-deprecated internal path behind the builder and the
     /// [`crate::testing::Injector`] facade.
     pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
+        // Faults perturb accesses in ways no static proof covers.
+        self.summary = None;
         self.fault_state = FaultState::new(plan, self.config.banks(), self.config.processors());
     }
 
@@ -552,18 +597,22 @@ impl CfmMachine {
     }
 
     pub(crate) fn seed_bank_alias(&mut self, logical: BankId, physical: usize) {
+        self.summary = None;
         self.bank_map.inject_alias(logical, physical);
     }
 
     pub(crate) fn seed_retry_suppression(&mut self, count: u64) {
+        self.summary = None;
         self.retry_suppressions = count;
     }
 
     pub(crate) fn seed_remap_copy_skip(&mut self) {
+        self.summary = None;
         self.skip_remap_copy = true;
     }
 
     pub(crate) fn seed_att_insert_drops(&mut self, count: u64) {
+        self.summary = None;
         self.att_insert_drops = count;
     }
 
@@ -597,6 +646,83 @@ impl CfmMachine {
     /// [`Stats`] so stats stay byte-identical across engines.
     pub fn parallel_slots(&self) -> u64 {
         self.parallel_slots
+    }
+
+    /// Arm a statically proven [`HazardSummary`] from `cfm-verify
+    /// analyze`. While armed, the parallel planner skips the dynamic ATT
+    /// hazard probe for offsets the footprint proves safe, and
+    /// [`Self::run`] dispatches whole proven windows per worker handoff
+    /// instead of one slot at a time ([`Self::static_slots`] /
+    /// [`Self::static_windows`] count both). Observable behaviour —
+    /// completions, stats, memory, traces — is byte-identical with or
+    /// without a summary.
+    ///
+    /// The machine trusts but verifies: issuing an operation the
+    /// footprint does not declare silently disarms the summary (falling
+    /// back to the dynamic scan), as does installing a fault plan or any
+    /// seeded fault hook.
+    ///
+    /// Arming requires a quiescent machine: geometry must match, no
+    /// fault plan or seeded hook may be armed, no operation in flight,
+    /// and every ATT empty — a stale foreign ATT entry from an
+    /// unanalyzed predecessor program could otherwise slip past the
+    /// skipped probe.
+    pub fn arm_summary(&mut self, summary: HazardSummary) -> Result<(), SummaryError> {
+        let machine_geo = (
+            self.config.processors(),
+            self.config.banks(),
+            self.offsets(),
+        );
+        let summary_geo = (summary.processors(), summary.banks(), summary.offsets());
+        if machine_geo != summary_geo {
+            return Err(SummaryError::GeometryMismatch {
+                summary: summary_geo,
+                machine: machine_geo,
+            });
+        }
+        if !self.fault_state.is_idle()
+            || self.att_insert_drops > 0
+            || self.retry_suppressions > 0
+            || self.skip_remap_copy
+        {
+            return Err(SummaryError::FaultsArmed);
+        }
+        let atts_quiet = self
+            .atts
+            .iter()
+            .all(|a| a.entries().next().is_none() && a.held_entries().is_empty());
+        if !self.is_idle() || !atts_quiet {
+            return Err(SummaryError::MachineBusy);
+        }
+        self.summary = Some(summary);
+        Ok(())
+    }
+
+    /// Drop the armed summary (if any), returning it. The machine falls
+    /// back to the fully dynamic hazard scan.
+    pub fn disarm_summary(&mut self) -> Option<HazardSummary> {
+        self.summary.take()
+    }
+
+    /// The armed hazard summary, if one survived (arming succeeded and
+    /// nothing has disarmed it since).
+    pub fn summary(&self) -> Option<&HazardSummary> {
+        self.summary.as_ref()
+    }
+
+    /// Slots executed inside statically proven windows — each such slot
+    /// skipped both the per-slot hazard probe and a worker handoff.
+    /// Kept out of [`Stats`] like [`Self::parallel_slots`] (a subset of
+    /// which these are).
+    pub fn static_slots(&self) -> u64 {
+        self.static_slots
+    }
+
+    /// Number of statically proven windows dispatched (each covered
+    /// [`Self::static_slots`]` / `[`Self::static_windows`] slots on
+    /// average in one handoff).
+    pub fn static_windows(&self) -> u64 {
+        self.static_windows
     }
 
     /// Number of block offsets per bank.
@@ -739,6 +865,15 @@ impl CfmMachine {
                 (OpKind::Rmw, offset, self.take_buf(), Some(transform))
             }
         };
+        // Trust-but-verify: an issue the armed summary's footprint does
+        // not declare invalidates the static proof — disarm and fall
+        // back to the dynamic hazard scan rather than keep an unsound
+        // skip.
+        if let Some(s) = self.summary.as_ref() {
+            if !s.declares(p, kind != OpKind::Read, offset) {
+                self.summary = None;
+            }
+        }
         let phase = match kind {
             OpKind::Write => Phase::Write,
             _ => Phase::Read,
@@ -1226,6 +1361,7 @@ impl CfmMachine {
             let fault_state = &self.fault_state;
             let bank_map = &self.bank_map;
             let att_enabled = self.att_enabled;
+            let summary = self.summary.as_ref();
             'plan: for (ci, chunk) in inflight.iter().enumerate() {
                 let plans = &mut scratch[ci].plans;
                 debug_assert!(plans.is_empty());
@@ -1236,9 +1372,16 @@ impl CfmMachine {
                     }
                     let p = ci * chunk_size + idx;
                     let k = space.bank_for(now, p);
+                    // A statically safe offset (no other processor ever
+                    // writes it, per the armed summary) cannot have a
+                    // foreign ATT entry — the dynamic probe is provably
+                    // negative and is skipped.
+                    let statically_safe = summary.is_some_and(|s| s.plan_safe(op.offset, p));
                     if fault_state.transient_fault(now, k)
                         || op.held_entry.is_some()
-                        || (att_enabled && atts[k].contended_by_other(op.offset, p))
+                        || (att_enabled
+                            && !statically_safe
+                            && atts[k].contended_by_other(op.offset, p))
                     {
                         hazard = true;
                         break 'plan;
@@ -1284,6 +1427,9 @@ impl CfmMachine {
                 banks: Some(Arc::clone(&banks)),
                 writers: Some(Arc::clone(&writers)),
                 ctx,
+                window: 1,
+                base: ci * chunk_size,
+                phys: None,
             };
             self.pool
                 .0
@@ -1298,6 +1444,9 @@ impl CfmMachine {
             banks: Some(Arc::clone(&banks)),
             writers: Some(Arc::clone(&writers)),
             ctx,
+            window: 1,
+            base: 0,
+            phys: None,
         };
         run_lane(&mut local);
         // Merge, part 1: take every lane back in ascending lane (= proc)
@@ -1314,6 +1463,9 @@ impl CfmMachine {
                         banks: None,
                         writers: None,
                         ctx,
+                        window: 1,
+                        base: 0,
+                        phys: None,
                     },
                 )
             } else {
@@ -1561,17 +1713,268 @@ impl CfmMachine {
         }
     }
 
+    /// Attempt to run the next slots as one statically proven window
+    /// ([`Self::step_window`]), returning the number of slots executed
+    /// (0 = preconditions not met; the caller falls back to
+    /// [`Self::step`]).
+    ///
+    /// A window engages only when: a [`HazardSummary`] is armed, the
+    /// engine is parallel, tracing is off (traced runs keep the
+    /// per-slot path, whose event interleaving is byte-pinned), the
+    /// fault state and seeded hooks are fully quiescent, and every
+    /// in-flight operation is mid-phase — not draining, not sleeping,
+    /// not fault-stalled — on a statically safe offset. The width stops
+    /// strictly before any operation's final access, so no completion,
+    /// ATT verdict, restart, or phase-to-drain transition can occur
+    /// inside the window — which is what makes batched execution
+    /// observably identical to per-slot stepping.
+    fn try_step_window(&mut self, budget: u64) -> u64 {
+        if budget < 2
+            || self.trace.is_some()
+            || !matches!(self.config.engine(), Engine::Parallel { .. })
+        {
+            return 0;
+        }
+        let Some(summary) = self.summary.as_ref() else {
+            return 0;
+        };
+        if self.att_insert_drops > 0 || self.retry_suppressions > 0 || !self.fault_state.is_idle() {
+            return 0;
+        }
+        let b = self.config.banks();
+        let now = self.cycle;
+        let mut min_remaining = u64::MAX;
+        let mut actives = 0usize;
+        for (p, slot) in self.inflight.iter().flatten().enumerate() {
+            let Some(op) = slot.as_ref() else { continue };
+            if op.phase == Phase::Drain
+                || now < op.sleep_until
+                || op.held_entry.is_some()
+                || !summary.plan_safe(op.offset, p)
+            {
+                return 0;
+            }
+            // Accesses remaining until the one that enters Drain; the
+            // window must stop strictly before it.
+            let until_final = match (op.kind, op.phase) {
+                (OpKind::Swap | OpKind::Rmw, Phase::Read) => (2 * b - op.visited) as u64,
+                _ => (b - op.visited) as u64,
+            };
+            min_remaining = min_remaining.min(until_final);
+            actives += 1;
+        }
+        if actives == 0 {
+            return 0;
+        }
+        let w = (min_remaining - 1).min(budget);
+        if w < 2 {
+            // A 1-slot window saves nothing over the ordinary step.
+            return 0;
+        }
+        self.step_window(w);
+        w
+    }
+
+    /// Execute `w` consecutive slots as **one** handoff per lane — the
+    /// whole-window dispatch an armed [`HazardSummary`] unlocks
+    /// (amortising the per-slot handoff cost ROADMAP item 2 measures).
+    ///
+    /// [`Self::try_step_window`] proved the window inert: no operation
+    /// completes, restarts, sleeps, or meets any ATT verdict other than
+    /// an implicit `Proceed` inside it, and no offset is both written
+    /// and observed by different processors. Each lane therefore
+    /// advances its chunk through all `w` slots against the shared
+    /// pre-window bank snapshot; the merge then replays the deferred
+    /// commits — ATT expiries and inserts, bank writes, writer stamps,
+    /// injection accounting — slot by slot in the sequential engine's
+    /// exact order, recomputing each operation's per-slot position from
+    /// a pre-dispatch [`WinOp`] snapshot.
+    fn step_window(&mut self, w: u64) {
+        let now = self.cycle;
+        let b = self.config.banks();
+        let chunks = self.inflight.len();
+        let chunk_size = self.chunk_size;
+        let mut traj: Vec<WinOp> = Vec::with_capacity(self.config.processors());
+        for (p, slot) in self.inflight.iter().flatten().enumerate() {
+            if let Some(op) = slot.as_ref() {
+                traj.push(WinOp {
+                    p,
+                    offset: op.offset,
+                    op_id: op.op_id,
+                    kind: op.kind,
+                    phase: op.phase,
+                    visited: op.visited,
+                });
+            }
+        }
+        let banks = Arc::new(std::mem::take(&mut self.banks));
+        let writers = Arc::new(std::mem::take(&mut self.writer_ids));
+        let phys: Arc<Vec<Option<usize>>> =
+            Arc::new((0..b).map(|k| self.bank_map.phys(k)).collect());
+        let ctx = SlotCtx {
+            now,
+            banks: b,
+            bank_cycle: self.config.bank_cycle() as u64,
+            tracing: false,
+        };
+        if chunks > 1 && self.pool.0.is_none() {
+            self.pool.0 = Some(WorkerPool::new(chunks - 1, run_lane));
+        }
+        for ci in 1..chunks {
+            let scratch = &mut self.lane_scratch[ci];
+            let task = SlotTask {
+                ops: std::mem::take(&mut self.inflight[ci]),
+                plans: std::mem::take(&mut scratch.plans),
+                events: std::mem::take(&mut scratch.events),
+                banks: Some(Arc::clone(&banks)),
+                writers: Some(Arc::clone(&writers)),
+                ctx,
+                window: w,
+                base: ci * chunk_size,
+                phys: Some(Arc::clone(&phys)),
+            };
+            self.pool
+                .0
+                .as_ref()
+                .expect("pool spawned above")
+                .dispatch(ci - 1, task);
+        }
+        let mut local = SlotTask {
+            ops: std::mem::take(&mut self.inflight[0]),
+            plans: std::mem::take(&mut self.lane_scratch[0].plans),
+            events: std::mem::take(&mut self.lane_scratch[0].events),
+            banks: Some(Arc::clone(&banks)),
+            writers: Some(Arc::clone(&writers)),
+            ctx,
+            window: w,
+            base: 0,
+            phys: Some(Arc::clone(&phys)),
+        };
+        run_lane(&mut local);
+        for ci in 0..chunks {
+            let mut task = if ci == 0 {
+                std::mem::replace(
+                    &mut local,
+                    SlotTask {
+                        ops: Vec::new(),
+                        plans: Vec::new(),
+                        events: Vec::new(),
+                        banks: None,
+                        writers: None,
+                        ctx,
+                        window: 1,
+                        base: 0,
+                        phys: None,
+                    },
+                )
+            } else {
+                self.pool
+                    .0
+                    .as_ref()
+                    .expect("pool spawned above")
+                    .collect(ci - 1)
+            };
+            task.banks = None;
+            task.writers = None;
+            task.phys = None;
+            self.inflight[ci] = task.ops;
+            let scratch = &mut self.lane_scratch[ci];
+            scratch.plans = task.plans;
+            scratch.events = task.events;
+        }
+        self.banks =
+            Arc::try_unwrap(banks).unwrap_or_else(|_| unreachable!("all lane bank views returned"));
+        self.writer_ids = Arc::try_unwrap(writers)
+            .unwrap_or_else(|_| unreachable!("all lane writer views returned"));
+        // Merge: replay each slot's deferred commits in the sequential
+        // engine's exact order — ATT expiry first (the prologue), then
+        // per processor in ascending order: injection accounting, the
+        // ATT insert at a write phase's first access, bank write and
+        // writer stamp.
+        for s in 0..w {
+            let t = now + s;
+            for att in &mut self.atts {
+                att.expire(t);
+            }
+            for snap in &mut traj {
+                let k = self.space.bank_for(t, snap.p);
+                let ph = phys[k];
+                match ph {
+                    Some(ph) => {
+                        if !self.banks[ph].note_injection(t) {
+                            // Impossible under the AT-space schedule;
+                            // recorded, not fatal.
+                            self.stats.bank_conflicts += 1;
+                        }
+                        self.stats.word_accesses += 1;
+                    }
+                    None => self.stats.masked_accesses += 1,
+                }
+                match snap.phase {
+                    Phase::Read => {
+                        snap.visited += 1;
+                        if snap.visited == b {
+                            debug_assert!(matches!(snap.kind, OpKind::Swap | OpKind::Rmw));
+                            snap.phase = Phase::Write;
+                            snap.visited = 0;
+                        }
+                    }
+                    Phase::Write => {
+                        if snap.visited == 0 && self.att_enabled {
+                            self.atts[k].insert(Entry {
+                                offset: snap.offset,
+                                kind: if matches!(snap.kind, OpKind::Swap | OpKind::Rmw) {
+                                    TrackKind::SwapWrite
+                                } else {
+                                    TrackKind::Write
+                                },
+                                proc: snap.p,
+                                inserted_at: t,
+                            });
+                        }
+                        if let Some(ph) = ph {
+                            let word = self.inflight[snap.p / chunk_size][snap.p % chunk_size]
+                                .as_ref()
+                                .expect("windowed op still in flight")
+                                .write_data[k];
+                            self.banks[ph].write(snap.offset, word);
+                            self.writer_ids[ph][snap.offset] = snap.op_id;
+                        }
+                        snap.visited += 1;
+                    }
+                    Phase::Drain => unreachable!("drain ops preclude a window"),
+                }
+            }
+        }
+        self.cycle += w;
+        self.stats.cycles += w;
+        self.parallel_slots += w;
+        self.static_slots += w;
+        self.static_windows += 1;
+    }
+
     /// Step until every processor is idle (or `max_cycles` elapse).
     /// Completions arrive in delivery order; [`RunReport::outcome`] says
     /// whether the machine went idle or the budget ran out with
     /// operations still in flight.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
         let mut completions = Vec::new();
-        for _ in 0..max_cycles {
+        let mut used = 0u64;
+        while used < max_cycles {
             if self.is_idle() {
                 break;
             }
-            self.step();
+            // With an armed summary (and the parallel engine, untraced),
+            // run whole statically proven windows per worker handoff;
+            // any slot the window preconditions cannot cover falls back
+            // to the ordinary per-slot step.
+            let advanced = self.try_step_window(max_cycles - used);
+            if advanced == 0 {
+                self.step();
+                used += 1;
+            } else {
+                used += advanced;
+            }
             for p in 0..self.done.len() {
                 completions.extend(self.done[p].drain(..));
             }
@@ -1665,6 +2068,10 @@ impl RunReport {
 /// worker thread for lanes ≥ 1 and inline on the stepping thread for
 /// lane 0.
 fn run_lane(task: &mut SlotTask) {
+    if task.window > 1 {
+        run_window_lane(task);
+        return;
+    }
     let ctx = task.ctx;
     let banks = task.banks.as_ref().expect("lane bank view");
     let writers = task.writers.as_ref().expect("lane writer view");
@@ -1749,6 +2156,70 @@ fn run_lane(task: &mut SlotTask) {
                 }
             }
             Phase::Drain => unreachable!("drain ops are never planned"),
+        }
+    }
+}
+
+/// The execute phase of one lane over a statically proven window
+/// (`task.window > 1`): every in-flight operation in the chunk is
+/// mid-phase ([`CfmMachine::try_step_window`] verified it), so the lane
+/// advances each through `window` consecutive slots against the
+/// pre-window bank snapshot, recomputing the AT-space routing itself.
+/// Sound because inside a proven window no offset is both written and
+/// observed by different processors (`plan_safe`) and no operation
+/// reaches its final access; bank writes, ATT inserts, writer stamps
+/// and stats are replayed by the merge. Untraced by construction —
+/// traced runs never take the window path.
+fn run_window_lane(task: &mut SlotTask) {
+    let ctx = task.ctx;
+    let banks = task.banks.as_ref().expect("lane bank view");
+    let writers = task.writers.as_ref().expect("lane writer view");
+    let phys = task.phys.as_ref().expect("window phys view");
+    let b = ctx.banks as u64;
+    for s in 0..task.window {
+        let t = ctx.now + s;
+        for (idx, slot) in task.ops.iter_mut().enumerate() {
+            let Some(op) = slot.as_mut() else { continue };
+            let p = task.base + idx;
+            // The AT-space schedule: bank(t, p) = (t + c·p) mod b.
+            let k = ((t + ctx.bank_cycle * p as u64) % b) as usize;
+            op.last_progress = t;
+            match op.phase {
+                Phase::Read => {
+                    match phys[k] {
+                        Some(ph) => {
+                            op.read_buf[k] = banks[ph].read(op.offset);
+                            op.observed_writers[k] = writers[ph][op.offset];
+                        }
+                        None => {
+                            op.read_buf[k] = 0;
+                            op.observed_writers[k] = MASKED_WRITER;
+                        }
+                    }
+                    op.visited += 1;
+                    if op.visited == ctx.banks {
+                        // Only a swap/RMW can exhaust its read phase
+                        // inside a window — the width stops a plain
+                        // read strictly before its final access.
+                        debug_assert!(matches!(op.kind, OpKind::Swap | OpKind::Rmw));
+                        if let Some(tr) = &op.transform {
+                            tr.apply_into(&op.read_buf, &mut op.write_data);
+                        }
+                        op.phase = Phase::Write;
+                        op.visited = 0;
+                        op.bank0_updated = false;
+                    }
+                }
+                Phase::Write => {
+                    op.bank0_updated |= k == 0;
+                    op.visited += 1;
+                    debug_assert!(
+                        op.visited < ctx.banks,
+                        "window stops before the final access"
+                    );
+                }
+                Phase::Drain => unreachable!("drain ops preclude a window"),
+            }
         }
     }
 }
@@ -2438,6 +2909,115 @@ mod tests {
         assert_eq!(seq.1, par.1, "stats");
         assert_eq!(seq.2, par.2, "trace");
         assert!(seq.1.faults_injected > 0, "plan really injects");
+    }
+
+    #[test]
+    fn summary_window_dispatch_is_byte_identical_and_counted() {
+        use crate::spec::{Footprint, HazardSummary};
+        let n = 4;
+        let offsets = 8;
+        // Disjoint per-processor footprint: processor p reads, writes
+        // and swaps only block p — every offset statically safe.
+        let mut fp = Footprint::new(offsets);
+        for p in 0..n {
+            fp.record(p, true, p);
+            fp.record(p, false, p);
+        }
+        let run = |engine: Engine, summary: Option<HazardSummary>| {
+            let cfg = CfmConfig::new(n, 1, 16).unwrap().with_engine(engine);
+            let b = cfg.banks();
+            let mut m = CfmMachine::builder(cfg).offsets(offsets).build();
+            if let Some(s) = summary {
+                m.arm_summary(s).unwrap();
+            }
+            let mut completions = Vec::new();
+            for round in 1..4u64 {
+                for p in 0..n {
+                    m.issue(p, Operation::write(p, vec![round; b])).unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+                for p in 0..n {
+                    // Swaps cover the in-window read→write transition.
+                    m.issue(p, Operation::swap(p, vec![round ^ 0xFF; b]))
+                        .unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+                for p in 0..n {
+                    m.issue(p, Operation::read(p)).unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+            }
+            let memory: Vec<_> = (0..offsets).map(|o| m.peek_block(o)).collect();
+            (
+                completions,
+                *m.stats(),
+                memory,
+                m.static_slots(),
+                m.static_windows(),
+            )
+        };
+        let seq = run(Engine::Sequential, None);
+        let par = run(Engine::Parallel { threads: 2 }, None);
+        let stat = run(
+            Engine::Parallel { threads: 2 },
+            Some(HazardSummary::new(n, n, fp)),
+        );
+        assert_eq!(seq.0, par.0, "completions (plain parallel)");
+        assert_eq!(seq.0, stat.0, "completions (summary)");
+        assert_eq!(seq.1, stat.1, "stats");
+        assert_eq!(seq.2, stat.2, "memory");
+        assert_eq!(par.3, 0, "no windows without a summary");
+        assert!(stat.3 > 0, "summary run executed window slots");
+        assert!(stat.4 > 0, "summary run dispatched whole windows");
+    }
+
+    #[test]
+    fn undeclared_issue_disarms_summary() {
+        use crate::spec::{Footprint, HazardSummary};
+        let cfg = CfmConfig::new(4, 1, 16)
+            .unwrap()
+            .with_engine(Engine::Parallel { threads: 2 });
+        let b = cfg.banks();
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
+        let mut fp = Footprint::new(8);
+        fp.record(0, true, 0);
+        m.arm_summary(HazardSummary::new(4, b, fp)).unwrap();
+        m.issue(0, Operation::write(0, vec![1; b])).unwrap();
+        assert!(m.summary().is_some(), "declared issue keeps the summary");
+        m.issue(1, Operation::write(1, vec![2; b])).unwrap();
+        assert!(m.summary().is_none(), "undeclared issue disarms it");
+        m.run(1_000).expect_idle();
+    }
+
+    #[test]
+    fn summary_arming_gates_and_fault_disarm() {
+        use crate::spec::{Footprint, HazardSummary, SummaryError};
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let b = cfg.banks();
+        let mut m = CfmMachine::builder(cfg).offsets(8).build();
+        let bad = HazardSummary::new(2, b, Footprint::new(8));
+        assert!(matches!(
+            m.arm_summary(bad),
+            Err(SummaryError::GeometryMismatch { .. })
+        ));
+        let good = HazardSummary::new(4, b, Footprint::new(8));
+        // In-flight operation blocks arming.
+        m.issue(0, Operation::write(3, vec![1; b])).unwrap();
+        assert_eq!(m.arm_summary(good.clone()), Err(SummaryError::MachineBusy));
+        m.run(1_000).expect_idle();
+        // The write's ATT entry is still live right after completion.
+        assert_eq!(m.arm_summary(good.clone()), Err(SummaryError::MachineBusy));
+        for _ in 0..2 * b {
+            m.step();
+        }
+        m.arm_summary(good.clone()).unwrap();
+        // A fault plan disarms; seeded hooks refuse re-arming.
+        m.injector().fault_plan(FaultPlan::empty());
+        assert!(m.summary().is_none());
+        m.arm_summary(good.clone()).unwrap();
+        m.injector().suppress_retries(1);
+        assert!(m.summary().is_none(), "seeded hook disarms");
+        assert_eq!(m.arm_summary(good), Err(SummaryError::FaultsArmed));
     }
 
     #[test]

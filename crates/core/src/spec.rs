@@ -1,0 +1,584 @@
+//! Declarative program specifications and static hazard summaries.
+//!
+//! The reactive [`crate::program::Program`] trait is good for *driving*
+//! the machine but opaque to analysis: the next operation only exists
+//! once the previous one completed. This module adds a declarative
+//! counterpart — [`ProgramSpec`], a per-processor list of [`OpSpec`]s
+//! whose block offsets are symbolic [`OffsetExpr`]s — that a static
+//! analyzer (`cfm-verify analyze`) can interpret *without running a
+//! slot*, and that [`ProgramSpec::instantiate`] lowers to the concrete
+//! [`Operation`]s a [`crate::program::Runner`] executes. One spec, two
+//! consumers: what is proven is exactly what runs.
+//!
+//! Two artifacts of the analysis live here because the machine and the
+//! service consume them:
+//!
+//! * [`Footprint`] — per-offset reader/writer processor sets. The
+//!   `cfm-serve` admission check compares tenants' footprints
+//!   ([`Footprint::conflicts_with`]) and rejects statically conflicting
+//!   programs before a single operation is queued.
+//! * [`HazardSummary`] — a proven-safe footprint plus ATT occupancy and
+//!   per-bank access bounds, armed on a [`crate::machine::CfmMachine`]
+//!   ([`crate::machine::CfmMachine::arm_summary`]) so the parallel
+//!   engine's planner can skip the dynamic per-slot hazard probe for
+//!   statically safe offsets and dispatch whole proven windows per
+//!   worker handoff.
+//!
+//! The safety notion is deliberately conservative (see
+//! `docs/static-analysis.md`): an `(offset, proc)` pair is *statically
+//! safe* when no **other** processor ever writes that offset — then no
+//! foreign ATT entry for the offset can exist, so every dynamic probe
+//! the planner would run is provably a no-op. Offsets with
+//! data-dependent expressions are never safe; they fall back to the
+//! dynamic scan.
+
+use crate::op::{OpKind, Operation};
+use crate::{BlockOffset, ProcId};
+
+/// Identifier of a program-level lock in a [`ProgramSpec`]'s acquisition
+/// script (the analyzer's lock-order graph nodes).
+pub type LockId = usize;
+
+/// A block offset as a function of the executing processor — the
+/// symbolic index domain of the static analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetExpr {
+    /// The same block for every processor (shared data).
+    Const(BlockOffset),
+    /// `(base + stride · p) mod offsets` — per-processor striding
+    /// (`stride = 1, base = 0` is the disjoint "own block" pattern).
+    ProcLinear {
+        /// Offset of processor 0.
+        base: BlockOffset,
+        /// Per-processor stride.
+        stride: usize,
+    },
+    /// An offset computed from run-time data — *not* statically
+    /// analyzable. `eval` derives a deterministic pseudo-random offset
+    /// from the seed so the spec still instantiates and runs; the
+    /// analyzer refuses to summarize it and the machine keeps its
+    /// dynamic hazard scan.
+    DataDependent {
+        /// Seed of the deterministic surrogate offset.
+        seed: u64,
+    },
+}
+
+impl OffsetExpr {
+    /// The concrete offset for processor `p` on a machine with
+    /// `offsets` blocks.
+    pub fn eval(&self, p: ProcId, offsets: usize) -> BlockOffset {
+        debug_assert!(offsets > 0);
+        match *self {
+            OffsetExpr::Const(o) => o % offsets,
+            OffsetExpr::ProcLinear { base, stride } => (base + stride * p) % offsets,
+            OffsetExpr::DataDependent { seed } => {
+                // splitmix64 of (seed, p): stable surrogate for "data we
+                // cannot see statically".
+                let mut z = seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as usize % offsets
+            }
+        }
+    }
+
+    /// Whether the analyzer can resolve this expression without running
+    /// the program.
+    pub fn statically_known(&self) -> bool {
+        !matches!(self, OffsetExpr::DataDependent { .. })
+    }
+}
+
+/// The operation kind of one [`OpSpec`] (data is derived
+/// deterministically at instantiation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpPattern {
+    /// Block read.
+    Read,
+    /// Block write.
+    Write,
+    /// Atomic block swap.
+    Swap,
+    /// Fetch-and-add RMW on word 0.
+    FetchAdd,
+}
+
+impl OpPattern {
+    /// Whether the instantiated operation runs a write phase (and thus
+    /// inserts an ATT entry).
+    pub fn writes(self) -> bool {
+        !matches!(self, OpPattern::Read)
+    }
+}
+
+/// One operation of a [`ProgramSpec`]: a kind plus a symbolic offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// What to do.
+    pub pattern: OpPattern,
+    /// Where to do it.
+    pub offset: OffsetExpr,
+}
+
+impl OpSpec {
+    /// Shorthand constructor.
+    pub fn new(pattern: OpPattern, offset: OffsetExpr) -> Self {
+        OpSpec { pattern, offset }
+    }
+}
+
+/// A declarative multi-processor program: per-processor operation lists
+/// (repeated `rounds` times, issued back-to-back) plus program-level
+/// lock acquisition scripts for the lock-order analysis.
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    /// Display name (appears in analyzer reports).
+    pub name: String,
+    /// Number of processors the spec is written for.
+    pub processors: usize,
+    /// How many times each processor repeats its op list.
+    pub rounds: usize,
+    /// Per-processor operation lists (`ops.len() == processors`;
+    /// processors past the list's end idle).
+    pub ops: Vec<Vec<OpSpec>>,
+    /// Per-processor ordered lock acquisitions (`locks[p]` is the order
+    /// in which processor `p` takes program locks; empty = lock-free).
+    /// Earlier-acquired locks are held while later ones are taken, so
+    /// each consecutive pair is a held-before edge.
+    pub locks: Vec<Vec<LockId>>,
+}
+
+impl ProgramSpec {
+    /// A lock-free spec where every processor runs the same op list.
+    pub fn uniform(name: &str, processors: usize, rounds: usize, ops: Vec<OpSpec>) -> Self {
+        ProgramSpec {
+            name: name.to_string(),
+            processors,
+            rounds,
+            ops: vec![ops; processors],
+            locks: Vec::new(),
+        }
+    }
+
+    /// Whether every offset in the spec is statically known — the
+    /// precondition for building a [`Footprint`] / [`HazardSummary`].
+    pub fn analyzable(&self) -> bool {
+        self.ops
+            .iter()
+            .flatten()
+            .all(|op| op.offset.statically_known())
+    }
+
+    /// Lower processor `p`'s stream to concrete operations for a machine
+    /// with `banks` banks and `offsets` blocks. Write/swap data is
+    /// deterministic (derived from processor, round and op index), so
+    /// the dynamic differential runs are reproducible.
+    pub fn instantiate(&self, p: ProcId, banks: usize, offsets: usize) -> Vec<Operation> {
+        let Some(list) = self.ops.get(p) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(self.rounds * list.len());
+        for round in 0..self.rounds {
+            for (i, op) in list.iter().enumerate() {
+                let offset = op.offset.eval(p, offsets);
+                let tag = ((p as u64) << 24) | ((round as u64) << 12) | i as u64;
+                out.push(match op.pattern {
+                    OpPattern::Read => Operation::read(offset),
+                    OpPattern::Write => Operation::write(offset, vec![tag; banks]),
+                    OpPattern::Swap => Operation::swap(offset, vec![tag ^ 0x5A5A; banks]),
+                    OpPattern::FetchAdd => Operation::fetch_add(offset, 0, tag | 1),
+                });
+            }
+        }
+        out
+    }
+
+    /// The spec's access footprint on a machine with `offsets` blocks,
+    /// or `None` if any offset is data-dependent (not analyzable).
+    pub fn footprint(&self, offsets: usize) -> Option<Footprint> {
+        if !self.analyzable() {
+            return None;
+        }
+        let mut fp = Footprint::new(offsets);
+        for (p, list) in self.ops.iter().enumerate() {
+            for op in list {
+                fp.record(p, op.pattern.writes(), op.offset.eval(p, offsets));
+            }
+        }
+        Some(fp)
+    }
+}
+
+/// Largest processor id representable in the per-offset bitmasks. Higher
+/// ids are tracked collectively in an overflow set and conservatively
+/// treated as "anyone" — never statically safe.
+const MASK_PROCS: usize = 64;
+
+/// Per-offset reader/writer processor sets — the static access shape of
+/// a program (or a tenant's declared traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    offsets: usize,
+    /// Bit `p` set in `readers[o]` ⇔ some processor `p < 64` reads `o`.
+    readers: Vec<u64>,
+    /// Bit `p` set in `writers[o]` ⇔ some processor `p < 64` runs a
+    /// write phase (write/swap/RMW) on `o`.
+    writers: Vec<u64>,
+    /// Offsets touched by any processor `p ≥ 64` (conservative bucket).
+    overflow: Vec<bool>,
+}
+
+/// A statically detected conflict between two footprints: the shared
+/// offset and which side writes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintConflict {
+    /// The contested block offset.
+    pub offset: BlockOffset,
+    /// Whether the left-hand footprint writes the offset.
+    pub left_writes: bool,
+    /// Whether the right-hand footprint writes the offset.
+    pub right_writes: bool,
+}
+
+impl Footprint {
+    /// An empty footprint over `offsets` blocks.
+    pub fn new(offsets: usize) -> Self {
+        Footprint {
+            offsets,
+            readers: vec![0; offsets],
+            writers: vec![0; offsets],
+            overflow: vec![false; offsets],
+        }
+    }
+
+    /// Number of blocks the footprint is defined over.
+    pub fn offsets(&self) -> usize {
+        self.offsets
+    }
+
+    /// Record one access: processor `p` reads (or, with `writes`, runs a
+    /// write phase on) block `offset`. Out-of-range offsets are ignored
+    /// (the machine rejects them at issue anyway).
+    pub fn record(&mut self, p: ProcId, writes: bool, offset: BlockOffset) {
+        if offset >= self.offsets {
+            return;
+        }
+        if p >= MASK_PROCS {
+            self.overflow[offset] = true;
+            return;
+        }
+        if writes {
+            self.writers[offset] |= 1 << p;
+        } else {
+            self.readers[offset] |= 1 << p;
+        }
+    }
+
+    /// Record an [`Operation`]'s access (swap and RMW count as writes;
+    /// their read phase cannot conflict with their own entry).
+    pub fn record_op(&mut self, p: ProcId, op: &Operation) {
+        self.record(p, op.kind() != OpKind::Read, op.offset());
+    }
+
+    /// Whether `(offset, p)` is *statically safe*: no other processor
+    /// ever writes `offset`, so no foreign ATT entry for it can exist
+    /// and every dynamic hazard probe is provably negative.
+    pub fn plan_safe(&self, offset: BlockOffset, p: ProcId) -> bool {
+        if offset >= self.offsets || self.overflow[offset] || p >= MASK_PROCS {
+            return false;
+        }
+        self.writers[offset] & !(1u64 << p) == 0
+    }
+
+    /// Whether the footprint declares this access — the machine's
+    /// trust-but-verify gate: an undeclared access disarms the armed
+    /// summary instead of silently keeping a now-unsound proof.
+    pub fn declares(&self, p: ProcId, writes: bool, offset: BlockOffset) -> bool {
+        if offset >= self.offsets {
+            return false;
+        }
+        if p >= MASK_PROCS {
+            return self.overflow[offset];
+        }
+        let mask = 1u64 << p;
+        if writes {
+            self.writers[offset] & mask != 0
+        } else {
+            // A declared writer may also read (swap/RMW read phases).
+            (self.readers[offset] | self.writers[offset]) & mask != 0
+        }
+    }
+
+    /// First offset where the two footprints statically conflict: both
+    /// touch it and at least one side writes. `None` = provably
+    /// non-interfering.
+    pub fn conflicts_with(&self, other: &Footprint) -> Option<FootprintConflict> {
+        let n = self.offsets.min(other.offsets);
+        for o in 0..n {
+            let l_touch = self.readers[o] != 0 || self.writers[o] != 0 || self.overflow[o];
+            let r_touch = other.readers[o] != 0 || other.writers[o] != 0 || other.overflow[o];
+            if !(l_touch && r_touch) {
+                continue;
+            }
+            let left_writes = self.writers[o] != 0 || self.overflow[o];
+            let right_writes = other.writers[o] != 0 || other.overflow[o];
+            if left_writes || right_writes {
+                return Some(FootprintConflict {
+                    offset: o,
+                    left_writes,
+                    right_writes,
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether any processor touches `offset` at all.
+    pub fn touches(&self, offset: BlockOffset) -> bool {
+        offset < self.offsets
+            && (self.readers[offset] != 0 || self.writers[offset] != 0 || self.overflow[offset])
+    }
+
+    /// Whether any processor runs a write phase on `offset`.
+    pub fn written(&self, offset: BlockOffset) -> bool {
+        offset < self.offsets && (self.writers[offset] != 0 || self.overflow[offset])
+    }
+
+    /// Number of offsets touched at all.
+    pub fn touched(&self) -> usize {
+        (0..self.offsets)
+            .filter(|&o| self.readers[o] != 0 || self.writers[o] != 0 || self.overflow[o])
+            .count()
+    }
+}
+
+/// Why [`crate::machine::CfmMachine::arm_summary`] refused a summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The summary was computed for a different machine shape.
+    GeometryMismatch {
+        /// `(processors, banks, offsets)` the summary was proven for.
+        summary: (usize, usize, usize),
+        /// `(processors, banks, offsets)` of the machine.
+        machine: (usize, usize, usize),
+    },
+    /// A fault plan or seeded fault hook is armed — faults perturb
+    /// accesses in ways no static proof covers, so the summary is
+    /// refused (and an armed summary is dropped when a plan is
+    /// installed later).
+    FaultsArmed,
+    /// Operations are in flight or ATT entries are still live. The
+    /// summary's footprint covers the program *about to run*; arming
+    /// over residue from an unanalyzed predecessor could let a stale
+    /// foreign ATT entry slip past the skipped hazard probe.
+    MachineBusy,
+}
+
+impl std::fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SummaryError::GeometryMismatch { summary, machine } => write!(
+                f,
+                "summary proven for (n={}, b={}, offsets={}) but machine is \
+                 (n={}, b={}, offsets={})",
+                summary.0, summary.1, summary.2, machine.0, machine.1, machine.2
+            ),
+            SummaryError::FaultsArmed => {
+                write!(f, "a fault plan or seeded fault hook is armed")
+            }
+            SummaryError::MachineBusy => {
+                write!(f, "operations in flight or ATT entries still live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// The artifact a static analysis hands to its consumers: a footprint
+/// proven for a specific machine geometry, plus the analyzer's ATT
+/// occupancy bound and per-bank access counts.
+///
+/// Armed on a machine ([`crate::machine::CfmMachine::arm_summary`]), it
+/// lets the parallel planner skip the per-op ATT hazard probe for
+/// statically safe offsets and batch whole proven windows into one
+/// worker handoff. The machine keeps itself sound against drivers that
+/// diverge from the summary: any issued operation the footprint does
+/// not declare disarms it, and installing a fault plan (or any seeded
+/// fault hook) disarms it too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardSummary {
+    processors: usize,
+    banks: usize,
+    footprint: Footprint,
+    /// Upper bound on concurrent live entries in any single ATT proven
+    /// by the analyzer (must be ≤ the hardware capacity `b − 1`).
+    pub att_bound: usize,
+    /// Static per-bank access counts over the analyzed program — the
+    /// per-bank bandwidth footprint.
+    pub per_bank_accesses: Vec<u64>,
+}
+
+impl HazardSummary {
+    /// A summary for a machine with `processors` processors and `banks`
+    /// banks, carrying the proven footprint. `att_bound` and
+    /// `per_bank_accesses` default to zero (unknown); the analyzer
+    /// fills them.
+    pub fn new(processors: usize, banks: usize, footprint: Footprint) -> Self {
+        HazardSummary {
+            processors,
+            banks,
+            per_bank_accesses: vec![0; banks],
+            att_bound: 0,
+            footprint,
+        }
+    }
+
+    /// Processor count the summary was proven for.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Bank count the summary was proven for.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Block count the summary was proven for.
+    pub fn offsets(&self) -> usize {
+        self.footprint.offsets()
+    }
+
+    /// The proven footprint.
+    pub fn footprint(&self) -> &Footprint {
+        &self.footprint
+    }
+
+    /// See [`Footprint::plan_safe`].
+    #[inline]
+    pub fn plan_safe(&self, offset: BlockOffset, p: ProcId) -> bool {
+        self.footprint.plan_safe(offset, p)
+    }
+
+    /// See [`Footprint::declares`].
+    #[inline]
+    pub fn declares(&self, p: ProcId, writes: bool, offset: BlockOffset) -> bool {
+        self.footprint.declares(p, writes, offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_exprs_evaluate_and_classify() {
+        assert_eq!(OffsetExpr::Const(9).eval(3, 8), 1);
+        assert_eq!(OffsetExpr::ProcLinear { base: 2, stride: 3 }.eval(2, 16), 8);
+        let d = OffsetExpr::DataDependent { seed: 7 };
+        assert_eq!(d.eval(1, 8), d.eval(1, 8), "surrogate is deterministic");
+        assert!(OffsetExpr::Const(0).statically_known());
+        assert!(!d.statically_known());
+    }
+
+    #[test]
+    fn disjoint_spec_footprint_is_fully_safe() {
+        let spec = ProgramSpec::uniform(
+            "disjoint",
+            4,
+            2,
+            vec![
+                OpSpec::new(
+                    OpPattern::Read,
+                    OffsetExpr::ProcLinear { base: 0, stride: 1 },
+                ),
+                OpSpec::new(
+                    OpPattern::Write,
+                    OffsetExpr::ProcLinear { base: 0, stride: 1 },
+                ),
+            ],
+        );
+        let fp = spec.footprint(8).expect("analyzable");
+        for p in 0..4 {
+            assert!(fp.plan_safe(p, p), "own block is safe");
+        }
+        assert!(!fp.plan_safe(1, 0), "someone else's written block is not");
+        assert!(fp.declares(2, true, 2));
+        assert!(!fp.declares(2, true, 3));
+    }
+
+    #[test]
+    fn shared_reads_are_safe_shared_writes_are_not() {
+        let mut fp = Footprint::new(4);
+        fp.record(0, false, 0);
+        fp.record(1, false, 0);
+        fp.record(0, true, 1);
+        fp.record(1, true, 1);
+        assert!(
+            fp.plan_safe(0, 0) && fp.plan_safe(0, 1),
+            "read-only sharing"
+        );
+        assert!(!fp.plan_safe(1, 0) && !fp.plan_safe(1, 1), "write sharing");
+    }
+
+    #[test]
+    fn data_dependent_spec_has_no_footprint() {
+        let spec = ProgramSpec::uniform(
+            "dyn",
+            2,
+            1,
+            vec![OpSpec::new(
+                OpPattern::Write,
+                OffsetExpr::DataDependent { seed: 1 },
+            )],
+        );
+        assert!(!spec.analyzable());
+        assert!(spec.footprint(8).is_none());
+        assert_eq!(spec.instantiate(0, 4, 8).len(), 1, "still runs dynamically");
+    }
+
+    #[test]
+    fn footprint_conflicts_need_a_writer() {
+        let mut a = Footprint::new(8);
+        a.record(0, false, 3);
+        let mut b = Footprint::new(8);
+        b.record(0, false, 3);
+        assert_eq!(a.conflicts_with(&b), None, "read/read sharing is fine");
+        b.record(0, true, 3);
+        let w = a.conflicts_with(&b).expect("read/write conflict");
+        assert_eq!((w.offset, w.left_writes, w.right_writes), (3, false, true));
+    }
+
+    #[test]
+    fn instantiation_matches_footprint() {
+        let spec = ProgramSpec::uniform(
+            "mix",
+            3,
+            2,
+            vec![
+                OpSpec::new(
+                    OpPattern::Swap,
+                    OffsetExpr::ProcLinear { base: 1, stride: 2 },
+                ),
+                OpSpec::new(OpPattern::Read, OffsetExpr::Const(0)),
+            ],
+        );
+        let fp = spec.footprint(16).unwrap();
+        let mut dynamic = Footprint::new(16);
+        for p in 0..3 {
+            for op in spec.instantiate(p, 6, 16) {
+                dynamic.record_op(p, &op);
+            }
+        }
+        assert_eq!(fp, dynamic, "static footprint equals the executed one");
+    }
+
+    #[test]
+    fn high_proc_ids_are_conservatively_unsafe() {
+        let mut fp = Footprint::new(2);
+        fp.record(100, false, 0);
+        assert!(!fp.plan_safe(0, 0));
+        assert!(fp.declares(100, true, 0), "overflow bucket declares anyone");
+    }
+}

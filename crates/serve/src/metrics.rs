@@ -125,6 +125,7 @@ pub(crate) struct TenantCounters {
     pub(crate) rejected_queue_full: u64,
     pub(crate) rejected_overloaded: u64,
     pub(crate) rejected_shutdown: u64,
+    pub(crate) rejected_static: u64,
     pub(crate) latency: Histogram,
 }
 
@@ -162,6 +163,7 @@ impl Metrics {
                     rejected_queue_full: c.rejected_queue_full,
                     rejected_overloaded: c.rejected_overloaded,
                     rejected_shutdown: c.rejected_shutdown,
+                    rejected_static: c.rejected_static,
                     latency: c.latency.clone(),
                 })
                 .collect(),
@@ -187,6 +189,9 @@ pub struct TenantMetrics {
     pub rejected_overloaded: u64,
     /// Submits refused during drain/shutdown.
     pub rejected_shutdown: u64,
+    /// Submits (and footprint admissions) refused by the static
+    /// footprint conflict gate ([`crate::Reject::StaticConflict`]).
+    pub rejected_static: u64,
     /// Admission-to-fulfillment wall-clock latency.
     pub latency: Histogram,
 }
@@ -210,7 +215,12 @@ impl MetricsSnapshot {
     pub fn rejected(&self) -> u64 {
         self.tenants
             .iter()
-            .map(|t| t.rejected_queue_full + t.rejected_overloaded + t.rejected_shutdown)
+            .map(|t| {
+                t.rejected_queue_full
+                    + t.rejected_overloaded
+                    + t.rejected_shutdown
+                    + t.rejected_static
+            })
             .sum()
     }
 
@@ -242,6 +252,10 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "      \"rejected_shutdown\": {},\n",
                 t.rejected_shutdown
+            ));
+            out.push_str(&format!(
+                "      \"rejected_static\": {},\n",
+                t.rejected_static
             ));
             out.push_str("      \"latency\": {\n");
             t.latency.json_into(&mut out, "        ");

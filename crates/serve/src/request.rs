@@ -50,6 +50,22 @@ pub enum Reject {
         /// Words required (= banks).
         want: usize,
     },
+    /// The request (or a whole declared footprint) statically conflicts
+    /// with a footprint another tenant already holds: both sides touch
+    /// the same block and at least one writes it. Carried witness names
+    /// the holder, the contested block, and which side writes — the
+    /// admission-time analogue of the analyzer's two-op conflict
+    /// witness (see `cfm-verify analyze`).
+    StaticConflict {
+        /// The tenant whose admitted footprint is in the way.
+        tenant: TenantId,
+        /// The contested block offset.
+        offset: usize,
+        /// Whether the admitted footprint writes the block.
+        held_writes: bool,
+        /// Whether the rejected request/footprint writes the block.
+        requested_writes: bool,
+    },
 }
 
 impl fmt::Display for Reject {
@@ -68,6 +84,20 @@ impl fmt::Display for Reject {
             }
             Reject::WrongBlockLength { got, want } => {
                 write!(f, "block data has {got} words, machine wants {want}")
+            }
+            Reject::StaticConflict {
+                tenant,
+                offset,
+                held_writes,
+                requested_writes,
+            } => {
+                let held = if *held_writes { "writes" } else { "reads" };
+                let req = if *requested_writes { "writes" } else { "reads" };
+                write!(
+                    f,
+                    "static conflict with tenant {tenant} on block {offset} \
+                     (held footprint {held} it, request {req} it)"
+                )
             }
         }
     }

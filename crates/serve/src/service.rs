@@ -19,7 +19,8 @@ use std::time::Instant;
 use cfm_core::config::Engine;
 use cfm_core::engine::WorkerPool;
 use cfm_core::machine::CfmMachine;
-use cfm_core::op::Operation;
+use cfm_core::op::{OpKind, Operation};
+use cfm_core::spec::Footprint;
 use cfm_core::stats::Stats;
 use cfm_core::ProcId;
 use parking_lot::{Condvar, Mutex};
@@ -86,6 +87,10 @@ struct Inner {
     metrics: Metrics,
     draining: bool,
     shutdown: bool,
+    /// Statically admitted per-tenant footprints (see
+    /// [`Service::admit_footprint`]): `footprints[t]` is the block
+    /// claim tenant `t` holds, `None` = no claim registered.
+    footprints: Vec<Option<Footprint>>,
 }
 
 struct Shared {
@@ -162,6 +167,7 @@ impl Service {
                 metrics: Metrics::new(config.tenants.iter().map(|t| t.name.clone()).collect()),
                 draining: false,
                 shutdown: false,
+                footprints: vec![None; config.tenants.len()],
             }),
             work: Condvar::new(),
         });
@@ -220,6 +226,27 @@ impl Service {
         if tenant >= inner.queues.len() {
             return Err(Reject::UnknownTenant { tenant });
         }
+        // Static admission: a block another tenant's admitted footprint
+        // claims is off limits when either side writes it — the same
+        // reader/writer-set rule `Footprint::conflicts_with` applies to
+        // whole programs, checked here per operation.
+        let writes = op.kind() != OpKind::Read;
+        for (holder, fp) in inner.footprints.iter().enumerate() {
+            if holder == tenant {
+                continue;
+            }
+            let Some(fp) = fp else { continue };
+            let held_writes = fp.written(offset);
+            if (fp.touches(offset) && writes) || held_writes {
+                inner.metrics.tenants[tenant].rejected_static += 1;
+                return Err(Reject::StaticConflict {
+                    tenant: holder,
+                    offset,
+                    held_writes,
+                    requested_writes: writes,
+                });
+            }
+        }
         if inner.draining || inner.shutdown {
             inner.metrics.tenants[tenant].rejected_shutdown += 1;
             return Err(Reject::ShuttingDown);
@@ -247,6 +274,48 @@ impl Service {
         // The loop may be parked; one waiter, one wake.
         self.shared.work.notify_one();
         Ok(Ticket { inner: ticket })
+    }
+
+    /// Register `tenant`'s statically analyzed block footprint (e.g. a
+    /// [`cfm_core::spec::ProgramSpec`] footprint the `cfm-verify
+    /// analyze` pipeline proved). Admission is all-or-nothing: if the
+    /// footprint conflicts with any *other* tenant's admitted footprint
+    /// — both touch a block and at least one writes it — nothing is
+    /// registered and the typed [`Reject::StaticConflict`] carries the
+    /// witness. Once admitted, the claim also gates per-operation
+    /// submits from other tenants, and re-admitting replaces the
+    /// tenant's previous claim.
+    pub fn admit_footprint(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
+        let mut inner = self.shared.state.lock();
+        if tenant >= inner.queues.len() {
+            return Err(Reject::UnknownTenant { tenant });
+        }
+        if inner.draining || inner.shutdown {
+            return Err(Reject::ShuttingDown);
+        }
+        for (holder, held) in inner.footprints.iter().enumerate() {
+            if holder == tenant {
+                continue;
+            }
+            let Some(held) = held else { continue };
+            if let Some(w) = held.conflicts_with(&footprint) {
+                inner.metrics.tenants[tenant].rejected_static += 1;
+                return Err(Reject::StaticConflict {
+                    tenant: holder,
+                    offset: w.offset,
+                    held_writes: w.left_writes,
+                    requested_writes: w.right_writes,
+                });
+            }
+        }
+        inner.footprints[tenant] = Some(footprint);
+        Ok(())
+    }
+
+    /// Withdraw `tenant`'s admitted footprint (if any), releasing its
+    /// block claim for other tenants.
+    pub fn withdraw_footprint(&self, tenant: TenantId) -> Option<Footprint> {
+        self.shared.state.lock().footprints.get_mut(tenant)?.take()
     }
 
     /// Current counters and latency quantiles (cheap clone under the
@@ -492,6 +561,63 @@ mod tests {
             Service::start(ServiceConfig::new(cfg, 8).tenant("x", 1, 0)).err(),
             Some(StartError::ZeroCapacity { tenant: 0 })
         );
+    }
+
+    #[test]
+    fn footprint_admission_rejects_static_conflicts() {
+        let service = small_service();
+        // Tenant 0 claims blocks 0..4 for writing.
+        let mut held = Footprint::new(32);
+        for o in 0..4 {
+            held.record(0, true, o);
+        }
+        service.admit_footprint(0, held).unwrap();
+
+        // A disjoint read-only footprint is admitted.
+        let mut fine = Footprint::new(32);
+        fine.record(0, false, 10);
+        service.admit_footprint(1, fine).unwrap();
+
+        // A footprint overlapping the written claim is refused with the
+        // witness, and nothing is registered for the loser.
+        let mut clash = Footprint::new(32);
+        clash.record(0, false, 2);
+        assert_eq!(
+            service.admit_footprint(1, clash).err(),
+            Some(Reject::StaticConflict {
+                tenant: 0,
+                offset: 2,
+                held_writes: true,
+                requested_writes: false,
+            })
+        );
+
+        // Per-op enforcement: tenant 1 cannot read tenant 0's written
+        // block, nor write a block tenant 0 reads elsewhere — but the
+        // holder itself still can.
+        assert_eq!(
+            service.submit(1, Operation::read(3)).err(),
+            Some(Reject::StaticConflict {
+                tenant: 0,
+                offset: 3,
+                held_writes: true,
+                requested_writes: false,
+            })
+        );
+        let t = service.submit(0, Operation::write(3, vec![5; 4])).unwrap();
+        assert_eq!(t.wait().unwrap().completion.outcome, Outcome::Completed);
+
+        // Withdrawal releases the claim.
+        assert!(service.withdraw_footprint(0).is_some());
+        service
+            .submit(1, Operation::read(3))
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        let report = service.drain();
+        assert_eq!(report.metrics.tenants[1].rejected_static, 2);
+        assert_eq!(report.stats.bank_conflicts, 0);
     }
 
     #[test]

@@ -19,13 +19,14 @@
 use cfm_cache::model::{ModelConfig, ProtocolVariant};
 use cfm_core::config::Engine;
 
+use crate::analyze::AnalyzeSpec;
 use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
 use crate::report::Report;
 use crate::schedule::{self, SweepSpec};
 use crate::serve::ServeSpec;
 use crate::trace::TraceSpec;
-use crate::{chaos, coherence, serve, trace, USAGE};
+use crate::{analyze, chaos, coherence, serve, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +58,13 @@ pub struct Options {
     /// Serve soak spec (Some = the `serve` subcommand was used; the
     /// static sections are then skipped).
     pub serve: Option<ServeSpec>,
+    /// Static program-analysis spec (Some = the `analyze` subcommand
+    /// was used; the other sections are then skipped).
+    pub analyze: Option<AnalyzeSpec>,
+    /// The `all` subcommand: run every populated section in one
+    /// aggregated report instead of treating subcommand specs as
+    /// exclusive.
+    pub all: bool,
 }
 
 impl Default for Options {
@@ -70,6 +78,8 @@ impl Default for Options {
             trace: None,
             chaos: None,
             serve: None,
+            analyze: None,
+            all: false,
         }
     }
 }
@@ -173,6 +183,8 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
         trace: Some(spec),
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     })
 }
 
@@ -237,6 +249,8 @@ fn parse_chaos(args: &[String]) -> Result<Options, String> {
         trace: None,
         chaos: Some(spec),
         serve: None,
+        analyze: None,
+        all: false,
     })
 }
 
@@ -298,6 +312,109 @@ fn parse_serve(args: &[String]) -> Result<Options, String> {
         trace: None,
         chaos: None,
         serve: Some(spec),
+        analyze: None,
+        all: false,
+    })
+}
+
+/// Parse the `analyze` subcommand's arguments (everything after the
+/// `analyze` word).
+fn parse_analyze(args: &[String]) -> Result<Options, String> {
+    let mut spec = AnalyzeSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(r) = arg.strip_prefix("n=") {
+            let (lo, hi) = parse_range(r, "n")?;
+            spec.n = lo..=hi;
+        } else if let Some(r) = arg.strip_prefix("c=") {
+            let (lo, hi) = parse_range(r, "c")?;
+            spec.c = lo as u32..=hi as u32;
+        } else {
+            match arg {
+                // `--sweep` is accepted as a readability prefix for the
+                // n=/c= pairs, mirroring the static sweep syntax.
+                "--sweep" => {}
+                "--offsets" => {
+                    i += 1;
+                    let v = args.get(i).ok_or("--offsets needs a number")?;
+                    spec.offsets = parse_usize(v, "offsets")
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("invalid block count: {v:?}"))?;
+                }
+                "--self-test" => self_test = true,
+                // The spec already defaults to the full sweep; --ci only
+                // has to switch the seeded-defect self-tests on.
+                "--ci" => self_test = true,
+                "--format" => {
+                    i += 1;
+                    format = match args.get(i).map(String::as_str) {
+                        Some("text") => Format::Text,
+                        Some("json") => Format::Json,
+                        other => {
+                            let got = other.unwrap_or("<missing>");
+                            return Err(format!("unknown format {got:?} (text | json)"));
+                        }
+                    };
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown analyze argument {other:?}\n{USAGE}")),
+            }
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: None,
+        chaos: None,
+        serve: None,
+        analyze: Some(spec),
+        all: false,
+    })
+}
+
+/// Parse the `all` subcommand: every section with defaults, one
+/// aggregated report — the single CI entry point.
+fn parse_all(args: &[String]) -> Result<Options, String> {
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--self-test" => self_test = true,
+            "--ci" => self_test = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown all argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: Some(SweepSpec::default()),
+        model: Some(CheckOptions::default()),
+        self_test,
+        format,
+        trace: Some(TraceSpec::default()),
+        chaos: Some(ChaosSpec::default()),
+        serve: Some(ServeSpec::default()),
+        analyze: Some(AnalyzeSpec::default()),
+        all: true,
     })
 }
 
@@ -311,6 +428,12 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return parse_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        return parse_analyze(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("all") {
+        return parse_all(&args[1..]);
     }
     let mut sweep: Option<SweepSpec> = None;
     let mut model: Option<CheckOptions> = None;
@@ -436,23 +559,33 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         trace: None,
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     })
 }
 
-/// Run the requested sections and collect the report.
+/// Run the requested sections and collect the report. Subcommand specs
+/// are exclusive (first match wins) unless `all` is set, in which case
+/// every populated section contributes to one aggregated report.
 pub fn run(opts: &Options) -> Report {
     let mut report = Report::new();
-    if let Some(spec) = &opts.serve {
-        report.extend(serve::verify(spec, opts.self_test));
-        return report;
-    }
-    if let Some(spec) = &opts.chaos {
-        report.extend(chaos::verify(spec, opts.self_test));
-        return report;
-    }
-    if let Some(spec) = &opts.trace {
-        report.extend(trace::verify(spec, opts.self_test));
-        return report;
+    if !opts.all {
+        if let Some(spec) = &opts.serve {
+            report.extend(serve::verify(spec, opts.self_test));
+            return report;
+        }
+        if let Some(spec) = &opts.chaos {
+            report.extend(chaos::verify(spec, opts.self_test));
+            return report;
+        }
+        if let Some(spec) = &opts.trace {
+            report.extend(trace::verify(spec, opts.self_test));
+            return report;
+        }
+        if let Some(spec) = &opts.analyze {
+            report.extend(analyze::verify(spec, opts.self_test));
+            return report;
+        }
     }
     if let Some(spec) = &opts.sweep {
         report.extend(schedule::sweep(spec));
@@ -465,6 +598,20 @@ pub fn run(opts: &Options) -> Report {
         report.extend(coherence_self_test(
             opts.model.map(|m| m.max_states).unwrap_or(2_000_000),
         ));
+    }
+    if opts.all {
+        if let Some(spec) = &opts.trace {
+            report.extend(trace::verify(spec, opts.self_test));
+        }
+        if let Some(spec) = &opts.chaos {
+            report.extend(chaos::verify(spec, opts.self_test));
+        }
+        if let Some(spec) = &opts.serve {
+            report.extend(serve::verify(spec, opts.self_test));
+        }
+        if let Some(spec) = &opts.analyze {
+            report.extend(analyze::verify(spec, opts.self_test));
+        }
     }
     report
 }
@@ -660,6 +807,51 @@ mod tests {
         assert!(parse(&args(&["serve", "--ops", "0"])).is_err());
         assert!(parse(&args(&["serve", "--seeds", "nope"])).is_err());
         assert!(parse(&args(&["serve", "--model"])).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_is_exclusive_and_defaults_parse() {
+        let o = parse(&args(&["analyze"])).unwrap();
+        let spec = o.analyze.expect("analyze requested");
+        assert_eq!(spec, AnalyzeSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none());
+        assert!(o.chaos.is_none() && o.serve.is_none() && !o.all);
+        assert!(!o.self_test);
+    }
+
+    #[test]
+    fn analyze_ci_adds_self_tests_and_arguments_parse() {
+        let o = parse(&args(&["analyze", "--ci", "--format", "json"])).unwrap();
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        let o = parse(&args(&[
+            "analyze",
+            "--sweep",
+            "n=2..=4",
+            "c=1..=2",
+            "--offsets",
+            "32",
+        ]))
+        .unwrap();
+        let spec = o.analyze.unwrap();
+        assert_eq!(spec.n, 2..=4);
+        assert_eq!(spec.c, 1..=2);
+        assert_eq!(spec.offsets, 32);
+        assert!(parse(&args(&["analyze", "n=0..=4"])).is_err());
+        assert!(parse(&args(&["analyze", "--offsets", "0"])).is_err());
+        assert!(parse(&args(&["analyze", "--model"])).is_err());
+    }
+
+    #[test]
+    fn all_subcommand_populates_every_section() {
+        let o = parse(&args(&["all", "--ci", "--format", "json"])).unwrap();
+        assert!(o.all);
+        assert!(o.sweep.is_some() && o.model.is_some());
+        assert!(o.trace.is_some() && o.chaos.is_some());
+        assert!(o.serve.is_some() && o.analyze.is_some());
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        assert!(parse(&args(&["all", "--model"])).is_err());
     }
 
     #[test]

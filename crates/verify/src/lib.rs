@@ -36,6 +36,17 @@
 //!   typed queue-full backpressure without deadlocking, and complete
 //!   every admitted request on drain — with detector self-tests
 //!   (`cfm-verify serve --ci`).
+//! * [`analyze`] — the static *program* analyzer: an abstract
+//!   interpreter walks declarative [`cfm_core::spec::ProgramSpec`]s
+//!   through the AT-space mapping and proves, before any execution,
+//!   zero bank conflicts (with a concrete two-op witness on the
+//!   misconfigured `b ∓ 1` neighbours), an ATT occupancy bound,
+//!   program-level lock-order acyclicity, and per-bank access
+//!   footprints; the resulting [`cfm_core::spec::HazardSummary`] is
+//!   proven byte-identical when armed on the parallel engine and
+//!   enforced by `cfm-serve` footprint admission — with seeded-defect
+//!   self-tests and a differential gate against the dynamic race
+//!   detector (`cfm-verify analyze --ci`).
 //! * [`report`] / [`json`] — structured findings rendered as text or
 //!   byte-stable JSON (`--format json`) for the CI gate.
 //! * [`cli`] — the `cfm-verify` binary: `--sweep`, `--model`,
@@ -44,6 +55,7 @@
 //! Exit codes: 0 = everything proved, 1 = a check failed (report names
 //! the witness or trace), 2 = usage error.
 
+pub mod analyze;
 pub mod chaos;
 pub mod cli;
 pub mod coherence;
@@ -64,6 +76,9 @@ USAGE:
              [--self-test | --ci] [--format F]
   cfm-verify serve [--seeds LIST] [--ops N]
              [--self-test | --ci] [--format F]
+  cfm-verify analyze [--sweep n=A..=B c=C..=D] [--offsets N]
+             [--self-test | --ci] [--format F]
+  cfm-verify all [--ci] [--format F]
 
 The `trace` subcommand runs the dynamic analyses instead: it executes
 real simulator workloads with event tracing enabled and checks the
@@ -84,6 +99,24 @@ stuck-switch detectability. `--seeds` overrides the default plan seeds,
 `--engines` the slot engines the soaks rotate through (default
 sequential,parallel-2,parallel-4); `chaos --ci` adds self-tests that
 prove each detector non-vacuous.
+
+The `analyze` subcommand runs the static program analyzer: every
+standard program spec is abstractly interpreted on each swept `(n, c)`
+configuration (default n=2..=8 c=1..=2, --offsets blocks, default 16),
+proving zero bank conflicts, the ATT occupancy bound, lock-order
+acyclicity, and per-bank footprints — and refuting the `b ∓ 1`
+neighbours with concrete witnesses. The emitted hazard summaries are
+then consumed for real: the parallel engine must stay byte-identical
+to sequential while dispatching statically-proven windows, every
+static race verdict is differentially checked against the dynamic
+happens-before detector, and cfm-serve must reject a conflicting
+tenant footprint with the typed witness. `analyze --ci` adds the
+seeded-defect self-tests (conflicting program, ATT overflow, lock
+cycle).
+
+The `all` subcommand runs every section — the schedule sweep, the
+coherence model check, trace, chaos, serve, and analyze — in one
+process with one aggregated report, the single CI entry point.
 
 The `serve` subcommand soaks the cfm-serve multi-tenant request
 service: a roster with one pure hot-spot tenant must complete every

@@ -78,6 +78,8 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         trace: None,
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     };
     let report = cli::run(&mutant);
     assert_eq!(report.exit_code(), 1);
@@ -95,6 +97,8 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         trace: None,
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     };
     let report = cli::run(&correct);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -116,6 +120,8 @@ fn json_report_is_byte_stable_across_renders() {
         trace: None,
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

@@ -96,6 +96,8 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
         }),
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     };
     let report = cli::run(&opts);
     assert_eq!(report.exit_code(), 0, "{}", report.render_text());
@@ -129,6 +131,8 @@ fn trace_json_report_is_byte_stable_across_runs() {
         }),
         chaos: None,
         serve: None,
+        analyze: None,
+        all: false,
     };
     let a = cli::run(&opts).to_json().render();
     let b = cli::run(&opts).to_json().render();

@@ -6,10 +6,12 @@
 //! trace so silent drift in either engine (or in the event shapes the
 //! analyses depend on) fails loudly.
 
+use cfm_verify::analyze::summarize;
 use conflict_free_memory::core::config::{CfmConfig, Engine};
 use conflict_free_memory::core::fault::{FaultPlan, PlanParams};
 use conflict_free_memory::core::machine::CfmMachine;
 use conflict_free_memory::core::op::{Completion, Operation};
+use conflict_free_memory::core::spec::{HazardSummary, OffsetExpr, OpPattern, OpSpec, ProgramSpec};
 use conflict_free_memory::core::stats::Stats;
 use conflict_free_memory::core::trace::TraceEvent;
 use proptest::prelude::*;
@@ -91,6 +93,133 @@ proptest! {
         let fault_seed = (fault_sel < 1_000).then_some(fault_sel);
         let seq = drive(Engine::Sequential, n, c, 8, &script, fault_seed);
         let par = drive(Engine::Parallel { threads }, n, c, 8, &script, fault_seed);
+        prop_assert_eq!(&seq.0, &par.0, "completions diverged");
+        prop_assert_eq!(&seq.1, &par.1, "stats diverged");
+        prop_assert_eq!(&seq.2, &par.2, "traces diverged");
+    }
+}
+
+/// Decode packed words into an analyzable program spec (round-robin
+/// across processors; see `tests/static_analysis.rs` for the scheme).
+fn decode_program(n: usize, rounds: usize, words: &[u64], offsets: usize) -> ProgramSpec {
+    let mut spec = ProgramSpec::uniform("equiv", n, rounds, Vec::new());
+    spec.ops = vec![Vec::new(); n];
+    for (i, &word) in words.iter().enumerate() {
+        let pattern = match word % 4 {
+            0 => OpPattern::Read,
+            1 => OpPattern::Write,
+            2 => OpPattern::Swap,
+            _ => OpPattern::FetchAdd,
+        };
+        let base = (word >> 2) as usize % offsets;
+        let offset = if (word >> 7) & 1 == 0 {
+            OffsetExpr::Const(base)
+        } else {
+            OffsetExpr::ProcLinear {
+                base,
+                stride: (word >> 5) as usize % 3,
+            }
+        };
+        spec.ops[i % n].push(OpSpec::new(pattern, offset));
+    }
+    spec
+}
+
+/// Drive one machine through an instantiated program spec, arming
+/// `summary` on the fresh machine first and installing the fault plan
+/// (which disarms any summary — faults void static proofs) after.
+fn drive_spec(
+    engine: Engine,
+    n: usize,
+    c: u32,
+    offsets: usize,
+    spec: &ProgramSpec,
+    summary: Option<HazardSummary>,
+    fault_seed: Option<u64>,
+) -> (Vec<Completion>, Stats, Vec<TraceEvent>) {
+    let cfg = CfmConfig::new(n, c, 16)
+        .unwrap()
+        .with_spares(1)
+        .unwrap()
+        .with_engine(engine);
+    let b = cfg.banks();
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(offsets)
+        .trace(true)
+        .build();
+    if let Some(s) = summary {
+        m.arm_summary(s)
+            .expect("fresh idle machine accepts the summary");
+    }
+    if let Some(seed) = fault_seed {
+        m.injector().fault_plan(FaultPlan::generate(
+            seed,
+            &PlanParams {
+                banks: b,
+                processors: n,
+                horizon: 64,
+                permanent: 1,
+                transient: 2,
+                max_repair: 4,
+                responses: 1,
+                stuck: 0,
+            },
+        ));
+    }
+    let mut scripts: Vec<std::collections::VecDeque<_>> = (0..n)
+        .map(|p| spec.instantiate(p, b, offsets).into())
+        .collect();
+    let mut completions = Vec::new();
+    while scripts.iter().any(|s| !s.is_empty()) {
+        for (p, script) in scripts.iter_mut().enumerate() {
+            if !m.is_busy(p) {
+                if let Some(op) = script.pop_front() {
+                    m.issue(p, op).unwrap();
+                }
+            }
+        }
+        completions.extend(m.run(200_000).expect_idle());
+    }
+    (
+        completions,
+        *m.stats(),
+        m.take_trace().unwrap().into_events(),
+    )
+}
+
+proptest! {
+    /// A statically proven hazard summary armed on the parallel engine
+    /// must not change a single observable byte relative to the
+    /// sequential engine — and when a fault plan is installed, the
+    /// machine silently voids the summary and the identity must still
+    /// hold through the dynamic fallback. `fault_sel` past the seed
+    /// range means "no fault plan".
+    #[test]
+    fn summary_armed_engine_is_equivalent_to_sequential(
+        n in 2usize..7,
+        c in 1u32..3,
+        threads in 2usize..5,
+        rounds in 1usize..3,
+        words in proptest::collection::vec(0u64..u64::MAX, 2..20),
+        fault_sel in 0u64..2_000,
+    ) {
+        let spec = decode_program(n, rounds, &words, 8);
+        let summary = match summarize(&spec, n, c, 8) {
+            Ok(s) => s,
+            // Unsummarizable programs are the existing property's domain.
+            Err(_) => return Ok(()),
+        };
+        let fault_seed = (fault_sel < 1_000).then_some(fault_sel);
+        let seq = drive_spec(Engine::Sequential, n, c, 8, &spec, None, fault_seed);
+        let par = drive_spec(
+            Engine::Parallel { threads },
+            n,
+            c,
+            8,
+            &spec,
+            Some(summary),
+            fault_seed,
+        );
         prop_assert_eq!(&seq.0, &par.0, "completions diverged");
         prop_assert_eq!(&seq.1, &par.1, "stats diverged");
         prop_assert_eq!(&seq.2, &par.2, "traces diverged");
