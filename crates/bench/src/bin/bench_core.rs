@@ -45,11 +45,10 @@ const ENGINES: [(&str, Engine); 5] = [
 /// `static-summary` arms the statically proven [`cfm_core::spec::HazardSummary`]
 /// for the same disjoint workload, so the planner skips the per-slot
 /// dynamic hazard scan and dispatches whole proven windows — the payoff
-/// the `cfm-verify analyze` proof buys at runtime. Note the footprint's
-/// conservative 64-processor bitmask ceiling: at the n=256 shape every
-/// processor ≥ 64 falls into the "never statically safe" overflow
-/// bucket, so windows cannot engage and `static_fraction` is honestly
-/// 0 — the variant then measures the armed-but-unusable overhead.
+/// the `cfm-verify analyze` proof buys at runtime. The symbolic footprint
+/// (strided residue classes, not a 64-bit mask) proves exclusive writers
+/// at any processor count, so windows engage at the n=256 shape exactly
+/// as they do at n=16 — the old 64-processor bitmask ceiling is gone.
 const VARIANTS: [&str; 4] = ["plain", "traced", "faulted", "static-summary"];
 
 struct Measured {
@@ -171,8 +170,8 @@ fn json_report(measured: &[Measured], host_cpus: usize, slot_budget: u64, smoke:
          cores than lanes the parallel engine pays two scheduler handoffs per extra lane per \
          slot and cannot beat sequential; speedup_vs_seq > 1 requires >= threads free cores. \
          static_fraction is the share of slots executed inside statically proven windows \
-         (hazard scan skipped); it is 0 for n > 64 because the footprint's 64-processor \
-         bitmask treats higher ids as never statically safe. See docs/performance.md.\",\n",
+         (hazard scan skipped); the symbolic footprint proves exclusive writers at any \
+         processor count, so it engages at every shape. See docs/performance.md.\",\n",
     );
     out.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {

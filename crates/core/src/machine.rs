@@ -35,7 +35,7 @@ use crate::op::{
 };
 use crate::spec::{HazardSummary, SummaryError};
 use crate::stats::Stats;
-use crate::trace::{MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
+use crate::trace::{DisarmReason, MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
 use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
 
 /// Bounded retry budget against a transiently erroring bank; past it the
@@ -497,7 +497,7 @@ impl CfmMachine {
     /// [`crate::testing::Injector`] facade.
     pub(crate) fn install_fault_plan(&mut self, plan: FaultPlan) {
         // Faults perturb accesses in ways no static proof covers.
-        self.summary = None;
+        self.disarm_with(DisarmReason::FaultPlan);
         self.fault_state = FaultState::new(plan, self.config.banks(), self.config.processors());
     }
 
@@ -597,22 +597,22 @@ impl CfmMachine {
     }
 
     pub(crate) fn seed_bank_alias(&mut self, logical: BankId, physical: usize) {
-        self.summary = None;
+        self.disarm_with(DisarmReason::SeededFault);
         self.bank_map.inject_alias(logical, physical);
     }
 
     pub(crate) fn seed_retry_suppression(&mut self, count: u64) {
-        self.summary = None;
+        self.disarm_with(DisarmReason::SeededFault);
         self.retry_suppressions = count;
     }
 
     pub(crate) fn seed_remap_copy_skip(&mut self) {
-        self.summary = None;
+        self.disarm_with(DisarmReason::SeededFault);
         self.skip_remap_copy = true;
     }
 
     pub(crate) fn seed_att_insert_drops(&mut self, count: u64) {
-        self.summary = None;
+        self.disarm_with(DisarmReason::SeededFault);
         self.att_insert_drops = count;
     }
 
@@ -623,6 +623,21 @@ impl CfmMachine {
         if let Some(t) = self.trace.as_mut() {
             t.record(event);
         }
+    }
+
+    /// Drop the armed summary (if any) and leave an auditable
+    /// [`TraceEvent::SummaryDisarmed`] in the trace saying why — every
+    /// disarm path funnels through here so proof-carrying disengagement
+    /// is never a silent counter change.
+    fn disarm_with(&mut self, reason: DisarmReason) -> Option<HazardSummary> {
+        let summary = self.summary.take();
+        if summary.is_some() {
+            self.record_event(TraceEvent::SummaryDisarmed {
+                slot: self.cycle,
+                reason,
+            });
+        }
+        summary
     }
 
     /// The machine's configuration.
@@ -694,14 +709,20 @@ impl CfmMachine {
         if !self.is_idle() || !atts_quiet {
             return Err(SummaryError::MachineBusy);
         }
+        self.record_event(TraceEvent::SummaryArmed {
+            slot: self.cycle,
+            processors: summary.processors(),
+            offsets: summary.offsets(),
+        });
         self.summary = Some(summary);
         Ok(())
     }
 
     /// Drop the armed summary (if any), returning it. The machine falls
-    /// back to the fully dynamic hazard scan.
+    /// back to the fully dynamic hazard scan; the trace records the
+    /// explicit disarm.
     pub fn disarm_summary(&mut self) -> Option<HazardSummary> {
-        self.summary.take()
+        self.disarm_with(DisarmReason::Explicit)
     }
 
     /// The armed hazard summary, if one survived (arming succeeded and
@@ -868,10 +889,17 @@ impl CfmMachine {
         // Trust-but-verify: an issue the armed summary's footprint does
         // not declare invalidates the static proof — disarm and fall
         // back to the dynamic hazard scan rather than keep an unsound
-        // skip.
+        // skip. An out-of-range typed error cannot occur here (the
+        // machine already rejected the offset above), but would disarm
+        // conservatively all the same.
+        let writes = kind != OpKind::Read;
         if let Some(s) = self.summary.as_ref() {
-            if !s.declares(p, kind != OpKind::Read, offset) {
-                self.summary = None;
+            if !s.declares(p, writes, offset).unwrap_or(false) {
+                self.disarm_with(DisarmReason::UndeclaredIssue {
+                    proc: p,
+                    offset,
+                    writes,
+                });
             }
         }
         let phase = match kind {
@@ -2987,6 +3015,69 @@ mod tests {
         m.issue(1, Operation::write(1, vec![2; b])).unwrap();
         assert!(m.summary().is_none(), "undeclared issue disarms it");
         m.run(1_000).expect_idle();
+    }
+
+    #[test]
+    fn summary_lifecycle_is_traced_with_reasons() {
+        use crate::spec::{Footprint, HazardSummary};
+        use crate::trace::{DisarmReason, TraceEvent};
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let b = cfg.banks();
+        let mut m = CfmMachine::builder(cfg).offsets(8).trace(true).build();
+        let mut fp = Footprint::new(8);
+        fp.record(0, true, 0);
+        let summary = HazardSummary::new(4, b, fp);
+        m.arm_summary(summary.clone()).unwrap();
+        // Explicit disarm.
+        m.disarm_summary().unwrap();
+        m.arm_summary(summary.clone()).unwrap();
+        // An undeclared issue disarms, naming the offending op.
+        m.issue(1, Operation::write(1, vec![2; b])).unwrap();
+        m.run(1_000).expect_idle();
+        for _ in 0..2 * b {
+            m.step(); // let the write's ATT entry expire
+        }
+        m.arm_summary(summary).unwrap();
+        // A fault plan voids the proof.
+        m.injector().fault_plan(FaultPlan::empty());
+        let events = m.take_trace().unwrap().into_events();
+        let armed = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::SummaryArmed {
+                        processors: 4,
+                        offsets: 8,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(armed, 3, "every arm is audited");
+        let reasons: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SummaryDisarmed { reason, .. } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons.len(), 3, "every disarm is audited");
+        assert!(matches!(reasons[0], DisarmReason::Explicit));
+        assert!(matches!(
+            reasons[1],
+            DisarmReason::UndeclaredIssue {
+                proc: 1,
+                offset: 1,
+                writes: true
+            }
+        ));
+        assert!(matches!(reasons[2], DisarmReason::FaultPlan));
+        assert!(events.iter().all(|e| !e.is_summary_lifecycle()
+            || matches!(
+                e,
+                TraceEvent::SummaryArmed { .. } | TraceEvent::SummaryDisarmed { .. }
+            )));
     }
 
     #[test]

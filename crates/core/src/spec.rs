@@ -201,33 +201,273 @@ impl ProgramSpec {
             return None;
         }
         let mut fp = Footprint::new(offsets);
-        for (p, list) in self.ops.iter().enumerate() {
-            for op in list {
-                fp.record(p, op.pattern.writes(), op.offset.eval(p, offsets));
+        if self.ops.windows(2).all(|w| w[0] == w[1]) {
+            // Uniform spec: emit each op's accessor set symbolically as
+            // residue classes — O(ops × stride period), so an n = 1024
+            // sweep stays one class per offset instead of 1024 inserts.
+            if let Some(list) = self.ops.first() {
+                for op in list {
+                    fp.record_expr(op.pattern.writes(), &op.offset, self.ops.len());
+                }
+            }
+        } else {
+            for (p, list) in self.ops.iter().enumerate() {
+                for op in list {
+                    fp.record(p, op.pattern.writes(), op.offset.eval(p, offsets));
+                }
             }
         }
         Some(fp)
     }
 }
 
-/// Largest processor id representable in the per-offset bitmasks. Higher
-/// ids are tracked collectively in an overflow set and conservatively
-/// treated as "anyone" — never statically safe.
-const MASK_PROCS: usize = 64;
+/// A bounded strided residue class of processor ids: the arithmetic
+/// progression `{first, first + step, …, first + (count − 1)·step}` —
+/// equivalently `{p ≡ first (mod step), first ≤ p ≤ max}`. The symbolic
+/// footprint domain stores per-offset reader/writer sets as unions of
+/// these classes, so membership, exclusive-writer and pairwise
+/// disjointness stay *exact* at any processor count (the old `u64`
+/// bitmask saturated into a conservative overflow bucket past p = 63).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcClass {
+    /// Smallest member.
+    pub first: ProcId,
+    /// Distance between consecutive members (≥ 1; irrelevant when
+    /// `count == 1`).
+    pub step: usize,
+    /// Number of members (≥ 1).
+    pub count: usize,
+}
+
+impl ProcClass {
+    /// The one-processor class `{p}`.
+    pub fn singleton(p: ProcId) -> Self {
+        ProcClass {
+            first: p,
+            step: 1,
+            count: 1,
+        }
+    }
+
+    /// Largest member.
+    pub fn max(&self) -> ProcId {
+        self.first + (self.count - 1) * self.step
+    }
+
+    /// Exact membership test.
+    pub fn contains(&self, p: ProcId) -> bool {
+        p >= self.first
+            && (p - self.first).is_multiple_of(self.step)
+            && (p - self.first) / self.step < self.count
+    }
+
+    /// Iterate the members in increasing order.
+    pub fn members(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.count).map(move |k| self.first + k * self.step)
+    }
+
+    /// Exact pairwise-disjointness test: whether the two bounded residue
+    /// classes share any processor. Solved by the Chinese remainder
+    /// theorem — `x ≡ first₁ (mod step₁)` and `x ≡ first₂ (mod step₂)`
+    /// are simultaneously satisfiable iff `gcd(step₁, step₂)` divides
+    /// `first₂ − first₁`, and then the least common solution is checked
+    /// against both ranges. No enumeration, so it is exact and O(log)
+    /// at n = 1024 just as at n = 4.
+    pub fn intersects(&self, other: &ProcClass) -> bool {
+        let (s1, s2) = (self.step as i128, other.step as i128);
+        let (a1, a2) = (self.first as i128, other.first as i128);
+        let (g, x, _) = ext_gcd(s1, s2);
+        if (a2 - a1) % g != 0 {
+            return false;
+        }
+        let lcm = s1 / g * s2;
+        // x solves s1·x ≡ g (mod s2), so the least simultaneous member
+        // ≥ a1 is a1 + s1·((a2 − a1)/g · x mod (s2/g)).
+        let k = ((a2 - a1) / g % (s2 / g) * (x % (s2 / g))).rem_euclid(s2 / g);
+        let mut sol = a1 + s1 * k;
+        let lo = a1.max(a2);
+        if sol < lo {
+            sol += (lo - sol + lcm - 1) / lcm * lcm;
+        }
+        sol <= (self.max() as i128).min(other.max() as i128)
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - a / b * y)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// A finite processor set as a union of [`ProcClass`]es.
+#[derive(Debug, Clone, Default)]
+pub struct ProcSet {
+    classes: Vec<ProcClass>,
+}
+
+impl ProcSet {
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Exact membership test (linear in the class count, which the
+    /// symbolic constructors keep at O(period), not O(n)).
+    pub fn contains(&self, p: ProcId) -> bool {
+        self.classes.iter().any(|c| c.contains(p))
+    }
+
+    /// The classes forming the union.
+    pub fn classes(&self) -> &[ProcClass] {
+        &self.classes
+    }
+
+    /// Insert one processor. Returns `true` if the set changed.
+    /// Consecutive singletons coalesce into a run, so the common
+    /// "record every processor in a loop" construction stays one class.
+    fn insert(&mut self, p: ProcId) -> bool {
+        if self.contains(p) {
+            return false;
+        }
+        for c in &mut self.classes {
+            if p == c.first + c.count * c.step {
+                c.count += 1;
+                return true;
+            }
+            if c.first >= c.step && p == c.first - c.step {
+                c.first = p;
+                c.count += 1;
+                return true;
+            }
+        }
+        self.classes.push(ProcClass::singleton(p));
+        true
+    }
+
+    /// Insert a whole class (deduplicating fully-covered inserts).
+    fn insert_class(&mut self, class: ProcClass) {
+        if class.count == 0 {
+            return;
+        }
+        if class.count == 1 {
+            self.insert(class.first);
+            return;
+        }
+        if self.classes.contains(&class) {
+            return;
+        }
+        self.classes.push(class);
+    }
+
+    /// Exact pairwise-disjointness: whether the two sets share any
+    /// processor.
+    pub fn intersects(&self, other: &ProcSet) -> bool {
+        self.classes
+            .iter()
+            .any(|a| other.classes.iter().any(|b| a.intersects(b)))
+    }
+
+    /// All members, sorted and deduplicated — the semantic value of the
+    /// set, independent of which classes represent it.
+    pub fn members_sorted(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.classes.iter().flat_map(|c| c.members()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl PartialEq for ProcSet {
+    /// Semantic equality: same members, regardless of class structure.
+    fn eq(&self, other: &Self) -> bool {
+        self.members_sorted() == other.members_sorted()
+    }
+}
+
+impl Eq for ProcSet {}
+
+/// Cached exclusive-writer verdict for one offset — the O(1) hot-path
+/// answer [`Footprint::plan_safe`] gives the parallel planner, updated
+/// incrementally as writers are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriterState {
+    /// Nobody writes the offset.
+    Unwritten,
+    /// Exactly one processor writes it.
+    One(ProcId),
+    /// Two or more distinct processors write it.
+    Shared,
+}
+
+/// A typed out-of-range error from a footprint query: the offset is not
+/// covered by the domain the footprint was built over. Callers must
+/// surface this (admission rejects, the analyzer reports) instead of
+/// receiving a silent `false` that could be misread as "no conflict".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FootprintError {
+    /// The queried offset is ≥ the footprint's block count.
+    OffsetOutOfRange {
+        /// The offset asked about.
+        offset: BlockOffset,
+        /// The footprint's domain size.
+        offsets: usize,
+    },
+}
+
+impl std::fmt::Display for FootprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FootprintError::OffsetOutOfRange { offset, offsets } => write!(
+                f,
+                "offset {offset} outside the footprint domain of {offsets} blocks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FootprintError {}
 
 /// Per-offset reader/writer processor sets — the static access shape of
-/// a program (or a tenant's declared traffic).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// a program (or a tenant's declared traffic). Sets are symbolic unions
+/// of strided residue classes ([`ProcClass`]), exact at any processor
+/// count; `plan_safe` answers from a cached per-offset exclusive-writer
+/// state in O(1).
+#[derive(Debug, Clone)]
 pub struct Footprint {
     offsets: usize,
-    /// Bit `p` set in `readers[o]` ⇔ some processor `p < 64` reads `o`.
-    readers: Vec<u64>,
-    /// Bit `p` set in `writers[o]` ⇔ some processor `p < 64` runs a
-    /// write phase (write/swap/RMW) on `o`.
-    writers: Vec<u64>,
-    /// Offsets touched by any processor `p ≥ 64` (conservative bucket).
-    overflow: Vec<bool>,
+    /// `readers[o]` = processors that read block `o`.
+    readers: Vec<ProcSet>,
+    /// `writers[o]` = processors that run a write phase
+    /// (write/swap/RMW) on block `o`.
+    writers: Vec<ProcSet>,
+    /// Cached exclusive-writer verdict per offset.
+    exclusive: Vec<WriterState>,
 }
+
+impl PartialEq for Footprint {
+    /// Semantic equality: same reader/writer membership per offset
+    /// (`exclusive` is a pure function of `writers`, so it needs no
+    /// comparison of its own).
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.readers == other.readers
+            && self.writers == other.writers
+    }
+}
+
+impl Eq for Footprint {}
 
 /// A statically detected conflict between two footprints: the shared
 /// offset and which side writes it.
@@ -246,9 +486,9 @@ impl Footprint {
     pub fn new(offsets: usize) -> Self {
         Footprint {
             offsets,
-            readers: vec![0; offsets],
-            writers: vec![0; offsets],
-            overflow: vec![false; offsets],
+            readers: vec![ProcSet::default(); offsets],
+            writers: vec![ProcSet::default(); offsets],
+            exclusive: vec![WriterState::Unwritten; offsets],
         }
     }
 
@@ -257,21 +497,92 @@ impl Footprint {
         self.offsets
     }
 
+    /// Keep the cached exclusive-writer verdict for `offset` current
+    /// after adding a writer class.
+    fn note_writers(&mut self, offset: BlockOffset, class: &ProcClass) {
+        self.exclusive[offset] = match (self.exclusive[offset], class.count) {
+            (WriterState::Unwritten, 1) => WriterState::One(class.first),
+            (WriterState::One(q), 1) if q == class.first => WriterState::One(q),
+            // A class with ≥ 2 members names ≥ 2 distinct writers
+            // (step ≥ 1), and any second distinct writer is shared.
+            _ => WriterState::Shared,
+        };
+    }
+
     /// Record one access: processor `p` reads (or, with `writes`, runs a
     /// write phase on) block `offset`. Out-of-range offsets are ignored
-    /// (the machine rejects them at issue anyway).
+    /// (the machine rejects them at issue anyway); processor ids are
+    /// unbounded — there is no mask ceiling.
     pub fn record(&mut self, p: ProcId, writes: bool, offset: BlockOffset) {
         if offset >= self.offsets {
             return;
         }
-        if p >= MASK_PROCS {
-            self.overflow[offset] = true;
+        if writes {
+            if self.writers[offset].insert(p) {
+                self.note_writers(offset, &ProcClass::singleton(p));
+            }
+        } else {
+            self.readers[offset].insert(p);
+        }
+    }
+
+    /// Record a whole [`ProcClass`] of accessors at once — the symbolic
+    /// constructor [`Footprint::record_expr`] builds on this, keeping
+    /// the representation O(stride period) instead of O(n).
+    pub fn record_class(&mut self, class: ProcClass, writes: bool, offset: BlockOffset) {
+        if offset >= self.offsets || class.count == 0 {
             return;
         }
         if writes {
-            self.writers[offset] |= 1 << p;
+            self.writers[offset].insert_class(class);
+            self.note_writers(offset, &class);
         } else {
-            self.readers[offset] |= 1 << p;
+            self.readers[offset].insert_class(class);
+        }
+    }
+
+    /// Record a symbolic [`OffsetExpr`] for *all* of `procs` processors
+    /// in one pass: the accessor set of each touched offset is emitted
+    /// directly as residue classes (`p ≡ r (mod offsets/gcd(stride,
+    /// offsets))`), so a `ProcLinear` sweep at n = 1024 costs the stride
+    /// period, not 1024 singleton inserts. Data-dependent expressions
+    /// fall back to per-processor evaluation of the deterministic
+    /// surrogate.
+    pub fn record_expr(&mut self, writes: bool, expr: &OffsetExpr, procs: usize) {
+        if procs == 0 || self.offsets == 0 {
+            return;
+        }
+        match *expr {
+            OffsetExpr::Const(o) => {
+                self.record_class(
+                    ProcClass {
+                        first: 0,
+                        step: 1,
+                        count: procs,
+                    },
+                    writes,
+                    o % self.offsets,
+                );
+            }
+            OffsetExpr::ProcLinear { base, stride } => {
+                // Offsets repeat in p with period `offsets / gcd`; the
+                // processors landing on one offset form exactly one
+                // residue class mod that period.
+                let period = self.offsets / gcd(stride % self.offsets, self.offsets);
+                for r in 0..period.min(procs) {
+                    let class = ProcClass {
+                        first: r,
+                        step: period,
+                        count: (procs - r).div_ceil(period),
+                    };
+                    self.record_class(class, writes, (base + stride * r) % self.offsets);
+                }
+            }
+            OffsetExpr::DataDependent { .. } => {
+                for p in 0..procs {
+                    self.record(p, writes, expr.eval(p, self.offsets));
+                }
+            }
         }
     }
 
@@ -283,31 +594,47 @@ impl Footprint {
 
     /// Whether `(offset, p)` is *statically safe*: no other processor
     /// ever writes `offset`, so no foreign ATT entry for it can exist
-    /// and every dynamic hazard probe is provably negative.
+    /// and every dynamic hazard probe is provably negative. O(1) from
+    /// the cached exclusive-writer state; out-of-range offsets are
+    /// conservatively unsafe (the planner falls back to the dynamic
+    /// scan, which is always sound).
     pub fn plan_safe(&self, offset: BlockOffset, p: ProcId) -> bool {
-        if offset >= self.offsets || self.overflow[offset] || p >= MASK_PROCS {
+        if offset >= self.offsets {
             return false;
         }
-        self.writers[offset] & !(1u64 << p) == 0
+        match self.exclusive[offset] {
+            WriterState::Unwritten => true,
+            WriterState::One(q) => q == p,
+            WriterState::Shared => false,
+        }
     }
 
     /// Whether the footprint declares this access — the machine's
     /// trust-but-verify gate: an undeclared access disarms the armed
     /// summary instead of silently keeping a now-unsound proof.
-    pub fn declares(&self, p: ProcId, writes: bool, offset: BlockOffset) -> bool {
+    ///
+    /// Out-of-range offsets are a typed [`FootprintError`], not a
+    /// silent `false`: the caller decides whether that means "reject",
+    /// "disarm" or "report", and nothing can misread it as "declared
+    /// nowhere, no conflict".
+    pub fn declares(
+        &self,
+        p: ProcId,
+        writes: bool,
+        offset: BlockOffset,
+    ) -> Result<bool, FootprintError> {
         if offset >= self.offsets {
-            return false;
+            return Err(FootprintError::OffsetOutOfRange {
+                offset,
+                offsets: self.offsets,
+            });
         }
-        if p >= MASK_PROCS {
-            return self.overflow[offset];
-        }
-        let mask = 1u64 << p;
-        if writes {
-            self.writers[offset] & mask != 0
+        Ok(if writes {
+            self.writers[offset].contains(p)
         } else {
             // A declared writer may also read (swap/RMW read phases).
-            (self.readers[offset] | self.writers[offset]) & mask != 0
-        }
+            self.readers[offset].contains(p) || self.writers[offset].contains(p)
+        })
     }
 
     /// First offset where the two footprints statically conflict: both
@@ -316,13 +643,13 @@ impl Footprint {
     pub fn conflicts_with(&self, other: &Footprint) -> Option<FootprintConflict> {
         let n = self.offsets.min(other.offsets);
         for o in 0..n {
-            let l_touch = self.readers[o] != 0 || self.writers[o] != 0 || self.overflow[o];
-            let r_touch = other.readers[o] != 0 || other.writers[o] != 0 || other.overflow[o];
+            let l_touch = !self.readers[o].is_empty() || !self.writers[o].is_empty();
+            let r_touch = !other.readers[o].is_empty() || !other.writers[o].is_empty();
             if !(l_touch && r_touch) {
                 continue;
             }
-            let left_writes = self.writers[o] != 0 || self.overflow[o];
-            let right_writes = other.writers[o] != 0 || other.overflow[o];
+            let left_writes = !self.writers[o].is_empty();
+            let right_writes = !other.writers[o].is_empty();
             if left_writes || right_writes {
                 return Some(FootprintConflict {
                     offset: o,
@@ -334,21 +661,46 @@ impl Footprint {
         None
     }
 
-    /// Whether any processor touches `offset` at all.
-    pub fn touches(&self, offset: BlockOffset) -> bool {
-        offset < self.offsets
-            && (self.readers[offset] != 0 || self.writers[offset] != 0 || self.overflow[offset])
+    /// The readers of `offset` as a symbolic set.
+    pub fn readers_at(&self, offset: BlockOffset) -> Result<&ProcSet, FootprintError> {
+        self.check(offset)?;
+        Ok(&self.readers[offset])
+    }
+
+    /// The writers of `offset` as a symbolic set.
+    pub fn writers_at(&self, offset: BlockOffset) -> Result<&ProcSet, FootprintError> {
+        self.check(offset)?;
+        Ok(&self.writers[offset])
+    }
+
+    fn check(&self, offset: BlockOffset) -> Result<(), FootprintError> {
+        if offset >= self.offsets {
+            return Err(FootprintError::OffsetOutOfRange {
+                offset,
+                offsets: self.offsets,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether any processor touches `offset` at all. Out-of-range is a
+    /// typed error (see [`Footprint::declares`]).
+    pub fn touches(&self, offset: BlockOffset) -> Result<bool, FootprintError> {
+        self.check(offset)?;
+        Ok(!self.readers[offset].is_empty() || !self.writers[offset].is_empty())
     }
 
     /// Whether any processor runs a write phase on `offset`.
-    pub fn written(&self, offset: BlockOffset) -> bool {
-        offset < self.offsets && (self.writers[offset] != 0 || self.overflow[offset])
+    /// Out-of-range is a typed error (see [`Footprint::declares`]).
+    pub fn written(&self, offset: BlockOffset) -> Result<bool, FootprintError> {
+        self.check(offset)?;
+        Ok(!self.writers[offset].is_empty())
     }
 
     /// Number of offsets touched at all.
     pub fn touched(&self) -> usize {
         (0..self.offsets)
-            .filter(|&o| self.readers[o] != 0 || self.writers[o] != 0 || self.overflow[o])
+            .filter(|&o| !self.readers[o].is_empty() || !self.writers[o].is_empty())
             .count()
     }
 }
@@ -463,7 +815,12 @@ impl HazardSummary {
 
     /// See [`Footprint::declares`].
     #[inline]
-    pub fn declares(&self, p: ProcId, writes: bool, offset: BlockOffset) -> bool {
+    pub fn declares(
+        &self,
+        p: ProcId,
+        writes: bool,
+        offset: BlockOffset,
+    ) -> Result<bool, FootprintError> {
         self.footprint.declares(p, writes, offset)
     }
 }
@@ -504,8 +861,8 @@ mod tests {
             assert!(fp.plan_safe(p, p), "own block is safe");
         }
         assert!(!fp.plan_safe(1, 0), "someone else's written block is not");
-        assert!(fp.declares(2, true, 2));
-        assert!(!fp.declares(2, true, 3));
+        assert!(fp.declares(2, true, 2).unwrap());
+        assert!(!fp.declares(2, true, 3).unwrap());
     }
 
     #[test]
@@ -575,10 +932,126 @@ mod tests {
     }
 
     #[test]
-    fn high_proc_ids_are_conservatively_unsafe() {
+    fn high_proc_ids_are_tracked_exactly() {
+        // The old bitmask saturated past p = 63 into a conservative
+        // "anyone" bucket; the symbolic domain stays exact.
         let mut fp = Footprint::new(2);
         fp.record(100, false, 0);
-        assert!(!fp.plan_safe(0, 0));
-        assert!(fp.declares(100, true, 0), "overflow bucket declares anyone");
+        assert!(fp.plan_safe(0, 0), "a lone reader at p = 100 blocks nobody");
+        assert!(fp.declares(100, false, 0).unwrap());
+        assert!(!fp.declares(100, true, 0).unwrap(), "p = 100 only reads");
+        fp.record(777, true, 1);
+        assert!(fp.plan_safe(1, 777), "the exclusive writer keeps its block");
+        assert!(!fp.plan_safe(1, 100));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_typed_errors() {
+        let fp = Footprint::new(4);
+        let err = FootprintError::OffsetOutOfRange {
+            offset: 4,
+            offsets: 4,
+        };
+        assert_eq!(fp.declares(0, true, 4), Err(err));
+        assert_eq!(fp.written(4), Err(err));
+        assert_eq!(
+            fp.touches(9),
+            Err(FootprintError::OffsetOutOfRange {
+                offset: 9,
+                offsets: 4,
+            })
+        );
+        assert!(err.to_string().contains("outside the footprint domain"));
+        assert!(
+            !fp.plan_safe(4, 0),
+            "plan_safe stays conservatively boolean"
+        );
+    }
+
+    #[test]
+    fn symbolic_sweep_is_compact_and_exact_past_64_procs() {
+        let n = 256;
+        let spec = ProgramSpec::uniform(
+            "sweep",
+            n,
+            1,
+            vec![OpSpec::new(
+                OpPattern::Write,
+                OffsetExpr::ProcLinear { base: 0, stride: 1 },
+            )],
+        );
+        let fp = spec.footprint(n).unwrap();
+        for p in 0..n {
+            assert!(fp.plan_safe(p, p), "own block safe at p = {p}");
+            assert!(!fp.plan_safe(p, (p + 1) % n));
+            assert!(fp.declares(p, true, p).unwrap());
+        }
+        // One residue class per offset — not n singletons.
+        for o in 0..n {
+            assert_eq!(fp.writers_at(o).unwrap().classes().len(), 1);
+        }
+    }
+
+    #[test]
+    fn record_expr_matches_per_proc_recording() {
+        let n = 97; // prime, to exercise non-trivial residue periods
+        for stride in [0, 1, 2, 3, 5, 8, 16] {
+            let expr = OffsetExpr::ProcLinear { base: 3, stride };
+            let mut sym = Footprint::new(16);
+            sym.record_expr(true, &expr, n);
+            let mut conc = Footprint::new(16);
+            for p in 0..n {
+                conc.record(p, true, expr.eval(p, 16));
+            }
+            assert_eq!(sym, conc, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn residue_class_intersection_is_exact() {
+        let evens = ProcClass {
+            first: 0,
+            step: 2,
+            count: 50,
+        };
+        let odds = ProcClass {
+            first: 1,
+            step: 2,
+            count: 50,
+        };
+        let by3 = ProcClass {
+            first: 3,
+            step: 3,
+            count: 20,
+        };
+        assert!(!evens.intersects(&odds), "disjoint residues");
+        assert!(evens.intersects(&by3), "6 ∈ both");
+        assert!(odds.intersects(&by3), "3 ∈ both");
+        let far = ProcClass {
+            first: 200,
+            step: 2,
+            count: 4,
+        };
+        assert!(
+            !evens.intersects(&far),
+            "same residue, disjoint ranges (evens end at 98)"
+        );
+        // Brute-force cross-check over a dense grid of class shapes.
+        for (f1, s1, c1) in [(0, 1, 7), (2, 3, 5), (1, 4, 6), (5, 5, 3)] {
+            for (f2, s2, c2) in [(0, 2, 9), (3, 3, 4), (2, 6, 3), (7, 1, 2)] {
+                let a = ProcClass {
+                    first: f1,
+                    step: s1,
+                    count: c1,
+                };
+                let b = ProcClass {
+                    first: f2,
+                    step: s2,
+                    count: c2,
+                };
+                let brute = a.members().any(|p| b.contains(p));
+                assert_eq!(a.intersects(&b), brute, "{a:?} vs {b:?}");
+            }
+        }
     }
 }

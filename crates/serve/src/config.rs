@@ -30,6 +30,14 @@ pub struct ServiceConfig {
     /// load-shedding backstop. Defaults to 4× the machine's processor
     /// count per tenant once tenants are added, until set explicitly.
     pub max_queued: Option<usize>,
+    /// Spec-inference warm-up window: when set, the service records the
+    /// first `n` admitted `(kind, offset)` pairs per tenant and exposes
+    /// them through [`crate::Service::observation_window`] so a driver
+    /// can fit a candidate [`cfm_core::spec::ProgramSpec`] (via
+    /// `cfm_verify::analyze::infer`), prove it, and arm the result with
+    /// [`crate::Service::arm_inferred_footprint`]. `None` (the default)
+    /// disables observation.
+    pub infer_window: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -41,7 +49,16 @@ impl ServiceConfig {
             offsets,
             tenants: Vec::new(),
             max_queued: None,
+            infer_window: None,
         }
+    }
+
+    /// Enable spec inference: observe each tenant's first `ops` admitted
+    /// operations as its warm-up window (see
+    /// [`ServiceConfig::infer_window`]).
+    pub fn infer_after(mut self, ops: usize) -> Self {
+        self.infer_window = Some(ops);
+        self
     }
 
     /// Add a tenant with the given DRR `weight` and queue bound. The

@@ -126,6 +126,9 @@ pub(crate) struct TenantCounters {
     pub(crate) rejected_overloaded: u64,
     pub(crate) rejected_shutdown: u64,
     pub(crate) rejected_static: u64,
+    pub(crate) summaries_inferred: u64,
+    pub(crate) summary_disarms: u64,
+    pub(crate) summary_armed: bool,
     pub(crate) latency: Histogram,
 }
 
@@ -164,6 +167,9 @@ impl Metrics {
                     rejected_overloaded: c.rejected_overloaded,
                     rejected_shutdown: c.rejected_shutdown,
                     rejected_static: c.rejected_static,
+                    summaries_inferred: c.summaries_inferred,
+                    summary_disarms: c.summary_disarms,
+                    summary_armed: c.summary_armed,
                     latency: c.latency.clone(),
                 })
                 .collect(),
@@ -192,6 +198,16 @@ pub struct TenantMetrics {
     /// Submits (and footprint admissions) refused by the static
     /// footprint conflict gate ([`crate::Reject::StaticConflict`]).
     pub rejected_static: u64,
+    /// Inferred footprint claims armed over the tenant's lifetime (see
+    /// [`crate::Service::arm_inferred_footprint`]).
+    pub summaries_inferred: u64,
+    /// Times an inferred claim was dropped — the tenant (or a
+    /// conflicting admission) stepped outside it and the service fell
+    /// back to fully dynamic admission. Trust-but-verify: a disarm is
+    /// never a rejection.
+    pub summary_disarms: u64,
+    /// Whether an inferred claim is armed right now.
+    pub summary_armed: bool,
     /// Admission-to-fulfillment wall-clock latency.
     pub latency: Histogram,
 }
@@ -257,6 +273,15 @@ impl MetricsSnapshot {
                 "      \"rejected_static\": {},\n",
                 t.rejected_static
             ));
+            out.push_str(&format!(
+                "      \"summaries_inferred\": {},\n",
+                t.summaries_inferred
+            ));
+            out.push_str(&format!(
+                "      \"summary_disarms\": {},\n",
+                t.summary_disarms
+            ));
+            out.push_str(&format!("      \"summary_armed\": {},\n", t.summary_armed));
             out.push_str("      \"latency\": {\n");
             t.latency.json_into(&mut out, "        ");
             out.push_str("\n      }\n");

@@ -66,6 +66,36 @@ pub enum Reject {
         /// Whether the rejected request/footprint writes the block.
         requested_writes: bool,
     },
+    /// A footprint offered for admission was built over a different
+    /// block count than the service's memory — its claims would be
+    /// meaningless against this machine, so it is refused up front
+    /// rather than queried out of range later.
+    FootprintGeometry {
+        /// Blocks the offered footprint covers.
+        got: usize,
+        /// Blocks the service's machine has.
+        want: usize,
+    },
+    /// A footprint query fell outside its domain
+    /// ([`cfm_core::spec::FootprintError`]) — surfaced typed instead of
+    /// being misread as "no conflict". Unreachable when every admitted
+    /// footprint passed the [`Reject::FootprintGeometry`] gate.
+    FootprintRange {
+        /// The out-of-range offset.
+        offset: usize,
+        /// The footprint's domain size.
+        offsets: usize,
+    },
+}
+
+impl From<cfm_core::spec::FootprintError> for Reject {
+    fn from(e: cfm_core::spec::FootprintError) -> Self {
+        match e {
+            cfm_core::spec::FootprintError::OffsetOutOfRange { offset, offsets } => {
+                Reject::FootprintRange { offset, offsets }
+            }
+        }
+    }
 }
 
 impl fmt::Display for Reject {
@@ -97,6 +127,15 @@ impl fmt::Display for Reject {
                     f,
                     "static conflict with tenant {tenant} on block {offset} \
                      (held footprint {held} it, request {req} it)"
+                )
+            }
+            Reject::FootprintGeometry { got, want } => {
+                write!(f, "footprint covers {got} blocks, machine has {want}")
+            }
+            Reject::FootprintRange { offset, offsets } => {
+                write!(
+                    f,
+                    "footprint queried outside its domain (offset {offset} of {offsets})"
                 )
             }
         }

@@ -79,6 +79,17 @@ pub struct ServiceReport {
     pub engine: Engine,
 }
 
+/// One tenant's admitted block claim, with its provenance. Declared
+/// claims (via [`Service::admit_footprint`]) reject conflicting
+/// admissions; inferred claims (via
+/// [`Service::arm_inferred_footprint`]) run trust-but-verify — any
+/// conflicting or uncovered admission *disarms* the claim instead of
+/// rejecting, so inference can never change what the service admits.
+struct Claim {
+    footprint: Footprint,
+    inferred: bool,
+}
+
 /// Client-facing state: queues and counters, guarded by one mutex.
 struct Inner {
     queues: Vec<TenantQueue>,
@@ -90,7 +101,26 @@ struct Inner {
     /// Statically admitted per-tenant footprints (see
     /// [`Service::admit_footprint`]): `footprints[t]` is the block
     /// claim tenant `t` holds, `None` = no claim registered.
-    footprints: Vec<Option<Footprint>>,
+    footprints: Vec<Option<Claim>>,
+    /// Spec-inference warm-up window size ([`ServiceConfig::infer_window`]).
+    infer_window: Option<usize>,
+    /// Per-tenant observed `(kind, offset)` streams, collected while the
+    /// warm-up window is open.
+    observed: Vec<Vec<(OpKind, usize)>>,
+}
+
+impl Inner {
+    /// Drop tenant `t`'s claim *if it is inferred* — the
+    /// trust-but-verify exit. Counts the disarm, reopens the tenant's
+    /// observation window, and leaves declared claims untouched.
+    fn disarm_inferred(&mut self, t: TenantId) {
+        if self.footprints[t].as_ref().is_some_and(|c| c.inferred) {
+            self.footprints[t] = None;
+            self.metrics.tenants[t].summary_disarms += 1;
+            self.metrics.tenants[t].summary_armed = false;
+            self.observed[t].clear();
+        }
+    }
 }
 
 struct Shared {
@@ -133,6 +163,8 @@ pub struct Service {
     pool: WorkerPool<LoopState>,
     banks: usize,
     offsets: usize,
+    processors: usize,
+    bank_cycle: u32,
 }
 
 impl Service {
@@ -153,6 +185,7 @@ impl Service {
         let banks = config.machine.banks();
         let offsets = config.offsets;
         let processors = config.machine.processors();
+        let bank_cycle = config.machine.bank_cycle();
         let machine = CfmMachine::builder(config.machine).offsets(offsets).build();
 
         let shared = Arc::new(Shared {
@@ -167,7 +200,9 @@ impl Service {
                 metrics: Metrics::new(config.tenants.iter().map(|t| t.name.clone()).collect()),
                 draining: false,
                 shutdown: false,
-                footprints: vec![None; config.tenants.len()],
+                footprints: (0..config.tenants.len()).map(|_| None).collect(),
+                infer_window: config.infer_window,
+                observed: vec![Vec::new(); config.tenants.len()],
             }),
             work: Condvar::new(),
         });
@@ -190,7 +225,25 @@ impl Service {
             pool,
             banks,
             offsets,
+            processors,
+            bank_cycle,
         })
+    }
+
+    /// Blocks of shared memory the machine exposes.
+    pub fn offsets(&self) -> usize {
+        self.offsets
+    }
+
+    /// Processor lanes of the underlying machine — the `n` an inferred
+    /// [`cfm_core::spec::ProgramSpec`] must be proven for.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Bank cycle `c` of the underlying machine.
+    pub fn bank_cycle(&self) -> u32 {
+        self.bank_cycle
     }
 
     /// Submit one block operation on behalf of `tenant`. Validation and
@@ -229,24 +282,47 @@ impl Service {
         // Static admission: a block another tenant's admitted footprint
         // claims is off limits when either side writes it — the same
         // reader/writer-set rule `Footprint::conflicts_with` applies to
-        // whole programs, checked here per operation.
+        // whole programs, checked here per operation. Out-of-range
+        // footprint queries surface as typed `Reject::FootprintRange`
+        // (unreachable while every claim passes the geometry gate, but
+        // never a silent "no conflict"). Only *declared* claims reject;
+        // a conflicting *inferred* claim is collected for disarm — the
+        // trust-but-verify contract that keeps inference byte-invisible.
         let writes = op.kind() != OpKind::Read;
-        for (holder, fp) in inner.footprints.iter().enumerate() {
+        let mut disarm: Vec<TenantId> = Vec::new();
+        for (holder, claim) in inner.footprints.iter().enumerate() {
             if holder == tenant {
                 continue;
             }
-            let Some(fp) = fp else { continue };
-            let held_writes = fp.written(offset);
-            if (fp.touches(offset) && writes) || held_writes {
-                inner.metrics.tenants[tenant].rejected_static += 1;
-                return Err(Reject::StaticConflict {
-                    tenant: holder,
-                    offset,
-                    held_writes,
-                    requested_writes: writes,
-                });
+            let Some(claim) = claim else { continue };
+            let held_writes = claim.footprint.written(offset)?;
+            if (claim.footprint.touches(offset)? && writes) || held_writes {
+                if claim.inferred {
+                    disarm.push(holder);
+                } else {
+                    inner.metrics.tenants[tenant].rejected_static += 1;
+                    return Err(Reject::StaticConflict {
+                        tenant: holder,
+                        offset,
+                        held_writes,
+                        requested_writes: writes,
+                    });
+                }
             }
         }
+        // The tenant's own inferred claim must cover its op; an access
+        // outside the inferred spec voids the inference (disarm, never
+        // reject — the op itself proceeds under dynamic admission).
+        let own_outside = match &inner.footprints[tenant] {
+            Some(c) if c.inferred => {
+                !if writes {
+                    c.footprint.written(offset)?
+                } else {
+                    c.footprint.touches(offset)?
+                }
+            }
+            _ => false,
+        };
         if inner.draining || inner.shutdown {
             inner.metrics.tenants[tenant].rejected_shutdown += 1;
             return Err(Reject::ShuttingDown);
@@ -260,6 +336,21 @@ impl Service {
             let (queued, limit) = (inner.total_queued, inner.max_queued);
             inner.metrics.tenants[tenant].rejected_overloaded += 1;
             return Err(Reject::Overloaded { queued, limit });
+        }
+
+        // The op is admitted: apply deferred inferred-claim disarms (a
+        // rejected op never runs, so claims it merely collided with
+        // would have stayed sound) and record the observation.
+        for holder in disarm {
+            inner.disarm_inferred(holder);
+        }
+        if own_outside {
+            inner.disarm_inferred(tenant);
+        }
+        if let Some(window) = inner.infer_window {
+            if inner.observed[tenant].len() < window && inner.footprints[tenant].is_none() {
+                inner.observed[tenant].push((op.kind(), offset));
+            }
         }
 
         let ticket = TicketInner::new();
@@ -286,6 +377,83 @@ impl Service {
     /// submits from other tenants, and re-admitting replaces the
     /// tenant's previous claim.
     pub fn admit_footprint(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
+        // A footprint over the wrong block count would answer every
+        // later query out of range — refuse it typed, up front.
+        if footprint.offsets() != self.offsets {
+            return Err(Reject::FootprintGeometry {
+                got: footprint.offsets(),
+                want: self.offsets,
+            });
+        }
+        let mut inner = self.shared.state.lock();
+        if tenant >= inner.queues.len() {
+            return Err(Reject::UnknownTenant { tenant });
+        }
+        if inner.draining || inner.shutdown {
+            return Err(Reject::ShuttingDown);
+        }
+        let mut disarm: Vec<TenantId> = Vec::new();
+        for (holder, held) in inner.footprints.iter().enumerate() {
+            if holder == tenant {
+                continue;
+            }
+            let Some(held) = held else { continue };
+            if let Some(w) = held.footprint.conflicts_with(&footprint) {
+                if held.inferred {
+                    // Declared claims outrank inferred ones: the
+                    // inferred holder falls back to dynamic admission.
+                    disarm.push(holder);
+                } else {
+                    inner.metrics.tenants[tenant].rejected_static += 1;
+                    return Err(Reject::StaticConflict {
+                        tenant: holder,
+                        offset: w.offset,
+                        held_writes: w.left_writes,
+                        requested_writes: w.right_writes,
+                    });
+                }
+            }
+        }
+        for holder in disarm {
+            inner.disarm_inferred(holder);
+        }
+        // Replacing the tenant's own inferred claim with a declared one
+        // counts as a disarm of the inference.
+        inner.disarm_inferred(tenant);
+        inner.footprints[tenant] = Some(Claim {
+            footprint,
+            inferred: false,
+        });
+        Ok(())
+    }
+
+    /// Arm an *inferred* footprint claim for `tenant` — the
+    /// trust-but-verify counterpart of [`Service::admit_footprint`].
+    /// The caller is expected to have fitted a candidate
+    /// [`cfm_core::spec::ProgramSpec`] from the tenant's observed
+    /// warm-up window ([`Service::observation_window`]) and *proven* it
+    /// through the analyzer before arming the resulting footprint here.
+    ///
+    /// Unlike a declared claim, an inferred claim never causes a
+    /// rejection: any later submit or declared admission that conflicts
+    /// with it — including the tenant's own traffic stepping outside the
+    /// inferred spec — silently disarms the claim and the service falls
+    /// back to fully dynamic admission for the tenant. Byte-identity of
+    /// served results is therefore preserved by construction. Arming
+    /// fails (typed) if the claim would conflict with any existing
+    /// claim; the observed stream evidently interferes and no proof can
+    /// make it safe.
+    pub fn arm_inferred_footprint(
+        &self,
+        tenant: TenantId,
+        footprint: Footprint,
+    ) -> Result<(), Reject> {
+        if footprint.offsets() != self.offsets {
+            return Err(Reject::FootprintGeometry {
+                got: footprint.offsets(),
+                want: self.offsets,
+            });
+        }
         let mut inner = self.shared.state.lock();
         if tenant >= inner.queues.len() {
             return Err(Reject::UnknownTenant { tenant });
@@ -298,8 +466,7 @@ impl Service {
                 continue;
             }
             let Some(held) = held else { continue };
-            if let Some(w) = held.conflicts_with(&footprint) {
-                inner.metrics.tenants[tenant].rejected_static += 1;
+            if let Some(w) = held.footprint.conflicts_with(&footprint) {
                 return Err(Reject::StaticConflict {
                     tenant: holder,
                     offset: w.offset,
@@ -308,14 +475,36 @@ impl Service {
                 });
             }
         }
-        inner.footprints[tenant] = Some(footprint);
+        inner.footprints[tenant] = Some(Claim {
+            footprint,
+            inferred: true,
+        });
+        inner.metrics.tenants[tenant].summaries_inferred += 1;
+        inner.metrics.tenants[tenant].summary_armed = true;
         Ok(())
+    }
+
+    /// The tenant's completed spec-inference warm-up window: the first
+    /// `infer_window` admitted `(kind, offset)` pairs, in admission
+    /// order. `None` until the window fills, when observation is
+    /// disabled, or while the tenant already holds a claim. A disarm
+    /// reopens the window, so the driver can observe and re-infer.
+    pub fn observation_window(&self, tenant: TenantId) -> Option<Vec<(OpKind, usize)>> {
+        let inner = self.shared.state.lock();
+        let window = inner.infer_window?;
+        let stream = inner.observed.get(tenant)?;
+        (stream.len() >= window && inner.footprints[tenant].is_none()).then(|| stream.clone())
     }
 
     /// Withdraw `tenant`'s admitted footprint (if any), releasing its
     /// block claim for other tenants.
     pub fn withdraw_footprint(&self, tenant: TenantId) -> Option<Footprint> {
-        self.shared.state.lock().footprints.get_mut(tenant)?.take()
+        let mut inner = self.shared.state.lock();
+        let claim = inner.footprints.get_mut(tenant)?.take()?;
+        if claim.inferred {
+            inner.metrics.tenants[tenant].summary_armed = false;
+        }
+        Some(claim.footprint)
     }
 
     /// Current counters and latency quantiles (cheap clone under the

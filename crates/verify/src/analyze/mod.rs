@@ -39,6 +39,7 @@
 //! back to the machine's dynamic hazard scan (see
 //! `docs/static-analysis.md`).
 
+pub mod infer;
 pub mod interp;
 mod selftest;
 
@@ -554,6 +555,9 @@ pub fn verify_config(n: usize, c: u32, offsets: usize) -> Vec<Check> {
         });
     }
 
+    checks.push(static_fraction_check(n, c, offsets));
+    checks.push(spec_inference_check(n, c, offsets));
+
     checks
 }
 
@@ -660,6 +664,180 @@ fn summary_engine_check(n: usize, c: u32, offsets: usize) -> Check {
     .with_metric("static_slots", *static_slots)
     .with_metric("static_windows", *static_windows)
     .with_metric("cycles", seq.cycles)
+}
+
+/// Predicted static dispatch fraction for one `(n, c)` configuration:
+/// of every op instance the standard suite issues, how many would the
+/// armed planner dispatch without a dynamic hazard probe
+/// (`plan_safe`)? Reported in milli (0‥1000) per program and overall —
+/// the CI-visible forecast of how much scanning the proofs remove.
+fn static_fraction_check(n: usize, c: u32, offsets: usize) -> Check {
+    let subj = subject(n, c);
+    let mut total = 0u64;
+    let mut safe = 0u64;
+    let mut lines = Vec::new();
+    let mut check = Check::pass("analyze/static-fraction", &subj, String::new());
+    for spec in standard_programs(n) {
+        let mut prog_total = 0u64;
+        let mut prog_safe = 0u64;
+        let summary = summarize(&spec, n, c, offsets).ok();
+        for (p, list) in spec.ops.iter().enumerate() {
+            for op in list {
+                prog_total += spec.rounds as u64;
+                if let Some(s) = &summary {
+                    if s.plan_safe(op.offset.eval(p, offsets), p) {
+                        prog_safe += spec.rounds as u64;
+                    }
+                }
+            }
+        }
+        let milli = (prog_safe * 1000).checked_div(prog_total).unwrap_or(0);
+        if spec.name == "disjoint-sweep" && milli != 1000 {
+            return Check::fail(
+                "analyze/static-fraction",
+                &subj,
+                "the fully disjoint program is not fully statically dispatchable",
+                vec![format!("disjoint-sweep: {milli}/1000")],
+            );
+        }
+        check = check.with_metric(&format!("{}_milli", spec.name.replace('-', "_")), milli);
+        lines.push(format!("{} {milli}", spec.name));
+        total += prog_total;
+        safe += prog_safe;
+    }
+    let overall = (safe * 1000).checked_div(total).unwrap_or(0);
+    check.detail = format!(
+        "predicted static dispatch: {overall}/1000 of {total} op instances ({})",
+        lines.join(", ")
+    );
+    check
+        .with_metric("static_fraction_milli", overall)
+        .with_metric("op_instances", total)
+}
+
+/// Out-of-range footprint queries must surface as the typed
+/// [`cfm_core::spec::FootprintError`] — never silently read as "not
+/// declared" / "no conflict" (the failure mode this report line
+/// guards: a wrong geometry looking like an absence of hazards).
+fn footprint_range_check(offsets: usize) -> Check {
+    let name = "analyze/footprint-range";
+    let subj = format!("offsets={offsets}");
+    let fp = match standard_programs(4)[0].footprint(offsets) {
+        Some(fp) => fp,
+        None => {
+            return Check::fail(
+                name,
+                &subj,
+                "disjoint-sweep lost its footprint",
+                vec!["expected an analyzable spec".into()],
+            )
+        }
+    };
+    let declares = fp.declares(0, true, offsets);
+    let written = fp.written(offsets);
+    let touches = fp.touches(offsets + 7);
+    let all_typed = [declares.err(), written.err(), touches.err()]
+        .iter()
+        .all(|e| {
+            matches!(
+                e,
+                Some(cfm_core::spec::FootprintError::OffsetOutOfRange { .. })
+            )
+        });
+    if all_typed {
+        let e = declares.unwrap_err();
+        Check::pass(
+            name,
+            &subj,
+            format!("out-of-range queries are typed errors, e.g. \"{e}\""),
+        )
+    } else {
+        Check::fail(
+            name,
+            &subj,
+            "an out-of-range query returned an untyped verdict",
+            vec![
+                format!("declares({offsets}): {declares:?}"),
+                format!("written({offsets}): {written:?}"),
+                format!("touches({}): {touches:?}", offsets + 7),
+            ],
+        )
+    }
+}
+
+/// Spec inference round-trip on one `(n, c)` configuration: observe
+/// the disjoint-sweep program's concrete op streams, fit a candidate
+/// spec ([`infer::infer_spec`]), re-prove it with the ordinary prover,
+/// and demand the inferred footprint equal the declared one — plus the
+/// negative: a non-repeating stream must be refused, not guessed at.
+fn spec_inference_check(n: usize, c: u32, offsets: usize) -> Check {
+    let name = "analyze/spec-inference";
+    let subj = format!("{} prog=disjoint-sweep", subject(n, c));
+    let spec = &standard_programs(n)[0];
+    let banks = n * c as usize;
+    let streams: Vec<Vec<infer::ObservedOp>> = (0..n)
+        .map(|p| {
+            spec.instantiate(p, banks, offsets)
+                .iter()
+                .map(|op| (op.kind(), op.offset()))
+                .collect()
+        })
+        .collect();
+    let inferred = match infer::infer_spec("inferred-disjoint-sweep", &streams, offsets) {
+        Ok(s) => s,
+        Err(e) => {
+            return Check::fail(
+                name,
+                &subj,
+                "a periodic observed window failed to fit",
+                vec![e.to_string()],
+            )
+        }
+    };
+    if let Err(e) = summarize(&inferred, n, c, offsets) {
+        return Check::fail(
+            name,
+            &subj,
+            "the inferred candidate did not re-prove",
+            vec![e],
+        );
+    }
+    if inferred.footprint(offsets) != spec.footprint(offsets) {
+        return Check::fail(
+            name,
+            &subj,
+            "inferred footprint differs from the declared program's",
+            vec![format!("inferred spec: {inferred:?}")],
+        );
+    }
+    // The fit must refuse to extrapolate from a non-repeating stream.
+    let ramp: Vec<infer::ObservedOp> = (0..offsets.min(6))
+        .map(|o| (cfm_core::op::OpKind::Write, o))
+        .collect();
+    match infer::infer_spec("ramp", &[ramp], offsets) {
+        Err(infer::InferError::NotPeriodic { .. }) => {}
+        other => {
+            return Check::fail(
+                name,
+                &subj,
+                "a non-periodic stream was fitted — inference overclaims",
+                vec![format!("got: {other:?}")],
+            )
+        }
+    }
+    Check::pass(
+        name,
+        &subj,
+        format!(
+            "observed {} ops/proc, fitted {} rounds × {} ops, re-proven, footprint \
+             identical; non-periodic stream refused",
+            streams[0].len(),
+            inferred.rounds,
+            inferred.ops[0].len()
+        ),
+    )
+    .with_metric("observed_ops", (streams[0].len() * n) as u64)
+    .with_metric("inferred_rounds", inferred.rounds as u64)
 }
 
 /// The differential gate: every statically race-free program must run
@@ -828,9 +1006,15 @@ pub fn verify(spec: &AnalyzeSpec, self_test: bool) -> Vec<Check> {
         }
     }
     checks.push(lock_order_check(spec.offsets));
+    checks.push(footprint_range_check(spec.offsets));
     for (n, c) in [(4usize, 1u32), (4, 2)] {
         checks.push(summary_engine_check(n, c, spec.offsets));
     }
+    // Past the old 64-processor bitmask ceiling: the symbolic footprint
+    // domain must still prove, arm, and window-dispatch at n = 256
+    // (offsets scaled with n so the disjoint program stays disjoint).
+    checks.push(summary_engine_check(256, 1, 256));
+    checks.push(static_fraction_check(256, 1, 256));
     checks.push(differential_check(4, 1, spec.offsets));
     checks.push(serve_admission_check(spec.offsets));
     if self_test {

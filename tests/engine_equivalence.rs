@@ -222,7 +222,19 @@ proptest! {
         );
         prop_assert_eq!(&seq.0, &par.0, "completions diverged");
         prop_assert_eq!(&seq.1, &par.1, "stats diverged");
-        prop_assert_eq!(&seq.2, &par.2, "traces diverged");
+        // SummaryArmed/SummaryDisarmed audit the proof machinery and by
+        // design appear only on the armed run — the *execution* events
+        // (every issue, route, access, completion) must still match
+        // byte-for-byte, so compare the traces with the summary
+        // lifecycle filtered out.
+        let strip = |events: &[TraceEvent]| {
+            events
+                .iter()
+                .filter(|e| !e.is_summary_lifecycle())
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(strip(&seq.2), strip(&par.2), "traces diverged");
     }
 }
 

@@ -217,6 +217,161 @@ proptest! {
     }
 }
 
+/// The legacy `u64`-bitmask footprint semantics, reimplemented locally
+/// as a differential oracle: for every processor id below 64 (the old
+/// mask's whole domain — overflow saturation excluded, because that
+/// behaviour was conservative slop the symbolic domain deliberately
+/// sheds) the symbolic residue-class footprint must answer every query
+/// exactly as the bitmask did.
+struct MaskFootprint {
+    offsets: usize,
+    readers: Vec<u64>,
+    writers: Vec<u64>,
+}
+
+impl MaskFootprint {
+    fn new(offsets: usize) -> Self {
+        MaskFootprint {
+            offsets,
+            readers: vec![0; offsets],
+            writers: vec![0; offsets],
+        }
+    }
+
+    fn record(&mut self, p: usize, writes: bool, offset: usize) {
+        assert!(p < 64, "oracle domain");
+        if offset >= self.offsets {
+            return;
+        }
+        if writes {
+            self.writers[offset] |= 1 << p;
+        } else {
+            self.readers[offset] |= 1 << p;
+        }
+    }
+
+    fn declares(&self, p: usize, writes: bool, offset: usize) -> bool {
+        let bit = 1u64 << p;
+        if writes {
+            self.writers[offset] & bit != 0
+        } else {
+            (self.readers[offset] | self.writers[offset]) & bit != 0
+        }
+    }
+
+    fn plan_safe(&self, offset: usize, p: usize) -> bool {
+        self.writers[offset] & !(1u64 << p) == 0
+    }
+
+    fn written(&self, offset: usize) -> bool {
+        self.writers[offset] != 0
+    }
+
+    fn touches(&self, offset: usize) -> bool {
+        self.readers[offset] != 0 || self.writers[offset] != 0
+    }
+}
+
+proptest! {
+    /// Differential: over the bitmask's whole domain (n ≤ 64), the
+    /// symbolic footprint — built through the compact `record_expr`
+    /// residue-class path via `ProgramSpec::footprint` — agrees with
+    /// the bitmask oracle on every declares / plan_safe / written /
+    /// touches query, including processors the program never uses.
+    #[test]
+    fn symbolic_footprint_matches_bitmask_oracle(
+        n in 1usize..65,
+        rounds in 1usize..3,
+        words in proptest::collection::vec(0u64..u64::MAX, 1..24),
+    ) {
+        let spec = decode_program(n, rounds, &words);
+        let sym = spec.footprint(OFFSETS).expect("analyzable");
+        let mut mask = MaskFootprint::new(OFFSETS);
+        for (p, list) in spec.ops.iter().enumerate() {
+            for op in list {
+                mask.record(p, op.pattern.writes(), op.offset.eval(p, OFFSETS));
+            }
+        }
+        for o in 0..OFFSETS {
+            prop_assert_eq!(sym.written(o).unwrap(), mask.written(o));
+            prop_assert_eq!(sym.touches(o).unwrap(), mask.touches(o));
+            // Two processors past the program's last: never recorded,
+            // and the domains must agree on that too.
+            for p in 0..(n + 2).min(64) {
+                prop_assert_eq!(
+                    sym.declares(p, true, o).unwrap(),
+                    mask.declares(p, true, o),
+                    "declares(write) diverged at p={} o={}", p, o
+                );
+                prop_assert_eq!(
+                    sym.declares(p, false, o).unwrap(),
+                    mask.declares(p, false, o),
+                    "declares(read) diverged at p={} o={}", p, o
+                );
+                prop_assert_eq!(
+                    sym.plan_safe(o, p),
+                    mask.plan_safe(o, p),
+                    "plan_safe diverged at p={} o={}", p, o
+                );
+            }
+        }
+    }
+
+    /// Inference round-trip: run a generated program, observe its
+    /// concrete op streams, fit a candidate spec, and the candidate's
+    /// footprint must equal the original's exactly; when the original
+    /// proves, the candidate re-proves with the identical summary
+    /// (same ATT bound, same per-bank counts, same footprint).
+    #[test]
+    fn inferred_spec_round_trips_to_the_same_proof(
+        n in 2usize..6,
+        c in 1u32..3,
+        rounds in 2usize..4,
+        words in proptest::collection::vec(0u64..u64::MAX, 2..16),
+    ) {
+        use cfm_verify::analyze::infer::infer_spec;
+        let spec = decode_program(n, rounds, &words);
+        let banks = n * c as usize;
+        let streams: Vec<Vec<(conflict_free_memory::core::op::OpKind, usize)>> = (0..n)
+            .map(|p| {
+                spec.instantiate(p, banks, OFFSETS)
+                    .iter()
+                    .map(|op| (op.kind(), op.offset()))
+                    .collect()
+            })
+            .collect();
+        let inferred = infer_spec("round-trip", &streams, OFFSETS)
+            .expect("rounds >= 2 makes every stream periodic");
+        // The candidate replays the observed window verbatim.
+        for (p, s) in streams.iter().enumerate() {
+            let replay: Vec<_> = inferred
+                .instantiate(p, banks, OFFSETS)
+                .iter()
+                .map(|op| (op.kind(), op.offset()))
+                .collect();
+            prop_assert_eq!(&replay, s, "proc {} replay diverged", p);
+        }
+        prop_assert_eq!(
+            inferred.footprint(OFFSETS),
+            spec.footprint(OFFSETS),
+            "footprints diverged"
+        );
+        match (summarize(&spec, n, c, OFFSETS), summarize(&inferred, n, c, OFFSETS)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.att_bound, b.att_bound);
+                prop_assert_eq!(a.per_bank_accesses, b.per_bank_accesses);
+                prop_assert_eq!(a.footprint(), b.footprint());
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "provability diverged: declared {:?}, inferred {:?}",
+                a.map(|_| "proves"), b.map(|_| "proves")
+            ),
+        }
+    }
+}
+
 /// The disjoint sweep at (4, 1) must actually engage window dispatch:
 /// the non-vacuousness anchor for every property above.
 #[test]
