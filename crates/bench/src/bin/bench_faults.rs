@@ -1,11 +1,22 @@
 //! Degraded-mode throughput vs. the healthy baseline.
 //!
-//! Soaks the same write/read/fetch-add workload on three machines —
+//! Soaks the same write/read/fetch-add workload on four machines —
 //! fault-free, one transient bank error (recovered by bounded retry
 //! with slot-backoff), one permanent bank failure (remapped onto the
-//! spare) — and reports simulated slots per wall-clock second for
-//! each, so the overhead trajectory of the fault path is tracked in
-//! `BENCH_faults.json` (see `docs/fault-model.md`).
+//! spare), and a transient-fault run that is checkpointed through the
+//! full byte codec and restored every few rounds — so the overhead
+//! trajectory of the fault and snapshot paths is tracked in
+//! `BENCH_faults.json` (see `docs/fault-model.md` and
+//! `docs/checkpoint-restore.md`).
+//!
+//! The headline `vs_healthy` ratio is *slot-normalized*: completed
+//! operations per simulated slot, degraded over healthy. That is a
+//! deterministic property of the machine — fault handling can only add
+//! retry and remap slots, so the ratio is ≤ 1.0 by construction.
+//! Wall-clock slots/s is still reported (`wall_vs_healthy`), but as an
+//! informational host-speed number: scheduling noise on short runs can
+//! push it past 1.0, which is exactly the artifact that used to make
+//! the permanent-failure scenario look faster than healthy.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -15,6 +26,7 @@ use cfm_core::config::CfmConfig;
 use cfm_core::fault::{FaultKind, FaultPlan};
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::{Operation, Outcome};
+use cfm_core::snapshot::MachineSnapshot;
 
 const N: usize = 4;
 const C: u32 = 1;
@@ -23,26 +35,35 @@ const WORD_WIDTH: u32 = 16;
 const OFFSETS: usize = 64;
 const MACHINES: usize = 200;
 const ROUNDS: usize = 40;
+/// Rounds between checkpoint→encode→decode→restore cycles in the
+/// `checkpoint-restore` scenario.
+const CHECKPOINT_EVERY: usize = 10;
 
 struct Scenario {
     name: &'static str,
     plan: fn() -> FaultPlan,
+    /// Run the byte-codec checkpoint/restore cycle every
+    /// [`CHECKPOINT_EVERY`] rounds.
+    checkpoint: bool,
 }
 
-/// One measured scenario: aggregate simulated slots, completed ops and
-/// wall time over `MACHINES` machine instances.
+/// One measured scenario: aggregate simulated slots, completed ops,
+/// checkpoint/restore cycles and wall time over `MACHINES` machine
+/// instances.
 struct Measured {
     name: &'static str,
     slots: u64,
     ops: u64,
+    checkpoints: u64,
     wall_s: f64,
 }
 
-fn run_scenario(plan: fn() -> FaultPlan) -> (u64, u64, f64) {
+fn run_scenario(plan: fn() -> FaultPlan, checkpoint: bool) -> Measured {
     let b = N * C as usize;
     let start = Instant::now();
     let mut slots = 0u64;
     let mut ops = 0u64;
+    let mut checkpoints = 0u64;
     for _ in 0..MACHINES {
         let cfg = CfmConfig::new(N, C, WORD_WIDTH)
             .and_then(|c| c.with_spares(SPARES))
@@ -72,10 +93,24 @@ fn run_scenario(plan: fn() -> FaultPlan) -> (u64, u64, f64) {
                 );
                 ops += 1;
             }
+            if checkpoint && (round + 1) % CHECKPOINT_EVERY == 0 {
+                let bytes = m.checkpoint().to_bytes();
+                m = MachineSnapshot::from_bytes(&bytes)
+                    .expect("snapshot round-trips")
+                    .restore()
+                    .expect("same-shape restore succeeds");
+                checkpoints += 1;
+            }
         }
         slots += m.cycle();
     }
-    (slots, ops, start.elapsed().as_secs_f64())
+    Measured {
+        name: "",
+        slots,
+        ops,
+        checkpoints,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -83,6 +118,7 @@ fn scenarios() -> Vec<Scenario> {
         Scenario {
             name: "healthy",
             plan: FaultPlan::empty,
+            checkpoint: false,
         },
         Scenario {
             name: "one-transient",
@@ -95,10 +131,25 @@ fn scenarios() -> Vec<Scenario> {
                     },
                 )
             },
+            checkpoint: false,
         },
         Scenario {
             name: "one-permanent",
             plan: || FaultPlan::single(10, FaultKind::PermanentBankFailure { bank: 1 }),
+            checkpoint: false,
+        },
+        Scenario {
+            name: "checkpoint-restore",
+            plan: || {
+                FaultPlan::single(
+                    10,
+                    FaultKind::TransientBankError {
+                        bank: 1,
+                        repair_slot: 40,
+                    },
+                )
+            },
+            checkpoint: true,
         },
     ]
 }
@@ -108,20 +159,25 @@ fn json_report(measured: &[Measured]) -> String {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_faults\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\n    \"n\": {N},\n    \"c\": {C},\n    \"spares\": {SPARES},\n    \"machines\": {MACHINES},\n    \"rounds\": {ROUNDS}\n  }},\n"
+        "  \"config\": {{\n    \"n\": {N},\n    \"c\": {C},\n    \"spares\": {SPARES},\n    \"machines\": {MACHINES},\n    \"rounds\": {ROUNDS},\n    \"checkpoint_every\": {CHECKPOINT_EVERY}\n  }},\n"
     ));
     out.push_str("  \"scenarios\": [\n");
-    let baseline = measured[0].slots as f64 / measured[0].wall_s;
+    let healthy_ops_per_slot = measured[0].ops as f64 / measured[0].slots as f64;
+    let healthy_slots_per_s = measured[0].slots as f64 / measured[0].wall_s;
     for (i, m) in measured.iter().enumerate() {
+        let ops_per_slot = m.ops as f64 / m.slots as f64;
         let slots_per_s = m.slots as f64 / m.wall_s;
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"slots\": {}, \"ops\": {}, \"wall_time_s\": {:.3}, \"slots_per_s\": {:.0}, \"vs_healthy\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"slots\": {}, \"ops\": {}, \"checkpoints\": {}, \"ops_per_kslot\": {:.1}, \"vs_healthy\": {:.3}, \"wall_time_s\": {:.3}, \"slots_per_s\": {:.0}, \"wall_vs_healthy\": {:.3}}}{}\n",
             m.name,
             m.slots,
             m.ops,
+            m.checkpoints,
+            ops_per_slot * 1000.0,
+            ops_per_slot / healthy_ops_per_slot,
             m.wall_s,
             slots_per_s,
-            slots_per_s / baseline,
+            slots_per_s / healthy_slots_per_s,
             if i + 1 == measured.len() { "" } else { "," }
         ));
     }
@@ -141,39 +197,47 @@ fn json_report(measured: &[Measured]) -> String {
 fn main() {
     let mut measured = Vec::new();
     for s in scenarios() {
-        let (slots, ops, wall_s) = run_scenario(s.plan);
-        measured.push(Measured {
-            name: s.name,
-            slots,
-            ops,
-            wall_s,
-        });
+        let mut m = run_scenario(s.plan, s.checkpoint);
+        m.name = s.name;
+        // Slot-normalized throughput is a machine property: fault
+        // handling only ever adds slots, so degraded ≤ healthy holds
+        // deterministically (wall-clock ratios are reported but not
+        // asserted — they carry host scheduling noise).
+        let healthy = measured.first().unwrap_or(&m);
+        assert!(
+            m.ops * healthy.slots <= healthy.ops * m.slots,
+            "{}: degraded mode completed more ops per slot than healthy",
+            s.name
+        );
+        measured.push(m);
     }
 
-    let baseline = measured[0].slots as f64 / measured[0].wall_s;
+    let healthy_ops_per_slot = measured[0].ops as f64 / measured[0].slots as f64;
     let rows: Vec<Vec<String>> = measured
         .iter()
         .map(|m| {
-            let rate = m.slots as f64 / m.wall_s;
+            let ops_per_slot = m.ops as f64 / m.slots as f64;
             vec![
                 m.name.to_string(),
                 m.slots.to_string(),
                 m.ops.to_string(),
+                m.checkpoints.to_string(),
+                format!("{:.1}", ops_per_slot * 1000.0),
+                format!("{:.3}", ops_per_slot / healthy_ops_per_slot),
                 format!("{:.3}", m.wall_s),
-                format!("{rate:.0}"),
-                format!("{:.3}", rate / baseline),
             ]
         })
         .collect();
     print_table(
-        "Fault-path throughput: simulated slots/s, healthy vs degraded",
+        "Fault-path throughput: ops per simulated slot, healthy vs degraded",
         &[
             "Scenario",
             "Slots",
             "Ops",
-            "Wall (s)",
-            "Slots/s",
+            "Ckpts",
+            "Ops/kslot",
             "vs healthy",
+            "Wall (s)",
         ],
         &rows,
     );

@@ -321,6 +321,14 @@ impl Att {
         &self.held
     }
 
+    /// Re-pin a held entry captured by a snapshot. Unlike [`Self::hold`]
+    /// — which moves an already-indexed live entry — this entry comes
+    /// from outside the queue, so the offset index must be bumped here.
+    pub(crate) fn restore_held(&mut self, entry: Entry) {
+        self.held.push(entry);
+        self.index_add(entry.offset);
+    }
+
     /// All arbitrating entries: the live queue plus any held ones.
     fn arbitrating(&self) -> impl Iterator<Item = &Entry> {
         self.entries.iter().chain(self.held.iter())

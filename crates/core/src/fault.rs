@@ -279,6 +279,13 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
+    /// Rebuild a plan from snapshot parts: the recorded seed and the
+    /// already-sorted event list, verbatim.
+    pub(crate) fn from_parts(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_slot);
+        FaultPlan { seed, events }
+    }
+
     /// Number of scheduled events whose kind label equals `label` — the
     /// per-kind coverage counter of the chaos CI gate.
     pub fn count_kind(&self, label: &str) -> usize {
@@ -368,6 +375,29 @@ impl FaultState {
     /// any — called when a completion is about to be delivered.
     pub fn take_response_fault(&mut self, proc: ProcId) -> Option<FaultKind> {
         self.pending_responses.get_mut(proc)?.pop_front()
+    }
+
+    /// The mutable progress of the state, for checkpointing: the next
+    /// un-activated event index, the transient latches, and the pending
+    /// response-fault queues.
+    #[allow(clippy::type_complexity)] // a one-shot snapshot view
+    pub(crate) fn snapshot_parts(&self) -> (usize, &[Option<Cycle>], &[VecDeque<FaultKind>]) {
+        (self.next, &self.transient_until, &self.pending_responses)
+    }
+
+    /// Rebuild a state from snapshot parts, verbatim.
+    pub(crate) fn from_parts(
+        plan: FaultPlan,
+        next: usize,
+        transient_until: Vec<Option<Cycle>>,
+        pending_responses: Vec<VecDeque<FaultKind>>,
+    ) -> Self {
+        FaultState {
+            plan,
+            next,
+            transient_until,
+            pending_responses,
+        }
     }
 
     /// Whether the fault state is fully quiescent: no un-activated plan
@@ -523,6 +553,26 @@ impl BankMap {
             owner[*p] = Some(logical);
         }
         Ok(())
+    }
+
+    /// The raw table and free-spare list, for checkpointing.
+    pub(crate) fn parts(&self) -> (&[Option<usize>], &[usize]) {
+        (&self.map, &self.free_spares)
+    }
+
+    /// Rebuild a map from snapshot parts, verbatim. Injectivity is *not*
+    /// checked here — restore proves it explicitly so an aliased map is
+    /// a typed refusal.
+    pub(crate) fn from_parts(
+        map: Vec<Option<usize>>,
+        free_spares: Vec<usize>,
+        physical: usize,
+    ) -> Self {
+        BankMap {
+            map,
+            free_spares,
+            physical,
+        }
     }
 
     /// Fault-injection hook for the chaos self-tests: force `logical` to

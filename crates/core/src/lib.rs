@@ -55,6 +55,13 @@
 //!   switch / response faults the machines consult every slot, with
 //!   online remap of dead banks onto spares; `cfm-verify chaos` soaks the
 //!   standard workloads under generated plans.
+//! * [`snapshot`] — checkpoint/restore: [`machine::CfmMachine::checkpoint`]
+//!   captures a running machine (memory image, ATT entries, in-flight
+//!   operations, fault state, armed summary) into a byte-stable versioned
+//!   [`snapshot::MachineSnapshot`] that restores into the same shape
+//!   byte-identically, or into a *larger* shape (more banks/spares) after
+//!   a drain — the substrate of `cfm-serve` live migration and
+//!   `cfm-verify restore`.
 //! * [`engine`] — the persistent [`engine::WorkerPool`] behind the
 //!   parallel slot engine, reusable by anything that needs long-lived
 //!   condvar-parked worker threads (the `cfm-serve` event loop runs on
@@ -99,6 +106,7 @@ pub mod machine;
 pub mod op;
 pub mod program;
 pub mod slotshare;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 pub mod switch;

@@ -33,7 +33,8 @@ use crate::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction, MASK
 use crate::op::{
     BlockTransform, Completion, IssueError, OpKind, Operation, Outcome, PendingOp, StallError,
 };
-use crate::spec::{HazardSummary, SummaryError};
+use crate::snapshot::{AttState, InFlightState, MachineSnapshot, SnapshotError, SummaryState};
+use crate::spec::{Footprint, HazardSummary, SummaryError};
 use crate::stats::Stats;
 use crate::trace::{DisarmReason, MemoryTrace, MergeAction, NullSink, TraceEvent, TraceSink};
 use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
@@ -2018,6 +2019,452 @@ impl CfmMachine {
             completions,
             outcome,
         }
+    }
+}
+
+/// Checkpoint/restore — the machine side of [`crate::snapshot`]. The
+/// snapshot types live there; the code lives here because it reads and
+/// rebuilds the module-private [`InFlight`] and [`Phase`] state.
+impl CfmMachine {
+    /// Whether the machine is *quiescent*: no operation in flight and
+    /// every ATT arbitration window — live and held entries alike —
+    /// empty. This is the precondition for a cross-shape
+    /// [`MachineSnapshot::restore_into`]. Strictly stronger than
+    /// [`Self::is_idle`]: ATT entries outlive the operations that
+    /// inserted them by up to `b − 1` slots, so an idle machine may
+    /// still carry live arbitration state. Undelivered completions do
+    /// not block quiescence (they are at rest and restore verbatim).
+    pub fn is_quiescent(&self) -> bool {
+        (0..self.config.processors()).all(|p| self.op_ref(p).is_none())
+            && self
+                .atts
+                .iter()
+                .all(|a| a.entries().next().is_none() && a.held_entries().is_empty())
+    }
+
+    /// Drive the machine to quiescence: step until in-flight operations
+    /// complete *and* the ATT windows they armed expire. Returns `true`
+    /// once [`Self::is_quiescent`] holds, `false` if `max_cycles` slots
+    /// pass first (e.g. an operation is starved by an adversarial fault
+    /// plan). Completions produced while draining queue for
+    /// [`Self::poll`] as usual — quiescing loses nothing.
+    pub fn quiesce(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+
+    /// Capture the complete machine state into a [`MachineSnapshot`]:
+    /// the committed memory image and writer stamps (physical banks,
+    /// spares included), every ATT entry (held ones too), in-flight
+    /// operations, undelivered completions, statistics, the live fault
+    /// state, and any armed summary. Checkpointing happens at a step
+    /// boundary and does not perturb the machine — `checkpoint` then
+    /// [`MachineSnapshot::restore`] continues byte-identically to the
+    /// uninterrupted run.
+    ///
+    /// The recorded trace is *not* captured (a snapshot is machine
+    /// state, not history): take it with [`Self::drain_trace`] before
+    /// checkpointing; the restored machine resumes tracing (empty) if
+    /// tracing was on.
+    pub fn checkpoint(&self) -> MachineSnapshot {
+        let offsets = self.offsets();
+        let n = self.config.processors();
+        let (fault_next, transient_until, pending_responses) = self.fault_state.snapshot_parts();
+        let (map, free_spares) = self.bank_map.parts();
+        let atts = self
+            .atts
+            .iter()
+            .map(|a| {
+                let mut live: Vec<Entry> = a.entries().copied().collect();
+                live.reverse(); // store oldest first; restore re-inserts in order
+                AttState {
+                    live,
+                    held: a.held_entries().to_vec(),
+                }
+            })
+            .collect();
+        let inflight = (0..n)
+            .map(|p| {
+                self.op_ref(p).as_ref().map(|op| InFlightState {
+                    kind: op.kind,
+                    offset: op.offset,
+                    write_data: op.write_data.to_vec(),
+                    transform: op.transform.clone(),
+                    phase: match op.phase {
+                        Phase::Read => 0,
+                        Phase::Write => 1,
+                        Phase::Drain => 2,
+                    },
+                    visited: op.visited,
+                    bank0_updated: op.bank0_updated,
+                    read_buf: op.read_buf.to_vec(),
+                    observed_writers: op.observed_writers.to_vec(),
+                    issued_at: op.issued_at,
+                    restarts: op.restarts,
+                    fault_retries: op.fault_retries,
+                    op_id: op.op_id,
+                    completes_at: op.completes_at,
+                    sleep_until: op.sleep_until,
+                    held_entry: op.held_entry,
+                    outcome: op.outcome,
+                    last_progress: op.last_progress,
+                })
+            })
+            .collect();
+        let summary = self.summary.as_ref().map(|s| {
+            let s_offsets = s.offsets();
+            let fp = s.footprint();
+            let classes_of = |set: Result<&crate::spec::ProcSet, _>| {
+                set.map(|ps| ps.classes().to_vec()).unwrap_or_default()
+            };
+            SummaryState {
+                processors: s.processors(),
+                banks: s.banks(),
+                att_bound: s.att_bound,
+                per_bank_accesses: s.per_bank_accesses.clone(),
+                offsets: s_offsets,
+                readers: (0..s_offsets)
+                    .map(|o| classes_of(fp.readers_at(o)))
+                    .collect(),
+                writers: (0..s_offsets)
+                    .map(|o| classes_of(fp.writers_at(o)))
+                    .collect(),
+            }
+        });
+        MachineSnapshot {
+            processors: n,
+            bank_cycle: self.config.bank_cycle(),
+            word_width: self.config.word_width(),
+            spares: self.config.spares(),
+            engine: self.config.engine(),
+            offsets,
+            att_enabled: self.att_enabled,
+            mode: self.mode,
+            tracing: self.trace.is_some(),
+            cycle: self.cycle,
+            next_op_id: self.next_op_id,
+            stats: self.stats,
+            parallel_slots: self.parallel_slots,
+            static_slots: self.static_slots,
+            static_windows: self.static_windows,
+            att_insert_drops: self.att_insert_drops,
+            retry_suppressions: self.retry_suppressions,
+            skip_remap_copy: self.skip_remap_copy,
+            bank_words: self
+                .banks
+                .iter()
+                .map(|b| (0..offsets).map(|o| b.read(o)).collect())
+                .collect(),
+            writer_ids: self.writer_ids.clone(),
+            map: map.to_vec(),
+            free_spares: free_spares.to_vec(),
+            atts,
+            plan_seed: self.fault_state.plan().seed(),
+            plan_events: self.fault_state.plan().events().to_vec(),
+            fault_next,
+            transient_until: transient_until.to_vec(),
+            pending_responses: pending_responses
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+            inflight,
+            done: self
+                .done
+                .iter()
+                .map(|q| q.iter().cloned().collect())
+                .collect(),
+            summary,
+        }
+    }
+
+    /// The restore engine behind [`MachineSnapshot::restore_into`].
+    pub(crate) fn restore_impl(
+        s: &MachineSnapshot,
+        target: CfmConfig,
+    ) -> Result<CfmMachine, SnapshotError> {
+        Self::validate_snapshot(s)?;
+        let same_shape = target.processors() == s.processors
+            && target.bank_cycle() == s.bank_cycle
+            && target.spares() == s.spares;
+        if same_shape {
+            Self::restore_same_shape(s, target)
+        } else {
+            Self::restore_cross_shape(s, target)
+        }
+    }
+
+    /// Structural consistency of a decoded snapshot: every dimension
+    /// agrees with the recorded shape. The byte codec cannot enforce
+    /// these cross-field facts, so restore checks them before touching
+    /// any state.
+    fn validate_snapshot(s: &MachineSnapshot) -> Result<(), SnapshotError> {
+        let b = s.bank_cycle as usize * s.processors;
+        let physical = b + s.spares;
+        let bad = |what: &'static str| Err(SnapshotError::Malformed { what });
+        if s.atts.len() != b {
+            return bad("ATT count");
+        }
+        if s.map.len() != b || s.map.iter().flatten().any(|&p| p >= physical) {
+            return bad("bank map");
+        }
+        if s.free_spares.iter().any(|&p| p >= physical) {
+            return bad("free spare index");
+        }
+        if s.bank_words.len() != physical || s.writer_ids.len() != physical {
+            return bad("bank image shape");
+        }
+        if s.bank_words.iter().any(|r| r.len() != s.offsets)
+            || s.writer_ids.iter().any(|r| r.len() != s.offsets)
+        {
+            return bad("bank row length");
+        }
+        if s.transient_until.len() != b {
+            return bad("transient latches");
+        }
+        if s.inflight.len() != s.processors
+            || s.done.len() != s.processors
+            || s.pending_responses.len() != s.processors
+        {
+            return bad("per-processor state");
+        }
+        for op in s.inflight.iter().flatten() {
+            // Reads carry no write data; everything else owns a full block.
+            let wd_ok = op.write_data.is_empty() || op.write_data.len() == b;
+            if !wd_ok || op.read_buf.len() != b || op.observed_writers.len() != b {
+                return bad("in-flight buffers");
+            }
+        }
+        Ok(())
+    }
+
+    /// Same shape (processors, bank cycle, spares): verbatim restore.
+    /// The engine and lane layout may differ — in-flight operations are
+    /// re-chunked for the target's lanes.
+    fn restore_same_shape(
+        s: &MachineSnapshot,
+        target: CfmConfig,
+    ) -> Result<CfmMachine, SnapshotError> {
+        // Prove the carried map injective *before* building the machine:
+        // an aliased map is a typed refusal, never a silent alias.
+        let physical = target.total_banks();
+        let bank_map = BankMap::from_parts(s.map.clone(), s.free_spares.clone(), physical);
+        bank_map.check_injective()?;
+        let mut m = CfmMachine::construct(target, s.offsets, s.att_enabled, s.mode);
+        for (bank, row) in m.banks.iter_mut().zip(&s.bank_words) {
+            for (o, w) in row.iter().enumerate() {
+                bank.write(o, *w);
+            }
+        }
+        m.writer_ids = s.writer_ids.clone();
+        m.bank_map = bank_map;
+        for (att, st) in m.atts.iter_mut().zip(&s.atts) {
+            for e in &st.live {
+                att.insert(*e);
+            }
+            for e in &st.held {
+                att.restore_held(*e);
+            }
+        }
+        m.fault_state = FaultState::from_parts(
+            FaultPlan::from_parts(s.plan_seed, s.plan_events.clone()),
+            s.fault_next,
+            s.transient_until.clone(),
+            s.pending_responses
+                .iter()
+                .map(|q| q.iter().copied().collect())
+                .collect(),
+        );
+        for (p, slot) in s.inflight.iter().enumerate() {
+            if let Some(op) = slot {
+                *m.op_mut(p) = Some(InFlight {
+                    kind: op.kind,
+                    offset: op.offset,
+                    write_data: op.write_data.clone().into_boxed_slice(),
+                    transform: op.transform.clone(),
+                    phase: match op.phase {
+                        0 => Phase::Read,
+                        1 => Phase::Write,
+                        _ => Phase::Drain,
+                    },
+                    visited: op.visited,
+                    bank0_updated: op.bank0_updated,
+                    read_buf: op.read_buf.clone().into_boxed_slice(),
+                    observed_writers: op.observed_writers.clone().into_boxed_slice(),
+                    issued_at: op.issued_at,
+                    restarts: op.restarts,
+                    fault_retries: op.fault_retries,
+                    op_id: op.op_id,
+                    completes_at: op.completes_at,
+                    sleep_until: op.sleep_until,
+                    held_entry: op.held_entry,
+                    outcome: op.outcome,
+                    last_progress: op.last_progress,
+                });
+            }
+        }
+        for (q, src) in m.done.iter_mut().zip(&s.done) {
+            q.extend(src.iter().cloned());
+        }
+        Self::restore_counters(&mut m, s);
+        // Rebuilt directly: the arming gate requires an idle machine,
+        // which a mid-run snapshot is not — the summary was provably
+        // armed on the source, and the shape is identical.
+        m.summary = s.summary.as_ref().map(Self::rebuild_summary);
+        if s.tracing {
+            m.start_trace();
+        }
+        Ok(m)
+    }
+
+    /// Different shape (more banks and/or spares, possibly a different
+    /// processor count): requires a quiescent snapshot, materialises the
+    /// logical memory image onto fresh healthy hardware.
+    fn restore_cross_shape(
+        s: &MachineSnapshot,
+        target: CfmConfig,
+    ) -> Result<CfmMachine, SnapshotError> {
+        let b_src = s.atts.len();
+        let b_tgt = target.banks();
+        let n_tgt = target.processors();
+        if b_tgt < b_src {
+            return Err(SnapshotError::ShrinkingShape {
+                what: "banks",
+                snapshot: b_src,
+                target: b_tgt,
+            });
+        }
+        // Quiescence: ATT entries and in-flight sweeps are functions of
+        // the bank count and cannot cross a shape change.
+        for (bank, st) in s.atts.iter().enumerate() {
+            if let Some(e) = st.live.first().or_else(|| st.held.first()) {
+                return Err(SnapshotError::ShapeIncompatibleAtt {
+                    bank,
+                    proc: e.proc,
+                    offset: e.offset,
+                });
+            }
+        }
+        for (p, slot) in s.inflight.iter().enumerate() {
+            if slot.is_some() {
+                return Err(SnapshotError::ShapeIncompatibleOp { proc: p });
+            }
+        }
+        // Fewer processors is tolerable only if the dropped processors
+        // hold no undelivered state.
+        for (p, q) in s.done.iter().enumerate() {
+            if p >= n_tgt && !q.is_empty() {
+                return Err(SnapshotError::ShrinkingShape {
+                    what: "processors",
+                    snapshot: s.processors,
+                    target: n_tgt,
+                });
+            }
+        }
+        for (p, q) in s.pending_responses.iter().enumerate() {
+            if p >= n_tgt && !q.is_empty() {
+                return Err(SnapshotError::ShrinkingShape {
+                    what: "processors",
+                    snapshot: s.processors,
+                    target: n_tgt,
+                });
+            }
+        }
+        // Prove the *source* map injective before reading through it —
+        // materialising through an aliased map would merge two logical
+        // banks' words.
+        let src_map = BankMap::from_parts(s.map.clone(), s.free_spares.clone(), b_src + s.spares);
+        src_map.check_injective()?;
+        let mut m = CfmMachine::construct(target, s.offsets, s.att_enabled, s.mode);
+        for logical in 0..b_src {
+            match src_map.phys(logical) {
+                Some(phys) => {
+                    for o in 0..s.offsets {
+                        m.banks[logical].write(o, s.bank_words[phys][o]);
+                    }
+                    m.writer_ids[logical] = s.writer_ids[phys].clone();
+                }
+                None => {
+                    // Masked bank: its words were lost on the source.
+                    // The target bank is healthy again, but the stamps
+                    // say MASKED_WRITER so a pre-loss block reads as
+                    // "lost word", not as a tear.
+                    m.writer_ids[logical] = vec![MASKED_WRITER; s.offsets];
+                }
+            }
+        }
+        // New logical banks (b_src..b_tgt) hold words that never
+        // existed in the snapshot: stamp them MASKED_WRITER so a read
+        // of a pre-migration block sees them as absent, not as a second
+        // writer tearing the block. The fresh identity BankMap comes
+        // from `construct` — evacuation semantics: masks and remaps
+        // never carry onto new hardware.
+        for logical in b_src..b_tgt {
+            m.writer_ids[logical] = vec![MASKED_WRITER; s.offsets];
+        }
+        let mut transient = s.transient_until.clone();
+        transient.resize(b_tgt, None);
+        let mut pending: Vec<VecDeque<FaultKind>> = s
+            .pending_responses
+            .iter()
+            .take(n_tgt)
+            .map(|q| q.iter().copied().collect())
+            .collect();
+        pending.resize(n_tgt, VecDeque::new());
+        m.fault_state = FaultState::from_parts(
+            FaultPlan::from_parts(s.plan_seed, s.plan_events.clone()),
+            s.fault_next,
+            transient,
+            pending,
+        );
+        for (p, q) in s.done.iter().enumerate().take(n_tgt) {
+            m.done[p].extend(q.iter().cloned());
+        }
+        Self::restore_counters(&mut m, s);
+        // The armed summary is geometry-bound — dropped, not carried.
+        if s.tracing {
+            m.start_trace();
+        }
+        Ok(m)
+    }
+
+    /// The shape-independent scalar state both restore paths carry.
+    fn restore_counters(m: &mut CfmMachine, s: &MachineSnapshot) {
+        m.cycle = s.cycle;
+        m.next_op_id = s.next_op_id;
+        m.stats = s.stats;
+        m.parallel_slots = s.parallel_slots;
+        m.static_slots = s.static_slots;
+        m.static_windows = s.static_windows;
+        m.att_insert_drops = s.att_insert_drops;
+        m.retry_suppressions = s.retry_suppressions;
+        m.skip_remap_copy = s.skip_remap_copy;
+    }
+
+    /// Rebuild an armed [`HazardSummary`] from its serialised residue
+    /// classes: replaying `record_class` reproduces the footprint (and
+    /// its exclusive-writer cache) semantically, then the analyzer-
+    /// filled bounds are copied over.
+    fn rebuild_summary(ss: &SummaryState) -> HazardSummary {
+        let mut fp = Footprint::new(ss.offsets);
+        for (o, classes) in ss.readers.iter().enumerate() {
+            for c in classes {
+                fp.record_class(*c, false, o);
+            }
+        }
+        for (o, classes) in ss.writers.iter().enumerate() {
+            for c in classes {
+                fp.record_class(*c, true, o);
+            }
+        }
+        let mut summary = HazardSummary::new(ss.processors, ss.banks, fp);
+        summary.att_bound = ss.att_bound;
+        summary.per_bank_accesses = ss.per_bank_accesses.clone();
+        summary
     }
 }
 

@@ -32,8 +32,9 @@
 //!   [`ServiceReport`] with the machine's own statistics. Dropping a
 //!   service instead closes outstanding tickets so no waiter deadlocks.
 //! * **Observability** ([`metrics`]) — per-tenant counters and
-//!   log₂-bucketed latency histograms with p50/p90/p99 snapshots,
-//!   exported as byte-stable ordered JSON (`bench_serve` writes them to
+//!   HDR-style latency histograms (log₂ majors × 32 linear sub-buckets,
+//!   ≤ 3.2% quantile error) with p50/p90/p99 snapshots, exported as
+//!   byte-stable ordered JSON (`bench_serve` writes them to
 //!   `BENCH_serve.json`).
 //!
 //! See `docs/service.md` for the architecture and the admission /
@@ -75,4 +76,4 @@ pub mod service;
 pub use config::{ServiceConfig, TenantSpec};
 pub use metrics::{Histogram, MetricsSnapshot, TenantMetrics};
 pub use request::{Reject, Response, TenantId, Ticket};
-pub use service::{Service, ServiceReport, StartError};
+pub use service::{MigrateError, MigrationReport, Service, ServiceReport, StartError};

@@ -1,19 +1,66 @@
-//! Per-tenant counters and log₂-bucketed latency histograms.
+//! Per-tenant counters and HDR-style latency histograms.
 //!
-//! Latencies are recorded in wall-clock nanoseconds into power-of-two
-//! buckets: bucket `i` holds samples in `[2^i, 2^(i+1))`. Quantile
+//! Latencies are recorded in wall-clock nanoseconds into HDR-style
+//! buckets: a log₂ major level subdivided into 32 linear sub-buckets,
+//! so bucket width is always ≤ 1/32 of the value it covers. Quantile
 //! snapshots report the *upper bound* of the bucket containing the
-//! quantile rank — a deliberate over-estimate (≤ 2× the true value) so
-//! a reported p99 is never flattering. The JSON export is handwritten
-//! and ordered (insertion-order keys, no map iteration), so two runs
-//! with identical counts render byte-identically.
+//! quantile rank — a deliberate over-estimate, but now bounded at
+//! ≤ 3.2% above the true sample (values below 32 ns are exact), so a
+//! reported p99 is never flattering and never more than ~1.04× reality.
+//! The JSON export is handwritten and ordered (insertion-order keys, no
+//! map iteration), so two runs with identical counts render
+//! byte-identically.
 
 use crate::request::TenantId;
 
-/// Number of log₂ buckets: covers 1 ns to ~2⁶³ ns.
-const BUCKETS: usize = 64;
+/// Linear sub-buckets per log₂ major level (the HDR "significant value
+/// digits" knob): width ≤ value/32, so quantile over-estimates are
+/// bounded at 1/32 ≈ 3.2%.
+const SUB_BUCKETS: usize = 32;
 
-/// A log₂-bucketed latency histogram.
+/// log₂ of [`SUB_BUCKETS`].
+const SUB_BITS: usize = 5;
+
+/// Major levels above the exact range: values in `[2^m, 2^(m+1))` for
+/// `m` in `SUB_BITS..64`.
+const MAJORS: usize = 64 - SUB_BITS;
+
+/// Values below `SUB_BUCKETS` get one exact bucket each; above that,
+/// each of the `MAJORS` levels gets `SUB_BUCKETS` linear sub-buckets.
+const BUCKETS: usize = SUB_BUCKETS + MAJORS * SUB_BUCKETS;
+
+/// Bucket index for a (non-zero) sample: exact below [`SUB_BUCKETS`],
+/// otherwise the top `SUB_BITS + 1` significant bits select the major
+/// level and linear sub-bucket.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUB_BUCKETS as u64 {
+        return ns as usize;
+    }
+    let major = 63 - ns.leading_zeros() as usize; // ≥ SUB_BITS
+    let shift = major - SUB_BITS;
+    // `ns >> shift` is in [SUB_BUCKETS, 2·SUB_BUCKETS).
+    let sub = (ns >> shift) as usize - SUB_BUCKETS;
+    SUB_BUCKETS + (major - SUB_BITS) * SUB_BUCKETS + sub
+}
+
+/// Largest value the bucket at `index` covers — what quantiles report.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let major = (index - SUB_BUCKETS) / SUB_BUCKETS + SUB_BITS;
+    let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+    let shift = major - SUB_BITS;
+    let next_lower = (SUB_BUCKETS + sub + 1) as u64;
+    // The last bucket of the top major level would overflow; saturate.
+    match next_lower.checked_shl(shift as u32) {
+        Some(v) if v != 0 => v - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// An HDR-style latency histogram: log₂ major levels × 32 linear
+/// sub-buckets, quantile error bounded at ≤ 3.2% (exact below 32 ns).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Box<[u64; BUCKETS]>,
@@ -42,8 +89,7 @@ impl Histogram {
     /// Record one latency sample in nanoseconds (0 is clamped to 1).
     pub fn record(&mut self, ns: u64) {
         let ns = ns.max(1);
-        let bucket = 63 - ns.leading_zeros() as usize;
-        self.buckets[bucket] += 1;
+        self.buckets[bucket_index(ns)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(ns);
         self.max = self.max.max(ns);
@@ -65,8 +111,8 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (`0.0 < q <= 1.0`); 0 when empty. The true quantile is between
-    /// half this value and this value.
+    /// (`0.0 < q <= 1.0`); 0 when empty. The true quantile is within
+    /// 1/32 (≈ 3.2%) below the reported value — exact below 32 ns.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -76,23 +122,25 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                // Never report past the observed maximum: the top
+                // occupied bucket's bound may exceed it slightly.
+                return bucket_upper_bound(i).min(self.max);
             }
         }
         self.max
     }
 
-    /// Median (upper-bound estimate).
+    /// Median (bounded upper-bound estimate).
     pub fn p50_ns(&self) -> u64 {
         self.quantile_ns(0.50)
     }
 
-    /// 90th percentile (upper-bound estimate).
+    /// 90th percentile (bounded upper-bound estimate).
     pub fn p90_ns(&self) -> u64 {
         self.quantile_ns(0.90)
     }
 
-    /// 99th percentile (upper-bound estimate).
+    /// 99th percentile (bounded upper-bound estimate).
     pub fn p99_ns(&self) -> u64 {
         self.quantile_ns(0.99)
     }
@@ -126,6 +174,7 @@ pub(crate) struct TenantCounters {
     pub(crate) rejected_overloaded: u64,
     pub(crate) rejected_shutdown: u64,
     pub(crate) rejected_static: u64,
+    pub(crate) rejected_migrating: u64,
     pub(crate) summaries_inferred: u64,
     pub(crate) summary_disarms: u64,
     pub(crate) summary_armed: bool,
@@ -167,6 +216,7 @@ impl Metrics {
                     rejected_overloaded: c.rejected_overloaded,
                     rejected_shutdown: c.rejected_shutdown,
                     rejected_static: c.rejected_static,
+                    rejected_migrating: c.rejected_migrating,
                     summaries_inferred: c.summaries_inferred,
                     summary_disarms: c.summary_disarms,
                     summary_armed: c.summary_armed,
@@ -198,6 +248,9 @@ pub struct TenantMetrics {
     /// Submits (and footprint admissions) refused by the static
     /// footprint conflict gate ([`crate::Reject::StaticConflict`]).
     pub rejected_static: u64,
+    /// Submits shed while this tenant's queue was quiesced across a
+    /// live migration ([`crate::Reject::Migrating`]).
+    pub rejected_migrating: u64,
     /// Inferred footprint claims armed over the tenant's lifetime (see
     /// [`crate::Service::arm_inferred_footprint`]).
     pub summaries_inferred: u64,
@@ -236,6 +289,7 @@ impl MetricsSnapshot {
                     + t.rejected_overloaded
                     + t.rejected_shutdown
                     + t.rejected_static
+                    + t.rejected_migrating
             })
             .sum()
     }
@@ -274,6 +328,10 @@ impl MetricsSnapshot {
                 t.rejected_static
             ));
             out.push_str(&format!(
+                "      \"rejected_migrating\": {},\n",
+                t.rejected_migrating
+            ));
+            out.push_str(&format!(
                 "      \"summaries_inferred\": {},\n",
                 t.summaries_inferred
             ));
@@ -301,18 +359,56 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2_and_quantiles_upper_bound() {
+    fn small_values_are_exact_and_quantiles_bounded() {
         let mut h = Histogram::new();
         for ns in [1u64, 2, 3, 4, 100, 1000, 1_000_000] {
             h.record(ns);
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.max_ns(), 1_000_000);
-        // p50 of 7 samples is the 4th (ns=4) → bucket [4,8) → upper 7.
-        assert_eq!(h.p50_ns(), 7);
-        // p99 lands on the largest sample's bucket [2^19, 2^20).
-        assert_eq!(h.p99_ns(), (1u64 << 20) - 1);
-        assert!(h.p99_ns() >= 1_000_000);
+        // p50 of 7 samples is the 4th (ns = 4) — below 32 ns buckets
+        // are exact, so the median is reported exactly.
+        assert_eq!(h.p50_ns(), 4);
+        // p99 lands on the largest sample; the reported bound must be
+        // at least the true value and within the 1/32 error budget.
+        let p99 = h.p99_ns();
+        assert!(p99 >= 1_000_000);
+        assert!((p99 as f64) <= 1_000_000.0 * (1.0 + 1.0 / 32.0) + 1.0);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_everywhere() {
+        // Sweep magnitudes: the reported quantile of a single-sample
+        // histogram must sit in [sample, sample · 33/32].
+        let mut ns = 1u64;
+        while ns < u64::MAX / 3 {
+            let mut h = Histogram::new();
+            h.record(ns);
+            let q = h.quantile_ns(0.99);
+            assert!(q >= ns, "under-estimate at {ns}: {q}");
+            assert!(
+                q as f64 <= ns as f64 * (1.0 + 1.0 / 32.0) + 1.0,
+                "error above 1/32 at {ns}: {q}"
+            );
+            ns = ns.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn index_and_bound_are_consistent() {
+        // Every sample must land in a bucket whose upper bound is ≥ the
+        // sample and whose predecessor's bound is < the sample.
+        for ns in (0u64..4096).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let ns = ns.max(1);
+            let i = bucket_index(ns);
+            assert!(bucket_upper_bound(i) >= ns, "bound below sample at {ns}");
+            if i > 1 {
+                assert!(
+                    bucket_upper_bound(i - 1) < ns,
+                    "sample {ns} fits an earlier bucket"
+                );
+            }
+        }
     }
 
     #[test]
@@ -342,11 +438,13 @@ mod tests {
         m.tenants[0].completed = 2;
         m.tenants[0].latency.record(500);
         m.tenants[1].rejected_queue_full = 1;
+        m.tenants[1].rejected_migrating = 2;
         let json = m.snapshot().to_json();
         assert_eq!(json, m.snapshot().to_json(), "byte-stable");
         let completed = json.find("\"completed\"").unwrap();
         let tenants = json.find("\"tenants\"").unwrap();
         assert!(completed < tenants, "key order fixed");
         assert!(json.contains("\"name\": \"b\""));
+        assert!(json.contains("\"rejected_migrating\": 2"));
     }
 }

@@ -86,6 +86,19 @@ pub enum Reject {
         /// The footprint's domain size.
         offsets: usize,
     },
+    /// The tenant is being live-migrated ([`crate::Service::migrate`]):
+    /// its queue is quiesced across the checkpoint/restore boundary, so
+    /// new submits are shed until the tenant is re-admitted on the
+    /// target machine. Untouched tenants are never rejected with this.
+    Migrating {
+        /// The tenant whose queue is quiesced.
+        tenant: TenantId,
+        /// Upper-bound estimate of machine slots until re-admission —
+        /// the remaining drain + ATT-settle + swap window. A client that
+        /// retries after this many slots' worth of wall time will not
+        /// see `Migrating` again for the same migration.
+        retry_after_slots: u64,
+    },
 }
 
 impl From<cfm_core::spec::FootprintError> for Reject {
@@ -136,6 +149,15 @@ impl fmt::Display for Reject {
                 write!(
                     f,
                     "footprint queried outside its domain (offset {offset} of {offsets})"
+                )
+            }
+            Reject::Migrating {
+                tenant,
+                retry_after_slots,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} is migrating — retry after ~{retry_after_slots} slots"
                 )
             }
         }

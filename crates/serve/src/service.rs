@@ -16,10 +16,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cfm_core::config::Engine;
+use cfm_core::config::{CfmConfig, Engine};
 use cfm_core::engine::WorkerPool;
 use cfm_core::machine::CfmMachine;
 use cfm_core::op::{OpKind, Operation};
+use cfm_core::snapshot::{MachineSnapshot, SnapshotError};
 use cfm_core::spec::Footprint;
 use cfm_core::stats::Stats;
 use cfm_core::ProcId;
@@ -79,6 +80,95 @@ pub struct ServiceReport {
     pub engine: Engine,
 }
 
+/// Why [`Service::migrate`] failed. On any error the service keeps
+/// serving on the *source* machine — a failed migration never loses
+/// state or stops the event loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// A tenant named in the migration set is not in the roster.
+    UnknownTenant {
+        /// The offending tenant ID.
+        tenant: TenantId,
+    },
+    /// Another migration is already in progress; one at a time.
+    MigrationInProgress,
+    /// The service is draining or shut down.
+    ShuttingDown,
+    /// The source machine did not reach quiescence within the drain
+    /// budget (an adversarial fault plan can starve an operation
+    /// indefinitely).
+    QuiesceTimeout {
+        /// Slots the drain was given.
+        budget: u64,
+    },
+    /// Checkpoint or restore refused — the typed snapshot-layer reason
+    /// (shrinking target, non-injective map, codec corruption …).
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            MigrateError::MigrationInProgress => write!(f, "a migration is already in progress"),
+            MigrateError::ShuttingDown => write!(f, "service is shutting down"),
+            MigrateError::QuiesceTimeout { budget } => {
+                write!(f, "source machine not quiescent after {budget} slots")
+            }
+            MigrateError::Snapshot(e) => write!(f, "checkpoint/restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl From<SnapshotError> for MigrateError {
+    fn from(e: SnapshotError) -> Self {
+        MigrateError::Snapshot(e)
+    }
+}
+
+/// What a successful [`Service::migrate`] did.
+#[derive(Debug, Clone)]
+pub struct MigrationReport {
+    /// Serialised snapshot size — the migration goes through the full
+    /// [`MachineSnapshot::to_bytes`] / `from_bytes` byte path, as a
+    /// cross-host move would.
+    pub snapshot_bytes: usize,
+    /// Queued operations carried across the boundary: admitted (ticket
+    /// in hand) before the swap, issued and fulfilled on the target.
+    pub replayed: usize,
+    /// Machine slots between the event loop picking the command up and
+    /// the checkpoint — the in-flight drain plus the ATT settle window.
+    pub drained_slots: u64,
+    /// Bank count of the source machine.
+    pub from_banks: usize,
+    /// Bank count of the target machine.
+    pub to_banks: usize,
+    /// Engine the target machine runs.
+    pub engine: Engine,
+}
+
+/// Completion handshake for one migration command: the event loop
+/// delivers the outcome, the [`Service::migrate`] caller parks here.
+struct MigrationDone {
+    slot: Mutex<Option<Result<MigrationReport, MigrateError>>>,
+    ready: Condvar,
+}
+
+impl MigrationDone {
+    fn deliver(&self, outcome: Result<MigrationReport, MigrateError>) {
+        *self.slot.lock() = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// A migration request parked in [`Inner`] for the event loop.
+struct MigrationCmd {
+    target: CfmConfig,
+    done: Arc<MigrationDone>,
+}
+
 /// One tenant's admitted block claim, with its provenance. Declared
 /// claims (via [`Service::admit_footprint`]) reject conflicting
 /// admissions; inferred claims (via
@@ -98,6 +188,16 @@ struct Inner {
     metrics: Metrics,
     draining: bool,
     shutdown: bool,
+    /// Current machine geometry, updated by a live migration — submit
+    /// validates block lengths against it, so it lives under the lock.
+    banks: usize,
+    processors: usize,
+    bank_cycle: u32,
+    /// `migrating[t]`: tenant `t`'s queue is quiesced across a pending
+    /// migration; its submits are shed with [`Reject::Migrating`].
+    migrating: Vec<bool>,
+    /// A migration waiting for the event loop to pick it up.
+    migration: Option<MigrationCmd>,
     /// Statically admitted per-tenant footprints (see
     /// [`Service::admit_footprint`]): `footprints[t]` is the block
     /// claim tenant `t` holds, `None` = no claim registered.
@@ -110,6 +210,14 @@ struct Inner {
 }
 
 impl Inner {
+    /// Upper-bound estimate, in machine slots, of the window a
+    /// [`Reject::Migrating`] client should back off for: the worst-case
+    /// in-flight drain (≈ β = b + c − 1 plus restarts), the ATT settle
+    /// window (≤ b − 1), and swap overhead.
+    fn migration_window_slots(&self) -> u64 {
+        (2 * self.banks + self.bank_cycle as usize) as u64 + 64
+    }
+
     /// Drop tenant `t`'s claim *if it is inferred* — the
     /// trust-but-verify exit. Counts the disarm, reopens the tenant's
     /// observation window, and leaves declared claims untouched.
@@ -149,6 +257,9 @@ struct LoopState {
     inflight: Vec<Option<InFlightReq>>,
     free: Vec<ProcId>,
     inflight_count: usize,
+    /// Machine cycle when the loop first saw the pending migration —
+    /// start of the drain window reported in [`MigrationReport`].
+    migrate_seen_at: Option<u64>,
     report: Option<ServiceReport>,
 }
 
@@ -161,10 +272,7 @@ struct LoopState {
 pub struct Service {
     shared: Arc<Shared>,
     pool: WorkerPool<LoopState>,
-    banks: usize,
     offsets: usize,
-    processors: usize,
-    bank_cycle: u32,
 }
 
 impl Service {
@@ -200,6 +308,11 @@ impl Service {
                 metrics: Metrics::new(config.tenants.iter().map(|t| t.name.clone()).collect()),
                 draining: false,
                 shutdown: false,
+                banks,
+                processors,
+                bank_cycle,
+                migrating: vec![false; config.tenants.len()],
+                migration: None,
                 footprints: (0..config.tenants.len()).map(|_| None).collect(),
                 infer_window: config.infer_window,
                 observed: vec![Vec::new(); config.tenants.len()],
@@ -214,6 +327,7 @@ impl Service {
             inflight: (0..processors).map(|_| None).collect(),
             free: (0..processors).rev().collect(),
             inflight_count: 0,
+            migrate_seen_at: None,
             report: None,
         };
 
@@ -223,10 +337,7 @@ impl Service {
         Ok(Service {
             shared,
             pool,
-            banks,
             offsets,
-            processors,
-            bank_cycle,
         })
     }
 
@@ -236,14 +347,22 @@ impl Service {
     }
 
     /// Processor lanes of the underlying machine — the `n` an inferred
-    /// [`cfm_core::spec::ProgramSpec`] must be proven for.
+    /// [`cfm_core::spec::ProgramSpec`] must be proven for. May change
+    /// across a [`Service::migrate`].
     pub fn processors(&self) -> usize {
-        self.processors
+        self.shared.state.lock().processors
     }
 
-    /// Bank cycle `c` of the underlying machine.
+    /// Bank cycle `c` of the underlying machine. May change across a
+    /// [`Service::migrate`].
     pub fn bank_cycle(&self) -> u32 {
-        self.bank_cycle
+        self.shared.state.lock().bank_cycle
+    }
+
+    /// Memory banks `b` of the underlying machine — the block length
+    /// writes must carry. May grow across a [`Service::migrate`].
+    pub fn banks(&self) -> usize {
+        self.shared.state.lock().banks
     }
 
     /// Submit one block operation on behalf of `tenant`. Validation and
@@ -266,18 +385,28 @@ impl Service {
                 offsets: self.offsets,
             });
         }
-        if let Some(got) = data_len {
-            if got != self.banks {
-                return Err(Reject::WrongBlockLength {
-                    got,
-                    want: self.banks,
-                });
-            }
-        }
 
         let mut inner = self.shared.state.lock();
         if tenant >= inner.queues.len() {
             return Err(Reject::UnknownTenant { tenant });
+        }
+        // Block length is machine geometry, and geometry can change
+        // across a live migration — validate under the same lock.
+        if let Some(got) = data_len {
+            if got != inner.banks {
+                return Err(Reject::WrongBlockLength {
+                    got,
+                    want: inner.banks,
+                });
+            }
+        }
+        if inner.migrating[tenant] {
+            let retry_after_slots = inner.migration_window_slots();
+            inner.metrics.tenants[tenant].rejected_migrating += 1;
+            return Err(Reject::Migrating {
+                tenant,
+                retry_after_slots,
+            });
         }
         // Static admission: a block another tenant's admitted footprint
         // claims is off limits when either side writes it — the same
@@ -513,6 +642,69 @@ impl Service {
         self.shared.state.lock().metrics.snapshot()
     }
 
+    /// Live-migrate the service onto a machine of shape `target` —
+    /// same shape with a different engine, or a *larger* shape (more
+    /// banks, spares, lanes) — with zero downtime for tenants outside
+    /// `tenants`.
+    ///
+    /// The named tenants' queues are quiesced: from this call until the
+    /// swap completes, their submits are shed with [`Reject::Migrating`]
+    /// (carrying a retry-after hint). Untouched tenants keep submitting
+    /// and being served throughout — admission never pauses for them;
+    /// only issue stalls for the short drain window.
+    ///
+    /// Mechanically the event loop: stops issuing, drains in-flight
+    /// operations to completion on the source, waits out the ATT
+    /// arbitration windows, checkpoints, pushes the snapshot through
+    /// the full byte codec, restores onto the target shape, and
+    /// re-admits. Every operation *admitted* before the swap — ticket
+    /// already in the caller's hand — is replayed on the target and its
+    /// ticket fulfilled there: admission is durable across the
+    /// boundary, as are all committed writes (they travel in the
+    /// snapshot's memory image). When the target has more banks, queued
+    /// writes are re-chunked with zero-extended blocks, matching the
+    /// restored image's "new banks read 0" semantics.
+    ///
+    /// Blocks until the migration completes or fails. On error the
+    /// service continues undisturbed on the source machine.
+    pub fn migrate(
+        &self,
+        tenants: &[TenantId],
+        target: CfmConfig,
+    ) -> Result<MigrationReport, MigrateError> {
+        let done = Arc::new(MigrationDone {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        {
+            let mut inner = self.shared.state.lock();
+            if inner.draining || inner.shutdown {
+                return Err(MigrateError::ShuttingDown);
+            }
+            if inner.migration.is_some() || inner.migrating.iter().any(|&m| m) {
+                return Err(MigrateError::MigrationInProgress);
+            }
+            if let Some(&t) = tenants.iter().find(|&&t| t >= inner.queues.len()) {
+                return Err(MigrateError::UnknownTenant { tenant: t });
+            }
+            for &t in tenants {
+                inner.migrating[t] = true;
+            }
+            inner.migration = Some(MigrationCmd {
+                target,
+                done: Arc::clone(&done),
+            });
+        }
+        self.shared.work.notify_one();
+        let mut slot = done.slot.lock();
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            done.ready.wait(&mut slot);
+        }
+    }
+
     /// Stop admitting, complete every already-admitted request (queued
     /// and in flight), shut the event loop down, and return the final
     /// report. Blocks until the machine is idle.
@@ -559,12 +751,27 @@ fn run_event_loop(state: &mut LoopState) {
     loop {
         // ---- Admit: dequeue up to one op per idle processor. --------
         let mut batch: Vec<(ProcId, Pending, TenantId)> = Vec::new();
+        let mut migration: Option<MigrationCmd> = None;
         {
             let mut inner = shared.state.lock();
             loop {
                 if inner.shutdown {
                     abandon(state, &mut inner);
                     return;
+                }
+                if inner.migration.is_some() {
+                    // Quiesce toward the swap: issue nothing new. Once
+                    // the last in-flight operation completes, take the
+                    // command and perform the migration outside the
+                    // lock; until then fall through with an empty batch
+                    // so the machine keeps stepping.
+                    if state.migrate_seen_at.is_none() {
+                        state.migrate_seen_at = Some(state.machine.cycle());
+                    }
+                    if state.inflight_count == 0 {
+                        migration = inner.migration.take();
+                    }
+                    break;
                 }
                 while !state.free.is_empty() && inner.total_queued > 0 {
                     let queues = &inner.queues;
@@ -588,6 +795,12 @@ fn run_event_loop(state: &mut LoopState) {
                 // Fully idle: park until a submit or drain wakes us.
                 shared.work.wait(&mut inner);
             }
+        }
+
+        // ---- Swap boundary: source is drained, perform the move. -----
+        if let Some(cmd) = migration {
+            perform_migration(state, &shared, cmd);
+            continue;
         }
 
         // ---- Issue the slot batch (outside the lock). ----------------
@@ -646,6 +859,83 @@ fn run_event_loop(state: &mut LoopState) {
     }
 }
 
+/// Execute one migration at the swap boundary: the source machine has
+/// no operation in flight. Quiesce the ATT windows, checkpoint through
+/// the full byte codec, restore onto the target shape, swap the
+/// machine, and re-chunk queued writes for the (possibly grown) block
+/// length. On any failure the source machine is kept and the service
+/// continues on it — the error travels back to the [`Service::migrate`]
+/// caller, nothing is lost.
+fn perform_migration(state: &mut LoopState, shared: &Arc<Shared>, cmd: MigrationCmd) {
+    debug_assert_eq!(state.inflight_count, 0);
+    let from_banks = state.machine.config().banks();
+    let seen_at = state
+        .migrate_seen_at
+        .take()
+        .unwrap_or(state.machine.cycle());
+    // The machine is idle; only the ATT arbitration windows (≤ b − 1
+    // slots, plus transient-repair holds) remain. Budget generously —
+    // a pathological fault plan pinning a held entry is a typed error,
+    // not a hang.
+    let budget = (from_banks as u64 + u64::from(state.machine.config().bank_cycle())) * 4 + 64;
+    let result = (|| -> Result<(usize, CfmMachine), MigrateError> {
+        if !state.machine.quiesce(budget) {
+            return Err(MigrateError::QuiesceTimeout { budget });
+        }
+        let bytes = state.machine.checkpoint().to_bytes();
+        let restored = MachineSnapshot::from_bytes(&bytes)?.restore_into(cmd.target)?;
+        Ok((bytes.len(), restored))
+    })();
+    let drained_slots = state.machine.cycle() - seen_at;
+
+    let mut inner = shared.state.lock();
+    let outcome = result.map(|(snapshot_bytes, restored)| {
+        let target_cfg = *restored.config();
+        let to_banks = target_cfg.banks();
+        let processors = target_cfg.processors();
+        state.machine = restored;
+        state.inflight = (0..processors).map(|_| None).collect();
+        state.free = (0..processors).rev().collect();
+        state.inflight_count = 0;
+        // Re-chunk queued writes for the grown block length; the added
+        // words are zero, matching the restored image's new banks.
+        let mut replayed = 0;
+        for q in &mut inner.queues {
+            for pending in q.queue.iter_mut() {
+                if let Operation::Write { data, .. } | Operation::Swap { data, .. } =
+                    &mut pending.op
+                {
+                    if data.len() < to_banks {
+                        let mut grown = data.to_vec();
+                        grown.resize(to_banks, 0);
+                        *data = grown.into_boxed_slice();
+                    }
+                }
+                replayed += 1;
+            }
+        }
+        inner.banks = to_banks;
+        inner.processors = processors;
+        inner.bank_cycle = target_cfg.bank_cycle();
+        MigrationReport {
+            snapshot_bytes,
+            replayed,
+            drained_slots,
+            from_banks,
+            to_banks,
+            engine: target_cfg.engine(),
+        }
+    });
+    // Re-admit the quiesced tenants, success or not.
+    for m in inner.migrating.iter_mut() {
+        *m = false;
+    }
+    cmd.done.deliver(outcome);
+    drop(inner);
+    // Queued work (including the replayed operations) is issuable now.
+    shared.work.notify_one();
+}
+
 /// Graceful-drain exit: the machine is idle and every admitted request
 /// has been fulfilled; snapshot everything into the report.
 fn finish(state_ref: &mut LoopState, inner: &mut Inner) {
@@ -662,6 +952,14 @@ fn finish(state_ref: &mut LoopState, inner: &mut Inner) {
 /// Hard-shutdown exit (service dropped, not drained): close every
 /// outstanding ticket so no waiter deadlocks, then report what was done.
 fn abandon(state_ref: &mut LoopState, inner: &mut Inner) {
+    // A migration still parked (or mid-drain) resolves as ShuttingDown
+    // so its caller does not wait forever.
+    if let Some(cmd) = inner.migration.take() {
+        cmd.done.deliver(Err(MigrateError::ShuttingDown));
+    }
+    for m in inner.migrating.iter_mut() {
+        *m = false;
+    }
     for q in &mut inner.queues {
         while let Some(pending) = q.pop() {
             inner.total_queued -= 1;
@@ -821,6 +1119,108 @@ mod tests {
         for t in tickets {
             let _ = t.wait();
         }
+    }
+
+    #[test]
+    fn migrate_engine_change_keeps_serving() {
+        let service = small_service();
+        let w = service.submit(0, Operation::write(5, vec![3; 4])).unwrap();
+        w.wait().unwrap();
+        let target = CfmConfig::new(4, 1, 16)
+            .unwrap()
+            .with_engine(Engine::Parallel { threads: 2 });
+        let report = service.migrate(&[0], target).unwrap();
+        assert_eq!(report.from_banks, 4);
+        assert_eq!(report.to_banks, 4);
+        assert_eq!(report.engine, Engine::Parallel { threads: 2 });
+        // The write survives the move and the service keeps serving.
+        let r = service.submit(1, Operation::read(5)).unwrap();
+        assert_eq!(
+            r.wait().unwrap().completion.data.as_deref(),
+            Some(&[3; 4][..])
+        );
+        let final_report = service.drain();
+        assert_eq!(final_report.stats.bank_conflicts, 0);
+    }
+
+    #[test]
+    fn migrate_grows_banks_and_rechunks() {
+        let service = small_service();
+        let w = service.submit(0, Operation::write(2, vec![7; 4])).unwrap();
+        w.wait().unwrap();
+        let report = service
+            .migrate(&[0], CfmConfig::new(8, 1, 16).unwrap())
+            .unwrap();
+        assert_eq!((report.from_banks, report.to_banks), (4, 8));
+        assert!(report.snapshot_bytes > 0);
+        // Geometry is live: blocks are 8 words now.
+        assert_eq!(service.banks(), 8);
+        assert_eq!(service.processors(), 8);
+        assert_eq!(
+            service.submit(0, Operation::write(0, vec![1; 4])).err(),
+            Some(Reject::WrongBlockLength { got: 4, want: 8 })
+        );
+        // The pre-migration write is durable; the grown tail reads 0.
+        let r = service.submit(1, Operation::read(2)).unwrap();
+        let data = r.wait().unwrap().completion.data.unwrap();
+        assert_eq!(&data[..4], &[7; 4]);
+        assert_eq!(&data[4..], &[0; 4]);
+        service.drain();
+    }
+
+    #[test]
+    fn migrate_shrinking_is_typed_and_service_survives() {
+        let cfg = CfmConfig::new(8, 1, 16).unwrap();
+        let service = Service::start(ServiceConfig::new(cfg, 16).tenant("a", 1, 16)).unwrap();
+        let err = service
+            .migrate(&[0], CfmConfig::new(4, 1, 16).unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MigrateError::Snapshot(SnapshotError::ShrinkingShape { what: "banks", .. })
+        ));
+        // The failed migration left the source machine serving.
+        let t = service.submit(0, Operation::write(1, vec![9; 8])).unwrap();
+        assert_eq!(t.wait().unwrap().completion.outcome, Outcome::Completed);
+        service.drain();
+    }
+
+    #[test]
+    fn migrate_validates_tenants_and_exclusivity() {
+        let service = small_service();
+        assert_eq!(
+            service
+                .migrate(&[9], CfmConfig::new(4, 1, 16).unwrap())
+                .unwrap_err(),
+            MigrateError::UnknownTenant { tenant: 9 }
+        );
+        service.drain();
+    }
+
+    #[test]
+    fn migrating_tenant_is_shed_with_retry_hint() {
+        let service = small_service();
+        // Pin the quiesce flag directly (the real window is too short
+        // to catch from outside deterministically).
+        service.shared.state.lock().migrating[0] = true;
+        match service.submit(0, Operation::read(0)).unwrap_err() {
+            Reject::Migrating {
+                tenant,
+                retry_after_slots,
+            } => {
+                assert_eq!(tenant, 0);
+                // 2b + c + 64 with b = 4, c = 1.
+                assert_eq!(retry_after_slots, 73);
+            }
+            other => panic!("expected Migrating, got {other}"),
+        }
+        // The untouched tenant is admitted as usual.
+        let t = service.submit(1, Operation::read(0)).unwrap();
+        service.shared.state.lock().migrating[0] = false;
+        t.wait().unwrap();
+        let report = service.drain();
+        assert_eq!(report.metrics.tenants[0].rejected_migrating, 1);
+        assert_eq!(report.metrics.tenants[1].rejected_migrating, 0);
     }
 
     #[test]

@@ -23,10 +23,11 @@ use crate::analyze::AnalyzeSpec;
 use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
 use crate::report::Report;
+use crate::restore::RestoreSpec;
 use crate::schedule::{self, SweepSpec};
 use crate::serve::ServeSpec;
 use crate::trace::TraceSpec;
-use crate::{analyze, chaos, coherence, serve, trace, USAGE};
+use crate::{analyze, chaos, coherence, restore, serve, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +62,9 @@ pub struct Options {
     /// Static program-analysis spec (Some = the `analyze` subcommand
     /// was used; the other sections are then skipped).
     pub analyze: Option<AnalyzeSpec>,
+    /// Checkpoint/restore soak spec (Some = the `restore` subcommand
+    /// was used; the other sections are then skipped).
+    pub restore: Option<RestoreSpec>,
     /// The `all` subcommand: run every populated section in one
     /// aggregated report instead of treating subcommand specs as
     /// exclusive.
@@ -79,6 +83,7 @@ impl Default for Options {
             chaos: None,
             serve: None,
             analyze: None,
+            restore: None,
             all: false,
         }
     }
@@ -184,6 +189,7 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     })
 }
@@ -250,6 +256,7 @@ fn parse_chaos(args: &[String]) -> Result<Options, String> {
         chaos: Some(spec),
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     })
 }
@@ -313,6 +320,7 @@ fn parse_serve(args: &[String]) -> Result<Options, String> {
         chaos: None,
         serve: Some(spec),
         analyze: None,
+        restore: None,
         all: false,
     })
 }
@@ -375,6 +383,71 @@ fn parse_analyze(args: &[String]) -> Result<Options, String> {
         chaos: None,
         serve: None,
         analyze: Some(spec),
+        restore: None,
+        all: false,
+    })
+}
+
+/// Parse the `restore` subcommand's arguments (everything after the
+/// `restore` word).
+fn parse_restore(args: &[String]) -> Result<Options, String> {
+    let mut spec = RestoreSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let list = args.get(i).ok_or("--seeds needs a comma-separated list")?;
+                let parsed: Result<Vec<u64>, String> = list
+                    .split(',')
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("invalid seed: {s:?}")))
+                    .collect();
+                spec.seeds = parsed?;
+                if spec.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--ops" => {
+                i += 1;
+                let v = args.get(i).ok_or("--ops needs a number")?;
+                spec.ops_per_tenant = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid op budget: {v:?}"))?;
+            }
+            "--self-test" => self_test = true,
+            // The default spec is already the full soak; --ci only has
+            // to switch the corruption self-tests on.
+            "--ci" => self_test = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown restore argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: None,
+        chaos: None,
+        serve: None,
+        analyze: None,
+        restore: Some(spec),
         all: false,
     })
 }
@@ -414,6 +487,7 @@ fn parse_all(args: &[String]) -> Result<Options, String> {
         chaos: Some(ChaosSpec::default()),
         serve: Some(ServeSpec::default()),
         analyze: Some(AnalyzeSpec::default()),
+        restore: Some(RestoreSpec::default()),
         all: true,
     })
 }
@@ -431,6 +505,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     }
     if args.first().map(String::as_str) == Some("analyze") {
         return parse_analyze(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("restore") {
+        return parse_restore(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("all") {
         return parse_all(&args[1..]);
@@ -560,6 +637,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     })
 }
@@ -586,6 +664,10 @@ pub fn run(opts: &Options) -> Report {
             report.extend(analyze::verify(spec, opts.self_test));
             return report;
         }
+        if let Some(spec) = &opts.restore {
+            report.extend(restore::verify(spec, opts.self_test));
+            return report;
+        }
     }
     if let Some(spec) = &opts.sweep {
         report.extend(schedule::sweep(spec));
@@ -605,6 +687,9 @@ pub fn run(opts: &Options) -> Report {
         }
         if let Some(spec) = &opts.chaos {
             report.extend(chaos::verify(spec, opts.self_test));
+        }
+        if let Some(spec) = &opts.restore {
+            report.extend(restore::verify(spec, opts.self_test));
         }
         if let Some(spec) = &opts.serve {
             report.extend(serve::verify(spec, opts.self_test));
@@ -849,9 +934,34 @@ mod tests {
         assert!(o.sweep.is_some() && o.model.is_some());
         assert!(o.trace.is_some() && o.chaos.is_some());
         assert!(o.serve.is_some() && o.analyze.is_some());
+        assert!(o.restore.is_some());
         assert!(o.self_test);
         assert_eq!(o.format, Format::Json);
         assert!(parse(&args(&["all", "--model"])).is_err());
+    }
+
+    #[test]
+    fn restore_subcommand_is_exclusive_and_defaults_parse() {
+        let o = parse(&args(&["restore"])).unwrap();
+        let spec = o.restore.expect("restore requested");
+        assert_eq!(spec, RestoreSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none());
+        assert!(o.chaos.is_none() && o.serve.is_none() && o.analyze.is_none());
+        assert!(!o.self_test && !o.all);
+    }
+
+    #[test]
+    fn restore_ci_adds_self_tests_and_arguments_parse() {
+        let o = parse(&args(&["restore", "--ci", "--format", "json"])).unwrap();
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        let o = parse(&args(&["restore", "--seeds", "3,4", "--ops", "500"])).unwrap();
+        let spec = o.restore.unwrap();
+        assert_eq!(spec.seeds, vec![3, 4]);
+        assert_eq!(spec.ops_per_tenant, 500);
+        assert!(parse(&args(&["restore", "--ops", "0"])).is_err());
+        assert!(parse(&args(&["restore", "--seeds", "nope"])).is_err());
+        assert!(parse(&args(&["restore", "--model"])).is_err());
     }
 
     #[test]

@@ -47,6 +47,14 @@
 //!   enforced by `cfm-serve` footprint admission — with seeded-defect
 //!   self-tests and a differential gate against the dynamic race
 //!   detector (`cfm-verify analyze --ci`).
+//! * [`restore`] — checkpoint/restore soaks: machines running under
+//!   active seeded fault plans are checkpointed mid-flight through the
+//!   versioned byte codec and restored — same shape (byte-identical
+//!   continuation), into a strictly larger shape (memory durable,
+//!   target trace race-free), and live-migrated at the service layer
+//!   while an untouched tenant keeps serving — with seeded-corruption
+//!   self-tests for the typed [`cfm_core::snapshot::SnapshotError`]
+//!   taxonomy (`cfm-verify restore --ci`).
 //! * [`report`] / [`json`] — structured findings rendered as text or
 //!   byte-stable JSON (`--format json`) for the CI gate.
 //! * [`cli`] — the `cfm-verify` binary: `--sweep`, `--model`,
@@ -61,6 +69,7 @@ pub mod cli;
 pub mod coherence;
 pub mod json;
 pub mod report;
+pub mod restore;
 pub mod schedule;
 pub mod serve;
 pub mod trace;
@@ -77,6 +86,8 @@ USAGE:
   cfm-verify serve [--seeds LIST] [--ops N]
              [--self-test | --ci] [--format F]
   cfm-verify analyze [--sweep n=A..=B c=C..=D] [--offsets N]
+             [--self-test | --ci] [--format F]
+  cfm-verify restore [--seeds LIST] [--ops N]
              [--self-test | --ci] [--format F]
   cfm-verify all [--ci] [--format F]
 
@@ -114,9 +125,20 @@ tenant footprint with the typed witness. `analyze --ci` adds the
 seeded-defect self-tests (conflicting program, ATT overflow, lock
 cycle).
 
+The `restore` subcommand soaks checkpoint/restore and live migration
+under active seeded fault plans: a mid-flight checkpoint restored into
+the same shape must continue byte-identically; a quiesced snapshot
+restored onto a machine with twice the processors and banks must keep
+every unmasked word and serve a race-free workload; a service-level
+live migration must move a tenant through the full byte codec while an
+untouched tenant keeps completing. `--seeds` overrides the fault-plan
+seeds, `--ops` the untouched tenant's read budget; `restore --ci` adds
+self-tests proving the typed corruption detectors (truncation, stale
+version, aliased restore map) non-vacuous.
+
 The `all` subcommand runs every section — the schedule sweep, the
-coherence model check, trace, chaos, serve, and analyze — in one
-process with one aggregated report, the single CI entry point.
+coherence model check, trace, chaos, restore, serve, and analyze — in
+one process with one aggregated report, the single CI entry point.
 
 The `serve` subcommand soaks the cfm-serve multi-tenant request
 service: a roster with one pure hot-spot tenant must complete every

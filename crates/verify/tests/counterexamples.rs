@@ -79,6 +79,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     };
     let report = cli::run(&mutant);
@@ -98,6 +99,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     };
     let report = cli::run(&correct);
@@ -121,6 +123,7 @@ fn json_report_is_byte_stable_across_renders() {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     };
     let a = cli::run(&opts).to_json().render();

@@ -97,6 +97,7 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     };
     let report = cli::run(&opts);
@@ -132,6 +133,7 @@ fn trace_json_report_is_byte_stable_across_runs() {
         chaos: None,
         serve: None,
         analyze: None,
+        restore: None,
         all: false,
     };
     let a = cli::run(&opts).to_json().render();

@@ -175,3 +175,110 @@ fn hot_spot_hog_cannot_starve_a_meek_tenant() {
     assert_eq!(meek.latency.count(), OPS_PER_TENANT);
     assert!(meek.latency.p50_ns() <= meek.latency.p99_ns());
 }
+
+/// Tickets issued before a live migration must be fulfilled after the
+/// restore on the *target* machine: admission is durable across the
+/// checkpoint/restore boundary, and so is every committed write. A
+/// large bank cycle makes each op span many slots, so a deep backlog is
+/// still queued when the migration command lands — those operations are
+/// replayed on the target.
+#[test]
+fn tickets_cross_the_migration_boundary() {
+    // c = 4 → b = 16, β = 19 slots per block op: a 64-op backlog takes
+    // hundreds of slots, far longer than the submit→migrate gap.
+    let machine = CfmConfig::new(4, 4, WORD_WIDTH).unwrap();
+    let banks = machine.banks();
+    let config = ServiceConfig::new(machine, banks)
+        .tenant("migrated", 1, 64)
+        .tenant("bystander", 1, 64);
+    let service = Service::start(config).expect("valid roster");
+
+    // A committed write whose durability the migration must preserve.
+    service
+        .submit(0, Operation::write(7, vec![42; banks]))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Deep backlog from both tenants, tickets in hand, nobody reaped.
+    let mut tickets = Vec::new();
+    for i in 0..32 {
+        tickets.push(service.submit(0, Operation::read(i % banks)).unwrap());
+        // Keep the backlog's writes away from the sentinel block 7.
+        tickets.push(
+            service
+                .submit(1, Operation::write(8 + i % 5, vec![i as u64; banks]))
+                .unwrap(),
+        );
+    }
+
+    // Grow 16 banks → 32 while that backlog is outstanding.
+    let report = service
+        .migrate(&[0], CfmConfig::new(8, 4, WORD_WIDTH).unwrap())
+        .expect("migration succeeds");
+    assert_eq!((report.from_banks, report.to_banks), (16, 32));
+    assert!(
+        report.replayed > 0,
+        "a β=19 backlog of 64 ops cannot drain in the submit→migrate gap"
+    );
+
+    // Every pre-migration ticket resolves post-restore.
+    for ticket in tickets {
+        let response = ticket.wait().expect("ticket fulfilled after restore");
+        assert!(response.total_ns >= response.queued_ns);
+    }
+
+    // The pre-migration write is durable on the target; the grown tail
+    // of the block reads zero (absent, not torn).
+    let read = service.submit(0, Operation::read(7)).unwrap();
+    let completion = read.wait().unwrap().completion;
+    assert!(!completion.torn);
+    let data = completion.data.expect("read returns data");
+    assert_eq!(&data[..16], &[42u64; 16][..]);
+    assert_eq!(&data[16..], &[0u64; 16][..]);
+
+    let final_report = service.drain();
+    assert_eq!(final_report.stats.bank_conflicts, 0);
+}
+
+/// Dropping tickets on the floor while `drain` races the event loop
+/// must neither deadlock nor panic: the loop fulfills into shared slots
+/// whose last Arc it may itself hold, and drain still completes every
+/// admitted op.
+#[test]
+fn drain_races_dropped_tickets() {
+    let machine = machine_config(4);
+    let banks = machine.banks();
+    let config = ServiceConfig::new(machine, banks)
+        .tenant("dropper", 1, 128)
+        .tenant("keeper", 1, 128);
+    let service = Service::start(config).expect("valid roster");
+
+    let mut kept = Vec::new();
+    let mut dropped = Vec::new();
+    for i in 0..64 {
+        // The dropper's tickets are discarded immediately — some before
+        // fulfillment, some after, depending on the race with the loop.
+        dropped.push(service.submit(0, Operation::read(i % banks)).unwrap());
+        kept.push(
+            service
+                .submit(1, Operation::write(i % banks, vec![i as u64; banks]))
+                .unwrap(),
+        );
+    }
+    // Drop half the backlog's tickets from another thread while the
+    // main thread drains — fulfillment and ticket drop race directly.
+    let shredder = thread::spawn(move || drop(dropped));
+    let report = service.drain();
+    shredder.join().expect("dropping tickets never panics");
+
+    assert_eq!(
+        report.metrics.completed(),
+        128,
+        "drain completed everything"
+    );
+    assert_eq!(report.stats.bank_conflicts, 0);
+    for ticket in kept {
+        assert!(ticket.wait().is_some(), "kept tickets resolve normally");
+    }
+}
