@@ -3,15 +3,17 @@
 //! Soaks a steady disjoint-block workload (every processor continuously
 //! re-issuing reads/writes of its own block — the conflict-free case the
 //! parallel engine shards) on a grid of machine shapes × engine
-//! configurations × variants (plain / traced / faulted), and records
-//! simulated slots per wall-clock second into `BENCH_core.json`.
+//! configurations × variants (plain / traced / faulted / static-summary
+//! / dynamic-window), and records simulated slots per wall-clock second
+//! into `BENCH_core.json`.
 //!
-//! The report includes `host_cpus` because the numbers are only
-//! meaningful relative to the cores actually available: on a single-CPU
-//! host every extra lane adds two scheduler handoffs per slot and the
-//! parallel engine *cannot* beat the sequential one — the recorded
-//! numbers then measure engine overhead, not speedup (see
-//! `docs/performance.md` for how to read them).
+//! The report includes `host_cpus` *and* `host_free_cores` (detected
+//! from the 1-minute load average) because the numbers are only
+//! meaningful relative to the cores actually available: on a saturated
+//! host every extra lane adds scheduler handoffs and the parallel
+//! engine *cannot* beat the sequential one — the recorded numbers then
+//! measure engine overhead, not speedup (see `docs/performance.md` for
+//! how to read them).
 //!
 //! `--smoke` shrinks the slot budget for CI.
 
@@ -49,7 +51,19 @@ const ENGINES: [(&str, Engine); 5] = [
 /// (strided residue classes, not a 64-bit mask) proves exclusive writers
 /// at any processor count, so windows engage at the n=256 shape exactly
 /// as they do at n=16 — the old 64-processor bitmask ceiling is gone.
-const VARIANTS: [&str; 4] = ["plain", "traced", "faulted", "static-summary"];
+/// `dynamic-window` rotates every processor's block each generation —
+/// disjoint at runtime but *not* expressible as a residue-class
+/// footprint, so no summary can arm and every window must be proven by
+/// the runtime hazard scan (`NotPeriodic` programs' path). The other
+/// variants issue a fixed per-processor block, which the scan also
+/// proves — `dynamic_fraction` shows windows engaging there too.
+const VARIANTS: [&str; 5] = [
+    "plain",
+    "traced",
+    "faulted",
+    "static-summary",
+    "dynamic-window",
+];
 
 struct Measured {
     shape: (usize, u32),
@@ -59,14 +73,35 @@ struct Measured {
     wall_s: f64,
     parallel_slots: u64,
     static_slots: u64,
+    dynamic_slots: u64,
+    dynamic_windows: u64,
 }
 
-fn run_one(
-    (n, c): (usize, u32),
-    engine: Engine,
-    variant: &str,
-    slot_budget: u64,
-) -> (u64, f64, u64, u64) {
+struct Counters {
+    slots: u64,
+    wall_s: f64,
+    parallel_slots: u64,
+    static_slots: u64,
+    dynamic_slots: u64,
+    dynamic_windows: u64,
+}
+
+/// Cores actually free right now: logical CPUs minus the 1-minute load
+/// average (clamped to at least 1) — the honest denominator for reading
+/// parallel speedups on a shared host.
+fn detect_free_cores(host_cpus: usize) -> usize {
+    let load1 = std::fs::read_to_string("/proc/loadavg")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .next()
+                .and_then(|t| t.parse::<f64>().ok())
+        })
+        .unwrap_or(0.0);
+    ((host_cpus as f64 - load1).floor().max(1.0)) as usize
+}
+
+fn run_one((n, c): (usize, u32), engine: Engine, variant: &str, slot_budget: u64) -> Counters {
     let cfg = CfmConfig::new(n, c, WORD_WIDTH)
         .and_then(|cfg| cfg.with_spares(SPARES))
         .expect("valid bench config")
@@ -116,62 +151,80 @@ fn run_one(
             .expect("fresh idle machine accepts the summary");
     }
     let mut write_next = vec![true; n];
+    let mut round = 0usize;
+    let mut last_discard = 0u64;
     let start = Instant::now();
     while m.cycle() < slot_budget {
         for (p, next) in write_next.iter_mut().enumerate() {
             if !m.is_busy(p) {
-                // Each processor hammers its own block: disjoint offsets,
-                // so the slot stays hazard-free and the parallel plan
-                // engages (the engine's best case, which is the point of
-                // the comparison).
-                let op = if *next {
-                    Operation::write(p, vec![m.cycle() + p as u64; b])
+                // Each processor hammers its own block (or, on the
+                // dynamic-window variant, a block rotating every
+                // generation): disjoint offsets, so the windows stay
+                // hazard-free and the engine's batched path engages —
+                // the engine's best case, which is the point of the
+                // comparison.
+                let offset = if variant == "dynamic-window" {
+                    (p + round) % n
                 } else {
-                    Operation::read(p)
+                    p
+                };
+                let op = if *next {
+                    Operation::write(offset, vec![m.cycle() + p as u64; b])
+                } else {
+                    Operation::read(offset)
                 };
                 *next = !*next;
                 let _ = m.issue(p, op);
             }
         }
-        if variant == "static-summary" {
-            // Window dispatch engages inside `run()`, never `step()`:
-            // drain the issued batch to idle (or the budget) in proven
-            // windows where the preconditions hold.
-            let _ = m.run(slot_budget - m.cycle());
-        } else {
-            m.step();
-            for p in 0..n {
-                while m.poll(p).is_some() {}
-            }
-        }
-        // Bound trace memory: the events are the cost being measured, not
-        // the analysis, so drop them periodically.
-        if variant == "traced" && m.cycle().is_multiple_of(4096) {
-            m.drain_trace();
+        round = round.wrapping_add(1);
+        // Window dispatch engages inside `run()`, never `step()`: drain
+        // the issued batch to idle (or the budget) in proven windows —
+        // statically proven on the static-summary variant, dynamically
+        // proven everywhere else — falling back to per-slot stepping
+        // wherever the preconditions fail (e.g. under active faults).
+        let _ = m.run(slot_budget - m.cycle());
+        // Bound trace memory: the events are the cost being measured,
+        // not the analysis, so discard them periodically — keeping the
+        // buffer's capacity, so the measurement is the recording cost,
+        // not allocator/page-fault churn. Cycle deltas, not multiples:
+        // window dispatch advances the cycle in jumps.
+        if variant == "traced" && m.cycle() >= last_discard + 2048 {
+            m.discard_trace();
+            last_discard = m.cycle();
         }
     }
-    (
-        m.cycle(),
-        start.elapsed().as_secs_f64(),
-        m.parallel_slots(),
-        m.static_slots(),
-    )
+    Counters {
+        slots: m.cycle(),
+        wall_s: start.elapsed().as_secs_f64(),
+        parallel_slots: m.parallel_slots(),
+        static_slots: m.static_slots(),
+        dynamic_slots: m.dynamic_slots(),
+        dynamic_windows: m.dynamic_windows(),
+    }
 }
 
-fn json_report(measured: &[Measured], host_cpus: usize, slot_budget: u64, smoke: bool) -> String {
+fn json_report(
+    measured: &[Measured],
+    host_cpus: usize,
+    host_free_cores: usize,
+    slot_budget: u64,
+    smoke: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"bench_core\",\n");
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"host_free_cores\": {host_free_cores},\n"));
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"slot_budget\": {slot_budget},\n"));
     out.push_str(
-        "  \"note\": \"Honest numbers for the host recorded in host_cpus: with fewer free \
-         cores than lanes the parallel engine pays two scheduler handoffs per extra lane per \
-         slot and cannot beat sequential; speedup_vs_seq > 1 requires >= threads free cores. \
-         static_fraction is the share of slots executed inside statically proven windows \
-         (hazard scan skipped); the symbolic footprint proves exclusive writers at any \
-         processor count, so it engages at every shape. See docs/performance.md.\",\n",
+        "  \"note\": \"Honest numbers for the host recorded in host_cpus/host_free_cores \
+         (logical CPUs minus 1-min load average at bench start): speedup_vs_seq > 1 requires \
+         >= threads free cores. static_fraction is the share of slots executed inside \
+         statically proven windows (armed summary); dynamic_fraction the share inside \
+         dynamically proven windows (runtime hazard scan, no summary needed — the path \
+         NotPeriodic programs get). See docs/performance.md.\",\n",
     );
     out.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {
@@ -185,7 +238,8 @@ fn json_report(measured: &[Measured], host_cpus: usize, slot_budget: u64, smoke:
             "    {{\"n\": {}, \"c\": {}, \"variant\": \"{}\", \"engine\": \"{}\", \
              \"slots\": {}, \"wall_time_s\": {:.4}, \"slots_per_s\": {:.0}, \
              \"speedup_vs_seq\": {:.3}, \"parallel_slots\": {}, \"parallel_fraction\": {:.3}, \
-             \"static_slots\": {}, \"static_fraction\": {:.3}}}{}\n",
+             \"static_slots\": {}, \"static_fraction\": {:.3}, \
+             \"dynamic_slots\": {}, \"dynamic_fraction\": {:.3}, \"dynamic_windows\": {}}}{}\n",
             m.shape.0,
             m.shape.1,
             m.variant,
@@ -198,6 +252,9 @@ fn json_report(measured: &[Measured], host_cpus: usize, slot_budget: u64, smoke:
             m.parallel_slots as f64 / m.slots.max(1) as f64,
             m.static_slots,
             m.static_slots as f64 / m.slots.max(1) as f64,
+            m.dynamic_slots,
+            m.dynamic_slots as f64 / m.slots.max(1) as f64,
+            m.dynamic_windows,
             if i + 1 == measured.len() { "" } else { "," }
         ));
     }
@@ -220,21 +277,23 @@ fn main() {
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let host_free_cores = detect_free_cores(host_cpus);
 
     let mut measured = Vec::new();
     for shape in SHAPES {
         for variant in VARIANTS {
             for (name, engine) in ENGINES {
-                let (slots, wall_s, parallel_slots, static_slots) =
-                    run_one(shape, engine, variant, slot_budget);
+                let c = run_one(shape, engine, variant, slot_budget);
                 measured.push(Measured {
                     shape,
                     variant,
                     engine: name,
-                    slots,
-                    wall_s,
-                    parallel_slots,
-                    static_slots,
+                    slots: c.slots,
+                    wall_s: c.wall_s,
+                    parallel_slots: c.parallel_slots,
+                    static_slots: c.static_slots,
+                    dynamic_slots: c.dynamic_slots,
+                    dynamic_windows: c.dynamic_windows,
                 });
             }
         }
@@ -257,11 +316,12 @@ fn main() {
                 format!("{:.3}", rate / seq_rate),
                 format!("{:.3}", m.parallel_slots as f64 / m.slots.max(1) as f64),
                 format!("{:.3}", m.static_slots as f64 / m.slots.max(1) as f64),
+                format!("{:.3}", m.dynamic_slots as f64 / m.slots.max(1) as f64),
             ]
         })
         .collect();
     print_table(
-        &format!("Core engine throughput (host_cpus = {host_cpus})"),
+        &format!("Core engine throughput (host_cpus = {host_cpus}, free = {host_free_cores})"),
         &[
             "Shape",
             "Variant",
@@ -270,11 +330,12 @@ fn main() {
             "vs seq",
             "par fraction",
             "static fraction",
+            "dyn fraction",
         ],
         &rows,
     );
 
-    let json = json_report(&measured, host_cpus, slot_budget, smoke);
+    let json = json_report(&measured, host_cpus, host_free_cores, slot_budget, smoke);
     match std::fs::File::create("BENCH_core.json").and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote BENCH_core.json"),
         Err(e) => println!("could not write BENCH_core.json: {e}"),

@@ -58,7 +58,7 @@
 //! Reads compare **all** live entries and restart from the current bank
 //! on any match, in both modes (§4.1.2, Fig 4.5).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::trace::{TraceEvent, TraceSink};
 use crate::{BankId, BlockOffset, Cycle, ProcId};
@@ -135,8 +135,11 @@ pub struct Att {
     /// ([`Self::read_conflict`], [`Self::write_verdict`],
     /// [`Self::contended_by_other`]) consult it first so the common case —
     /// no live entry for the accessed offset — is O(1) instead of a
-    /// full-queue scan. Keys are removed when their count drops to zero.
-    by_offset: HashMap<BlockOffset, u32>,
+    /// full-queue scan. A dense array indexed by offset (not a hash map):
+    /// probes are a single bounds-checked load, and the parallel engine's
+    /// window hazard scan streams it without chasing buckets. Grown on
+    /// demand; [`Self::with_offsets`] pre-sizes it.
+    by_offset: Vec<u32>,
 }
 
 impl Att {
@@ -146,20 +149,28 @@ impl Att {
             entries: VecDeque::with_capacity(banks.saturating_sub(1)),
             held: Vec::new(),
             capacity: banks.saturating_sub(1),
-            by_offset: HashMap::new(),
+            by_offset: Vec::new(),
         }
     }
 
+    /// [`Self::new`] with the offset index pre-sized for `offsets` block
+    /// offsets, so the hot path never grows it mid-run.
+    pub fn with_offsets(banks: usize, offsets: usize) -> Self {
+        let mut att = Self::new(banks);
+        att.by_offset = vec![0; offsets];
+        att
+    }
+
     fn index_add(&mut self, offset: BlockOffset) {
-        *self.by_offset.entry(offset).or_insert(0) += 1;
+        if offset >= self.by_offset.len() {
+            self.by_offset.resize(offset + 1, 0);
+        }
+        self.by_offset[offset] += 1;
     }
 
     fn index_sub(&mut self, offset: BlockOffset) {
-        if let Some(n) = self.by_offset.get_mut(&offset) {
-            *n -= 1;
-            if *n == 0 {
-                self.by_offset.remove(&offset);
-            }
+        if let Some(n) = self.by_offset.get_mut(offset) {
+            *n = n.saturating_sub(1);
         }
     }
 
@@ -171,7 +182,7 @@ impl Att {
         if self.entries.is_empty() && self.held.is_empty() {
             return false;
         }
-        self.by_offset.contains_key(&offset)
+        self.by_offset.get(offset).is_some_and(|&n| n > 0)
     }
 
     /// Drop entries older than the capacity. The hardware queue shifts one
@@ -192,7 +203,7 @@ impl Att {
     /// [`Self::expire`] with every shifted-out entry recorded as a
     /// [`TraceEvent::AttExpire`] — the trace analyses use expiries to
     /// bound how long an entry could have arbitrated.
-    pub fn expire_traced(&mut self, now: Cycle, bank: BankId, sink: &mut dyn TraceSink) {
+    pub fn expire_traced<S: TraceSink + ?Sized>(&mut self, now: Cycle, bank: BankId, sink: &mut S) {
         while let Some(back) = self.entries.back() {
             if now.saturating_sub(back.inserted_at) > self.capacity as Cycle {
                 let e = *back;
@@ -212,12 +223,12 @@ impl Att {
 
     /// [`Self::insert`] with the insertion recorded as a
     /// [`TraceEvent::AttInsert`].
-    pub fn insert_traced(
+    pub fn insert_traced<S: TraceSink + ?Sized>(
         &mut self,
         entry: Entry,
         bank: BankId,
         op_id: u64,
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
     ) {
         sink.record(TraceEvent::AttInsert {
             slot: entry.inserted_at,
@@ -232,14 +243,14 @@ impl Att {
     /// [`Self::remove`] with the withdrawal recorded as a
     /// [`TraceEvent::AttRemove`].
     #[allow(clippy::too_many_arguments)] // the trace context is wide
-    pub fn remove_traced(
+    pub fn remove_traced<S: TraceSink + ?Sized>(
         &mut self,
         offset: BlockOffset,
         proc: ProcId,
         inserted_at: Cycle,
         now: Cycle,
         bank: BankId,
-        sink: &mut dyn TraceSink,
+        sink: &mut S,
     ) {
         sink.record(TraceEvent::AttRemove {
             slot: now,
@@ -423,15 +434,31 @@ impl Att {
                 self.capacity
             ));
         }
-        let mut counts: HashMap<BlockOffset, u32> = HashMap::new();
-        for e in self.arbitrating() {
-            *counts.entry(e.offset).or_insert(0) += 1;
-        }
-        if counts != self.by_offset {
-            return Err(format!(
-                "ATT offset index out of sync: actual {:?}, index {:?}",
-                counts, self.by_offset
-            ));
+        // Full recount of the offset index — O(offsets + entries), so the
+        // release hot paths (which call this from the verify soaks' inner
+        // loops) never pay it; debug and test builds still cross-check
+        // every structural mutation.
+        #[cfg(any(debug_assertions, test))]
+        {
+            let mut counts = vec![0u32; self.by_offset.len()];
+            for e in self.arbitrating() {
+                if e.offset >= counts.len() {
+                    counts.resize(e.offset + 1, 0);
+                }
+                counts[e.offset] += 1;
+            }
+            let padded = |v: &[u32], len: usize| {
+                let mut v = v.to_vec();
+                v.resize(len.max(v.len()), 0);
+                v
+            };
+            let len = counts.len().max(self.by_offset.len());
+            if padded(&counts, len) != padded(&self.by_offset, len) {
+                return Err(format!(
+                    "ATT offset index out of sync: actual {:?}, index {:?}",
+                    counts, self.by_offset
+                ));
+            }
         }
         Ok(())
     }

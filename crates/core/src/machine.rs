@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use crate::atspace::AtSpace;
 use crate::att::{Att, Entry, PriorityMode, TrackKind, WriteVerdict};
-use crate::bank::Bank;
+use crate::bank::BankArray;
 use crate::config::{CfmConfig, Engine};
 use crate::engine::WorkerPool;
 use crate::fault::{BankMap, FaultKind, FaultPlan, FaultState, RetireAction, MASKED_WRITER};
@@ -130,6 +130,7 @@ struct SlotCtx {
     banks: usize,
     bank_cycle: u64,
     tracing: bool,
+    att_enabled: bool,
 }
 
 /// The unit of work handed to one execute lane: the lane's in-flight
@@ -142,8 +143,11 @@ struct SlotTask {
     ops: Vec<Option<InFlight>>,
     plans: Vec<ProcPlan>,
     events: Vec<TraceEvent>,
-    banks: Option<Arc<Vec<Bank>>>,
-    writers: Option<Arc<Vec<Vec<u64>>>>,
+    /// Cumulative event count at the end of each window slot — the merge
+    /// uses these to interleave per-lane buffers in slot order (empty for
+    /// single-slot tasks, whose events are appended wholesale).
+    marks: Vec<usize>,
+    banks: Option<Arc<BankArray>>,
     ctx: SlotCtx,
     /// Slots to execute in this handoff. `1` = the classic single-slot
     /// plan → execute → merge; `> 1` = a statically proven window
@@ -181,6 +185,7 @@ struct WinOp {
 struct LaneScratch {
     plans: Vec<ProcPlan>,
     events: Vec<TraceEvent>,
+    marks: Vec<usize>,
 }
 
 /// The lazily spawned worker pool. Cloning a machine clones its *state*,
@@ -209,9 +214,10 @@ impl fmt::Debug for EnginePool {
 pub struct CfmMachine {
     config: CfmConfig,
     space: AtSpace,
-    banks: Vec<Bank>,
-    /// Writer-id stamp per bank per offset, for the tear checker.
-    writer_ids: Vec<Vec<u64>>,
+    /// Struct-of-arrays bank storage: words, writer-id stamps (for the
+    /// tear checker) and injection bookkeeping in contiguous dense
+    /// arrays — see [`BankArray`].
+    banks: BankArray,
     atts: Vec<Att>,
     /// In-flight operations, chunked by execute lane (processor `p` lives
     /// at `inflight[p / chunk_size][p % chunk_size]`). The chunking lets
@@ -270,6 +276,23 @@ pub struct CfmMachine {
     static_slots: u64,
     /// Number of statically proven windows dispatched.
     static_windows: u64,
+    /// Slots executed inside *dynamically* proven windows — the window
+    /// hazard scan proved a whole run of slots conflict-free at runtime,
+    /// with no armed summary (kept out of [`Stats`], like
+    /// [`Self::parallel_slots`]).
+    dynamic_slots: u64,
+    /// Number of dynamically proven windows dispatched.
+    dynamic_windows: u64,
+    /// Scratch for the dynamic window hazard scan: interest owner per
+    /// block offset (`0` = none, `p + 1` = single processor, `MANY` =
+    /// several). Dense, reused across windows, reset via
+    /// `scan_touched`.
+    scan_owner: Vec<u32>,
+    /// Whether any interest at the offset writes (ATT entries and
+    /// non-read operations do).
+    scan_writer: Vec<bool>,
+    /// Offsets touched by the current scan, for O(touched) reset.
+    scan_touched: Vec<usize>,
 }
 
 /// Staged construction of a [`CfmMachine`] — the single entry point for
@@ -452,9 +475,8 @@ impl CfmMachine {
         let chunks = n.div_ceil(chunk_size);
         CfmMachine {
             space: AtSpace::new(&config),
-            banks: (0..physical).map(|_| Bank::new(offsets)).collect(),
-            writer_ids: vec![vec![0; offsets]; physical],
-            atts: (0..b).map(|_| Att::new(b)).collect(),
+            banks: BankArray::new(physical, offsets),
+            atts: (0..b).map(|_| Att::with_offsets(b, offsets)).collect(),
             inflight: (0..chunks)
                 .map(|i| vec![None; chunk_size.min(n - i * chunk_size)])
                 .collect(),
@@ -478,6 +500,11 @@ impl CfmMachine {
             summary: None,
             static_slots: 0,
             static_windows: 0,
+            dynamic_slots: 0,
+            dynamic_windows: 0,
+            scan_owner: vec![0; offsets],
+            scan_writer: vec![false; offsets],
+            scan_touched: Vec::new(),
             config,
         }
     }
@@ -576,6 +603,17 @@ impl CfmMachine {
             self.start_trace();
         }
         drained
+    }
+
+    /// Discard the events recorded so far and keep tracing — unlike
+    /// [`Self::drain_trace`] the trace buffer keeps its capacity, so a
+    /// long-running traced workload that only bounds memory (without
+    /// wanting the events) pays no allocation or page-fault churn
+    /// refilling a fresh buffer. No-op if tracing is off.
+    pub fn discard_trace(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.clear();
+        }
     }
 
     /// Fault injection for the trace self-tests: silently drop the next
@@ -747,9 +785,24 @@ impl CfmMachine {
         self.static_windows
     }
 
+    /// Slots executed inside dynamically proven windows: the runtime
+    /// window hazard scan proved a whole run of slots conflict-free —
+    /// against the ATT offset indexes, the fault plan and the in-flight
+    /// set — and dispatched it in one handoff per lane, with no armed
+    /// summary required. Kept out of [`Stats`] like
+    /// [`Self::parallel_slots`] (a subset of which these are).
+    pub fn dynamic_slots(&self) -> u64 {
+        self.dynamic_slots
+    }
+
+    /// Number of dynamically proven windows dispatched.
+    pub fn dynamic_windows(&self) -> u64 {
+        self.dynamic_windows
+    }
+
     /// Number of block offsets per bank.
     pub fn offsets(&self) -> usize {
-        self.banks[0].offsets()
+        self.banks.offsets()
     }
 
     /// Processor `p`'s in-flight slot within the chunked storage.
@@ -799,7 +852,7 @@ impl CfmMachine {
     pub fn peek_block(&self, offset: BlockOffset) -> Vec<Word> {
         (0..self.config.banks())
             .map(|k| match self.bank_map.phys(k) {
-                Some(ph) => self.banks[ph].read(offset),
+                Some(ph) => self.banks.read(ph, offset),
                 None => 0,
             })
             .collect()
@@ -811,7 +864,7 @@ impl CfmMachine {
         assert_eq!(words.len(), self.config.banks());
         for (k, &w) in words.iter().enumerate() {
             if let Some(ph) = self.bank_map.phys(k) {
-                self.banks[ph].write(offset, w);
+                self.banks.write(ph, offset, w);
             }
         }
     }
@@ -1045,7 +1098,7 @@ impl CfmMachine {
             // block is lost in spare-less degraded mode.
             let phys = self.bank_map.phys(k);
             if let Some(ph) = phys {
-                if !self.banks[ph].note_injection(now) {
+                if !self.banks.note_injection(ph, now) {
                     // Impossible under the AT-space schedule; recorded, not fatal.
                     self.stats.bank_conflicts += 1;
                 }
@@ -1084,10 +1137,11 @@ impl CfmMachine {
                     } else {
                         match phys {
                             Some(ph) => {
-                                op.read_buf[k] = self.banks[ph]
-                                    .read_traced(op.offset, now, k, p, op.op_id, sink)
+                                op.read_buf[k] = self
+                                    .banks
+                                    .read_traced(ph, op.offset, now, k, p, op.op_id, sink)
                                     ^ corrupt_mask;
-                                op.observed_writers[k] = self.writer_ids[ph][op.offset];
+                                op.observed_writers[k] = self.banks.writer(ph, op.offset);
                             }
                             None => {
                                 op.read_buf[k] = 0;
@@ -1158,7 +1212,8 @@ impl CfmMachine {
                     match verdict {
                         WriteVerdict::Proceed => {
                             if let Some(ph) = phys {
-                                self.banks[ph].write_traced(
+                                self.banks.write_traced(
+                                    ph,
                                     op.offset,
                                     op.write_data[k] ^ corrupt_mask,
                                     now,
@@ -1167,7 +1222,7 @@ impl CfmMachine {
                                     op.op_id,
                                     sink,
                                 );
-                                self.writer_ids[ph][op.offset] = op.op_id;
+                                self.banks.stamp(ph, op.offset, op.op_id);
                             }
                             op.bank0_updated |= k == 0;
                             op.visited += 1;
@@ -1437,12 +1492,12 @@ impl CfmMachine {
         // Execute: move each lane's chunk out, share the banks and writer
         // stamps read-only, run extra lanes on the pool and lane 0 here.
         let banks = Arc::new(std::mem::take(&mut self.banks));
-        let writers = Arc::new(std::mem::take(&mut self.writer_ids));
         let ctx = SlotCtx {
             now,
             banks: b,
             bank_cycle: self.config.bank_cycle() as u64,
             tracing: active.is_some(),
+            att_enabled: self.att_enabled,
         };
         if chunks > 1 && self.pool.0.is_none() {
             self.pool.0 = Some(WorkerPool::new(chunks - 1, run_lane));
@@ -1453,8 +1508,8 @@ impl CfmMachine {
                 ops: std::mem::take(&mut self.inflight[ci]),
                 plans: std::mem::take(&mut scratch.plans),
                 events: std::mem::take(&mut scratch.events),
+                marks: std::mem::take(&mut scratch.marks),
                 banks: Some(Arc::clone(&banks)),
-                writers: Some(Arc::clone(&writers)),
                 ctx,
                 window: 1,
                 base: ci * chunk_size,
@@ -1470,8 +1525,8 @@ impl CfmMachine {
             ops: std::mem::take(&mut self.inflight[0]),
             plans: std::mem::take(&mut self.lane_scratch[0].plans),
             events: std::mem::take(&mut self.lane_scratch[0].events),
+            marks: std::mem::take(&mut self.lane_scratch[0].marks),
             banks: Some(Arc::clone(&banks)),
-            writers: Some(Arc::clone(&writers)),
             ctx,
             window: 1,
             base: 0,
@@ -1489,8 +1544,8 @@ impl CfmMachine {
                         ops: Vec::new(),
                         plans: Vec::new(),
                         events: Vec::new(),
+                        marks: Vec::new(),
                         banks: None,
-                        writers: None,
                         ctx,
                         window: 1,
                         base: 0,
@@ -1505,7 +1560,6 @@ impl CfmMachine {
                     .collect(ci - 1)
             };
             task.banks = None;
-            task.writers = None;
             self.inflight[ci] = task.ops;
             if let Some(t) = active.as_mut() {
                 t.append(&mut task.events);
@@ -1513,12 +1567,11 @@ impl CfmMachine {
             let scratch = &mut self.lane_scratch[ci];
             scratch.plans = task.plans;
             scratch.events = task.events;
+            scratch.marks = task.marks;
         }
         // Every lane view is back: reclaim the sole ownership.
         self.banks =
             Arc::try_unwrap(banks).unwrap_or_else(|_| unreachable!("all lane bank views returned"));
-        self.writer_ids = Arc::try_unwrap(writers)
-            .unwrap_or_else(|_| unreachable!("all lane writer views returned"));
         // Merge, part 2: the deferred commits, in processor order.
         for ci in 0..chunks {
             let plans = std::mem::take(&mut self.lane_scratch[ci].plans);
@@ -1542,12 +1595,12 @@ impl CfmMachine {
                         });
                     }
                     if let Some(ph) = plan.phys {
-                        self.banks[ph].write(offset, word);
-                        self.writer_ids[ph][offset] = op_id;
+                        self.banks.write(ph, offset, word);
+                        self.banks.stamp(ph, offset, op_id);
                     }
                 }
                 if let Some(ph) = plan.phys {
-                    if !self.banks[ph].note_injection(now) {
+                    if !self.banks.note_injection(ph, now) {
                         // Impossible under the AT-space schedule; recorded,
                         // not fatal.
                         self.stats.bank_conflicts += 1;
@@ -1574,11 +1627,7 @@ impl CfmMachine {
                 if self.skip_remap_copy {
                     self.skip_remap_copy = false;
                 } else {
-                    for offset in 0..self.banks[old].offsets() {
-                        let word = self.banks[old].read(offset);
-                        self.banks[new].write(offset, word);
-                        self.writer_ids[new][offset] = self.writer_ids[old][offset];
-                    }
+                    self.banks.copy_bank(old, new);
                 }
                 self.stats.bank_remaps += 1;
                 sink.record(TraceEvent::BankRemap {
@@ -1748,20 +1797,18 @@ impl CfmMachine {
     /// [`Self::step`]).
     ///
     /// A window engages only when: a [`HazardSummary`] is armed, the
-    /// engine is parallel, tracing is off (traced runs keep the
-    /// per-slot path, whose event interleaving is byte-pinned), the
-    /// fault state and seeded hooks are fully quiescent, and every
-    /// in-flight operation is mid-phase — not draining, not sleeping,
-    /// not fault-stalled — on a statically safe offset. The width stops
-    /// strictly before any operation's final access, so no completion,
-    /// ATT verdict, restart, or phase-to-drain transition can occur
-    /// inside the window — which is what makes batched execution
-    /// observably identical to per-slot stepping.
+    /// engine is parallel, the fault state and seeded hooks are fully
+    /// quiescent, and every in-flight operation is mid-phase — not
+    /// draining, not sleeping, not fault-stalled — on a statically safe
+    /// offset. The width stops strictly before any operation's final
+    /// access, so no completion, ATT verdict, restart, or
+    /// phase-to-drain transition can occur inside the window — which is
+    /// what makes batched execution observably identical to per-slot
+    /// stepping. Traced runs take the window path too: the lanes
+    /// buffer their events per slot and the merge interleaves them in
+    /// the sequential engine's exact order (byte-pinned).
     fn try_step_window(&mut self, budget: u64) -> u64 {
-        if budget < 2
-            || self.trace.is_some()
-            || !matches!(self.config.engine(), Engine::Parallel { .. })
-        {
+        if budget < 2 || !matches!(self.config.engine(), Engine::Parallel { .. }) {
             return 0;
         }
         let Some(summary) = self.summary.as_ref() else {
@@ -1800,7 +1847,123 @@ impl CfmMachine {
             // A 1-slot window saves nothing over the ordinary step.
             return 0;
         }
-        self.step_window(w);
+        self.step_window(w, false);
+        w
+    }
+
+    /// Attempt the next slots as one *dynamically* proven window —
+    /// no armed [`HazardSummary`] required. One pass over the live
+    /// interests (every bank's ATT entries, held included, then the
+    /// in-flight operations) proves a window of `w` slots
+    /// conflict-free at runtime, giving unanalyzable (`NotPeriodic`)
+    /// programs the same one-handoff-per-window economics the static
+    /// summary unlocks. Returns the slots executed (0 = hazard or
+    /// preconditions unmet; the caller falls back to [`Self::step`]).
+    ///
+    /// Soundness: with every in-flight operation mid-phase (not
+    /// draining, sleeping, or holding an ATT entry), the fault state
+    /// and seeded hooks quiescent, and the width stopping strictly
+    /// before any final access, the only remaining hazards are offset
+    /// collisions — a foreign ATT entry (in *any* bank: an operation
+    /// sweeps all `b` ATTs across a window) or two in-flight
+    /// operations interested in the same offset with a writer among
+    /// them. Those interests are **time-invariant inside the window**:
+    /// entries only expire, and the only inserts are the in-flight
+    /// writers' own, each on an offset the scan just proved exclusive
+    /// to its processor. A hazard-free scan therefore guarantees what
+    /// the sequential loop would discover slot by slot — every
+    /// `read_conflict` is `None`, every write verdict is `Proceed` —
+    /// so the whole window commits without a single per-access check.
+    fn try_step_dynamic_window(&mut self, budget: u64) -> u64 {
+        if budget < 2 || !matches!(self.config.engine(), Engine::Parallel { .. }) {
+            return 0;
+        }
+        if self.att_insert_drops > 0 || self.retry_suppressions > 0 || !self.fault_state.is_idle() {
+            return 0;
+        }
+        let b = self.config.banks();
+        let now = self.cycle;
+        let mut min_remaining = u64::MAX;
+        let mut actives = 0usize;
+        for slot in self.inflight.iter().flatten() {
+            let Some(op) = slot.as_ref() else { continue };
+            if op.phase == Phase::Drain || now < op.sleep_until || op.held_entry.is_some() {
+                return 0;
+            }
+            let until_final = match (op.kind, op.phase) {
+                (OpKind::Swap | OpKind::Rmw, Phase::Read) => (2 * b - op.visited) as u64,
+                _ => (b - op.visited) as u64,
+            };
+            min_remaining = min_remaining.min(until_final);
+            actives += 1;
+        }
+        if actives == 0 {
+            return 0;
+        }
+        let w = (min_remaining - 1).min(budget);
+        if w < 2 {
+            // A 1-slot window saves nothing over the ordinary step.
+            return 0;
+        }
+        // The hazard scan. `MANY` marks an offset claimed by two or
+        // more distinct processors; an offset is hazardous iff several
+        // processors are interested *and* one of them writes. ATT
+        // entries always count as writers — a lingering foreign entry
+        // forces sequential restarts a window must not skip — and an
+        // in-flight operation writes unless it is a pure read.
+        const MANY: u32 = u32::MAX;
+        let scan_owner = &mut self.scan_owner;
+        let scan_writer = &mut self.scan_writer;
+        let touched = &mut self.scan_touched;
+        debug_assert!(touched.is_empty());
+        let mut hazard = false;
+        let mut mark = |offset: BlockOffset, p: u32, writes: bool| -> bool {
+            if offset >= scan_owner.len() {
+                scan_owner.resize(offset + 1, 0);
+                scan_writer.resize(offset + 1, false);
+            }
+            let owner = &mut scan_owner[offset];
+            if *owner == 0 {
+                touched.push(offset);
+                *owner = p + 1;
+            } else if *owner != p + 1 {
+                *owner = MANY;
+            }
+            scan_writer[offset] |= writes;
+            *owner == MANY && scan_writer[offset]
+        };
+        'scan: {
+            for att in &self.atts {
+                for e in att.entries() {
+                    if mark(e.offset, e.proc as u32, true) {
+                        hazard = true;
+                        break 'scan;
+                    }
+                }
+                for e in att.held_entries() {
+                    if mark(e.offset, e.proc as u32, true) {
+                        hazard = true;
+                        break 'scan;
+                    }
+                }
+            }
+            for (p, slot) in self.inflight.iter().flatten().enumerate() {
+                let Some(op) = slot.as_ref() else { continue };
+                if mark(op.offset, p as u32, op.kind != OpKind::Read) {
+                    hazard = true;
+                    break 'scan;
+                }
+            }
+        }
+        for &o in touched.iter() {
+            scan_owner[o] = 0;
+            scan_writer[o] = false;
+        }
+        touched.clear();
+        if hazard {
+            return 0;
+        }
+        self.step_window(w, true);
         w
     }
 
@@ -1818,11 +1981,12 @@ impl CfmMachine {
     /// injection accounting — slot by slot in the sequential engine's
     /// exact order, recomputing each operation's per-slot position from
     /// a pre-dispatch [`WinOp`] snapshot.
-    fn step_window(&mut self, w: u64) {
+    fn step_window(&mut self, w: u64, dynamic: bool) {
         let now = self.cycle;
         let b = self.config.banks();
         let chunks = self.inflight.len();
         let chunk_size = self.chunk_size;
+        let mut active = self.trace.take();
         let mut traj: Vec<WinOp> = Vec::with_capacity(self.config.processors());
         for (p, slot) in self.inflight.iter().flatten().enumerate() {
             if let Some(op) = slot.as_ref() {
@@ -1837,14 +2001,14 @@ impl CfmMachine {
             }
         }
         let banks = Arc::new(std::mem::take(&mut self.banks));
-        let writers = Arc::new(std::mem::take(&mut self.writer_ids));
         let phys: Arc<Vec<Option<usize>>> =
             Arc::new((0..b).map(|k| self.bank_map.phys(k)).collect());
         let ctx = SlotCtx {
             now,
             banks: b,
             bank_cycle: self.config.bank_cycle() as u64,
-            tracing: false,
+            tracing: active.is_some(),
+            att_enabled: self.att_enabled,
         };
         if chunks > 1 && self.pool.0.is_none() {
             self.pool.0 = Some(WorkerPool::new(chunks - 1, run_lane));
@@ -1855,8 +2019,8 @@ impl CfmMachine {
                 ops: std::mem::take(&mut self.inflight[ci]),
                 plans: std::mem::take(&mut scratch.plans),
                 events: std::mem::take(&mut scratch.events),
+                marks: std::mem::take(&mut scratch.marks),
                 banks: Some(Arc::clone(&banks)),
-                writers: Some(Arc::clone(&writers)),
                 ctx,
                 window: w,
                 base: ci * chunk_size,
@@ -1872,8 +2036,8 @@ impl CfmMachine {
             ops: std::mem::take(&mut self.inflight[0]),
             plans: std::mem::take(&mut self.lane_scratch[0].plans),
             events: std::mem::take(&mut self.lane_scratch[0].events),
+            marks: std::mem::take(&mut self.lane_scratch[0].marks),
             banks: Some(Arc::clone(&banks)),
-            writers: Some(Arc::clone(&writers)),
             ctx,
             window: w,
             base: 0,
@@ -1888,8 +2052,8 @@ impl CfmMachine {
                         ops: Vec::new(),
                         plans: Vec::new(),
                         events: Vec::new(),
+                        marks: Vec::new(),
                         banks: None,
-                        writers: None,
                         ctx,
                         window: 1,
                         base: 0,
@@ -1904,33 +2068,44 @@ impl CfmMachine {
                     .collect(ci - 1)
             };
             task.banks = None;
-            task.writers = None;
             task.phys = None;
             self.inflight[ci] = task.ops;
             let scratch = &mut self.lane_scratch[ci];
             scratch.plans = task.plans;
             scratch.events = task.events;
+            scratch.marks = task.marks;
         }
         self.banks =
             Arc::try_unwrap(banks).unwrap_or_else(|_| unreachable!("all lane bank views returned"));
-        self.writer_ids = Arc::try_unwrap(writers)
-            .unwrap_or_else(|_| unreachable!("all lane writer views returned"));
         // Merge: replay each slot's deferred commits in the sequential
         // engine's exact order — ATT expiry first (the prologue), then
         // per processor in ascending order: injection accounting, the
         // ATT insert at a write phase's first access, bank write and
-        // writer stamp.
+        // writer stamp. A traced run additionally splices each lane's
+        // buffered events for the slot (delimited by the per-slot
+        // marks) after the expiries, in ascending lane order — lane
+        // order *is* processor order, so the merged stream is
+        // byte-identical to the sequential engine's.
         for s in 0..w {
             let t = now + s;
-            for att in &mut self.atts {
-                att.expire(t);
+            match active.as_mut() {
+                Some(tr) => {
+                    for (k, att) in self.atts.iter_mut().enumerate() {
+                        att.expire_traced(t, k, tr);
+                    }
+                }
+                None => {
+                    for att in &mut self.atts {
+                        att.expire(t);
+                    }
+                }
             }
             for snap in &mut traj {
                 let k = self.space.bank_for(t, snap.p);
                 let ph = phys[k];
                 match ph {
                     Some(ph) => {
-                        if !self.banks[ph].note_injection(t) {
+                        if !self.banks.note_injection(ph, t) {
                             // Impossible under the AT-space schedule;
                             // recorded, not fatal.
                             self.stats.bank_conflicts += 1;
@@ -1966,20 +2141,44 @@ impl CfmMachine {
                                 .as_ref()
                                 .expect("windowed op still in flight")
                                 .write_data[k];
-                            self.banks[ph].write(snap.offset, word);
-                            self.writer_ids[ph][snap.offset] = snap.op_id;
+                            self.banks.write(ph, snap.offset, word);
+                            self.banks.stamp(ph, snap.offset, snap.op_id);
                         }
                         snap.visited += 1;
                     }
                     Phase::Drain => unreachable!("drain ops preclude a window"),
                 }
             }
+            if let Some(tr) = active.as_mut() {
+                let si = s as usize;
+                for scratch in &self.lane_scratch {
+                    if scratch.marks.is_empty() {
+                        continue;
+                    }
+                    let hi = scratch.marks[si];
+                    let lo = if si == 0 { 0 } else { scratch.marks[si - 1] };
+                    tr.extend_from_slice(&scratch.events[lo..hi]);
+                }
+            }
         }
+        // The spliced buffers are consumed; keep their capacity for the
+        // next window (the "pre-sized per-lane buffer" half of the
+        // traced-overhead fix).
+        for scratch in &mut self.lane_scratch {
+            scratch.events.clear();
+            scratch.marks.clear();
+        }
+        self.trace = active;
         self.cycle += w;
         self.stats.cycles += w;
         self.parallel_slots += w;
-        self.static_slots += w;
-        self.static_windows += 1;
+        if dynamic {
+            self.dynamic_slots += w;
+            self.dynamic_windows += 1;
+        } else {
+            self.static_slots += w;
+            self.static_windows += 1;
+        }
     }
 
     /// Step until every processor is idle (or `max_cycles` elapse).
@@ -1993,11 +2192,15 @@ impl CfmMachine {
             if self.is_idle() {
                 break;
             }
-            // With an armed summary (and the parallel engine, untraced),
-            // run whole statically proven windows per worker handoff;
-            // any slot the window preconditions cannot cover falls back
-            // to the ordinary per-slot step.
-            let advanced = self.try_step_window(max_cycles - used);
+            // With the parallel engine, run whole proven windows per
+            // worker handoff — statically proven when a summary is
+            // armed, otherwise dynamically proven by the runtime hazard
+            // scan; any slot neither window's preconditions cover falls
+            // back to the ordinary per-slot step.
+            let mut advanced = self.try_step_window(max_cycles - used);
+            if advanced == 0 {
+                advanced = self.try_step_dynamic_window(max_cycles - used);
+            }
             if advanced == 0 {
                 self.step();
                 used += 1;
@@ -2152,15 +2355,17 @@ impl CfmMachine {
             parallel_slots: self.parallel_slots,
             static_slots: self.static_slots,
             static_windows: self.static_windows,
+            dynamic_slots: self.dynamic_slots,
+            dynamic_windows: self.dynamic_windows,
             att_insert_drops: self.att_insert_drops,
             retry_suppressions: self.retry_suppressions,
             skip_remap_copy: self.skip_remap_copy,
-            bank_words: self
-                .banks
-                .iter()
-                .map(|b| (0..offsets).map(|o| b.read(o)).collect())
+            bank_words: (0..self.banks.banks())
+                .map(|ph| (0..offsets).map(|o| self.banks.read(ph, o)).collect())
                 .collect(),
-            writer_ids: self.writer_ids.clone(),
+            writer_ids: (0..self.banks.banks())
+                .map(|ph| (0..offsets).map(|o| self.banks.writer(ph, o)).collect())
+                .collect(),
             map: map.to_vec(),
             free_spares: free_spares.to_vec(),
             atts,
@@ -2255,12 +2460,16 @@ impl CfmMachine {
         let bank_map = BankMap::from_parts(s.map.clone(), s.free_spares.clone(), physical);
         bank_map.check_injective()?;
         let mut m = CfmMachine::construct(target, s.offsets, s.att_enabled, s.mode);
-        for (bank, row) in m.banks.iter_mut().zip(&s.bank_words) {
+        for (ph, row) in s.bank_words.iter().enumerate() {
             for (o, w) in row.iter().enumerate() {
-                bank.write(o, *w);
+                m.banks.write(ph, o, *w);
             }
         }
-        m.writer_ids = s.writer_ids.clone();
+        for (ph, row) in s.writer_ids.iter().enumerate() {
+            for (o, id) in row.iter().enumerate() {
+                m.banks.stamp(ph, o, *id);
+            }
+        }
         m.bank_map = bank_map;
         for (att, st) in m.atts.iter_mut().zip(&s.atts) {
             for e in &st.live {
@@ -2384,16 +2593,18 @@ impl CfmMachine {
             match src_map.phys(logical) {
                 Some(phys) => {
                     for o in 0..s.offsets {
-                        m.banks[logical].write(o, s.bank_words[phys][o]);
+                        m.banks.write(logical, o, s.bank_words[phys][o]);
+                        m.banks.stamp(logical, o, s.writer_ids[phys][o]);
                     }
-                    m.writer_ids[logical] = s.writer_ids[phys].clone();
                 }
                 None => {
                     // Masked bank: its words were lost on the source.
                     // The target bank is healthy again, but the stamps
                     // say MASKED_WRITER so a pre-loss block reads as
                     // "lost word", not as a tear.
-                    m.writer_ids[logical] = vec![MASKED_WRITER; s.offsets];
+                    for o in 0..s.offsets {
+                        m.banks.stamp(logical, o, MASKED_WRITER);
+                    }
                 }
             }
         }
@@ -2404,7 +2615,9 @@ impl CfmMachine {
         // from `construct` — evacuation semantics: masks and remaps
         // never carry onto new hardware.
         for logical in b_src..b_tgt {
-            m.writer_ids[logical] = vec![MASKED_WRITER; s.offsets];
+            for o in 0..s.offsets {
+                m.banks.stamp(logical, o, MASKED_WRITER);
+            }
         }
         let mut transient = s.transient_until.clone();
         transient.resize(b_tgt, None);
@@ -2440,6 +2653,8 @@ impl CfmMachine {
         m.parallel_slots = s.parallel_slots;
         m.static_slots = s.static_slots;
         m.static_windows = s.static_windows;
+        m.dynamic_slots = s.dynamic_slots;
+        m.dynamic_windows = s.dynamic_windows;
         m.att_insert_drops = s.att_insert_drops;
         m.retry_suppressions = s.retry_suppressions;
         m.skip_remap_copy = s.skip_remap_copy;
@@ -2549,7 +2764,6 @@ fn run_lane(task: &mut SlotTask) {
     }
     let ctx = task.ctx;
     let banks = task.banks.as_ref().expect("lane bank view");
-    let writers = task.writers.as_ref().expect("lane writer view");
     for plan in &task.plans {
         let op = task.ops[plan.idx].as_mut().expect("planned op");
         if ctx.tracing {
@@ -2564,7 +2778,7 @@ fn run_lane(task: &mut SlotTask) {
             Phase::Read => {
                 match plan.phys {
                     Some(ph) => {
-                        let word = banks[ph].read(op.offset);
+                        let word = banks.read(ph, op.offset);
                         if ctx.tracing {
                             task.events.push(TraceEvent::BankAccess {
                                 slot: ctx.now,
@@ -2577,7 +2791,7 @@ fn run_lane(task: &mut SlotTask) {
                             });
                         }
                         op.read_buf[plan.k] = word;
-                        op.observed_writers[plan.k] = writers[ph][op.offset];
+                        op.observed_writers[plan.k] = banks.writer(ph, op.offset);
                     }
                     None => {
                         op.read_buf[plan.k] = 0;
@@ -2635,22 +2849,29 @@ fn run_lane(task: &mut SlotTask) {
     }
 }
 
-/// The execute phase of one lane over a statically proven window
-/// (`task.window > 1`): every in-flight operation in the chunk is
-/// mid-phase ([`CfmMachine::try_step_window`] verified it), so the lane
+/// The execute phase of one lane over a proven window
+/// (`task.window > 1`), statically proven ([`CfmMachine::try_step_window`])
+/// or dynamically proven ([`CfmMachine::try_step_dynamic_window`]):
+/// every in-flight operation in the chunk is mid-phase, so the lane
 /// advances each through `window` consecutive slots against the
 /// pre-window bank snapshot, recomputing the AT-space routing itself.
 /// Sound because inside a proven window no offset is both written and
-/// observed by different processors (`plan_safe`) and no operation
-/// reaches its final access; bank writes, ATT inserts, writer stamps
-/// and stats are replayed by the merge. Untraced by construction —
-/// traced runs never take the window path.
+/// observed by different processors and no operation reaches its final
+/// access; bank writes, ATT inserts, writer stamps and stats are
+/// replayed by the merge. A traced lane appends its events to its own
+/// buffer, recording a cumulative mark per slot so the merge can
+/// splice the per-slot segments in processor order.
 fn run_window_lane(task: &mut SlotTask) {
     let ctx = task.ctx;
     let banks = task.banks.as_ref().expect("lane bank view");
-    let writers = task.writers.as_ref().expect("lane writer view");
     let phys = task.phys.as_ref().expect("window phys view");
     let b = ctx.banks as u64;
+    if ctx.tracing {
+        // Pre-size: at most two events (route + access) per op per slot.
+        let ops = task.ops.iter().flatten().count();
+        task.events.reserve(task.window as usize * ops * 2);
+        task.marks.reserve(task.window as usize);
+    }
     for s in 0..task.window {
         let t = ctx.now + s;
         for (idx, slot) in task.ops.iter_mut().enumerate() {
@@ -2658,13 +2879,32 @@ fn run_window_lane(task: &mut SlotTask) {
             let p = task.base + idx;
             // The AT-space schedule: bank(t, p) = (t + c·p) mod b.
             let k = ((t + ctx.bank_cycle * p as u64) % b) as usize;
+            if ctx.tracing {
+                task.events.push(TraceEvent::Route {
+                    slot: t,
+                    proc: p,
+                    bank: k,
+                });
+            }
             op.last_progress = t;
             match op.phase {
                 Phase::Read => {
                     match phys[k] {
                         Some(ph) => {
-                            op.read_buf[k] = banks[ph].read(op.offset);
-                            op.observed_writers[k] = writers[ph][op.offset];
+                            let word = banks.read(ph, op.offset);
+                            if ctx.tracing {
+                                task.events.push(TraceEvent::BankAccess {
+                                    slot: t,
+                                    proc: p,
+                                    bank: k,
+                                    offset: op.offset,
+                                    op_id: op.op_id,
+                                    write: false,
+                                    word,
+                                });
+                            }
+                            op.read_buf[k] = word;
+                            op.observed_writers[k] = banks.writer(ph, op.offset);
                         }
                         None => {
                             op.read_buf[k] = 0;
@@ -2686,6 +2926,28 @@ fn run_window_lane(task: &mut SlotTask) {
                     }
                 }
                 Phase::Write => {
+                    if ctx.tracing {
+                        if op.visited == 0 && ctx.att_enabled {
+                            task.events.push(TraceEvent::AttInsert {
+                                slot: t,
+                                bank: k,
+                                proc: p,
+                                offset: op.offset,
+                                op_id: op.op_id,
+                            });
+                        }
+                        if phys[k].is_some() {
+                            task.events.push(TraceEvent::BankAccess {
+                                slot: t,
+                                proc: p,
+                                bank: k,
+                                offset: op.offset,
+                                op_id: op.op_id,
+                                write: true,
+                                word: op.write_data[k],
+                            });
+                        }
+                    }
                     op.bank0_updated |= k == 0;
                     op.visited += 1;
                     debug_assert!(
@@ -2695,6 +2957,9 @@ fn run_window_lane(task: &mut SlotTask) {
                 }
                 Phase::Drain => unreachable!("drain ops preclude a window"),
             }
+        }
+        if ctx.tracing {
+            task.marks.push(task.events.len());
         }
     }
 }
@@ -3444,6 +3709,87 @@ mod tests {
         assert_eq!(par.3, 0, "no windows without a summary");
         assert!(stat.3 > 0, "summary run executed window slots");
         assert!(stat.4 > 0, "summary run dispatched whole windows");
+    }
+
+    #[test]
+    fn dynamic_window_dispatch_is_byte_identical_and_counted() {
+        // Rotating per-round offsets — disjoint within every round but
+        // not expressible as a static residue-class footprint, so no
+        // summary can arm: exactly the shape the runtime hazard scan
+        // exists for. The parallel run must produce byte-identical
+        // completions, stats and memory while executing most slots as
+        // dynamically proven windows.
+        let n = 4;
+        let offsets = 8;
+        let run = |engine: Engine| {
+            let cfg = CfmConfig::new(n, 1, 16).unwrap().with_engine(engine);
+            let b = cfg.banks();
+            let mut m = CfmMachine::builder(cfg).offsets(offsets).build();
+            let mut completions = Vec::new();
+            for round in 1..5u64 {
+                let at = |p: usize| (p + round as usize) % offsets;
+                for p in 0..n {
+                    m.issue(p, Operation::write(at(p), vec![round; b])).unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+                for p in 0..n {
+                    // Swaps cover the in-window read→write transition.
+                    m.issue(p, Operation::swap(at(p), vec![round ^ 0xFF; b]))
+                        .unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+                for p in 0..n {
+                    m.issue(p, Operation::read(at(p))).unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+            }
+            let memory: Vec<_> = (0..offsets).map(|o| m.peek_block(o)).collect();
+            (
+                completions,
+                *m.stats(),
+                memory,
+                m.dynamic_slots(),
+                m.dynamic_windows(),
+                m.static_windows(),
+            )
+        };
+        let seq = run(Engine::Sequential);
+        let par = run(Engine::Parallel { threads: 2 });
+        assert_eq!(seq.0, par.0, "completions");
+        assert_eq!(seq.1, par.1, "stats");
+        assert_eq!(seq.2, par.2, "memory");
+        assert_eq!(seq.3, 0, "sequential engine takes no windows");
+        assert!(par.3 > 0, "dynamic windows executed slots");
+        assert!(par.4 > 0, "dynamic windows dispatched");
+        assert_eq!(par.5, 0, "no static windows without a summary");
+    }
+
+    #[test]
+    fn contended_offsets_fall_back_from_dynamic_windows() {
+        // Every processor hammers the same offset: the hazard scan must
+        // refuse the multi-writer window and the per-slot path must
+        // keep the run byte-identical to sequential.
+        let n = 4;
+        let run = |engine: Engine| {
+            let cfg = CfmConfig::new(n, 1, 16).unwrap().with_engine(engine);
+            let b = cfg.banks();
+            let mut m = CfmMachine::builder(cfg).offsets(8).build();
+            let mut completions = Vec::new();
+            for round in 1..4u64 {
+                for p in 0..n {
+                    m.issue(p, Operation::write(3, vec![round + p as u64; b]))
+                        .unwrap();
+                }
+                completions.extend(m.run(10_000).expect_idle());
+            }
+            let memory: Vec<_> = (0..8).map(|o| m.peek_block(o)).collect();
+            (completions, *m.stats(), memory)
+        };
+        let seq = run(Engine::Sequential);
+        let par = run(Engine::Parallel { threads: 2 });
+        assert_eq!(seq.0, par.0, "completions");
+        assert_eq!(seq.1, par.1, "stats");
+        assert_eq!(seq.2, par.2, "memory");
     }
 
     #[test]

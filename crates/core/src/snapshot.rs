@@ -33,7 +33,10 @@ use crate::stats::Stats;
 use crate::{BankId, BlockOffset, Cycle, ProcId, Word};
 
 /// The snapshot format version this build writes and accepts.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial format; 2 = appends the dynamic-window
+/// counters (`dynamic_slots`, `dynamic_windows`) after `static_windows`.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Leading magic of every serialised snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CFMSNAP\0";
@@ -233,6 +236,8 @@ pub struct MachineSnapshot {
     pub(crate) parallel_slots: u64,
     pub(crate) static_slots: u64,
     pub(crate) static_windows: u64,
+    pub(crate) dynamic_slots: u64,
+    pub(crate) dynamic_windows: u64,
     // Seeded-fault hooks.
     pub(crate) att_insert_drops: u64,
     pub(crate) retry_suppressions: u64,
@@ -378,6 +383,8 @@ impl MachineSnapshot {
         e.u64(self.parallel_slots);
         e.u64(self.static_slots);
         e.u64(self.static_windows);
+        e.u64(self.dynamic_slots);
+        e.u64(self.dynamic_windows);
         e.u64(self.att_insert_drops);
         e.u64(self.retry_suppressions);
         e.bool(self.skip_remap_copy);
@@ -516,6 +523,8 @@ impl MachineSnapshot {
         let parallel_slots = d.u64()?;
         let static_slots = d.u64()?;
         let static_windows = d.u64()?;
+        let dynamic_slots = d.u64()?;
+        let dynamic_windows = d.u64()?;
         let att_insert_drops = d.u64()?;
         let retry_suppressions = d.u64()?;
         let skip_remap_copy = d.bool()?;
@@ -670,6 +679,8 @@ impl MachineSnapshot {
             parallel_slots,
             static_slots,
             static_windows,
+            dynamic_slots,
+            dynamic_windows,
             att_insert_drops,
             retry_suppressions,
             skip_remap_copy,

@@ -11,6 +11,7 @@ use conflict_free_memory::core::config::{CfmConfig, Engine};
 use conflict_free_memory::core::fault::{FaultPlan, PlanParams};
 use conflict_free_memory::core::machine::CfmMachine;
 use conflict_free_memory::core::op::{Completion, Operation};
+use conflict_free_memory::core::snapshot::MachineSnapshot;
 use conflict_free_memory::core::spec::{HazardSummary, OffsetExpr, OpPattern, OpSpec, ProgramSpec};
 use conflict_free_memory::core::stats::Stats;
 use conflict_free_memory::core::trace::TraceEvent;
@@ -235,6 +236,137 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(strip(&seq.2), strip(&par.2), "traces diverged");
+    }
+}
+
+/// Everything [`drive_windowed`] observes about one run: completions,
+/// stats, the full memory image, the trace digest, and the
+/// `(dynamic_slots, dynamic_windows)` counters.
+type WindowedRun = (Vec<Completion>, Stats, Vec<Vec<u64>>, u64, (u64, u64));
+
+/// Drive one machine through the script with a *bounded* cycle budget
+/// per `run` call — small budgets cap the dynamic window width, so the
+/// sample space covers every window size from "barely engages" to "the
+/// whole phase in one handoff". Halfway through the script the machine
+/// is round-tripped through the full snapshot byte codec (trace drained
+/// and concatenated across the seam), which lands mid-phase — in-flight
+/// operations and the window counters must survive restore and the
+/// resumed run must stay byte-identical. Returns completions, stats,
+/// the full memory image, the trace digest, and the dynamic-window
+/// counters.
+fn drive_windowed(
+    engine: Engine,
+    n: usize,
+    c: u32,
+    offsets: usize,
+    script: &[u64],
+    fault_seed: Option<u64>,
+    budget: u64,
+) -> WindowedRun {
+    let cfg = CfmConfig::new(n, c, 16)
+        .unwrap()
+        .with_spares(1)
+        .unwrap()
+        .with_engine(engine);
+    let b = cfg.banks();
+    let mut m = CfmMachine::builder(cfg)
+        .offsets(offsets)
+        .trace(true)
+        .build();
+    if let Some(seed) = fault_seed {
+        m.injector().fault_plan(FaultPlan::generate(
+            seed,
+            &PlanParams {
+                banks: b,
+                processors: n,
+                horizon: 64,
+                permanent: 1,
+                transient: 2,
+                max_repair: 4,
+                responses: 1,
+                stuck: 0,
+            },
+        ));
+    }
+    let mut completions = Vec::new();
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut guard = 0u32;
+    for (i, &word) in script.iter().enumerate() {
+        let p = i % n;
+        while m.is_busy(p) {
+            completions.extend(m.run(budget).completions);
+            guard += 1;
+            assert!(guard < 1_000_000, "machine failed to make progress");
+        }
+        if i == script.len() / 2 {
+            if let Some(tr) = m.drain_trace() {
+                events.extend(tr.into_events());
+            }
+            let bytes = m.checkpoint().to_bytes();
+            m = MachineSnapshot::from_bytes(&bytes)
+                .expect("snapshot decodes")
+                .restore()
+                .expect("same-shape snapshot restores");
+        }
+        let offset = (word >> 8) as usize % offsets;
+        let val = word >> 16;
+        let op = match word % 4 {
+            0 => Operation::read(offset),
+            1 => Operation::write(offset, vec![val; b]),
+            2 => Operation::swap(offset, vec![val ^ 0xA5A5; b]),
+            _ => Operation::fetch_add(offset, val as usize % b, val | 1),
+        };
+        m.issue(p, op).unwrap();
+    }
+    while !m.is_idle() {
+        completions.extend(m.run(budget).completions);
+        guard += 1;
+        assert!(guard < 1_000_000, "machine failed to make progress");
+    }
+    let memory = (0..offsets).map(|o| m.peek_block(o)).collect();
+    events.extend(m.take_trace().unwrap().into_events());
+    (
+        completions,
+        *m.stats(),
+        memory,
+        trace_digest(&events),
+        (m.dynamic_slots(), m.dynamic_windows()),
+    )
+}
+
+proptest! {
+    /// Random `(n, c, threads, window-size cap, program, fault plan)` →
+    /// the dynamic-window path (no summary armed: every window is
+    /// proven by the runtime hazard scan) must be byte-identical to the
+    /// sequential engine — completions, stats, the full memory image
+    /// and the trace digest — through a mid-run snapshot/restore
+    /// round-trip. `fault_sel` past the seed range means "no fault
+    /// plan".
+    #[test]
+    fn dynamic_window_engine_is_equivalent_to_sequential(
+        n in 2usize..9,
+        c in 1u32..3,
+        threads in 2usize..5,
+        budget in 2u64..96,
+        script in proptest::collection::vec(0u64..u64::MAX, 1..32),
+        fault_sel in 0u64..2_000,
+    ) {
+        let fault_seed = (fault_sel < 1_000).then_some(fault_sel);
+        let seq = drive_windowed(Engine::Sequential, n, c, 8, &script, fault_seed, budget);
+        let par = drive_windowed(
+            Engine::Parallel { threads },
+            n,
+            c,
+            8,
+            &script,
+            fault_seed,
+            budget,
+        );
+        prop_assert_eq!(&seq.0, &par.0, "completions diverged");
+        prop_assert_eq!(&seq.1, &par.1, "stats diverged");
+        prop_assert_eq!(&seq.2, &par.2, "memory diverged");
+        prop_assert_eq!(seq.3, par.3, "trace digests diverged");
+        prop_assert_eq!(seq.4, (0, 0), "sequential engine takes no windows");
     }
 }
 
