@@ -2227,7 +2227,7 @@ impl CfmMachine {
 
 /// Checkpoint/restore — the machine side of [`crate::snapshot`]. The
 /// snapshot types live there; the code lives here because it reads and
-/// rebuilds the module-private [`InFlight`] and [`Phase`] state.
+/// rebuilds the module-private `InFlight` and `Phase` state.
 impl CfmMachine {
     /// Whether the machine is *quiescent*: no operation in flight and
     /// every ATT arbitration window — live and held entries alike —

@@ -2,18 +2,111 @@
 
 use cfm_core::config::CfmConfig;
 
-/// One tenant's admission and scheduling parameters.
+/// Scheduling criticality class — which ring of the QoS scheduler a
+/// tenant lives in.
+///
+/// Latency-critical tenants are served *first* every slot: the
+/// scheduler drains the latency-critical ring (deficit round-robin
+/// among its members) before best-effort deficit is touched, so a
+/// critical tenant's queueing delay is bounded by its own backlog plus
+/// the critical ring's rotation — never by a best-effort neighbor's
+/// flood. Within a class, weights behave exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Criticality {
+    /// Preempts best-effort deficit: served first each slot.
+    LatencyCritical,
+    /// The default class; shares whatever the critical ring left over.
+    #[default]
+    BestEffort,
+}
+
+/// One tenant's admission, scheduling, and QoS parameters.
+///
+/// Built fluently and handed to [`ServiceConfig::with_tenant`]:
+///
+/// ```
+/// use cfm_serve::{Criticality, TenantSpec};
+///
+/// let spec = TenantSpec::new("interactive")
+///     .weight(2)
+///     .queue_capacity(32)
+///     .criticality(Criticality::LatencyCritical);
+/// assert_eq!(spec.weight, 2);
+/// assert!(spec.bank_budget.is_none());
+/// ```
 #[derive(Debug, Clone)]
 pub struct TenantSpec {
     /// Display name (appears in metrics and reports).
     pub name: String,
     /// Deficit round-robin weight: a backlogged tenant receives issue
-    /// slots in proportion to its weight. Must be ≥ 1.
+    /// slots in proportion to its weight *within its criticality
+    /// class*. Must be ≥ 1.
     pub weight: u32,
     /// Bound on this tenant's admission queue; a submit beyond it is
     /// rejected with [`crate::Reject::QueueFull`].
     pub queue_capacity: usize,
+    /// Scheduling class (see [`Criticality`]). Defaults to
+    /// [`Criticality::BestEffort`], which reproduces the pre-QoS
+    /// scheduler exactly.
+    pub criticality: Criticality,
+    /// Per-bank bandwidth budget: the most operations this tenant may
+    /// issue *into each bank* per budget window of
+    /// [`ServiceConfig::budget_window`] slots. In the CFM schedule
+    /// every block operation touches **every** bank exactly once
+    /// (`bank(t, p) = (t + c·p) mod b`), so a per-bank access cap and a
+    /// per-window issue cap are the same number — the budget is
+    /// enforced as the latter and documented as such. A tenant at its
+    /// budget is *deferred* (skipped by the scheduler until the window
+    /// rolls), never rejected; deferrals are counted in
+    /// [`crate::TenantMetrics::budget_deferrals`]. `None` (the
+    /// default) leaves the tenant unregulated.
+    pub bank_budget: Option<u32>,
 }
+
+impl TenantSpec {
+    /// A spec for `name` with default parameters: weight 1, queue
+    /// capacity 64, best-effort, no bank budget.
+    pub fn new(name: &str) -> Self {
+        TenantSpec {
+            name: name.to_string(),
+            weight: 1,
+            queue_capacity: 64,
+            criticality: Criticality::BestEffort,
+            bank_budget: None,
+        }
+    }
+
+    /// Set the DRR weight (must be ≥ 1; enforced at
+    /// [`crate::Service::start`]).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the admission-queue bound (must be ≥ 1; enforced at
+    /// [`crate::Service::start`]).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the scheduling class.
+    pub fn criticality(mut self, class: Criticality) -> Self {
+        self.criticality = class;
+        self
+    }
+
+    /// Cap this tenant's per-bank issue rate (see
+    /// [`TenantSpec::bank_budget`] for the exact accounting).
+    pub fn bank_budget(mut self, ops_per_window: u32) -> Self {
+        self.bank_budget = Some(ops_per_window);
+        self
+    }
+}
+
+/// Default [`ServiceConfig::budget_window`]: slots per bank-budget
+/// accounting window.
+pub const DEFAULT_BUDGET_WINDOW: usize = 32;
 
 /// Configuration consumed by [`crate::Service::start`].
 #[derive(Debug, Clone)]
@@ -32,12 +125,17 @@ pub struct ServiceConfig {
     pub max_queued: Option<usize>,
     /// Spec-inference warm-up window: when set, the service records the
     /// first `n` admitted `(kind, offset)` pairs per tenant and exposes
-    /// them through [`crate::Service::observation_window`] so a driver
-    /// can fit a candidate [`cfm_core::spec::ProgramSpec`] (via
+    /// them through [`crate::Footprints::observation_window`] so a
+    /// driver can fit a candidate [`cfm_core::spec::ProgramSpec`] (via
     /// `cfm_verify::analyze::infer`), prove it, and arm the result with
-    /// [`crate::Service::arm_inferred_footprint`]. `None` (the default)
+    /// [`crate::Footprints::arm_inferred`]. `None` (the default)
     /// disables observation.
     pub infer_window: Option<usize>,
+    /// Slots per bank-budget accounting window (see
+    /// [`TenantSpec::bank_budget`]). Issue counts reset every
+    /// `budget_window` machine slots. Defaults to
+    /// [`DEFAULT_BUDGET_WINDOW`].
+    pub budget_window: usize,
 }
 
 impl ServiceConfig {
@@ -50,6 +148,7 @@ impl ServiceConfig {
             tenants: Vec::new(),
             max_queued: None,
             infer_window: None,
+            budget_window: DEFAULT_BUDGET_WINDOW,
         }
     }
 
@@ -61,21 +160,37 @@ impl ServiceConfig {
         self
     }
 
-    /// Add a tenant with the given DRR `weight` and queue bound. The
-    /// returned tenant's ID is its position in the roster (first added
-    /// is 0).
-    pub fn tenant(mut self, name: &str, weight: u32, queue_capacity: usize) -> Self {
-        self.tenants.push(TenantSpec {
-            name: name.to_string(),
-            weight,
-            queue_capacity,
-        });
+    /// Add a tenant from a typed [`TenantSpec`]. The tenant's ID is its
+    /// position in the roster (first added is 0).
+    pub fn with_tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
         self
+    }
+
+    /// Add a tenant with the given DRR `weight` and queue bound.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `with_tenant(TenantSpec::new(name).weight(w).queue_capacity(c))` — \
+                the typed builder also carries criticality and bank budgets"
+    )]
+    pub fn tenant(self, name: &str, weight: u32, queue_capacity: usize) -> Self {
+        self.with_tenant(
+            TenantSpec::new(name)
+                .weight(weight)
+                .queue_capacity(queue_capacity),
+        )
     }
 
     /// Set the global queued-operation bound (load-shedding threshold).
     pub fn max_queued(mut self, limit: usize) -> Self {
         self.max_queued = Some(limit);
+        self
+    }
+
+    /// Set the bank-budget accounting window in slots (must be ≥ 1;
+    /// enforced at [`crate::Service::start`]).
+    pub fn budget_window(mut self, slots: usize) -> Self {
+        self.budget_window = slots;
         self
     }
 
@@ -85,5 +200,30 @@ impl ServiceConfig {
     pub fn effective_max_queued(&self) -> usize {
         self.max_queued
             .unwrap_or_else(|| self.tenants.iter().map(|t| t.queue_capacity).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecated positional `tenant()` is a pure shim over the
+    /// typed builder: same name/weight/capacity, default class, no
+    /// budget.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_tenant_is_equivalent_to_builder_defaults() {
+        let machine = CfmConfig::new(4, 1, 16).unwrap();
+        let legacy = ServiceConfig::new(machine, 8).tenant("a", 3, 17);
+        let modern = ServiceConfig::new(machine, 8)
+            .with_tenant(TenantSpec::new("a").weight(3).queue_capacity(17));
+        let (l, m) = (&legacy.tenants[0], &modern.tenants[0]);
+        assert_eq!(l.name, m.name);
+        assert_eq!(l.weight, m.weight);
+        assert_eq!(l.queue_capacity, m.queue_capacity);
+        assert_eq!(l.criticality, m.criticality);
+        assert_eq!(l.bank_budget, m.bank_budget);
+        assert_eq!(l.criticality, Criticality::BestEffort);
+        assert_eq!(l.bank_budget, None);
     }
 }

@@ -31,6 +31,19 @@
 //!   already admitted (queued *and* in flight), and return a
 //!   [`ServiceReport`] with the machine's own statistics. Dropping a
 //!   service instead closes outstanding tickets so no waiter deadlocks.
+//! * **QoS** ([`scheduler::QosScheduler`]) — tenants carry a
+//!   [`Criticality`] class and an optional per-bank bandwidth budget
+//!   ([`TenantSpec::bank_budget`]): latency-critical tenants preempt
+//!   best-effort deficit every slot, and a budgeted tenant's issue
+//!   rate into each bank is capped per window (deferred, never
+//!   rejected), so a hostile neighbor cannot monopolise lanes even
+//!   with zero bank conflicts.
+//! * **Wire edge** ([`wire`], [`edge`]) — a length-prefixed binary
+//!   protocol over TCP served by one nonblocking edge thread
+//!   ([`Service::serve_edge`]): typed frames for hello/submit/
+//!   response/reject/metrics/drain, per-connection buffers, load
+//!   shedding with `retry_after_slots` backpressure, thousands of
+//!   concurrent connections, no async runtime.
 //! * **Observability** ([`metrics`]) — per-tenant counters and
 //!   HDR-style latency histograms (log₂ majors × 32 linear sub-buckets,
 //!   ≤ 3.2% quantile error) with p50/p90/p99 snapshots, exported as
@@ -45,13 +58,13 @@
 //! ```
 //! use cfm_core::config::CfmConfig;
 //! use cfm_core::op::Operation;
-//! use cfm_serve::{Service, ServiceConfig};
+//! use cfm_serve::{Service, ServiceConfig, TenantSpec};
 //!
 //! let cfg = CfmConfig::new(4, 1, 16).unwrap();
 //! let service = Service::start(
 //!     ServiceConfig::new(cfg, 64)
-//!         .tenant("alice", 1, 32)
-//!         .tenant("bob", 3, 32),
+//!         .with_tenant(TenantSpec::new("alice").queue_capacity(32))
+//!         .with_tenant(TenantSpec::new("bob").weight(3).queue_capacity(32)),
 //! )
 //! .unwrap();
 //!
@@ -67,13 +80,17 @@
 //! ```
 
 pub mod config;
+pub mod edge;
 pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod scheduler;
 pub mod service;
+pub mod wire;
 
-pub use config::{ServiceConfig, TenantSpec};
+pub use config::{Criticality, ServiceConfig, TenantSpec};
+pub use edge::{EdgeConfig, EdgeHandle, EdgeStats};
 pub use metrics::{Histogram, MetricsSnapshot, TenantMetrics};
-pub use request::{Reject, Response, TenantId, Ticket};
-pub use service::{MigrateError, MigrationReport, Service, ServiceReport, StartError};
+pub use request::{Reject, Request, Response, TenantId, Ticket};
+pub use service::{Footprints, MigrateError, MigrationReport, Service, ServiceReport, StartError};
+pub use wire::{Frame, WireError, PROTOCOL_VERSION};

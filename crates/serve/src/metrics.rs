@@ -178,6 +178,7 @@ pub(crate) struct TenantCounters {
     pub(crate) summaries_inferred: u64,
     pub(crate) summary_disarms: u64,
     pub(crate) summary_armed: bool,
+    pub(crate) budget_deferrals: u64,
     pub(crate) latency: Histogram,
 }
 
@@ -220,6 +221,7 @@ impl Metrics {
                     summaries_inferred: c.summaries_inferred,
                     summary_disarms: c.summary_disarms,
                     summary_armed: c.summary_armed,
+                    budget_deferrals: c.budget_deferrals,
                     latency: c.latency.clone(),
                 })
                 .collect(),
@@ -261,6 +263,11 @@ pub struct TenantMetrics {
     pub summary_disarms: u64,
     /// Whether an inferred claim is armed right now.
     pub summary_armed: bool,
+    /// Times the scheduler skipped this tenant because its per-bank
+    /// bandwidth budget ([`crate::TenantSpec::bank_budget`]) was
+    /// exhausted for the current window. A deferral delays the
+    /// operation to a later slot; it never rejects it.
+    pub budget_deferrals: u64,
     /// Admission-to-fulfillment wall-clock latency.
     pub latency: Histogram,
 }
@@ -340,6 +347,10 @@ impl MetricsSnapshot {
                 t.summary_disarms
             ));
             out.push_str(&format!("      \"summary_armed\": {},\n", t.summary_armed));
+            out.push_str(&format!(
+                "      \"budget_deferrals\": {},\n",
+                t.budget_deferrals
+            ));
             out.push_str("      \"latency\": {\n");
             t.latency.json_into(&mut out, "        ");
             out.push_str("\n      }\n");
@@ -446,5 +457,6 @@ mod tests {
         assert!(completed < tenants, "key order fixed");
         assert!(json.contains("\"name\": \"b\""));
         assert!(json.contains("\"rejected_migrating\": 2"));
+        assert!(json.contains("\"budget_deferrals\": 0"));
     }
 }

@@ -37,6 +37,10 @@ impl TenantQueue {
         self.queue.is_empty()
     }
 
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     pub(crate) fn push(&mut self, pending: Pending) {
         debug_assert!(!self.is_full());
         self.queue.push_back(pending);

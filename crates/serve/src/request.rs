@@ -3,11 +3,34 @@
 use std::fmt;
 use std::sync::Arc;
 
-use cfm_core::op::Completion;
+use cfm_core::op::{Completion, Operation};
 use parking_lot::{Condvar, Mutex};
 
 /// Index of a tenant in the [`crate::ServiceConfig`] roster.
 pub type TenantId = usize;
+
+/// One submission: the tenant plus its block operation.
+///
+/// This is the *single* request envelope in the system — the in-process
+/// path ([`crate::Service::submit_request`]) consumes it directly, and
+/// the wire codec ([`crate::wire`]) encodes and decodes exactly this
+/// struct, so a frame that round-trips the codec is byte-for-byte the
+/// request the service admits. There is no separate "wire request"
+/// type to drift out of sync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Target tenant (an index into the service roster).
+    pub tenant: TenantId,
+    /// The block operation to perform.
+    pub op: Operation,
+}
+
+impl Request {
+    /// A request from `tenant` performing `op`.
+    pub fn new(tenant: TenantId, op: Operation) -> Self {
+        Request { tenant, op }
+    }
+}
 
 /// Why a submit was refused admission. Every variant is a *normal*
 /// backpressure signal, not an error in the service: the caller is
@@ -20,6 +43,12 @@ pub enum Reject {
         tenant: TenantId,
         /// The configured per-tenant bound.
         capacity: usize,
+        /// Estimate of machine slots until the queue has room: the
+        /// backlog drained at one dequeue per lane per slot, plus one
+        /// bank cycle of pipeline settle. A client that retries after
+        /// this many slots' worth of wall time will usually be
+        /// admitted (subject to competing submitters).
+        retry_after_slots: u64,
     },
     /// The service-wide queued-operation bound is reached — global load
     /// shedding, independent of which tenant is responsible.
@@ -28,6 +57,10 @@ pub enum Reject {
         queued: usize,
         /// The configured global bound.
         limit: usize,
+        /// Estimate of machine slots until global queueing falls below
+        /// the bound (same drain model as
+        /// [`Reject::QueueFull::retry_after_slots`]).
+        retry_after_slots: u64,
     },
     /// The service is draining or shut down and admits nothing new.
     ShuttingDown,
@@ -114,11 +147,27 @@ impl From<cfm_core::spec::FootprintError> for Reject {
 impl fmt::Display for Reject {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Reject::QueueFull { tenant, capacity } => {
-                write!(f, "tenant {tenant} queue full (capacity {capacity})")
+            Reject::QueueFull {
+                tenant,
+                capacity,
+                retry_after_slots,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} queue full (capacity {capacity}) — \
+                     retry after ~{retry_after_slots} slots"
+                )
             }
-            Reject::Overloaded { queued, limit } => {
-                write!(f, "service overloaded ({queued} queued, limit {limit})")
+            Reject::Overloaded {
+                queued,
+                limit,
+                retry_after_slots,
+            } => {
+                write!(
+                    f,
+                    "service overloaded ({queued} queued, limit {limit}) — \
+                     retry after ~{retry_after_slots} slots"
+                )
             }
             Reject::ShuttingDown => write!(f, "service is shutting down"),
             Reject::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
@@ -168,7 +217,7 @@ impl std::error::Error for Reject {}
 
 /// A fulfilled request: the machine-level completion plus wall-clock
 /// latency accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// The submitting tenant.
     pub tenant: TenantId,

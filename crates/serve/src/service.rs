@@ -26,11 +26,11 @@ use cfm_core::stats::Stats;
 use cfm_core::ProcId;
 use parking_lot::{Condvar, Mutex};
 
-use crate::config::ServiceConfig;
+use crate::config::{Criticality, ServiceConfig};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{Pending, TenantQueue};
-use crate::request::{Reject, Response, TenantId, Ticket, TicketInner};
-use crate::scheduler::DrrScheduler;
+use crate::request::{Reject, Request, Response, TenantId, Ticket, TicketInner};
+use crate::scheduler::{QosScheduler, QosTenant};
 
 /// Why [`Service::start`] refused the configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,13 @@ pub enum StartError {
         /// The offending tenant.
         tenant: TenantId,
     },
+    /// A tenant has a bank budget of 0 (it could never issue).
+    ZeroBudget {
+        /// The offending tenant.
+        tenant: TenantId,
+    },
+    /// The bank-budget window is 0 slots (budgets could never refill).
+    ZeroBudgetWindow,
 }
 
 impl std::fmt::Display for StartError {
@@ -57,6 +64,10 @@ impl std::fmt::Display for StartError {
             StartError::ZeroCapacity { tenant } => {
                 write!(f, "tenant {tenant} has queue capacity 0")
             }
+            StartError::ZeroBudget { tenant } => {
+                write!(f, "tenant {tenant} has a bank budget of 0")
+            }
+            StartError::ZeroBudgetWindow => write!(f, "bank-budget window is 0 slots"),
         }
     }
 }
@@ -170,9 +181,9 @@ struct MigrationCmd {
 }
 
 /// One tenant's admitted block claim, with its provenance. Declared
-/// claims (via [`Service::admit_footprint`]) reject conflicting
+/// claims (via [`Footprints::admit`]) reject conflicting
 /// admissions; inferred claims (via
-/// [`Service::arm_inferred_footprint`]) run trust-but-verify — any
+/// [`Footprints::arm_inferred`]) run trust-but-verify — any
 /// conflicting or uncovered admission *disarms* the claim instead of
 /// rejecting, so inference can never change what the service admits.
 struct Claim {
@@ -199,7 +210,7 @@ struct Inner {
     /// A migration waiting for the event loop to pick it up.
     migration: Option<MigrationCmd>,
     /// Statically admitted per-tenant footprints (see
-    /// [`Service::admit_footprint`]): `footprints[t]` is the block
+    /// [`Footprints::admit`]): `footprints[t]` is the block
     /// claim tenant `t` holds, `None` = no claim registered.
     footprints: Vec<Option<Claim>>,
     /// Spec-inference warm-up window size ([`ServiceConfig::infer_window`]).
@@ -216,6 +227,17 @@ impl Inner {
     /// window (≤ b − 1), and swap overhead.
     fn migration_window_slots(&self) -> u64 {
         (2 * self.banks + self.bank_cycle as usize) as u64 + 64
+    }
+
+    /// Estimate, in machine slots, of how long a backpressured client
+    /// should wait for `waiting` queued operations to drain: the event
+    /// loop dequeues at most one operation per lane per slot, plus one
+    /// bank cycle of pipeline settle. Used for the
+    /// [`Reject::QueueFull`] / [`Reject::Overloaded`] retry hints —
+    /// deliberately the same drain model as
+    /// [`Inner::migration_window_slots`], minus the swap overhead.
+    fn drain_window_slots(&self, waiting: usize) -> u64 {
+        (waiting as u64).div_ceil(self.processors as u64) + u64::from(self.bank_cycle) + 1
     }
 
     /// Drop tenant `t`'s claim *if it is inferred* — the
@@ -252,7 +274,7 @@ struct InFlightReq {
 struct LoopState {
     machine: CfmMachine,
     shared: Arc<Shared>,
-    sched: DrrScheduler,
+    sched: QosScheduler,
     /// `inflight[p]` is the request processor lane `p` is carrying.
     inflight: Vec<Option<InFlightReq>>,
     free: Vec<ProcId>,
@@ -288,6 +310,12 @@ impl Service {
             if t.queue_capacity == 0 {
                 return Err(StartError::ZeroCapacity { tenant: id });
             }
+            if t.bank_budget == Some(0) {
+                return Err(StartError::ZeroBudget { tenant: id });
+            }
+        }
+        if config.budget_window == 0 {
+            return Err(StartError::ZeroBudgetWindow);
         }
 
         let banks = config.machine.banks();
@@ -323,7 +351,18 @@ impl Service {
         let state = LoopState {
             machine,
             shared: Arc::clone(&shared),
-            sched: DrrScheduler::new(config.tenants.iter().map(|t| u64::from(t.weight)).collect()),
+            sched: QosScheduler::new(
+                &config
+                    .tenants
+                    .iter()
+                    .map(|t| QosTenant {
+                        quantum: u64::from(t.weight),
+                        critical: t.criticality == Criticality::LatencyCritical,
+                        bank_budget: t.bank_budget,
+                    })
+                    .collect::<Vec<_>>(),
+                config.budget_window,
+            ),
             inflight: (0..processors).map(|_| None).collect(),
             free: (0..processors).rev().collect(),
             inflight_count: 0,
@@ -365,12 +404,22 @@ impl Service {
         self.shared.state.lock().banks
     }
 
-    /// Submit one block operation on behalf of `tenant`. Validation and
+    /// Submit one block operation on behalf of `tenant` — convenience
+    /// wrapper packing the arguments into a [`Request`] for
+    /// [`Service::submit_request`].
+    pub fn submit(&self, tenant: TenantId, op: Operation) -> Result<Ticket, Reject> {
+        self.submit_request(Request::new(tenant, op))
+    }
+
+    /// Submit one [`Request`] envelope — the same struct the wire codec
+    /// ([`crate::wire`]) decodes, so the network edge and in-process
+    /// callers share one admission path verbatim. Validation and
     /// admission control happen here, synchronously: the returned
     /// [`Ticket`] is only handed out for operations that *will* be
     /// scheduled (absent shutdown). Rejections are typed backpressure —
     /// see [`Reject`].
-    pub fn submit(&self, tenant: TenantId, op: Operation) -> Result<Ticket, Reject> {
+    pub fn submit_request(&self, request: Request) -> Result<Ticket, Reject> {
+        let Request { tenant, op } = request;
         // Validate against machine geometry before touching the lock.
         let (offset, data_len) = match &op {
             Operation::Read { offset } => (*offset, None),
@@ -458,13 +507,23 @@ impl Service {
         }
         if inner.queues[tenant].is_full() {
             let capacity = inner.queues[tenant].capacity;
+            let retry_after_slots = inner.drain_window_slots(inner.queues[tenant].len());
             inner.metrics.tenants[tenant].rejected_queue_full += 1;
-            return Err(Reject::QueueFull { tenant, capacity });
+            return Err(Reject::QueueFull {
+                tenant,
+                capacity,
+                retry_after_slots,
+            });
         }
         if inner.total_queued >= inner.max_queued {
             let (queued, limit) = (inner.total_queued, inner.max_queued);
+            let retry_after_slots = inner.drain_window_slots(queued);
             inner.metrics.tenants[tenant].rejected_overloaded += 1;
-            return Err(Reject::Overloaded { queued, limit });
+            return Err(Reject::Overloaded {
+                queued,
+                limit,
+                retry_after_slots,
+            });
         }
 
         // The op is admitted: apply deferred inferred-claim disarms (a
@@ -496,144 +555,45 @@ impl Service {
         Ok(Ticket { inner: ticket })
     }
 
-    /// Register `tenant`'s statically analyzed block footprint (e.g. a
-    /// [`cfm_core::spec::ProgramSpec`] footprint the `cfm-verify
-    /// analyze` pipeline proved). Admission is all-or-nothing: if the
-    /// footprint conflicts with any *other* tenant's admitted footprint
-    /// — both touch a block and at least one writes it — nothing is
-    /// registered and the typed [`Reject::StaticConflict`] carries the
-    /// witness. Once admitted, the claim also gates per-operation
-    /// submits from other tenants, and re-admitting replaces the
-    /// tenant's previous claim.
-    pub fn admit_footprint(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
-        // A footprint over the wrong block count would answer every
-        // later query out of range — refuse it typed, up front.
-        if footprint.offsets() != self.offsets {
-            return Err(Reject::FootprintGeometry {
-                got: footprint.offsets(),
-                want: self.offsets,
-            });
-        }
-        let mut inner = self.shared.state.lock();
-        if tenant >= inner.queues.len() {
-            return Err(Reject::UnknownTenant { tenant });
-        }
-        if inner.draining || inner.shutdown {
-            return Err(Reject::ShuttingDown);
-        }
-        let mut disarm: Vec<TenantId> = Vec::new();
-        for (holder, held) in inner.footprints.iter().enumerate() {
-            if holder == tenant {
-                continue;
-            }
-            let Some(held) = held else { continue };
-            if let Some(w) = held.footprint.conflicts_with(&footprint) {
-                if held.inferred {
-                    // Declared claims outrank inferred ones: the
-                    // inferred holder falls back to dynamic admission.
-                    disarm.push(holder);
-                } else {
-                    inner.metrics.tenants[tenant].rejected_static += 1;
-                    return Err(Reject::StaticConflict {
-                        tenant: holder,
-                        offset: w.offset,
-                        held_writes: w.left_writes,
-                        requested_writes: w.right_writes,
-                    });
-                }
-            }
-        }
-        for holder in disarm {
-            inner.disarm_inferred(holder);
-        }
-        // Replacing the tenant's own inferred claim with a declared one
-        // counts as a disarm of the inference.
-        inner.disarm_inferred(tenant);
-        inner.footprints[tenant] = Some(Claim {
-            footprint,
-            inferred: false,
-        });
-        Ok(())
+    /// The footprint-admission surface: declared claims, inferred
+    /// (trust-but-verify) claims, observation windows, and withdrawal,
+    /// gathered behind one handle. See [`Footprints`].
+    pub fn footprints(&self) -> Footprints<'_> {
+        Footprints { service: self }
     }
 
-    /// Arm an *inferred* footprint claim for `tenant` — the
-    /// trust-but-verify counterpart of [`Service::admit_footprint`].
-    /// The caller is expected to have fitted a candidate
-    /// [`cfm_core::spec::ProgramSpec`] from the tenant's observed
-    /// warm-up window ([`Service::observation_window`]) and *proven* it
-    /// through the analyzer before arming the resulting footprint here.
-    ///
-    /// Unlike a declared claim, an inferred claim never causes a
-    /// rejection: any later submit or declared admission that conflicts
-    /// with it — including the tenant's own traffic stepping outside the
-    /// inferred spec — silently disarms the claim and the service falls
-    /// back to fully dynamic admission for the tenant. Byte-identity of
-    /// served results is therefore preserved by construction. Arming
-    /// fails (typed) if the claim would conflict with any existing
-    /// claim; the observed stream evidently interferes and no proof can
-    /// make it safe.
+    /// Register `tenant`'s statically analyzed block footprint.
+    #[deprecated(since = "0.10.0", note = "use `footprints().admit(tenant, footprint)`")]
+    pub fn admit_footprint(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
+        self.footprints().admit(tenant, footprint)
+    }
+
+    /// Arm an *inferred* footprint claim for `tenant`.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `footprints().arm_inferred(tenant, footprint)`"
+    )]
     pub fn arm_inferred_footprint(
         &self,
         tenant: TenantId,
         footprint: Footprint,
     ) -> Result<(), Reject> {
-        if footprint.offsets() != self.offsets {
-            return Err(Reject::FootprintGeometry {
-                got: footprint.offsets(),
-                want: self.offsets,
-            });
-        }
-        let mut inner = self.shared.state.lock();
-        if tenant >= inner.queues.len() {
-            return Err(Reject::UnknownTenant { tenant });
-        }
-        if inner.draining || inner.shutdown {
-            return Err(Reject::ShuttingDown);
-        }
-        for (holder, held) in inner.footprints.iter().enumerate() {
-            if holder == tenant {
-                continue;
-            }
-            let Some(held) = held else { continue };
-            if let Some(w) = held.footprint.conflicts_with(&footprint) {
-                return Err(Reject::StaticConflict {
-                    tenant: holder,
-                    offset: w.offset,
-                    held_writes: w.left_writes,
-                    requested_writes: w.right_writes,
-                });
-            }
-        }
-        inner.footprints[tenant] = Some(Claim {
-            footprint,
-            inferred: true,
-        });
-        inner.metrics.tenants[tenant].summaries_inferred += 1;
-        inner.metrics.tenants[tenant].summary_armed = true;
-        Ok(())
+        self.footprints().arm_inferred(tenant, footprint)
     }
 
-    /// The tenant's completed spec-inference warm-up window: the first
-    /// `infer_window` admitted `(kind, offset)` pairs, in admission
-    /// order. `None` until the window fills, when observation is
-    /// disabled, or while the tenant already holds a claim. A disarm
-    /// reopens the window, so the driver can observe and re-infer.
+    /// The tenant's completed spec-inference warm-up window.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `footprints().observation_window(tenant)`"
+    )]
     pub fn observation_window(&self, tenant: TenantId) -> Option<Vec<(OpKind, usize)>> {
-        let inner = self.shared.state.lock();
-        let window = inner.infer_window?;
-        let stream = inner.observed.get(tenant)?;
-        (stream.len() >= window && inner.footprints[tenant].is_none()).then(|| stream.clone())
+        self.footprints().observation_window(tenant)
     }
 
-    /// Withdraw `tenant`'s admitted footprint (if any), releasing its
-    /// block claim for other tenants.
+    /// Withdraw `tenant`'s admitted footprint (if any).
+    #[deprecated(since = "0.10.0", note = "use `footprints().withdraw(tenant)`")]
     pub fn withdraw_footprint(&self, tenant: TenantId) -> Option<Footprint> {
-        let mut inner = self.shared.state.lock();
-        let claim = inner.footprints.get_mut(tenant)?.take()?;
-        if claim.inferred {
-            inner.metrics.tenants[tenant].summary_armed = false;
-        }
-        Some(claim.footprint)
+        self.footprints().withdraw(tenant)
     }
 
     /// Current counters and latency quantiles (cheap clone under the
@@ -724,6 +684,156 @@ impl Service {
     }
 }
 
+/// The service's footprint-admission surface, obtained from
+/// [`Service::footprints`]: one coherent handle over declared claims
+/// ([`Footprints::admit`]), inferred trust-but-verify claims
+/// ([`Footprints::arm_inferred`] fed by
+/// [`Footprints::observation_window`]), and claim release
+/// ([`Footprints::withdraw`]). The handle borrows the service; it holds
+/// no state of its own.
+pub struct Footprints<'a> {
+    service: &'a Service,
+}
+
+impl Footprints<'_> {
+    /// Register `tenant`'s statically analyzed block footprint (e.g. a
+    /// [`cfm_core::spec::ProgramSpec`] footprint the `cfm-verify
+    /// analyze` pipeline proved). Admission is all-or-nothing: if the
+    /// footprint conflicts with any *other* tenant's admitted footprint
+    /// — both touch a block and at least one writes it — nothing is
+    /// registered and the typed [`Reject::StaticConflict`] carries the
+    /// witness. Once admitted, the claim also gates per-operation
+    /// submits from other tenants, and re-admitting replaces the
+    /// tenant's previous claim.
+    pub fn admit(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
+        // A footprint over the wrong block count would answer every
+        // later query out of range — refuse it typed, up front.
+        if footprint.offsets() != self.service.offsets {
+            return Err(Reject::FootprintGeometry {
+                got: footprint.offsets(),
+                want: self.service.offsets,
+            });
+        }
+        let mut inner = self.service.shared.state.lock();
+        if tenant >= inner.queues.len() {
+            return Err(Reject::UnknownTenant { tenant });
+        }
+        if inner.draining || inner.shutdown {
+            return Err(Reject::ShuttingDown);
+        }
+        let mut disarm: Vec<TenantId> = Vec::new();
+        for (holder, held) in inner.footprints.iter().enumerate() {
+            if holder == tenant {
+                continue;
+            }
+            let Some(held) = held else { continue };
+            if let Some(w) = held.footprint.conflicts_with(&footprint) {
+                if held.inferred {
+                    // Declared claims outrank inferred ones: the
+                    // inferred holder falls back to dynamic admission.
+                    disarm.push(holder);
+                } else {
+                    inner.metrics.tenants[tenant].rejected_static += 1;
+                    return Err(Reject::StaticConflict {
+                        tenant: holder,
+                        offset: w.offset,
+                        held_writes: w.left_writes,
+                        requested_writes: w.right_writes,
+                    });
+                }
+            }
+        }
+        for holder in disarm {
+            inner.disarm_inferred(holder);
+        }
+        // Replacing the tenant's own inferred claim with a declared one
+        // counts as a disarm of the inference.
+        inner.disarm_inferred(tenant);
+        inner.footprints[tenant] = Some(Claim {
+            footprint,
+            inferred: false,
+        });
+        Ok(())
+    }
+
+    /// Arm an *inferred* footprint claim for `tenant` — the
+    /// trust-but-verify counterpart of [`Footprints::admit`].
+    /// The caller is expected to have fitted a candidate
+    /// [`cfm_core::spec::ProgramSpec`] from the tenant's observed
+    /// warm-up window ([`Footprints::observation_window`]) and *proven*
+    /// it through the analyzer before arming the resulting footprint
+    /// here.
+    ///
+    /// Unlike a declared claim, an inferred claim never causes a
+    /// rejection: any later submit or declared admission that conflicts
+    /// with it — including the tenant's own traffic stepping outside the
+    /// inferred spec — silently disarms the claim and the service falls
+    /// back to fully dynamic admission for the tenant. Byte-identity of
+    /// served results is therefore preserved by construction. Arming
+    /// fails (typed) if the claim would conflict with any existing
+    /// claim; the observed stream evidently interferes and no proof can
+    /// make it safe.
+    pub fn arm_inferred(&self, tenant: TenantId, footprint: Footprint) -> Result<(), Reject> {
+        if footprint.offsets() != self.service.offsets {
+            return Err(Reject::FootprintGeometry {
+                got: footprint.offsets(),
+                want: self.service.offsets,
+            });
+        }
+        let mut inner = self.service.shared.state.lock();
+        if tenant >= inner.queues.len() {
+            return Err(Reject::UnknownTenant { tenant });
+        }
+        if inner.draining || inner.shutdown {
+            return Err(Reject::ShuttingDown);
+        }
+        for (holder, held) in inner.footprints.iter().enumerate() {
+            if holder == tenant {
+                continue;
+            }
+            let Some(held) = held else { continue };
+            if let Some(w) = held.footprint.conflicts_with(&footprint) {
+                return Err(Reject::StaticConflict {
+                    tenant: holder,
+                    offset: w.offset,
+                    held_writes: w.left_writes,
+                    requested_writes: w.right_writes,
+                });
+            }
+        }
+        inner.footprints[tenant] = Some(Claim {
+            footprint,
+            inferred: true,
+        });
+        inner.metrics.tenants[tenant].summaries_inferred += 1;
+        inner.metrics.tenants[tenant].summary_armed = true;
+        Ok(())
+    }
+
+    /// The tenant's completed spec-inference warm-up window: the first
+    /// `infer_window` admitted `(kind, offset)` pairs, in admission
+    /// order. `None` until the window fills, when observation is
+    /// disabled, or while the tenant already holds a claim. A disarm
+    /// reopens the window, so the driver can observe and re-infer.
+    pub fn observation_window(&self, tenant: TenantId) -> Option<Vec<(OpKind, usize)>> {
+        let inner = self.service.shared.state.lock();
+        let window = inner.infer_window?;
+        let stream = inner.observed.get(tenant)?;
+        (stream.len() >= window && inner.footprints[tenant].is_none()).then(|| stream.clone())
+    }
+
+    /// Withdraw `tenant`'s admitted footprint (if any), releasing its
+    /// block claim for other tenants.
+    pub fn withdraw(&self, tenant: TenantId) -> Option<Footprint> {
+        let mut inner = self.service.shared.state.lock();
+        let claim = inner.footprints.get_mut(tenant)?.take()?;
+        if claim.inferred {
+            inner.metrics.tenants[tenant].summary_armed = false;
+        }
+        Some(claim.footprint)
+    }
+}
+
 impl Drop for Service {
     fn drop(&mut self) {
         // Fast shutdown for the non-drain path: tell the loop to abandon
@@ -754,6 +864,11 @@ fn run_event_loop(state: &mut LoopState) {
         let mut migration: Option<MigrationCmd> = None;
         {
             let mut inner = shared.state.lock();
+            // Fold budget-deferral counts into the metrics while the
+            // lock is held anyway (no allocation, usually a no-op).
+            state
+                .sched
+                .flush_deferrals(|t, d| inner.metrics.tenants[t].budget_deferrals += d);
             loop {
                 if inner.shutdown {
                     abandon(state, &mut inner);
@@ -783,7 +898,11 @@ fn run_event_loop(state: &mut LoopState) {
                     let p = state.free.pop().expect("checked non-empty");
                     batch.push((p, pending, t));
                 }
-                if !batch.is_empty() || state.inflight_count > 0 {
+                // Budget-deferred work (queued but unschedulable this
+                // window) must keep the loop stepping so the window can
+                // roll over and refill budgets — never park on it, and
+                // never mistake it for "drained".
+                if !batch.is_empty() || state.inflight_count > 0 || inner.total_queued > 0 {
                     break;
                 }
                 if inner.draining {
@@ -821,6 +940,7 @@ fn run_event_loop(state: &mut LoopState) {
 
         // ---- One slot. ----------------------------------------------
         state.machine.step();
+        state.sched.on_slot();
 
         // ---- Complete: poll lanes, fulfill tickets. ------------------
         let mut fulfilled: Vec<(Arc<TicketInner>, Response)> = Vec::new();
@@ -984,6 +1104,7 @@ fn abandon(state_ref: &mut LoopState, inner: &mut Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TenantSpec;
     use cfm_core::config::CfmConfig;
     use cfm_core::op::Outcome;
 
@@ -991,8 +1112,8 @@ mod tests {
         let cfg = CfmConfig::new(4, 1, 16).unwrap();
         Service::start(
             ServiceConfig::new(cfg, 32)
-                .tenant("a", 1, 16)
-                .tenant("b", 1, 16),
+                .with_tenant(TenantSpec::new("a").queue_capacity(16))
+                .with_tenant(TenantSpec::new("b").queue_capacity(16)),
         )
         .unwrap()
     }
@@ -1041,12 +1162,32 @@ mod tests {
             Some(StartError::NoTenants)
         );
         assert_eq!(
-            Service::start(ServiceConfig::new(cfg, 8).tenant("x", 0, 4)).err(),
+            Service::start(ServiceConfig::new(cfg, 8).with_tenant(TenantSpec::new("x").weight(0)))
+                .err(),
             Some(StartError::ZeroWeight { tenant: 0 })
         );
         assert_eq!(
-            Service::start(ServiceConfig::new(cfg, 8).tenant("x", 1, 0)).err(),
+            Service::start(
+                ServiceConfig::new(cfg, 8).with_tenant(TenantSpec::new("x").queue_capacity(0))
+            )
+            .err(),
             Some(StartError::ZeroCapacity { tenant: 0 })
+        );
+        assert_eq!(
+            Service::start(
+                ServiceConfig::new(cfg, 8).with_tenant(TenantSpec::new("x").bank_budget(0))
+            )
+            .err(),
+            Some(StartError::ZeroBudget { tenant: 0 })
+        );
+        assert_eq!(
+            Service::start(
+                ServiceConfig::new(cfg, 8)
+                    .with_tenant(TenantSpec::new("x"))
+                    .budget_window(0)
+            )
+            .err(),
+            Some(StartError::ZeroBudgetWindow)
         );
     }
 
@@ -1058,19 +1199,19 @@ mod tests {
         for o in 0..4 {
             held.record(0, true, o);
         }
-        service.admit_footprint(0, held).unwrap();
+        service.footprints().admit(0, held).unwrap();
 
         // A disjoint read-only footprint is admitted.
         let mut fine = Footprint::new(32);
         fine.record(0, false, 10);
-        service.admit_footprint(1, fine).unwrap();
+        service.footprints().admit(1, fine).unwrap();
 
         // A footprint overlapping the written claim is refused with the
         // witness, and nothing is registered for the loser.
         let mut clash = Footprint::new(32);
         clash.record(0, false, 2);
         assert_eq!(
-            service.admit_footprint(1, clash).err(),
+            service.footprints().admit(1, clash).err(),
             Some(Reject::StaticConflict {
                 tenant: 0,
                 offset: 2,
@@ -1095,7 +1236,7 @@ mod tests {
         assert_eq!(t.wait().unwrap().completion.outcome, Outcome::Completed);
 
         // Withdrawal releases the claim.
-        assert!(service.withdraw_footprint(0).is_some());
+        assert!(service.footprints().withdraw(0).is_some());
         service
             .submit(1, Operation::read(3))
             .unwrap()
@@ -1171,7 +1312,10 @@ mod tests {
     #[test]
     fn migrate_shrinking_is_typed_and_service_survives() {
         let cfg = CfmConfig::new(8, 1, 16).unwrap();
-        let service = Service::start(ServiceConfig::new(cfg, 16).tenant("a", 1, 16)).unwrap();
+        let service = Service::start(
+            ServiceConfig::new(cfg, 16).with_tenant(TenantSpec::new("a").queue_capacity(16)),
+        )
+        .unwrap();
         let err = service
             .migrate(&[0], CfmConfig::new(4, 1, 16).unwrap())
             .unwrap_err();
@@ -1233,5 +1377,104 @@ mod tests {
         assert_eq!(snap.tenants[0].completed, 1);
         assert!(snap.tenants[0].latency.p99_ns() > 0);
         service.drain();
+    }
+
+    #[test]
+    fn retry_hints_follow_the_drain_model() {
+        let service = small_service();
+        // backlog / lanes + bank cycle + 1, with 4 lanes and c·(b−1)+1 …
+        // for b = 4, c = 1 the cycle is 4: 8/4 + 4 + 1 would be 7 if the
+        // cycle were b·c; pin whatever the live geometry says instead of
+        // hardcoding an assumption.
+        let inner = service.shared.state.lock();
+        let cycle = u64::from(inner.bank_cycle);
+        assert_eq!(inner.drain_window_slots(8), 2 + cycle + 1);
+        assert_eq!(inner.drain_window_slots(0), cycle + 1);
+        assert_eq!(inner.drain_window_slots(5), 2 + cycle + 1);
+        drop(inner);
+        service.drain();
+    }
+
+    #[test]
+    fn budgeted_tenant_is_deferred_not_rejected_and_finishes() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let service = Service::start(
+            ServiceConfig::new(cfg, 64)
+                .with_tenant(TenantSpec::new("capped").queue_capacity(32).bank_budget(1))
+                .with_tenant(TenantSpec::new("free").queue_capacity(32))
+                .budget_window(4),
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..16 {
+            tickets.push(
+                service
+                    .submit(0, Operation::write(i % 8, vec![i as u64; 4]))
+                    .expect("budget throttling must defer, never reject"),
+            );
+        }
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().completion.outcome, Outcome::Completed);
+        }
+        let report = service.drain();
+        assert_eq!(report.metrics.tenants[0].completed, 16);
+        assert_eq!(report.metrics.tenants[0].rejected_queue_full, 0);
+        assert!(
+            report.metrics.tenants[0].budget_deferrals > 0,
+            "a 1-op-per-4-slot cap against a 16-op backlog must defer"
+        );
+        assert_eq!(report.stats.bank_conflicts, 0);
+    }
+
+    #[test]
+    fn critical_and_best_effort_tenants_coexist() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        let service = Service::start(
+            ServiceConfig::new(cfg, 64)
+                .with_tenant(
+                    TenantSpec::new("lc")
+                        .criticality(Criticality::LatencyCritical)
+                        .queue_capacity(32),
+                )
+                .with_tenant(TenantSpec::new("be").weight(8).queue_capacity(32)),
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..8 {
+            tickets.push(service.submit(1, Operation::write(i, vec![1; 4])).unwrap());
+            tickets.push(service.submit(0, Operation::read(i)).unwrap());
+        }
+        for t in tickets {
+            assert!(t.wait().is_some());
+        }
+        let report = service.drain();
+        assert_eq!(report.metrics.tenants[0].completed, 8);
+        assert_eq!(report.metrics.tenants[1].completed, 8);
+        assert_eq!(report.stats.bank_conflicts, 0);
+    }
+
+    /// The legacy positional `tenant(name, weight, capacity)` and the
+    /// typed builder must configure *identical* services: pinned as
+    /// byte-identical metrics JSON (zero traffic, so every counter and
+    /// histogram is in its deterministic initial state).
+    #[test]
+    fn legacy_and_builder_metrics_json_are_byte_identical() {
+        let cfg = CfmConfig::new(4, 1, 16).unwrap();
+        #[allow(deprecated)]
+        let legacy = Service::start(
+            ServiceConfig::new(cfg, 32)
+                .tenant("a", 2, 16)
+                .tenant("b", 1, 8),
+        )
+        .unwrap();
+        let builder = Service::start(
+            ServiceConfig::new(cfg, 32)
+                .with_tenant(TenantSpec::new("a").weight(2).queue_capacity(16))
+                .with_tenant(TenantSpec::new("b").queue_capacity(8)),
+        )
+        .unwrap();
+        assert_eq!(legacy.metrics().to_json(), builder.metrics().to_json());
+        legacy.drain();
+        builder.drain();
     }
 }

@@ -35,7 +35,7 @@ use cfm_core::spec::{OffsetExpr, OpPattern, OpSpec, ProgramSpec};
 
 /// One observed admitted operation: the kind tag plus the concrete
 /// block offset it resolved to. This is exactly what
-/// `cfm_serve::Service::observation_window` hands back.
+/// `cfm_serve::service::Footprints::observation_window` hands back.
 pub type ObservedOp = (OpKind, usize);
 
 /// Why no candidate spec could be fitted from an observation window.

@@ -25,7 +25,7 @@
 //! dynamic per-slot hazard probe for statically safe offsets and
 //! dispatches whole proven windows per worker handoff, byte-identical
 //! to the sequential engine; and `cfm-serve` admission
-//! ([`cfm_serve::Service::admit_footprint`]) rejects tenant programs
+//! ([`cfm_serve::service::Footprints::admit`]) rejects tenant programs
 //! whose static [`Footprint`] conflicts with an admitted tenant's,
 //! with a typed [`cfm_serve::Reject::StaticConflict`] witness.
 //!
@@ -906,7 +906,7 @@ fn differential_check(n: usize, c: u32, offsets: usize) -> Check {
 /// tenant footprint (and a conflicting per-op submit) must be rejected
 /// with the typed witness while disjoint traffic flows conflict-free.
 fn serve_admission_check(offsets: usize) -> Check {
-    use cfm_serve::{Reject, Service, ServiceConfig};
+    use cfm_serve::{Reject, Service, ServiceConfig, TenantSpec};
     let name = "analyze/serve-admission";
     let subj = "n=4 c=1 tenants=writer,reader";
     let cfg = match CfmConfig::new(4, 1, 16) {
@@ -915,8 +915,8 @@ fn serve_admission_check(offsets: usize) -> Check {
     };
     let service = match Service::start(
         ServiceConfig::new(cfg, offsets)
-            .tenant("writer", 1, 8)
-            .tenant("reader", 1, 8),
+            .with_tenant(TenantSpec::new("writer").queue_capacity(8))
+            .with_tenant(TenantSpec::new("reader").queue_capacity(8)),
     ) {
         Ok(s) => s,
         Err(e) => return Check::fail(name, subj, "service refused to start", vec![e.to_string()]),
@@ -928,7 +928,7 @@ fn serve_admission_check(offsets: usize) -> Check {
         .find(|s| s.name == "hotspot-writers")
         .and_then(|s| s.footprint(offsets))
         .expect("hotspot is analyzable");
-    if let Err(e) = service.admit_footprint(0, held) {
+    if let Err(e) = service.footprints().admit(0, held) {
         return Check::fail(
             name,
             subj,
@@ -940,13 +940,13 @@ fn serve_admission_check(offsets: usize) -> Check {
     // A disjoint read footprint is admitted...
     let mut disjoint = Footprint::new(offsets);
     disjoint.record(0, false, offsets - 1);
-    if let Err(e) = service.admit_footprint(1, disjoint) {
+    if let Err(e) = service.footprints().admit(1, disjoint) {
         return Check::fail(name, subj, "disjoint admission failed", vec![e.to_string()]);
     }
     // ...but one touching the written block is refused with the witness.
     let mut clash = Footprint::new(offsets);
     clash.record(0, false, 0);
-    let fp_reject = service.admit_footprint(1, clash);
+    let fp_reject = service.footprints().admit(1, clash);
     let fp_ok = matches!(
         fp_reject,
         Err(Reject::StaticConflict {

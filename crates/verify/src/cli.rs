@@ -22,12 +22,13 @@ use cfm_core::config::Engine;
 use crate::analyze::AnalyzeSpec;
 use crate::chaos::ChaosSpec;
 use crate::coherence::CheckOptions;
+use crate::edge::EdgeSpec;
 use crate::report::Report;
 use crate::restore::RestoreSpec;
 use crate::schedule::{self, SweepSpec};
 use crate::serve::ServeSpec;
 use crate::trace::TraceSpec;
-use crate::{analyze, chaos, coherence, restore, serve, trace, USAGE};
+use crate::{analyze, chaos, coherence, edge, restore, serve, trace, USAGE};
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -65,6 +66,9 @@ pub struct Options {
     /// Checkpoint/restore soak spec (Some = the `restore` subcommand
     /// was used; the other sections are then skipped).
     pub restore: Option<RestoreSpec>,
+    /// Wire-edge soak spec (Some = the `edge` subcommand was used; the
+    /// other sections are then skipped).
+    pub edge: Option<EdgeSpec>,
     /// The `all` subcommand: run every populated section in one
     /// aggregated report instead of treating subcommand specs as
     /// exclusive.
@@ -84,6 +88,7 @@ impl Default for Options {
             serve: None,
             analyze: None,
             restore: None,
+            edge: None,
             all: false,
         }
     }
@@ -190,6 +195,7 @@ fn parse_trace(args: &[String]) -> Result<Options, String> {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     })
 }
@@ -257,6 +263,7 @@ fn parse_chaos(args: &[String]) -> Result<Options, String> {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     })
 }
@@ -321,6 +328,7 @@ fn parse_serve(args: &[String]) -> Result<Options, String> {
         serve: Some(spec),
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     })
 }
@@ -384,6 +392,7 @@ fn parse_analyze(args: &[String]) -> Result<Options, String> {
         serve: None,
         analyze: Some(spec),
         restore: None,
+        edge: None,
         all: false,
     })
 }
@@ -448,6 +457,81 @@ fn parse_restore(args: &[String]) -> Result<Options, String> {
         serve: None,
         analyze: None,
         restore: Some(spec),
+        edge: None,
+        all: false,
+    })
+}
+
+/// Parse the `edge` subcommand's arguments (everything after the
+/// `edge` word).
+fn parse_edge(args: &[String]) -> Result<Options, String> {
+    let mut spec = EdgeSpec::default();
+    let mut self_test = false;
+    let mut format = Format::Text;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let list = args.get(i).ok_or("--seeds needs a comma-separated list")?;
+                let parsed: Result<Vec<u64>, String> = list
+                    .split(',')
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("invalid seed: {s:?}")))
+                    .collect();
+                spec.seeds = parsed?;
+                if spec.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".into());
+                }
+            }
+            "--ops" => {
+                i += 1;
+                let v = args.get(i).ok_or("--ops needs a number")?;
+                spec.ops = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid op budget: {v:?}"))?;
+            }
+            "--clients" => {
+                i += 1;
+                let v = args.get(i).ok_or("--clients needs a number")?;
+                spec.clients = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid client count: {v:?}"))?;
+            }
+            "--self-test" => self_test = true,
+            // The default spec is already the full soak; --ci only has
+            // to switch the seeded wire-fault self-tests on.
+            "--ci" => self_test = true,
+            "--format" => {
+                i += 1;
+                format = match args.get(i).map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let got = other.unwrap_or("<missing>");
+                        return Err(format!("unknown format {got:?} (text | json)"));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown edge argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        sweep: None,
+        model: None,
+        self_test,
+        format,
+        trace: None,
+        chaos: None,
+        serve: None,
+        analyze: None,
+        restore: None,
+        edge: Some(spec),
         all: false,
     })
 }
@@ -488,6 +572,7 @@ fn parse_all(args: &[String]) -> Result<Options, String> {
         serve: Some(ServeSpec::default()),
         analyze: Some(AnalyzeSpec::default()),
         restore: Some(RestoreSpec::default()),
+        edge: Some(EdgeSpec::default()),
         all: true,
     })
 }
@@ -508,6 +593,9 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
     }
     if args.first().map(String::as_str) == Some("restore") {
         return parse_restore(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("edge") {
+        return parse_edge(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("all") {
         return parse_all(&args[1..]);
@@ -638,6 +726,7 @@ pub fn parse(args: &[String]) -> Result<Options, String> {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     })
 }
@@ -668,6 +757,10 @@ pub fn run(opts: &Options) -> Report {
             report.extend(restore::verify(spec, opts.self_test));
             return report;
         }
+        if let Some(spec) = &opts.edge {
+            report.extend(edge::verify(spec, opts.self_test));
+            return report;
+        }
     }
     if let Some(spec) = &opts.sweep {
         report.extend(schedule::sweep(spec));
@@ -693,6 +786,9 @@ pub fn run(opts: &Options) -> Report {
         }
         if let Some(spec) = &opts.serve {
             report.extend(serve::verify(spec, opts.self_test));
+        }
+        if let Some(spec) = &opts.edge {
+            report.extend(edge::verify(spec, opts.self_test));
         }
         if let Some(spec) = &opts.analyze {
             report.extend(analyze::verify(spec, opts.self_test));
@@ -962,6 +1058,47 @@ mod tests {
         assert!(parse(&args(&["restore", "--ops", "0"])).is_err());
         assert!(parse(&args(&["restore", "--seeds", "nope"])).is_err());
         assert!(parse(&args(&["restore", "--model"])).is_err());
+    }
+
+    #[test]
+    fn edge_subcommand_is_exclusive_and_defaults_parse() {
+        let o = parse(&args(&["edge"])).unwrap();
+        let spec = o.edge.expect("edge requested");
+        assert_eq!(spec, EdgeSpec::default());
+        assert!(o.sweep.is_none() && o.model.is_none() && o.trace.is_none());
+        assert!(o.chaos.is_none() && o.serve.is_none() && o.restore.is_none());
+        assert!(!o.self_test && !o.all);
+    }
+
+    #[test]
+    fn edge_ci_adds_self_tests_and_arguments_parse() {
+        let o = parse(&args(&["edge", "--ci", "--format", "json"])).unwrap();
+        assert!(o.self_test);
+        assert_eq!(o.format, Format::Json);
+        let o = parse(&args(&[
+            "edge",
+            "--seeds",
+            "3,4",
+            "--ops",
+            "500",
+            "--clients",
+            "4",
+        ]))
+        .unwrap();
+        let spec = o.edge.unwrap();
+        assert_eq!(spec.seeds, vec![3, 4]);
+        assert_eq!(spec.ops, 500);
+        assert_eq!(spec.clients, 4);
+        assert!(parse(&args(&["edge", "--ops", "0"])).is_err());
+        assert!(parse(&args(&["edge", "--clients", "0"])).is_err());
+        assert!(parse(&args(&["edge", "--seeds", "nope"])).is_err());
+        assert!(parse(&args(&["edge", "--model"])).is_err());
+    }
+
+    #[test]
+    fn all_subcommand_includes_the_edge_section() {
+        let o = parse(&args(&["all", "--ci"])).unwrap();
+        assert_eq!(o.edge, Some(EdgeSpec::default()));
     }
 
     #[test]

@@ -1,0 +1,891 @@
+//! `cfm-verify edge` — wire-protocol edge soak over real TCP.
+//!
+//! The [`crate::serve`] section proves the in-process service contract;
+//! this section asserts the same contract *over the wire*, end to end
+//! through `cfm-serve`'s nonblocking TCP edge:
+//!
+//! * **loopback-soak** — N concurrent wire clients (an adversarial
+//!   tenant mix: one latency-critical probe plus hot-spot, scan, and
+//!   bursty neighbours) push ≥ the configured op budget through a real
+//!   loopback socket, closed-loop, ending with the per-connection drain
+//!   handshake. Every submitted request ID must come back exactly once
+//!   (as a `Response` or a typed `Reject`), the machine must report
+//!   zero bank conflicts, and the service's completion count must match
+//!   the wire-level response count — exactly-once, no loss, no
+//!   duplication;
+//! * **qos-bound** — the latency-critical probe's wire-path p99 is
+//!   measured unloaded, then re-measured while the three best-effort
+//!   neighbours saturate the service; the loaded p99 must stay within
+//!   `QOS_P99_FACTOR`× the unloaded p99 (best of `QOS_REPS` paired
+//!   reps, since a 1-CPU host makes single-shot latency noisy);
+//! * **flood-shedding** — with deliberately tiny edge caps, a submit
+//!   flood must be shed with wire-level `Reject(Overloaded)` frames
+//!   carrying a non-zero `retry_after_slots` hint, an over-cap
+//!   connection must get a `Reject` frame then EOF, and the edge must
+//!   keep serving healthy traffic afterwards.
+//!
+//! The `self-test/edge-*` checks prove the wire-error detectors
+//! non-vacuous by seeding protocol faults and asserting each is caught
+//! by *exactly* the intended detector (the typed
+//! [`cfm_serve::WireError::code`]):
+//! a stale `Hello` version must yield code 3 (`VersionMismatch`), an
+//! unknown frame type code 5 (`UnknownFrameType`), and an oversized
+//! length prefix code 4 (`FrameTooLarge`) — each followed by a clean
+//! close, with the edge still healthy for the next client.
+
+use std::collections::HashSet;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfm_core::config::CfmConfig;
+use cfm_serve::wire::{self, Decoder, Frame};
+use cfm_serve::{
+    Criticality, EdgeConfig, Reject, Request, Service, ServiceConfig, TenantSpec, PROTOCOL_VERSION,
+};
+use cfm_workloads::tenants::{adversarial_mix, MixTenant, TenantTraffic};
+
+use crate::report::Check;
+
+/// Which edge soaks to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeSpec {
+    /// Traffic seeds; each runs one loopback soak.
+    pub seeds: Vec<u64>,
+    /// Total operations pushed over TCP per soak (split across
+    /// clients).
+    pub ops: u64,
+    /// Concurrent wire clients per soak.
+    pub clients: usize,
+}
+
+impl Default for EdgeSpec {
+    /// Two seeded soaks of 6 000 ops each over 8 concurrent clients —
+    /// ≥ 10 000 operations over real TCP per `edge --ci` run.
+    fn default() -> Self {
+        EdgeSpec {
+            seeds: vec![21, 22],
+            ops: 6_000,
+            clients: 8,
+        }
+    }
+}
+
+const WORD_WIDTH: u32 = 16;
+const OFFSETS: usize = 32;
+const QUEUE_CAPACITY: usize = 64;
+/// Per-client pipelining window (below the edge's per-connection
+/// in-flight cap, so soak traffic is never shed at the edge).
+const WINDOW: usize = 32;
+
+/// Loaded p99 must stay within this factor of the unloaded p99.
+const QOS_P99_FACTOR: u32 = 3;
+/// Paired unloaded/loaded reps; the best (smallest) ratio is asserted,
+/// because single measurements on a 1-CPU host are scheduler-noisy.
+const QOS_REPS: usize = 3;
+/// Synchronous round trips per latency measurement.
+const QOS_PINGS: usize = 150;
+
+/// Minimal blocking wire client used by every check in this module.
+struct WireClient {
+    stream: TcpStream,
+    dec: Decoder,
+}
+
+/// One client's soak bookkeeping, merged across clients by the check.
+#[derive(Debug, Default)]
+struct ClientTally {
+    /// `Response` frames received.
+    responses: u64,
+    /// Typed backpressure `Reject` frames received.
+    rejects: u64,
+    /// Request IDs answered more than once, or answers for IDs never
+    /// submitted (exactly-once violations).
+    misdelivered: u64,
+    /// Backpressure rejections whose `retry_after_slots` hint was zero.
+    zero_hints: u64,
+    /// Frames that are not a valid server-to-client answer.
+    protocol_errors: u64,
+}
+
+impl WireClient {
+    fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(WireClient {
+            stream,
+            dec: Decoder::new(),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.stream.write_all(&wire::encode(frame))
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Next frame; `Ok(None)` on clean EOF, `Err` on a wire or socket
+    /// error (the soak treats both as failures — the server never sends
+    /// malformed bytes).
+    fn recv(&mut self) -> Result<Option<Frame>, String> {
+        loop {
+            match self.dec.next_frame() {
+                Ok(Some(f)) => return Ok(Some(f)),
+                Ok(None) => {}
+                Err(e) => return Err(format!("client-side wire error: {e}")),
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.dec.feed(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("client read failed: {e}")),
+            }
+        }
+    }
+
+    /// `Hello` → `Welcome` handshake.
+    fn hello(&mut self) -> Result<(), String> {
+        self.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })
+        .map_err(|e| format!("hello write failed: {e}"))?;
+        match self.recv()? {
+            Some(Frame::Welcome { version, .. }) if version == PROTOCOL_VERSION => Ok(()),
+            other => Err(format!("expected Welcome, got {other:?}")),
+        }
+    }
+
+    /// One synchronous submit → response round trip; returns the wire
+    /// latency. Backpressure rejections are retried (they should not
+    /// happen on an idle probe connection, but the loaded measurement
+    /// tolerates them without counting the retry wait as latency).
+    fn ping(
+        &mut self,
+        tenant: usize,
+        request_id: &mut u64,
+        offset: usize,
+    ) -> Result<Duration, String> {
+        loop {
+            *request_id += 1;
+            let id = *request_id;
+            let start = Instant::now();
+            self.send(&Frame::Submit {
+                request_id: id,
+                request: Request::new(tenant, cfm_core::op::Operation::read(offset)),
+            })
+            .map_err(|e| format!("ping write failed: {e}"))?;
+            match self.recv()? {
+                Some(Frame::Response {
+                    request_id: got, ..
+                }) if got == id => {
+                    return Ok(start.elapsed());
+                }
+                Some(Frame::Reject {
+                    request_id: got,
+                    reject: Reject::QueueFull { .. } | Reject::Overloaded { .. },
+                }) if got == id => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                other => return Err(format!("unexpected ping answer: {other:?}")),
+            }
+        }
+    }
+}
+
+/// Build the adversarial-mix service roster: the latency-critical probe
+/// gets `Criticality::LatencyCritical`; the neighbours stay best-effort.
+fn mix_service(cfg: CfmConfig) -> (Arc<Service>, Vec<MixTenant>) {
+    let mix = adversarial_mix(OFFSETS);
+    let mut config = ServiceConfig::new(cfg, OFFSETS);
+    for t in &mix {
+        let mut spec = TenantSpec::new(t.name).queue_capacity(QUEUE_CAPACITY);
+        if t.critical {
+            spec = spec.criticality(Criticality::LatencyCritical);
+        }
+        config = config.with_tenant(spec);
+    }
+    let service = Arc::new(Service::start(config).expect("valid adversarial roster"));
+    (service, mix)
+}
+
+/// Drive one wire client closed-loop: keep up to [`WINDOW`] submits in
+/// flight, account every answer exactly once, then drain politely.
+fn drive_client(
+    addr: SocketAddr,
+    tenant: usize,
+    mut traffic: TenantTraffic,
+    quota: u64,
+) -> Result<ClientTally, String> {
+    let mut client = WireClient::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    client.hello()?;
+
+    let mut tally = ClientTally::default();
+    let mut outstanding: HashSet<u64> = HashSet::new();
+    let mut next_id: u64 = 0;
+    let mut sent: u64 = 0;
+
+    let handle = |frame: Option<Frame>,
+                  outstanding: &mut HashSet<u64>,
+                  tally: &mut ClientTally|
+     -> Result<bool, String> {
+        match frame {
+            Some(Frame::Response { request_id, .. }) => {
+                if outstanding.remove(&request_id) {
+                    tally.responses += 1;
+                } else {
+                    tally.misdelivered += 1;
+                }
+                Ok(false)
+            }
+            Some(Frame::Reject { request_id, reject }) => {
+                let hint = match reject {
+                    Reject::QueueFull {
+                        retry_after_slots, ..
+                    }
+                    | Reject::Overloaded {
+                        retry_after_slots, ..
+                    } => retry_after_slots,
+                    other => return Err(format!("unexpected rejection in soak: {other}")),
+                };
+                if outstanding.remove(&request_id) {
+                    tally.rejects += 1;
+                    if hint == 0 {
+                        tally.zero_hints += 1;
+                    }
+                } else {
+                    tally.misdelivered += 1;
+                }
+                Ok(false)
+            }
+            Some(Frame::Drained) => Ok(true),
+            None => Err("server closed the connection mid-soak".into()),
+            other => {
+                tally.protocol_errors += 1;
+                Err(format!("unexpected frame in soak: {other:?}"))
+            }
+        }
+    };
+
+    while sent < quota {
+        if outstanding.len() < WINDOW {
+            next_id += 1;
+            let op = traffic.take_ops(1).pop().expect("infinite stream");
+            client
+                .send(&Frame::Submit {
+                    request_id: next_id,
+                    request: Request::new(tenant, op),
+                })
+                .map_err(|e| format!("submit write failed: {e}"))?;
+            outstanding.insert(next_id);
+            sent += 1;
+        } else {
+            let f = client.recv()?;
+            if handle(f, &mut outstanding, &mut tally)? {
+                return Err("Drained before Drain was sent".into());
+            }
+        }
+    }
+
+    client
+        .send(&Frame::Drain)
+        .map_err(|e| format!("drain write failed: {e}"))?;
+    loop {
+        let f = client.recv()?;
+        if handle(f, &mut outstanding, &mut tally)? {
+            break;
+        }
+    }
+    if !outstanding.is_empty() {
+        return Err(format!(
+            "{} submits never answered before Drained",
+            outstanding.len()
+        ));
+    }
+    Ok(tally)
+}
+
+/// One seeded loopback soak: N concurrent wire clients, adversarial
+/// mix, exactly-once accounting, zero bank conflicts.
+fn loopback_soak(spec: &EdgeSpec, seed: u64) -> Check {
+    let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid soak shape");
+    let banks = cfg.banks();
+    let clients = spec.clients.max(1);
+    let subject = format!("clients={clients} ops={} seed={seed}", spec.ops);
+
+    let (service, mix) = mix_service(cfg);
+    let edge = service
+        .serve_edge(EdgeConfig::default())
+        .expect("edge binds loopback");
+    let addr = edge.addr();
+
+    let quota = spec.ops.div_ceil(clients as u64);
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let tenant = i % mix.len();
+            let traffic = TenantTraffic::new(
+                mix[tenant].profile.clone(),
+                OFFSETS,
+                banks,
+                seed * 1_000 + i as u64,
+            );
+            std::thread::spawn(move || drive_client(addr, tenant, traffic, quota))
+        })
+        .collect();
+
+    let mut tally = ClientTally::default();
+    let mut client_errors = Vec::new();
+    for h in handles {
+        match h.join().expect("client thread") {
+            Ok(t) => {
+                tally.responses += t.responses;
+                tally.rejects += t.rejects;
+                tally.misdelivered += t.misdelivered;
+                tally.zero_hints += t.zero_hints;
+                tally.protocol_errors += t.protocol_errors;
+            }
+            Err(e) => client_errors.push(e),
+        }
+    }
+
+    let stats = edge.shutdown();
+    let report = Arc::try_unwrap(service)
+        .ok()
+        .expect("edge and clients done")
+        .drain();
+
+    let sent = quota * clients as u64;
+    let answered = tally.responses + tally.rejects;
+    let ok = client_errors.is_empty()
+        && tally.misdelivered == 0
+        && tally.zero_hints == 0
+        && tally.protocol_errors == 0
+        && answered == sent
+        && report.stats.bank_conflicts == 0
+        && report.metrics.completed() == tally.responses
+        && stats.drained_connections == clients as u64
+        && stats.wire_errors == 0;
+
+    let check = if ok {
+        Check::pass(
+            "edge/loopback-soak",
+            &subject,
+            format!(
+                "{sent} ops over TCP through {clients} concurrent clients: {} responses + {} \
+                 typed rejections, exactly once, 0 bank conflicts, {} drain handshakes",
+                tally.responses, tally.rejects, stats.drained_connections
+            ),
+        )
+    } else {
+        Check::fail(
+            "edge/loopback-soak",
+            &subject,
+            format!(
+                "sent={sent} answered={answered} responses={} rejects={} misdelivered={} \
+                 zero_hints={} protocol_errors={} bank_conflicts={} completed={} drained={} \
+                 wire_errors={}",
+                tally.responses,
+                tally.rejects,
+                tally.misdelivered,
+                tally.zero_hints,
+                tally.protocol_errors,
+                report.stats.bank_conflicts,
+                report.metrics.completed(),
+                stats.drained_connections,
+                stats.wire_errors
+            ),
+            client_errors,
+        )
+    };
+    check
+        .with_metric("ops", sent)
+        .with_metric("responses", tally.responses)
+        .with_metric("rejects", tally.rejects)
+        .with_metric("bank_conflicts", report.stats.bank_conflicts)
+        .with_metric("drained_connections", stats.drained_connections)
+}
+
+/// p99 of a latency sample set.
+fn p99(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    let idx = (samples.len() * 99 / 100).min(samples.len() - 1);
+    samples[idx]
+}
+
+/// Saturate one best-effort tenant over its own wire connection until
+/// `stop` is raised, then drain politely. Errors are swallowed: the
+/// neighbours are load generators, not the system under test.
+fn saturate(addr: SocketAddr, tenant: usize, mut traffic: TenantTraffic, stop: Arc<AtomicBool>) {
+    let mut run = move || -> Result<(), String> {
+        let mut client = WireClient::connect(addr).map_err(|e| e.to_string())?;
+        client.hello()?;
+        let mut outstanding = 0usize;
+        let mut next_id = 0u64;
+        while !stop.load(Ordering::Acquire) {
+            if outstanding < WINDOW {
+                next_id += 1;
+                let op = traffic.take_ops(1).pop().expect("infinite stream");
+                client
+                    .send(&Frame::Submit {
+                        request_id: next_id,
+                        request: Request::new(tenant, op),
+                    })
+                    .map_err(|e| e.to_string())?;
+                outstanding += 1;
+            } else {
+                match client.recv()? {
+                    Some(Frame::Response { .. } | Frame::Reject { .. }) => outstanding -= 1,
+                    other => return Err(format!("unexpected frame: {other:?}")),
+                }
+            }
+        }
+        client.send(&Frame::Drain).map_err(|e| e.to_string())?;
+        while let Some(frame) = client.recv()? {
+            if frame == Frame::Drained {
+                break;
+            }
+        }
+        Ok(())
+    };
+    let _ = run();
+}
+
+/// QoS bound: the latency-critical probe's wire p99 under a saturating
+/// best-effort mix must stay within [`QOS_P99_FACTOR`]× its unloaded
+/// p99 (best of [`QOS_REPS`] paired reps).
+fn qos_bound(seed: u64) -> Check {
+    let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid shape");
+    let banks = cfg.banks();
+    let subject = format!("factor={QOS_P99_FACTOR} reps={QOS_REPS} seed={seed}");
+
+    let (service, mix) = mix_service(cfg);
+    let probe_tenant = mix
+        .iter()
+        .position(|t| t.critical)
+        .expect("mix has a probe");
+    let edge = service
+        .serve_edge(EdgeConfig::default())
+        .expect("edge binds loopback");
+    let addr = edge.addr();
+
+    let mut probe = match WireClient::connect(addr)
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| {
+            c.hello()?;
+            Ok(c)
+        }) {
+        Ok(c) => c,
+        Err(e) => {
+            return Check::fail(
+                "edge/qos-bound",
+                &subject,
+                format!("probe setup: {e}"),
+                vec![],
+            )
+        }
+    };
+
+    let mut request_id = 0u64;
+    let mut best: Option<(f64, Duration, Duration)> = None;
+    for rep in 0..QOS_REPS {
+        // Unloaded: the probe is alone on the machine.
+        let mut unloaded = Vec::with_capacity(QOS_PINGS);
+        for i in 0..QOS_PINGS {
+            match probe.ping(probe_tenant, &mut request_id, i % OFFSETS) {
+                Ok(d) => unloaded.push(d),
+                Err(e) => {
+                    return Check::fail(
+                        "edge/qos-bound",
+                        &subject,
+                        format!("unloaded ping failed: {e}"),
+                        vec![],
+                    )
+                }
+            }
+        }
+        let unloaded_p99 = p99(&mut unloaded);
+
+        // Loaded: hot-spot + scan + bursty neighbours saturate their
+        // queues over their own connections while the probe pings.
+        let stop = Arc::new(AtomicBool::new(false));
+        let neighbours: Vec<_> = mix
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.critical)
+            .map(|(tenant, t)| {
+                let traffic = TenantTraffic::new(
+                    t.profile.clone(),
+                    OFFSETS,
+                    banks,
+                    seed * 100 + rep as u64 * 10 + tenant as u64,
+                );
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || saturate(addr, tenant, traffic, stop))
+            })
+            .collect();
+        // Let the neighbours build a backlog before measuring.
+        std::thread::sleep(Duration::from_millis(20));
+
+        let mut loaded = Vec::with_capacity(QOS_PINGS);
+        let mut ping_err = None;
+        for i in 0..QOS_PINGS {
+            match probe.ping(probe_tenant, &mut request_id, i % OFFSETS) {
+                Ok(d) => loaded.push(d),
+                Err(e) => {
+                    ping_err = Some(e);
+                    break;
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for n in neighbours {
+            n.join().expect("neighbour thread");
+        }
+        if let Some(e) = ping_err {
+            return Check::fail(
+                "edge/qos-bound",
+                &subject,
+                format!("loaded ping failed: {e}"),
+                vec![],
+            );
+        }
+        let loaded_p99 = p99(&mut loaded);
+
+        let ratio = loaded_p99.as_nanos() as f64 / unloaded_p99.as_nanos().max(1) as f64;
+        if best.is_none_or(|(b, _, _)| ratio < b) {
+            best = Some((ratio, unloaded_p99, loaded_p99));
+        }
+    }
+
+    drop(probe);
+    let _ = edge.shutdown();
+    let report = Arc::try_unwrap(service).ok().expect("clients done").drain();
+
+    let (ratio, unloaded_p99, loaded_p99) = best.expect("QOS_REPS >= 1");
+    let check = if ratio <= f64::from(QOS_P99_FACTOR) && report.stats.bank_conflicts == 0 {
+        Check::pass(
+            "edge/qos-bound",
+            &subject,
+            format!(
+                "latency-critical probe p99 {} ns unloaded → {} ns under a saturating \
+                 hot-spot/scan/bursty mix (×{ratio:.2} ≤ ×{QOS_P99_FACTOR})",
+                unloaded_p99.as_nanos(),
+                loaded_p99.as_nanos()
+            ),
+        )
+    } else {
+        Check::fail(
+            "edge/qos-bound",
+            &subject,
+            format!(
+                "probe p99 degraded ×{ratio:.2} (unloaded {} ns, loaded {} ns, bound \
+                 ×{QOS_P99_FACTOR}); bank_conflicts={}",
+                unloaded_p99.as_nanos(),
+                loaded_p99.as_nanos(),
+                report.stats.bank_conflicts
+            ),
+            vec![],
+        )
+    };
+    check
+        .with_metric("unloaded_p99_ns", unloaded_p99.as_nanos() as u64)
+        .with_metric("loaded_p99_ns", loaded_p99.as_nanos() as u64)
+        .with_metric("ratio_x100", (ratio * 100.0) as u64)
+        .with_metric("bank_conflicts", report.stats.bank_conflicts)
+}
+
+/// Flood shedding: tiny edge caps must shed with typed wire rejections
+/// (hint included), over-cap connections must be refused then closed,
+/// and the edge must stay healthy for the next client.
+fn flood_shedding(seed: u64) -> Check {
+    let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid shape");
+    let subject = format!("inflight_cap=2 conn_cap=4 seed={seed}");
+
+    let (service, _mix) = mix_service(cfg);
+    let edge = service
+        .serve_edge(EdgeConfig {
+            max_connections: 4,
+            max_inflight_per_conn: 2,
+            max_inflight_total: 2,
+            ..EdgeConfig::default()
+        })
+        .expect("edge binds loopback");
+    let addr = edge.addr();
+
+    let result = (|| -> Result<(u64, u64), String> {
+        // 1. Submit flood on one connection: one write_all of 64 frames
+        // lands as one dispatch batch, so the in-flight cap of 2 must
+        // shed most of it with typed Overloaded + hint.
+        let mut flood = WireClient::connect(addr).map_err(|e| e.to_string())?;
+        flood.hello()?;
+        let mut bytes = Vec::new();
+        const FLOOD: u64 = 64;
+        for id in 1..=FLOOD {
+            wire::encode_into(
+                &Frame::Submit {
+                    request_id: id,
+                    request: Request::new(0, cfm_core::op::Operation::read(0)),
+                },
+                &mut bytes,
+            );
+        }
+        flood.send_raw(&bytes).map_err(|e| e.to_string())?;
+        let mut responses = 0u64;
+        let mut shed = 0u64;
+        for _ in 0..FLOOD {
+            match flood.recv()? {
+                Some(Frame::Response { .. }) => responses += 1,
+                Some(Frame::Reject {
+                    reject:
+                        Reject::Overloaded {
+                            retry_after_slots, ..
+                        },
+                    ..
+                }) => {
+                    if retry_after_slots == 0 {
+                        return Err("shed without a retry hint".into());
+                    }
+                    shed += 1;
+                }
+                other => return Err(format!("unexpected flood answer: {other:?}")),
+            }
+        }
+        if shed == 0 {
+            return Err(format!(
+                "a {FLOOD}-op flood against an in-flight cap of 2 was never shed"
+            ));
+        }
+
+        // 2. Connection cap: fill the remaining slots, then one more
+        // connection must get Reject(Overloaded) and EOF.
+        let extras: Vec<_> = (0..3)
+            .map(|_| WireClient::connect(addr).map_err(|e| e.to_string()))
+            .collect::<Result<_, _>>()?;
+        // The 5th concurrent connection is over the cap of 4.
+        let mut over = WireClient::connect(addr).map_err(|e| e.to_string())?;
+        match over.recv()? {
+            Some(Frame::Reject {
+                reject: Reject::Overloaded { limit: 4, .. },
+                ..
+            }) => {}
+            other => return Err(format!("expected connection shed, got {other:?}")),
+        }
+        if let Some(f) = over.recv()? {
+            return Err(format!("shed connection was not closed: {f:?}"));
+        }
+        drop(extras);
+
+        // 3. The surviving connection still serves healthy traffic.
+        let mut request_id = FLOOD;
+        let healthy = flood.ping(0, &mut request_id, 1).map_err(|e| e.to_string());
+        healthy?;
+        flood.send(&Frame::Drain).map_err(|e| e.to_string())?;
+        loop {
+            match flood.recv()? {
+                Some(Frame::Drained) => break,
+                Some(Frame::Response { .. } | Frame::Reject { .. }) => {}
+                other => return Err(format!("unexpected drain answer: {other:?}")),
+            }
+        }
+        Ok((responses, shed))
+    })();
+
+    let stats = edge.shutdown();
+    let report = Arc::try_unwrap(service).ok().expect("clients done").drain();
+
+    match result {
+        Ok((responses, shed)) => Check::pass(
+            "edge/flood-shedding",
+            &subject,
+            format!(
+                "flood shed with typed Overloaded + retry hints ({shed} shed, {responses} \
+                 served), over-cap connection refused then closed, edge healthy after"
+            ),
+        )
+        .with_metric("shed_submits", stats.shed_submits)
+        .with_metric("shed_connections", stats.shed_connections)
+        .with_metric("bank_conflicts", report.stats.bank_conflicts),
+        Err(e) => Check::fail("edge/flood-shedding", &subject, e, vec![])
+            .with_metric("shed_submits", stats.shed_submits)
+            .with_metric("shed_connections", stats.shed_connections),
+    }
+}
+
+/// Seed one malformed byte sequence against a live edge and return the
+/// `Frame::Error` code the server answers with (then asserts EOF).
+fn seed_wire_fault(addr: SocketAddr, bytes: &[u8]) -> Result<u16, String> {
+    let mut client = WireClient::connect(addr).map_err(|e| e.to_string())?;
+    client.send_raw(bytes).map_err(|e| e.to_string())?;
+    let code = match client.recv()? {
+        Some(Frame::Error { code, .. }) => code,
+        other => return Err(format!("expected Error frame, got {other:?}")),
+    };
+    match client.recv()? {
+        None => Ok(code),
+        Some(f) => Err(format!("connection stayed open after error: {f:?}")),
+    }
+}
+
+/// The seeded wire-fault self-tests: each planted protocol fault must
+/// be caught by exactly the intended typed detector, and the edge must
+/// keep serving healthy clients afterwards.
+fn self_tests() -> Vec<Check> {
+    let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid shape");
+    let (service, _mix) = mix_service(cfg);
+    let edge = service
+        .serve_edge(EdgeConfig::default())
+        .expect("edge binds loopback");
+    let addr = edge.addr();
+
+    // (name, planted fault, the one code that must catch it)
+    let stale_hello = {
+        let mut bytes = wire::encode(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        let n = bytes.len();
+        bytes[n - 2..].copy_from_slice(&9u16.to_le_bytes());
+        bytes
+    };
+    let unknown_type = vec![1, 0, 0, 0, 99]; // length 1, frame type 99
+    let oversized = 0x7fff_ffffu32.to_le_bytes().to_vec(); // 2 GiB length prefix
+    let faults: [(&str, Vec<u8>, u16, &str); 3] = [
+        (
+            "self-test/edge-stale-version",
+            stale_hello,
+            3,
+            "Hello v9 against a v1 server",
+        ),
+        (
+            "self-test/edge-unknown-frame",
+            unknown_type,
+            5,
+            "frame type 99",
+        ),
+        (
+            "self-test/edge-oversized-frame",
+            oversized,
+            4,
+            "2 GiB length prefix",
+        ),
+    ];
+
+    let mut checks = Vec::new();
+    for (name, bytes, want, what) in faults {
+        checks.push(match seed_wire_fault(addr, &bytes) {
+            Ok(code) if code == want => Check::pass(
+                name,
+                what,
+                format!(
+                    "caught by exactly the intended detector (wire error code {want}), \
+                         connection closed"
+                ),
+            )
+            .with_metric("code", u64::from(code)),
+            Ok(code) => Check::fail(
+                name,
+                what,
+                format!("caught by the WRONG detector: code {code}, wanted {want}"),
+                vec![],
+            )
+            .with_metric("code", u64::from(code)),
+            Err(e) => Check::fail(name, what, format!("fault was not caught: {e}"), vec![]),
+        });
+    }
+
+    // The faults above must not have damaged the edge: a healthy client
+    // still gets served.
+    let healthy = (|| -> Result<(), String> {
+        let mut client = WireClient::connect(addr).map_err(|e| e.to_string())?;
+        client.hello()?;
+        let mut id = 0u64;
+        let _ = client.ping(0, &mut id, 0)?;
+        Ok(())
+    })();
+    checks.push(match healthy {
+        Ok(()) => Check::pass(
+            "self-test/edge-isolation",
+            "healthy client after seeded faults",
+            "three poisoned connections left the edge serving normally",
+        ),
+        Err(e) => Check::fail(
+            "self-test/edge-isolation",
+            "healthy client after seeded faults",
+            format!("edge damaged by a malformed peer: {e}"),
+            vec![],
+        ),
+    });
+
+    let _ = edge.shutdown();
+    let report = Arc::try_unwrap(service).ok().expect("clients done").drain();
+    debug_assert_eq!(report.stats.bank_conflicts, 0);
+    checks
+}
+
+/// Run the wire-edge soak suite.
+pub fn verify(spec: &EdgeSpec, self_test: bool) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for &seed in &spec.seeds {
+        checks.push(loopback_soak(spec, seed));
+    }
+    let first = spec.seeds.first().copied().unwrap_or(1);
+    checks.push(qos_bound(first));
+    checks.push(flood_shedding(first));
+    if self_test {
+        checks.extend(self_tests());
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Status;
+
+    #[test]
+    fn self_tests_all_pass() {
+        for check in self_tests() {
+            assert_eq!(
+                check.status,
+                Status::Pass,
+                "{} [{}]: {}",
+                check.name,
+                check.subject,
+                check.detail
+            );
+        }
+    }
+
+    #[test]
+    fn micro_soak_passes_end_to_end() {
+        // A deliberately tiny soak so `cargo test` stays fast; the CI
+        // gate runs the full default spec in release mode.
+        let spec = EdgeSpec {
+            seeds: vec![5],
+            ops: 400,
+            clients: 3,
+        };
+        for check in verify(&spec, false) {
+            assert_eq!(
+                check.status,
+                Status::Pass,
+                "{} [{}]: {}",
+                check.name,
+                check.subject,
+                check.detail
+            );
+        }
+    }
+
+    #[test]
+    fn p99_picks_the_tail() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(p99(&mut samples), Duration::from_micros(100));
+        let mut two = vec![Duration::from_micros(1), Duration::from_micros(9)];
+        assert_eq!(p99(&mut two), Duration::from_micros(9));
+    }
+}

@@ -36,6 +36,15 @@
 //!   typed queue-full backpressure without deadlocking, and complete
 //!   every admitted request on drain — with detector self-tests
 //!   (`cfm-verify serve --ci`).
+//! * [`edge`] — wire-protocol edge soaks over real TCP: N concurrent
+//!   clients push an adversarial tenant mix through `cfm-serve`'s
+//!   nonblocking edge with exactly-once accounting and zero bank
+//!   conflicts, the latency-critical probe's wire p99 is bounded live
+//!   against saturating neighbours, flood shedding must be typed with
+//!   retry hints, and seeded wire faults (stale version, unknown frame
+//!   type, oversized length) must each be caught by exactly the
+//!   intended [`cfm_serve::WireError`] detector
+//!   (`cfm-verify edge --ci`).
 //! * [`analyze`] — the static *program* analyzer: an abstract
 //!   interpreter walks declarative [`cfm_core::spec::ProgramSpec`]s
 //!   through the AT-space mapping and proves, before any execution,
@@ -67,6 +76,7 @@ pub mod analyze;
 pub mod chaos;
 pub mod cli;
 pub mod coherence;
+pub mod edge;
 pub mod json;
 pub mod report;
 pub mod restore;
@@ -88,6 +98,8 @@ USAGE:
   cfm-verify analyze [--sweep n=A..=B c=C..=D] [--offsets N]
              [--self-test | --ci] [--format F]
   cfm-verify restore [--seeds LIST] [--ops N]
+             [--self-test | --ci] [--format F]
+  cfm-verify edge [--seeds LIST] [--ops N] [--clients N]
              [--self-test | --ci] [--format F]
   cfm-verify all [--ci] [--format F]
 
@@ -136,9 +148,22 @@ seeds, `--ops` the untouched tenant's read budget; `restore --ci` adds
 self-tests proving the typed corruption detectors (truncation, stale
 version, aliased restore map) non-vacuous.
 
+The `edge` subcommand soaks the wire-protocol TCP edge: concurrent
+wire clients drive an adversarial tenant mix (latency-critical probe
+plus hot-spot, scan, and bursty neighbours) over real loopback
+sockets with exactly-once accounting and zero bank conflicts, the
+probe's wire p99 under saturation must stay within 3x its unloaded
+p99, and a flood against tiny edge caps must be shed with typed
+Overloaded rejections carrying retry hints. `--seeds` overrides the
+traffic seeds, `--ops` the per-soak operation budget, `--clients` the
+concurrent client count; `edge --ci` adds seeded wire-fault
+self-tests (stale version, unknown frame type, oversized length),
+each of which must be caught by exactly the intended typed detector.
+
 The `all` subcommand runs every section — the schedule sweep, the
-coherence model check, trace, chaos, restore, serve, and analyze — in
-one process with one aggregated report, the single CI entry point.
+coherence model check, trace, chaos, restore, serve, edge, and
+analyze — in one process with one aggregated report, the single CI
+entry point.
 
 The `serve` subcommand soaks the cfm-serve multi-tenant request
 service: a roster with one pure hot-spot tenant must complete every

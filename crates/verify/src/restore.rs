@@ -40,7 +40,7 @@ use cfm_core::machine::CfmMachine;
 use cfm_core::op::{Completion, Operation};
 use cfm_core::snapshot::{MachineSnapshot, SnapshotError};
 use cfm_core::Word;
-use cfm_serve::{Reject, Service, ServiceConfig, Ticket};
+use cfm_serve::{Reject, Service, ServiceConfig, TenantSpec, Ticket};
 
 use crate::report::Check;
 use crate::trace::hb;
@@ -489,8 +489,8 @@ fn migration_check(ops: u64) -> Check {
     let service = Arc::new(
         Service::start(
             ServiceConfig::new(cfg, OFFSETS)
-                .tenant("moving", 1, 64)
-                .tenant("steady", 1, 64),
+                .with_tenant(TenantSpec::new("moving").queue_capacity(64))
+                .with_tenant(TenantSpec::new("steady").queue_capacity(64)),
         )
         .expect("valid config"),
     );

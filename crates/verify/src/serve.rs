@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cfm_core::config::CfmConfig;
-use cfm_serve::{Reject, Service, ServiceConfig, Ticket};
+use cfm_serve::{Reject, Service, ServiceConfig, TenantSpec, Ticket};
 use cfm_workloads::tenants::{TenantProfile, TenantTraffic};
 
 use crate::report::Check;
@@ -139,8 +139,16 @@ fn soak(spec: &ServeSpec, index: usize, seed: u64) -> Vec<Check> {
     let service = Arc::new(
         Service::start(
             ServiceConfig::new(cfg, OFFSETS)
-                .tenant("hog", W_HOG, QUEUE_CAPACITY)
-                .tenant("meek", W_MEEK, QUEUE_CAPACITY),
+                .with_tenant(
+                    TenantSpec::new("hog")
+                        .weight(W_HOG)
+                        .queue_capacity(QUEUE_CAPACITY),
+                )
+                .with_tenant(
+                    TenantSpec::new("meek")
+                        .weight(W_MEEK)
+                        .queue_capacity(QUEUE_CAPACITY),
+                ),
         )
         .expect("valid soak config"),
     );
@@ -250,7 +258,7 @@ fn admission_check(seed: u64) -> Check {
     let subject = format!("capacity={QUEUE_CAPACITY} seed={seed}");
     let service = Service::start(
         ServiceConfig::new(cfg, OFFSETS)
-            .tenant("flood", 1, QUEUE_CAPACITY)
+            .with_tenant(TenantSpec::new("flood").queue_capacity(QUEUE_CAPACITY))
             .max_queued(QUEUE_CAPACITY),
     )
     .expect("valid config");
@@ -334,9 +342,11 @@ fn drain_inflight_check(seed: u64) -> Check {
     let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid shape");
     let banks = cfg.banks();
     let subject = format!("seed={seed}");
-    let service =
-        Service::start(ServiceConfig::new(cfg, OFFSETS).tenant("burst", 1, QUEUE_CAPACITY))
-            .expect("valid config");
+    let service = Service::start(
+        ServiceConfig::new(cfg, OFFSETS)
+            .with_tenant(TenantSpec::new("burst").queue_capacity(QUEUE_CAPACITY)),
+    )
+    .expect("valid config");
 
     let mut traffic = TenantTraffic::new(
         TenantProfile::Scan {
@@ -422,7 +432,7 @@ fn self_tests() -> Vec<Check> {
     let cfg = CfmConfig::new(4, 1, WORD_WIDTH).expect("valid shape");
     let service = Service::start(
         ServiceConfig::new(cfg, OFFSETS)
-            .tenant("tiny", 1, 1)
+            .with_tenant(TenantSpec::new("tiny").queue_capacity(1))
             .max_queued(1),
     )
     .expect("valid config");

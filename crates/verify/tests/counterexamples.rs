@@ -80,6 +80,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     };
     let report = cli::run(&mutant);
@@ -100,6 +101,7 @@ fn cli_report_exits_nonzero_on_a_mutant_and_zero_on_correct() {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     };
     let report = cli::run(&correct);
@@ -124,6 +126,7 @@ fn json_report_is_byte_stable_across_renders() {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     };
     let a = cli::run(&opts).to_json().render();

@@ -98,6 +98,7 @@ fn trace_pipeline_passes_on_a_sampled_sweep_with_self_tests() {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     };
     let report = cli::run(&opts);
@@ -134,6 +135,7 @@ fn trace_json_report_is_byte_stable_across_runs() {
         serve: None,
         analyze: None,
         restore: None,
+        edge: None,
         all: false,
     };
     let a = cli::run(&opts).to_json().render();

@@ -215,6 +215,69 @@ impl TenantTraffic {
     }
 }
 
+/// One tenant's slot in an [`adversarial_mix`]: roster name, traffic
+/// profile, and whether this tenant is the latency-critical probe (the
+/// one whose tail the mix tries to ruin) or a saturating neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixTenant {
+    /// Roster name, stable across runs (keys metrics and bench JSON).
+    pub name: &'static str,
+    /// The tenant's offered-load shape.
+    pub profile: TenantProfile,
+    /// `true` for the probe the QoS policy must protect.
+    pub critical: bool,
+}
+
+/// The standard adversarial client mix for QoS soaks and benches: one
+/// latency-critical read-mostly probe surrounded by the three neighbor
+/// shapes most hostile to a shared memory's latency tail — a pure
+/// hot-spot hammer on one block, a striding whole-memory scanner, and
+/// an on/off bursty source. All three neighbors are write-heavy and,
+/// driven closed-loop, saturate every lane the scheduler gives them;
+/// the probe's p99 under this mix versus unloaded is exactly the bound
+/// the QoS acceptance gate measures.
+///
+/// # Panics
+/// If `blocks` is 0.
+pub fn adversarial_mix(blocks: usize) -> Vec<MixTenant> {
+    assert!(blocks > 0, "adversarial mix needs at least one block");
+    vec![
+        MixTenant {
+            name: "probe",
+            profile: TenantProfile::Uniform {
+                write_fraction: 0.1,
+            },
+            critical: true,
+        },
+        MixTenant {
+            name: "hotspot",
+            profile: TenantProfile::HotSpot {
+                hot_offset: blocks / 2,
+                hot_fraction: 1.0,
+                write_fraction: 0.5,
+            },
+            critical: false,
+        },
+        MixTenant {
+            name: "scan",
+            profile: TenantProfile::Scan {
+                stride: 1,
+                write_fraction: 0.5,
+            },
+            critical: false,
+        },
+        MixTenant {
+            name: "bursty",
+            profile: TenantProfile::Bursty {
+                burst: 64,
+                idle: 16,
+                write_fraction: 0.5,
+            },
+            critical: false,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +375,22 @@ mod tests {
             offered,
             vec![true, true, false, false, false, true, true, false, false, false]
         );
+    }
+
+    #[test]
+    fn adversarial_mix_is_valid_and_has_one_probe() {
+        for blocks in [1, 8, 64] {
+            let mix = adversarial_mix(blocks);
+            assert_eq!(mix.len(), 4);
+            assert_eq!(mix.iter().filter(|t| t.critical).count(), 1);
+            assert_eq!(mix[0].name, "probe");
+            // Every profile constructs a generator (the asserts in
+            // `TenantTraffic::new` accept it) at any geometry.
+            for (i, t) in mix.into_iter().enumerate() {
+                let mut traffic = TenantTraffic::new(t.profile, blocks, 4, i as u64);
+                assert!(!traffic.take_ops(8).is_empty());
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::sync::Arc;
 use std::thread;
 
 use conflict_free_memory::core::config::CfmConfig;
-use conflict_free_memory::serve::{Reject, Service, ServiceConfig, Ticket};
+use conflict_free_memory::serve::{
+    Criticality, Reject, Service, ServiceConfig, TenantSpec, Ticket,
+};
 use conflict_free_memory::workloads::tenants::{TenantProfile, TenantTraffic};
 
 const OPS_PER_TENANT: u64 = 20_000;
@@ -27,9 +29,25 @@ fn main() {
     let offsets = 32;
 
     let config = ServiceConfig::new(machine, offsets)
-        .tenant("batch", 2, QUEUE_CAPACITY) // uniform, write-heavy
-        .tenant("interactive", 2, QUEUE_CAPACITY) // uniform, read-mostly
-        .tenant("aggressor", 1, QUEUE_CAPACITY); // pure hot spot
+        // Uniform, write-heavy bulk work.
+        .with_tenant(
+            TenantSpec::new("batch")
+                .weight(2)
+                .queue_capacity(QUEUE_CAPACITY),
+        )
+        // Read-mostly and latency-critical: preempts best-effort deficit.
+        .with_tenant(
+            TenantSpec::new("interactive")
+                .weight(2)
+                .queue_capacity(QUEUE_CAPACITY)
+                .criticality(Criticality::LatencyCritical),
+        )
+        // Pure hot spot, budget-capped to 48 issues per accounting window.
+        .with_tenant(
+            TenantSpec::new("aggressor")
+                .queue_capacity(QUEUE_CAPACITY)
+                .bank_budget(48),
+        );
     let service = Arc::new(Service::start(config).expect("valid roster"));
 
     let profiles = [

@@ -9,7 +9,7 @@ use std::thread;
 
 use conflict_free_memory::core::config::CfmConfig;
 use conflict_free_memory::core::op::Operation;
-use conflict_free_memory::serve::{Reject, Service, ServiceConfig, Ticket};
+use conflict_free_memory::serve::{Reject, Service, ServiceConfig, TenantSpec, Ticket};
 use conflict_free_memory::workloads::tenants::{TenantProfile, TenantTraffic};
 
 const WORD_WIDTH: u32 = 16;
@@ -26,7 +26,8 @@ fn machine_config(processors: usize) -> CfmConfig {
 fn queue_full_rejection_is_typed_and_lossless() {
     let machine = machine_config(4);
     let banks = machine.banks();
-    let config = ServiceConfig::new(machine, banks).tenant("flooder", 1, 8);
+    let config = ServiceConfig::new(machine, banks)
+        .with_tenant(TenantSpec::new("flooder").queue_capacity(8));
     let service = Service::start(config).expect("valid roster");
 
     let mut admitted: Vec<Ticket> = Vec::new();
@@ -34,9 +35,15 @@ fn queue_full_rejection_is_typed_and_lossless() {
     for _ in 0..512 {
         match service.submit(0, Operation::read(0)) {
             Ok(ticket) => admitted.push(ticket),
-            Err(Reject::QueueFull { tenant, capacity }) => {
+            Err(Reject::QueueFull {
+                tenant,
+                capacity,
+                retry_after_slots,
+            }) => {
                 assert_eq!(tenant, 0);
                 assert_eq!(capacity, 8);
+                // Drain model: ceil(8 queued / 4 lanes) + bank cycle 1 + 1.
+                assert_eq!(retry_after_slots, 4);
                 queue_full += 1;
             }
             Err(other) => panic!("unexpected rejection: {other}"),
@@ -67,8 +74,8 @@ fn drain_completes_inflight_work() {
     let machine = machine_config(4);
     let banks = machine.banks();
     let config = ServiceConfig::new(machine, banks)
-        .tenant("writer", 1, 64)
-        .tenant("reader", 1, 64);
+        .with_tenant(TenantSpec::new("writer").queue_capacity(64))
+        .with_tenant(TenantSpec::new("reader").queue_capacity(64));
     let service = Service::start(config).expect("valid roster");
 
     let mut writer = TenantTraffic::new(
@@ -108,8 +115,8 @@ fn hot_spot_hog_cannot_starve_a_meek_tenant() {
     let machine = machine_config(PROCESSORS);
     let banks = machine.banks();
     let config = ServiceConfig::new(machine, banks)
-        .tenant("hog", 6, CAPACITY)
-        .tenant("meek", 1, CAPACITY);
+        .with_tenant(TenantSpec::new("hog").weight(6).queue_capacity(CAPACITY))
+        .with_tenant(TenantSpec::new("meek").queue_capacity(CAPACITY));
     let service = Arc::new(Service::start(config).expect("valid roster"));
 
     let profiles = [
@@ -189,8 +196,8 @@ fn tickets_cross_the_migration_boundary() {
     let machine = CfmConfig::new(4, 4, WORD_WIDTH).unwrap();
     let banks = machine.banks();
     let config = ServiceConfig::new(machine, banks)
-        .tenant("migrated", 1, 64)
-        .tenant("bystander", 1, 64);
+        .with_tenant(TenantSpec::new("migrated").queue_capacity(64))
+        .with_tenant(TenantSpec::new("bystander").queue_capacity(64));
     let service = Service::start(config).expect("valid roster");
 
     // A committed write whose durability the migration must preserve.
@@ -250,8 +257,8 @@ fn drain_races_dropped_tickets() {
     let machine = machine_config(4);
     let banks = machine.banks();
     let config = ServiceConfig::new(machine, banks)
-        .tenant("dropper", 1, 128)
-        .tenant("keeper", 1, 128);
+        .with_tenant(TenantSpec::new("dropper").queue_capacity(128))
+        .with_tenant(TenantSpec::new("keeper").queue_capacity(128));
     let service = Service::start(config).expect("valid roster");
 
     let mut kept = Vec::new();
